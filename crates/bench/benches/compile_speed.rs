@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the compiler itself: partitioning,
+//! ordering, scheduling and the full pipeline with and without
+//! replication. These measure *our* implementation's throughput, not a
+//! paper result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cvliw_machine::MachineConfig;
+use cvliw_partition::partition_loop;
+use cvliw_replicate::{compile_loop, CompileOptions};
+use cvliw_sched::sms_order;
+use cvliw_workloads::{generate_loop, GeneratorParams};
+
+fn representative_loop() -> cvliw_ddg::Ddg {
+    let params = GeneratorParams {
+        coupling: 0.35,
+        chains: (6, 6),
+        depth: (5, 5),
+        ..GeneratorParams::medium()
+    };
+    generate_loop(1234, &params).expect("valid loop").ddg
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ddg = representative_loop();
+    let machine = MachineConfig::from_spec("4c1b2l64r").expect("spec parses");
+
+    c.bench_function("sms_order/40ops", |b| {
+        b.iter(|| black_box(sms_order(black_box(&ddg), black_box(&machine))));
+    });
+
+    c.bench_function("partition/40ops", |b| {
+        b.iter(|| black_box(partition_loop(black_box(&ddg), black_box(&machine), 4)));
+    });
+
+    c.bench_function("compile/baseline", |b| {
+        b.iter(|| {
+            black_box(compile_loop(
+                black_box(&ddg),
+                black_box(&machine),
+                &CompileOptions::baseline(),
+            ))
+        });
+    });
+
+    c.bench_function("compile/replicate", |b| {
+        b.iter(|| {
+            black_box(compile_loop(
+                black_box(&ddg),
+                black_box(&machine),
+                &CompileOptions::replicate(),
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

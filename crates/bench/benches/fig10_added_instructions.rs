@@ -1,0 +1,45 @@
+//! Regenerates Figure 10: the percentage of extra instructions executed
+//! because of replication, split by functional-unit class.
+//!
+//! The paper reports under ~5% for most configurations, with integer
+//! instructions the most replicated kind (upper-level address computations
+//! belong to many subgraphs).
+
+use cvliw_bench::{banner, pct, print_row, run_program, suite_for_bench};
+use cvliw_machine::{fig10_specs, MachineConfig};
+use cvliw_replicate::CompileOptions;
+
+fn main() {
+    banner("Instructions added by replication", "Figure 10");
+    let suite = suite_for_bench();
+
+    print_row(
+        "config",
+        &["int".into(), "fp".into(), "mem".into(), "total".into()],
+    );
+    for spec in fig10_specs() {
+        let machine = MachineConfig::from_spec(spec).expect("preset parses");
+        let mut original = 0u64;
+        let mut by_class = [0u64; 3];
+        for program in &suite {
+            let r = run_program(program, &machine, &CompileOptions::replicate());
+            let (orig, _) = r.executed_instructions();
+            original += orig;
+            let cls = r.replicated_by_class();
+            for (acc, add) in by_class.iter_mut().zip(cls.iter()) {
+                *acc += add;
+            }
+        }
+        let o = original.max(1) as f64;
+        print_row(
+            spec,
+            &[
+                pct(by_class[0] as f64 / o),
+                pct(by_class[1] as f64 / o),
+                pct(by_class[2] as f64 / o),
+                pct(by_class.iter().sum::<u64>() as f64 / o),
+            ],
+        );
+    }
+    println!("\npaper shape: < ~5% added for most configs; int dominates");
+}

@@ -1,0 +1,45 @@
+//! Regenerates Figure 12: how much IPC the §5.1 schedule-length extension
+//! could possibly gain, bounded above by scheduling with zero-latency
+//! buses (bandwidth still charged).
+//!
+//! The paper finds the potential nearly negligible (~1% for 4-cluster
+//! configurations with a 2-cycle bus).
+
+use cvliw_bench::{banner, f2, pct, print_row, run_program, suite_for_bench};
+use cvliw_machine::{fig10_specs, MachineConfig};
+use cvliw_replicate::CompileOptions;
+use cvliw_sim::harmonic_mean;
+
+fn main() {
+    banner("Potential of schedule-length replication", "Figure 12");
+    let suite = suite_for_bench();
+
+    print_row(
+        "config",
+        &[
+            "replication".into(),
+            "sched-len".into(),
+            "latency 0".into(),
+            "potential".into(),
+        ],
+    );
+    for spec in fig10_specs() {
+        let machine = MachineConfig::from_spec(spec).expect("preset parses");
+        let mut repl = Vec::new();
+        let mut ext = Vec::new();
+        let mut zero = Vec::new();
+        for program in &suite {
+            repl.push(run_program(program, &machine, &CompileOptions::replicate()).ipc);
+            ext.push(run_program(program, &machine, &CompileOptions::sched_len()).ipc);
+            zero.push(run_program(program, &machine, &CompileOptions::zero_bus()).ipc);
+        }
+        let h_repl = harmonic_mean(&repl);
+        let h_ext = harmonic_mean(&ext);
+        let h_zero = harmonic_mean(&zero);
+        print_row(
+            spec,
+            &[f2(h_repl), f2(h_ext), f2(h_zero), pct(h_zero / h_repl - 1.0)],
+        );
+    }
+    println!("\npaper shape: the zero-latency bound sits ~1% above replication");
+}

@@ -1,0 +1,41 @@
+//! Regenerates Figure 7: IPC of the baseline scheduler vs instruction
+//! replication for every program and machine configuration, plus the
+//! harmonic mean and the average speedup.
+//!
+//! The paper reports an average speedup of ~25% on 4c2b4l64r, up to ~70%
+//! for su2cor, ~65% for tomcatv and ~50% for swim, with mgrid and applu
+//! nearly flat.
+
+use cvliw_bench::{banner, f2, pct, print_row, run_program, suite_for_bench};
+use cvliw_machine::{paper_specs, MachineConfig};
+use cvliw_replicate::CompileOptions;
+use cvliw_sim::harmonic_mean;
+
+fn main() {
+    banner("IPC: baseline vs replication", "Figure 7");
+    let suite = suite_for_bench();
+
+    for spec in paper_specs() {
+        let machine = MachineConfig::from_spec(spec).expect("preset parses");
+        println!("--- {spec} ---");
+        print_row("program", &["base".into(), "repl".into(), "speedup".into()]);
+        let mut base_ipcs = Vec::new();
+        let mut repl_ipcs = Vec::new();
+        let mut speedups = Vec::new();
+        for program in &suite {
+            let base = run_program(program, &machine, &CompileOptions::baseline());
+            let repl = run_program(program, &machine, &CompileOptions::replicate());
+            let speedup = repl.ipc / base.ipc - 1.0;
+            print_row(program.name, &[f2(base.ipc), f2(repl.ipc), pct(speedup)]);
+            base_ipcs.push(base.ipc);
+            repl_ipcs.push(repl.ipc);
+            speedups.push(speedup);
+        }
+        let hb = harmonic_mean(&base_ipcs);
+        let hr = harmonic_mean(&repl_ipcs);
+        print_row("HMEAN", &[f2(hb), f2(hr), pct(hr / hb - 1.0)]);
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        print_row("avg speedup", &["".into(), "".into(), pct(avg)]);
+        println!();
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Figure 8: mgrid's IPC on the unified machine vs the
+//! clustered configurations with a 2-cycle bus.
+//!
+//! The paper's point: mgrid partitions so cleanly that clustering barely
+//! costs anything — which is why replication cannot help it.
+
+use cvliw_bench::{banner, f2, print_row, run_program};
+use cvliw_machine::{fig8_specs, MachineConfig};
+use cvliw_replicate::CompileOptions;
+use cvliw_workloads::program;
+
+fn main() {
+    banner("mgrid: unified vs clustered", "Figure 8");
+    let mgrid = program("mgrid").expect("mgrid exists");
+
+    print_row("machine", &["base IPC".into(), "repl IPC".into()]);
+    let unified = MachineConfig::unified(256);
+    let b = run_program(&mgrid, &unified, &CompileOptions::baseline());
+    print_row("unified", &[f2(b.ipc), f2(b.ipc)]);
+    for spec in fig8_specs() {
+        let machine = MachineConfig::from_spec(spec).expect("preset parses");
+        let base = run_program(&mgrid, &machine, &CompileOptions::baseline());
+        let repl = run_program(&mgrid, &machine, &CompileOptions::replicate());
+        print_row(spec, &[f2(base.ipc), f2(repl.ipc)]);
+    }
+    println!("\npaper shape: clustered mgrid stays close to the unified bound");
+}

@@ -1,0 +1,57 @@
+//! Regenerates Table 1: the clustered VLIW configurations and operation
+//! latencies.
+
+use cvliw_bench::{banner, print_row};
+use cvliw_ddg::{OpClass, OpKind};
+use cvliw_machine::{paper_specs, MachineConfig};
+
+fn main() {
+    banner("Clustered VLIW configurations", "Table 1");
+
+    println!("Resources per cluster:");
+    print_row(
+        "config",
+        &[
+            "INT".into(),
+            "FP".into(),
+            "MEM".into(),
+            "regs".into(),
+            "buses".into(),
+            "bus lat".into(),
+        ],
+    );
+    for spec in paper_specs() {
+        let m = MachineConfig::from_spec(spec).expect("preset parses");
+        print_row(
+            spec,
+            &[
+                m.fu_count(OpClass::Int).to_string(),
+                m.fu_count(OpClass::Fp).to_string(),
+                m.fu_count(OpClass::Mem).to_string(),
+                m.regs_per_cluster().to_string(),
+                m.buses().to_string(),
+                m.bus_latency().to_string(),
+            ],
+        );
+    }
+
+    println!("\nLatencies (cycles):");
+    let m = MachineConfig::from_spec("4c1b2l64r").unwrap();
+    print_row("row", &["INT".into(), "FP".into()]);
+    print_row(
+        "MEM",
+        &[m.latency(OpKind::Load).to_string(), m.latency(OpKind::Load).to_string()],
+    );
+    print_row(
+        "ARITH",
+        &[m.latency(OpKind::IntAdd).to_string(), m.latency(OpKind::FpAdd).to_string()],
+    );
+    print_row(
+        "MUL/ABS",
+        &[m.latency(OpKind::IntMul).to_string(), m.latency(OpKind::FpMul).to_string()],
+    );
+    print_row(
+        "DIV/SQRT",
+        &[m.latency(OpKind::IntDiv).to_string(), m.latency(OpKind::FpDiv).to_string()],
+    );
+}

@@ -1,0 +1,49 @@
+//! Regenerates the §4 text statistics: the fraction of communications
+//! removed by replication and the average number of instructions
+//! replicated per removed communication.
+//!
+//! The paper reports ~36% of communications removed on 4c1b2l64r at a cost
+//! of ~2.1 replicated instructions each.
+
+use cvliw_bench::{banner, f2, pct, print_row, run_program, suite_for_bench};
+use cvliw_machine::{paper_specs, MachineConfig};
+use cvliw_replicate::CompileOptions;
+
+fn main() {
+    banner("Communications removed by replication", "§4 statistics");
+    let suite = suite_for_bench();
+
+    print_row(
+        "config",
+        &[
+            "coms before".into(),
+            "removed".into(),
+            "removed %".into(),
+            "instr/com".into(),
+        ],
+    );
+    for spec in paper_specs() {
+        let machine = MachineConfig::from_spec(spec).expect("preset parses");
+        let mut before = 0u64;
+        let mut removed = 0u64;
+        let mut added = 0u64;
+        for program in &suite {
+            let r = run_program(program, &machine, &CompileOptions::replicate());
+            for s in &r.loop_stats {
+                before += u64::from(s.replication.initial_coms);
+                removed += u64::from(s.replication.removed_coms());
+                added += u64::from(s.replication.added_instances());
+            }
+        }
+        print_row(
+            spec,
+            &[
+                before.to_string(),
+                removed.to_string(),
+                pct(removed as f64 / before.max(1) as f64),
+                f2(added as f64 / removed.max(1) as f64),
+            ],
+        );
+    }
+    println!("\npaper shape: ~36% removed on 4c1b2l64r at ~2.1 instructions each");
+}

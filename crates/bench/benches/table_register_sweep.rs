@@ -1,0 +1,27 @@
+//! Regenerates the §4 register-file sweep: the paper states that 32- and
+//! 128-register variants behave like the 64-register machines.
+
+use cvliw_bench::{banner, f2, pct, print_row, run_program, suite_for_bench};
+use cvliw_machine::{register_sweep_specs, MachineConfig};
+use cvliw_replicate::CompileOptions;
+use cvliw_sim::harmonic_mean;
+
+fn main() {
+    banner("Register-file sensitivity", "§4 (32/64/128 registers)");
+    let suite = suite_for_bench();
+
+    print_row("config", &["base".into(), "repl".into(), "speedup".into()]);
+    for spec in register_sweep_specs() {
+        let machine = MachineConfig::from_spec(spec).expect("preset parses");
+        let mut base = Vec::new();
+        let mut repl = Vec::new();
+        for program in &suite {
+            base.push(run_program(program, &machine, &CompileOptions::baseline()).ipc);
+            repl.push(run_program(program, &machine, &CompileOptions::replicate()).ipc);
+        }
+        let hb = harmonic_mean(&base);
+        let hr = harmonic_mean(&repl);
+        print_row(spec, &[f2(hb), f2(hr), pct(hr / hb - 1.0)]);
+    }
+    println!("\npaper shape: similar speedups across register-file sizes");
+}

@@ -1,0 +1,36 @@
+//! Robustness sweep: compile every suite loop on every paper machine
+//! configuration, baseline and replication, and report any loop that
+//! panics or fails to schedule. A healthy tree prints `total failures: 0`.
+
+use cvliw_machine::{paper_specs, MachineConfig};
+use cvliw_replicate::{compile_loop, CompileOptions};
+
+fn main() {
+    let mut failures = 0u32;
+    for spec in paper_specs() {
+        let machine = MachineConfig::from_spec(spec).expect("preset parses");
+        for program in cvliw_workloads::suite() {
+            for l in &program.loops {
+                for opts in [CompileOptions::baseline(), CompileOptions::replicate()] {
+                    let name = l.name.clone();
+                    let ok = std::panic::catch_unwind(|| {
+                        compile_loop(&l.ddg, &machine, &opts).is_ok()
+                    });
+                    match ok {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            println!("COMPILE-FAIL {spec} {name}");
+                            failures += 1;
+                        }
+                        Err(_) => {
+                            println!("PANIC {spec} {name}");
+                            failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+        eprintln!("{spec}: swept");
+    }
+    println!("total failures: {failures}");
+}

@@ -1,0 +1,451 @@
+//! Replication for **acyclic** code — the transfer the paper's §6 suggests:
+//! "heuristics proposed in this paper to reduce scheduling length can be
+//! also applied to acyclic code".
+//!
+//! A basic block (or superblock) has no initiation interval; the only
+//! objective is schedule length. Communications hurt exactly as in
+//! Figure 11: a bus hop on the critical path stretches the schedule, and
+//! replicating the producer into the consumer's cluster removes the hop.
+//! This module provides a cluster-aware list scheduler for DAGs
+//! ([`schedule_acyclic`]) and the greedy critical-path replication pass
+//! ([`replicate_for_acyclic_length`]); the paper's Figure 11 (length 4 → 3
+//! by copying `A` into one cluster) is reproduced in the tests.
+
+use std::collections::BTreeMap;
+
+use cvliw_ddg::{topo_order, Ddg, NodeId, OpKind};
+use cvliw_machine::MachineConfig;
+use cvliw_sched::Assignment;
+
+/// A schedule for one acyclic region.
+#[derive(Clone, Debug)]
+pub struct AcyclicSchedule {
+    instances: BTreeMap<(NodeId, u8), u32>,
+    copies: BTreeMap<NodeId, (u32, u8)>,
+    length: u32,
+}
+
+impl AcyclicSchedule {
+    /// Completion time of the region: `max(issue + latency)` over all
+    /// instances and copies.
+    #[must_use]
+    pub fn length(&self) -> u32 {
+        self.length
+    }
+
+    /// Issue cycle of an instance, if scheduled.
+    #[must_use]
+    pub fn instance_cycle(&self, n: NodeId, cluster: u8) -> Option<u32> {
+        self.instances.get(&(n, cluster)).copied()
+    }
+
+    /// Issue cycle and bus of the copy broadcasting `n`, if any.
+    #[must_use]
+    pub fn copy_of(&self, n: NodeId) -> Option<(u32, u8)> {
+        self.copies.get(&n).copied()
+    }
+
+    /// Number of bus copies in the region.
+    #[must_use]
+    pub fn copy_count(&self) -> u32 {
+        self.copies.len() as u32
+    }
+
+    /// Number of scheduled functional-unit operations.
+    #[must_use]
+    pub fn op_count(&self) -> u32 {
+        self.instances.len() as u32
+    }
+}
+
+/// Why an acyclic region failed to schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AcyclicError {
+    /// The region contains a loop-carried edge; acyclic scheduling is for
+    /// straight-line regions only.
+    LoopCarriedEdge {
+        /// Producer of the offending dependence.
+        src: NodeId,
+        /// Consumer of the offending dependence.
+        dst: NodeId,
+    },
+    /// A value must cross clusters but the machine has no buses.
+    NoBus {
+        /// The value that cannot travel.
+        value: NodeId,
+    },
+}
+
+impl std::fmt::Display for AcyclicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcyclicError::LoopCarriedEdge { src, dst } => {
+                write!(f, "loop-carried dependence {src} -> {dst} in an acyclic region")
+            }
+            AcyclicError::NoBus { value } => {
+                write!(f, "value {value} crosses clusters but the machine has no buses")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AcyclicError {}
+
+/// List-schedules a DAG for a clustered machine under a (possibly
+/// multi-instance) assignment: operations issue in topological order at the
+/// earliest cycle where their operands have arrived and a functional unit
+/// of their class is free; cross-cluster reads go through a bus copy
+/// scheduled on the earliest bus slot after the producer completes.
+///
+/// # Errors
+///
+/// [`AcyclicError::LoopCarriedEdge`] if any edge has distance > 0,
+/// [`AcyclicError::NoBus`] if communication is needed on a bus-less
+/// machine.
+pub fn schedule_acyclic(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    assignment: &Assignment,
+) -> Result<AcyclicSchedule, AcyclicError> {
+    if let Some(e) = ddg.edges().find(|e| e.distance > 0) {
+        return Err(AcyclicError::LoopCarriedEdge { src: e.src, dst: e.dst });
+    }
+
+    let mut fu_busy: Vec<[Vec<u32>; 3]> =
+        vec![[Vec::new(), Vec::new(), Vec::new()]; machine.clusters() as usize];
+    let mut bus_busy: Vec<Vec<bool>> = vec![Vec::new(); machine.buses() as usize];
+    let mut out = AcyclicSchedule {
+        instances: BTreeMap::new(),
+        copies: BTreeMap::new(),
+        length: 0,
+    };
+
+    let fu_free = |busy: &mut Vec<[Vec<u32>; 3]>,
+                   machine: &MachineConfig,
+                   c: u8,
+                   class: usize,
+                   from: u32|
+     -> u32 {
+        let cap = u32::from(machine.fu_counts_in(c).of(cvliw_ddg::OpClass::ALL[class]));
+        let row = &mut busy[c as usize][class];
+        let mut t = from as usize;
+        loop {
+            if row.len() <= t {
+                row.resize(t + 1, 0);
+            }
+            if row[t] < cap {
+                row[t] += 1;
+                return t as u32;
+            }
+            t += 1;
+        }
+    };
+
+    // The cycle at which `n`'s value becomes readable in cluster `c`,
+    // inserting a bus copy on demand. Returns `None` for a NoBus failure.
+    fn value_ready_in(
+        ddg: &Ddg,
+        machine: &MachineConfig,
+        out: &mut AcyclicSchedule,
+        bus_busy: &mut [Vec<bool>],
+        n: NodeId,
+        c: u8,
+    ) -> Result<u32, AcyclicError> {
+        // Local instance?
+        let local: Option<u32> = out
+            .instances
+            .iter()
+            .filter(|&(&(m, mc), _)| m == n && mc == c)
+            .map(|(_, &t)| t + machine.latency(ddg.kind(n)))
+            .min();
+        if let Some(t) = local {
+            return Ok(t);
+        }
+        // Existing copy?
+        if let Some((t, _)) = out.copies.get(&n) {
+            return Ok(t + machine.bus_latency());
+        }
+        // Schedule a new copy after the earliest instance completes.
+        if machine.buses() == 0 {
+            return Err(AcyclicError::NoBus { value: n });
+        }
+        let src_done = out
+            .instances
+            .iter()
+            .filter(|&(&(m, _), _)| m == n)
+            .map(|(_, &t)| t + machine.latency(ddg.kind(n)))
+            .min()
+            .expect("producer scheduled before consumers (topological order)");
+        let lat = machine.bus_latency() as usize;
+        let mut t = src_done as usize;
+        loop {
+            for (b, busy) in bus_busy.iter_mut().enumerate() {
+                if busy.len() < t + lat {
+                    busy.resize(t + lat, false);
+                }
+                if busy[t..t + lat].iter().all(|&x| !x) {
+                    busy[t..t + lat].iter_mut().for_each(|x| *x = true);
+                    out.copies.insert(n, (t as u32, b as u8));
+                    out.length = out.length.max((t + lat) as u32);
+                    return Ok((t as u32) + machine.bus_latency());
+                }
+            }
+            t += 1;
+        }
+    }
+
+    for n in topo_order(ddg) {
+        for c in assignment.instances(n).iter() {
+            let mut ready = 0u32;
+            for e in ddg.in_edges(n) {
+                let arrival = if e.is_data() {
+                    value_ready_in(ddg, machine, &mut out, &mut bus_busy, e.src, c)?
+                } else {
+                    // Memory ordering: after every instance of the producer
+                    // completes, regardless of cluster (centralized cache).
+                    out.instances
+                        .iter()
+                        .filter(|&(&(m, _), _)| m == e.src)
+                        .map(|(_, &t)| t + machine.latency(ddg.kind(e.src)))
+                        .max()
+                        .unwrap_or(0)
+                };
+                ready = ready.max(arrival);
+            }
+            let class = ddg.kind(n).class().index();
+            let t = fu_free(&mut fu_busy, machine, c, class, ready);
+            out.instances.insert((n, c), t);
+            out.length = out.length.max(t + machine.latency(ddg.kind(n)));
+        }
+    }
+    Ok(out)
+}
+
+/// The §5.1 heuristic transferred to acyclic code: while a cross-cluster
+/// dependence sits on the critical path, replicate the producer into the
+/// consuming cluster (capacity permitting) and reschedule; keep the copy
+/// only if the schedule got shorter. Stores are never replicated.
+///
+/// Returns the improved assignment and its schedule.
+///
+/// # Errors
+///
+/// Propagates [`schedule_acyclic`]'s errors on the initial assignment.
+pub fn replicate_for_acyclic_length(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    assignment: Assignment,
+) -> Result<(Assignment, AcyclicSchedule), AcyclicError> {
+    let mut best_asg = assignment;
+    let mut best = schedule_acyclic(ddg, machine, &best_asg)?;
+
+    for _round in 0..ddg.node_count() {
+        let Some((p, c)) = critical_bus_hop(ddg, machine, &best_asg, &best) else { break };
+
+        let mut trial = best_asg.clone();
+        trial.add_instance(p, c);
+        match schedule_acyclic(ddg, machine, &trial) {
+            Ok(s) if s.length() < best.length() => {
+                best_asg = trial;
+                best = s;
+            }
+            _ => break, // no improvement (or failure): stop greedily
+        }
+    }
+    Ok((best_asg, best))
+}
+
+/// Walks the critical paths of `sched` backwards through **binding**
+/// operands (those whose arrival equals the consumer's issue cycle) and
+/// returns the first dependence that crossed the bus: the producer to
+/// replicate and the cluster to replicate it into.
+fn critical_bus_hop(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    assignment: &Assignment,
+    sched: &AcyclicSchedule,
+) -> Option<(NodeId, u8)> {
+    let mut stack: Vec<(NodeId, u8, u32)> = sched
+        .instances
+        .iter()
+        .filter(|&(&(n, _), &t)| t + machine.latency(ddg.kind(n)) == sched.length())
+        .map(|(&(n, c), &t)| (n, c, t))
+        .collect();
+    let mut seen = std::collections::BTreeSet::new();
+    while let Some((n, c, t_n)) = stack.pop() {
+        if !seen.insert((n, c)) {
+            continue;
+        }
+        for p in ddg.data_preds(n) {
+            if p == n || ddg.kind(p) == OpKind::Store {
+                continue;
+            }
+            if assignment.instances(p).contains(c) {
+                let t_p = sched.instance_cycle(p, c).expect("instance scheduled");
+                if t_p + machine.latency(ddg.kind(p)) == t_n {
+                    stack.push((p, c, t_p)); // binding local operand
+                }
+            } else if let Some((tc, _)) = sched.copy_of(p) {
+                if tc + machine.bus_latency() == t_n {
+                    return Some((p, c)); // binding bus hop: replicate here
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_machine::{FuCounts, LatencyTable};
+
+    /// The paper's Figure 11: `A` in cluster 2 feeds `D → E` in cluster 1
+    /// and `F` in cluster 3; `A → B → C` stay in cluster 2. With unit
+    /// latencies and a 1-cycle bus the left schedule is 4 cycles; after
+    /// replicating `A` into cluster 1 only, it is 3.
+    fn figure_11() -> (Ddg, Assignment, MachineConfig) {
+        let mut b = Ddg::builder();
+        let a = b.add_labeled(OpKind::IntAdd, "A");
+        let bb = b.add_labeled(OpKind::IntAdd, "B");
+        let c = b.add_labeled(OpKind::IntAdd, "C");
+        let d = b.add_labeled(OpKind::IntAdd, "D");
+        let e = b.add_labeled(OpKind::IntAdd, "E");
+        let f = b.add_labeled(OpKind::IntAdd, "F");
+        b.data(a, bb).data(bb, c).data(a, d).data(d, e).data(a, f);
+        let ddg = b.build().unwrap();
+        // Clusters: D,E → 0; A,B,C → 1; F → 2.
+        let asg = Assignment::from_partition(&[1, 1, 1, 0, 0, 2]);
+        let machine = MachineConfig::heterogeneous(
+            vec![FuCounts { int: 2, fp: 0, mem: 0 }; 3],
+            1,
+            1,
+            64,
+            LatencyTable::UNIT,
+        )
+        .unwrap();
+        (ddg, asg, machine)
+    }
+
+    #[test]
+    fn figure_11_baseline_length_is_four() {
+        let (ddg, asg, m) = figure_11();
+        let s = schedule_acyclic(&ddg, &m, &asg).unwrap();
+        // A@0; copy@1 (1 cycle); D@2; E@3 → completes at 4.
+        assert_eq!(s.length(), 4, "left side of Figure 11");
+        assert_eq!(s.copy_count(), 1, "one communication of A");
+    }
+
+    #[test]
+    fn figure_11_replication_reaches_three() {
+        let (ddg, asg, m) = figure_11();
+        let (improved, s) = replicate_for_acyclic_length(&ddg, &m, asg).unwrap();
+        assert_eq!(s.length(), 3, "right side of Figure 11");
+        let a = ddg.find_by_label("A").unwrap();
+        assert!(improved.instances(a).len() >= 2, "A replicated into cluster 0");
+        // The copy of A may remain for cluster 2's F — the paper's point:
+        // replicate only where it helps the critical path.
+        assert!(s.copy_count() <= 1);
+    }
+
+    #[test]
+    fn loop_carried_edges_are_rejected() {
+        let mut b = Ddg::builder();
+        let x = b.add_node(OpKind::FpAdd);
+        b.data_dist(x, x, 1);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::from_spec("2c1b2l64r").unwrap();
+        let asg = Assignment::from_partition(&[0]);
+        assert!(matches!(
+            schedule_acyclic(&ddg, &m, &asg),
+            Err(AcyclicError::LoopCarriedEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn no_bus_is_reported() {
+        let mut b = Ddg::builder();
+        let x = b.add_node(OpKind::IntAdd);
+        let y = b.add_node(OpKind::IntAdd);
+        b.data(x, y);
+        let ddg = b.build().unwrap();
+        // Two clusters, zero buses.
+        let m = MachineConfig::heterogeneous(
+            vec![FuCounts { int: 1, fp: 1, mem: 1 }; 2],
+            0,
+            1,
+            64,
+            LatencyTable::UNIT,
+        )
+        .unwrap();
+        let asg = Assignment::from_partition(&[0, 1]);
+        assert!(matches!(
+            schedule_acyclic(&ddg, &m, &asg),
+            Err(AcyclicError::NoBus { .. })
+        ));
+    }
+
+    #[test]
+    fn dependences_and_resources_are_respected() {
+        // Two parallel chains on one 1-wide cluster: issue slots serialize.
+        let mut b = Ddg::builder();
+        let x0 = b.add_node(OpKind::IntAdd);
+        let x1 = b.add_node(OpKind::IntAdd);
+        let y0 = b.add_node(OpKind::IntAdd);
+        let y1 = b.add_node(OpKind::IntAdd);
+        b.data(x0, y0).data(x1, y1);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::heterogeneous(
+            vec![FuCounts { int: 1, fp: 0, mem: 0 }],
+            0,
+            1,
+            64,
+            LatencyTable::UNIT,
+        )
+        .unwrap();
+        let asg = Assignment::from_partition(&[0, 0, 0, 0]);
+        let s = schedule_acyclic(&ddg, &m, &asg).unwrap();
+        // 4 unit ops, 1 unit per cycle → length exactly 4.
+        assert_eq!(s.length(), 4);
+        // Consumers issue strictly after their producers complete.
+        for e in ddg.edges() {
+            let tp = s.instance_cycle(e.src, 0).unwrap();
+            let tc = s.instance_cycle(e.dst, 0).unwrap();
+            assert!(tc > tp, "{} -> {}", e.src, e.dst);
+        }
+    }
+
+    #[test]
+    fn mem_ordering_serializes_against_all_instances() {
+        let mut b = Ddg::builder();
+        let st = b.add_node(OpKind::Store);
+        let ld = b.add_node(OpKind::Load);
+        b.mem_dep(st, ld, 0);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::from_spec("2c1b2l64r").unwrap();
+        let asg = Assignment::from_partition(&[0, 1]);
+        let s = schedule_acyclic(&ddg, &m, &asg).unwrap();
+        let t_st = s.instance_cycle(cvliw_ddg::NodeId::new(0), 0).unwrap();
+        let t_ld = s.instance_cycle(cvliw_ddg::NodeId::new(1), 1).unwrap();
+        // Load waits for the store's 2-cycle latency, with no bus copy
+        // (memory is centralized).
+        assert!(t_ld >= t_st + 2);
+        assert_eq!(s.copy_count(), 0);
+    }
+
+    #[test]
+    fn replication_is_a_no_op_when_nothing_crosses() {
+        let mut b = Ddg::builder();
+        let x = b.add_node(OpKind::IntAdd);
+        let y = b.add_node(OpKind::IntAdd);
+        b.data(x, y);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::from_spec("2c1b2l64r").unwrap();
+        let asg = Assignment::from_partition(&[0, 0]);
+        let before = schedule_acyclic(&ddg, &m, &asg).unwrap().length();
+        let (improved, s) = replicate_for_acyclic_length(&ddg, &m, asg).unwrap();
+        assert_eq!(s.length(), before);
+        assert_eq!(improved.instance_count(), 2);
+    }
+}

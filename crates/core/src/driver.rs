@@ -1,0 +1,435 @@
+//! The full compilation driver: the II loop of the paper's Figure 2 with
+//! instruction replication slotted between partitioning and scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+use cvliw_ddg::Ddg;
+use cvliw_machine::MachineConfig;
+use cvliw_partition::{partition_loop, refine_existing};
+use cvliw_sched::{
+    mii, schedule_with, Assignment, IiCause, OrderStrategy, Schedule, ScheduleError,
+    ScheduleRequest,
+};
+
+use crate::engine::{ReplicationEngine, ReplicationOutcome, ReplicationStats};
+use crate::sched_len::extend_for_length;
+
+/// Which compilation pipeline to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// The state-of-the-art baseline of the paper's reference \[2\]:
+    /// partition, refine, schedule — no replication.
+    Baseline,
+    /// The paper's contribution (§3): replicate subgraphs until the bus
+    /// bandwidth fits the remaining communications.
+    Replicate,
+    /// §5.1: replication plus the schedule-length extension that copies
+    /// producers next to critical-path consumers.
+    ReplicateSchedLen,
+    /// The §5.1 upper-bound study: replication with bus latency treated as
+    /// zero for dependences (bandwidth still charged). Schedules are
+    /// optimistic by construction.
+    ZeroBusLatency,
+    /// The restricted related-work technique of Kuras et al. (§6,
+    /// reference \[17\]): clone only read-only values and induction
+    /// variables, never compound subgraphs.
+    ValueClone,
+}
+
+impl Mode {
+    /// Whether this mode runs the full §3 replication engine.
+    #[must_use]
+    pub fn replicates(self) -> bool {
+        !matches!(self, Mode::Baseline | Mode::ValueClone)
+    }
+}
+
+/// Options for [`compile_loop`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// Pipeline selection.
+    pub mode: Mode,
+    /// Hard II cap; defaults to `4·MII + 256` when `None`.
+    pub max_ii: Option<u32>,
+}
+
+impl CompileOptions {
+    /// Baseline scheduler (no replication).
+    #[must_use]
+    pub fn baseline() -> Self {
+        CompileOptions { mode: Mode::Baseline, max_ii: None }
+    }
+
+    /// The paper's replication scheduler.
+    #[must_use]
+    pub fn replicate() -> Self {
+        CompileOptions { mode: Mode::Replicate, max_ii: None }
+    }
+
+    /// Replication plus the §5.1 schedule-length extension.
+    #[must_use]
+    pub fn sched_len() -> Self {
+        CompileOptions { mode: Mode::ReplicateSchedLen, max_ii: None }
+    }
+
+    /// The zero-bus-latency upper bound of §5.1.
+    #[must_use]
+    pub fn zero_bus() -> Self {
+        CompileOptions { mode: Mode::ZeroBusLatency, max_ii: None }
+    }
+
+    /// Value cloning only (the Kuras et al. related-work baseline).
+    #[must_use]
+    pub fn value_clone() -> Self {
+        CompileOptions { mode: Mode::ValueClone, max_ii: None }
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions::replicate()
+    }
+}
+
+/// How many II increments each Figure-1 cause was responsible for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CauseCounts {
+    /// Communications exceeded bus bandwidth.
+    pub bus: u32,
+    /// A recurrence did not fit.
+    pub recurrence: u32,
+    /// Register pressure exceeded the file.
+    pub registers: u32,
+    /// Plain functional-unit saturation.
+    pub resources: u32,
+}
+
+impl CauseCounts {
+    /// Records one II bump.
+    pub fn add(&mut self, cause: IiCause) {
+        match cause {
+            IiCause::Bus => self.bus += 1,
+            IiCause::Recurrence => self.recurrence += 1,
+            IiCause::Registers => self.registers += 1,
+            IiCause::Resources => self.resources += 1,
+        }
+    }
+
+    /// The counter of one cause.
+    #[must_use]
+    pub fn get(&self, cause: IiCause) -> u32 {
+        match cause {
+            IiCause::Bus => self.bus,
+            IiCause::Recurrence => self.recurrence,
+            IiCause::Registers => self.registers,
+            IiCause::Resources => self.resources,
+        }
+    }
+
+    /// Total II increments beyond the MII.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.bus + self.recurrence + self.registers + self.resources
+    }
+}
+
+/// Per-loop compilation statistics (feeds every figure of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Lower bound `max(ResMII, RecMII)`.
+    pub mii: u32,
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Schedule length in issue rows.
+    pub length: u32,
+    /// Stage count `ceil(length/II)`.
+    pub stage_count: u32,
+    /// Communications implied by the partition at the accepted II, before
+    /// replication.
+    pub partition_coms: u32,
+    /// Communications actually scheduled on buses.
+    pub final_coms: u32,
+    /// What the replication pass did.
+    pub replication: ReplicationStats,
+    /// Why the II had to grow beyond the MII.
+    pub causes: CauseCounts,
+    /// Operations of the original loop body.
+    pub ops_per_iter: u32,
+    /// Scheduled functional-unit operations per iteration (with replicas,
+    /// after dead-instance removal).
+    pub instances_per_iter: u32,
+    /// Bus copies per iteration.
+    pub copies_per_iter: u32,
+}
+
+/// A successfully compiled loop.
+#[derive(Clone, Debug)]
+pub struct CompiledLoop {
+    /// The verified modulo schedule.
+    pub schedule: Schedule,
+    /// The final (possibly multi-instance) cluster assignment.
+    pub assignment: Assignment,
+    /// Compilation statistics.
+    pub stats: LoopStats,
+}
+
+/// Compilation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// No II up to the cap produced a legal schedule (e.g. a clustered
+    /// machine without buses facing an unavoidable communication).
+    IiLimitExceeded {
+        /// The loop's MII.
+        mii: u32,
+        /// The II cap that was reached.
+        max_ii: u32,
+        /// Cause tally accumulated while trying.
+        causes: CauseCounts,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::IiLimitExceeded { mii, max_ii, .. } => {
+                write!(f, "no schedule found between MII {mii} and the II cap {max_ii}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// Compiles one loop for one machine: Figure 2's `II = MII; loop
+/// {partition/refine → replicate → schedule}` with cause attribution for
+/// every II increment.
+///
+/// # Errors
+///
+/// Returns [`CompileError::IiLimitExceeded`] if no II up to the cap works.
+pub fn compile_loop(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    opts: &CompileOptions,
+) -> Result<CompiledLoop, CompileError> {
+    let mii = mii(ddg, machine);
+    let max_ii = opts.max_ii.unwrap_or_else(|| mii.saturating_mul(4).saturating_add(256));
+    let mut causes = CauseCounts::default();
+
+    let mut partition = partition_loop(ddg, machine, mii);
+    let mut ii = mii;
+    while ii <= max_ii {
+        if ii > mii {
+            partition = refine_existing(ddg, machine, ii, partition);
+        }
+        let base = partition.to_assignment();
+        let partition_coms = base.comm_count(ddg);
+
+        let (assignment, replication) = if opts.mode.replicates() {
+            let mut engine = ReplicationEngine::new(ddg, machine, ii, base);
+            match engine.run() {
+                ReplicationOutcome::Fits => engine.into_parts(),
+                ReplicationOutcome::Stuck { .. } => {
+                    causes.add(IiCause::Bus);
+                    ii += 1;
+                    continue;
+                }
+            }
+        } else if opts.mode == Mode::ValueClone {
+            crate::value_clone::value_clone(ddg, machine, ii, base)
+        } else {
+            let stats = ReplicationStats {
+                initial_coms: partition_coms,
+                final_coms: partition_coms,
+                ..ReplicationStats::default()
+            };
+            (base, stats)
+        };
+
+        let ncoms = assignment.comm_count(ddg);
+        if ncoms > machine.bus_coms_per_ii(ii) {
+            causes.add(IiCause::Bus);
+            ii += 1;
+            continue;
+        }
+
+        let assignment = if opts.mode == Mode::ReplicateSchedLen {
+            extend_for_length(ddg, machine, ii, assignment)
+        } else {
+            assignment
+        };
+
+        let request = ScheduleRequest {
+            ddg,
+            machine,
+            assignment: &assignment,
+            ii,
+            zero_bus_dep_latency: opts.mode == Mode::ZeroBusLatency,
+        };
+        // Swing ordering first (best quality); if its sweeps sandwiched a
+        // node into a window that cannot open, retry with a topological
+        // order, whose windows provably relax as the II grows. When both
+        // fail, the topological failure carries the honest cause — a swing
+        // window-closure may be an ordering artifact, while topological
+        // windows only close under genuine recurrence pressure.
+        let attempt = schedule_with(&request, OrderStrategy::Swing).or_else(|first| {
+            if matches!(
+                first,
+                ScheduleError::Recurrence { .. } | ScheduleError::CopySlots { .. }
+            ) {
+                schedule_with(&request, OrderStrategy::Topological)
+            } else {
+                Err(first)
+            }
+        });
+        match attempt {
+            Ok(sched) => {
+                let stats = LoopStats {
+                    mii,
+                    ii,
+                    length: sched.length(),
+                    stage_count: sched.stage_count(),
+                    partition_coms,
+                    final_coms: sched.copy_count(),
+                    replication,
+                    causes,
+                    ops_per_iter: ddg.node_count() as u32,
+                    instances_per_iter: sched.op_count(),
+                    copies_per_iter: sched.copy_count(),
+                };
+                return Ok(CompiledLoop { schedule: sched, assignment, stats });
+            }
+            Err(e) => {
+                causes.add(e.cause());
+                ii += 1;
+            }
+        }
+    }
+    Err(CompileError::IiLimitExceeded { mii, max_ii, causes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_ddg::OpKind;
+
+    fn machine(spec: &str) -> MachineConfig {
+        MachineConfig::from_spec(spec).unwrap()
+    }
+
+    /// A communication-bound loop: one shared integer address chain feeding
+    /// four fp chains that end in stores.
+    fn comm_bound() -> Ddg {
+        let mut b = Ddg::builder();
+        let iv = b.add_node(OpKind::IntAdd);
+        b.data_dist(iv, iv, 1);
+        let base = b.add_node(OpKind::IntAdd);
+        b.data(iv, base);
+        for _ in 0..4 {
+            let ld = b.add_node(OpKind::Load);
+            b.data(base, ld);
+            let m0 = b.add_node(OpKind::FpMul);
+            let a0 = b.add_node(OpKind::FpAdd);
+            b.data(ld, m0).data(m0, a0);
+            let st = b.add_node(OpKind::Store);
+            b.data(a0, st).data(base, st);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn baseline_and_replication_both_compile() {
+        let ddg = comm_bound();
+        let m = machine("4c1b2l64r");
+        let base = compile_loop(&ddg, &m, &CompileOptions::baseline()).unwrap();
+        let repl = compile_loop(&ddg, &m, &CompileOptions::replicate()).unwrap();
+        base.schedule.verify(&ddg, &m).unwrap();
+        repl.schedule.verify(&ddg, &m).unwrap();
+        assert!(repl.stats.ii <= base.stats.ii, "replication never hurts the II");
+    }
+
+    #[test]
+    fn replication_reduces_communications() {
+        let ddg = comm_bound();
+        let m = machine("4c1b2l64r");
+        let base = compile_loop(&ddg, &m, &CompileOptions::baseline()).unwrap();
+        let repl = compile_loop(&ddg, &m, &CompileOptions::replicate()).unwrap();
+        assert!(
+            repl.stats.final_coms <= base.stats.final_coms,
+            "replication: {} vs baseline: {}",
+            repl.stats.final_coms,
+            base.stats.final_coms
+        );
+    }
+
+    #[test]
+    fn unified_machine_needs_no_replication() {
+        let ddg = comm_bound();
+        let m = MachineConfig::unified(256);
+        let out = compile_loop(&ddg, &m, &CompileOptions::replicate()).unwrap();
+        assert_eq!(out.stats.final_coms, 0);
+        assert_eq!(out.stats.replication.added_instances(), 0);
+        assert_eq!(out.stats.ii, out.stats.mii, "unified machine achieves MII");
+    }
+
+    #[test]
+    fn cause_attribution_blames_the_bus() {
+        let ddg = comm_bound();
+        let m = machine("4c1b2l64r");
+        let base = compile_loop(&ddg, &m, &CompileOptions::baseline()).unwrap();
+        if base.stats.ii > base.stats.mii {
+            assert!(base.stats.causes.bus > 0, "II grew: {:?}", base.stats.causes);
+        }
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let ddg = comm_bound();
+        let m = machine("4c2b2l64r");
+        let out = compile_loop(&ddg, &m, &CompileOptions::replicate()).unwrap();
+        let s = &out.stats;
+        assert_eq!(s.stage_count, s.length.div_ceil(s.ii).max(1));
+        assert!(s.ii >= s.mii);
+        assert_eq!(s.final_coms, s.copies_per_iter);
+        assert_eq!(
+            s.instances_per_iter,
+            s.ops_per_iter + s.replication.added_instances() - s.replication.removed_instances
+        );
+        assert_eq!(s.causes.total(), s.ii - s.mii);
+    }
+
+    #[test]
+    fn ii_cap_is_reported() {
+        // A clustered machine with one bus but II capped below what the
+        // communications need.
+        let ddg = comm_bound();
+        let m = machine("4c1b2l64r");
+        let opts = CompileOptions { mode: Mode::Baseline, max_ii: Some(1) };
+        match compile_loop(&ddg, &m, &opts) {
+            Err(CompileError::IiLimitExceeded { max_ii, .. }) => assert_eq!(max_ii, 1),
+            other => panic!("expected cap error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_bus_mode_is_marked() {
+        let ddg = comm_bound();
+        let m = machine("4c1b2l64r");
+        let out = compile_loop(&ddg, &m, &CompileOptions::zero_bus()).unwrap();
+        assert!(out.schedule.is_zero_bus_relaxed());
+        let normal = compile_loop(&ddg, &m, &CompileOptions::replicate()).unwrap();
+        assert!(out.schedule.length() <= normal.schedule.length());
+    }
+
+    #[test]
+    fn sched_len_mode_compiles_and_verifies() {
+        let ddg = comm_bound();
+        let m = machine("4c2b2l64r");
+        let out = compile_loop(&ddg, &m, &CompileOptions::sched_len()).unwrap();
+        out.schedule.verify(&ddg, &m).unwrap();
+        let normal = compile_loop(&ddg, &m, &CompileOptions::replicate()).unwrap();
+        assert!(out.stats.ii <= normal.stats.ii + 1, "extension must not wreck the II");
+    }
+}

@@ -1,0 +1,346 @@
+//! The replication selection loop (§3.3–§3.4): greedily replicate the
+//! lightest subgraph until the bus is no longer oversubscribed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cvliw_ddg::{Ddg, NodeId};
+use cvliw_machine::MachineConfig;
+use cvliw_sched::Assignment;
+
+use crate::liveness::{dead_instances, InstanceView};
+use crate::plan::{plan_weight, replication_plan, share_counts, ReplicationPlan};
+
+/// Counters describing what a replication pass did to one loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Communications implied by the partition before replication.
+    pub initial_coms: u32,
+    /// Communications remaining afterwards.
+    pub final_coms: u32,
+    /// Instances created, per functional-unit class (`[int, fp, mem]`).
+    pub added_by_class: [u32; 3],
+    /// Distinct subgraph replications committed.
+    pub subgraphs_replicated: u32,
+    /// Instances removed because they became useless (§3.2).
+    pub removed_instances: u32,
+    /// Instances removed, per functional-unit class (`[int, fp, mem]`).
+    pub removed_by_class: [u32; 3],
+}
+
+impl ReplicationStats {
+    /// Total instances created.
+    #[must_use]
+    pub fn added_instances(&self) -> u32 {
+        self.added_by_class.iter().sum()
+    }
+
+    /// Communications removed.
+    #[must_use]
+    pub fn removed_coms(&self) -> u32 {
+        self.initial_coms - self.final_coms
+    }
+
+    /// Net instances added per class (added − removed; negative values are
+    /// clamped to zero for reporting).
+    #[must_use]
+    pub fn net_added_by_class(&self) -> [u32; 3] {
+        let mut net = [0u32; 3];
+        for (slot, (&added, &removed)) in
+            net.iter_mut().zip(self.added_by_class.iter().zip(&self.removed_by_class))
+        {
+            *slot = added.saturating_sub(removed);
+        }
+        net
+    }
+}
+
+/// Result of running the replication engine at one II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicationOutcome {
+    /// Bus bandwidth now fits every remaining communication.
+    Fits,
+    /// Resource constraints stopped replication early; the paper's driver
+    /// reacts by increasing the II and refining the partition.
+    Stuck {
+        /// Communications still exceeding bus bandwidth.
+        remaining_extra: u32,
+    },
+}
+
+/// The iterative replication engine of §3.
+///
+/// Holds the evolving multi-instance [`Assignment`] plus the set of values
+/// still communicated, recomputing every plan and weight after each commit
+/// (the §3.4 updates: subgraphs grow, shrink and change target clusters as
+/// replicas appear).
+#[derive(Clone, Debug)]
+pub struct ReplicationEngine<'a> {
+    ddg: &'a Ddg,
+    machine: &'a MachineConfig,
+    ii: u32,
+    assignment: Assignment,
+    coms: BTreeSet<NodeId>,
+    stats: ReplicationStats,
+}
+
+impl<'a> ReplicationEngine<'a> {
+    /// Creates an engine over a partition-derived assignment at `ii`.
+    #[must_use]
+    pub fn new(ddg: &'a Ddg, machine: &'a MachineConfig, ii: u32, assignment: Assignment) -> Self {
+        let coms: BTreeSet<NodeId> = assignment.communicated(ddg).into_iter().collect();
+        let stats = ReplicationStats {
+            initial_coms: coms.len() as u32,
+            final_coms: coms.len() as u32,
+            ..ReplicationStats::default()
+        };
+        ReplicationEngine { ddg, machine, ii, assignment, coms, stats }
+    }
+
+    /// Communications exceeding bus bandwidth at the current II
+    /// (`extra_coms = nof_coms − bus_coms`, §3).
+    #[must_use]
+    pub fn extra_coms(&self) -> u32 {
+        (self.coms.len() as u32).saturating_sub(self.machine.bus_coms_per_ii(self.ii))
+    }
+
+    /// The current plans of every remaining communication, keyed by value.
+    #[must_use]
+    pub fn plans(&self) -> BTreeMap<NodeId, ReplicationPlan> {
+        self.coms
+            .iter()
+            .map(|&v| (v, replication_plan(self.ddg, &self.assignment, &self.coms, v)))
+            .collect()
+    }
+
+    /// The §3.3 weight of each current plan.
+    #[must_use]
+    pub fn weights(&self) -> BTreeMap<NodeId, f64> {
+        let plans = self.plans();
+        let shares = share_counts(&plans);
+        plans
+            .iter()
+            .map(|(&v, p)| {
+                (v, plan_weight(self.ddg, self.machine, self.ii, &self.assignment, &shares, p))
+            })
+            .collect()
+    }
+
+    /// Runs the greedy loop: while communications exceed bus bandwidth,
+    /// commit the feasible plan with the lowest weight; stop when the bus
+    /// fits or no plan fits the remaining resources (no over-replication,
+    /// §3.3).
+    pub fn run(&mut self) -> ReplicationOutcome {
+        while self.extra_coms() > 0 {
+            let plans = self.plans();
+            let shares = share_counts(&plans);
+            let mut best: Option<(f64, u32, NodeId)> = None;
+            for (&v, plan) in &plans {
+                if !plan.fits(self.ddg, self.machine, self.ii, &self.assignment) {
+                    continue;
+                }
+                let w =
+                    plan_weight(self.ddg, self.machine, self.ii, &self.assignment, &shares, plan);
+                let key = (w, plan.added_instances(), v);
+                // Ties break on fewer added instances, then node id.
+                if best.as_ref().is_none_or(|b| key < *b) {
+                    best = Some(key);
+                }
+            }
+            let Some((_, _, chosen)) = best else {
+                return ReplicationOutcome::Stuck { remaining_extra: self.extra_coms() };
+            };
+            self.commit(&plans[&chosen]);
+        }
+        ReplicationOutcome::Fits
+    }
+
+    /// Applies one plan: create its instances, drop the communication,
+    /// remove instances that became dead, refresh statistics.
+    pub fn commit(&mut self, plan: &ReplicationPlan) {
+        for (&n, &set) in &plan.adds {
+            for c in set.iter() {
+                debug_assert!(!self.assignment.instances(n).contains(c));
+                self.assignment.add_instance(n, c);
+                self.stats.added_by_class[self.ddg.kind(n).class().index()] += 1;
+            }
+        }
+        self.stats.subgraphs_replicated += 1;
+
+        // The communication set can only shrink (side removals may satisfy
+        // other communications too); recompute from scratch.
+        self.coms = self.assignment.communicated(self.ddg).into_iter().collect();
+        debug_assert!(!self.coms.contains(&plan.com));
+
+        // Remove dead instances (§3.2).
+        let view = InstanceView::from_assignment(self.ddg, &self.assignment, &self.coms);
+        for (n, c) in dead_instances(self.ddg, &view) {
+            self.assignment.remove_instance(n, c);
+            self.stats.removed_instances += 1;
+            self.stats.removed_by_class[self.ddg.kind(n).class().index()] += 1;
+        }
+        // Removals can remove further communications; settle.
+        self.coms = self.assignment.communicated(self.ddg).into_iter().collect();
+        self.stats.final_coms = self.coms.len() as u32;
+    }
+
+    /// The values still communicated.
+    #[must_use]
+    pub fn communicated(&self) -> &BTreeSet<NodeId> {
+        &self.coms
+    }
+
+    /// The loop body being replicated.
+    #[must_use]
+    pub fn ddg(&self) -> &Ddg {
+        self.ddg
+    }
+
+    /// The target machine.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        self.machine
+    }
+
+    /// The initiation interval replication is working at.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Read access to the evolving assignment.
+    #[must_use]
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Consumes the engine, returning the final assignment and statistics.
+    #[must_use]
+    pub fn into_parts(self) -> (Assignment, ReplicationStats) {
+        (self.assignment, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_ddg::OpKind;
+
+    fn machine(spec: &str) -> MachineConfig {
+        MachineConfig::from_spec(spec).unwrap()
+    }
+
+    /// Two independent producer → remote-consumer pairs: 2 communications.
+    fn two_coms() -> (Ddg, Assignment) {
+        let mut b = Ddg::builder();
+        let p0 = b.add_node(OpKind::IntAdd);
+        let c0 = b.add_node(OpKind::Store);
+        let p1 = b.add_node(OpKind::IntAdd);
+        let c1 = b.add_node(OpKind::Store);
+        b.data(p0, c0).data(p1, c1);
+        let ddg = b.build().unwrap();
+        (ddg, Assignment::from_partition(&[0, 1, 0, 2]))
+    }
+
+    #[test]
+    fn engine_replicates_exactly_extra_coms() {
+        let (ddg, asg) = two_coms();
+        let m = machine("4c1b2l64r");
+        // II = 2 → bus capacity 1 → extra = 1: exactly one replication.
+        let mut engine = ReplicationEngine::new(&ddg, &m, 2, asg);
+        assert_eq!(engine.extra_coms(), 1);
+        assert_eq!(engine.run(), ReplicationOutcome::Fits);
+        let (_, stats) = engine.into_parts();
+        assert_eq!(stats.removed_coms(), 1, "no over-replication");
+        assert_eq!(stats.final_coms, 1);
+        assert_eq!(stats.added_by_class, [1, 0, 0]);
+        // the dead original producer instance was cleaned up
+        assert_eq!(stats.removed_instances, 1);
+    }
+
+    #[test]
+    fn engine_removes_all_when_bus_has_no_room() {
+        let (ddg, asg) = two_coms();
+        let m = machine("4c1b2l64r");
+        // II = 1 → capacity 0 → both communications must go.
+        let mut engine = ReplicationEngine::new(&ddg, &m, 1, asg);
+        assert_eq!(engine.extra_coms(), 2);
+        assert_eq!(engine.run(), ReplicationOutcome::Fits);
+        assert!(engine.communicated().is_empty());
+    }
+
+    #[test]
+    fn engine_no_ops_when_bus_fits() {
+        let (ddg, asg) = two_coms();
+        let m = machine("4c2b2l64r");
+        // II = 2, 2 buses → capacity 2 → nothing to do.
+        let mut engine = ReplicationEngine::new(&ddg, &m, 2, asg);
+        assert_eq!(engine.extra_coms(), 0);
+        assert_eq!(engine.run(), ReplicationOutcome::Fits);
+        let (asg2, stats) = engine.into_parts();
+        assert_eq!(stats.added_instances(), 0);
+        assert!(asg2.is_singleton());
+    }
+
+    #[test]
+    fn engine_gets_stuck_when_nothing_fits() {
+        // Producer chains too large for the target cluster's capacity:
+        // 2 int ops must move into a cluster whose int unit has capacity
+        // II·1 = 1 and already holds 1 int op.
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::IntAdd);
+        let p = b.add_node(OpKind::IntMul);
+        let local = b.add_node(OpKind::IntAdd); // fills cluster 1's int slot
+        let c = b.add_node(OpKind::Store);
+        b.data(a, p).data(p, c).data(local, c);
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 0, 1, 1]);
+        let m = machine("4c1b2l64r");
+        let mut engine = ReplicationEngine::new(&ddg, &m, 1, asg);
+        assert_eq!(engine.extra_coms(), 1);
+        assert_eq!(engine.run(), ReplicationOutcome::Stuck { remaining_extra: 1 });
+    }
+
+    #[test]
+    fn weights_prefer_cheaper_subgraphs() {
+        // com A needs 1 replica; com B needs a 3-node chain: A is lighter.
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::IntAdd);
+        let ca = b.add_node(OpKind::Store);
+        let x = b.add_node(OpKind::IntAdd);
+        let y = b.add_node(OpKind::IntAdd);
+        let z = b.add_node(OpKind::IntMul);
+        let cz = b.add_node(OpKind::Store);
+        b.data(a, ca).data(x, y).data(y, z).data(z, cz);
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 1, 0, 0, 0, 2]);
+        let m = machine("4c1b2l64r");
+        let engine = ReplicationEngine::new(&ddg, &m, 4, asg);
+        let weights = engine.weights();
+        assert!(weights[&a] < weights[&z], "single-node subgraph is lighter");
+    }
+
+    #[test]
+    fn commit_updates_other_plans() {
+        // After removing one communication, the other plan's subgraph can
+        // grow to include the freshly replicated nodes (Figure 6, S_J).
+        let mut b = Ddg::builder();
+        let e = b.add_node(OpKind::IntAdd);
+        let j = b.add_node(OpKind::IntMul);
+        let ce = b.add_node(OpKind::Store); // remote consumer of e
+        let cj = b.add_node(OpKind::Store); // remote consumer of j
+        b.data(e, j).data(e, ce).data(j, cj);
+        let ddg = b.build().unwrap();
+        // e, j in cluster 0; ce in 1; cj in 2.
+        let asg = Assignment::from_partition(&[0, 0, 1, 2]);
+        let m = machine("4c1b2l64r");
+        let mut engine = ReplicationEngine::new(&ddg, &m, 8, asg);
+        let before = engine.plans();
+        // S_j excludes e while e is communicated.
+        assert_eq!(before[&j].subgraph(), vec![j]);
+        let plan_e = before[&e].clone();
+        engine.commit(&plan_e);
+        let after = engine.plans();
+        // e is no longer a communication: S_j must now pull it.
+        assert_eq!(after[&j].subgraph(), vec![e, j]);
+    }
+}

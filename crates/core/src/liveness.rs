@@ -1,0 +1,301 @@
+//! Instance liveness: which instances are useful, which are removable.
+//!
+//! This generalizes the paper's Figure-5 algorithm for finding removable
+//! instructions. An instance `(node, cluster)` is **live** when its value is
+//! observable: it feeds a live consumer instance in the same cluster, it is
+//! the source its bus copy reads from, it is a store (a side effect), or it
+//! is the home instance of a live-out value (a producer with no consumers
+//! at all). Everything else is dead and can be removed from the schedule,
+//! freeing resources (§3.2).
+//!
+//! The paper's subtle cases fall out naturally:
+//!
+//! * a node whose value is still communicated keeps its source instance —
+//!   its copy is effectively an in-cluster child (so, in Figure 3, `D`
+//!   cannot be removed when `S_E` is replicated, but becomes removable once
+//!   `S_D` itself is);
+//! * instructions that were removable can stop being removable when new
+//!   replicas appear in their cluster, and vice versa (§3.4).
+
+use std::collections::BTreeSet;
+
+use cvliw_ddg::{Ddg, NodeId};
+use cvliw_sched::{Assignment, ClusterSet};
+
+/// A hypothetical instance configuration to run liveness over.
+#[derive(Clone, Debug)]
+pub struct InstanceView {
+    /// Clusters holding an instance of each node (indexed by node).
+    pub instances: Vec<ClusterSet>,
+    /// Values still communicated over a bus.
+    pub coms: BTreeSet<NodeId>,
+    /// Source cluster each communicated value is read from.
+    pub com_source: Vec<u8>,
+}
+
+impl InstanceView {
+    /// Captures the current state of an assignment.
+    #[must_use]
+    pub fn from_assignment(ddg: &Ddg, assignment: &Assignment, coms: &BTreeSet<NodeId>) -> Self {
+        InstanceView {
+            instances: ddg.node_ids().map(|n| assignment.instances(n)).collect(),
+            coms: coms.clone(),
+            com_source: ddg
+                .node_ids()
+                .map(|n| {
+                    let home = assignment.home(n);
+                    if assignment.instances(n).contains(home) {
+                        home
+                    } else {
+                        assignment.instances(n).iter().next().unwrap_or(home)
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Computes the live instances of a configuration.
+///
+/// Anchors (always live): store instances, the source instance of every
+/// communicated value, the instances of any producer without data
+/// consumers (a live-out value), and the instances of every node on a
+/// dependence cycle (recurrence values — accumulators — are observable
+/// after the loop; the paper's Figure-5 rule likewise never removes them).
+/// Liveness then propagates backwards along same-cluster data dependences:
+/// the producer instance a live consumer reads locally is live.
+///
+/// These anchors guarantee every node keeps at least one live instance:
+/// walking any dependence chain downwards ends at a store, a leaf or a
+/// recurrence, all anchored; a node whose live consumer sits in another
+/// cluster is communicated and anchored at its source.
+#[must_use]
+pub fn live_instances(ddg: &Ddg, view: &InstanceView) -> Vec<ClusterSet> {
+    let n = ddg.node_count();
+    let mut live = vec![ClusterSet::empty(); n];
+    let mut worklist: Vec<(NodeId, u8)> = Vec::new();
+
+    let anchor = |node: NodeId, cluster: u8, live: &mut Vec<ClusterSet>,
+                  worklist: &mut Vec<(NodeId, u8)>| {
+        if view.instances[node.index()].contains(cluster)
+            && !live[node.index()].contains(cluster)
+        {
+            live[node.index()].insert(cluster);
+            worklist.push((node, cluster));
+        }
+    };
+
+    let comps = cvliw_ddg::sccs(ddg);
+    let mut on_cycle = vec![false; n];
+    for comp in &comps {
+        let cyclic = comp.len() > 1
+            || ddg.out_edges(comp[0]).any(|e| e.dst == comp[0]);
+        if cyclic {
+            for &node in comp {
+                on_cycle[node.index()] = true;
+            }
+        }
+    }
+
+    for node in ddg.node_ids() {
+        let kind = ddg.kind(node);
+        if kind == cvliw_ddg::OpKind::Store || !ddg.has_data_succs(node) || on_cycle[node.index()]
+        {
+            for c in view.instances[node.index()].iter() {
+                anchor(node, c, &mut live, &mut worklist);
+            }
+        } else if view.coms.contains(&node) {
+            anchor(node, view.com_source[node.index()], &mut live, &mut worklist);
+        }
+    }
+
+    while let Some((node, cluster)) = worklist.pop() {
+        for e in ddg.in_edges(node) {
+            if !e.is_data() {
+                continue;
+            }
+            let p = e.src;
+            if view.instances[p.index()].contains(cluster)
+                && !live[p.index()].contains(cluster)
+            {
+                live[p.index()].insert(cluster);
+                worklist.push((p, cluster));
+            }
+        }
+    }
+    live
+}
+
+/// The dead (removable) instances of a configuration: every existing
+/// instance that [`live_instances`] does not mark live.
+#[must_use]
+pub fn dead_instances(ddg: &Ddg, view: &InstanceView) -> Vec<(NodeId, u8)> {
+    let live = live_instances(ddg, view);
+    let mut dead = Vec::new();
+    for node in ddg.node_ids() {
+        for c in view.instances[node.index()].difference(live[node.index()]).iter() {
+            dead.push((node, c));
+        }
+    }
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_ddg::OpKind;
+
+    fn view(ddg: &Ddg, parts: &[u8], coms: &[u32]) -> InstanceView {
+        let asg = Assignment::from_partition(parts);
+        let coms: BTreeSet<NodeId> = coms.iter().map(|&i| NodeId::new(i)).collect();
+        InstanceView::from_assignment(ddg, &asg, &coms)
+    }
+
+    #[test]
+    fn stores_and_their_feeders_are_live() {
+        let mut b = Ddg::builder();
+        let ld = b.add_node(OpKind::Load);
+        let m = b.add_node(OpKind::FpMul);
+        let st = b.add_node(OpKind::Store);
+        b.data(ld, m).data(m, st);
+        let ddg = b.build().unwrap();
+        let v = view(&ddg, &[0, 0, 0], &[]);
+        assert!(dead_instances(&ddg, &v).is_empty());
+    }
+
+    #[test]
+    fn unconsumed_producer_is_live_out() {
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::FpAdd);
+        let _ = a;
+        let ddg = b.build().unwrap();
+        let v = view(&ddg, &[0], &[]);
+        assert!(dead_instances(&ddg, &v).is_empty());
+    }
+
+    #[test]
+    fn communicated_value_keeps_its_source() {
+        // producer in cluster 0, consumer in cluster 1 → com keeps n0@0.
+        let mut b = Ddg::builder();
+        let p = b.add_node(OpKind::FpAdd);
+        let c = b.add_node(OpKind::FpAdd);
+        b.data(p, c);
+        let ddg = b.build().unwrap();
+        let v = view(&ddg, &[0, 1], &[0]);
+        assert!(dead_instances(&ddg, &v).is_empty());
+    }
+
+    #[test]
+    fn replicated_producer_original_dies_when_unread() {
+        // E-like case: producer replicated next to both consumers; original
+        // instance no longer communicated and has no local readers.
+        let mut b = Ddg::builder();
+        let e = b.add_node(OpKind::FpAdd);
+        let j = b.add_node(OpKind::FpAdd);
+        let g = b.add_node(OpKind::FpAdd);
+        b.data(e, j).data(e, g);
+        let ddg = b.build().unwrap();
+        let asg = {
+            let mut a = Assignment::from_partition(&[2, 1, 3]);
+            a.add_instance(e, 1);
+            a.add_instance(e, 3);
+            a
+        };
+        let v = InstanceView::from_assignment(&ddg, &asg, &BTreeSet::new());
+        let dead = dead_instances(&ddg, &v);
+        assert_eq!(dead, vec![(e, 2)]);
+    }
+
+    #[test]
+    fn communicated_replica_source_survives() {
+        // Same as above but the value still communicated (e.g. a third
+        // consumer elsewhere): the source instance must survive.
+        let mut b = Ddg::builder();
+        let e = b.add_node(OpKind::FpAdd);
+        let j = b.add_node(OpKind::FpAdd);
+        let g = b.add_node(OpKind::FpAdd);
+        let k = b.add_node(OpKind::FpAdd);
+        b.data(e, j).data(e, g).data(e, k);
+        let ddg = b.build().unwrap();
+        let mut asg = Assignment::from_partition(&[2, 1, 3, 0]);
+        asg.add_instance(e, 1);
+        asg.add_instance(e, 3);
+        let coms: BTreeSet<NodeId> = [e].into_iter().collect();
+        let v = InstanceView::from_assignment(&ddg, &asg, &coms);
+        assert!(dead_instances(&ddg, &v).is_empty());
+    }
+
+    #[test]
+    fn dead_chains_cascade() {
+        // a → b → c(store in another cluster via copy is NOT how stores
+        // work; instead): a → b, b communicated… here: a and b in cluster 0,
+        // consumer moved entirely to cluster 1 with replicas a', b' — the
+        // originals both die.
+        let mut b_ = Ddg::builder();
+        let a = b_.add_node(OpKind::IntAdd);
+        let b = b_.add_node(OpKind::IntMul);
+        let c = b_.add_node(OpKind::Store);
+        b_.data(a, b).data(b, c);
+        let ddg = b_.build().unwrap();
+        let mut asg = Assignment::from_partition(&[0, 0, 1]);
+        asg.add_instance(a, 1);
+        asg.add_instance(b, 1);
+        let v = InstanceView::from_assignment(&ddg, &asg, &BTreeSet::new());
+        let dead = dead_instances(&ddg, &v);
+        assert_eq!(dead, vec![(a, 0), (b, 0)]);
+    }
+
+    #[test]
+    fn closed_recurrence_chain_is_anchored() {
+        // An accumulator ring that feeds nothing else (its value is only
+        // observable after the loop): every instance must stay live — the
+        // regression that once removed entire store-less recurrence chains.
+        let mut b = Ddg::builder();
+        let x = b.add_node(OpKind::FpAdd);
+        let y = b.add_node(OpKind::FpMul);
+        let z = b.add_node(OpKind::FpAdd);
+        b.data(x, y).data(y, z).data_dist(z, x, 1);
+        let ddg = b.build().unwrap();
+        let v = view(&ddg, &[0, 0, 0], &[]);
+        assert!(dead_instances(&ddg, &v).is_empty());
+    }
+
+    #[test]
+    fn every_node_keeps_an_instance_after_removal() {
+        // A communicated chain plus a recurrence: removing communications
+        // must never leave a node with zero instances.
+        let mut b = Ddg::builder();
+        let acc = b.add_node(OpKind::FpAdd);
+        b.data_dist(acc, acc, 1);
+        let p = b.add_node(OpKind::IntAdd);
+        let c = b.add_node(OpKind::Store);
+        b.data(p, c).data(p, acc);
+        let ddg = b.build().unwrap();
+        let mut asg = Assignment::from_partition(&[0, 1, 2]);
+        asg.add_instance(p, 2);
+        asg.add_instance(p, 0);
+        let v = InstanceView::from_assignment(&ddg, &asg, &BTreeSet::new());
+        let live = live_instances(&ddg, &v);
+        for n in ddg.node_ids() {
+            assert!(!live[n.index()].is_empty(), "{n} lost all instances");
+        }
+    }
+
+    #[test]
+    fn local_consumer_keeps_partial_chain() {
+        // b has a local consumer in cluster 0, so only nothing dies even
+        // though b is also replicated into cluster 1.
+        let mut b_ = Ddg::builder();
+        let a = b_.add_node(OpKind::IntAdd);
+        let b = b_.add_node(OpKind::IntMul);
+        let local = b_.add_node(OpKind::Store);
+        let remote = b_.add_node(OpKind::Store);
+        b_.data(a, b).data(b, local).data(b, remote);
+        let ddg = b_.build().unwrap();
+        let mut asg = Assignment::from_partition(&[0, 0, 0, 1]);
+        asg.add_instance(a, 1);
+        asg.add_instance(b, 1);
+        let v = InstanceView::from_assignment(&ddg, &asg, &BTreeSet::new());
+        assert!(dead_instances(&ddg, &v).is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! Replication subgraphs (Figure 4) and their weights (§3.3).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cvliw_ddg::{Ddg, NodeId, OpClass};
+use cvliw_machine::MachineConfig;
+use cvliw_sched::{Assignment, ClusterSet};
+
+use crate::liveness::{dead_instances, InstanceView};
+
+/// The replication plan of one communicated value `com`: the minimum set of
+/// instances to create so that every consumer of `com` reads a local value,
+/// plus the instances that would die once the communication disappears.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicationPlan {
+    /// The communicated value this plan removes.
+    pub com: NodeId,
+    /// Clusters that currently need `com`'s value without holding it.
+    pub targets: ClusterSet,
+    /// Instances to create: node → clusters it must be copied into.
+    pub adds: BTreeMap<NodeId, ClusterSet>,
+    /// Existing instances that become dead once this plan is applied
+    /// (anticipated with the Figure-5 analysis).
+    pub removable: Vec<(NodeId, u8)>,
+}
+
+impl ReplicationPlan {
+    /// Union of nodes in the replication subgraph (the paper's `S_com`).
+    #[must_use]
+    pub fn subgraph(&self) -> Vec<NodeId> {
+        self.adds.keys().copied().collect()
+    }
+
+    /// Total number of instances this plan creates.
+    #[must_use]
+    pub fn added_instances(&self) -> u32 {
+        self.adds.values().map(|s| s.len()).sum()
+    }
+
+    /// Instances created per functional-unit class (`[int, fp, mem]`).
+    #[must_use]
+    pub fn added_by_class(&self, ddg: &Ddg) -> [u32; 3] {
+        let mut counts = [0u32; 3];
+        for (&n, &set) in &self.adds {
+            counts[ddg.kind(n).class().index()] += set.len();
+        }
+        counts
+    }
+}
+
+/// Computes the replication plan of `com` (Figure 4, applied per target
+/// cluster): walk upwards from `com`; parents whose values are themselves
+/// communicated are available everywhere and stop the walk, as do parents
+/// that already have an instance in the target cluster.
+#[must_use]
+pub fn replication_plan(
+    ddg: &Ddg,
+    assignment: &Assignment,
+    coms: &BTreeSet<NodeId>,
+    com: NodeId,
+) -> ReplicationPlan {
+    let targets = assignment.missing_consumer_clusters(ddg, com);
+    replication_plan_into(ddg, assignment, coms, com, targets)
+}
+
+/// Like [`replication_plan`] but replicating only into the given clusters.
+///
+/// Used by the §5.1 schedule-length extension, which copies a producer next
+/// to one critical consumer without necessarily removing the communication
+/// (Figure 11 of the paper).
+#[must_use]
+pub fn replication_plan_into(
+    ddg: &Ddg,
+    assignment: &Assignment,
+    coms: &BTreeSet<NodeId>,
+    com: NodeId,
+    targets: ClusterSet,
+) -> ReplicationPlan {
+    let mut adds: BTreeMap<NodeId, ClusterSet> = BTreeMap::new();
+
+    for target in targets.iter() {
+        let mut stack = vec![com];
+        let mut visited: BTreeSet<NodeId> = BTreeSet::new();
+        while let Some(u) = stack.pop() {
+            if !visited.insert(u) {
+                continue;
+            }
+            if assignment.instances(u).contains(target) {
+                continue; // already available locally
+            }
+            adds.entry(u).or_default().insert(target);
+            for p in ddg.data_preds(u) {
+                if coms.contains(&p) && p != com {
+                    continue; // broadcast value: available in every cluster
+                }
+                stack.push(p);
+            }
+        }
+    }
+
+    // Anticipate removable instances: liveness over the hypothetical state,
+    // with the communication set recomputed for the hypothetical instances
+    // (a partial replication may leave `com` communicated).
+    let mut hypothetical = assignment.clone();
+    for (&n, &set) in &adds {
+        for c in set.iter() {
+            hypothetical.add_instance(n, c);
+        }
+    }
+    let hyp_coms: BTreeSet<NodeId> = hypothetical.communicated(ddg).into_iter().collect();
+    let view = InstanceView::from_assignment(ddg, &hypothetical, &hyp_coms);
+    let removable: Vec<(NodeId, u8)> = dead_instances(ddg, &view)
+        .into_iter()
+        // only instances that exist today count as removals
+        .filter(|&(n, c)| assignment.instances(n).contains(c))
+        .collect();
+
+    ReplicationPlan { com, targets, adds, removable }
+}
+
+/// How many plans would reuse each `(node, cluster)` replica: the sharing
+/// divisor of §3.3 ("if a node belongs to more than one subgraph, it can be
+/// replicated once and used more times").
+#[must_use]
+pub fn share_counts(plans: &BTreeMap<NodeId, ReplicationPlan>) -> BTreeMap<(NodeId, u8), u32> {
+    let mut counts: BTreeMap<(NodeId, u8), u32> = BTreeMap::new();
+    for plan in plans.values() {
+        for (&n, &set) in &plan.adds {
+            for c in set.iter() {
+                *counts.entry((n, c)).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// The §3.3 weight of a plan: for every instance to create,
+/// `(usage + extra_ops) / (available · II)` — how loaded the target
+/// cluster's units become — divided by the number of plans sharing that
+/// replica; minus one freed slot `1 / (available · II)` per removable
+/// instance.
+///
+/// This reproduces every worked number of the paper's Figures 3 and 6
+/// (`weight(S_D) = 49/16`, `weight(S_J) = 40/16`, and after replicating
+/// `S_E`: `44/8` and `42/8`); see `DESIGN.md` for the one constant the
+/// paper leaves ambiguous (the removal credit).
+#[must_use]
+pub fn plan_weight(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    assignment: &Assignment,
+    shares: &BTreeMap<(NodeId, u8), u32>,
+    plan: &ReplicationPlan,
+) -> f64 {
+    let usage = assignment.class_usage(ddg, machine.clusters());
+    let extra = plan.added_by_class_per_cluster(ddg, machine.clusters());
+    let mut weight = 0.0;
+    for (&n, &set) in &plan.adds {
+        let class = ddg.kind(n).class();
+        for c in set.iter() {
+            let denom = f64::from(u32::from(machine.fu_count_in(c, class)) * ii);
+            let load = f64::from(
+                usage[c as usize][class.index()] + extra[c as usize][class.index()],
+            );
+            let share = f64::from(*shares.get(&(n, c)).unwrap_or(&1));
+            weight += load / denom / share;
+        }
+    }
+    for &(n, c) in &plan.removable {
+        let class = ddg.kind(n).class();
+        let denom = f64::from(u32::from(machine.fu_count_in(c, class)) * ii);
+        weight -= 1.0 / denom;
+    }
+    weight
+}
+
+impl ReplicationPlan {
+    /// Instances created per cluster and class: `extra_ops(res, c, S)`.
+    #[must_use]
+    pub fn added_by_class_per_cluster(&self, ddg: &Ddg, clusters: u8) -> Vec<[u32; 3]> {
+        let mut counts = vec![[0u32; 3]; clusters as usize];
+        for (&n, &set) in &self.adds {
+            for c in set.iter() {
+                counts[c as usize][ddg.kind(n).class().index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Whether the target clusters can absorb the new instances without
+    /// exceeding `units · II` slots in any class.
+    #[must_use]
+    pub fn fits(
+        &self,
+        ddg: &Ddg,
+        machine: &MachineConfig,
+        ii: u32,
+        assignment: &Assignment,
+    ) -> bool {
+        let usage = assignment.class_usage(ddg, machine.clusters());
+        let extra = self.added_by_class_per_cluster(ddg, machine.clusters());
+        // Removable instances free slots; account for them so tight
+        // machines can still swap computation for communication.
+        let mut freed = vec![[0u32; 3]; machine.clusters() as usize];
+        for &(n, c) in &self.removable {
+            freed[c as usize][ddg.kind(n).class().index()] += 1;
+        }
+        for c in 0..machine.clusters() as usize {
+            for class in OpClass::ALL {
+                let i = class.index();
+                let cap = u32::from(machine.fu_count_in(c as u8, class)) * ii;
+                if usage[c][i] + extra[c][i] > cap + freed[c][i] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_ddg::OpKind;
+
+    /// producer → two remote consumers in different clusters.
+    fn fan() -> (Ddg, Assignment, BTreeSet<NodeId>) {
+        let mut b = Ddg::builder();
+        let p = b.add_node(OpKind::IntAdd);
+        let c1 = b.add_node(OpKind::Store);
+        let c2 = b.add_node(OpKind::Store);
+        b.data(p, c1).data(p, c2);
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 1, 2]);
+        let coms = [NodeId::new(0)].into_iter().collect();
+        (ddg, asg, coms)
+    }
+
+    #[test]
+    fn plan_targets_consumer_clusters() {
+        let (ddg, asg, coms) = fan();
+        let plan = replication_plan(&ddg, &asg, &coms, NodeId::new(0));
+        assert_eq!(plan.targets, [1u8, 2].into_iter().collect());
+        assert_eq!(plan.subgraph(), vec![NodeId::new(0)]);
+        assert_eq!(plan.added_instances(), 2);
+        // original producer instance is unused once both consumers have
+        // replicas: removable.
+        assert_eq!(plan.removable, vec![(NodeId::new(0), 0)]);
+    }
+
+    #[test]
+    fn communicated_parents_stop_the_walk() {
+        // gp (communicated) → p → remote consumer: replicating p must not
+        // pull gp.
+        let mut b = Ddg::builder();
+        let gp = b.add_node(OpKind::IntAdd);
+        let p = b.add_node(OpKind::IntMul);
+        let remote_of_gp = b.add_node(OpKind::Store);
+        let c = b.add_node(OpKind::Store);
+        b.data(gp, p).data(gp, remote_of_gp).data(p, c);
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 0, 2, 1]);
+        let coms: BTreeSet<NodeId> = [gp, p].into_iter().collect();
+        let plan = replication_plan(&ddg, &asg, &coms, p);
+        assert_eq!(plan.subgraph(), vec![p], "gp excluded: its value is broadcast");
+    }
+
+    #[test]
+    fn non_communicated_parents_are_pulled() {
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::IntAdd);
+        let p = b.add_node(OpKind::IntMul);
+        let c = b.add_node(OpKind::Store);
+        b.data(a, p).data(p, c);
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 0, 1]);
+        let coms: BTreeSet<NodeId> = [p].into_iter().collect();
+        let plan = replication_plan(&ddg, &asg, &coms, p);
+        assert_eq!(plan.subgraph(), vec![a, p]);
+        assert_eq!(plan.adds[&a], ClusterSet::single(1));
+    }
+
+    #[test]
+    fn existing_instances_shrink_the_plan() {
+        // parent already has a replica in the target cluster.
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::IntAdd);
+        let p = b.add_node(OpKind::IntMul);
+        let c = b.add_node(OpKind::Store);
+        b.data(a, p).data(p, c);
+        let ddg = b.build().unwrap();
+        let mut asg = Assignment::from_partition(&[0, 0, 1]);
+        asg.add_instance(a, 1);
+        let coms: BTreeSet<NodeId> = [p].into_iter().collect();
+        let plan = replication_plan(&ddg, &asg, &coms, p);
+        assert_eq!(plan.subgraph(), vec![p], "a already lives in cluster 1");
+    }
+
+    #[test]
+    fn share_counts_count_overlapping_plans() {
+        // Two communicated values sharing parent a toward the same cluster.
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::IntAdd);
+        let p = b.add_node(OpKind::IntMul);
+        let q = b.add_node(OpKind::FpMul);
+        let cp = b.add_node(OpKind::Store);
+        let cq = b.add_node(OpKind::Store);
+        b.data(a, p).data(a, q).data(p, cp).data(q, cq);
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 0, 0, 1, 1]);
+        let coms: BTreeSet<NodeId> = [p, q].into_iter().collect();
+        let mut plans = BTreeMap::new();
+        for &v in &[p, q] {
+            plans.insert(v, replication_plan(&ddg, &asg, &coms, v));
+        }
+        let shares = share_counts(&plans);
+        assert_eq!(shares[&(a, 1)], 2);
+        assert_eq!(shares[&(p, 1)], 1);
+    }
+
+    #[test]
+    fn fits_respects_capacity() {
+        let (ddg, asg, coms) = fan();
+        let plan = replication_plan(&ddg, &asg, &coms, NodeId::new(0));
+        let m = MachineConfig::from_spec("4c1b2l64r").unwrap();
+        assert!(plan.fits(&ddg, &m, 1, &asg));
+        // An II of 1 with stores occupying the single mem port of clusters
+        // 1 and 2 leaves no int capacity issue — but shrink the machine by
+        // inflating usage: replicate onto a machine where the int unit is
+        // already full at II=1 is impossible to express here, so test via
+        // II: plan adds 1 int op to clusters 1 and 2, capacity int = 1·II.
+        // With existing usage 0 int there, II=1 still fits.
+        let m1 = MachineConfig::from_spec("4c1b2l64r").unwrap();
+        assert!(plan.fits(&ddg, &m1, 1, &asg));
+    }
+}

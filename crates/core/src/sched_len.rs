@@ -1,0 +1,216 @@
+//! §5.1: replicate to reduce the schedule length.
+//!
+//! For loops with small trip counts the prolog/epilog dominates execution
+//! time, so shaving the schedule length matters more than the II. The
+//! extension finds communication edges on the critical path of one
+//! iteration and copies the producer's subgraph into just the consumer's
+//! cluster (Figure 11) — without necessarily removing the communication —
+//! whenever that shortens the estimated schedule and fits the resources.
+
+use std::collections::BTreeSet;
+
+use cvliw_ddg::{time_bounds, Ddg, NodeId};
+use cvliw_machine::MachineConfig;
+use cvliw_sched::{Assignment, ClusterSet};
+
+use crate::plan::replication_plan_into;
+
+/// Upper bound on extension rounds; each round commits one replication.
+const MAX_ROUNDS: usize = 8;
+
+/// Estimated critical-path length of one iteration (issue span) with bus
+/// latency charged on cross-cluster data edges; `None` below RecMII.
+fn estimated_length(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    assignment: &Assignment,
+) -> Option<i64> {
+    let lat = |e: &cvliw_ddg::Edge| {
+        let base = machine.latency(ddg.kind(e.src));
+        if e.is_data()
+            && !assignment.instances(e.dst).difference(assignment.instances(e.src)).is_empty()
+        {
+            base + machine.bus_latency()
+        } else {
+            base
+        }
+    };
+    time_bounds(ddg, ii, lat).map(|tb| tb.length)
+}
+
+/// Applies the §5.1 extension: repeatedly pick a zero-slack cross-cluster
+/// data edge, replicate the producer into that one consumer cluster, and
+/// keep the change only if the estimated schedule length shrinks.
+#[must_use]
+pub fn extend_for_length(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    mut assignment: Assignment,
+) -> Assignment {
+    for _ in 0..MAX_ROUNDS {
+        let Some(current_len) = estimated_length(ddg, machine, ii, &assignment) else {
+            return assignment;
+        };
+        let coms: BTreeSet<NodeId> = assignment.communicated(ddg).into_iter().collect();
+
+        // Zero-slack cross edges: recompute bounds with the same latencies.
+        // Latencies and slacks are materialized up front so the assignment
+        // can be replaced while iterating.
+        let edge_lat: Vec<u32> = {
+            let lat = |e: &cvliw_ddg::Edge| {
+                let base = machine.latency(ddg.kind(e.src));
+                if e.is_data()
+                    && !assignment
+                        .instances(e.dst)
+                        .difference(assignment.instances(e.src))
+                        .is_empty()
+                {
+                    base + machine.bus_latency()
+                } else {
+                    base
+                }
+            };
+            ddg.edges().map(&lat).collect()
+        };
+        let indexed: std::collections::HashMap<(cvliw_ddg::NodeId, cvliw_ddg::NodeId, u32), u32> =
+            ddg.edges()
+                .zip(edge_lat.iter())
+                .map(|(e, &l)| ((e.src, e.dst, e.distance), l))
+                .collect();
+        let Some(tb) = time_bounds(ddg, ii, move |e| indexed[&(e.src, e.dst, e.distance)])
+        else {
+            return assignment;
+        };
+
+        let edges: Vec<cvliw_ddg::Edge> = ddg.edges().copied().collect();
+        let mut committed = false;
+        for (idx, e) in edges.iter().enumerate() {
+            if !e.is_data() {
+                continue;
+            }
+            let missing =
+                assignment.instances(e.dst).difference(assignment.instances(e.src));
+            if missing.is_empty() {
+                continue;
+            }
+            let slack = tb.alap[e.dst.index()]
+                - tb.asap[e.src.index()]
+                - i64::from(edge_lat[idx])
+                + i64::from(ii) * i64::from(e.distance);
+            if slack != 0 {
+                continue; // not on the critical path
+            }
+            // Replicate the producer into each consumer cluster that needs
+            // it, one cluster at a time (Figure 11 replicates A into
+            // cluster 1 only).
+            for target in missing.iter() {
+                let plan = replication_plan_into(
+                    ddg,
+                    &assignment,
+                    &coms,
+                    e.src,
+                    ClusterSet::single(target),
+                );
+                if !plan.fits(ddg, machine, ii, &assignment) {
+                    continue;
+                }
+                let mut candidate = assignment.clone();
+                for (&n, &set) in &plan.adds {
+                    for c in set.iter() {
+                        candidate.add_instance(n, c);
+                    }
+                }
+                // Bus bandwidth must keep fitting (replication can only
+                // reduce the communication count, but be defensive).
+                let ncoms = candidate.comm_count(ddg);
+                if ncoms > machine.bus_coms_per_ii(ii) {
+                    continue;
+                }
+                match estimated_length(ddg, machine, ii, &candidate) {
+                    Some(new_len) if new_len < current_len => {
+                        assignment = candidate;
+                        committed = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if committed {
+                break;
+            }
+        }
+        if !committed {
+            break;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_ddg::OpKind;
+
+    /// The Figure-11 situation: A feeds B (local), D (cluster 1) and F
+    /// (cluster 3); the A→D edge is on the critical path.
+    fn fig11() -> (Ddg, Assignment) {
+        let mut bld = Ddg::builder();
+        let a = bld.add_labeled(OpKind::IntAdd, "A");
+        let b = bld.add_labeled(OpKind::IntAdd, "B");
+        let c = bld.add_labeled(OpKind::IntAdd, "C");
+        let d = bld.add_labeled(OpKind::IntAdd, "D");
+        let e = bld.add_labeled(OpKind::IntAdd, "E");
+        let f = bld.add_labeled(OpKind::IntAdd, "F");
+        bld.data(a, b).data(b, c); // cluster 2 chain
+        bld.data(a, d).data(d, e); // cluster 1 chain (critical: depth 3)
+        bld.data(a, f); // cluster 3 single consumer
+        let ddg = bld.build().unwrap();
+        // clusters: A,B,C → 1 (index 1); D,E → 0; F → 2.
+        let asg = Assignment::from_partition(&[1, 1, 1, 0, 0, 2]);
+        (ddg, asg)
+    }
+
+    fn machine() -> MachineConfig {
+        cvliw_machine::MachineConfig::new(
+            4,
+            2,
+            1,
+            64,
+            cvliw_machine::FuCounts { int: 4, fp: 4, mem: 4 },
+            cvliw_machine::LatencyTable::UNIT,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn replicates_onto_the_critical_path_only() {
+        let (ddg, asg) = fig11();
+        let m = machine();
+        let ii = 3;
+        let before = estimated_length(&ddg, &m, ii, &asg).unwrap();
+        let extended = extend_for_length(&ddg, &m, ii, asg);
+        let after = estimated_length(&ddg, &m, ii, &extended).unwrap();
+        assert!(after < before, "length must shrink: {after} vs {before}");
+        // A was copied into cluster 0 (the critical consumer D's cluster)…
+        let a = ddg.find_by_label("A").unwrap();
+        assert!(extended.instances(a).contains(0));
+        // …but the communication of A itself may remain for F's cluster.
+        assert!(extended.instances(a).len() >= 2);
+    }
+
+    #[test]
+    fn no_op_when_nothing_is_critical_across_clusters() {
+        // Everything in one cluster: nothing to do.
+        let mut bld = Ddg::builder();
+        let a = bld.add_node(OpKind::IntAdd);
+        let b = bld.add_node(OpKind::IntAdd);
+        bld.data(a, b);
+        let ddg = bld.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 0]);
+        let m = machine();
+        let out = extend_for_length(&ddg, &m, 2, asg.clone());
+        assert_eq!(out, asg);
+    }
+}

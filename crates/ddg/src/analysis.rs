@@ -1,0 +1,404 @@
+//! Graph analyses: topological order, strongly connected components,
+//! recurrence-aware ASAP/ALAP bounds, depth and height.
+
+use crate::graph::{Ddg, Edge, NodeId};
+
+/// Topological order of the distance-0 (same-iteration) subgraph.
+///
+/// A valid [`Ddg`] always has one; ties are broken by node index so the
+/// result is deterministic.
+#[must_use]
+pub fn topo_order(ddg: &Ddg) -> Vec<NodeId> {
+    let n = ddg.node_count();
+    let mut indeg = vec![0usize; n];
+    for e in ddg.edges() {
+        if e.distance == 0 {
+            indeg[e.dst.index()] += 1;
+        }
+    }
+    // A binary heap would give O(E log V); loops are small, keep it simple
+    // with a sorted ready list for determinism.
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    ready.sort_unstable_by(|a, b| b.cmp(a));
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = ready.pop() {
+        let id = NodeId::new(i as u32);
+        order.push(id);
+        let mut newly_ready = Vec::new();
+        for e in ddg.out_edges(id) {
+            if e.distance == 0 {
+                let d = e.dst.index();
+                indeg[d] -= 1;
+                if indeg[d] == 0 {
+                    newly_ready.push(d);
+                }
+            }
+        }
+        newly_ready.sort_unstable();
+        for d in newly_ready.into_iter().rev() {
+            ready.push(d);
+        }
+        ready.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    debug_assert_eq!(order.len(), n, "validated DDGs are acyclic at distance 0");
+    order
+}
+
+/// Strongly connected components over **all** edges (including loop-carried
+/// ones), in reverse-topological discovery order of Tarjan's algorithm.
+///
+/// Nodes inside each component are sorted by index. Trivial components
+/// (single node without a self-loop) are included, so the result partitions
+/// the node set.
+#[must_use]
+pub fn sccs(ddg: &Ddg) -> Vec<Vec<NodeId>> {
+    // Iterative Tarjan to avoid recursion limits on large loop bodies.
+    let n = ddg.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut result: Vec<Vec<NodeId>> = Vec::new();
+    let mut counter = 0usize;
+
+    // Explicit DFS state: (node, iterator position over succs).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = counter;
+        low[root] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            let succs: Vec<usize> = ddg
+                .out_edges(NodeId::new(v as u32))
+                .map(|e| e.dst.index())
+                .collect();
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    index[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc stack");
+                        on_stack[w] = false;
+                        comp.push(NodeId::new(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    result.push(comp);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Maps each node to the index of its component in [`sccs`]' output.
+#[must_use]
+pub fn scc_of_node(ddg: &Ddg) -> Vec<usize> {
+    let comps = sccs(ddg);
+    let mut of = vec![0usize; ddg.node_count()];
+    for (i, comp) in comps.iter().enumerate() {
+        for &n in comp {
+            of[n.index()] = i;
+        }
+    }
+    of
+}
+
+/// ASAP/ALAP issue-time bounds of every node for a candidate initiation
+/// interval, produced by [`time_bounds`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimeBounds {
+    /// Earliest legal issue cycle per node.
+    pub asap: Vec<i64>,
+    /// Latest issue cycle per node such that the critical path is not
+    /// lengthened beyond [`TimeBounds::length`].
+    pub alap: Vec<i64>,
+    /// `max(asap)`: the span of issue cycles of one iteration.
+    pub length: i64,
+}
+
+impl TimeBounds {
+    /// Scheduling freedom of a node: `alap - asap`.
+    #[must_use]
+    pub fn mobility(&self, n: NodeId) -> i64 {
+        self.alap[n.index()] - self.asap[n.index()]
+    }
+}
+
+/// Computes recurrence-aware ASAP and ALAP issue times for initiation
+/// interval `ii`, with per-edge latencies given by `lat`.
+///
+/// Every dependence `src → dst` (distance `d`) imposes
+/// `t(dst) ≥ t(src) + lat - ii·d`. Returns `None` if the constraints are
+/// unsatisfiable, i.e. some recurrence has positive cycle weight at this
+/// `ii` (meaning `ii < RecMII`).
+#[must_use]
+pub fn time_bounds(ddg: &Ddg, ii: u32, lat: impl Fn(&Edge) -> u32) -> Option<TimeBounds> {
+    let n = ddg.node_count();
+    let weight =
+        |e: &Edge| -> i64 { i64::from(lat(e)) - i64::from(ii) * i64::from(e.distance) };
+
+    // Longest-path fixpoint (Bellman-Ford from a virtual source at 0).
+    let mut asap = vec![0i64; n];
+    let mut changed = true;
+    let mut passes = 0usize;
+    while changed {
+        changed = false;
+        passes += 1;
+        if passes > n + 1 {
+            return None; // positive cycle: ii below RecMII
+        }
+        for e in ddg.edges() {
+            let t = asap[e.src.index()] + weight(e);
+            if t > asap[e.dst.index()] {
+                asap[e.dst.index()] = t;
+                changed = true;
+            }
+        }
+    }
+
+    let length = asap.iter().copied().max().unwrap_or(0);
+
+    let mut alap = vec![length; n];
+    let mut changed = true;
+    let mut passes = 0usize;
+    while changed {
+        changed = false;
+        passes += 1;
+        if passes > n + 1 {
+            return None;
+        }
+        for e in ddg.edges() {
+            let t = alap[e.dst.index()] - weight(e);
+            if t < alap[e.src.index()] {
+                alap[e.src.index()] = t;
+                changed = true;
+            }
+        }
+    }
+
+    Some(TimeBounds { asap, alap, length })
+}
+
+/// Longest-path **depth** (from sources) and **height** (to sinks) of every
+/// node over the distance-0 subgraph, as used by the swing modulo
+/// scheduling ordering.
+///
+/// `depth(n)` is the length of the longest latency-weighted path from any
+/// source ending at `n` (sources have depth 0); `height(n)` the longest
+/// path from `n` to any sink.
+#[must_use]
+pub fn depth_height(ddg: &Ddg, lat: impl Fn(&Edge) -> u32) -> (Vec<i64>, Vec<i64>) {
+    let order = topo_order(ddg);
+    let n = ddg.node_count();
+    let mut depth = vec![0i64; n];
+    for &v in &order {
+        for e in ddg.out_edges(v) {
+            if e.distance == 0 {
+                let t = depth[v.index()] + i64::from(lat(e));
+                if t > depth[e.dst.index()] {
+                    depth[e.dst.index()] = t;
+                }
+            }
+        }
+    }
+    let mut height = vec![0i64; n];
+    for &v in order.iter().rev() {
+        for e in ddg.out_edges(v) {
+            if e.distance == 0 {
+                let t = height[e.dst.index()] + i64::from(lat(e));
+                if t > height[v.index()] {
+                    height[v.index()] = t;
+                }
+            }
+        }
+    }
+    (depth, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn unit_lat(_: &Edge) -> u32 {
+        1
+    }
+
+    /// a → b → c with a loop-carried edge c → a (distance 1).
+    fn ring() -> Ddg {
+        let mut b = Ddg::builder();
+        let x = b.add_node(OpKind::FpAdd);
+        let y = b.add_node(OpKind::FpAdd);
+        let z = b.add_node(OpKind::FpAdd);
+        b.data(x, y).data(y, z).data_dist(z, x, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topo_respects_edges() {
+        let ddg = ring();
+        let order = topo_order(&ddg);
+        assert_eq!(order.len(), 3);
+        let pos: Vec<usize> =
+            ddg.node_ids().map(|n| order.iter().position(|&o| o == n).unwrap()).collect();
+        for e in ddg.edges() {
+            if e.distance == 0 {
+                assert!(pos[e.src.index()] < pos[e.dst.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn topo_is_deterministic_and_index_biased() {
+        let mut b = Ddg::builder();
+        let n0 = b.add_node(OpKind::IntAdd);
+        let n1 = b.add_node(OpKind::IntAdd);
+        let n2 = b.add_node(OpKind::IntAdd);
+        let _ = (n0, n1, n2);
+        let ddg = b.build().unwrap();
+        assert_eq!(
+            topo_order(&ddg),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
+    }
+
+    #[test]
+    fn ring_is_one_scc() {
+        let ddg = ring();
+        let comps = sccs(&ddg);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 3);
+    }
+
+    #[test]
+    fn forest_has_trivial_sccs() {
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::Load);
+        let c = b.add_node(OpKind::FpMul);
+        b.data(a, c);
+        let ddg = b.build().unwrap();
+        let comps = sccs(&ddg);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn two_sccs_are_separated() {
+        let mut b = Ddg::builder();
+        let a0 = b.add_node(OpKind::FpAdd);
+        let a1 = b.add_node(OpKind::FpAdd);
+        let c0 = b.add_node(OpKind::FpAdd);
+        let c1 = b.add_node(OpKind::FpAdd);
+        b.data(a0, a1).data_dist(a1, a0, 1); // scc A
+        b.data(c0, c1).data_dist(c1, c0, 2); // scc B
+        b.data(a1, c0); // bridge
+        let ddg = b.build().unwrap();
+        let comps = sccs(&ddg);
+        assert_eq!(comps.len(), 2);
+        let of = scc_of_node(&ddg);
+        assert_eq!(of[a0.index()], of[a1.index()]);
+        assert_eq!(of[c0.index()], of[c1.index()]);
+        assert_ne!(of[a0.index()], of[c0.index()]);
+    }
+
+    #[test]
+    fn time_bounds_on_chain() {
+        let mut b = Ddg::builder();
+        let x = b.add_node(OpKind::FpAdd);
+        let y = b.add_node(OpKind::FpAdd);
+        let z = b.add_node(OpKind::FpAdd);
+        b.data(x, y).data(y, z);
+        let ddg = b.build().unwrap();
+        let tb = time_bounds(&ddg, 1, |_| 3).unwrap();
+        assert_eq!(tb.asap, vec![0, 3, 6]);
+        assert_eq!(tb.alap, vec![0, 3, 6]);
+        assert_eq!(tb.length, 6);
+        assert_eq!(tb.mobility(y), 0);
+    }
+
+    #[test]
+    fn time_bounds_mobility_on_diamond() {
+        // a → (b long | c short) → d : c has slack.
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::Load);
+        let long = b.add_node(OpKind::FpDiv);
+        let short = b.add_node(OpKind::FpAdd);
+        let d = b.add_node(OpKind::Store);
+        b.data(a, long).data(a, short).data(long, d).data(short, d);
+        let ddg = b.build().unwrap();
+        let lat = |e: &Edge| match ddg.kind(e.src) {
+            OpKind::FpDiv => 18,
+            OpKind::FpAdd => 3,
+            _ => 2,
+        };
+        let tb = time_bounds(&ddg, 1, lat).unwrap();
+        assert_eq!(tb.mobility(long), 0);
+        assert_eq!(tb.mobility(short), 15); // 18 - 3
+        assert_eq!(tb.mobility(a), 0);
+    }
+
+    #[test]
+    fn time_bounds_infeasible_below_recmii() {
+        let ddg = ring(); // cycle latency 3, distance 1 → RecMII = 3
+        assert!(time_bounds(&ddg, 2, unit_lat).is_none());
+        let tb = time_bounds(&ddg, 3, unit_lat).unwrap();
+        // At exactly RecMII the recurrence is tight.
+        assert!(tb.asap.iter().all(|&t| t >= 0));
+    }
+
+    #[test]
+    fn loop_carried_edges_relax_asap() {
+        // b depends on a from the previous iteration: at large ii the edge
+        // imposes nothing.
+        let mut bld = Ddg::builder();
+        let a = bld.add_node(OpKind::FpAdd);
+        let b = bld.add_node(OpKind::FpAdd);
+        bld.data_dist(a, b, 1);
+        let ddg = bld.build().unwrap();
+        let tb = time_bounds(&ddg, 10, |_| 3).unwrap();
+        assert_eq!(tb.asap[b.index()], 0);
+        let tb = time_bounds(&ddg, 1, |_| 3).unwrap();
+        assert_eq!(tb.asap[b.index()], 2); // 3 - 1
+    }
+
+    #[test]
+    fn depth_height_chain() {
+        let mut b = Ddg::builder();
+        let x = b.add_node(OpKind::FpAdd);
+        let y = b.add_node(OpKind::FpAdd);
+        let z = b.add_node(OpKind::FpAdd);
+        b.data(x, y).data(y, z).data_dist(z, x, 1);
+        let ddg = b.build().unwrap();
+        let (depth, height) = depth_height(&ddg, |_| 3);
+        // loop-carried edge is ignored for depth/height
+        assert_eq!(depth, vec![0, 3, 6]);
+        assert_eq!(height, vec![6, 3, 0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for DDG construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors detected while validating a data-dependence graph.
+///
+/// Returned by [`crate::DdgBuilder::build`]; a successfully built
+/// [`crate::Ddg`] upholds all of the invariants below for its whole life.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DdgError {
+    /// An edge references a node id that was never created by the builder.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A [`crate::DepKind::Data`] edge starts at a store, which produces no
+    /// register value.
+    StoreHasDataSuccessor {
+        /// The store node.
+        store: NodeId,
+        /// The would-be consumer.
+        consumer: NodeId,
+    },
+    /// An edge with iteration distance 0 forms a self-loop.
+    ZeroDistanceSelfLoop {
+        /// The node with the self-loop.
+        node: NodeId,
+    },
+    /// The distance-0 subgraph contains a cycle, so the loop body has no
+    /// topological order and cannot be scheduled.
+    ZeroDistanceCycle {
+        /// One node that participates in the cycle.
+        witness: NodeId,
+    },
+    /// The graph has no nodes; an empty loop body cannot be scheduled.
+    Empty,
+}
+
+impl fmt::Display for DdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdgError::NodeOutOfRange { node, node_count } => write!(
+                f,
+                "edge references node {node} but the graph has {node_count} nodes"
+            ),
+            DdgError::StoreHasDataSuccessor { store, consumer } => write!(
+                f,
+                "store {store} cannot feed a data dependence to {consumer}: stores produce no register value"
+            ),
+            DdgError::ZeroDistanceSelfLoop { node } => {
+                write!(f, "node {node} has a dependence on itself within the same iteration")
+            }
+            DdgError::ZeroDistanceCycle { witness } => write!(
+                f,
+                "same-iteration dependences form a cycle through {witness}"
+            ),
+            DdgError::Empty => f.write_str("loop body has no operations"),
+        }
+    }
+}
+
+impl Error for DdgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            DdgError::NodeOutOfRange { node: NodeId::new(7), node_count: 3 },
+            DdgError::StoreHasDataSuccessor { store: NodeId::new(0), consumer: NodeId::new(1) },
+            DdgError::ZeroDistanceSelfLoop { node: NodeId::new(2) },
+            DdgError::ZeroDistanceCycle { witness: NodeId::new(4) },
+            DdgError::Empty,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

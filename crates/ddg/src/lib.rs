@@ -1,0 +1,67 @@
+//! Loop data-dependence graphs for clustered-VLIW modulo scheduling.
+//!
+//! This crate is the bottom layer of the `cvliw` workspace, a reproduction of
+//! *"Instruction Replication for Clustered Microarchitectures"* (Aletà,
+//! Codina, González, Kaeli — MICRO-36, 2003). It models the body of an
+//! innermost loop as a **data-dependence graph** (DDG):
+//!
+//! * nodes are operations ([`OpKind`]) executed once per loop iteration,
+//! * edges are dependences ([`Edge`]) carrying an **iteration distance**
+//!   (`0` = same iteration, `k > 0` = value produced `k` iterations earlier),
+//! * register dependences ([`DepKind::Data`]) move values between clusters
+//!   and are the communications the replication pass tries to remove, while
+//!   memory-ordering dependences ([`DepKind::Mem`]) constrain scheduling but
+//!   never require inter-cluster traffic (the paper's memory hierarchy is
+//!   centralized).
+//!
+//! On top of the graph the crate provides the analyses every scheduler layer
+//! needs: topological order of the acyclic (distance-0) subgraph, strongly
+//! connected components over loop-carried edges, recurrence-constrained
+//! ASAP/ALAP issue-time bounds, and the recurrence-induced minimum initiation
+//! interval (RecMII).
+//!
+//! # Example
+//!
+//! Build the three-instruction loop `a[i] = a[i-1] * 2.0` and compute its
+//! RecMII for unit latencies:
+//!
+//! ```
+//! use cvliw_ddg::{Ddg, DepKind, OpKind, rec_mii};
+//!
+//! let mut b = Ddg::builder();
+//! let load = b.add_node(OpKind::Load);
+//! let mul = b.add_node(OpKind::FpMul);
+//! let store = b.add_node(OpKind::Store);
+//! b.data(load, mul).data(mul, store);
+//! // the store feeds next iteration's load: loop-carried memory dependence
+//! b.edge(store, load, DepKind::Mem, 1);
+//! let ddg = b.build()?;
+//!
+//! assert_eq!(ddg.node_count(), 3);
+//! // 2 (load) + 6 (fp mul) + 2 (store) cycles of latency around a
+//! // distance-1 cycle force II >= 10 under Table-1 latencies.
+//! let lat = |e: &cvliw_ddg::Edge| match ddg.kind(e.src) {
+//!     OpKind::Load | OpKind::Store => 2,
+//!     OpKind::FpMul => 6,
+//!     _ => 1,
+//! };
+//! assert_eq!(rec_mii(&ddg, lat), 10);
+//! # Ok::<(), cvliw_ddg::DdgError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod dot;
+mod error;
+mod graph;
+mod op;
+mod recurrence;
+
+pub use analysis::{depth_height, scc_of_node, sccs, time_bounds, topo_order, TimeBounds};
+pub use dot::to_dot;
+pub use error::DdgError;
+pub use graph::{Ddg, DdgBuilder, DepKind, Edge, Node, NodeId};
+pub use op::{LatencyClass, OpClass, OpKind, ParseOpKindError};
+pub use recurrence::{is_feasible_ii, rec_mii};

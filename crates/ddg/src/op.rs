@@ -1,0 +1,297 @@
+//! Operation kinds and functional-unit classes.
+
+use std::fmt;
+
+/// The functional-unit class an operation executes on.
+///
+/// The machine of the paper (Table 1) has three kinds of units per cluster:
+/// integer units, floating-point units and memory ports. Inter-cluster
+/// `copy` operations execute on the register buses and therefore have no
+/// [`OpClass`]; they are introduced by the scheduler, not by the DDG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Integer ALU/multiplier/divider operations.
+    Int,
+    /// Floating-point operations.
+    Fp,
+    /// Memory ports (loads and stores).
+    Mem,
+}
+
+impl OpClass {
+    /// All classes, in [`OpClass::index`] order.
+    pub const ALL: [OpClass; 3] = [OpClass::Int, OpClass::Fp, OpClass::Mem];
+
+    /// Dense index for per-class tables (`Int = 0`, `Fp = 1`, `Mem = 2`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Int => 0,
+            OpClass::Fp => 1,
+            OpClass::Mem => 2,
+        }
+    }
+
+    /// Lower-case name used in reports (`"int"`, `"fp"`, `"mem"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Int => "int",
+            OpClass::Fp => "fp",
+            OpClass::Mem => "mem",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Latency class of an operation, matching the rows of the paper's Table 1.
+///
+/// The concrete cycle counts live in `cvliw-machine`'s latency table; the
+/// DDG layer only knows which row an operation belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LatencyClass {
+    /// `MEM` row: loads and stores.
+    Mem,
+    /// `ARITH` row: simple ALU operations.
+    Arith,
+    /// `MUL/ABS` row: multiplies and absolute values.
+    MulAbs,
+    /// `DIV/SQRT` row: divides and square roots.
+    DivSqrt,
+}
+
+/// The operation executed by a DDG node.
+///
+/// The set mirrors what the paper's VLIW machine distinguishes: integer and
+/// floating-point operations in the three latency rows of Table 1, plus
+/// loads and stores on the shared memory ports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Integer add/sub/logic (ARITH row).
+    IntAdd,
+    /// Integer multiply (MUL/ABS row).
+    IntMul,
+    /// Integer divide (DIV/SQRT row).
+    IntDiv,
+    /// Floating-point add/sub/compare (ARITH row).
+    FpAdd,
+    /// Floating-point multiply (MUL/ABS row).
+    FpMul,
+    /// Floating-point absolute value (MUL/ABS row).
+    FpAbs,
+    /// Floating-point divide (DIV/SQRT row).
+    FpDiv,
+    /// Floating-point square root (DIV/SQRT row).
+    FpSqrt,
+    /// Memory load (MEM row). Produces a value.
+    Load,
+    /// Memory store (MEM row). Produces **no** register value, is never
+    /// replicated (the cache is centralized, §3.1 of the paper).
+    Store,
+}
+
+impl OpKind {
+    /// Every operation kind.
+    pub const ALL: [OpKind; 10] = [
+        OpKind::IntAdd,
+        OpKind::IntMul,
+        OpKind::IntDiv,
+        OpKind::FpAdd,
+        OpKind::FpMul,
+        OpKind::FpAbs,
+        OpKind::FpDiv,
+        OpKind::FpSqrt,
+        OpKind::Load,
+        OpKind::Store,
+    ];
+
+    /// The functional-unit class this operation issues on.
+    #[must_use]
+    pub fn class(self) -> OpClass {
+        match self {
+            OpKind::IntAdd | OpKind::IntMul | OpKind::IntDiv => OpClass::Int,
+            OpKind::FpAdd | OpKind::FpMul | OpKind::FpAbs | OpKind::FpDiv | OpKind::FpSqrt => {
+                OpClass::Fp
+            }
+            OpKind::Load | OpKind::Store => OpClass::Mem,
+        }
+    }
+
+    /// The Table-1 latency row of this operation.
+    #[must_use]
+    pub fn latency_class(self) -> LatencyClass {
+        match self {
+            OpKind::Load | OpKind::Store => LatencyClass::Mem,
+            OpKind::IntAdd | OpKind::FpAdd => LatencyClass::Arith,
+            OpKind::IntMul | OpKind::FpMul | OpKind::FpAbs => LatencyClass::MulAbs,
+            OpKind::IntDiv | OpKind::FpDiv | OpKind::FpSqrt => LatencyClass::DivSqrt,
+        }
+    }
+
+    /// Whether the operation defines a register value.
+    ///
+    /// Only [`OpKind::Store`] does not; every other operation may be the
+    /// source of a [`crate::DepKind::Data`] edge.
+    #[must_use]
+    pub fn produces_value(self) -> bool {
+        self != OpKind::Store
+    }
+
+    /// Whether this is a floating-point operation.
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        self.class() == OpClass::Fp
+    }
+
+    /// Whether this is an integer operation.
+    #[must_use]
+    pub fn is_int(self) -> bool {
+        self.class() == OpClass::Int
+    }
+
+    /// Whether this is a memory operation (load or store).
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        self.class() == OpClass::Mem
+    }
+
+    /// Short mnemonic used in schedules and DOT dumps.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::IntAdd => "iadd",
+            OpKind::IntMul => "imul",
+            OpKind::IntDiv => "idiv",
+            OpKind::FpAdd => "fadd",
+            OpKind::FpMul => "fmul",
+            OpKind::FpAbs => "fabs",
+            OpKind::FpDiv => "fdiv",
+            OpKind::FpSqrt => "fsqrt",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+        }
+    }
+}
+
+impl OpKind {
+    /// Looks an operation up by its [`OpKind::mnemonic`].
+    ///
+    /// ```
+    /// use cvliw_ddg::OpKind;
+    /// assert_eq!(OpKind::from_mnemonic("fmul"), Some(OpKind::FpMul));
+    /// assert_eq!(OpKind::from_mnemonic("bogus"), None);
+    /// ```
+    #[must_use]
+    pub fn from_mnemonic(s: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|k| k.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an [`OpKind`] from a string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseOpKindError {
+    /// The string that was not a mnemonic.
+    pub input: Box<str>,
+}
+
+impl fmt::Display for ParseOpKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown operation mnemonic `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseOpKindError {}
+
+impl std::str::FromStr for OpKind {
+    type Err = ParseOpKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        OpKind::from_mnemonic(s).ok_or_else(|| ParseOpKindError { input: s.into() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_all_kinds() {
+        for kind in OpKind::ALL {
+            // Every kind maps to exactly one class and one latency row.
+            let _ = kind.class();
+            let _ = kind.latency_class();
+        }
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_distinct() {
+        let mut seen = [false; 3];
+        for class in OpClass::ALL {
+            assert!(!seen[class.index()]);
+            seen[class.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn only_store_produces_no_value() {
+        for kind in OpKind::ALL {
+            assert_eq!(kind.produces_value(), kind != OpKind::Store);
+        }
+    }
+
+    #[test]
+    fn memory_ops_use_mem_ports() {
+        assert_eq!(OpKind::Load.class(), OpClass::Mem);
+        assert_eq!(OpKind::Store.class(), OpClass::Mem);
+        assert_eq!(OpKind::Load.latency_class(), LatencyClass::Mem);
+    }
+
+    #[test]
+    fn latency_rows_match_table_1() {
+        assert_eq!(OpKind::IntAdd.latency_class(), LatencyClass::Arith);
+        assert_eq!(OpKind::FpAdd.latency_class(), LatencyClass::Arith);
+        assert_eq!(OpKind::IntMul.latency_class(), LatencyClass::MulAbs);
+        assert_eq!(OpKind::FpAbs.latency_class(), LatencyClass::MulAbs);
+        assert_eq!(OpKind::FpSqrt.latency_class(), LatencyClass::DivSqrt);
+        assert_eq!(OpKind::IntDiv.latency_class(), LatencyClass::DivSqrt);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut names: Vec<_> = OpKind::ALL.iter().map(|k| k.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), OpKind::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        assert_eq!(OpKind::FpMul.to_string(), "fmul");
+        assert_eq!(OpClass::Mem.to_string(), "mem");
+    }
+
+    #[test]
+    fn mnemonics_round_trip_through_from_str() {
+        for kind in OpKind::ALL {
+            assert_eq!(kind.mnemonic().parse::<OpKind>(), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_unknown_mnemonics() {
+        let err = "vfmadd".parse::<OpKind>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown operation mnemonic `vfmadd`");
+    }
+}

@@ -1,0 +1,131 @@
+//! Recurrence-induced minimum initiation interval (RecMII).
+
+use crate::analysis::time_bounds;
+use crate::graph::{Ddg, Edge};
+
+/// Whether an initiation interval satisfies every recurrence of the loop.
+///
+/// `ii` is feasible when no dependence cycle has positive weight under
+/// `lat(e) - ii·distance(e)`, i.e. each recurrence circuit `C` satisfies
+/// `ii ≥ ceil(Σ lat / Σ distance)`.
+#[must_use]
+pub fn is_feasible_ii(ddg: &Ddg, ii: u32, lat: impl Fn(&Edge) -> u32) -> bool {
+    time_bounds(ddg, ii, lat).is_some()
+}
+
+/// The recurrence-constrained lower bound on the initiation interval:
+/// the maximum over all dependence circuits of
+/// `ceil(total latency / total distance)`.
+///
+/// Returns `1` for acyclic graphs (every schedule satisfies them).
+/// Computed by binary search on [`is_feasible_ii`]; loops in this workspace
+/// have at most a few hundred nodes, so the `O(V·E·log Σlat)` cost is
+/// negligible.
+#[must_use]
+pub fn rec_mii(ddg: &Ddg, lat: impl Fn(&Edge) -> u32) -> u32 {
+    // Upper bound: total latency of all edges always satisfies every cycle
+    // (each cycle has distance ≥ 1 and latency sum ≤ this bound).
+    let ub: u64 = ddg.edges().map(|e| u64::from(lat(e))).sum::<u64>().max(1);
+    let ub = u32::try_from(ub.min(u64::from(u32::MAX / 2))).expect("bounded above");
+
+    if is_feasible_ii(ddg, 1, &lat) {
+        return 1;
+    }
+    let (mut lo, mut hi) = (1u32, ub); // lo infeasible, hi feasible
+    debug_assert!(is_feasible_ii(ddg, hi, &lat), "upper bound must be feasible");
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if is_feasible_ii(ddg, mid, &lat) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn acyclic_rec_mii_is_one() {
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::Load);
+        let c = b.add_node(OpKind::FpMul);
+        b.data(a, c);
+        let ddg = b.build().unwrap();
+        assert_eq!(rec_mii(&ddg, |_| 10), 1);
+    }
+
+    #[test]
+    fn single_cycle_ratio() {
+        // a → b → a(dist 2), latencies 3 and 5 → RecMII = ceil(8/2) = 4.
+        let mut bld = Ddg::builder();
+        let a = bld.add_node(OpKind::FpAdd);
+        let b = bld.add_node(OpKind::FpAdd);
+        bld.data(a, b).data_dist(b, a, 2);
+        let ddg = bld.build().unwrap();
+        let lat = move |e: &Edge| if e.src == a { 3 } else { 5 };
+        assert_eq!(rec_mii(&ddg, lat), 4);
+        assert!(!is_feasible_ii(&ddg, 3, lat));
+        assert!(is_feasible_ii(&ddg, 4, lat));
+    }
+
+    #[test]
+    fn max_over_multiple_cycles() {
+        // cycle 1: ratio 2/1 = 2; cycle 2: ratio 9/3 = 3 → RecMII 3.
+        let mut bld = Ddg::builder();
+        let a = bld.add_node(OpKind::FpAdd);
+        let b = bld.add_node(OpKind::FpAdd);
+        let c = bld.add_node(OpKind::FpAdd);
+        let d = bld.add_node(OpKind::FpAdd);
+        bld.data(a, b).data_dist(b, a, 1); // lat 1+1 = 2, dist 1
+        bld.data(c, d).data_dist(d, c, 3); // lat assigned below
+        let ddg = bld.build().unwrap();
+        let lat = move |e: &Edge| {
+            if e.src == c || e.src == d {
+                if e.src == c {
+                    4
+                } else {
+                    5
+                }
+            } else {
+                1
+            }
+        };
+        assert_eq!(rec_mii(&ddg, lat), 3);
+    }
+
+    #[test]
+    fn self_loop_induction_variable() {
+        // i = i + 1 with latency 1 → RecMII 1.
+        let mut b = Ddg::builder();
+        let i = b.add_node(OpKind::IntAdd);
+        b.data_dist(i, i, 1);
+        let ddg = b.build().unwrap();
+        assert_eq!(rec_mii(&ddg, |_| 1), 1);
+    }
+
+    #[test]
+    fn long_latency_recurrence() {
+        // fp divide feeding itself across one iteration: RecMII = 18.
+        let mut b = Ddg::builder();
+        let d = b.add_node(OpKind::FpDiv);
+        b.data_dist(d, d, 1);
+        let ddg = b.build().unwrap();
+        assert_eq!(rec_mii(&ddg, |_| 18), 18);
+    }
+
+    #[test]
+    fn distance_scales_down_recmii() {
+        for dist in 1..=6u32 {
+            let mut b = Ddg::builder();
+            let d = b.add_node(OpKind::FpAdd);
+            b.data_dist(d, d, dist);
+            let ddg = b.build().unwrap();
+            assert_eq!(rec_mii(&ddg, |_| 12), 12u32.div_ceil(dist));
+        }
+    }
+}

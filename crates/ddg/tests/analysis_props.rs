@@ -1,0 +1,135 @@
+//! Property tests for the graph analyses: topological order, ASAP/ALAP
+//! time bounds, and the recurrence-constrained MII.
+
+use cvliw_ddg::{is_feasible_ii, rec_mii, time_bounds, topo_order, Ddg, DepKind, Edge, OpKind};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop::sample::select(OpKind::ALL.to_vec())
+}
+
+/// Valid graphs: forward distance-0 edges, arbitrary loop-carried edges.
+fn arb_ddg() -> impl Strategy<Value = Ddg> {
+    let nodes = prop::collection::vec(arb_kind(), 1..12);
+    nodes
+        .prop_flat_map(|kinds| {
+            let n = kinds.len();
+            let edges =
+                prop::collection::vec((0..n, 0..n, 0u32..3, prop::bool::ANY), 0..(3 * n));
+            (Just(kinds), edges)
+        })
+        .prop_map(|(kinds, edges)| {
+            let mut b = Ddg::builder();
+            let ids: Vec<_> = kinds.iter().map(|&k| b.add_node(k)).collect();
+            for (src, dst, dist, mem) in edges {
+                let kind = if mem || !kinds[src].produces_value() {
+                    DepKind::Mem
+                } else {
+                    DepKind::Data
+                };
+                if dist > 0 {
+                    b.edge(ids[src], ids[dst], kind, dist);
+                } else if src < dst {
+                    b.edge(ids[src], ids[dst], kind, 0);
+                }
+            }
+            b.build().expect("valid by construction")
+        })
+}
+
+/// Unit latency for every edge — keeps the properties easy to state.
+fn unit(_: &Edge) -> u32 {
+    1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn topo_order_is_a_permutation_respecting_dist0_edges(ddg in arb_ddg()) {
+        let order = topo_order(&ddg);
+        let mut position = vec![usize::MAX; ddg.node_count()];
+        for (i, &n) in order.iter().enumerate() {
+            position[n.index()] = i;
+        }
+        prop_assert!(position.iter().all(|&p| p != usize::MAX), "permutation");
+        for e in ddg.edges() {
+            if e.distance == 0 {
+                prop_assert!(
+                    position[e.src.index()] < position[e.dst.index()],
+                    "edge {} -> {} violated",
+                    e.src,
+                    e.dst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rec_mii_is_the_feasibility_threshold(ddg in arb_ddg()) {
+        let mii = rec_mii(&ddg, unit);
+        prop_assert!(mii >= 1);
+        prop_assert!(is_feasible_ii(&ddg, mii, unit), "RecMII itself must be feasible");
+        if mii > 1 {
+            prop_assert!(
+                !is_feasible_ii(&ddg, mii - 1, unit),
+                "RecMII must be the *minimum* feasible II (claimed {mii})"
+            );
+        }
+        // Feasibility is monotone above the threshold.
+        for ii in mii..mii + 3 {
+            prop_assert!(is_feasible_ii(&ddg, ii, unit));
+        }
+    }
+
+    #[test]
+    fn time_bounds_respect_dependences(ddg in arb_ddg()) {
+        let ii = rec_mii(&ddg, unit);
+        let tb = time_bounds(&ddg, ii, unit).expect("feasible at RecMII");
+        for n in ddg.node_ids() {
+            prop_assert!(
+                tb.asap[n.index()] <= tb.alap[n.index()],
+                "{n}: asap {} > alap {}",
+                tb.asap[n.index()],
+                tb.alap[n.index()]
+            );
+        }
+        // Every dependence is satisfied by the ASAP times: a consumer can
+        // never be forced earlier than producer + latency - distance·II.
+        for e in ddg.edges() {
+            let lhs = tb.asap[e.src.index()] + 1; // unit latency
+            let rhs = tb.asap[e.dst.index()] + i64::from(e.distance) * i64::from(ii);
+            prop_assert!(lhs <= rhs, "edge {} -> {} (dist {})", e.src, e.dst, e.distance);
+        }
+    }
+
+    #[test]
+    fn larger_ii_never_delays_asap(ddg in arb_ddg()) {
+        // ASAP is a longest path over weights `lat − II·dist`; growing the
+        // II weakens every loop-carried constraint and leaves intra-
+        // iteration ones untouched, so ASAP times (and the critical-path
+        // length) are non-increasing in the II. (Mobility `alap − asap` is
+        // NOT monotone — ALAP is anchored to the shifting length — which
+        // is why the partitioner recomputes slack at every II.)
+        let mii = rec_mii(&ddg, unit);
+        let tight = time_bounds(&ddg, mii, unit).expect("feasible");
+        let loose = time_bounds(&ddg, mii + 4, unit).expect("feasible above RecMII");
+        for n in ddg.node_ids() {
+            prop_assert!(
+                loose.asap[n.index()] <= tight.asap[n.index()],
+                "{n}: asap grew from {} to {}",
+                tight.asap[n.index()],
+                loose.asap[n.index()]
+            );
+        }
+        prop_assert!(loose.length <= tight.length);
+    }
+
+    #[test]
+    fn below_rec_mii_is_reported_infeasible(ddg in arb_ddg()) {
+        let mii = rec_mii(&ddg, unit);
+        if mii > 1 {
+            prop_assert!(time_bounds(&ddg, mii - 1, unit).is_none());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Parse errors with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+use cvliw_ddg::DdgError;
+
+/// A position in the source text (1-based line and column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Why parsing a loop module failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// A character the lexer does not know.
+    UnexpectedChar {
+        /// The offending character.
+        found: char,
+    },
+    /// A token other than the expected one.
+    UnexpectedToken {
+        /// What the parser was looking for.
+        expected: &'static str,
+        /// A rendering of what it found instead.
+        found: String,
+    },
+    /// An operation mnemonic that names no [`cvliw_ddg::OpKind`].
+    UnknownMnemonic {
+        /// The unknown mnemonic.
+        mnemonic: String,
+    },
+    /// The same label defined twice inside one loop.
+    DuplicateLabel {
+        /// The repeated label.
+        label: String,
+    },
+    /// An operand or `mem` endpoint that no statement defines.
+    UndefinedLabel {
+        /// The unresolved label.
+        label: String,
+    },
+    /// Two loops in the module share a name.
+    DuplicateLoopName {
+        /// The repeated loop name.
+        name: String,
+    },
+    /// An iteration distance that does not fit in `u32`.
+    DistanceOverflow,
+    /// The module contained no loops.
+    EmptyModule,
+    /// The assembled graph violated a DDG invariant (e.g. a store used as a
+    /// register operand, or a same-iteration dependence cycle).
+    Graph {
+        /// The underlying graph error.
+        source: DdgError,
+    },
+}
+
+/// Error produced by [`crate::parse_module`] and friends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where in the source the problem was noticed.
+    pub pos: Pos,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    pub(crate) fn new(pos: Pos, kind: ParseErrorKind) -> Self {
+        ParseError { pos, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.pos)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar { found } => {
+                write!(f, "unexpected character `{found}`")
+            }
+            ParseErrorKind::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseErrorKind::UnknownMnemonic { mnemonic } => {
+                write!(f, "unknown operation mnemonic `{mnemonic}`")
+            }
+            ParseErrorKind::DuplicateLabel { label } => {
+                write!(f, "label `{label}` is defined more than once")
+            }
+            ParseErrorKind::UndefinedLabel { label } => {
+                write!(f, "label `{label}` is not defined in this loop")
+            }
+            ParseErrorKind::DuplicateLoopName { name } => {
+                write!(f, "loop `{name}` is defined more than once")
+            }
+            ParseErrorKind::DistanceOverflow => {
+                write!(f, "iteration distance does not fit in 32 bits")
+            }
+            ParseErrorKind::EmptyModule => write!(f, "source contains no loops"),
+            ParseErrorKind::Graph { source } => write!(f, "invalid graph: {source}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            ParseErrorKind::Graph { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let e = ParseError::new(
+            Pos { line: 3, col: 7 },
+            ParseErrorKind::UnknownMnemonic { mnemonic: "vfma".into() },
+        );
+        assert_eq!(e.to_string(), "3:7: unknown operation mnemonic `vfma`");
+    }
+
+    #[test]
+    fn graph_errors_expose_a_source() {
+        let e = ParseError::new(Pos::default(), ParseErrorKind::Graph { source: DdgError::Empty });
+        assert!(Error::source(&e).is_some());
+        let e = ParseError::new(Pos::default(), ParseErrorKind::EmptyModule);
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn positions_order_lexicographically() {
+        let a = Pos { line: 1, col: 9 };
+        let b = Pos { line: 2, col: 1 };
+        assert!(a < b);
+        assert_eq!(b.to_string(), "2:1");
+    }
+}

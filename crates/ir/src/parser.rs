@@ -1,0 +1,526 @@
+//! Recursive-descent parser for the loop-IR text format.
+//!
+//! The grammar (newline-terminated statements, `//` and `#` comments):
+//!
+//! ```text
+//! module    := { loopdef }
+//! loopdef   := "loop" IDENT "{" { stmt } "}"
+//! stmt      := node_stmt | mem_stmt
+//! node_stmt := LABEL ":" MNEMONIC [ operand { "," operand } ]
+//! operand   := LABEL [ "@" DISTANCE ]
+//! mem_stmt  := "mem" LABEL "->" LABEL [ "@" DISTANCE ]
+//! ```
+//!
+//! Operands may reference labels defined later in the loop (necessary for
+//! recurrences such as `acc: fadd m, acc@1`), so resolution happens in a
+//! second pass over the collected statements.
+
+use std::collections::HashMap;
+
+use cvliw_ddg::{Ddg, DepKind, NodeId, OpKind};
+
+use crate::error::{ParseError, ParseErrorKind, Pos};
+use crate::token::{lex, Spanned, Token};
+
+/// A named loop parsed from text.
+#[derive(Clone, Debug)]
+pub struct NamedLoop {
+    /// The loop's name (the identifier after the `loop` keyword).
+    pub name: String,
+    /// The validated graph. Every node carries its source label.
+    pub ddg: Ddg,
+}
+
+/// An ordered collection of named loops parsed from one source text.
+#[derive(Clone, Debug)]
+pub struct LoopModule {
+    loops: Vec<NamedLoop>,
+}
+
+impl LoopModule {
+    /// The loops in definition order.
+    #[must_use]
+    pub fn loops(&self) -> &[NamedLoop] {
+        &self.loops
+    }
+
+    /// Looks a loop up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&NamedLoop> {
+        self.loops.iter().find(|l| l.name == name)
+    }
+
+    /// Number of loops in the module.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the module holds no loops (never true for parsed modules).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+}
+
+impl IntoIterator for LoopModule {
+    type Item = NamedLoop;
+    type IntoIter = std::vec::IntoIter<NamedLoop>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.loops.into_iter()
+    }
+}
+
+/// Parses a whole module (one or more `loop name { ... }` definitions).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying the source position of the first
+/// problem: lexical errors, grammar violations, unknown mnemonics,
+/// duplicate or undefined labels, duplicate loop names, or graph-invariant
+/// violations (store used as a register operand, same-iteration cycles).
+///
+/// # Example
+///
+/// ```
+/// let module = cvliw_ir::parse_module(
+///     "loop scale {
+///          i:  iadd i@1
+///          x:  load i
+///          y:  fmul x, x
+///          s:  store y, i
+///      }",
+/// )?;
+/// assert_eq!(module.loops()[0].name, "scale");
+/// assert_eq!(module.loops()[0].ddg.node_count(), 4);
+/// # Ok::<(), cvliw_ir::ParseError>(())
+/// ```
+pub fn parse_module(source: &str) -> Result<LoopModule, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, at: 0 };
+    let mut loops = Vec::new();
+    loop {
+        p.skip_newlines();
+        if p.peek() == &Token::Eof {
+            break;
+        }
+        let l = p.parse_loop()?;
+        if loops.iter().any(|existing: &NamedLoop| existing.name == l.name) {
+            return Err(ParseError::new(p.prev_pos(), ParseErrorKind::DuplicateLoopName {
+                name: l.name,
+            }));
+        }
+        loops.push(l);
+    }
+    if loops.is_empty() {
+        return Err(ParseError::new(Pos { line: 1, col: 1 }, ParseErrorKind::EmptyModule));
+    }
+    Ok(LoopModule { loops })
+}
+
+/// Parses a source that must contain exactly one loop and returns it.
+///
+/// # Errors
+///
+/// Everything [`parse_module`] rejects, plus sources with more than one
+/// loop (reported as an unexpected `loop` token).
+pub fn parse_loop(source: &str) -> Result<NamedLoop, ParseError> {
+    let module = parse_module(source)?;
+    if module.len() > 1 {
+        return Err(ParseError::new(Pos { line: 1, col: 1 }, ParseErrorKind::UnexpectedToken {
+            expected: "exactly one loop",
+            found: format!("{} loops", module.len()),
+        }));
+    }
+    let mut loops = module.loops;
+    Ok(loops.remove(0))
+}
+
+/// One operand reference, pre-resolution.
+struct OperandRef {
+    label: String,
+    distance: u32,
+    pos: Pos,
+}
+
+/// One `label: mnemonic operands` statement, pre-resolution.
+struct NodeStmt {
+    label: String,
+    kind: OpKind,
+    operands: Vec<OperandRef>,
+    pos: Pos,
+}
+
+/// One `mem a -> b [@d]` statement, pre-resolution.
+struct MemStmt {
+    src: OperandRef,
+    dst: OperandRef,
+    distance: u32,
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at].token
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at].pos
+    }
+
+    fn prev_pos(&self) -> Pos {
+        self.tokens[self.at.saturating_sub(1)].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.at].token.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.peek() == &Token::Newline {
+            self.bump();
+        }
+    }
+
+    fn error(&self, expected: &'static str) -> ParseError {
+        ParseError::new(self.pos(), ParseErrorKind::UnexpectedToken {
+            expected,
+            found: self.peek().describe(),
+        })
+    }
+
+    fn expect_ident(&mut self, expected: &'static str) -> Result<(String, Pos), ParseError> {
+        let pos = self.pos();
+        match self.bump() {
+            Token::Ident(s) => Ok((s, pos)),
+            other => Err(ParseError::new(pos, ParseErrorKind::UnexpectedToken {
+                expected,
+                found: other.describe(),
+            })),
+        }
+    }
+
+    fn expect(&mut self, want: &Token, expected: &'static str) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(expected))
+        }
+    }
+
+    /// Parses `@ NUMBER` if present; defaults to distance 0.
+    fn parse_distance(&mut self) -> Result<u32, ParseError> {
+        if self.peek() != &Token::At {
+            return Ok(0);
+        }
+        self.bump();
+        let pos = self.pos();
+        match self.bump() {
+            // The lexer guarantees the number fits in u32.
+            Token::Number(n) => Ok(n as u32),
+            other => Err(ParseError::new(pos, ParseErrorKind::UnexpectedToken {
+                expected: "an iteration distance",
+                found: other.describe(),
+            })),
+        }
+    }
+
+    fn parse_operand(&mut self) -> Result<OperandRef, ParseError> {
+        let (label, pos) = self.expect_ident("an operand label")?;
+        let distance = self.parse_distance()?;
+        Ok(OperandRef { label, distance, pos })
+    }
+
+    fn parse_loop(&mut self) -> Result<NamedLoop, ParseError> {
+        let (kw, pos) = self.expect_ident("the `loop` keyword")?;
+        if kw != "loop" {
+            return Err(ParseError::new(pos, ParseErrorKind::UnexpectedToken {
+                expected: "the `loop` keyword",
+                found: format!("`{kw}`"),
+            }));
+        }
+        let (name, _) = self.expect_ident("a loop name")?;
+        self.skip_newlines();
+        self.expect(&Token::LBrace, "`{`")?;
+
+        let mut nodes: Vec<NodeStmt> = Vec::new();
+        let mut mems: Vec<MemStmt> = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Token::RBrace => {
+                    self.bump();
+                    break;
+                }
+                Token::Eof => return Err(self.error("`}` or a statement")),
+                Token::Ident(id) if id == "mem" => {
+                    self.bump();
+                    let (src_label, src_pos) = self.expect_ident("a source label")?;
+                    self.expect(&Token::Arrow, "`->`")?;
+                    let (dst_label, dst_pos) = self.expect_ident("a destination label")?;
+                    let distance = self.parse_distance()?;
+                    mems.push(MemStmt {
+                        src: OperandRef { label: src_label, distance: 0, pos: src_pos },
+                        dst: OperandRef { label: dst_label, distance: 0, pos: dst_pos },
+                        distance,
+                    });
+                }
+                Token::Ident(_) => nodes.push(self.parse_node_stmt()?),
+                _ => return Err(self.error("a statement label or `}`")),
+            }
+            // A statement ends at a newline or just before the brace.
+            match self.peek() {
+                Token::Newline => {
+                    self.bump();
+                }
+                Token::RBrace | Token::Eof => {}
+                _ => return Err(self.error("end of statement")),
+            }
+        }
+
+        build_loop(name, nodes, mems)
+    }
+
+    fn parse_node_stmt(&mut self) -> Result<NodeStmt, ParseError> {
+        let (label, pos) = self.expect_ident("a statement label")?;
+        self.expect(&Token::Colon, "`:`")?;
+        let (mnemonic, mpos) = self.expect_ident("an operation mnemonic")?;
+        let Some(kind) = OpKind::from_mnemonic(&mnemonic) else {
+            return Err(ParseError::new(mpos, ParseErrorKind::UnknownMnemonic {
+                mnemonic,
+            }));
+        };
+        let mut operands = Vec::new();
+        if matches!(self.peek(), Token::Ident(_)) {
+            operands.push(self.parse_operand()?);
+            while self.peek() == &Token::Comma {
+                self.bump();
+                operands.push(self.parse_operand()?);
+            }
+        }
+        Ok(NodeStmt { label, kind, operands, pos })
+    }
+}
+
+/// Second pass: resolve labels and assemble the [`Ddg`].
+fn build_loop(
+    name: String,
+    nodes: Vec<NodeStmt>,
+    mems: Vec<MemStmt>,
+) -> Result<NamedLoop, ParseError> {
+    let mut builder = Ddg::builder();
+    let mut by_label: HashMap<&str, NodeId> = HashMap::with_capacity(nodes.len());
+    for stmt in &nodes {
+        if by_label.contains_key(stmt.label.as_str()) {
+            return Err(ParseError::new(stmt.pos, ParseErrorKind::DuplicateLabel {
+                label: stmt.label.clone(),
+            }));
+        }
+        let id = builder.add_labeled(stmt.kind, stmt.label.clone());
+        by_label.insert(stmt.label.as_str(), id);
+    }
+
+    let resolve = |operand: &OperandRef| -> Result<NodeId, ParseError> {
+        by_label.get(operand.label.as_str()).copied().ok_or_else(|| {
+            ParseError::new(operand.pos, ParseErrorKind::UndefinedLabel {
+                label: operand.label.clone(),
+            })
+        })
+    };
+
+    let mut first_pos = Pos { line: 1, col: 1 };
+    for stmt in &nodes {
+        first_pos = first_pos.min(stmt.pos);
+        let dst = by_label[stmt.label.as_str()];
+        for operand in &stmt.operands {
+            let src = resolve(operand)?;
+            builder.edge(src, dst, DepKind::Data, operand.distance);
+        }
+    }
+    for mem in &mems {
+        let src = resolve(&mem.src)?;
+        let dst = resolve(&mem.dst)?;
+        builder.edge(src, dst, DepKind::Mem, mem.distance);
+    }
+
+    let ddg = builder
+        .build()
+        .map_err(|source| ParseError::new(first_pos, ParseErrorKind::Graph { source }))?;
+    Ok(NamedLoop { name, ddg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_ddg::OpClass;
+
+    const FIR: &str = "
+        // one tap of a FIR filter
+        loop fir {
+            i:   iadd  i@1
+            a:   iadd  i
+            x:   load  a
+            c:   load  a
+            m:   fmul  x, c
+            acc: fadd  m, acc@1
+            s:   store acc, a
+        }";
+
+    #[test]
+    fn parses_the_fir_loop() {
+        let l = parse_loop(FIR).unwrap();
+        assert_eq!(l.name, "fir");
+        assert_eq!(l.ddg.node_count(), 7);
+        assert_eq!(l.ddg.edge_count(), 10);
+        assert_eq!(l.ddg.count_by_class(), [2, 2, 3]);
+        let acc = l.ddg.find_by_label("acc").unwrap();
+        assert!(l.ddg.in_edges(acc).any(|e| e.src == acc && e.distance == 1));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        // `x` consumes `y` defined two lines later.
+        let l = parse_loop("loop f { x: fadd y@1\n y: fmul z\n z: load }").unwrap();
+        assert_eq!(l.ddg.node_count(), 3);
+        let x = l.ddg.find_by_label("x").unwrap();
+        let y = l.ddg.find_by_label("y").unwrap();
+        assert_eq!(l.ddg.data_preds(x), vec![y]);
+    }
+
+    #[test]
+    fn mem_edges_parse_with_and_without_distance() {
+        let l = parse_loop(
+            "loop f { v: load\n s: store v\n mem s -> v @1\n mem v -> s }",
+        )
+        .unwrap();
+        let s = l.ddg.find_by_label("s").unwrap();
+        let v = l.ddg.find_by_label("v").unwrap();
+        // `mem s -> v @1`: distance binds to the edge, not the endpoint.
+        assert!(l
+            .ddg
+            .out_edges(s)
+            .any(|e| e.kind == DepKind::Mem && e.dst == v && e.distance == 1));
+        // `mem v -> s`: distance defaults to 0.
+        assert!(l
+            .ddg
+            .out_edges(v)
+            .any(|e| e.kind == DepKind::Mem && e.dst == s && e.distance == 0));
+    }
+
+    #[test]
+    fn mem_endpoints_reject_at_distances() {
+        // The distance belongs to the edge; `a@1 -> b` is ill-formed.
+        let err = parse_loop("loop f { a: load\n b: load\n mem a@1 -> b }").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn module_with_two_loops() {
+        let m = parse_module("loop a { x: load }\nloop b { y: fadd }").unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.get("a").is_some());
+        assert!(m.get("b").is_some());
+        assert!(m.get("c").is_none());
+        assert!(!m.is_empty());
+        let names: Vec<String> = m.into_iter().map(|l| l.name).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn duplicate_loop_names_are_rejected() {
+        let err = parse_module("loop a { x: load }\nloop a { y: load }").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::DuplicateLoopName { .. }));
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected_with_position() {
+        let err = parse_loop("loop f { x: load\n x: fadd }").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::DuplicateLabel { ref label } if label == "x"));
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn undefined_operand_is_rejected() {
+        let err = parse_loop("loop f { x: fadd ghost }").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UndefinedLabel { ref label } if label == "ghost"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_rejected() {
+        let err = parse_loop("loop f { x: vfma a }").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnknownMnemonic { ref mnemonic } if mnemonic == "vfma"));
+    }
+
+    #[test]
+    fn store_operand_is_a_graph_error() {
+        let err = parse_loop("loop f { s: store\n x: fadd s }").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Graph { .. }));
+        assert!(err.to_string().contains("invalid graph"));
+    }
+
+    #[test]
+    fn zero_distance_cycle_is_a_graph_error() {
+        let err = parse_loop("loop f { a: fadd b\n b: fadd a }").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Graph { .. }));
+    }
+
+    #[test]
+    fn missing_brace_is_reported() {
+        let err = parse_loop("loop f { x: load").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedToken { .. }));
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn missing_colon_is_reported() {
+        let err = parse_loop("loop f { x load }").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::UnexpectedToken { expected: "`:`", .. }
+        ));
+    }
+
+    #[test]
+    fn statements_must_be_newline_separated() {
+        let err = parse_loop("loop f { x: load y: fadd }").unwrap_err();
+        // `y` parses as an operand of the load; the stray `:` then fails.
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn empty_module_is_rejected() {
+        assert!(matches!(
+            parse_module("  \n// nothing\n").unwrap_err().kind,
+            ParseErrorKind::EmptyModule
+        ));
+    }
+
+    #[test]
+    fn parse_loop_rejects_multi_loop_sources() {
+        assert!(parse_loop("loop a { x: load }\nloop b { y: load }").is_err());
+    }
+
+    #[test]
+    fn nullary_nodes_need_no_operands() {
+        let l = parse_loop("loop f { x: load\n y: load }").unwrap();
+        assert_eq!(l.ddg.edge_count(), 0);
+        assert_eq!(l.ddg.count_of_class(OpClass::Mem), 2);
+    }
+
+    #[test]
+    fn duplicate_operands_make_two_edges() {
+        let l = parse_loop("loop f { x: load\n sq: fmul x, x }").unwrap();
+        let sq = l.ddg.find_by_label("sq").unwrap();
+        assert_eq!(l.ddg.in_edges(sq).count(), 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Pretty-printer: turn a [`Ddg`] back into parseable loop-IR text.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use cvliw_ddg::{Ddg, DepKind, NodeId};
+
+/// Renders `ddg` as a `loop name { ... }` definition that
+/// [`crate::parse_loop`] accepts and that reconstructs the same graph
+/// structure (same operation kinds and the same dependence multiset).
+///
+/// Nodes print in id order. Each node keeps its own label when it is a
+/// usable identifier; nodes without labels (or with clashing ones) get
+/// positional names. Distances of zero are omitted.
+///
+/// # Example
+///
+/// ```
+/// use cvliw_ddg::{Ddg, OpKind};
+///
+/// let mut b = Ddg::builder();
+/// let x = b.add_labeled(OpKind::Load, "x");
+/// let y = b.add_labeled(OpKind::FpMul, "y");
+/// b.data(x, y);
+/// let ddg = b.build()?;
+///
+/// let text = cvliw_ir::print_loop("scale", &ddg);
+/// let back = cvliw_ir::parse_loop(&text)?;
+/// assert!(cvliw_ir::same_structure(&ddg, &back.ddg));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn print_loop(name: &str, ddg: &Ddg) -> String {
+    let labels = label_map(ddg);
+    let width = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "loop {} {{", sanitize_name(name));
+    for n in ddg.node_ids() {
+        let label = &labels[n.index()];
+        let _ = write!(out, "    {label}:{:pad$} {}", "", ddg.kind(n), pad = width - label.len());
+        let mut first = true;
+        for e in ddg.in_edges(n).filter(|e| e.kind == DepKind::Data) {
+            let sep = if first { " " } else { ", " };
+            first = false;
+            let _ = write!(out, "{sep}{}", operand(&labels, e.src, e.distance));
+        }
+        out.push('\n');
+    }
+    for e in ddg.edges().filter(|e| e.kind == DepKind::Mem) {
+        let _ = write!(out, "    mem {} -> {}", labels[e.src.index()], labels[e.dst.index()]);
+        if e.distance > 0 {
+            let _ = write!(out, " @{}", e.distance);
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn operand(labels: &[String], src: NodeId, distance: u32) -> String {
+    if distance == 0 {
+        labels[src.index()].clone()
+    } else {
+        format!("{}@{distance}", labels[src.index()])
+    }
+}
+
+/// Picks one printable, unique label per node.
+fn label_map(ddg: &Ddg) -> Vec<String> {
+    let mut used: HashSet<String> = HashSet::new();
+    let mut labels = vec![String::new(); ddg.node_count()];
+    // First pass: keep the node's own label when usable and not yet taken.
+    for n in ddg.node_ids() {
+        if let Some(l) = ddg.node(n).label() {
+            if is_usable_label(l) && !used.contains(l) {
+                labels[n.index()] = l.to_string();
+                used.insert(l.to_string());
+            }
+        }
+    }
+    // Second pass: positional names for the rest.
+    for n in ddg.node_ids() {
+        if labels[n.index()].is_empty() {
+            let mut candidate = format!("n{}", n.index());
+            while used.contains(&candidate) {
+                candidate.push('_');
+            }
+            used.insert(candidate.clone());
+            labels[n.index()] = candidate;
+        }
+    }
+    labels
+}
+
+/// Whether a label can stand at the start of a statement unambiguously.
+fn is_usable_label(s: &str) -> bool {
+    if s == "mem" || s == "loop" || s.is_empty() {
+        return false;
+    }
+    let mut chars = s.chars();
+    let Some(first) = chars.next() else { return false };
+    let start_ok = first.is_ascii_alphabetic() || first == '_' || first == '.' || first == '$';
+    start_ok
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+/// Makes an arbitrary string usable as a loop name.
+fn sanitize_name(name: &str) -> String {
+    if is_usable_label(name) {
+        return name.to_string();
+    }
+    let mut cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        cleaned = format!("l_{cleaned}");
+    }
+    while !is_usable_label(&cleaned) {
+        cleaned.push('_'); // reserved words (`mem`, `loop`)
+    }
+    cleaned
+}
+
+/// Whether two graphs have the same structure: equal node count, the same
+/// [`cvliw_ddg::OpKind`] at every node index, and the same multiset of
+/// `(src, dst, kind, distance)` dependences.
+///
+/// Labels are ignored — this is the equivalence [`print_loop`] preserves.
+#[must_use]
+pub fn same_structure(a: &Ddg, b: &Ddg) -> bool {
+    if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    if a.node_ids().zip(b.node_ids()).any(|(x, y)| a.kind(x) != b.kind(y)) {
+        return false;
+    }
+    let key = |ddg: &Ddg| {
+        let mut edges: Vec<(u32, u32, bool, u32)> = ddg
+            .edges()
+            .map(|e| {
+                (e.src.index() as u32, e.dst.index() as u32, e.kind == DepKind::Data, e.distance)
+            })
+            .collect();
+        edges.sort_unstable();
+        edges
+    };
+    key(a) == key(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_loop;
+    use cvliw_ddg::OpKind;
+
+    fn labeled_loop() -> Ddg {
+        let mut b = Ddg::builder();
+        let i = b.add_labeled(OpKind::IntAdd, "i");
+        b.data_dist(i, i, 1);
+        let x = b.add_labeled(OpKind::Load, "x");
+        let y = b.add_labeled(OpKind::FpMul, "y");
+        let s = b.add_labeled(OpKind::Store, "s");
+        b.data(i, x).data(x, y).data(x, y).data(y, s).data(i, s);
+        b.edge(s, x, DepKind::Mem, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn prints_and_reparses_a_labeled_loop() {
+        let ddg = labeled_loop();
+        let text = print_loop("kernel", &ddg);
+        let back = parse_loop(&text).unwrap();
+        assert_eq!(back.name, "kernel");
+        assert!(same_structure(&ddg, &back.ddg), "round-trip changed the graph:\n{text}");
+    }
+
+    #[test]
+    fn printed_text_mentions_everything() {
+        let text = print_loop("kernel", &labeled_loop());
+        assert!(text.contains("i@1"), "{text}");
+        assert!(text.contains("mem s -> x @2"), "{text}");
+        assert!(text.contains("x, x"), "duplicate operands must survive: {text}");
+    }
+
+    #[test]
+    fn unlabeled_nodes_get_positional_names() {
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::Load);
+        let c = b.add_node(OpKind::FpAdd);
+        b.data(a, c);
+        let ddg = b.build().unwrap();
+        let text = print_loop("anon", &ddg);
+        assert!(text.contains("n0: load"), "{text}");
+        assert!(text.contains("n1: fadd n0"), "{text}");
+        assert!(same_structure(&ddg, &parse_loop(&text).unwrap().ddg));
+    }
+
+    #[test]
+    fn reserved_and_clashing_labels_are_replaced() {
+        let mut b = Ddg::builder();
+        let m = b.add_labeled(OpKind::Load, "mem"); // reserved word
+        let l = b.add_labeled(OpKind::Load, "dup");
+        let d = b.add_labeled(OpKind::FpAdd, "dup"); // clash
+        b.data(m, d).data(l, d);
+        let ddg = b.build().unwrap();
+        let text = print_loop("tricky", &ddg);
+        let back = parse_loop(&text).unwrap();
+        assert!(same_structure(&ddg, &back.ddg), "{text}");
+    }
+
+    #[test]
+    fn positional_name_collision_with_user_label_is_avoided() {
+        let mut b = Ddg::builder();
+        // The *second* node (index 1) is unlabeled and would become `n1`,
+        // but a user label already owns that name.
+        let n1 = b.add_labeled(OpKind::Load, "n1");
+        let anon = b.add_node(OpKind::FpAdd);
+        b.data(n1, anon);
+        let ddg = b.build().unwrap();
+        let text = print_loop("clash", &ddg);
+        assert!(same_structure(&ddg, &parse_loop(&text).unwrap().ddg), "{text}");
+    }
+
+    #[test]
+    fn loop_names_are_sanitized() {
+        assert_eq!(sanitize_name("ok_name"), "ok_name");
+        assert_eq!(sanitize_name("has space"), "has_space");
+        assert_eq!(sanitize_name("7up"), "l_7up");
+        assert_eq!(sanitize_name(""), "l_");
+        assert_eq!(sanitize_name("mem"), "mem_"); // reserved word gets a suffix
+        assert_eq!(sanitize_name("loop"), "loop_");
+    }
+
+    #[test]
+    fn same_structure_distinguishes_graphs() {
+        let ddg = labeled_loop();
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::Load);
+        let c = b.add_node(OpKind::FpAdd);
+        b.data(a, c);
+        let other = b.build().unwrap();
+        assert!(!same_structure(&ddg, &other));
+        assert!(same_structure(&ddg, &ddg.clone()));
+    }
+}

@@ -1,0 +1,325 @@
+//! Tokenizer for the loop-IR text format.
+//!
+//! The lexer is newline-sensitive: statements are terminated by line ends,
+//! so [`Token::Newline`] is a real token (consecutive newlines collapse into
+//! one). Comments run from `//` or `#` to the end of the line.
+
+use std::fmt;
+
+use crate::error::{ParseError, ParseErrorKind, Pos};
+
+/// One lexical token together with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Position of the token's first character.
+    pub pos: Pos,
+}
+
+/// Lexical tokens of the loop-IR grammar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword (`loop`, `mem`, labels, mnemonics).
+    Ident(String),
+    /// An unsigned decimal integer (iteration distances).
+    Number(u64),
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `@`
+    At,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `->`
+    Arrow,
+    /// One or more line ends.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// A short human-readable rendering for error messages.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("`{s}`"),
+            Token::Number(n) => format!("number `{n}`"),
+            Token::Colon => "`:`".to_string(),
+            Token::Comma => "`,`".to_string(),
+            Token::At => "`@`".to_string(),
+            Token::LBrace => "`{`".to_string(),
+            Token::RBrace => "`}`".to_string(),
+            Token::Arrow => "`->`".to_string(),
+            Token::Newline => "end of line".to_string(),
+            Token::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Splits `source` into tokens.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with [`ParseErrorKind::UnexpectedChar`] on any
+/// character outside the grammar, or [`ParseErrorKind::DistanceOverflow`] on
+/// an integer larger than `u32::MAX` (distances are 32-bit).
+pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = source.chars().peekable();
+
+    let push = |token: Token, pos: Pos, out: &mut Vec<Spanned>| {
+        // Collapse consecutive newlines.
+        if token == Token::Newline
+            && matches!(out.last(), None | Some(Spanned { token: Token::Newline, .. }))
+        {
+            return;
+        }
+        out.push(Spanned { token, pos });
+    };
+
+    while let Some(&c) = chars.peek() {
+        let pos = Pos { line, col };
+        match c {
+            '\n' => {
+                chars.next();
+                push(Token::Newline, pos, &mut out);
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                        col += 1;
+                    }
+                } else {
+                    return Err(ParseError::new(pos, ParseErrorKind::UnexpectedChar {
+                        found: '/',
+                    }));
+                }
+            }
+            ':' => {
+                chars.next();
+                col += 1;
+                push(Token::Colon, pos, &mut out);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push(Token::Comma, pos, &mut out);
+            }
+            '@' => {
+                chars.next();
+                col += 1;
+                push(Token::At, pos, &mut out);
+            }
+            '{' => {
+                chars.next();
+                col += 1;
+                push(Token::LBrace, pos, &mut out);
+            }
+            '}' => {
+                chars.next();
+                col += 1;
+                push(Token::RBrace, pos, &mut out);
+            }
+            '-' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    col += 1;
+                    push(Token::Arrow, pos, &mut out);
+                } else {
+                    return Err(ParseError::new(pos, ParseErrorKind::UnexpectedChar {
+                        found: '-',
+                    }));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    let Some(digit) = d.to_digit(10) else { break };
+                    chars.next();
+                    col += 1;
+                    value = value.saturating_mul(10).saturating_add(u64::from(digit));
+                    if value > u64::from(u32::MAX) {
+                        return Err(ParseError::new(pos, ParseErrorKind::DistanceOverflow));
+                    }
+                }
+                push(Token::Number(value), pos, &mut out);
+            }
+            c if is_ident_start(c) => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if !is_ident_continue(d) {
+                        break;
+                    }
+                    ident.push(d);
+                    chars.next();
+                    col += 1;
+                }
+                push(Token::Ident(ident), pos, &mut out);
+            }
+            other => {
+                return Err(ParseError::new(pos, ParseErrorKind::UnexpectedChar {
+                    found: other,
+                }));
+            }
+        }
+    }
+    out.push(Spanned { token: Token::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '.' || c == '$'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    is_ident_start(c) || c.is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_a_node_statement() {
+        assert_eq!(kinds("acc: fadd m, acc@1"), vec![
+            Token::Ident("acc".into()),
+            Token::Colon,
+            Token::Ident("fadd".into()),
+            Token::Ident("m".into()),
+            Token::Comma,
+            Token::Ident("acc".into()),
+            Token::At,
+            Token::Number(1),
+            Token::Eof,
+        ]);
+    }
+
+    #[test]
+    fn lexes_arrow_and_braces() {
+        assert_eq!(kinds("loop l { mem a -> b @2 }"), vec![
+            Token::Ident("loop".into()),
+            Token::Ident("l".into()),
+            Token::LBrace,
+            Token::Ident("mem".into()),
+            Token::Ident("a".into()),
+            Token::Arrow,
+            Token::Ident("b".into()),
+            Token::At,
+            Token::Number(2),
+            Token::RBrace,
+            Token::Eof,
+        ]);
+    }
+
+    #[test]
+    fn newlines_collapse_and_leading_newlines_vanish() {
+        assert_eq!(kinds("\n\n a \n\n\n b \n"), vec![
+            Token::Ident("a".into()),
+            Token::Newline,
+            Token::Ident("b".into()),
+            Token::Newline,
+            Token::Eof,
+        ]);
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        assert_eq!(kinds("a // hi : , @\nb # also { }"), vec![
+            Token::Ident("a".into()),
+            Token::Newline,
+            Token::Ident("b".into()),
+            Token::Eof,
+        ]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("ab\n  cd").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 1, col: 3 }); // newline
+        assert_eq!(toks[2].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bare_minus_is_rejected() {
+        let err = lex("a - b").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedChar { found: '-' }));
+        assert_eq!(err.pos, Pos { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn bare_slash_is_rejected() {
+        assert!(lex("a / b").is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_rejected_with_position() {
+        let err = lex("x: load [a]").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedChar { found: '[' }));
+    }
+
+    #[test]
+    fn distance_overflow_is_rejected() {
+        assert!(matches!(
+            lex("4294967296").unwrap_err().kind,
+            ParseErrorKind::DistanceOverflow
+        ));
+        assert_eq!(kinds("4294967295"), vec![Token::Number(4_294_967_295), Token::Eof]);
+    }
+
+    #[test]
+    fn identifiers_allow_dots_underscores_digits() {
+        assert_eq!(kinds("_x.1 $t0"), vec![
+            Token::Ident("_x.1".into()),
+            Token::Ident("$t0".into()),
+            Token::Eof,
+        ]);
+    }
+
+    #[test]
+    fn token_descriptions_are_informative() {
+        assert_eq!(Token::Arrow.describe(), "`->`");
+        assert_eq!(Token::Ident("x".into()).describe(), "`x`");
+        assert_eq!(Token::Number(3).to_string(), "number `3`");
+    }
+}

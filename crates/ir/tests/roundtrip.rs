@@ -1,0 +1,139 @@
+//! Property tests: printing any valid DDG yields text that parses back to a
+//! structurally identical graph, and parsing never panics on junk.
+
+use cvliw_ddg::{Ddg, DepKind, OpKind};
+use cvliw_ir::{parse_loop, parse_module, print_loop, same_structure};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop::sample::select(OpKind::ALL.to_vec())
+}
+
+/// Labels that stress the printer: empty, reserved, clashing, non-ASCII.
+fn arb_label() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        3 => Just(None),
+        2 => "[a-z][a-z0-9_]{0,6}".prop_map(Some),
+        1 => Just(Some("mem".to_string())),
+        1 => Just(Some("loop".to_string())),
+        1 => Just(Some("n1".to_string())),
+        1 => Just(Some("has space".to_string())),
+        1 => Just(Some("λ".to_string())),
+    ]
+}
+
+/// A random valid graph: distance-0 data edges only flow from lower to
+/// higher indices (guaranteeing the acyclic invariant) and never leave a
+/// store; loop-carried and memory edges are unrestricted in direction.
+fn arb_ddg() -> impl Strategy<Value = Ddg> {
+    let nodes = prop::collection::vec((arb_kind(), arb_label()), 1..12);
+    nodes
+        .prop_flat_map(|nodes| {
+            let n = nodes.len();
+            let edges = prop::collection::vec(
+                (0..n, 0..n, 0u32..3, prop::bool::ANY),
+                0..(3 * n),
+            );
+            (Just(nodes), edges)
+        })
+        .prop_map(|(nodes, edges)| {
+            let mut b = Ddg::builder();
+            let mut ids = Vec::with_capacity(nodes.len());
+            let mut kinds = Vec::with_capacity(nodes.len());
+            for (kind, label) in nodes {
+                let id = match label {
+                    Some(l) => b.add_labeled(kind, l),
+                    None => b.add_node(kind),
+                };
+                ids.push(id);
+                kinds.push(kind);
+            }
+            for (src, dst, dist, is_mem) in edges {
+                let (s, d) = (ids[src], ids[dst]);
+                if is_mem {
+                    // Memory edges: any direction, but distance 0 requires
+                    // forward direction to stay acyclic and src != dst.
+                    if dist > 0 {
+                        b.edge(s, d, DepKind::Mem, dist);
+                    } else if src < dst {
+                        b.edge(s, d, DepKind::Mem, 0);
+                    }
+                } else if kinds[src].produces_value() {
+                    if dist > 0 {
+                        b.edge(s, d, DepKind::Data, dist);
+                    } else if src < dst {
+                        b.edge(s, d, DepKind::Data, 0);
+                    }
+                }
+            }
+            b.build().expect("construction preserves all invariants")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trips(ddg in arb_ddg(), name in ".*") {
+        let text = print_loop(&name, &ddg);
+        let back = parse_loop(&text).unwrap_or_else(|e| {
+            panic!("printed text failed to parse: {e}\n---\n{text}")
+        });
+        prop_assert!(
+            same_structure(&ddg, &back.ddg),
+            "round-trip changed the structure:\n{}", text
+        );
+    }
+
+    #[test]
+    fn printing_twice_is_stable(ddg in arb_ddg()) {
+        // print → parse → print must be a fixed point: the second print
+        // uses the labels the first one chose.
+        let once = print_loop("fixed", &ddg);
+        let back = parse_loop(&once).unwrap();
+        let twice = print_loop("fixed", &back.ddg);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parser_never_panics_on_junk(src in ".{0,200}") {
+        let _ = parse_module(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_tokenish_junk(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "loop", "mem", "{", "}", ":", ",", "@", "->", "\n",
+                "x", "y", "fadd", "load", "store", "1", "99",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_module(&src);
+    }
+}
+
+#[test]
+fn example_file_round_trips() {
+    let source = "
+        loop tomcatv_inner {
+            i:    iadd  i@1
+            ax:   iadd  i
+            ay:   iadd  i
+            x:    load  ax
+            y:    load  ay
+            rx:   fmul  x, y
+            ry:   fadd  rx, ry@1
+            d:    fdiv  ry, rx
+            sx:   store d, ax
+            mem   sx -> x @1
+        }";
+    let l = parse_loop(source).unwrap();
+    assert_eq!(l.ddg.node_count(), 9);
+    let text = print_loop(&l.name, &l.ddg);
+    let back = parse_loop(&text).unwrap();
+    assert!(same_structure(&l.ddg, &back.ddg));
+    assert_eq!(back.name, "tomcatv_inner");
+}

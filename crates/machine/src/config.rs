@@ -1,0 +1,735 @@
+//! The clustered machine configuration.
+
+use std::fmt;
+
+use cvliw_ddg::{Ddg, Edge, OpClass, OpKind};
+
+use crate::error::SpecError;
+use crate::latency::LatencyTable;
+
+/// Functional units of each class available **per cluster**.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FuCounts {
+    /// Integer units.
+    pub int: u8,
+    /// Floating-point units.
+    pub fp: u8,
+    /// Memory ports.
+    pub mem: u8,
+}
+
+impl FuCounts {
+    /// Units of a given class.
+    #[must_use]
+    pub fn of(self, class: OpClass) -> u8 {
+        match class {
+            OpClass::Int => self.int,
+            OpClass::Fp => self.fp,
+            OpClass::Mem => self.mem,
+        }
+    }
+
+    /// Total issue slots per cluster.
+    #[must_use]
+    pub fn issue_width(self) -> u32 {
+        u32::from(self.int) + u32::from(self.fp) + u32::from(self.mem)
+    }
+}
+
+/// A clustered VLIW machine configuration.
+///
+/// Immutable once constructed; see [`MachineConfig::from_spec`] for the
+/// `wcxbylzr` naming used throughout the paper and this workspace.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MachineConfig {
+    clusters: u8,
+    buses: u8,
+    bus_latency: u32,
+    regs_per_cluster: u32,
+    /// One entry per cluster. All entries are equal for the paper's
+    /// homogeneous machines; [`MachineConfig::heterogeneous`] allows them
+    /// to differ (§2.1 of the paper: "the proposed algorithm can be easily
+    /// extended to deal with heterogeneous clusters").
+    fu: Vec<FuCounts>,
+    latencies: LatencyTable,
+    /// Whether a bus accepts a new transfer every cycle (delivery latency
+    /// unchanged). The paper's buses are **not** pipelined; this knob
+    /// exists for the `ablation_bus_model` experiment.
+    pipelined_buses: bool,
+}
+
+/// Total units of each class across the whole 12-issue machine of the paper.
+const TOTAL_PER_CLASS: u8 = 4;
+
+/// Cluster sets are 32-bit masks throughout the workspace.
+const MAX_CLUSTERS: usize = 32;
+
+impl MachineConfig {
+    /// Builds a homogeneous configuration from explicit parts.
+    ///
+    /// `fu` is the per-cluster unit mix, identical in every cluster. A
+    /// machine with `buses == 0` cannot communicate between clusters at all
+    /// (only meaningful together with `clusters == 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::ZeroField`] if `clusters`, `bus_latency` (with
+    /// `buses > 0`) or `regs_per_cluster` is zero.
+    pub fn new(
+        clusters: u8,
+        buses: u8,
+        bus_latency: u32,
+        regs_per_cluster: u32,
+        fu: FuCounts,
+        latencies: LatencyTable,
+    ) -> Result<Self, SpecError> {
+        if clusters == 0 {
+            return Err(SpecError::ZeroField { field: "clusters" });
+        }
+        Self::heterogeneous(
+            vec![fu; clusters as usize],
+            buses,
+            bus_latency,
+            regs_per_cluster,
+            latencies,
+        )
+    }
+
+    /// Builds a configuration with a **different unit mix per cluster** —
+    /// the §2.1 extension. The number of clusters is `cluster_fu.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::ZeroField`] if `cluster_fu` is empty,
+    /// `regs_per_cluster` is zero, or `bus_latency` is zero while
+    /// `buses > 0`; [`SpecError::TooManyClusters`] beyond 32 clusters (the
+    /// width of the cluster bit-masks used throughout the workspace).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cvliw_machine::{FuCounts, LatencyTable, MachineConfig};
+    ///
+    /// // An fp-heavy cluster next to an int/mem "address engine".
+    /// let m = MachineConfig::heterogeneous(
+    ///     vec![
+    ///         FuCounts { int: 0, fp: 3, mem: 1 },
+    ///         FuCounts { int: 3, fp: 0, mem: 2 },
+    ///     ],
+    ///     1,
+    ///     2,
+    ///     64,
+    ///     LatencyTable::PAPER,
+    /// )?;
+    /// assert!(m.is_heterogeneous());
+    /// assert_eq!(m.issue_width(), 9);
+    /// # Ok::<(), cvliw_machine::SpecError>(())
+    /// ```
+    pub fn heterogeneous(
+        cluster_fu: Vec<FuCounts>,
+        buses: u8,
+        bus_latency: u32,
+        regs_per_cluster: u32,
+        latencies: LatencyTable,
+    ) -> Result<Self, SpecError> {
+        if cluster_fu.is_empty() {
+            return Err(SpecError::ZeroField { field: "clusters" });
+        }
+        if cluster_fu.len() > MAX_CLUSTERS {
+            return Err(SpecError::TooManyClusters { clusters: cluster_fu.len() });
+        }
+        if regs_per_cluster == 0 {
+            return Err(SpecError::ZeroField { field: "registers" });
+        }
+        if buses > 0 && bus_latency == 0 {
+            return Err(SpecError::ZeroField { field: "bus latency" });
+        }
+        Ok(MachineConfig {
+            clusters: cluster_fu.len() as u8,
+            buses,
+            bus_latency,
+            regs_per_cluster,
+            fu: cluster_fu,
+            latencies,
+            pipelined_buses: false,
+        })
+    }
+
+    /// Returns the same machine with **pipelined** register buses: a bus
+    /// accepts a new transfer every cycle while each transfer still takes
+    /// [`MachineConfig::bus_latency`] cycles to deliver. The paper's
+    /// machines are unpipelined (`bus_coms = ⌊II/bus_lat⌋·nof_buses`, §3);
+    /// this variant exists to measure how much of the communication
+    /// problem is bus *occupancy* rather than latency
+    /// (`ablation_bus_model`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cvliw_machine::MachineConfig;
+    /// let m = MachineConfig::from_spec("4c1b2l64r")?.with_pipelined_buses();
+    /// assert!(m.pipelined_buses());
+    /// assert_eq!(m.bus_coms_per_ii(4), 4); // one per cycle, not ⌊4/2⌋
+    /// # Ok::<(), cvliw_machine::SpecError>(())
+    /// ```
+    #[must_use]
+    pub fn with_pipelined_buses(mut self) -> Self {
+        self.pipelined_buses = true;
+        self
+    }
+
+    /// Whether buses accept a new transfer every cycle.
+    #[must_use]
+    pub fn pipelined_buses(&self) -> bool {
+        self.pipelined_buses
+    }
+
+    /// Cycles a transfer occupies its bus: 1 when pipelined, the full
+    /// [`MachineConfig::bus_latency`] otherwise.
+    #[must_use]
+    pub fn bus_occupancy(&self) -> u32 {
+        if self.pipelined_buses {
+            1
+        } else {
+            self.bus_latency
+        }
+    }
+
+    /// Parses a `wcxbylzr` spec such as `"4c2b4l64r"`: `w` clusters, `x`
+    /// buses, `y` cycles of bus latency, `z` registers per cluster. The
+    /// paper's 12-issue unit pool (4 INT, 4 FP, 4 MEM) is divided evenly
+    /// among clusters and Table-1 latencies are used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Malformed`] for syntax errors,
+    /// [`SpecError::UnevenSplit`] if `w` does not divide 4, and
+    /// [`SpecError::ZeroField`] for zero fields.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cvliw_machine::MachineConfig;
+    /// let m = MachineConfig::from_spec("2c1b2l64r")?;
+    /// assert_eq!((m.clusters(), m.buses(), m.bus_latency(), m.regs_per_cluster()),
+    ///            (2, 1, 2, 64));
+    /// # Ok::<(), cvliw_machine::SpecError>(())
+    /// ```
+    pub fn from_spec(spec: &str) -> Result<Self, SpecError> {
+        let malformed = || SpecError::Malformed { spec: spec.to_string() };
+        let mut rest = spec;
+        let mut fields = [0u32; 4];
+        for (i, marker) in ['c', 'b', 'l', 'r'].into_iter().enumerate() {
+            let pos = rest.find(marker).ok_or_else(malformed)?;
+            let (num, tail) = rest.split_at(pos);
+            fields[i] = num.parse().map_err(|_| malformed())?;
+            rest = &tail[1..];
+        }
+        if !rest.is_empty() {
+            return Err(malformed());
+        }
+        let [w, x, y, z] = fields;
+        let clusters = u8::try_from(w).map_err(|_| malformed())?;
+        if clusters == 0 {
+            return Err(SpecError::ZeroField { field: "clusters" });
+        }
+        if !TOTAL_PER_CLASS.is_multiple_of(clusters) {
+            return Err(SpecError::UnevenSplit { clusters });
+        }
+        let per = TOTAL_PER_CLASS / clusters;
+        MachineConfig::new(
+            clusters,
+            u8::try_from(x).map_err(|_| malformed())?,
+            y,
+            z,
+            FuCounts { int: per, fp: per, mem: per },
+            LatencyTable::PAPER,
+        )
+    }
+
+    /// Parses either a plain `wcxbylzr` spec, the word `unified`, or the
+    /// extended heterogeneous form
+    /// `het:<int>.<fp>.<mem>[+<int>.<fp>.<mem>...]:<x>b<y>l<z>r` — one
+    /// `int.fp.mem` triple per cluster.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`MachineConfig::from_spec`] and
+    /// [`MachineConfig::heterogeneous`] reject, with
+    /// [`SpecError::Malformed`] for syntax errors in the extended form.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cvliw_machine::MachineConfig;
+    ///
+    /// // An fp cluster and an int-heavy address engine, one 2-cycle bus.
+    /// let m = MachineConfig::from_extended_spec("het:0.3.1+3.0.2:1b2l64r")?;
+    /// assert!(m.is_heterogeneous());
+    /// assert_eq!(m.clusters(), 2);
+    /// assert_eq!(m.buses(), 1);
+    ///
+    /// // Plain specs still work.
+    /// let p = MachineConfig::from_extended_spec("4c2b4l64r")?;
+    /// assert_eq!(p.clusters(), 4);
+    /// # Ok::<(), cvliw_machine::SpecError>(())
+    /// ```
+    pub fn from_extended_spec(spec: &str) -> Result<Self, SpecError> {
+        if spec == "unified" {
+            return Ok(MachineConfig::unified(256));
+        }
+        let Some(rest) = spec.strip_prefix("het:") else {
+            return MachineConfig::from_spec(spec);
+        };
+        let malformed = || SpecError::Malformed { spec: spec.to_string() };
+        let (mix, tail) = rest.split_once(':').ok_or_else(malformed)?;
+        let mut cluster_fu = Vec::new();
+        for triple in mix.split('+') {
+            let mut parts = triple.split('.');
+            let mut next = || -> Result<u8, SpecError> {
+                parts.next().ok_or_else(malformed)?.parse().map_err(|_| malformed())
+            };
+            let fu = FuCounts { int: next()?, fp: next()?, mem: next()? };
+            if parts.next().is_some() {
+                return Err(malformed());
+            }
+            cluster_fu.push(fu);
+        }
+        // The tail reuses the bus/latency/register part of the plain
+        // grammar: <x>b<y>l<z>r.
+        let mut rest = tail;
+        let mut fields = [0u32; 3];
+        for (i, marker) in ['b', 'l', 'r'].into_iter().enumerate() {
+            let pos = rest.find(marker).ok_or_else(malformed)?;
+            let (num, after) = rest.split_at(pos);
+            fields[i] = num.parse().map_err(|_| malformed())?;
+            rest = &after[1..];
+        }
+        if !rest.is_empty() {
+            return Err(malformed());
+        }
+        let [buses, lat, regs] = fields;
+        MachineConfig::heterogeneous(
+            cluster_fu,
+            u8::try_from(buses).map_err(|_| malformed())?,
+            lat,
+            regs,
+            LatencyTable::PAPER,
+        )
+    }
+
+    /// The unified (non-clustered) machine of Figure 8: all 12 issue slots
+    /// in a single cluster, no buses, `regs` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regs` is zero.
+    #[must_use]
+    pub fn unified(regs: u32) -> Self {
+        MachineConfig::new(
+            1,
+            0,
+            1,
+            regs,
+            FuCounts { int: TOTAL_PER_CLASS, fp: TOTAL_PER_CLASS, mem: TOTAL_PER_CLASS },
+            LatencyTable::PAPER,
+        )
+        .expect("unified config is valid for positive regs")
+    }
+
+    /// The `wcxbylzr` name of this configuration (inverse of
+    /// [`MachineConfig::from_spec`] for evenly split machines).
+    /// Heterogeneous machines carry a `+het` suffix since no plain spec
+    /// can reconstruct them.
+    #[must_use]
+    pub fn spec(&self) -> String {
+        let het = if self.is_heterogeneous() { "+het" } else { "" };
+        format!(
+            "{}c{}b{}l{}r{het}",
+            self.clusters, self.buses, self.bus_latency, self.regs_per_cluster
+        )
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn clusters(&self) -> u8 {
+        self.clusters
+    }
+
+    /// Cluster indices `0..clusters`.
+    pub fn cluster_ids(&self) -> impl ExactSizeIterator<Item = u8> {
+        0..self.clusters
+    }
+
+    /// Number of inter-cluster register buses.
+    #[must_use]
+    pub fn buses(&self) -> u8 {
+        self.buses
+    }
+
+    /// Latency, in cycles, of one bus transfer.
+    #[must_use]
+    pub fn bus_latency(&self) -> u32 {
+        self.bus_latency
+    }
+
+    /// Registers per cluster.
+    #[must_use]
+    pub fn regs_per_cluster(&self) -> u32 {
+        self.regs_per_cluster
+    }
+
+    /// The functional-unit mix of cluster 0 (the mix of *every* cluster on
+    /// homogeneous machines; use [`MachineConfig::fu_counts_in`] when the
+    /// machine may be heterogeneous).
+    #[must_use]
+    pub fn fu_counts(&self) -> FuCounts {
+        self.fu[0]
+    }
+
+    /// The functional-unit mix of one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    #[must_use]
+    pub fn fu_counts_in(&self, cluster: u8) -> FuCounts {
+        self.fu[cluster as usize]
+    }
+
+    /// Functional units of `class` in cluster 0 (every cluster, on
+    /// homogeneous machines; use [`MachineConfig::fu_count_in`] when the
+    /// machine may be heterogeneous).
+    #[must_use]
+    pub fn fu_count(&self, class: OpClass) -> u8 {
+        self.fu[0].of(class)
+    }
+
+    /// Functional units of `class` in one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    #[must_use]
+    pub fn fu_count_in(&self, cluster: u8, class: OpClass) -> u8 {
+        self.fu[cluster as usize].of(class)
+    }
+
+    /// The largest per-cluster count of `class` across all clusters (used
+    /// for capacity pre-checks that only need *some* cluster to fit).
+    #[must_use]
+    pub fn max_fu_count(&self, class: OpClass) -> u8 {
+        self.fu.iter().map(|f| f.of(class)).max().unwrap_or(0)
+    }
+
+    /// Whether any two clusters differ in their unit mix.
+    #[must_use]
+    pub fn is_heterogeneous(&self) -> bool {
+        self.fu.iter().any(|f| *f != self.fu[0])
+    }
+
+    /// Functional units of `class` across the whole machine.
+    #[must_use]
+    pub fn total_fu(&self, class: OpClass) -> u32 {
+        self.fu.iter().map(|f| u32::from(f.of(class))).sum()
+    }
+
+    /// Total issue width of the machine.
+    #[must_use]
+    pub fn issue_width(&self) -> u32 {
+        self.fu.iter().map(|f| f.issue_width()).sum()
+    }
+
+    /// Whether the machine has more than one cluster.
+    #[must_use]
+    pub fn is_clustered(&self) -> bool {
+        self.clusters > 1
+    }
+
+    /// The latency table in effect.
+    #[must_use]
+    pub fn latencies(&self) -> &LatencyTable {
+        &self.latencies
+    }
+
+    /// Latency of one operation.
+    #[must_use]
+    pub fn latency(&self, kind: OpKind) -> u32 {
+        self.latencies.latency(kind)
+    }
+
+    /// Edge-latency closure for the analyses in [`cvliw_ddg`]: the latency
+    /// of a dependence is the latency of its producing operation.
+    pub fn edge_latency<'a>(&'a self, ddg: &'a Ddg) -> impl Fn(&Edge) -> u32 + 'a {
+        move |e: &Edge| self.latency(ddg.kind(e.src))
+    }
+
+    /// Maximum number of communications schedulable in one initiation
+    /// interval: `floor(II / bus_lat) · nof_buses` (§3 of the paper). Buses
+    /// are not pipelined; each transfer occupies its bus for
+    /// [`MachineConfig::bus_latency`] cycles.
+    #[must_use]
+    pub fn bus_coms_per_ii(&self, ii: u32) -> u32 {
+        if self.buses == 0 {
+            return 0;
+        }
+        (ii / self.bus_occupancy()) * u32::from(self.buses)
+    }
+
+    /// The smallest initiation interval whose bus bandwidth fits `ncoms`
+    /// communications (the paper's `IIpart`), or `None` if the machine has
+    /// no buses and `ncoms > 0`.
+    ///
+    /// `floor(II/occ)·buses ≥ n  ⇔  II ≥ occ·ceil(n/buses)` where `occ`
+    /// is the per-transfer bus occupancy.
+    #[must_use]
+    pub fn min_ii_for_coms(&self, ncoms: u32) -> Option<u32> {
+        if ncoms == 0 {
+            return Some(0);
+        }
+        if self.buses == 0 {
+            return None;
+        }
+        Some(self.bus_occupancy() * ncoms.div_ceil(u32::from(self.buses)))
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_paper_specs() {
+        for spec in ["2c1b2l64r", "2c2b4l64r", "4c1b2l64r", "4c2b4l64r", "4c2b2l64r", "4c4b4l64r"]
+        {
+            let m = MachineConfig::from_spec(spec).unwrap();
+            assert_eq!(m.spec(), spec);
+            assert_eq!(m.issue_width(), 12);
+        }
+    }
+
+    #[test]
+    fn two_cluster_split_matches_table_1() {
+        let m = MachineConfig::from_spec("2c1b2l64r").unwrap();
+        assert_eq!(m.fu_counts(), FuCounts { int: 2, fp: 2, mem: 2 });
+        assert_eq!(m.total_fu(OpClass::Int), 4);
+    }
+
+    #[test]
+    fn four_cluster_split_matches_table_1() {
+        let m = MachineConfig::from_spec("4c1b2l64r").unwrap();
+        assert_eq!(m.fu_counts(), FuCounts { int: 1, fp: 1, mem: 1 });
+        assert_eq!(m.total_fu(OpClass::Mem), 4);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in ["", "4c", "c1b2l64r", "4c2b4l64", "4x2b4l64r", "4c2b4l64r1", "ac2b4l64r"] {
+            assert!(
+                matches!(MachineConfig::from_spec(bad), Err(SpecError::Malformed { .. })),
+                "{bad} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_uneven_split() {
+        assert_eq!(
+            MachineConfig::from_spec("3c1b2l64r").unwrap_err(),
+            SpecError::UnevenSplit { clusters: 3 }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_fields() {
+        assert!(matches!(
+            MachineConfig::from_spec("0c1b2l64r"),
+            Err(SpecError::ZeroField { field: "clusters" })
+        ));
+        assert!(matches!(
+            MachineConfig::from_spec("4c1b0l64r"),
+            Err(SpecError::ZeroField { field: "bus latency" })
+        ));
+        assert!(matches!(
+            MachineConfig::from_spec("4c1b2l0r"),
+            Err(SpecError::ZeroField { field: "registers" })
+        ));
+    }
+
+    #[test]
+    fn unified_machine() {
+        let m = MachineConfig::unified(256);
+        assert!(!m.is_clustered());
+        assert_eq!(m.issue_width(), 12);
+        assert_eq!(m.buses(), 0);
+        assert_eq!(m.bus_coms_per_ii(100), 0);
+        assert_eq!(m.min_ii_for_coms(0), Some(0));
+        assert_eq!(m.min_ii_for_coms(1), None);
+    }
+
+    #[test]
+    fn bus_capacity_formula() {
+        let m = MachineConfig::from_spec("4c2b4l64r").unwrap();
+        // floor(II/4) * 2 buses
+        assert_eq!(m.bus_coms_per_ii(3), 0);
+        assert_eq!(m.bus_coms_per_ii(4), 2);
+        assert_eq!(m.bus_coms_per_ii(7), 2);
+        assert_eq!(m.bus_coms_per_ii(8), 4);
+    }
+
+    #[test]
+    fn min_ii_for_coms_is_inverse_of_capacity() {
+        for spec in ["2c1b2l64r", "4c2b4l64r", "4c4b4l64r"] {
+            let m = MachineConfig::from_spec(spec).unwrap();
+            for ncoms in 0..40u32 {
+                let ii = m.min_ii_for_coms(ncoms).unwrap();
+                assert!(m.bus_coms_per_ii(ii.max(1)) >= ncoms || ii == 0 && ncoms == 0);
+                if ii > 0 {
+                    assert!(m.bus_coms_per_ii(ii - 1) < ncoms, "{spec} ncoms={ncoms}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_latency_closure_uses_producer() {
+        let mut b = Ddg::builder();
+        let ld = b.add_node(OpKind::Load);
+        let mul = b.add_node(OpKind::FpMul);
+        b.data(ld, mul);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::from_spec("2c1b2l64r").unwrap();
+        let lat = m.edge_latency(&ddg);
+        let e = ddg.edges().next().unwrap();
+        assert_eq!(lat(e), 2); // load latency
+    }
+
+    #[test]
+    fn display_is_spec() {
+        let m = MachineConfig::from_spec("4c4b4l64r").unwrap();
+        assert_eq!(m.to_string(), "4c4b4l64r");
+    }
+
+    fn fp_and_int_clusters() -> MachineConfig {
+        MachineConfig::heterogeneous(
+            vec![FuCounts { int: 0, fp: 3, mem: 1 }, FuCounts { int: 3, fp: 0, mem: 2 }],
+            1,
+            2,
+            64,
+            LatencyTable::PAPER,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn heterogeneous_counts_are_per_cluster() {
+        let m = fp_and_int_clusters();
+        assert!(m.is_heterogeneous());
+        assert_eq!(m.clusters(), 2);
+        assert_eq!(m.fu_count_in(0, OpClass::Fp), 3);
+        assert_eq!(m.fu_count_in(1, OpClass::Fp), 0);
+        assert_eq!(m.fu_count_in(0, OpClass::Int), 0);
+        assert_eq!(m.fu_count_in(1, OpClass::Int), 3);
+        assert_eq!(m.total_fu(OpClass::Mem), 3);
+        assert_eq!(m.max_fu_count(OpClass::Fp), 3);
+        assert_eq!(m.max_fu_count(OpClass::Int), 3);
+        assert_eq!(m.issue_width(), 9);
+    }
+
+    #[test]
+    fn heterogeneous_spec_is_marked() {
+        let m = fp_and_int_clusters();
+        assert_eq!(m.spec(), "2c1b2l64r+het");
+    }
+
+    #[test]
+    fn homogeneous_machines_report_uniform_counts() {
+        let m = MachineConfig::from_spec("2c1b2l64r").unwrap();
+        assert!(!m.is_heterogeneous());
+        for c in m.cluster_ids() {
+            for class in OpClass::ALL {
+                assert_eq!(m.fu_count_in(c, class), m.fu_count(class));
+            }
+        }
+        assert_eq!(m.fu_counts_in(1), m.fu_counts());
+    }
+
+    #[test]
+    fn pipelined_buses_change_occupancy_not_latency() {
+        let m = MachineConfig::from_spec("4c1b2l64r").unwrap();
+        let p = m.clone().with_pipelined_buses();
+        assert!(!m.pipelined_buses() && p.pipelined_buses());
+        assert_eq!(m.bus_occupancy(), 2);
+        assert_eq!(p.bus_occupancy(), 1);
+        assert_eq!(p.bus_latency(), m.bus_latency(), "delivery latency unchanged");
+        // Capacity: floor(II/occ)·buses.
+        assert_eq!(m.bus_coms_per_ii(5), 2);
+        assert_eq!(p.bus_coms_per_ii(5), 5);
+        // And the inverse stays consistent.
+        for n in 0..20 {
+            let ii = p.min_ii_for_coms(n).unwrap();
+            assert!(p.bus_coms_per_ii(ii.max(1)) >= n || n == 0);
+        }
+    }
+
+    #[test]
+    fn extended_spec_parses_het_machines() {
+        let m = MachineConfig::from_extended_spec("het:0.3.1+3.0.2:1b2l64r").unwrap();
+        assert!(m.is_heterogeneous());
+        assert_eq!(m.fu_counts_in(0), FuCounts { int: 0, fp: 3, mem: 1 });
+        assert_eq!(m.fu_counts_in(1), FuCounts { int: 3, fp: 0, mem: 2 });
+        assert_eq!((m.buses(), m.bus_latency(), m.regs_per_cluster()), (1, 2, 64));
+    }
+
+    #[test]
+    fn extended_spec_accepts_plain_and_unified() {
+        assert_eq!(
+            MachineConfig::from_extended_spec("4c2b4l64r").unwrap(),
+            MachineConfig::from_spec("4c2b4l64r").unwrap()
+        );
+        assert_eq!(
+            MachineConfig::from_extended_spec("unified").unwrap(),
+            MachineConfig::unified(256)
+        );
+    }
+
+    #[test]
+    fn extended_spec_rejects_garbage() {
+        for bad in [
+            "het:",
+            "het:1.1.1",          // missing tail
+            "het:1.1:1b2l64r",    // two-part triple
+            "het:1.1.1.1:1b2l64r",// four-part triple
+            "het:a.b.c:1b2l64r",  // non-numeric
+            "het:1.1.1:1b2l64",   // malformed tail
+            "het:1.1.1:1b2l64rX", // trailing junk
+        ] {
+            assert!(
+                matches!(
+                    MachineConfig::from_extended_spec(bad),
+                    Err(SpecError::Malformed { .. })
+                ),
+                "{bad} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_rejects_empty_and_oversized() {
+        assert_eq!(
+            MachineConfig::heterogeneous(vec![], 1, 2, 64, LatencyTable::PAPER).unwrap_err(),
+            SpecError::ZeroField { field: "clusters" }
+        );
+        let too_many = vec![FuCounts { int: 1, fp: 1, mem: 1 }; 33];
+        assert_eq!(
+            MachineConfig::heterogeneous(too_many, 1, 2, 64, LatencyTable::PAPER).unwrap_err(),
+            SpecError::TooManyClusters { clusters: 33 }
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Errors for machine-configuration parsing and construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when parsing a `wcxbylzr` specification string or building
+/// an inconsistent [`crate::MachineConfig`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// The spec string does not have the `<w>c<x>b<y>l<z>r` shape.
+    Malformed {
+        /// The offending input.
+        spec: String,
+    },
+    /// A numeric field is zero where a positive value is required.
+    ZeroField {
+        /// Name of the field (`"clusters"`, `"bus latency"`, `"registers"`).
+        field: &'static str,
+    },
+    /// The 12-wide machine (4 units per class) cannot be split evenly into
+    /// this many clusters.
+    UnevenSplit {
+        /// Requested number of clusters.
+        clusters: u8,
+    },
+    /// More clusters than the 32-bit cluster masks can address.
+    TooManyClusters {
+        /// Requested number of clusters.
+        clusters: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Malformed { spec } => {
+                write!(f, "machine spec `{spec}` is not of the form <w>c<x>b<y>l<z>r")
+            }
+            SpecError::ZeroField { field } => write!(f, "machine {field} must be positive"),
+            SpecError::UnevenSplit { clusters } => write!(
+                f,
+                "cannot split 4 units of each class evenly into {clusters} clusters"
+            ),
+            SpecError::TooManyClusters { clusters } => {
+                write!(f, "{clusters} clusters exceed the 32-cluster limit")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SpecError::Malformed { spec: "zzz".into() }.to_string().contains("zzz"));
+        assert!(SpecError::ZeroField { field: "clusters" }.to_string().contains("clusters"));
+        assert!(SpecError::UnevenSplit { clusters: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,109 @@
+//! Operation latencies (Table 1 of the paper).
+
+use cvliw_ddg::{LatencyClass, OpKind};
+
+/// Cycle latencies per latency row, split by integer/floating-point as in
+/// Table 1 of the paper:
+///
+/// | row      | INT | FP |
+/// |----------|-----|----|
+/// | MEM      | 2   | 2  |
+/// | ARITH    | 1   | 3  |
+/// | MUL/ABS  | 2   | 6  |
+/// | DIV/SQRT | 6   | 18 |
+///
+/// Memory operations use the MEM row regardless of the datum's type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LatencyTable {
+    /// Load/store latency.
+    pub mem: u32,
+    /// Integer ALU latency.
+    pub int_arith: u32,
+    /// Floating-point add/sub latency.
+    pub fp_arith: u32,
+    /// Integer multiply latency.
+    pub int_mul_abs: u32,
+    /// Floating-point multiply/abs latency.
+    pub fp_mul_abs: u32,
+    /// Integer divide latency.
+    pub int_div_sqrt: u32,
+    /// Floating-point divide/sqrt latency.
+    pub fp_div_sqrt: u32,
+}
+
+impl LatencyTable {
+    /// The latencies of Table 1.
+    pub const PAPER: LatencyTable = LatencyTable {
+        mem: 2,
+        int_arith: 1,
+        fp_arith: 3,
+        int_mul_abs: 2,
+        fp_mul_abs: 6,
+        int_div_sqrt: 6,
+        fp_div_sqrt: 18,
+    };
+
+    /// Unit latencies for every row; handy in focused scheduler tests.
+    pub const UNIT: LatencyTable = LatencyTable {
+        mem: 1,
+        int_arith: 1,
+        fp_arith: 1,
+        int_mul_abs: 1,
+        fp_mul_abs: 1,
+        int_div_sqrt: 1,
+        fp_div_sqrt: 1,
+    };
+
+    /// Latency of one operation kind.
+    #[must_use]
+    pub fn latency(&self, kind: OpKind) -> u32 {
+        match (kind.latency_class(), kind.is_fp()) {
+            (LatencyClass::Mem, _) => self.mem,
+            (LatencyClass::Arith, false) => self.int_arith,
+            (LatencyClass::Arith, true) => self.fp_arith,
+            (LatencyClass::MulAbs, false) => self.int_mul_abs,
+            (LatencyClass::MulAbs, true) => self.fp_mul_abs,
+            (LatencyClass::DivSqrt, false) => self.int_div_sqrt,
+            (LatencyClass::DivSqrt, true) => self.fp_div_sqrt,
+        }
+    }
+}
+
+impl Default for LatencyTable {
+    /// Defaults to the paper's Table 1.
+    fn default() -> Self {
+        LatencyTable::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latencies_match_table_1() {
+        let t = LatencyTable::PAPER;
+        assert_eq!(t.latency(OpKind::Load), 2);
+        assert_eq!(t.latency(OpKind::Store), 2);
+        assert_eq!(t.latency(OpKind::IntAdd), 1);
+        assert_eq!(t.latency(OpKind::FpAdd), 3);
+        assert_eq!(t.latency(OpKind::IntMul), 2);
+        assert_eq!(t.latency(OpKind::FpMul), 6);
+        assert_eq!(t.latency(OpKind::FpAbs), 6);
+        assert_eq!(t.latency(OpKind::IntDiv), 6);
+        assert_eq!(t.latency(OpKind::FpDiv), 18);
+        assert_eq!(t.latency(OpKind::FpSqrt), 18);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(LatencyTable::default(), LatencyTable::PAPER);
+    }
+
+    #[test]
+    fn unit_table_is_all_ones() {
+        for kind in OpKind::ALL {
+            assert_eq!(LatencyTable::UNIT.latency(kind), 1);
+        }
+    }
+}

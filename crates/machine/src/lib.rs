@@ -1,0 +1,36 @@
+//! Clustered VLIW machine model for the MICRO-36 2003 instruction
+//! replication paper.
+//!
+//! The paper evaluates a statically scheduled VLIW with a total issue width
+//! of 12 (4 integer units, 4 floating-point units, 4 memory ports) whose
+//! resources are split into 1, 2 or 4 **clusters**. Each cluster has a
+//! private register file; values move between clusters over a small number
+//! of shared **register buses** with multi-cycle latency. Configurations are
+//! named `wcxbylzr`: `w` clusters, `x` buses, `y` cycles of bus latency and
+//! `z` registers per cluster — e.g. `4c2b4l64r`.
+//!
+//! # Example
+//!
+//! ```
+//! use cvliw_machine::MachineConfig;
+//!
+//! let m = MachineConfig::from_spec("4c2b4l64r")?;
+//! assert_eq!(m.clusters(), 4);
+//! assert_eq!(m.fu_count(cvliw_ddg::OpClass::Fp), 1); // 4 FP units / 4 clusters
+//! assert_eq!(m.bus_coms_per_ii(8), 4);               // floor(8/4) per bus × 2 buses
+//! assert_eq!(m.spec(), "4c2b4l64r");
+//! # Ok::<(), cvliw_machine::SpecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod latency;
+mod presets;
+
+pub use config::{FuCounts, MachineConfig};
+pub use error::SpecError;
+pub use latency::LatencyTable;
+pub use presets::{fig1_specs, fig8_specs, fig10_specs, paper_specs, register_sweep_specs};

@@ -1,0 +1,61 @@
+//! Configuration sets used by the paper's experiments.
+
+/// The six clustered configurations of Figure 7 (and Figures 10/12).
+#[must_use]
+pub fn paper_specs() -> [&'static str; 6] {
+    ["2c1b2l64r", "2c2b4l64r", "4c1b2l64r", "4c2b4l64r", "4c2b2l64r", "4c4b4l64r"]
+}
+
+/// The three configurations of Figure 1 (causes for increasing the II).
+#[must_use]
+pub fn fig1_specs() -> [&'static str; 3] {
+    ["2c1b2l64r", "4c1b2l64r", "4c2b2l64r"]
+}
+
+/// The clustered configurations of Figure 8 (mgrid vs the unified machine);
+/// the paper plots them with a 2-cycle bus and 64 registers.
+#[must_use]
+pub fn fig8_specs() -> [&'static str; 3] {
+    ["2c1b2l64r", "4c1b2l64r", "4c2b2l64r"]
+}
+
+/// The six configurations of Figure 10, in the paper's bar order
+/// (2-cycle-bus group then 4-cycle-bus group).
+#[must_use]
+pub fn fig10_specs() -> [&'static str; 6] {
+    ["2c1b2l64r", "4c1b2l64r", "4c2b2l64r", "2c2b4l64r", "4c2b4l64r", "4c4b4l64r"]
+}
+
+/// Register-file sweep mentioned in §4: 32, 64 and 128 registers per
+/// cluster on the 4-cluster, 1-bus machine.
+#[must_use]
+pub fn register_sweep_specs() -> [&'static str; 3] {
+    ["4c1b2l32r", "4c1b2l64r", "4c1b2l128r"]
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MachineConfig;
+
+    #[test]
+    fn all_preset_specs_parse() {
+        let all = super::paper_specs()
+            .into_iter()
+            .chain(super::fig1_specs())
+            .chain(super::fig8_specs())
+            .chain(super::fig10_specs())
+            .chain(super::register_sweep_specs());
+        for spec in all {
+            assert_eq!(MachineConfig::from_spec(spec).unwrap().spec(), spec);
+        }
+    }
+
+    #[test]
+    fn fig10_is_a_permutation_of_fig7_configs() {
+        let mut a = super::paper_specs();
+        let mut b = super::fig10_specs();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

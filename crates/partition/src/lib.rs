@@ -1,0 +1,75 @@
+//! Multilevel data-dependence-graph partitioning for clustered VLIW
+//! scheduling — the baseline scheduler's cluster-assignment stage
+//! (references \[1\] and \[2\] of the MICRO-36 2003 replication paper).
+//!
+//! The pipeline follows the paper's description:
+//!
+//! 1. **Edge weighting** ([`edge_weights`]): every data dependence is
+//!    weighted by the execution-time impact of paying a bus latency on it —
+//!    low-slack edges and edges inside recurrences are expensive to cut.
+//! 2. **Coarsening** ([`coarsen`]): repeated maximum-weight matchings group
+//!    nodes into macro-nodes until as many macro-nodes remain as the
+//!    machine has clusters, recording every intermediate level.
+//! 3. **Initial partition** ([`Hierarchy::initial_partition`]): the
+//!    coarsest macro-nodes map one-to-one onto clusters.
+//! 4. **Refinement** ([`refine`]): walking the hierarchy back from coarse
+//!    to fine, macro-nodes are greedily moved between clusters whenever a
+//!    pseudo-schedule-based score ([`PartitionScore`]) improves.
+//!
+//! [`partition_loop`] bundles the whole pipeline; [`refine_existing`] is
+//! the "Refine Partition" box of the paper's Figure 2, used by the driver
+//! each time the II is bumped.
+//!
+//! # Example
+//!
+//! ```
+//! use cvliw_ddg::{Ddg, OpKind};
+//! use cvliw_machine::MachineConfig;
+//! use cvliw_partition::partition_loop;
+//!
+//! let mut b = Ddg::builder();
+//! let ld = b.add_node(OpKind::Load);
+//! let m0 = b.add_node(OpKind::FpMul);
+//! let m1 = b.add_node(OpKind::FpMul);
+//! b.data(ld, m0).data(m0, m1);
+//! let ddg = b.build()?;
+//! let machine = MachineConfig::from_spec("2c1b2l64r")?;
+//!
+//! let part = partition_loop(&ddg, &machine, 1);
+//! // A dependent chain should stay in one cluster: no communications.
+//! assert_eq!(part.to_assignment().comm_count(&ddg), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coarsen;
+mod matching;
+mod partition;
+mod refine;
+mod weights;
+
+pub use coarsen::{coarsen, CoarseLevel, Hierarchy};
+pub use matching::greedy_matching;
+pub use partition::Partition;
+pub use refine::{refine, refine_existing, score_partition, PartitionScore};
+pub use weights::edge_weights;
+
+use cvliw_ddg::Ddg;
+use cvliw_machine::MachineConfig;
+
+/// Runs the full multilevel pipeline: weight, coarsen, seed, refine.
+///
+/// `ii` is the initiation interval the partition is being built for
+/// (normally the loop's MII); capacities and pseudo-schedules are evaluated
+/// at this II.
+#[must_use]
+pub fn partition_loop(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Partition {
+    if machine.clusters() == 1 {
+        return Partition::single_cluster(ddg.node_count());
+    }
+    let hierarchy = coarsen(ddg, machine, ii);
+    let initial = hierarchy.initial_partition();
+    refine(ddg, machine, ii, &hierarchy, initial)
+}

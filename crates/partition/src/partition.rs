@@ -1,0 +1,97 @@
+//! The partition type: one cluster per node.
+
+use cvliw_ddg::{Ddg, NodeId};
+use cvliw_sched::Assignment;
+
+/// A mapping of every DDG node to exactly one cluster.
+///
+/// This is what the multilevel partitioner produces; the replication pass
+/// later generalizes it to a multi-instance [`Assignment`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    cluster_of: Vec<u8>,
+}
+
+impl Partition {
+    /// Wraps an explicit node → cluster mapping.
+    #[must_use]
+    pub fn from_vec(cluster_of: Vec<u8>) -> Self {
+        Partition { cluster_of }
+    }
+
+    /// Everything in cluster 0 (used for unified machines).
+    #[must_use]
+    pub fn single_cluster(nodes: usize) -> Self {
+        Partition { cluster_of: vec![0; nodes] }
+    }
+
+    /// The cluster of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn cluster_of(&self, n: NodeId) -> u8 {
+        self.cluster_of[n.index()]
+    }
+
+    /// The raw mapping.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.cluster_of
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// Moves one node to another cluster.
+    pub fn set_cluster(&mut self, n: NodeId, cluster: u8) {
+        self.cluster_of[n.index()] = cluster;
+    }
+
+    /// Converts to the scheduler's multi-instance representation (each node
+    /// gets a single instance in its cluster, which also becomes its home).
+    #[must_use]
+    pub fn to_assignment(&self) -> Assignment {
+        Assignment::from_partition(&self.cluster_of)
+    }
+
+    /// Number of register values that cross clusters under this partition.
+    #[must_use]
+    pub fn comm_count(&self, ddg: &Ddg) -> u32 {
+        self.to_assignment().comm_count(ddg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_ddg::OpKind;
+
+    #[test]
+    fn round_trips_through_assignment() {
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::Load);
+        let c = b.add_node(OpKind::FpMul);
+        b.data(a, c);
+        let ddg = b.build().unwrap();
+        let p = Partition::from_vec(vec![0, 1]);
+        let asg = p.to_assignment();
+        assert!(asg.is_singleton());
+        assert_eq!(asg.home(a), 0);
+        assert_eq!(asg.home(c), 1);
+        assert_eq!(p.comm_count(&ddg), 1);
+    }
+
+    #[test]
+    fn set_cluster_moves_nodes() {
+        let mut p = Partition::single_cluster(3);
+        assert_eq!(p.as_slice(), &[0, 0, 0]);
+        p.set_cluster(NodeId::new(1), 3);
+        assert_eq!(p.cluster_of(NodeId::new(1)), 3);
+        assert_eq!(p.node_count(), 3);
+    }
+}

@@ -1,0 +1,255 @@
+//! Pseudo-schedule-guided refinement of a partition (reference [2]).
+
+use cvliw_ddg::{Ddg, NodeId};
+use cvliw_machine::MachineConfig;
+use cvliw_sched::pseudo_schedule;
+
+use crate::coarsen::{CoarseLevel, Hierarchy};
+use crate::partition::Partition;
+
+/// Comparable quality of a partition at a given II; **lower is better**.
+///
+/// The ordering is lexicographic over, in priority order: functional-unit
+/// capacity overflow, bus-bandwidth overflow, recurrence infeasibility,
+/// register overflow, communication count, estimated schedule length and
+/// load imbalance — i.e. first make the partition schedulable, then
+/// minimize communications, then the critical path, then balance.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PartitionScore {
+    key: (u32, u32, u8, u32, u32, i64, u32),
+}
+
+impl PartitionScore {
+    /// Number of communications in the scored partition.
+    #[must_use]
+    pub fn comms(&self) -> u32 {
+        self.key.4
+    }
+
+    /// Whether nothing rules the partition out at the scored II.
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        let (cap, bus, rec, reg, ..) = self.key;
+        cap == 0 && bus == 0 && rec == 0 && reg == 0
+    }
+
+    /// Estimated schedule length under the pseudo-schedule.
+    #[must_use]
+    pub fn est_length(&self) -> i64 {
+        self.key.5
+    }
+}
+
+/// Scores a partition with a pseudo-schedule (see [`PartitionScore`]).
+#[must_use]
+pub fn score_partition(
+    ddg: &Ddg,
+    part: &Partition,
+    machine: &MachineConfig,
+    ii: u32,
+) -> PartitionScore {
+    let assignment = part.to_assignment();
+    let ps = pseudo_schedule(ddg, &assignment, machine, ii);
+    let bus_overflow = ps.ncoms.saturating_sub(machine.bus_coms_per_ii(ii));
+    let usage = assignment.class_usage(ddg, machine.clusters());
+    let totals: Vec<u32> = usage.iter().map(|u| u.iter().sum()).collect();
+    let imbalance = totals.iter().max().unwrap_or(&0) - totals.iter().min().unwrap_or(&0);
+    PartitionScore {
+        key: (
+            ps.cap_overflow,
+            bus_overflow,
+            u8::from(!ps.recurrences_ok),
+            ps.reg_overflow,
+            ps.ncoms,
+            if ps.recurrences_ok { ps.est_length } else { i64::MAX },
+            imbalance,
+        ),
+    }
+}
+
+/// Maximum improvement passes per hierarchy level.
+const MAX_PASSES: usize = 2;
+
+/// Refines a partition by walking the hierarchy from coarse to fine,
+/// greedily moving macro-nodes between clusters while the score improves.
+#[must_use]
+pub fn refine(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    hierarchy: &Hierarchy,
+    initial: Partition,
+) -> Partition {
+    let mut part = initial;
+    // Skip the coarsest level: each of its macros is an entire cluster.
+    for level in hierarchy.levels.iter().rev().skip(1) {
+        part = refine_level(ddg, machine, ii, level, part);
+    }
+    part
+}
+
+/// The "Refine Partition" box of the paper's Figure 2: refinement at node
+/// granularity only, used by the driver whenever it increases the II.
+#[must_use]
+pub fn refine_existing(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    part: Partition,
+) -> Partition {
+    if machine.clusters() == 1 {
+        return part;
+    }
+    let identity = CoarseLevel {
+        macro_of: (0..ddg.node_count()).collect(),
+        n_macros: ddg.node_count(),
+    };
+    refine_level(ddg, machine, ii, &identity, part)
+}
+
+fn refine_level(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    level: &CoarseLevel,
+    mut part: Partition,
+) -> Partition {
+    let groups = level.groups();
+    let mut best_score = score_partition(ddg, &part, machine, ii);
+
+    // Only macros touching a cross-cluster data edge are move candidates.
+    let is_boundary = |part: &Partition, group: &[usize]| {
+        group.iter().any(|&i| {
+            let n = NodeId::new(i as u32);
+            let c = part.cluster_of(n);
+            ddg.out_edges(n)
+                .map(|e| e.dst)
+                .chain(ddg.in_edges(n).map(|e| e.src))
+                .any(|other| part.cluster_of(other) != c)
+        })
+    };
+
+    for _ in 0..MAX_PASSES {
+        let mut improved = false;
+        // Boundary gating is an optimization for feasible partitions; an
+        // infeasible one (e.g. fp work stranded in a cluster without fp
+        // units on a heterogeneous machine) may need interior moves.
+        let consider_all = !best_score.feasible();
+        for group in &groups {
+            if group.is_empty() || (!consider_all && !is_boundary(&part, group)) {
+                continue;
+            }
+            let current = part.cluster_of(NodeId::new(group[0] as u32));
+            let mut best_move: Option<(u8, PartitionScore)> = None;
+            for target in machine.cluster_ids() {
+                if target == current {
+                    continue;
+                }
+                for &i in group {
+                    part.set_cluster(NodeId::new(i as u32), target);
+                }
+                let score = score_partition(ddg, &part, machine, ii);
+                if score < best_score
+                    && best_move.as_ref().is_none_or(|(_, s)| score < *s)
+                {
+                    best_move = Some((target, score.clone()));
+                }
+                for &i in group {
+                    part.set_cluster(NodeId::new(i as u32), current);
+                }
+            }
+            if let Some((target, score)) = best_move {
+                for &i in group {
+                    part.set_cluster(NodeId::new(i as u32), target);
+                }
+                best_score = score;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::coarsen;
+    use cvliw_ddg::OpKind;
+
+    fn machine(spec: &str) -> MachineConfig {
+        MachineConfig::from_spec(spec).unwrap()
+    }
+
+    /// Two independent chains that obviously belong in separate clusters.
+    fn two_chains() -> Ddg {
+        let mut b = Ddg::builder();
+        for _ in 0..2 {
+            let x = b.add_node(OpKind::Load);
+            let y = b.add_node(OpKind::FpMul);
+            let z = b.add_node(OpKind::Store);
+            b.data(x, y).data(y, z);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_score() {
+        let ddg = two_chains();
+        let m = machine("2c1b2l64r");
+        let h = coarsen(&ddg, &m, 2);
+        let initial = h.initial_partition();
+        let initial_score = score_partition(&ddg, &initial, &m, 2);
+        let refined = refine(&ddg, &m, 2, &h, initial);
+        let refined_score = score_partition(&ddg, &refined, &m, 2);
+        assert!(refined_score <= initial_score);
+    }
+
+    #[test]
+    fn bad_partition_gets_fixed() {
+        // Deliberately split both chains across clusters: refinement should
+        // remove all communications.
+        let ddg = two_chains();
+        let m = machine("2c1b2l64r");
+        let bad = Partition::from_vec(vec![0, 1, 0, 1, 0, 1]);
+        assert!(bad.comm_count(&ddg) > 0);
+        let fixed = refine_existing(&ddg, &m, 2, bad);
+        assert_eq!(fixed.comm_count(&ddg), 0, "chains reunited: {:?}", fixed.as_slice());
+    }
+
+    #[test]
+    fn capacity_overflow_dominates_score() {
+        let mut b = Ddg::builder();
+        for _ in 0..4 {
+            b.add_node(OpKind::Load);
+        }
+        let ddg = b.build().unwrap();
+        let m = machine("4c1b2l64r"); // 1 mem port per cluster
+        let packed = Partition::from_vec(vec![0, 0, 0, 0]);
+        let spread = Partition::from_vec(vec![0, 1, 2, 3]);
+        let s_packed = score_partition(&ddg, &packed, &m, 1);
+        let s_spread = score_partition(&ddg, &spread, &m, 1);
+        assert!(s_spread < s_packed);
+        assert!(s_spread.feasible());
+        assert!(!s_packed.feasible());
+    }
+
+    #[test]
+    fn score_prefers_fewer_communications() {
+        let ddg = two_chains();
+        let m = machine("2c1b2l64r");
+        let clean = Partition::from_vec(vec![0, 0, 0, 1, 1, 1]);
+        let split = Partition::from_vec(vec![0, 0, 1, 1, 1, 1]);
+        assert!(score_partition(&ddg, &clean, &m, 4) < score_partition(&ddg, &split, &m, 4));
+    }
+
+    #[test]
+    fn single_cluster_refinement_is_identity() {
+        let ddg = two_chains();
+        let m = MachineConfig::unified(64);
+        let p = Partition::single_cluster(ddg.node_count());
+        assert_eq!(refine_existing(&ddg, &m, 2, p.clone()), p);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the multilevel partitioner: structural invariants of
+//! coarsening, matching, and refinement on arbitrary loop graphs.
+
+use cvliw_ddg::{Ddg, DepKind, OpKind};
+use cvliw_machine::MachineConfig;
+use cvliw_partition::{
+    coarsen, greedy_matching, partition_loop, refine_existing, score_partition, Partition,
+};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop::sample::select(OpKind::ALL.to_vec())
+}
+
+fn arb_ddg() -> impl Strategy<Value = Ddg> {
+    let nodes = prop::collection::vec(arb_kind(), 1..16);
+    nodes
+        .prop_flat_map(|kinds| {
+            let n = kinds.len();
+            let edges =
+                prop::collection::vec((0..n, 0..n, 0u32..2, prop::bool::ANY), 0..(2 * n));
+            (Just(kinds), edges)
+        })
+        .prop_map(|(kinds, edges)| {
+            let mut b = Ddg::builder();
+            let ids: Vec<_> = kinds.iter().map(|&k| b.add_node(k)).collect();
+            for (src, dst, dist, mem) in edges {
+                let kind = if mem || !kinds[src].produces_value() {
+                    DepKind::Mem
+                } else {
+                    DepKind::Data
+                };
+                if dist > 0 {
+                    b.edge(ids[src], ids[dst], kind, dist);
+                } else if src < dst {
+                    b.edge(ids[src], ids[dst], kind, 0);
+                }
+            }
+            b.build().expect("valid by construction")
+        })
+}
+
+fn arb_machine() -> impl Strategy<Value = MachineConfig> {
+    prop::sample::select(vec!["2c1b2l64r", "4c1b2l64r", "4c2b4l64r"])
+        .prop_map(|s| MachineConfig::from_spec(s).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn partition_loop_assigns_every_node_in_range(
+        ddg in arb_ddg(),
+        machine in arb_machine(),
+        ii in 1u32..8,
+    ) {
+        let part = partition_loop(&ddg, &machine, ii);
+        prop_assert_eq!(part.node_count(), ddg.node_count());
+        prop_assert!(part.as_slice().iter().all(|&c| c < machine.clusters()));
+    }
+
+    #[test]
+    fn coarsening_levels_shrink_to_cluster_count(
+        ddg in arb_ddg(),
+        machine in arb_machine(),
+        ii in 1u32..8,
+    ) {
+        let h = coarsen(&ddg, &machine, ii);
+        prop_assert!(!h.levels.is_empty());
+        // Level 0 is the identity; macro counts never grow level to level.
+        prop_assert_eq!(h.levels[0].n_macros, ddg.node_count());
+        for w in h.levels.windows(2) {
+            prop_assert!(w[1].n_macros <= w[0].n_macros);
+        }
+        let last = h.levels.last().expect("nonempty");
+        prop_assert!(last.n_macros <= (machine.clusters() as usize).max(1)
+            || ddg.node_count() <= machine.clusters() as usize);
+        // Every level is a total map into its macro count.
+        for level in &h.levels {
+            prop_assert_eq!(level.macro_of.len(), ddg.node_count());
+            prop_assert!(level.macro_of.iter().all(|&m| m < level.n_macros));
+        }
+    }
+
+    #[test]
+    fn greedy_matching_is_a_matching(
+        n in 2usize..20,
+        edges in prop::collection::vec((0usize..20, 0usize..20, 1u64..100), 0..40),
+    ) {
+        let edges: Vec<(usize, usize, u64)> = edges
+            .into_iter()
+            .filter(|&(a, b, _)| a < n && b < n && a != b)
+            .collect();
+        let matching = greedy_matching(n, &edges);
+        let mut seen = vec![false; n];
+        for &(a, b) in &matching {
+            prop_assert!(a < n && b < n && a != b);
+            prop_assert!(!seen[a], "node {a} matched twice");
+            prop_assert!(!seen[b], "node {b} matched twice");
+            seen[a] = true;
+            seen[b] = true;
+            prop_assert!(
+                edges.iter().any(|&(x, y, _)| (x, y) == (a, b) || (y, x) == (a, b)),
+                "matched pair ({a},{b}) is not an edge"
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_score(
+        ddg in arb_ddg(),
+        machine in arb_machine(),
+        ii in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        // Start from a deterministic pseudo-random partition and refine.
+        let n = ddg.node_count();
+        let mut state = seed | 1;
+        let initial: Vec<u8> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % u64::from(machine.clusters())) as u8
+            })
+            .collect();
+        let initial = Partition::from_vec(initial);
+        let before = score_partition(&ddg, &initial, &machine, ii);
+        let refined = refine_existing(&ddg, &machine, ii, initial);
+        let after = score_partition(&ddg, &refined, &machine, ii);
+        prop_assert!(after <= before, "refinement worsened the partition");
+    }
+
+    #[test]
+    fn single_node_graphs_partition_trivially(
+        kind in arb_kind(),
+        machine in arb_machine(),
+    ) {
+        let mut b = Ddg::builder();
+        b.add_node(kind);
+        let ddg = b.build().expect("valid");
+        let part = partition_loop(&ddg, &machine, 1);
+        prop_assert_eq!(part.node_count(), 1);
+        prop_assert_eq!(part.comm_count(&ddg), 0);
+    }
+}

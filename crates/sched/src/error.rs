@@ -1,0 +1,269 @@
+//! Scheduling failures and their attribution to II-increase causes.
+
+use std::error::Error;
+use std::fmt;
+
+use cvliw_ddg::{NodeId, OpClass};
+
+/// Why an II increase was needed — the categories of the paper's Figure 1,
+/// plus an explicit `Resources` bucket for plain functional-unit conflicts
+/// (the paper folds those into its scheduler's internals).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IiCause {
+    /// Too many inter-cluster communications for the bus bandwidth.
+    Bus,
+    /// A recurrence does not fit: a node's legal issue window closed.
+    Recurrence,
+    /// Register pressure exceeded the per-cluster register file.
+    Registers,
+    /// No functional-unit slot available (cluster saturated).
+    Resources,
+}
+
+impl IiCause {
+    /// All causes in reporting order.
+    pub const ALL: [IiCause; 4] =
+        [IiCause::Bus, IiCause::Recurrence, IiCause::Registers, IiCause::Resources];
+
+    /// Report label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IiCause::Bus => "bus",
+            IiCause::Recurrence => "recurrences",
+            IiCause::Registers => "registers",
+            IiCause::Resources => "resources",
+        }
+    }
+}
+
+impl fmt::Display for IiCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A failed attempt to schedule a loop at some initiation interval.
+///
+/// The driver reacts by increasing the II and refining the partition
+/// (Figure 2 of the paper); [`ScheduleError::cause`] classifies the failure
+/// for the Figure-1 statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// More communications than the buses can carry at this II.
+    Bus {
+        /// Communications required by the assignment.
+        needed: u32,
+        /// `floor(II/bus_lat)·buses`.
+        capacity: u32,
+    },
+    /// A node's issue window (bounded by scheduled predecessors *and*
+    /// successors) contained no legal slot.
+    Recurrence {
+        /// The node that could not be placed.
+        node: NodeId,
+    },
+    /// No functional-unit slot for this node anywhere in an open window.
+    FuSlots {
+        /// The node that could not be placed.
+        node: NodeId,
+        /// Its functional-unit class.
+        class: OpClass,
+        /// The saturated cluster.
+        cluster: u8,
+    },
+    /// No bus slot for a copy operation anywhere in its window.
+    CopySlots {
+        /// The communicated value.
+        value: NodeId,
+    },
+    /// MaxLive exceeded the register file of a cluster.
+    Registers {
+        /// The over-pressured cluster.
+        cluster: u8,
+        /// Estimated simultaneously-live values.
+        maxlive: u32,
+        /// Registers available in the cluster.
+        available: u32,
+    },
+}
+
+impl ScheduleError {
+    /// The Figure-1 cause bucket of this failure.
+    #[must_use]
+    pub fn cause(&self) -> IiCause {
+        match self {
+            ScheduleError::Bus { .. } | ScheduleError::CopySlots { .. } => IiCause::Bus,
+            ScheduleError::Recurrence { .. } => IiCause::Recurrence,
+            ScheduleError::FuSlots { .. } => IiCause::Resources,
+            ScheduleError::Registers { .. } => IiCause::Registers,
+        }
+    }
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Bus { needed, capacity } => {
+                write!(f, "{needed} communications exceed bus capacity of {capacity} per II")
+            }
+            ScheduleError::Recurrence { node } => {
+                write!(f, "issue window of {node} closed: recurrence does not fit this II")
+            }
+            ScheduleError::FuSlots { node, class, cluster } => {
+                write!(f, "no {class} slot for {node} in cluster {cluster}")
+            }
+            ScheduleError::CopySlots { value } => {
+                write!(f, "no bus slot for the copy of {value}")
+            }
+            ScheduleError::Registers { cluster, maxlive, available } => write!(
+                f,
+                "register pressure {maxlive} exceeds {available} registers in cluster {cluster}"
+            ),
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// A violation found by [`crate::Schedule::verify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// A node has no instance anywhere.
+    MissingInstance {
+        /// The uninstantiated node.
+        node: NodeId,
+    },
+    /// A store was replicated (forbidden: §3.1).
+    ReplicatedStore {
+        /// The store.
+        node: NodeId,
+    },
+    /// A dependence is violated (value not ready at consumer issue).
+    LatencyViolated {
+        /// Producer.
+        src: NodeId,
+        /// Consumer.
+        dst: NodeId,
+        /// Cluster of the consuming instance.
+        cluster: u8,
+    },
+    /// A consumer has neither a local producer instance nor a copy to read.
+    ValueUnavailable {
+        /// Producer.
+        src: NodeId,
+        /// Consumer.
+        dst: NodeId,
+        /// Cluster of the consuming instance.
+        cluster: u8,
+    },
+    /// A copy exists but its producer has no instance in the copy's source
+    /// cluster.
+    CopyWithoutSource {
+        /// The copied value.
+        value: NodeId,
+    },
+    /// More operations of a class issued in a cycle than the cluster has
+    /// units.
+    FuOversubscribed {
+        /// Cluster index.
+        cluster: u8,
+        /// Functional-unit class.
+        class: OpClass,
+        /// Modulo slot with the conflict.
+        slot: u32,
+    },
+    /// Two copies overlap on the same bus.
+    BusOversubscribed {
+        /// Bus index.
+        bus: u8,
+        /// Modulo slot with the conflict.
+        slot: u32,
+    },
+    /// A copy was emitted for a machine without buses, or with an invalid
+    /// bus index.
+    InvalidBus {
+        /// The copied value.
+        value: NodeId,
+    },
+    /// Register pressure exceeds the cluster's register file.
+    RegisterPressure {
+        /// Cluster index.
+        cluster: u8,
+        /// MaxLive measured.
+        maxlive: u32,
+        /// Registers available.
+        available: u32,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::MissingInstance { node } => write!(f, "{node} has no instance"),
+            VerifyError::ReplicatedStore { node } => write!(f, "store {node} is replicated"),
+            VerifyError::LatencyViolated { src, dst, cluster } => {
+                write!(f, "dependence {src} -> {dst} violated in cluster {cluster}")
+            }
+            VerifyError::ValueUnavailable { src, dst, cluster } => write!(
+                f,
+                "{dst} in cluster {cluster} cannot read {src}: no local instance and no copy"
+            ),
+            VerifyError::CopyWithoutSource { value } => {
+                write!(f, "copy of {value} reads a cluster without an instance")
+            }
+            VerifyError::FuOversubscribed { cluster, class, slot } => {
+                write!(f, "too many {class} ops in cluster {cluster} at modulo slot {slot}")
+            }
+            VerifyError::BusOversubscribed { bus, slot } => {
+                write!(f, "bus {bus} oversubscribed at modulo slot {slot}")
+            }
+            VerifyError::InvalidBus { value } => {
+                write!(f, "copy of {value} uses an invalid bus")
+            }
+            VerifyError::RegisterPressure { cluster, maxlive, available } => write!(
+                f,
+                "maxlive {maxlive} exceeds {available} registers in cluster {cluster}"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causes_map_to_figure_1_buckets() {
+        assert_eq!(ScheduleError::Bus { needed: 5, capacity: 2 }.cause(), IiCause::Bus);
+        assert_eq!(
+            ScheduleError::CopySlots { value: NodeId::new(0) }.cause(),
+            IiCause::Bus
+        );
+        assert_eq!(
+            ScheduleError::Recurrence { node: NodeId::new(1) }.cause(),
+            IiCause::Recurrence
+        );
+        assert_eq!(
+            ScheduleError::Registers { cluster: 0, maxlive: 70, available: 64 }.cause(),
+            IiCause::Registers
+        );
+        assert_eq!(
+            ScheduleError::FuSlots { node: NodeId::new(2), class: OpClass::Fp, cluster: 1 }
+                .cause(),
+            IiCause::Resources
+        );
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ScheduleError::Bus { needed: 5, capacity: 2 };
+        assert!(e.to_string().contains('5'));
+        let v = VerifyError::RegisterPressure { cluster: 3, maxlive: 70, available: 64 };
+        assert!(v.to_string().contains("cluster 3"));
+    }
+}

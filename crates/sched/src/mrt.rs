@@ -1,0 +1,264 @@
+//! Modulo reservation tables for functional units and register buses.
+
+use cvliw_ddg::OpClass;
+use cvliw_machine::MachineConfig;
+
+/// Modulo reservation table tracking functional-unit and bus occupancy of a
+/// kernel with a given initiation interval.
+///
+/// Functional units are fully pipelined: an operation occupies one issue
+/// slot of its class in its cluster at `cycle mod II`. Buses are **not**
+/// pipelined (§3 of the paper: `bus_coms = floor(II/bus_lat)·nof_buses`): a
+/// copy occupies one bus for `bus_lat` consecutive modulo slots.
+#[derive(Clone, Debug)]
+pub struct Mrt {
+    ii: u32,
+    /// Cycles one transfer occupies its bus (1 on pipelined-bus machines).
+    bus_latency: u32,
+    /// `fu[cluster][class][slot]` = issued ops; capacity is the unit count.
+    fu: Vec<[Vec<u8>; 3]>,
+    /// `fu_capacity[cluster][class]` — per cluster, so heterogeneous
+    /// machines (§2.1 extension) are handled natively.
+    fu_capacity: Vec<[u8; 3]>,
+    /// `bus[bus][slot]` = busy flag.
+    bus: Vec<Vec<bool>>,
+}
+
+impl Mrt {
+    /// Creates an empty table for `machine` at initiation interval `ii`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    #[must_use]
+    pub fn new(machine: &MachineConfig, ii: u32) -> Self {
+        assert!(ii > 0, "initiation interval must be positive");
+        let slots = ii as usize;
+        let fu = (0..machine.clusters())
+            .map(|_| [vec![0u8; slots], vec![0u8; slots], vec![0u8; slots]])
+            .collect();
+        let fu_capacity = machine
+            .cluster_ids()
+            .map(|c| {
+                [
+                    machine.fu_count_in(c, OpClass::Int),
+                    machine.fu_count_in(c, OpClass::Fp),
+                    machine.fu_count_in(c, OpClass::Mem),
+                ]
+            })
+            .collect();
+        let bus = (0..machine.buses()).map(|_| vec![false; slots]).collect();
+        Mrt { ii, bus_latency: machine.bus_occupancy(), fu, fu_capacity, bus }
+    }
+
+    /// The initiation interval of this table.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    fn slot(&self, cycle: i64) -> usize {
+        cycle.rem_euclid(i64::from(self.ii)) as usize
+    }
+
+    /// Whether a `class` operation can issue in `cluster` at (absolute)
+    /// `cycle`.
+    #[must_use]
+    pub fn fu_free(&self, cluster: u8, class: OpClass, cycle: i64) -> bool {
+        let slot = self.slot(cycle);
+        self.fu[cluster as usize][class.index()][slot]
+            < self.fu_capacity[cluster as usize][class.index()]
+    }
+
+    /// Reserves a `class` issue slot in `cluster` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is full ([`Mrt::fu_free`] must be checked first).
+    pub fn place_fu(&mut self, cluster: u8, class: OpClass, cycle: i64) {
+        assert!(self.fu_free(cluster, class, cycle), "functional unit oversubscribed");
+        let slot = self.slot(cycle);
+        self.fu[cluster as usize][class.index()][slot] += 1;
+    }
+
+    /// Releases a previously reserved slot (used by backtracking tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was reserved there.
+    pub fn remove_fu(&mut self, cluster: u8, class: OpClass, cycle: i64) {
+        let slot = self.slot(cycle);
+        let v = &mut self.fu[cluster as usize][class.index()][slot];
+        assert!(*v > 0, "no reservation to remove");
+        *v -= 1;
+    }
+
+    /// Finds a bus able to carry a copy issued at `cycle` (occupying
+    /// `bus_lat` consecutive modulo slots), if any.
+    #[must_use]
+    pub fn bus_available(&self, cycle: i64) -> Option<u8> {
+        if self.bus_latency > self.ii {
+            return None; // a transfer cannot even fit inside the kernel
+        }
+        'bus: for (b, busy) in self.bus.iter().enumerate() {
+            for k in 0..self.bus_latency {
+                if busy[self.slot(cycle + i64::from(k))] {
+                    continue 'bus;
+                }
+            }
+            return Some(b as u8);
+        }
+        None
+    }
+
+    /// Reserves `bus` for a copy issued at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the occupied slots is already busy.
+    pub fn place_copy(&mut self, bus: u8, cycle: i64) {
+        for k in 0..self.bus_latency {
+            let slot = self.slot(cycle + i64::from(k));
+            assert!(!self.bus[bus as usize][slot], "bus oversubscribed");
+            self.bus[bus as usize][slot] = true;
+        }
+    }
+
+    /// Number of copies that could still be placed if issued back to back
+    /// (diagnostic; used in tests).
+    #[must_use]
+    pub fn free_bus_transfers(&self) -> u32 {
+        if self.bus_latency == 0 || self.bus_latency > self.ii {
+            return 0;
+        }
+        let per_bus = self.ii / self.bus_latency;
+        self.bus
+            .iter()
+            .map(|busy| {
+                let used = busy.iter().filter(|&&b| b).count() as u32;
+                per_bus.saturating_sub(used.div_ceil(self.bus_latency))
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_machine::MachineConfig;
+
+    fn machine(spec: &str) -> MachineConfig {
+        MachineConfig::from_spec(spec).unwrap()
+    }
+
+    #[test]
+    fn fu_capacity_is_respected() {
+        // 4c: one unit of each class per cluster.
+        let m = machine("4c1b2l64r");
+        let mut mrt = Mrt::new(&m, 2);
+        assert!(mrt.fu_free(0, OpClass::Fp, 0));
+        mrt.place_fu(0, OpClass::Fp, 0);
+        assert!(!mrt.fu_free(0, OpClass::Fp, 0));
+        // other slot, other cluster, other class all still free
+        assert!(mrt.fu_free(0, OpClass::Fp, 1));
+        assert!(mrt.fu_free(1, OpClass::Fp, 0));
+        assert!(mrt.fu_free(0, OpClass::Int, 0));
+    }
+
+    #[test]
+    fn modulo_wrapping() {
+        let m = machine("4c1b2l64r");
+        let mut mrt = Mrt::new(&m, 3);
+        mrt.place_fu(0, OpClass::Int, 7); // slot 1
+        assert!(!mrt.fu_free(0, OpClass::Int, 1));
+        assert!(!mrt.fu_free(0, OpClass::Int, -2)); // -2 mod 3 == 1
+        mrt.remove_fu(0, OpClass::Int, 4);
+        assert!(mrt.fu_free(0, OpClass::Int, 1));
+    }
+
+    #[test]
+    fn two_units_allow_two_ops() {
+        let m = machine("2c1b2l64r");
+        let mut mrt = Mrt::new(&m, 1);
+        mrt.place_fu(0, OpClass::Mem, 0);
+        assert!(mrt.fu_free(0, OpClass::Mem, 0));
+        mrt.place_fu(0, OpClass::Mem, 0);
+        assert!(!mrt.fu_free(0, OpClass::Mem, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn overplacing_panics() {
+        let m = machine("4c1b2l64r");
+        let mut mrt = Mrt::new(&m, 1);
+        mrt.place_fu(0, OpClass::Fp, 0);
+        mrt.place_fu(0, OpClass::Fp, 0);
+    }
+
+    #[test]
+    fn bus_occupies_latency_slots() {
+        // 1 bus, 2-cycle latency, II=4 → capacity 2 transfers.
+        let m = machine("2c1b2l64r");
+        let mut mrt = Mrt::new(&m, 4);
+        let b = mrt.bus_available(0).unwrap();
+        mrt.place_copy(b, 0); // occupies slots 0,1
+        assert!(mrt.bus_available(0).is_none());
+        assert!(mrt.bus_available(1).is_none()); // would need slots 1,2
+        let b2 = mrt.bus_available(2).unwrap(); // slots 2,3 free
+        mrt.place_copy(b2, 2);
+        assert!(mrt.bus_available(2).is_none());
+        for t in 0..4 {
+            assert!(mrt.bus_available(t).is_none());
+        }
+    }
+
+    #[test]
+    fn multiple_buses() {
+        let m = machine("4c2b4l64r");
+        let mut mrt = Mrt::new(&m, 4);
+        let b0 = mrt.bus_available(0).unwrap();
+        mrt.place_copy(b0, 0);
+        let b1 = mrt.bus_available(0).unwrap();
+        assert_ne!(b0, b1);
+        mrt.place_copy(b1, 0);
+        assert!(mrt.bus_available(0).is_none());
+    }
+
+    #[test]
+    fn bus_latency_longer_than_ii_is_impossible() {
+        let m = machine("4c2b4l64r"); // 4-cycle bus
+        let mrt = Mrt::new(&m, 3);
+        assert!(mrt.bus_available(0).is_none());
+    }
+
+    #[test]
+    fn bus_wraps_modulo_ii() {
+        let m = machine("2c1b2l64r"); // 2-cycle bus
+        let mut mrt = Mrt::new(&m, 3);
+        let b = mrt.bus_available(2).unwrap();
+        mrt.place_copy(b, 2); // occupies slots 2 and 0
+        assert!(mrt.bus_available(0).is_none()); // needs 0,1 but 0 busy
+        assert!(mrt.bus_available(1).is_none()); // needs 1,2 but 2 busy
+    }
+
+    #[test]
+    fn pipelined_buses_accept_back_to_back_copies() {
+        // Same machine as `bus_occupies_latency_slots`, but pipelined: one
+        // transfer per cycle, so II=4 carries four copies on one bus.
+        let m = machine("2c1b2l64r").with_pipelined_buses();
+        let mut mrt = Mrt::new(&m, 4);
+        for t in 0..4 {
+            let b = mrt.bus_available(t).expect("slot free at cycle {t}");
+            mrt.place_copy(b, t);
+        }
+        assert!(mrt.bus_available(0).is_none(), "kernel now full");
+    }
+
+    #[test]
+    fn unified_machine_has_no_buses() {
+        let m = MachineConfig::unified(256);
+        let mrt = Mrt::new(&m, 10);
+        assert!(mrt.bus_available(0).is_none());
+        assert_eq!(mrt.free_bus_transfers(), 0);
+    }
+}

@@ -1,0 +1,452 @@
+//! Node ordering for modulo scheduling, following Swing Modulo Scheduling
+//! (Llosa et al., PACT'96 — reference [18] of the paper).
+//!
+//! The ordering walks the DDG so that every node is placed while at least
+//! one of its neighbours is already ordered (keeping issue windows tight and
+//! register lifetimes short), gives priority to the most critical
+//! recurrences, and alternates top-down/bottom-up sweeps.
+
+use std::collections::BTreeSet;
+
+use cvliw_ddg::{depth_height, sccs, Ddg, Edge, NodeId};
+use cvliw_machine::MachineConfig;
+
+/// Computes the swing-modulo-scheduling order of all nodes.
+///
+/// Recurrences are processed in decreasing RecMII order, each together with
+/// the nodes on paths connecting it to the already-ordered subgraph; the
+/// remaining (non-recurrent) nodes come last. Within a group the classic
+/// alternating height/depth sweep is used. Ties break on node index, so the
+/// result is deterministic.
+#[must_use]
+pub fn sms_order(ddg: &Ddg, machine: &MachineConfig) -> Vec<NodeId> {
+    let n = ddg.node_count();
+    let lat = machine.edge_latency(ddg);
+    let (depth, height) = depth_height(ddg, &lat);
+
+    let groups = priority_groups(ddg, machine);
+
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut ordered = vec![false; n];
+
+    for group in groups {
+        order_group(ddg, &group, &depth, &height, &mut order, &mut ordered);
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// Direction of the current sweep.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Sweep {
+    TopDown,
+    BottomUp,
+}
+
+fn order_group(
+    ddg: &Ddg,
+    group: &BTreeSet<NodeId>,
+    depth: &[i64],
+    height: &[i64],
+    order: &mut Vec<NodeId>,
+    ordered: &mut [bool],
+) {
+    let in_group_unordered =
+        |n: NodeId, ordered: &[bool]| group.contains(&n) && !ordered[n.index()];
+
+    let remaining =
+        |ordered: &[bool]| group.iter().copied().filter(|n| !ordered[n.index()]).count();
+
+    while remaining(ordered) > 0 {
+        // Seed the ready set from nodes adjacent to the ordered prefix.
+        let mut ready: BTreeSet<NodeId> = BTreeSet::new();
+        let mut sweep = Sweep::TopDown;
+        for &o in order.iter() {
+            for e in ddg.out_edges(o) {
+                if in_group_unordered(e.dst, ordered) {
+                    ready.insert(e.dst);
+                }
+            }
+        }
+        if ready.is_empty() {
+            for &o in order.iter() {
+                for e in ddg.in_edges(o) {
+                    if in_group_unordered(e.src, ordered) {
+                        ready.insert(e.src);
+                    }
+                }
+            }
+            if !ready.is_empty() {
+                sweep = Sweep::BottomUp;
+            }
+        }
+        if ready.is_empty() {
+            // Fresh component: start from the highest node (max height).
+            let seed = group
+                .iter()
+                .copied()
+                .filter(|n| !ordered[n.index()])
+                .max_by_key(|n| (height[n.index()], std::cmp::Reverse(n.index())))
+                .expect("non-empty remaining group");
+            ready.insert(seed);
+            sweep = Sweep::TopDown;
+        }
+
+        // Alternate sweeps until this group's connected region is exhausted.
+        loop {
+            while let Some(v) = pick(&ready, sweep, depth, height) {
+                ready.remove(&v);
+                if ordered[v.index()] {
+                    continue;
+                }
+                ordered[v.index()] = true;
+                order.push(v);
+                let next: Box<dyn Iterator<Item = &Edge>> = match sweep {
+                    Sweep::TopDown => Box::new(ddg.out_edges(v)),
+                    Sweep::BottomUp => Box::new(ddg.in_edges(v)),
+                };
+                for e in next {
+                    let w = if sweep == Sweep::TopDown { e.dst } else { e.src };
+                    if in_group_unordered(w, ordered) {
+                        ready.insert(w);
+                    }
+                }
+            }
+            // Switch direction: collect unordered group nodes adjacent to
+            // anything ordered so far, on the opposite side.
+            sweep = match sweep {
+                Sweep::TopDown => Sweep::BottomUp,
+                Sweep::BottomUp => Sweep::TopDown,
+            };
+            for &o in order.iter() {
+                let adj: Box<dyn Iterator<Item = &Edge>> = match sweep {
+                    Sweep::TopDown => Box::new(ddg.out_edges(o)),
+                    Sweep::BottomUp => Box::new(ddg.in_edges(o)),
+                };
+                for e in adj {
+                    let w = if sweep == Sweep::TopDown { e.dst } else { e.src };
+                    if in_group_unordered(w, ordered) {
+                        ready.insert(w);
+                    }
+                }
+            }
+            ready.retain(|v| !ordered[v.index()]);
+            if ready.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// Picks the next node of the ready set: highest height when sweeping
+/// top-down, highest depth when sweeping bottom-up; ties break on the other
+/// metric and then on node index.
+fn pick(ready: &BTreeSet<NodeId>, sweep: Sweep, depth: &[i64], height: &[i64]) -> Option<NodeId> {
+    ready.iter().copied().max_by_key(|n| {
+        let (primary, secondary) = match sweep {
+            Sweep::TopDown => (height[n.index()], depth[n.index()]),
+            Sweep::BottomUp => (depth[n.index()], height[n.index()]),
+        };
+        (primary, secondary, std::cmp::Reverse(n.index()))
+    })
+}
+
+/// Builds the ordered list of node groups: each non-trivial SCC in
+/// decreasing RecMII order together with the nodes on paths connecting it
+/// to previously grouped nodes, then everything else.
+fn priority_groups(ddg: &Ddg, machine: &MachineConfig) -> Vec<BTreeSet<NodeId>> {
+    let lat = machine.edge_latency(ddg);
+    let comps = sccs(ddg);
+    let mut recurrent: Vec<(u32, Vec<NodeId>)> = comps
+        .into_iter()
+        .filter(|c| {
+            c.len() > 1
+                || ddg.out_edges(c[0]).any(|e| e.dst == c[0]) // self-loop
+        })
+        .map(|c| (scc_rec_mii(ddg, &c, &lat), c))
+        .collect();
+    recurrent.sort_by_key(|(mii, c)| (std::cmp::Reverse(*mii), c[0].index()));
+
+    let ancestors = reachability(ddg, true);
+    let descendants = reachability(ddg, false);
+
+    let mut grouped = vec![false; ddg.node_count()];
+    let mut groups: Vec<BTreeSet<NodeId>> = Vec::new();
+    for (_, comp) in recurrent {
+        let mut group: BTreeSet<NodeId> = BTreeSet::new();
+        for &v in &comp {
+            if !grouped[v.index()] {
+                group.insert(v);
+            }
+        }
+        // Nodes on paths between earlier groups and this SCC.
+        for prev in groups.iter() {
+            for &p in prev {
+                for &v in &comp {
+                    for mid in ddg.node_ids() {
+                        if grouped[mid.index()] || group.contains(&mid) {
+                            continue;
+                        }
+                        let on_path = (descendants[p.index()].contains(&mid)
+                            && ancestors[v.index()].contains(&mid))
+                            || (descendants[v.index()].contains(&mid)
+                                && ancestors[p.index()].contains(&mid));
+                        if on_path {
+                            group.insert(mid);
+                        }
+                    }
+                }
+            }
+        }
+        for &v in &group {
+            grouped[v.index()] = true;
+        }
+        if !group.is_empty() {
+            groups.push(group);
+        }
+    }
+    let rest: BTreeSet<NodeId> =
+        ddg.node_ids().filter(|n| !grouped[n.index()]).collect();
+    if !rest.is_empty() {
+        groups.push(rest);
+    }
+    groups
+}
+
+/// RecMII of a single strongly connected component, by binary search over
+/// the feasibility of its internal edges.
+fn scc_rec_mii(ddg: &Ddg, comp: &[NodeId], lat: impl Fn(&Edge) -> u32) -> u32 {
+    let inside = |n: NodeId| comp.binary_search(&n).is_ok();
+    // Build feasibility check over internal edges only by inflating the
+    // latency function: external edges get distance-covered weight 0.
+    let feasible = |ii: u32| -> bool {
+        // Bellman-Ford on comp nodes only.
+        let index_of = |n: NodeId| comp.binary_search(&n).expect("internal node");
+        let mut t = vec![0i64; comp.len()];
+        for pass in 0..=comp.len() {
+            let mut changed = false;
+            for &u in comp {
+                for e in ddg.out_edges(u) {
+                    if !inside(e.dst) {
+                        continue;
+                    }
+                    let w = i64::from(lat(e)) - i64::from(ii) * i64::from(e.distance);
+                    let cand = t[index_of(u)] + w;
+                    if cand > t[index_of(e.dst)] {
+                        t[index_of(e.dst)] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return true;
+            }
+            if pass == comp.len() {
+                return false;
+            }
+        }
+        true
+    };
+    let mut ub = 1u32;
+    for &u in comp {
+        for e in ddg.out_edges(u) {
+            if inside(e.dst) {
+                ub += lat(e);
+            }
+        }
+    }
+    if feasible(1) {
+        return 1;
+    }
+    let (mut lo, mut hi) = (1u32, ub);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// For each node, the set of nodes that can reach it (`backward == true`)
+/// or that it can reach (`backward == false`), excluding itself unless on a
+/// cycle.
+fn reachability(ddg: &Ddg, backward: bool) -> Vec<BTreeSet<NodeId>> {
+    let n = ddg.node_count();
+    let mut sets = vec![BTreeSet::new(); n];
+    for start in ddg.node_ids() {
+        let mut stack = vec![start];
+        let mut seen = vec![false; n];
+        while let Some(v) = stack.pop() {
+            let edges: Box<dyn Iterator<Item = &Edge>> = if backward {
+                Box::new(ddg.in_edges(v))
+            } else {
+                Box::new(ddg.out_edges(v))
+            };
+            for e in edges {
+                let w = if backward { e.src } else { e.dst };
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        for (i, &was_seen) in seen.iter().enumerate() {
+            if was_seen {
+                sets[start.index()].insert(NodeId::new(i as u32));
+            }
+        }
+    }
+    sets
+}
+
+/// Sanity helper used by tests: fraction of non-seed nodes that are
+/// adjacent to an earlier node in the order (1.0 for connected graphs).
+#[must_use]
+pub fn neighbor_adjacency_ratio(ddg: &Ddg, order: &[NodeId]) -> f64 {
+    if order.len() <= 1 {
+        return 1.0;
+    }
+    let mut placed = vec![false; ddg.node_count()];
+    placed[order[0].index()] = true;
+    let mut adjacent = 0usize;
+    let mut seeds = 1usize; // first node is always a seed
+    for &v in &order[1..] {
+        let has_neighbor = ddg
+            .in_edges(v)
+            .map(|e| e.src)
+            .chain(ddg.out_edges(v).map(|e| e.dst))
+            .any(|w| placed[w.index()]);
+        if has_neighbor {
+            adjacent += 1;
+        } else {
+            seeds += 1;
+        }
+        placed[v.index()] = true;
+    }
+    let _ = seeds;
+    adjacent as f64 / (order.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_ddg::OpKind;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::from_spec("4c1b2l64r").unwrap()
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let mut b = Ddg::builder();
+        let nodes: Vec<_> = (0..8).map(|_| b.add_node(OpKind::FpAdd)).collect();
+        for w in nodes.windows(2) {
+            b.data(w[0], w[1]);
+        }
+        b.data_dist(nodes[7], nodes[0], 1);
+        let ddg = b.build().unwrap();
+        let mut order = sms_order(&ddg, &machine());
+        assert_eq!(order.len(), 8);
+        order.sort_unstable();
+        order.dedup();
+        assert_eq!(order.len(), 8);
+    }
+
+    #[test]
+    fn connected_graph_orders_adjacently() {
+        // Diamond with a tail: every non-first node should touch the
+        // ordered prefix.
+        let mut b = Ddg::builder();
+        let a = b.add_node(OpKind::Load);
+        let l = b.add_node(OpKind::FpMul);
+        let r = b.add_node(OpKind::FpAdd);
+        let j = b.add_node(OpKind::FpAdd);
+        let s = b.add_node(OpKind::Store);
+        b.data(a, l).data(a, r).data(l, j).data(r, j).data(j, s);
+        let ddg = b.build().unwrap();
+        let order = sms_order(&ddg, &machine());
+        assert_eq!(neighbor_adjacency_ratio(&ddg, &order), 1.0);
+    }
+
+    #[test]
+    fn recurrence_nodes_come_first() {
+        // A long-latency recurrence and an independent cheap chain: the
+        // recurrence (higher RecMII) must be ordered before the chain.
+        let mut b = Ddg::builder();
+        let chain0 = b.add_node(OpKind::IntAdd);
+        let chain1 = b.add_node(OpKind::IntAdd);
+        b.data(chain0, chain1);
+        let rec0 = b.add_node(OpKind::FpDiv);
+        let rec1 = b.add_node(OpKind::FpAdd);
+        b.data(rec0, rec1).data_dist(rec1, rec0, 1);
+        let ddg = b.build().unwrap();
+        let order = sms_order(&ddg, &machine());
+        let pos = |n: NodeId| order.iter().position(|&o| o == n).unwrap();
+        assert!(pos(rec0) < pos(chain0));
+        assert!(pos(rec1) < pos(chain0));
+    }
+
+    #[test]
+    fn higher_recmii_scc_ordered_earlier() {
+        let mut b = Ddg::builder();
+        // slow recurrence: fdiv self-loop (RecMII 18)
+        let slow = b.add_node(OpKind::FpDiv);
+        b.data_dist(slow, slow, 1);
+        // fast recurrence: int add self-loop (RecMII 1)
+        let fast = b.add_node(OpKind::IntAdd);
+        b.data_dist(fast, fast, 1);
+        let ddg = b.build().unwrap();
+        let order = sms_order(&ddg, &machine());
+        assert_eq!(order[0], slow);
+        assert_eq!(order[1], fast);
+    }
+
+    #[test]
+    fn path_nodes_join_recurrence_groups() {
+        // rec1 → bridge → rec2: the bridge should be ordered with the
+        // second recurrence group, before any leftover node.
+        let mut b = Ddg::builder();
+        let r1 = b.add_node(OpKind::FpDiv);
+        b.data_dist(r1, r1, 1);
+        let bridge = b.add_node(OpKind::FpAdd);
+        let r2a = b.add_node(OpKind::FpMul);
+        let r2b = b.add_node(OpKind::FpAdd);
+        b.data(r1, bridge).data(bridge, r2a).data(r2a, r2b).data_dist(r2b, r2a, 1);
+        let leftover = b.add_node(OpKind::Load);
+        let _ = leftover;
+        let ddg = b.build().unwrap();
+        let order = sms_order(&ddg, &machine());
+        let pos = |n: NodeId| order.iter().position(|&o| o == n).unwrap();
+        assert!(pos(bridge) < pos(leftover));
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let mut b = Ddg::builder();
+        let nodes: Vec<_> = (0..12).map(|i| {
+            b.add_node(if i % 3 == 0 { OpKind::Load } else { OpKind::FpAdd })
+        }).collect();
+        for i in 1..nodes.len() {
+            b.data(nodes[i / 2], nodes[i]);
+        }
+        let ddg = b.build().unwrap();
+        let o1 = sms_order(&ddg, &machine());
+        let o2 = sms_order(&ddg, &machine());
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn disconnected_components_are_all_ordered() {
+        let mut b = Ddg::builder();
+        for _ in 0..5 {
+            b.add_node(OpKind::Load);
+        }
+        let ddg = b.build().unwrap();
+        let order = sms_order(&ddg, &machine());
+        assert_eq!(order.len(), 5);
+    }
+}

@@ -1,0 +1,849 @@
+//! The modulo scheduler and the [`Schedule`] it produces.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cvliw_ddg::{DepKind, Ddg, NodeId};
+use cvliw_machine::MachineConfig;
+
+use crate::assign::{Assignment, ClusterSet};
+use crate::error::{ScheduleError, VerifyError};
+use crate::mrt::Mrt;
+use crate::order::sms_order;
+use crate::regs::max_live;
+
+/// One schedulable operation: an instance of a DDG node in a concrete
+/// cluster, or the bus copy of a communicated value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SchedOp {
+    /// `(node, cluster)` instance.
+    Instance(NodeId, u8),
+    /// Bus copy broadcasting `node`'s value.
+    Copy(NodeId),
+}
+
+/// Placement of a bus copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CopyPlacement {
+    /// Issue cycle (absolute, within the flat one-iteration schedule).
+    pub cycle: i64,
+    /// Bus carrying the transfer.
+    pub bus: u8,
+    /// Cluster whose instance the copy reads.
+    pub source: u8,
+}
+
+/// A request to schedule one loop at a fixed initiation interval.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduleRequest<'a> {
+    /// The loop body.
+    pub ddg: &'a Ddg,
+    /// Target machine.
+    pub machine: &'a MachineConfig,
+    /// Cluster assignment (possibly with replicated instances).
+    pub assignment: &'a Assignment,
+    /// Candidate initiation interval.
+    pub ii: u32,
+    /// §5.1 upper-bound study: treat the bus as zero-latency for
+    /// *dependences* while still consuming bus bandwidth. Schedules built
+    /// this way are intentionally optimistic and marked as such.
+    pub zero_bus_dep_latency: bool,
+}
+
+/// A modulo schedule: issue cycles for every instance and every copy.
+///
+/// All cycles are absolute within the flat schedule of one iteration
+/// (normalized so the earliest issue is cycle 0); the kernel slot of an
+/// operation is its cycle modulo [`Schedule::ii`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    ii: u32,
+    instances: BTreeMap<(NodeId, u8), i64>,
+    copies: BTreeMap<NodeId, CopyPlacement>,
+    length: u32,
+    zero_bus_dep_latency: bool,
+}
+
+impl Schedule {
+    /// The initiation interval.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Schedule length in issue rows (`max cycle − min cycle + 1`).
+    #[must_use]
+    pub fn length(&self) -> u32 {
+        self.length
+    }
+
+    /// Stage count `SC = ceil(length / II)`.
+    #[must_use]
+    pub fn stage_count(&self) -> u32 {
+        self.length.div_ceil(self.ii).max(1)
+    }
+
+    /// Execution cycles for `n` iterations: `(N − 1 + SC)·II` (paper §2.2);
+    /// `0` when `n == 0`.
+    #[must_use]
+    pub fn texec(&self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        (n - 1 + u64::from(self.stage_count())) * u64::from(self.ii)
+    }
+
+    /// Whether this schedule was built with the §5.1 zero-bus-latency
+    /// relaxation (its timing is optimistic and must not be simulated).
+    #[must_use]
+    pub fn is_zero_bus_relaxed(&self) -> bool {
+        self.zero_bus_dep_latency
+    }
+
+    /// Issue cycle of the instance of `n` in `cluster`, if scheduled there.
+    #[must_use]
+    pub fn instance_cycle(&self, n: NodeId, cluster: u8) -> Option<i64> {
+        self.instances.get(&(n, cluster)).copied()
+    }
+
+    /// All `(node, cluster) → cycle` placements in deterministic order.
+    pub fn instances(&self) -> impl Iterator<Item = ((NodeId, u8), i64)> + '_ {
+        self.instances.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All copies in deterministic order.
+    pub fn copies(&self) -> impl Iterator<Item = (NodeId, CopyPlacement)> + '_ {
+        self.copies.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The copy of `n`, if its value is communicated.
+    #[must_use]
+    pub fn copy_of(&self, n: NodeId) -> Option<CopyPlacement> {
+        self.copies.get(&n).copied()
+    }
+
+    /// Clusters holding an instance of `n`.
+    #[must_use]
+    pub fn instance_clusters(&self, n: NodeId) -> ClusterSet {
+        self.instances
+            .range((n, 0)..=(n, u8::MAX))
+            .map(|(&(_, c), _)| c)
+            .collect()
+    }
+
+    /// Number of functional-unit operations in the kernel (instances,
+    /// including replicas; excluding copies).
+    #[must_use]
+    pub fn op_count(&self) -> u32 {
+        self.instances.len() as u32
+    }
+
+    /// Number of bus copies in the kernel.
+    #[must_use]
+    pub fn copy_count(&self) -> u32 {
+        self.copies.len() as u32
+    }
+
+    /// Per-cluster register pressure (MaxLive) of the kernel.
+    #[must_use]
+    pub fn register_pressure(&self, ddg: &Ddg, machine: &MachineConfig) -> Vec<u32> {
+        max_live(self, ddg, machine)
+    }
+
+    /// Checks the schedule against every machine and dependence constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found: a node without instances, a
+    /// replicated store, a violated latency, a value unavailable in a
+    /// consumer's cluster, oversubscribed units or buses, or register
+    /// pressure above the file size.
+    pub fn verify(&self, ddg: &Ddg, machine: &MachineConfig) -> Result<(), VerifyError> {
+        let ii = i64::from(self.ii);
+        let bus_dep_lat =
+            if self.zero_bus_dep_latency { 0 } else { i64::from(machine.bus_latency()) };
+
+        // Instances present, stores unique.
+        for n in ddg.node_ids() {
+            let clusters = self.instance_clusters(n);
+            if clusters.is_empty() {
+                return Err(VerifyError::MissingInstance { node: n });
+            }
+            if ddg.kind(n) == cvliw_ddg::OpKind::Store && clusters.len() > 1 {
+                return Err(VerifyError::ReplicatedStore { node: n });
+            }
+        }
+
+        // Copy sources exist.
+        for (&value, copy) in &self.copies {
+            if !self.instance_clusters(value).contains(copy.source) {
+                return Err(VerifyError::CopyWithoutSource { value });
+            }
+            if machine.buses() == 0 || copy.bus >= machine.buses() {
+                return Err(VerifyError::InvalidBus { value });
+            }
+            let t_src = self.instances[&(value, copy.source)];
+            let lat = i64::from(machine.latency(ddg.kind(value)));
+            if copy.cycle < t_src + lat {
+                return Err(VerifyError::LatencyViolated {
+                    src: value,
+                    dst: value,
+                    cluster: copy.source,
+                });
+            }
+        }
+
+        // Dependences.
+        for e in ddg.edges() {
+            let lat = i64::from(machine.latency(ddg.kind(e.src)));
+            let dist = i64::from(e.distance) * ii;
+            match e.kind {
+                DepKind::Mem => {
+                    for ((_, _), &t_src) in self.instances.range((e.src, 0)..=(e.src, u8::MAX)) {
+                        for (&(_, c_dst), &t_dst) in
+                            self.instances.range((e.dst, 0)..=(e.dst, u8::MAX))
+                        {
+                            if t_dst + dist < t_src + lat {
+                                return Err(VerifyError::LatencyViolated {
+                                    src: e.src,
+                                    dst: e.dst,
+                                    cluster: c_dst,
+                                });
+                            }
+                        }
+                    }
+                }
+                DepKind::Data => {
+                    let src_clusters = self.instance_clusters(e.src);
+                    for (&(_, c), &t_dst) in self.instances.range((e.dst, 0)..=(e.dst, u8::MAX))
+                    {
+                        if src_clusters.contains(c) {
+                            let t_src = self.instances[&(e.src, c)];
+                            if t_dst + dist < t_src + lat {
+                                return Err(VerifyError::LatencyViolated {
+                                    src: e.src,
+                                    dst: e.dst,
+                                    cluster: c,
+                                });
+                            }
+                        } else {
+                            let Some(copy) = self.copies.get(&e.src) else {
+                                return Err(VerifyError::ValueUnavailable {
+                                    src: e.src,
+                                    dst: e.dst,
+                                    cluster: c,
+                                });
+                            };
+                            if t_dst + dist < copy.cycle + bus_dep_lat {
+                                return Err(VerifyError::LatencyViolated {
+                                    src: e.src,
+                                    dst: e.dst,
+                                    cluster: c,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Functional units.
+        let slots = self.ii as usize;
+        let mut fu: Vec<[Vec<u32>; 3]> = Vec::new();
+        fu.resize_with(machine.clusters() as usize, || {
+            [vec![0; slots], vec![0; slots], vec![0; slots]]
+        });
+        for (&(n, c), &t) in &self.instances {
+            let class = ddg.kind(n).class();
+            let slot = t.rem_euclid(ii) as usize;
+            let count = &mut fu[c as usize][class.index()][slot];
+            *count += 1;
+            if *count > u32::from(machine.fu_count_in(c, class)) {
+                return Err(VerifyError::FuOversubscribed { cluster: c, class, slot: slot as u32 });
+            }
+        }
+
+        // Buses: a copy occupies its bus for the machine's per-transfer
+        // occupancy (= latency on the paper's unpipelined buses, 1 cycle
+        // on the pipelined variant).
+        let mut bus = vec![vec![false; slots]; machine.buses() as usize];
+        for copy in self.copies.values() {
+            for k in 0..machine.bus_occupancy() {
+                let slot = (copy.cycle + i64::from(k)).rem_euclid(ii) as usize;
+                if bus[copy.bus as usize][slot] {
+                    return Err(VerifyError::BusOversubscribed {
+                        bus: copy.bus,
+                        slot: slot as u32,
+                    });
+                }
+                bus[copy.bus as usize][slot] = true;
+            }
+        }
+
+        // Register pressure.
+        let pressure = max_live(self, ddg, machine);
+        for (c, &p) in pressure.iter().enumerate() {
+            if p > machine.regs_per_cluster() {
+                return Err(VerifyError::RegisterPressure {
+                    cluster: c as u8,
+                    maxlive: p,
+                    available: machine.regs_per_cluster(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the kernel as a text table: one row per modulo slot, one
+    /// column per cluster plus a bus column. The number after `@` is the
+    /// operation's stage (absolute cycle divided by the II).
+    #[must_use]
+    pub fn render(&self, ddg: &Ddg) -> String {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let ii = i64::from(self.ii);
+        let clusters = 1 + self
+            .instances
+            .keys()
+            .map(|&(_, c)| c as usize)
+            .max()
+            .unwrap_or(0);
+        for slot in 0..self.ii {
+            let mut row = vec![String::new(); clusters + 1];
+            for (&(n, c), &t) in &self.instances {
+                if t.rem_euclid(ii) == i64::from(slot) {
+                    let cell = &mut row[c as usize];
+                    if !cell.is_empty() {
+                        cell.push_str("; ");
+                    }
+                    let _ = write!(cell, "{}@{}", ddg.display_label(n), t.div_euclid(ii));
+                }
+            }
+            for (&n, copy) in &self.copies {
+                if copy.cycle.rem_euclid(ii) == i64::from(slot) {
+                    let cell = &mut row[clusters];
+                    if !cell.is_empty() {
+                        cell.push_str("; ");
+                    }
+                    let _ = write!(cell, "copy({})b{}", ddg.display_label(n), copy.bus);
+                }
+            }
+            rows.push(row);
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "II={} length={} SC={}", self.ii, self.length, self.stage_count());
+        for (slot, row) in rows.iter().enumerate() {
+            let _ = write!(out, "{slot:>3} |");
+            for cell in row {
+                let _ = write!(out, " {cell:<24}|");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Which node ordering drives the backtracking-free placer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrderStrategy {
+    /// Swing modulo scheduling ([`sms_order`]): best schedule quality, but
+    /// its alternating sweeps can sandwich a join node between already
+    /// placed neighbours whose distance-0 window never opens, failing at
+    /// every II.
+    #[default]
+    Swing,
+    /// Topological order: when placing a node only its predecessors (and
+    /// loop-carried successors, whose bound relaxes with the II) are
+    /// scheduled, so placement always succeeds at a large enough II. Used
+    /// as the driver's fallback.
+    Topological,
+}
+
+/// Dependence arcs between schedulable operations.
+struct OpGraph {
+    preds: BTreeMap<SchedOp, Vec<(SchedOp, i64, i64)>>,
+    succs: BTreeMap<SchedOp, Vec<(SchedOp, i64, i64)>>,
+}
+
+impl OpGraph {
+    fn add(&mut self, from: SchedOp, to: SchedOp, lat: i64, dist: i64) {
+        self.preds.entry(to).or_default().push((from, lat, dist));
+        self.succs.entry(from).or_default().push((to, lat, dist));
+    }
+}
+
+/// Chooses the cluster a value's copy reads from: the home cluster if an
+/// instance lives there, otherwise the lowest-numbered instance cluster.
+fn copy_source(assignment: &Assignment, n: NodeId) -> u8 {
+    let home = assignment.home(n);
+    if assignment.instances(n).contains(home) {
+        home
+    } else {
+        assignment.instances(n).iter().next().expect("node has at least one instance")
+    }
+}
+
+/// Builds the operation list (in the requested order) and the arcs.
+fn build_ops(
+    req: &ScheduleRequest<'_>,
+    strategy: OrderStrategy,
+) -> (Vec<SchedOp>, OpGraph, Vec<NodeId>) {
+    let ddg = req.ddg;
+    let asg = req.assignment;
+    let machine = req.machine;
+    let communicated = asg.communicated(ddg);
+    let is_com = |n: NodeId| communicated.binary_search(&n).is_ok();
+
+    let node_order = match strategy {
+        OrderStrategy::Swing => sms_order(ddg, machine),
+        OrderStrategy::Topological => cvliw_ddg::topo_order(ddg),
+    };
+    let mut ops = Vec::new();
+    for &n in &node_order {
+        let mut clusters: Vec<u8> = asg.instances(n).iter().collect();
+        let src = copy_source(asg, n);
+        clusters.sort_by_key(|&c| (c != src, c));
+        for c in clusters {
+            ops.push(SchedOp::Instance(n, c));
+        }
+        if is_com(n) {
+            ops.push(SchedOp::Copy(n));
+        }
+    }
+
+    let mut graph = OpGraph { preds: BTreeMap::new(), succs: BTreeMap::new() };
+    let bus_dep_lat =
+        if req.zero_bus_dep_latency { 0 } else { i64::from(machine.bus_latency()) };
+
+    for e in ddg.edges() {
+        let lat = i64::from(machine.latency(ddg.kind(e.src)));
+        let dist = i64::from(e.distance);
+        match e.kind {
+            DepKind::Mem => {
+                for cu in asg.instances(e.src).iter() {
+                    for cv in asg.instances(e.dst).iter() {
+                        graph.add(
+                            SchedOp::Instance(e.src, cu),
+                            SchedOp::Instance(e.dst, cv),
+                            lat,
+                            dist,
+                        );
+                    }
+                }
+            }
+            DepKind::Data => {
+                let src_set = asg.instances(e.src);
+                for c in asg.instances(e.dst).iter() {
+                    if src_set.contains(c) {
+                        graph.add(
+                            SchedOp::Instance(e.src, c),
+                            SchedOp::Instance(e.dst, c),
+                            lat,
+                            dist,
+                        );
+                    } else {
+                        debug_assert!(is_com(e.src), "missing value must be communicated");
+                        graph.add(SchedOp::Copy(e.src), SchedOp::Instance(e.dst, c), bus_dep_lat, dist);
+                    }
+                }
+            }
+        }
+    }
+    for &n in &communicated {
+        let src = copy_source(asg, n);
+        let lat = i64::from(machine.latency(ddg.kind(n)));
+        graph.add(SchedOp::Instance(n, src), SchedOp::Copy(n), lat, 0);
+    }
+    (ops, graph, communicated)
+}
+
+/// Modulo-schedules one loop at a fixed initiation interval.
+///
+/// Follows the paper's base scheduler (§2.3.2): operations are ordered with
+/// the swing heuristic, then each is placed as close as possible to its
+/// already-scheduled neighbours without backtracking. Copies occupy buses;
+/// instances occupy functional units.
+///
+/// # Errors
+///
+/// Returns a [`ScheduleError`] describing why this II is insufficient; the
+/// driver is expected to increase the II and retry (Figure 2 of the paper).
+pub fn schedule(req: &ScheduleRequest<'_>) -> Result<Schedule, ScheduleError> {
+    schedule_with(req, OrderStrategy::Swing)
+}
+
+/// [`schedule`] with an explicit ordering strategy (see [`OrderStrategy`]).
+///
+/// # Errors
+///
+/// As for [`schedule`].
+pub fn schedule_with(
+    req: &ScheduleRequest<'_>,
+    strategy: OrderStrategy,
+) -> Result<Schedule, ScheduleError> {
+    let machine = req.machine;
+    let ii = req.ii;
+    assert!(ii > 0, "initiation interval must be positive");
+
+    // Bus bandwidth check (IIpart ≤ II in the paper's driver).
+    let (ops, graph, communicated) = build_ops(req, strategy);
+    let needed = communicated.len() as u32;
+    let capacity = machine.bus_coms_per_ii(ii);
+    if needed > capacity {
+        return Err(ScheduleError::Bus { needed, capacity });
+    }
+
+    let mut mrt = Mrt::new(machine, ii);
+    let mut placed: BTreeMap<SchedOp, i64> = BTreeMap::new();
+    let mut buses: BTreeMap<NodeId, u8> = BTreeMap::new();
+    let ii_i = i64::from(ii);
+
+    for &op in &ops {
+        let mut estart: Option<i64> = None;
+        let mut lstart: Option<i64> = None;
+        // Whether the binding bound flows through a bus copy: a closed
+        // window then signals communication latency, not a recurrence.
+        let mut bound_by_copy = matches!(op, SchedOp::Copy(_));
+        if let Some(preds) = graph.preds.get(&op) {
+            for &(p, lat, dist) in preds {
+                if let Some(&tp) = placed.get(&p) {
+                    let bound = tp + lat - ii_i * dist;
+                    if estart.is_none_or(|e| bound > e) {
+                        estart = Some(bound);
+                        if matches!(p, SchedOp::Copy(_)) {
+                            bound_by_copy = true;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(succs) = graph.succs.get(&op) {
+            for &(s, lat, dist) in succs {
+                if let Some(&ts) = placed.get(&s) {
+                    let bound = ts - lat + ii_i * dist;
+                    if lstart.is_none_or(|l| bound < l) {
+                        lstart = Some(bound);
+                        if matches!(s, SchedOp::Copy(_)) {
+                            bound_by_copy = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let candidates: Vec<i64> = match (estart, lstart) {
+            (Some(e), Some(l)) => {
+                if l < e {
+                    return Err(window_closed(op, bound_by_copy));
+                }
+                (e..=l.min(e + ii_i - 1)).collect()
+            }
+            (Some(e), None) => (e..e + ii_i).collect(),
+            (None, Some(l)) => (0..ii_i).map(|k| l - k).collect(),
+            (None, None) => (0..ii_i).collect(),
+        };
+        let doubly_bounded = estart.is_some() && lstart.is_some();
+
+        let mut done = false;
+        for t in candidates {
+            match op {
+                SchedOp::Instance(n, c) => {
+                    let class = req.ddg.kind(n).class();
+                    if mrt.fu_free(c, class, t) {
+                        mrt.place_fu(c, class, t);
+                        placed.insert(op, t);
+                        done = true;
+                        break;
+                    }
+                }
+                SchedOp::Copy(n) => {
+                    if let Some(bus) = mrt.bus_available(t) {
+                        mrt.place_copy(bus, t);
+                        placed.insert(op, t);
+                        buses.insert(n, bus);
+                        done = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !done {
+            return Err(if doubly_bounded {
+                window_closed(op, bound_by_copy)
+            } else {
+                match op {
+                    SchedOp::Instance(n, c) => ScheduleError::FuSlots {
+                        node: n,
+                        class: req.ddg.kind(n).class(),
+                        cluster: c,
+                    },
+                    SchedOp::Copy(n) => ScheduleError::CopySlots { value: n },
+                }
+            });
+        }
+    }
+
+    // Normalize to cycle 0 and assemble.
+    let min_t = placed.values().copied().min().unwrap_or(0);
+    let max_t = placed.values().copied().max().unwrap_or(0);
+    let mut instances = BTreeMap::new();
+    let mut copies = BTreeMap::new();
+    for (op, t) in placed {
+        let t = t - min_t;
+        match op {
+            SchedOp::Instance(n, c) => {
+                instances.insert((n, c), t);
+            }
+            SchedOp::Copy(n) => {
+                copies.insert(
+                    n,
+                    CopyPlacement { cycle: t, bus: buses[&n], source: copy_source(req.assignment, n) },
+                );
+            }
+        }
+    }
+    let sched = Schedule {
+        ii,
+        instances,
+        copies,
+        length: u32::try_from(max_t - min_t + 1).expect("schedule length fits u32"),
+        zero_bus_dep_latency: req.zero_bus_dep_latency,
+    };
+
+    // Register-pressure gate (the third Figure-1 cause).
+    let pressure = max_live(&sched, req.ddg, machine);
+    for (c, &p) in pressure.iter().enumerate() {
+        if p > machine.regs_per_cluster() {
+            return Err(ScheduleError::Registers {
+                cluster: c as u8,
+                maxlive: p,
+                available: machine.regs_per_cluster(),
+            });
+        }
+    }
+    Ok(sched)
+}
+
+/// Classifies an empty issue window: when the binding bound flows through
+/// a bus copy (or the operation *is* a copy), the communication latency is
+/// at fault — Figure 1 counts those as "bus"; otherwise a recurrence does
+/// not fit the II.
+fn window_closed(op: SchedOp, bound_by_copy: bool) -> ScheduleError {
+    match op {
+        _ if bound_by_copy => ScheduleError::CopySlots {
+            value: match op {
+                SchedOp::Instance(n, _) | SchedOp::Copy(n) => n,
+            },
+        },
+        SchedOp::Instance(n, _) => ScheduleError::Recurrence { node: n },
+        SchedOp::Copy(n) => ScheduleError::CopySlots { value: n },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_ddg::OpKind;
+
+    fn machine(spec: &str) -> MachineConfig {
+        MachineConfig::from_spec(spec).unwrap()
+    }
+
+    /// load → fmul → store, all in cluster 0.
+    fn chain_single_cluster() -> (Ddg, Assignment) {
+        let mut b = Ddg::builder();
+        let ld = b.add_node(OpKind::Load);
+        let m = b.add_node(OpKind::FpMul);
+        let st = b.add_node(OpKind::Store);
+        b.data(ld, m).data(m, st);
+        (b.build().unwrap(), Assignment::from_partition(&[0, 0, 0]))
+    }
+
+    fn request<'a>(
+        ddg: &'a Ddg,
+        machine: &'a MachineConfig,
+        asg: &'a Assignment,
+        ii: u32,
+    ) -> ScheduleRequest<'a> {
+        ScheduleRequest { ddg, machine, assignment: asg, ii, zero_bus_dep_latency: false }
+    }
+
+    #[test]
+    fn schedules_chain_at_res_mii() {
+        // Two memory ops on a 1-port cluster force II ≥ 2.
+        let (ddg, asg) = chain_single_cluster();
+        let m = machine("4c1b2l64r");
+        assert!(matches!(
+            schedule(&request(&ddg, &m, &asg, 1)),
+            Err(ScheduleError::FuSlots { .. })
+        ));
+        let s = schedule(&request(&ddg, &m, &asg, 2)).unwrap();
+        assert_eq!(s.ii(), 2);
+        // load at 0 (slot 0), fmul at 2, store earliest at 8 but slot 0 is
+        // taken by the load → cycle 9; length 10.
+        assert_eq!(s.length(), 10);
+        assert_eq!(s.stage_count(), 5);
+        s.verify(&ddg, &m).unwrap();
+        assert_eq!(s.copy_count(), 0);
+        assert_eq!(s.op_count(), 3);
+    }
+
+    #[test]
+    fn texec_formula() {
+        let (ddg, asg) = chain_single_cluster();
+        let m = machine("4c1b2l64r");
+        let s = schedule(&request(&ddg, &m, &asg, 2)).unwrap();
+        let sc = u64::from(s.stage_count());
+        assert_eq!(s.texec(100), (100 - 1 + sc) * 2);
+        assert_eq!(s.texec(0), 0);
+        assert_eq!(s.texec(1), sc * 2);
+    }
+
+    #[test]
+    fn cross_cluster_inserts_copy() {
+        let mut b = Ddg::builder();
+        let ld = b.add_node(OpKind::Load);
+        let m0 = b.add_node(OpKind::FpMul);
+        b.data(ld, m0);
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 1]);
+        let m = machine("4c1b2l64r");
+        let s = schedule(&request(&ddg, &m, &asg, 2)).unwrap();
+        assert_eq!(s.copy_count(), 1);
+        let copy = s.copy_of(NodeId::new(0)).unwrap();
+        assert_eq!(copy.source, 0);
+        // copy waits for the load (lat 2), consumer waits bus latency 2.
+        let t_ld = s.instance_cycle(NodeId::new(0), 0).unwrap();
+        let t_m0 = s.instance_cycle(NodeId::new(1), 1).unwrap();
+        assert!(copy.cycle >= t_ld + 2);
+        assert!(t_m0 >= copy.cycle + 2);
+        s.verify(&ddg, &m).unwrap();
+    }
+
+    #[test]
+    fn bus_capacity_rejects_too_many_coms() {
+        // Two communicated values but II=2 with a 2-cycle bus fits only 1.
+        let mut b = Ddg::builder();
+        let p0 = b.add_node(OpKind::IntAdd);
+        let p1 = b.add_node(OpKind::IntAdd);
+        let c0 = b.add_node(OpKind::FpAdd);
+        let c1 = b.add_node(OpKind::FpAdd);
+        b.data(p0, c0).data(p1, c1);
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 0, 1, 1]);
+        let m = machine("4c1b2l64r");
+        let err = schedule(&request(&ddg, &m, &asg, 2)).unwrap_err();
+        assert_eq!(err, ScheduleError::Bus { needed: 2, capacity: 1 });
+        assert_eq!(err.cause(), crate::error::IiCause::Bus);
+        // II=4 fits both.
+        let s = schedule(&request(&ddg, &m, &asg, 4)).unwrap();
+        assert_eq!(s.copy_count(), 2);
+        s.verify(&ddg, &m).unwrap();
+    }
+
+    #[test]
+    fn fu_saturation_fails_with_resources() {
+        // 3 independent loads in one cluster with 1 mem port at II=2.
+        let mut b = Ddg::builder();
+        for _ in 0..3 {
+            b.add_node(OpKind::Load);
+        }
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 0, 0]);
+        let m = machine("4c1b2l64r");
+        let err = schedule(&request(&ddg, &m, &asg, 2)).unwrap_err();
+        assert!(matches!(err, ScheduleError::FuSlots { .. }));
+        assert!(schedule(&request(&ddg, &m, &asg, 3)).is_ok());
+    }
+
+    #[test]
+    fn recurrence_window_fails_below_recmii_effects() {
+        // fadd ring with distance 1: RecMII = 9 (3 fadds of latency 3).
+        let mut b = Ddg::builder();
+        let x = b.add_node(OpKind::FpAdd);
+        let y = b.add_node(OpKind::FpAdd);
+        let z = b.add_node(OpKind::FpAdd);
+        b.data(x, y).data(y, z).data_dist(z, x, 1);
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 0, 0]);
+        let m = machine("4c1b2l64r");
+        let err = schedule(&request(&ddg, &m, &asg, 8)).unwrap_err();
+        assert_eq!(err.cause(), crate::error::IiCause::Recurrence);
+        let s = schedule(&request(&ddg, &m, &asg, 9)).unwrap();
+        s.verify(&ddg, &m).unwrap();
+    }
+
+    #[test]
+    fn replicated_instance_schedules_in_both_clusters() {
+        let mut b = Ddg::builder();
+        let ld = b.add_node(OpKind::Load);
+        let m0 = b.add_node(OpKind::FpMul);
+        let m1 = b.add_node(OpKind::FpMul);
+        b.data(ld, m0).data(ld, m1);
+        let ddg = b.build().unwrap();
+        let mut asg = Assignment::from_partition(&[0, 0, 1]);
+        asg.add_instance(NodeId::new(0), 1);
+        let m = machine("4c1b2l64r");
+        let s = schedule(&request(&ddg, &m, &asg, 1)).unwrap();
+        assert_eq!(s.copy_count(), 0, "replication removed the communication");
+        assert_eq!(s.instance_clusters(NodeId::new(0)).len(), 2);
+        s.verify(&ddg, &m).unwrap();
+    }
+
+    #[test]
+    fn zero_bus_mode_shortens_but_still_uses_bandwidth() {
+        let mut b = Ddg::builder();
+        let ld = b.add_node(OpKind::Load);
+        let m0 = b.add_node(OpKind::FpMul);
+        b.data(ld, m0);
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 1]);
+        let m = machine("4c1b2l64r");
+        let normal = schedule(&request(&ddg, &m, &asg, 2)).unwrap();
+        let mut req = request(&ddg, &m, &asg, 2);
+        req.zero_bus_dep_latency = true;
+        let relaxed = schedule(&req).unwrap();
+        assert!(relaxed.is_zero_bus_relaxed());
+        assert!(relaxed.length() <= normal.length());
+        assert_eq!(relaxed.copy_count(), 1, "bandwidth still consumed");
+        relaxed.verify(&ddg, &m).unwrap();
+    }
+
+    #[test]
+    fn verify_catches_tampered_latency() {
+        let (ddg, asg) = chain_single_cluster();
+        let m = machine("4c1b2l64r");
+        let s = schedule(&request(&ddg, &m, &asg, 2)).unwrap();
+        let mut bad = s.clone();
+        // Move the store to cycle 0: violates the fmul → store latency.
+        bad.instances.insert((NodeId::new(2), 0), 0);
+        assert!(matches!(
+            bad.verify(&ddg, &m),
+            Err(VerifyError::LatencyViolated { .. }) | Err(VerifyError::FuOversubscribed { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_catches_missing_copy() {
+        let mut b = Ddg::builder();
+        let ld = b.add_node(OpKind::Load);
+        let m0 = b.add_node(OpKind::FpMul);
+        b.data(ld, m0);
+        let ddg = b.build().unwrap();
+        let asg = Assignment::from_partition(&[0, 1]);
+        let m = machine("4c1b2l64r");
+        let s = schedule(&request(&ddg, &m, &asg, 2)).unwrap();
+        let mut bad = s.clone();
+        bad.copies.clear();
+        assert!(matches!(bad.verify(&ddg, &m), Err(VerifyError::ValueUnavailable { .. })));
+    }
+
+    #[test]
+    fn render_contains_kernel_shape() {
+        let (ddg, asg) = chain_single_cluster();
+        let m = machine("4c1b2l64r");
+        let s = schedule(&request(&ddg, &m, &asg, 2)).unwrap();
+        let text = s.render(&ddg);
+        assert!(text.contains("II=2"));
+        assert!(text.contains("load"));
+    }
+}

@@ -1,0 +1,140 @@
+//! IPC accounting under the paper's timing model.
+//!
+//! The paper's performance metric is IPC, computed from per-loop profiles
+//! (`visits × iterations`) and the analytic `(N − 1 + SC)·II` cycle model.
+//! IPC here counts **original program operations** per cycle: copies and
+//! replicas are overhead, not work, so IPC is a pure inverse-time metric —
+//! "25% more IPC" means the same program finished in 20% fewer cycles.
+//! Executed-instruction overhead is reported separately (Figure 10).
+
+/// Accumulates (operations, cycles) pairs across the loops of a program.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IpcAccumulator {
+    ops: u64,
+    cycles: u64,
+}
+
+impl IpcAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        IpcAccumulator::default()
+    }
+
+    /// Adds raw operation and cycle counts.
+    pub fn add(&mut self, ops: u64, cycles: u64) {
+        self.ops += ops;
+        self.cycles += cycles;
+    }
+
+    /// Adds one compiled loop: `ops_per_iter` original operations over
+    /// `visits` × `iterations` with the given kernel parameters.
+    pub fn add_loop(
+        &mut self,
+        visits: u64,
+        iterations: u64,
+        ops_per_iter: u32,
+        ii: u32,
+        stage_count: u32,
+    ) {
+        if iterations == 0 {
+            return;
+        }
+        self.ops += visits * iterations * u64::from(ops_per_iter);
+        self.cycles += visits * (iterations - 1 + u64::from(stage_count)) * u64::from(ii);
+    }
+
+    /// Total operations accumulated.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Total cycles accumulated.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions per cycle; `0.0` when no cycles were accumulated.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Harmonic mean, the paper's cross-benchmark aggregate (`HMEAN` in
+/// Figure 7). Zero or negative entries are rejected.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive entry.
+#[must_use]
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "harmonic mean of nothing");
+    assert!(values.iter().all(|&v| v > 0.0), "harmonic mean needs positive values");
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_is_ops_over_cycles() {
+        let mut acc = IpcAccumulator::new();
+        acc.add(100, 50);
+        assert_eq!(acc.ipc(), 2.0);
+        assert_eq!(acc.ops(), 100);
+        assert_eq!(acc.cycles(), 50);
+    }
+
+    #[test]
+    fn empty_accumulator_has_zero_ipc() {
+        assert_eq!(IpcAccumulator::new().ipc(), 0.0);
+    }
+
+    #[test]
+    fn add_loop_uses_paper_formula() {
+        let mut acc = IpcAccumulator::new();
+        // 10 visits × 100 iterations × 8 ops; (100-1+3)*4 cycles per visit.
+        acc.add_loop(10, 100, 8, 4, 3);
+        assert_eq!(acc.ops(), 8_000);
+        assert_eq!(acc.cycles(), 10 * 102 * 4);
+        // Zero-iteration loops contribute nothing.
+        acc.add_loop(5, 0, 8, 4, 3);
+        assert_eq!(acc.ops(), 8_000);
+    }
+
+    #[test]
+    fn lower_ii_raises_ipc() {
+        let mut slow = IpcAccumulator::new();
+        slow.add_loop(1, 1000, 10, 4, 2);
+        let mut fast = IpcAccumulator::new();
+        fast.add_loop(1, 1000, 10, 3, 3);
+        assert!(fast.ipc() > slow.ipc());
+    }
+
+    #[test]
+    fn harmonic_mean_matches_hand_value() {
+        let hm = harmonic_mean(&[1.0, 2.0]);
+        assert!((hm - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[3.0, 3.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn harmonic_mean_is_dominated_by_small_values() {
+        let hm = harmonic_mean(&[0.1, 10.0, 10.0]);
+        assert!(hm < 0.3, "{hm}");
+    }
+
+    #[test]
+    #[should_panic(expected = "harmonic mean of nothing")]
+    fn harmonic_mean_rejects_empty() {
+        let _ = harmonic_mean(&[]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Evaluation wrapper: schedule an unrolled loop and compare it with
+//! replication on the metrics the paper's related-work section discusses —
+//! per-iteration throughput and static code size.
+
+use cvliw_ddg::{Ddg, DdgError};
+use cvliw_machine::MachineConfig;
+use cvliw_replicate::{compile_loop, CompileError, CompileOptions, CompiledLoop};
+
+use crate::transform::unroll;
+
+/// The outcome of compiling one loop at one unroll factor.
+#[derive(Clone, Debug)]
+pub struct UnrollReport {
+    /// The unroll factor used.
+    pub factor: u32,
+    /// The compiled unrolled loop.
+    pub compiled: CompiledLoop,
+    /// Operations per *original* iteration (constant across factors).
+    pub ops_per_orig_iter: u32,
+}
+
+impl UnrollReport {
+    /// The initiation interval charged to one **original** iteration:
+    /// `II_unrolled / factor`. This is the throughput metric comparable
+    /// with the non-unrolled II.
+    #[must_use]
+    pub fn effective_ii(&self) -> f64 {
+        f64::from(self.compiled.stats.ii) / f64::from(self.factor)
+    }
+
+    /// Static code size of the kernel in operations (functional-unit
+    /// instances plus bus copies). Unrolling inflates this roughly by the
+    /// factor — the cost the paper's related work holds against it.
+    #[must_use]
+    pub fn code_size(&self) -> u32 {
+        self.compiled.stats.instances_per_iter + self.compiled.stats.copies_per_iter
+    }
+
+    /// Communications per original iteration.
+    #[must_use]
+    pub fn coms_per_orig_iter(&self) -> f64 {
+        f64::from(self.compiled.stats.final_coms) / f64::from(self.factor)
+    }
+
+    /// Execution cycles for `n` original iterations (epilogue iterations
+    /// that do not fill a whole unrolled body are charged a full body,
+    /// matching how a compiler would peel the remainder).
+    #[must_use]
+    pub fn texec(&self, n: u64) -> u64 {
+        let bodies = n.div_ceil(u64::from(self.factor));
+        self.compiled.schedule.texec(bodies)
+    }
+
+    /// IPC over `n` original iterations, counting only original operations
+    /// (the same accounting the paper uses for replication).
+    #[must_use]
+    pub fn ipc(&self, n: u64) -> f64 {
+        let ops = n * u64::from(self.ops_per_orig_iter);
+        ops as f64 / self.texec(n) as f64
+    }
+}
+
+/// Why unrolled compilation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UnrollError {
+    /// The transformation produced an invalid graph (cannot happen for
+    /// graphs built through [`Ddg::builder`]).
+    Transform(DdgError),
+    /// The unrolled body did not fit any II up to the cap.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for UnrollError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnrollError::Transform(e) => write!(f, "unroll transformation failed: {e}"),
+            UnrollError::Compile(e) => write!(f, "unrolled loop failed to compile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UnrollError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UnrollError::Transform(e) => Some(e),
+            UnrollError::Compile(e) => Some(e),
+        }
+    }
+}
+
+/// Unrolls `ddg` by `factor` and compiles it **without replication** (the
+/// two techniques are alternatives; the paper's related work compares them
+/// head to head).
+///
+/// # Errors
+///
+/// Returns [`UnrollError::Compile`] when no II up to the cap schedules the
+/// unrolled body — unrolled bodies are `factor` times larger and can
+/// exhaust a cluster's capacity.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn compile_unrolled(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    factor: u32,
+) -> Result<UnrollReport, UnrollError> {
+    let unrolled = unroll(ddg, factor).map_err(UnrollError::Transform)?;
+    let compiled = compile_loop(&unrolled, machine, &CompileOptions::baseline())
+        .map_err(UnrollError::Compile)?;
+    Ok(UnrollReport { factor, compiled, ops_per_orig_iter: ddg.node_count() as u32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_ddg::OpKind;
+
+    /// A shared address chain feeding two fp chains — communication-bound
+    /// on a clustered machine.
+    fn comm_bound() -> Ddg {
+        let mut b = Ddg::builder();
+        let iv = b.add_labeled(OpKind::IntAdd, "iv");
+        b.data_dist(iv, iv, 1);
+        for t in 0..2 {
+            let ld = b.add_labeled(OpKind::Load, format!("ld{t}"));
+            let m = b.add_labeled(OpKind::FpMul, format!("m{t}"));
+            let s = b.add_labeled(OpKind::Store, format!("s{t}"));
+            b.data(iv, ld).data(ld, m).data(m, s).data(iv, s);
+        }
+        b.build().unwrap()
+    }
+
+    fn machine() -> MachineConfig {
+        MachineConfig::from_spec("4c1b2l64r").unwrap()
+    }
+
+    #[test]
+    fn factor_one_matches_plain_baseline() {
+        let ddg = comm_bound();
+        let m = machine();
+        let plain = compile_loop(&ddg, &m, &CompileOptions::baseline()).unwrap();
+        let u1 = compile_unrolled(&ddg, &m, 1).unwrap();
+        assert_eq!(u1.compiled.stats.ii, plain.stats.ii);
+        assert!((u1.effective_ii() - f64::from(plain.stats.ii)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrolling_improves_effective_ii_on_comm_bound_loops() {
+        let ddg = comm_bound();
+        let m = machine();
+        let u1 = compile_unrolled(&ddg, &m, 1).unwrap();
+        let u4 = compile_unrolled(&ddg, &m, 4).unwrap();
+        assert!(
+            u4.effective_ii() <= u1.effective_ii() + 1e-9,
+            "unrolling should not hurt throughput: {} vs {}",
+            u4.effective_ii(),
+            u1.effective_ii()
+        );
+    }
+
+    #[test]
+    fn unrolling_inflates_code_size() {
+        let ddg = comm_bound();
+        let m = machine();
+        let u1 = compile_unrolled(&ddg, &m, 1).unwrap();
+        let u4 = compile_unrolled(&ddg, &m, 4).unwrap();
+        assert!(
+            u4.code_size() >= 3 * u1.code_size(),
+            "factor-4 kernel should be ~4x larger: {} vs {}",
+            u4.code_size(),
+            u1.code_size()
+        );
+    }
+
+    #[test]
+    fn ipc_counts_original_ops_only() {
+        let ddg = comm_bound();
+        let m = machine();
+        let u2 = compile_unrolled(&ddg, &m, 2).unwrap();
+        assert_eq!(u2.ops_per_orig_iter, ddg.node_count() as u32);
+        let ipc = u2.ipc(1000);
+        assert!(ipc > 0.0 && ipc <= m.issue_width() as f64);
+    }
+
+    #[test]
+    fn texec_charges_whole_bodies() {
+        let ddg = comm_bound();
+        let m = machine();
+        let u4 = compile_unrolled(&ddg, &m, 4).unwrap();
+        // 5 original iterations need 2 unrolled bodies.
+        assert_eq!(u4.texec(5), u4.compiled.schedule.texec(2));
+        assert_eq!(u4.texec(8), u4.compiled.schedule.texec(2));
+        assert_eq!(u4.texec(9), u4.compiled.schedule.texec(3));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = UnrollError::Compile(CompileError::IiLimitExceeded {
+            mii: 2,
+            max_ii: 4,
+            causes: Default::default(),
+        });
+        assert!(e.to_string().contains("failed to compile"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

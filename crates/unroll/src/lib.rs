@@ -1,0 +1,53 @@
+//! Loop unrolling for clustered VLIW modulo scheduling.
+//!
+//! The paper's related work (§6, reference \[22\] — Sánchez & González,
+//! *"The Effectiveness of Loop Unrolling for Modulo Scheduling in Clustered
+//! VLIW Architectures"*, ICPP 2000) discusses unrolling as the main
+//! alternative to instruction replication: unrolling a loop `F` times gives
+//! the partitioner `F` independent instances of every value, so consumers
+//! can be co-located with producers and most inter-cluster communications
+//! disappear — **at the cost of a kernel roughly `F` times larger**, which
+//! matters on the DSPs these machines target.
+//!
+//! This crate provides the transformation ([`unroll`]) and an evaluation
+//! wrapper ([`compile_unrolled`]) so the trade-off can be measured against
+//! replication on the same machine model (`ablation_unrolling` bench):
+//! throughput per original iteration, static code size, and remaining
+//! communications.
+//!
+//! # Example
+//!
+//! ```
+//! use cvliw_ddg::{Ddg, OpKind};
+//! use cvliw_machine::MachineConfig;
+//! use cvliw_unroll::compile_unrolled;
+//!
+//! // One shared address chain feeding two fp chains.
+//! let mut b = Ddg::builder();
+//! let iv = b.add_node(OpKind::IntAdd);
+//! b.data_dist(iv, iv, 1);
+//! for _ in 0..2 {
+//!     let ld = b.add_node(OpKind::Load);
+//!     let m = b.add_node(OpKind::FpMul);
+//!     let s = b.add_node(OpKind::Store);
+//!     b.data(iv, ld).data(ld, m).data(m, s);
+//! }
+//! let ddg = b.build()?;
+//! let machine = MachineConfig::from_spec("4c1b2l64r")?;
+//!
+//! let u2 = compile_unrolled(&ddg, &machine, 2)?;
+//! // Per-original-iteration II is comparable with the plain loop's II...
+//! assert!(u2.effective_ii() >= 1.0);
+//! // ...but the kernel holds two copies of the body.
+//! assert!(u2.code_size() >= 2 * ddg.node_count() as u32);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod transform;
+
+pub use eval::{compile_unrolled, UnrollError, UnrollReport};
+pub use transform::unroll;

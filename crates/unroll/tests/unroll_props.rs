@@ -1,0 +1,113 @@
+//! Property tests for the unrolling transformation: the remapped edge set
+//! is exactly what the unrolling semantics dictate, for arbitrary graphs
+//! and factors.
+
+use cvliw_ddg::{Ddg, DepKind, OpKind};
+use cvliw_unroll::unroll;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop::sample::select(OpKind::ALL.to_vec())
+}
+
+fn arb_ddg() -> impl Strategy<Value = Ddg> {
+    let nodes = prop::collection::vec(arb_kind(), 1..10);
+    nodes
+        .prop_flat_map(|kinds| {
+            let n = kinds.len();
+            let edges =
+                prop::collection::vec((0..n, 0..n, 0u32..4, prop::bool::ANY), 0..(2 * n));
+            (Just(kinds), edges)
+        })
+        .prop_map(|(kinds, edges)| {
+            let mut b = Ddg::builder();
+            let ids: Vec<_> = kinds.iter().map(|&k| b.add_node(k)).collect();
+            for (src, dst, dist, is_mem) in edges {
+                let kind = if is_mem || !kinds[src].produces_value() {
+                    DepKind::Mem
+                } else {
+                    DepKind::Data
+                };
+                if dist > 0 {
+                    b.edge(ids[src], ids[dst], kind, dist);
+                } else if src < dst {
+                    b.edge(ids[src], ids[dst], kind, 0);
+                }
+            }
+            b.build().expect("valid by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn counts_scale_exactly(ddg in arb_ddg(), factor in 1u32..6) {
+        let u = unroll(&ddg, factor).unwrap();
+        prop_assert_eq!(u.node_count(), ddg.node_count() * factor as usize);
+        prop_assert_eq!(u.edge_count(), ddg.edge_count() * factor as usize);
+    }
+
+    #[test]
+    fn kinds_replicate_per_instance(ddg in arb_ddg(), factor in 1u32..6) {
+        let u = unroll(&ddg, factor).unwrap();
+        let n = ddg.node_count();
+        for k in 0..factor as usize {
+            for v in ddg.node_ids() {
+                let instance = u.node_ids().nth(k * n + v.index()).unwrap();
+                prop_assert_eq!(u.kind(instance), ddg.kind(v));
+            }
+        }
+    }
+
+    #[test]
+    fn every_edge_remaps_by_the_unrolling_equation(ddg in arb_ddg(), factor in 1u32..5) {
+        let u = unroll(&ddg, factor).unwrap();
+        let n = ddg.node_count();
+        let f = i64::from(factor);
+        // Collect unrolled edges as tuples for multiset comparison.
+        let mut got: Vec<(usize, usize, bool, u32)> = u
+            .edges()
+            .map(|e| (e.src.index(), e.dst.index(), e.kind == DepKind::Data, e.distance))
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<(usize, usize, bool, u32)> = Vec::new();
+        for e in ddg.edges() {
+            for k in 0..factor as i64 {
+                let j = k - i64::from(e.distance);
+                let src_instance = j.rem_euclid(f) as usize;
+                let new_dist = if j >= 0 { 0 } else { ((-j + f - 1) / f) as u32 };
+                want.push((
+                    src_instance * n + e.src.index(),
+                    k as usize * n + e.dst.index(),
+                    e.kind == DepKind::Data,
+                    new_dist,
+                ));
+            }
+        }
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn total_distance_is_preserved_per_original_edge(ddg in arb_ddg(), factor in 1u32..5) {
+        // Summing unrolled distances over the F images of an edge must give
+        // the original distance: each original dependence spans `d` original
+        // iterations, and the F images together span d unrolled iterations'
+        // worth of original iterations.
+        let u = unroll(&ddg, factor).unwrap();
+        let sum_orig: u64 = ddg.edges().map(|e| u64::from(e.distance)).sum();
+        let sum_unrolled: u64 = u.edges().map(|e| u64::from(e.distance)).sum();
+        prop_assert_eq!(sum_unrolled, sum_orig, "factor {}", factor);
+    }
+
+    #[test]
+    fn unrolling_is_deterministic(ddg in arb_ddg(), factor in 1u32..5) {
+        let a = unroll(&ddg, factor).unwrap();
+        let b = unroll(&ddg, factor).unwrap();
+        prop_assert_eq!(a.node_count(), b.node_count());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        prop_assert_eq!(ea, eb);
+    }
+}

@@ -1,0 +1,257 @@
+//! The seeded loop-body generator.
+
+use cvliw_ddg::{Ddg, DdgError, NodeId, OpKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Structural knobs of the generator; every probability is in `[0, 1]`.
+///
+/// A generated loop body is a layered graph: a small set of integer
+/// address/induction computations at the top, `chains` floating-point
+/// dependence chains in the middle (fed by loads), and stores at the
+/// bottom. `coupling` cross-links the chains — the single most important
+/// knob for communication pressure on a clustered machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeneratorParams {
+    /// Number of floating-point chains (min, max).
+    pub chains: (usize, usize),
+    /// Operations per chain (min, max).
+    pub depth: (usize, usize),
+    /// Probability that a chain operation takes a second operand from an
+    /// earlier node of a *different* chain.
+    pub coupling: f64,
+    /// Probability a memory access reuses a shared address node instead of
+    /// deriving its own.
+    pub shared_addr: f64,
+    /// Probability a chain is a loop-carried recurrence.
+    pub recurrence: f64,
+    /// Probability a chain operation is a multiply (otherwise an add);
+    /// divides appear with `div` probability.
+    pub mul: f64,
+    /// Probability a chain operation is a divide.
+    pub div: f64,
+    /// Probability a chain ends in a store.
+    pub store: f64,
+    /// Probability of a loop-carried store→load aliasing dependence per
+    /// chain.
+    pub mem_alias: f64,
+    /// Trip count range (iterations per visit).
+    pub trips: (u64, u64),
+    /// Visit count range.
+    pub visits: (u64, u64),
+}
+
+impl GeneratorParams {
+    /// A mid-sized, moderately coupled default (used by tests).
+    #[must_use]
+    pub fn medium() -> Self {
+        GeneratorParams {
+            chains: (3, 6),
+            depth: (3, 6),
+            coupling: 0.2,
+            shared_addr: 0.7,
+            recurrence: 0.1,
+            mul: 0.45,
+            div: 0.02,
+            store: 0.8,
+            // SPECfp95 innermost loops are essentially memory-disambiguated;
+            // a cross-iteration store→load alias serializes iterations, so
+            // keep it a rare event.
+            mem_alias: 0.01,
+            trips: (50, 400),
+            visits: (10, 100),
+        }
+    }
+}
+
+/// Output of [`generate_loop`]: the body plus its sampled profile numbers.
+#[derive(Clone, Debug)]
+pub struct GeneratedLoop {
+    /// The loop body.
+    pub ddg: Ddg,
+    /// Sampled iterations per visit.
+    pub trip_count: u64,
+    /// Sampled visit count.
+    pub visits: u64,
+}
+
+/// Generates one loop body from a seed. The same `(seed, params)` pair
+/// always produces the same graph.
+///
+/// # Errors
+///
+/// Propagates [`DdgError`] if the generated graph fails validation (which
+/// would indicate a generator bug; the construction is layered and thus
+/// acyclic at distance 0).
+pub fn generate_loop(seed: u64, params: &GeneratorParams) -> Result<GeneratedLoop, DdgError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Ddg::builder();
+
+    // Induction variable + shared address computations (the "upper level
+    // integer instructions" of §4).
+    let iv = b.add_labeled(OpKind::IntAdd, "iv");
+    b.data_dist(iv, iv, 1);
+    let n_chains = rng.random_range(params.chains.0..=params.chains.1);
+    let n_addr = (n_chains / 2).max(1);
+    let mut addr_nodes = Vec::with_capacity(n_addr);
+    for i in 0..n_addr {
+        let a = b.add_labeled(OpKind::IntAdd, format!("addr{i}"));
+        b.data(iv, a);
+        addr_nodes.push(a);
+    }
+
+    let mut all_fp: Vec<NodeId> = Vec::new(); // earlier chain ops, coupling sources
+    let mut loads: Vec<NodeId> = Vec::new();
+    let mut stores: Vec<NodeId> = Vec::new();
+
+    for chain in 0..n_chains {
+        // Address for this chain's memory traffic.
+        let addr = if rng.random_bool(params.shared_addr) {
+            addr_nodes[rng.random_range(0..addr_nodes.len())]
+        } else {
+            let a = b.add_labeled(OpKind::IntAdd, format!("addr_c{chain}"));
+            b.data(iv, a);
+            a
+        };
+
+        let ld = b.add_labeled(OpKind::Load, format!("ld{chain}"));
+        b.data(addr, ld);
+        loads.push(ld);
+
+        let depth = rng.random_range(params.depth.0..=params.depth.1);
+        let mut prev = ld;
+        let mut first_fp = None;
+        for op in 0..depth {
+            let kind = if rng.random_bool(params.div) {
+                OpKind::FpDiv
+            } else if rng.random_bool(params.mul) {
+                OpKind::FpMul
+            } else {
+                OpKind::FpAdd
+            };
+            let node = b.add_labeled(kind, format!("c{chain}_{op}"));
+            b.data(prev, node);
+            if first_fp.is_none() {
+                first_fp = Some(node);
+            }
+            // Cross-chain coupling: a second operand from an earlier chain.
+            if !all_fp.is_empty() && rng.random_bool(params.coupling) {
+                let other = all_fp[rng.random_range(0..all_fp.len())];
+                b.data(other, node);
+            }
+            all_fp.push(node);
+            prev = node;
+        }
+
+        // Loop-carried recurrence: the chain's last value feeds its first
+        // fp op in a later iteration.
+        if let Some(first) = first_fp {
+            if rng.random_bool(params.recurrence) {
+                let dist = rng.random_range(1..=2);
+                b.data_dist(prev, first, dist);
+            }
+        }
+
+        if rng.random_bool(params.store) {
+            let st = b.add_labeled(OpKind::Store, format!("st{chain}"));
+            b.data(prev, st);
+            b.data(addr, st);
+            stores.push(st);
+        }
+    }
+
+    // Occasional loop-carried aliasing between a store and a load.
+    for _ in 0..n_chains {
+        if !stores.is_empty() && !loads.is_empty() && rng.random_bool(params.mem_alias) {
+            let st = stores[rng.random_range(0..stores.len())];
+            let ld = loads[rng.random_range(0..loads.len())];
+            b.mem_dep(st, ld, rng.random_range(1..=2));
+        }
+    }
+
+    let trip_count = rng.random_range(params.trips.0..=params.trips.1);
+    let visits = rng.random_range(params.visits.0..=params.visits.1);
+    Ok(GeneratedLoop { ddg: b.build()?, trip_count, visits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = GeneratorParams::medium();
+        let a = generate_loop(42, &p).unwrap();
+        let b = generate_loop(42, &p).unwrap();
+        assert_eq!(a.ddg.node_count(), b.ddg.node_count());
+        assert_eq!(a.ddg.edge_count(), b.ddg.edge_count());
+        assert_eq!(a.trip_count, b.trip_count);
+        assert_eq!(a.visits, b.visits);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = GeneratorParams::medium();
+        let sizes: Vec<usize> =
+            (0..16).map(|s| generate_loop(s, &p).unwrap().ddg.node_count()).collect();
+        let first = sizes[0];
+        assert!(sizes.iter().any(|&s| s != first), "some variation expected");
+    }
+
+    #[test]
+    fn bodies_are_valid_and_sized() {
+        let p = GeneratorParams::medium();
+        for seed in 0..50 {
+            let g = generate_loop(seed, &p).unwrap();
+            // at least iv + 1 addr + chains*(load+1 op)
+            assert!(g.ddg.node_count() >= 2 + p.chains.0 * 2);
+            assert!(g.trip_count >= p.trips.0 && g.trip_count <= p.trips.1);
+        }
+    }
+
+    #[test]
+    fn coupling_zero_gives_independent_chains() {
+        let mut p = GeneratorParams::medium();
+        p.coupling = 0.0;
+        p.shared_addr = 0.0;
+        p.mem_alias = 0.0;
+        let g = generate_loop(7, &p).unwrap();
+        // Without coupling/shared addresses, each fp node has at most one
+        // fp predecessor: chains are pure.
+        for n in g.ddg.node_ids() {
+            if g.ddg.kind(n).is_fp() {
+                let fp_preds =
+                    g.ddg.data_preds(n).iter().filter(|&&p| g.ddg.kind(p).is_fp()).count();
+                assert!(fp_preds <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn high_coupling_cross_links_chains() {
+        let mut p = GeneratorParams::medium();
+        p.coupling = 0.9;
+        p.chains = (6, 6);
+        p.depth = (4, 4);
+        let g = generate_loop(11, &p).unwrap();
+        let cross = g
+            .ddg
+            .node_ids()
+            .filter(|&n| g.ddg.kind(n).is_fp() && g.ddg.data_preds(n).len() >= 2)
+            .count();
+        assert!(cross >= 3, "expected several coupled ops, got {cross}");
+    }
+
+    #[test]
+    fn stores_never_feed_data_edges() {
+        let p = GeneratorParams::medium();
+        for seed in 0..20 {
+            let g = generate_loop(seed, &p).unwrap();
+            for e in g.ddg.edges() {
+                if e.is_data() {
+                    assert!(g.ddg.kind(e.src).produces_value());
+                }
+            }
+        }
+    }
+}

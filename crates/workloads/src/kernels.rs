@@ -1,0 +1,191 @@
+//! Hand-written kernels used by examples, tests and documentation.
+
+use cvliw_ddg::{Ddg, NodeId, OpKind};
+
+/// `y[i] = Σ_k c[k] · x[i+k]` with the taps unrolled: one load per tap, a
+/// multiply, and an add-reduction chain ending in a store. A classic DSP
+/// kernel for the VLIW machines the paper's introduction motivates.
+///
+/// # Panics
+///
+/// Panics if `taps == 0`.
+#[must_use]
+pub fn fir(taps: usize) -> Ddg {
+    assert!(taps > 0, "a FIR filter needs at least one tap");
+    let mut b = Ddg::builder();
+    let iv = b.add_labeled(OpKind::IntAdd, "iv");
+    b.data_dist(iv, iv, 1);
+    let mut acc: Option<NodeId> = None;
+    for k in 0..taps {
+        let addr = b.add_labeled(OpKind::IntAdd, format!("addr{k}"));
+        b.data(iv, addr);
+        let x = b.add_labeled(OpKind::Load, format!("x{k}"));
+        b.data(addr, x);
+        let c = b.add_labeled(OpKind::Load, format!("c{k}"));
+        let prod = b.add_labeled(OpKind::FpMul, format!("p{k}"));
+        b.data(x, prod).data(c, prod);
+        acc = Some(match acc {
+            None => prod,
+            Some(a) => {
+                let sum = b.add_labeled(OpKind::FpAdd, format!("s{k}"));
+                b.data(a, sum).data(prod, sum);
+                sum
+            }
+        });
+    }
+    let st = b.add_labeled(OpKind::Store, "y");
+    b.data(acc.expect("taps > 0"), st).data(iv, st);
+    b.build().expect("FIR kernel is a valid loop body")
+}
+
+/// `y[i] = a·x[i] + y[i]` — daxpy, with `a` loaded each iteration.
+#[must_use]
+pub fn daxpy() -> Ddg {
+    let mut b = Ddg::builder();
+    let iv = b.add_labeled(OpKind::IntAdd, "iv");
+    b.data_dist(iv, iv, 1);
+    let a = b.add_labeled(OpKind::Load, "a");
+    let x = b.add_labeled(OpKind::Load, "x");
+    let y = b.add_labeled(OpKind::Load, "y");
+    b.data(iv, x).data(iv, y);
+    let ax = b.add_labeled(OpKind::FpMul, "a*x");
+    b.data(a, ax).data(x, ax);
+    let sum = b.add_labeled(OpKind::FpAdd, "a*x+y");
+    b.data(ax, sum).data(y, sum);
+    let st = b.add_labeled(OpKind::Store, "y'");
+    b.data(sum, st).data(iv, st);
+    b.build().expect("daxpy is a valid loop body")
+}
+
+/// `acc += x[i] · y[i]` — a dot product whose accumulator is a loop-carried
+/// recurrence (RecMII = fp-add latency).
+#[must_use]
+pub fn dot_product() -> Ddg {
+    let mut b = Ddg::builder();
+    let iv = b.add_labeled(OpKind::IntAdd, "iv");
+    b.data_dist(iv, iv, 1);
+    let x = b.add_labeled(OpKind::Load, "x");
+    let y = b.add_labeled(OpKind::Load, "y");
+    b.data(iv, x).data(iv, y);
+    let prod = b.add_labeled(OpKind::FpMul, "x*y");
+    b.data(x, prod).data(y, prod);
+    let acc = b.add_labeled(OpKind::FpAdd, "acc");
+    b.data(prod, acc);
+    b.data_dist(acc, acc, 1);
+    b.build().expect("dot product is a valid loop body")
+}
+
+/// A five-point 2-D stencil: five loads, four weighted additions, one
+/// store. Communication-friendly on two clusters, tight on four.
+#[must_use]
+pub fn stencil5() -> Ddg {
+    let mut b = Ddg::builder();
+    let iv = b.add_labeled(OpKind::IntAdd, "iv");
+    b.data_dist(iv, iv, 1);
+    let center = b.add_labeled(OpKind::Load, "c");
+    b.data(iv, center);
+    let mut sum = center;
+    for name in ["n", "s", "e", "w"] {
+        let addr = b.add_labeled(OpKind::IntAdd, format!("addr_{name}"));
+        b.data(iv, addr);
+        let ld = b.add_labeled(OpKind::Load, name);
+        b.data(addr, ld);
+        let add = b.add_labeled(OpKind::FpAdd, format!("sum_{name}"));
+        b.data(sum, add).data(ld, add);
+        sum = add;
+    }
+    let scale = b.add_labeled(OpKind::FpMul, "scale");
+    b.data(sum, scale);
+    let st = b.add_labeled(OpKind::Store, "out");
+    b.data(scale, st).data(iv, st);
+    b.build().expect("stencil is a valid loop body")
+}
+
+/// Complex multiply-accumulate: `(ar+i·ai)·(br+i·bi)` summed into memory —
+/// two coupled multiply trees sharing four loads, a structure that splits
+/// badly across clusters without replication.
+#[must_use]
+pub fn complex_mac() -> Ddg {
+    let mut b = Ddg::builder();
+    let iv = b.add_labeled(OpKind::IntAdd, "iv");
+    b.data_dist(iv, iv, 1);
+    let loads: Vec<NodeId> = ["ar", "ai", "br", "bi"]
+        .iter()
+        .map(|n| {
+            let ld = b.add_labeled(OpKind::Load, *n);
+            b.data(iv, ld);
+            ld
+        })
+        .collect();
+    let (ar, ai, br, bi) = (loads[0], loads[1], loads[2], loads[3]);
+    let rr = b.add_labeled(OpKind::FpMul, "ar*br");
+    b.data(ar, rr).data(br, rr);
+    let ii_ = b.add_labeled(OpKind::FpMul, "ai*bi");
+    b.data(ai, ii_).data(bi, ii_);
+    let ri = b.add_labeled(OpKind::FpMul, "ar*bi");
+    b.data(ar, ri).data(bi, ri);
+    let ir = b.add_labeled(OpKind::FpMul, "ai*br");
+    b.data(ai, ir).data(br, ir);
+    let re = b.add_labeled(OpKind::FpAdd, "re");
+    b.data(rr, re).data(ii_, re);
+    let im = b.add_labeled(OpKind::FpAdd, "im");
+    b.data(ri, im).data(ir, im);
+    let st_re = b.add_labeled(OpKind::Store, "out_re");
+    b.data(re, st_re).data(iv, st_re);
+    let st_im = b.add_labeled(OpKind::Store, "out_im");
+    b.data(im, st_im).data(iv, st_im);
+    b.build().expect("complex MAC is a valid loop body")
+}
+
+/// All hand-written kernels with their names.
+#[must_use]
+pub fn all() -> Vec<(&'static str, Ddg)> {
+    vec![
+        ("fir8", fir(8)),
+        ("daxpy", daxpy()),
+        ("dot_product", dot_product()),
+        ("stencil5", stencil5()),
+        ("complex_mac", complex_mac()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_are_valid() {
+        for (name, ddg) in all() {
+            assert!(ddg.node_count() > 3, "{name}");
+            assert!(ddg.edge_count() > 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn fir_scales_with_taps() {
+        assert!(fir(16).node_count() > fir(4).node_count());
+        // taps loads ×2, muls, adds: 4 taps → 4 addr + 8 loads + 4 muls +
+        // 3 adds + iv + store = 21
+        assert_eq!(fir(4).node_count(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn fir_zero_taps_panics() {
+        let _ = fir(0);
+    }
+
+    #[test]
+    fn dot_product_has_recurrence() {
+        let ddg = dot_product();
+        let acc = ddg.find_by_label("acc").unwrap();
+        assert!(ddg.out_edges(acc).any(|e| e.dst == acc && e.distance == 1));
+    }
+
+    #[test]
+    fn complex_mac_shares_loads() {
+        let ddg = complex_mac();
+        let ar = ddg.find_by_label("ar").unwrap();
+        assert_eq!(ddg.data_succs(ar).len(), 2, "each load feeds two multiplies");
+    }
+}

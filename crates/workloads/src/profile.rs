@@ -1,0 +1,72 @@
+//! Loop profiles: how often a loop runs and for how many iterations.
+
+/// Profile data of one innermost loop, as the paper obtains through
+/// profiling (§4: "it is necessary to know the number of times each loop
+/// is executed and the average number of iterations").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LoopProfile {
+    /// How many times control enters the loop.
+    pub visits: u64,
+    /// Average iterations per visit.
+    pub iterations: u64,
+}
+
+impl LoopProfile {
+    /// Creates a profile.
+    #[must_use]
+    pub fn new(visits: u64, iterations: u64) -> Self {
+        LoopProfile { visits, iterations }
+    }
+
+    /// Total iterations across all visits.
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.visits * self.iterations
+    }
+
+    /// Dynamic operations executed given a per-iteration operation count.
+    #[must_use]
+    pub fn dynamic_ops(&self, ops_per_iter: u32) -> u64 {
+        self.total_iterations() * u64::from(ops_per_iter)
+    }
+
+    /// Execution cycles under the paper's timing model for a kernel with
+    /// the given II and stage count: `visits · (N − 1 + SC) · II`.
+    #[must_use]
+    pub fn cycles(&self, ii: u32, stage_count: u32) -> u64 {
+        if self.iterations == 0 {
+            return 0;
+        }
+        self.visits * (self.iterations - 1 + u64::from(stage_count)) * u64::from(ii)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_multiply() {
+        let p = LoopProfile::new(10, 100);
+        assert_eq!(p.total_iterations(), 1000);
+        assert_eq!(p.dynamic_ops(7), 7000);
+    }
+
+    #[test]
+    fn cycles_follow_the_paper_formula() {
+        let p = LoopProfile::new(3, 50);
+        // per visit: (50 - 1 + 4) * 2 cycles
+        assert_eq!(p.cycles(2, 4), 3 * 53 * 2);
+        assert_eq!(LoopProfile::new(5, 0).cycles(2, 4), 0);
+    }
+
+    #[test]
+    fn short_trip_counts_amplify_stage_cost() {
+        // applu's situation: N=4 makes the prolog/epilog share huge.
+        let short = LoopProfile::new(1000, 4);
+        let kernel_heavy = short.cycles(10, 2); // (4-1+2)*10 per visit
+        let kernel_light = short.cycles(8, 6); // (4-1+6)*8 per visit
+        // A smaller II does NOT pay off if the stage count balloons.
+        assert!(kernel_light > kernel_heavy);
+    }
+}

@@ -1,0 +1,369 @@
+//! The ten named benchmark programs and the 678-loop suite.
+
+use cvliw_ddg::Ddg;
+
+use crate::generator::{generate_loop, GeneratorParams};
+use crate::profile::LoopProfile;
+
+/// One innermost loop with its profile.
+#[derive(Clone, Debug)]
+pub struct WorkloadLoop {
+    /// `"<program>.<index>"`.
+    pub name: String,
+    /// The loop body.
+    pub ddg: Ddg,
+    /// Visits × iterations profile.
+    pub profile: LoopProfile,
+}
+
+impl WorkloadLoop {
+    /// Dynamic operations this loop contributes to its program.
+    #[must_use]
+    pub fn dynamic_ops(&self) -> u64 {
+        self.profile.dynamic_ops(self.ddg.node_count() as u32)
+    }
+}
+
+/// A benchmark program: a named collection of loops.
+#[derive(Clone, Debug)]
+pub struct BenchmarkProgram {
+    /// SPECfp95-style program name.
+    pub name: &'static str,
+    /// Its modulo-schedulable innermost loops.
+    pub loops: Vec<WorkloadLoop>,
+}
+
+impl BenchmarkProgram {
+    /// Total dynamic operations across all loops.
+    #[must_use]
+    pub fn dynamic_ops(&self) -> u64 {
+        self.loops.iter().map(WorkloadLoop::dynamic_ops).sum()
+    }
+}
+
+/// Per-program structure: (name, loop count, params, seed base).
+///
+/// Loop counts sum to 678, the paper's suite size. The structural knobs
+/// encode what §4 reports per program; see the crate docs.
+fn spec() -> [(&'static str, usize, GeneratorParams); 10] {
+    let base = GeneratorParams::medium();
+    [
+        (
+            // Strongly coupled mesh-generation kernels: the paper's 65%
+            // speedup case. Few, large, communication-bound loops.
+            "tomcatv",
+            6,
+            GeneratorParams {
+                chains: (7, 11),
+                depth: (4, 8),
+                coupling: 0.50,
+                shared_addr: 0.9,
+                recurrence: 0.05,
+                trips: (120, 260),
+                visits: (300, 800),
+                ..base
+            },
+        ),
+        (
+            // Shallow-water stencils: wide, coupled, long trip counts (50%).
+            "swim",
+            10,
+            GeneratorParams {
+                chains: (6, 10),
+                depth: (3, 7),
+                coupling: 0.45,
+                shared_addr: 0.85,
+                recurrence: 0.04,
+                trips: (300, 1000),
+                visits: (100, 400),
+                ..base
+            },
+        ),
+        (
+            // Quantum-chromodynamics updates: the 70% headline case.
+            "su2cor",
+            70,
+            GeneratorParams {
+                chains: (7, 12),
+                depth: (3, 6),
+                coupling: 0.65,
+                shared_addr: 0.95,
+                recurrence: 0.06,
+                trips: (40, 200),
+                visits: (50, 300),
+                ..base
+            },
+        ),
+        (
+            "hydro2d",
+            90,
+            GeneratorParams {
+                chains: (4, 7),
+                depth: (3, 6),
+                coupling: 0.22,
+                shared_addr: 0.7,
+                recurrence: 0.10,
+                trips: (60, 400),
+                visits: (30, 200),
+                ..base
+            },
+        ),
+        (
+            // Multigrid: near-independent chains; clustering costs little
+            // (Figure 8), so replication has nothing to win.
+            "mgrid",
+            14,
+            GeneratorParams {
+                chains: (4, 8),
+                depth: (4, 7),
+                coupling: 0.02,
+                shared_addr: 0.15,
+                recurrence: 0.03,
+                trips: (100, 500),
+                visits: (100, 500),
+                ..base
+            },
+        ),
+        (
+            // SSOR solver: moderate coupling but trip counts around 4
+            // (Figure 9's discussion): the II hardly shows in the IPC.
+            "applu",
+            60,
+            GeneratorParams {
+                chains: (4, 6),
+                depth: (6, 9),
+                coupling: 0.20,
+                shared_addr: 0.8,
+                recurrence: 0.08,
+                trips: (3, 5),
+                visits: (5_000, 20_000),
+                ..base
+            },
+        ),
+        (
+            "turb3d",
+            30,
+            GeneratorParams {
+                chains: (3, 6),
+                depth: (3, 6),
+                coupling: 0.11,
+                shared_addr: 0.6,
+                recurrence: 0.12,
+                trips: (30, 120),
+                visits: (50, 300),
+                ..base
+            },
+        ),
+        (
+            "apsi",
+            110,
+            GeneratorParams {
+                chains: (3, 6),
+                depth: (2, 5),
+                coupling: 0.15,
+                shared_addr: 0.6,
+                recurrence: 0.12,
+                div: 0.04,
+                trips: (20, 120),
+                visits: (30, 200),
+                ..base
+            },
+        ),
+        (
+            // Huge straight-line bodies.
+            "fpppp",
+            12,
+            GeneratorParams {
+                chains: (10, 16),
+                depth: (5, 10),
+                coupling: 0.20,
+                shared_addr: 0.7,
+                recurrence: 0.02,
+                trips: (5, 60),
+                visits: (200, 1_000),
+                ..base
+            },
+        ),
+        (
+            "wave5",
+            276,
+            GeneratorParams {
+                chains: (3, 6),
+                depth: (2, 5),
+                coupling: 0.12,
+                shared_addr: 0.65,
+                recurrence: 0.09,
+                trips: (30, 250),
+                visits: (20, 150),
+                ..base
+            },
+        ),
+    ]
+}
+
+/// The benchmark program names, in the paper's plotting order.
+#[must_use]
+pub fn program_names() -> [&'static str; 10] {
+    ["tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d", "apsi", "fpppp", "wave5"]
+}
+
+/// Number of loops in the full suite (the paper's 678).
+#[must_use]
+pub fn suite_loop_count() -> usize {
+    spec().iter().map(|(_, n, _)| n).sum()
+}
+
+/// Stable per-program seed base derived from the name.
+fn seed_base(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+fn build(name: &'static str, count: usize, params: &GeneratorParams) -> BenchmarkProgram {
+    build_salted(name, count, params, 0)
+}
+
+fn build_salted(
+    name: &'static str,
+    count: usize,
+    params: &GeneratorParams,
+    salt: u64,
+) -> BenchmarkProgram {
+    let base = seed_base(name) ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let loops = (0..count)
+        .map(|i| {
+            let g = generate_loop(base.wrapping_add(i as u64), params)
+                .expect("generator produces valid loops");
+            WorkloadLoop {
+                name: format!("{name}.{i}"),
+                ddg: g.ddg,
+                profile: LoopProfile::new(g.visits, g.trip_count),
+            }
+        })
+        .collect();
+    BenchmarkProgram { name, loops }
+}
+
+/// Builds one named program, or `None` for an unknown name.
+#[must_use]
+pub fn program(name: &str) -> Option<BenchmarkProgram> {
+    spec()
+        .into_iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(n, count, params)| build(n, count, &params))
+}
+
+/// Builds the whole 678-loop suite.
+#[must_use]
+pub fn suite() -> Vec<BenchmarkProgram> {
+    spec().into_iter().map(|(n, count, params)| build(n, count, &params)).collect()
+}
+
+/// Builds the suite with at most `max_loops` loops per program — used to
+/// keep tests fast while exercising every program's character.
+#[must_use]
+pub fn suite_subset(max_loops: usize) -> Vec<BenchmarkProgram> {
+    spec()
+        .into_iter()
+        .map(|(n, count, params)| build(n, count.min(max_loops), &params))
+        .collect()
+}
+
+/// Builds a re-seeded variant of the suite: same per-program structural
+/// knobs and loop counts, different random draws. Salt `0` is [`suite`]
+/// itself. Used by the seed-sensitivity ablation to show the paper-shape
+/// conclusions are not an artifact of one random suite.
+#[must_use]
+pub fn suite_with_salt(salt: u64, max_loops: usize) -> Vec<BenchmarkProgram> {
+    spec()
+        .into_iter()
+        .map(|(n, count, params)| build_salted(n, count.min(max_loops), &params, salt))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn salted_suites_differ_but_keep_shape() {
+        let a = suite_with_salt(0, 3);
+        let b = suite_with_salt(1, 3);
+        assert_eq!(a.len(), b.len());
+        // Salt 0 is the default suite.
+        let plain = suite_subset(3);
+        for (x, y) in a.iter().zip(&plain) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.loops.len(), y.loops.len());
+            for (lx, ly) in x.loops.iter().zip(&y.loops) {
+                assert_eq!(lx.ddg.node_count(), ly.ddg.node_count());
+                assert_eq!(lx.profile, ly.profile);
+            }
+        }
+        // A different salt redraws at least some loops.
+        let differs = a.iter().zip(&b).any(|(x, y)| {
+            x.loops
+                .iter()
+                .zip(&y.loops)
+                .any(|(lx, ly)| lx.ddg.node_count() != ly.ddg.node_count())
+        });
+        assert!(differs, "salting must change the random draws");
+    }
+
+    #[test]
+    fn suite_has_678_loops() {
+        assert_eq!(suite_loop_count(), 678);
+    }
+
+    #[test]
+    fn programs_are_deterministic() {
+        let a = program("su2cor").unwrap();
+        let b = program("su2cor").unwrap();
+        assert_eq!(a.loops.len(), b.loops.len());
+        for (x, y) in a.loops.iter().zip(&b.loops) {
+            assert_eq!(x.ddg.node_count(), y.ddg.node_count());
+            assert_eq!(x.profile, y.profile);
+        }
+    }
+
+    #[test]
+    fn unknown_program_is_none() {
+        assert!(program("gcc").is_none());
+    }
+
+    #[test]
+    fn all_names_build() {
+        for name in program_names() {
+            let p = program(name).unwrap();
+            assert!(!p.loops.is_empty(), "{name} has loops");
+            assert!(p.dynamic_ops() > 0);
+        }
+    }
+
+    #[test]
+    fn applu_has_short_trips() {
+        let applu = program("applu").unwrap();
+        for l in &applu.loops {
+            assert!(l.profile.iterations <= 5, "{} trips {}", l.name, l.profile.iterations);
+        }
+    }
+
+    #[test]
+    fn fpppp_has_large_bodies() {
+        let fpppp = program("fpppp").unwrap();
+        let avg: usize =
+            fpppp.loops.iter().map(|l| l.ddg.node_count()).sum::<usize>() / fpppp.loops.len();
+        let wave5 = program("wave5").unwrap();
+        let avg_w: usize =
+            wave5.loops.iter().map(|l| l.ddg.node_count()).sum::<usize>() / wave5.loops.len();
+        assert!(avg > 2 * avg_w, "fpppp {avg} vs wave5 {avg_w}");
+    }
+
+    #[test]
+    fn subset_caps_loop_counts() {
+        let sub = suite_subset(3);
+        assert_eq!(sub.len(), 10);
+        assert!(sub.iter().all(|p| p.loops.len() <= 3));
+    }
+}

@@ -1,0 +1,51 @@
+//! Sweep one benchmark program across every machine configuration of the
+//! paper and print a Figure-7-style IPC table.
+//!
+//! Run with `cargo run --release --example config_sweep [program]`
+//! (default: su2cor, the paper's best case).
+
+use cvliw::machine::paper_specs;
+use cvliw::prelude::*;
+use cvliw::replicate::compile_loop as compile;
+use cvliw::sim::IpcAccumulator;
+
+fn ipc_of(program: &BenchmarkProgram, machine: &MachineConfig, opts: &CompileOptions) -> f64 {
+    let mut acc = IpcAccumulator::new();
+    for l in &program.loops {
+        let out = compile(&l.ddg, machine, opts).expect("suite loops compile");
+        acc.add_loop(
+            l.profile.visits,
+            l.profile.iterations,
+            out.stats.ops_per_iter,
+            out.stats.ii,
+            out.stats.stage_count,
+        );
+    }
+    acc.ipc()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "su2cor".to_string());
+    let program = cvliw::workloads::program(&name)
+        .ok_or_else(|| format!("unknown program `{name}`"))?;
+    println!(
+        "{name}: {} loops, {} dynamic ops\n",
+        program.loops.len(),
+        program.dynamic_ops()
+    );
+
+    println!("{:<12} {:>10} {:>12} {:>9}", "machine", "baseline", "replication", "speedup");
+    let unified = MachineConfig::unified(256);
+    let u = ipc_of(&program, &unified, &CompileOptions::baseline());
+    println!("{:<12} {u:>10.2} {:>12} {:>9}", "unified", "-", "-");
+    for spec in paper_specs() {
+        let machine = MachineConfig::from_spec(spec)?;
+        let base = ipc_of(&program, &machine, &CompileOptions::baseline());
+        let repl = ipc_of(&program, &machine, &CompileOptions::replicate());
+        println!(
+            "{spec:<12} {base:>10.2} {repl:>12.2} {:>8.1}%",
+            100.0 * (repl / base - 1.0)
+        );
+    }
+    Ok(())
+}

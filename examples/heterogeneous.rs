@@ -1,0 +1,77 @@
+//! §2.1 extension: heterogeneous clusters.
+//!
+//! The paper assumes homogeneous clusters but notes the algorithm "can be
+//! easily extended to deal with heterogeneous clusters". This example
+//! builds a DSP-style asymmetric machine — one fp-heavy compute cluster
+//! and one int/mem "address engine" — and compares it against the paper's
+//! homogeneous 2-cluster machine of the same total issue width on a set of
+//! signal-processing kernels.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release --example heterogeneous
+//! ```
+
+use cvliw::machine::{FuCounts, LatencyTable, MachineConfig};
+use cvliw::replicate::{compile_loop, CompileOptions};
+use cvliw::workloads::kernels;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's homogeneous 2-cluster split of a 12-wide machine...
+    let homogeneous = MachineConfig::from_spec("2c1b2l64r")?;
+    // ...and an asymmetric split of the same 12 issue slots: the compute
+    // cluster gets 4 fp units, the address engine gets 4 int units, and
+    // the memory ports sit 2+2.
+    let heterogeneous = MachineConfig::heterogeneous(
+        vec![FuCounts { int: 0, fp: 4, mem: 2 }, FuCounts { int: 4, fp: 0, mem: 2 }],
+        1,
+        2,
+        64,
+        LatencyTable::PAPER,
+    )?;
+    assert_eq!(homogeneous.issue_width(), heterogeneous.issue_width());
+
+    println!("machine A: {} (homogeneous 2/2/2 per cluster)", homogeneous.spec());
+    println!("machine B: {} (fp cluster + address engine)", heterogeneous.spec());
+    println!();
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "kernel", "A base II", "A repl II", "B base II", "B repl II"
+    );
+
+    for (name, ddg) in kernels::all() {
+        let mut cells = Vec::new();
+        for machine in [&homogeneous, &heterogeneous] {
+            for opts in [CompileOptions::baseline(), CompileOptions::replicate()] {
+                match compile_loop(&ddg, machine, &opts) {
+                    Ok(out) => {
+                        out.schedule.verify(&ddg, machine)?;
+                        cells.push(format!(
+                            "{} ({}c)",
+                            out.stats.ii,
+                            out.stats.final_coms
+                        ));
+                    }
+                    Err(e) => cells.push(format!("fail: {e}")),
+                }
+            }
+        }
+        println!(
+            "{name:<12} {:>12} {:>12} {:>12} {:>12}",
+            cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    println!();
+    println!("(cells are II with the number of bus communications in parentheses)");
+    println!();
+    println!("Reading the table: on the homogeneous machine replication removes");
+    println!("most communications and halves the II of the comm-bound kernels.");
+    println!("On the asymmetric machine the compute cluster has no integer units,");
+    println!("so replication subgraphs containing address arithmetic cannot move");
+    println!("there — the weight heuristic's capacity check rejects them and the");
+    println!("communications stay. Heterogeneity constrains replication exactly");
+    println!("as §3.3's resource model predicts.");
+    Ok(())
+}

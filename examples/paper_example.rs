@@ -1,0 +1,80 @@
+//! Walk through the paper's worked example (Figures 3 and 6): build the
+//! 14-instruction graph, print the replication subgraphs and weights,
+//! replicate the lightest one and show how the remaining plans update.
+//!
+//! Run with `cargo run --example paper_example`.
+
+use cvliw::replicate::paper_example::{fig3_example, fig3_machine, FIG3_II};
+use cvliw::replicate::ReplicationEngine;
+
+fn main() {
+    let (ddg, assignment, _) = fig3_example();
+    let machine = fig3_machine();
+
+    println!("Figure 3: {} instructions on 4 clusters, II = {FIG3_II}", ddg.node_count());
+    let coms = assignment.communicated(&ddg);
+    println!(
+        "communicated values: {:?}",
+        coms.iter().map(|&n| ddg.display_label(n)).collect::<Vec<_>>()
+    );
+
+    let mut engine = ReplicationEngine::new(&ddg, &machine, FIG3_II, assignment);
+    println!("extra_coms = {} (3 communications, bus fits 2 per II)\n", engine.extra_coms());
+
+    println!("replication subgraphs and weights (paper: S_D=49/16, S_J=40/16):");
+    let plans = engine.plans();
+    let weights = engine.weights();
+    for (com, plan) in &plans {
+        println!(
+            "  S_{}: nodes {:?} into clusters {}, removable {:?}, weight {:.4} ({}/16)",
+            ddg.display_label(*com),
+            plan.subgraph().iter().map(|&n| ddg.display_label(n)).collect::<Vec<_>>(),
+            plan.targets,
+            plan.removable
+                .iter()
+                .map(|&(n, c)| format!("{}@{}", ddg.display_label(n), c + 1))
+                .collect::<Vec<_>>(),
+            weights[com],
+            (weights[com] * 16.0).round() as i64,
+        );
+    }
+
+    // Commit the lightest subgraph (S_E), exactly what the engine would do.
+    let lightest = weights
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+        .map(|(&v, _)| v)
+        .expect("three plans exist");
+    println!("\nreplicating S_{} …\n", ddg.display_label(lightest));
+    let plan = plans[&lightest].clone();
+    engine.commit(&plan);
+
+    println!("updated subgraphs (Figure 6: S_D=44/8 into clusters 2 and 4, S_J=42/8):");
+    let plans = engine.plans();
+    let weights = engine.weights();
+    for (com, plan) in &plans {
+        println!(
+            "  S_{}: nodes {:?} into clusters {}, removable {:?}, weight {:.4} ({}/8)",
+            ddg.display_label(*com),
+            plan.subgraph().iter().map(|&n| ddg.display_label(n)).collect::<Vec<_>>(),
+            plan.targets,
+            plan.removable
+                .iter()
+                .map(|&(n, c)| format!("{}@{}", ddg.display_label(n), c + 1))
+                .collect::<Vec<_>>(),
+            weights[com],
+            (weights[com] * 8.0).round() as i64,
+        );
+    }
+
+    let (final_assignment, stats) = engine.into_parts();
+    println!("\nfinal statistics: {stats:?}");
+    println!(
+        "E now lives in clusters {:?} (paper: replicated into 2 and 4, removed from 3)",
+        final_assignment
+            .instances(ddg.find_by_label("E").expect("E exists"))
+            .iter()
+            .map(|c| c + 1)
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,73 @@
+//! The §5.1 story, made concrete: why reducing the II barely helps a loop
+//! with a short trip count.
+//!
+//! The paper observes that applu's hot loops run many times but iterate
+//! only ~4 times per visit, so prologue and epilogue — not the kernel —
+//! dominate execution, and replication's II reduction buys little. This
+//! example expands real schedules into prologue/kernel/epilogue code and
+//! measures exactly that effect.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release --example software_pipeline
+//! ```
+
+use cvliw::prelude::*;
+use cvliw::replicate::{compile_loop, CompileOptions};
+use cvliw::sched::{code_shape, expand, render_expansion};
+use cvliw::workloads::kernels;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-tap FIR filter: its shared address/coefficient values make it
+    // communication-bound on a 2-cluster machine, so replication buys a
+    // real II reduction.
+    let ddg = kernels::fir(8);
+    let machine = MachineConfig::from_spec("2c1b2l64r")?;
+
+    let base = compile_loop(&ddg, &machine, &CompileOptions::baseline())?;
+    let repl = compile_loop(&ddg, &machine, &CompileOptions::replicate())?;
+    println!(
+        "baseline:    II={} SC={} (communications: {})",
+        base.stats.ii, base.stats.stage_count, base.stats.final_coms
+    );
+    println!(
+        "replication: II={} SC={} (communications: {})",
+        repl.stats.ii, repl.stats.stage_count, repl.stats.final_coms
+    );
+
+    println!("\n--- the paper's Texec = (N-1+SC)·II, at different trip counts ---");
+    println!(
+        "{:>10} {:>14} {:>14} {:>10} {:>16}",
+        "N", "baseline cyc", "replicated cyc", "speedup", "steady fraction"
+    );
+    for n in [2u64, 4, 8, 32, 128, 1024] {
+        let tb = base.schedule.texec(n);
+        let tr = repl.schedule.texec(n);
+        let steady = expand(&repl.schedule, n).steady_fraction();
+        println!(
+            "{n:>10} {tb:>14} {tr:>14} {:>9.1}% {:>15.0}%",
+            100.0 * (tb as f64 / tr as f64 - 1.0),
+            100.0 * steady
+        );
+    }
+    println!("\nAt applu-like trip counts the pipeline never fills, the deeper");
+    println!("replicated pipeline (larger SC) costs as much as the smaller II");
+    println!("saves — replication can even lose at N=2 and only breaks even near");
+    println!("N=4. At N=1024 the speedup converges to the II ratio. This is the");
+    println!("paper's Figure 9 discussion (and its §5.1 motivation) in numbers.");
+
+    let shape = code_shape(&repl.schedule);
+    println!(
+        "\nstatic code emitted: {} rows, {} op slots (prologue {}, kernel {}, epilogue {})",
+        shape.total_rows(),
+        shape.total_ops(),
+        shape.prologue_ops,
+        shape.kernel_ops,
+        shape.epilogue_ops
+    );
+
+    println!("\n--- expanded trace, 4 iterations (replicated schedule) ---");
+    print!("{}", render_expansion(&expand(&repl.schedule, 4), &ddg));
+    Ok(())
+}

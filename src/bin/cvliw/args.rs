@@ -1,0 +1,175 @@
+//! Minimal command-line argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: a subcommand, positional arguments, and
+/// `--key value` options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+/// A command-line usage error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UsageError {
+    /// No subcommand given.
+    MissingCommand,
+    /// `--flag` given without a value.
+    MissingValue(String),
+    /// An option that no command understands.
+    UnknownOption(String),
+    /// A required option was not supplied.
+    RequiredOption(&'static str),
+    /// An option value failed to parse.
+    BadValue {
+        /// The option name.
+        option: String,
+        /// The unparseable value.
+        value: String,
+    },
+    /// Wrong number of positional arguments.
+    Positional(&'static str),
+}
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UsageError::MissingCommand => write!(f, "no command given (try `cvliw help`)"),
+            UsageError::MissingValue(o) => write!(f, "option --{o} needs a value"),
+            UsageError::UnknownOption(o) => write!(f, "unknown option --{o}"),
+            UsageError::RequiredOption(o) => write!(f, "missing required option --{o}"),
+            UsageError::BadValue { option, value } => {
+                write!(f, "cannot parse `{value}` for --{option}")
+            }
+            UsageError::Positional(what) => write!(f, "expected {what}"),
+        }
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+const KNOWN_OPTIONS: [&str; 6] = ["machine", "mode", "loop", "max-loops", "iterations", "seed"];
+
+impl Args {
+    /// Parses raw process arguments (without the executable name).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, UsageError> {
+        let mut iter = raw.into_iter();
+        let command = iter.next().ok_or(UsageError::MissingCommand)?;
+        let mut args = Args { command, ..Args::default() };
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if !KNOWN_OPTIONS.contains(&name) {
+                    return Err(UsageError::UnknownOption(name.to_string()));
+                }
+                let value =
+                    iter.next().ok_or_else(|| UsageError::MissingValue(name.to_string()))?;
+                args.options.insert(name.to_string(), value);
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// An optional string option.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A required string option.
+    pub fn require(&self, name: &'static str) -> Result<&str, UsageError> {
+        self.get(name).ok_or(UsageError::RequiredOption(name))
+    }
+
+    /// An optional numeric option.
+    pub fn get_num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, UsageError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v.parse::<T>().map(Some).map_err(|_| UsageError::BadValue {
+                option: name.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+
+    /// Exactly one positional argument (the input file).
+    pub fn one_positional(&self, what: &'static str) -> Result<&str, UsageError> {
+        match self.positional.as_slice() {
+            [one] => Ok(one),
+            _ => Err(UsageError::Positional(what)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, UsageError> {
+        Args::parse(words.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_command_options_and_positionals() {
+        let a = parse(&["schedule", "f.loop", "--machine", "4c1b2l64r", "--mode", "replicate"])
+            .unwrap();
+        assert_eq!(a.command, "schedule");
+        assert_eq!(a.one_positional("a file").unwrap(), "f.loop");
+        assert_eq!(a.get("machine"), Some("4c1b2l64r"));
+        assert_eq!(a.require("mode").unwrap(), "replicate");
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert_eq!(parse(&[]).unwrap_err(), UsageError::MissingCommand);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            parse(&["x", "--machine"]).unwrap_err(),
+            UsageError::MissingValue("machine".into())
+        );
+    }
+
+    #[test]
+    fn unknown_option_is_an_error() {
+        assert!(matches!(
+            parse(&["x", "--wat", "1"]).unwrap_err(),
+            UsageError::UnknownOption(_)
+        ));
+    }
+
+    #[test]
+    fn numeric_options_parse_or_error() {
+        let a = parse(&["x", "--max-loops", "12"]).unwrap();
+        assert_eq!(a.get_num::<usize>("max-loops").unwrap(), Some(12));
+        assert_eq!(a.get_num::<usize>("iterations").unwrap(), None);
+        let bad = parse(&["x", "--max-loops", "dozen"]).unwrap();
+        assert!(bad.get_num::<usize>("max-loops").is_err());
+    }
+
+    #[test]
+    fn positional_arity_is_checked() {
+        let a = parse(&["x", "one", "two"]).unwrap();
+        assert!(a.one_positional("a file").is_err());
+        let b = parse(&["x"]).unwrap();
+        assert!(b.one_positional("a file").is_err());
+    }
+
+    #[test]
+    fn usage_errors_display_helpfully() {
+        assert!(UsageError::RequiredOption("machine").to_string().contains("--machine"));
+        assert!(
+            UsageError::BadValue { option: "m".into(), value: "x".into() }
+                .to_string()
+                .contains("cannot parse")
+        );
+    }
+}

@@ -1,0 +1,431 @@
+//! Implementations of the `cvliw` subcommands.
+
+use std::fmt;
+use std::fs;
+
+use cvliw::ddg::to_dot;
+use cvliw::ir::{parse_module, print_loop, NamedLoop, ParseError};
+use cvliw::machine::{MachineConfig, SpecError};
+use cvliw::replicate::{compile_loop, CompileError, CompileOptions, CompiledLoop, Mode};
+use cvliw::sched::mii as sched_mii;
+use cvliw::sched::res_mii_unclustered;
+use cvliw::sim::{simulate, IpcAccumulator};
+use cvliw::workloads::{suite, suite_subset};
+
+use crate::args::{Args, UsageError};
+
+/// Any failure a subcommand can produce.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(UsageError),
+    /// Could not read the input file.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The input file did not parse.
+    Parse(ParseError),
+    /// The `--machine` spec did not parse.
+    Spec(SpecError),
+    /// A loop name that the file does not define.
+    NoSuchLoop(String),
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Acyclic-region scheduling failed.
+    Block(String),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown `--mode` value.
+    UnknownMode(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::Io { path, source } => write!(f, "cannot read `{path}`: {source}"),
+            CliError::Parse(e) => write!(f, "parse error at {e}"),
+            CliError::Spec(e) => write!(f, "bad machine spec: {e}"),
+            CliError::NoSuchLoop(name) => write!(f, "the file defines no loop named `{name}`"),
+            CliError::Compile(e) => write!(f, "compilation failed: {e}"),
+            CliError::Block(e) => write!(f, "block scheduling failed: {e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command `{c}` (try `cvliw help`)")
+            }
+            CliError::UnknownMode(m) => write!(
+                f,
+                "unknown mode `{m}` (expected baseline, replicate, sched-len, zero-bus \
+                 or value-clone)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<UsageError> for CliError {
+    fn from(e: UsageError) -> Self {
+        CliError::Usage(e)
+    }
+}
+
+impl From<ParseError> for CliError {
+    fn from(e: ParseError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError::Spec(e)
+    }
+}
+
+impl From<CompileError> for CliError {
+    fn from(e: CompileError) -> Self {
+        CliError::Compile(e)
+    }
+}
+
+/// Dispatches a parsed command line.
+pub fn run(args: &Args) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        "print" => cmd_print(args),
+        "dot" => cmd_dot(args),
+        "mii" => cmd_mii(args),
+        "schedule" => cmd_schedule(args),
+        "block" => cmd_block(args),
+        "expand" => cmd_expand(args),
+        "compare" => cmd_compare(args),
+        "suite" => cmd_suite(args),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// The help text.
+#[must_use]
+pub fn usage() -> String {
+    "\
+cvliw — modulo scheduling with instruction replication for clustered VLIWs
+(reproduction of Aletà et al., MICRO-36 2003)
+
+USAGE:
+    cvliw <command> [arguments] [options]
+
+COMMANDS:
+    schedule <file.loop>   compile a loop and print schedule + statistics
+    expand   <file.loop>   emit the software-pipelined code (prologue /
+                           kernel / epilogue) for --iterations iterations
+    block    <file.loop>   schedule an acyclic region (no loop-carried
+                           edges) and apply critical-path replication
+    compare  <file.loop>   baseline vs replication (and §5 modes) side by side
+    mii      <file.loop>   print the MII decomposition of each loop
+    print    <file.loop>   parse and reprint in canonical form
+    dot      <file.loop>   emit Graphviz DOT for the dependence graph
+    suite                  compile the built-in 678-loop suite, print IPC
+    help                   show this message
+
+OPTIONS:
+    --machine <spec>       machine config: wcxbylzr (e.g. 4c1b2l64r),
+                           `unified` (12-wide, no clusters), or the
+                           heterogeneous form het:INT.FP.MEM+...:xbylzr
+                           (e.g. het:0.3.1+3.0.2:1b2l64r)
+                           [required for schedule/compare/mii/suite]
+    --mode <mode>          baseline | replicate | sched-len | zero-bus |
+                           value-clone (default: replicate)
+    --loop <name>          pick one loop from a multi-loop file
+    --iterations <n>       trip count for Texec/IPC reporting (default 100)
+    --max-loops <n>        cap loops per program for `suite`
+
+EXAMPLES:
+    cvliw schedule examples/loops/fir.loop --machine 4c1b2l64r
+    cvliw compare  examples/loops/fir.loop --machine 4c2b4l64r
+    cvliw suite --machine 4c1b2l64r --mode baseline --max-loops 16
+"
+    .to_string()
+}
+
+fn parse_machine(spec: &str) -> Result<MachineConfig, CliError> {
+    Ok(MachineConfig::from_extended_spec(spec)?)
+}
+
+fn parse_mode(args: &Args) -> Result<Mode, CliError> {
+    match args.get("mode").unwrap_or("replicate") {
+        "baseline" => Ok(Mode::Baseline),
+        "replicate" => Ok(Mode::Replicate),
+        "sched-len" => Ok(Mode::ReplicateSchedLen),
+        "zero-bus" => Ok(Mode::ZeroBusLatency),
+        "value-clone" => Ok(Mode::ValueClone),
+        other => Err(CliError::UnknownMode(other.to_string())),
+    }
+}
+
+fn read_loops(args: &Args) -> Result<Vec<NamedLoop>, CliError> {
+    let path = args.one_positional("one input file")?;
+    let text = fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.to_string(), source })?;
+    let module = parse_module(&text)?;
+    match args.get("loop") {
+        None => Ok(module.into_iter().collect()),
+        Some(name) => match module.get(name) {
+            Some(l) => Ok(vec![l.clone()]),
+            None => Err(CliError::NoSuchLoop(name.to_string())),
+        },
+    }
+}
+
+fn cmd_print(args: &Args) -> Result<(), CliError> {
+    for l in read_loops(args)? {
+        print!("{}", print_loop(&l.name, &l.ddg));
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &Args) -> Result<(), CliError> {
+    for l in read_loops(args)? {
+        println!("// loop {}", l.name);
+        print!("{}", to_dot(&l.ddg));
+    }
+    Ok(())
+}
+
+fn cmd_mii(args: &Args) -> Result<(), CliError> {
+    let machine = parse_machine(args.require("machine")?)?;
+    println!("{:<16} {:>6} {:>7} {:>6}", "loop", "ResMII", "RecMII", "MII");
+    for l in read_loops(args)? {
+        let res = res_mii_unclustered(&l.ddg, &machine);
+        let total = sched_mii(&l.ddg, &machine);
+        let rec = cvliw::ddg::rec_mii(&l.ddg, machine.edge_latency(&l.ddg));
+        println!("{:<16} {res:>6} {rec:>7} {total:>6}", l.name);
+    }
+    Ok(())
+}
+
+/// Renders one compiled loop in full.
+fn report_compiled(l: &NamedLoop, machine: &MachineConfig, out: &CompiledLoop, iterations: u64) {
+    let s = &out.stats;
+    println!("loop {}: {} ops, {} deps", l.name, l.ddg.node_count(), l.ddg.edge_count());
+    println!("machine {}: {} clusters", machine.spec(), machine.clusters());
+    println!();
+    println!("  MII {} -> II {} (length {}, {} stages)", s.mii, s.ii, s.length, s.stage_count);
+    println!(
+        "  communications: {} after partition, {} scheduled on buses",
+        s.partition_coms, s.final_coms
+    );
+    if s.replication.subgraphs_replicated > 0 {
+        println!(
+            "  replication: {} subgraphs, +{} instances, -{} dead originals",
+            s.replication.subgraphs_replicated,
+            s.replication.added_instances(),
+            s.replication.removed_instances,
+        );
+    }
+    if s.causes.total() > 0 {
+        println!(
+            "  II increments: bus {}, recurrence {}, registers {}, resources {}",
+            s.causes.bus, s.causes.recurrence, s.causes.registers, s.causes.resources
+        );
+    }
+    let cycles = out.schedule.texec(iterations);
+    let ops = iterations * u64::from(s.ops_per_iter);
+    println!(
+        "  Texec({iterations} iterations) = {cycles} cycles, IPC {:.2}",
+        ops as f64 / cycles as f64
+    );
+    match cvliw::sched::allocate_registers(&out.schedule, &l.ddg, machine) {
+        Ok(alloc) => println!(
+            "  rotating registers: {:?} of {} per cluster",
+            alloc.registers_used(),
+            machine.regs_per_cluster()
+        ),
+        Err(e) => println!("  register allocation failed: {e}"),
+    }
+    println!();
+    print!("{}", out.schedule.render(&l.ddg));
+}
+
+fn cmd_schedule(args: &Args) -> Result<(), CliError> {
+    let machine = parse_machine(args.require("machine")?)?;
+    let mode = parse_mode(args)?;
+    let iterations = args.get_num::<u64>("iterations")?.unwrap_or(100);
+    let opts = CompileOptions { mode, max_ii: None };
+    for l in read_loops(args)? {
+        let out = compile_loop(&l.ddg, &machine, &opts)?;
+        report_compiled(&l, &machine, &out, iterations);
+        match out.schedule.verify(&l.ddg, &machine) {
+            Ok(()) => println!("schedule verified OK"),
+            Err(e) => println!("schedule verification FAILED: {e}"),
+        }
+        if mode != Mode::ZeroBusLatency {
+            match simulate(&l.ddg, &machine, &out.schedule, 8) {
+                Ok(_) => println!("lockstep simulation (8 iterations) OK"),
+                Err(e) => println!("lockstep simulation FAILED: {e}"),
+            }
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_block(args: &Args) -> Result<(), CliError> {
+    use cvliw::partition::partition_loop;
+    use cvliw::replicate::{replicate_for_acyclic_length, schedule_acyclic};
+    let machine = parse_machine(args.require("machine")?)?;
+    for l in read_loops(args)? {
+        let part = partition_loop(&l.ddg, &machine, 1);
+        let assignment = part.to_assignment();
+        let before = schedule_acyclic(&l.ddg, &machine, &assignment)
+            .map_err(|e| CliError::Block(e.to_string()))?;
+        let (improved, after) = replicate_for_acyclic_length(&l.ddg, &machine, assignment)
+            .map_err(|e| CliError::Block(e.to_string()))?;
+        println!(
+            "block {}: length {} -> {} cycles, copies {} -> {}",
+            l.name,
+            before.length(),
+            after.length(),
+            before.copy_count(),
+            after.copy_count()
+        );
+        for n in l.ddg.node_ids() {
+            let clusters: Vec<u8> = improved.instances(n).iter().collect();
+            let cycles: Vec<String> = clusters
+                .iter()
+                .filter_map(|&c| after.instance_cycle(n, c).map(|t| format!("c{c}@{t}")))
+                .collect();
+            println!("  {:<12} {}", l.ddg.display_label(n), cycles.join("  "));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_expand(args: &Args) -> Result<(), CliError> {
+    let machine = parse_machine(args.require("machine")?)?;
+    let mode = parse_mode(args)?;
+    let iterations = args.get_num::<u64>("iterations")?.unwrap_or(6);
+    let opts = CompileOptions { mode, max_ii: None };
+    for l in read_loops(args)? {
+        let out = compile_loop(&l.ddg, &machine, &opts)?;
+        let shape = cvliw::sched::code_shape(&out.schedule);
+        println!(
+            "loop {}: II={} SC={}; static code: {} rows / {} ops \
+             (prologue {}, kernel {}, epilogue {})",
+            l.name,
+            out.stats.ii,
+            out.stats.stage_count,
+            shape.total_rows(),
+            shape.total_ops(),
+            shape.prologue_ops,
+            shape.kernel_ops,
+            shape.epilogue_ops,
+        );
+        let trace = cvliw::sched::expand(&out.schedule, iterations);
+        print!("{}", cvliw::sched::render_expansion(&trace, &l.ddg));
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), CliError> {
+    let machine = parse_machine(args.require("machine")?)?;
+    let iterations = args.get_num::<u64>("iterations")?.unwrap_or(100);
+    const MODES: [(&str, Mode); 5] = [
+        ("baseline", Mode::Baseline),
+        ("value-clone", Mode::ValueClone),
+        ("replicate", Mode::Replicate),
+        ("sched-len", Mode::ReplicateSchedLen),
+        ("zero-bus", Mode::ZeroBusLatency),
+    ];
+    for l in read_loops(args)? {
+        println!("loop {} on {}:", l.name, machine.spec());
+        println!(
+            "{:<12} {:>4} {:>4} {:>7} {:>7} {:>6} {:>8} {:>7}",
+            "mode", "MII", "II", "length", "stages", "coms", "+instrs", "IPC"
+        );
+        for (name, mode) in MODES {
+            match compile_loop(&l.ddg, &machine, &CompileOptions { mode, max_ii: None }) {
+                Ok(out) => {
+                    let s = out.stats;
+                    let cycles = out.schedule.texec(iterations);
+                    let ipc =
+                        (iterations * u64::from(s.ops_per_iter)) as f64 / cycles as f64;
+                    println!(
+                        "{name:<12} {:>4} {:>4} {:>7} {:>7} {:>6} {:>8} {ipc:>7.2}",
+                        s.mii,
+                        s.ii,
+                        s.length,
+                        s.stage_count,
+                        s.final_coms,
+                        s.replication.added_instances(),
+                    );
+                }
+                Err(e) => println!("{name:<12} failed: {e}"),
+            }
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &Args) -> Result<(), CliError> {
+    let machine = parse_machine(args.require("machine")?)?;
+    let mode = parse_mode(args)?;
+    let opts = CompileOptions { mode, max_ii: None };
+    let programs = match args.get_num::<usize>("max-loops")? {
+        Some(cap) => suite_subset(cap),
+        None => suite(),
+    };
+    println!(
+        "{:<10} {:>6} {:>8} {:>10} {:>8}",
+        "program", "loops", "failed", "IPC", "+instr%"
+    );
+    let mut grand = IpcAccumulator::new();
+    for p in &programs {
+        let mut acc = IpcAccumulator::new();
+        let mut failures = 0usize;
+        let mut base_ops = 0u64;
+        let mut extra_ops = 0u64;
+        for l in &p.loops {
+            match compile_loop(&l.ddg, &machine, &opts) {
+                Ok(out) => {
+                    let s = &out.stats;
+                    acc.add_loop(
+                        l.profile.visits,
+                        l.profile.iterations,
+                        s.ops_per_iter,
+                        s.ii,
+                        s.stage_count,
+                    );
+                    let dyn_iters = l.profile.total_iterations();
+                    base_ops += dyn_iters * u64::from(s.ops_per_iter);
+                    let net: u32 = s.replication.net_added_by_class().iter().sum();
+                    extra_ops += dyn_iters * u64::from(net);
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        grand.add(acc.ops(), acc.cycles());
+        let extra_pct = if base_ops > 0 {
+            100.0 * extra_ops as f64 / base_ops as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<10} {:>6} {:>8} {:>10.2} {:>7.1}%",
+            p.name,
+            p.loops.len(),
+            failures,
+            acc.ipc(),
+            extra_pct
+        );
+    }
+    println!("{:<10} {:>6} {:>8} {:>10.2}", "TOTAL", "", "", grand.ipc());
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! `cvliw` — command-line front end for the clustered-VLIW modulo scheduler
+//! with instruction replication (Aletà et al., MICRO-36 2003).
+//!
+//! Run `cvliw help` for usage. Loops are written in the `cvliw-ir` text
+//! format; see `examples/loops/` for samples.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        print!("{}", commands::usage());
+        return ExitCode::from(2);
+    }
+    let parsed = match args::Args::parse(raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cvliw: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(commands::CliError::Usage(e)) => {
+            eprintln!("cvliw: {e}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("cvliw: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for the §6 acyclic scheduler: dependences, functional-unit
+//! capacity and bus occupancy hold on arbitrary DAGs and partitions, and
+//! critical-path replication never makes a block slower.
+
+use cvliw::machine::MachineConfig;
+use cvliw::prelude::*;
+use cvliw::replicate::{replicate_for_acyclic_length, schedule_acyclic, AcyclicSchedule};
+use cvliw::sched::Assignment;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop::sample::select(OpKind::ALL.to_vec())
+}
+
+/// Random DAGs: only forward, distance-0 edges.
+fn arb_dag() -> impl Strategy<Value = Ddg> {
+    let nodes = prop::collection::vec(arb_kind(), 1..12);
+    nodes
+        .prop_flat_map(|kinds| {
+            let n = kinds.len();
+            let edges = prop::collection::vec((0..n, 0..n, prop::bool::ANY), 0..(2 * n));
+            (Just(kinds), edges)
+        })
+        .prop_map(|(kinds, edges)| {
+            let mut b = Ddg::builder();
+            let ids: Vec<_> = kinds.iter().map(|&k| b.add_node(k)).collect();
+            for (src, dst, mem) in edges {
+                if src >= dst {
+                    continue;
+                }
+                let kind = if mem || !kinds[src].produces_value() {
+                    DepKind::Mem
+                } else {
+                    DepKind::Data
+                };
+                b.edge(ids[src], ids[dst], kind, 0);
+            }
+            b.build().expect("valid by construction")
+        })
+}
+
+fn arb_machine() -> impl Strategy<Value = MachineConfig> {
+    prop::sample::select(vec!["2c1b2l64r", "4c1b2l64r", "4c2b4l64r"])
+        .prop_map(|s| MachineConfig::from_spec(s).expect("valid"))
+}
+
+/// Random single-instance assignment for `n` nodes over `clusters`.
+fn random_partition(n: usize, clusters: u8, seed: u64) -> Assignment {
+    let mut state = seed | 1;
+    let v: Vec<u8> = (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % u64::from(clusters)) as u8
+        })
+        .collect();
+    Assignment::from_partition(&v)
+}
+
+/// Checks every schedule invariant reachable through the public API.
+fn check_schedule(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    assignment: &Assignment,
+    s: &AcyclicSchedule,
+) -> Result<(), TestCaseError> {
+    let mut fu: std::collections::BTreeMap<(u8, usize, u32), u32> = Default::default();
+    for n in ddg.node_ids() {
+        for c in assignment.instances(n).iter() {
+            let t = s.instance_cycle(n, c).expect("every instance is scheduled");
+            // FU capacity.
+            let class = ddg.kind(n).class();
+            let k = fu.entry((c, class.index(), t)).or_insert(0);
+            *k += 1;
+            prop_assert!(
+                *k <= u32::from(machine.fu_count_in(c, class)),
+                "cluster {c} class {class} oversubscribed at cycle {t}"
+            );
+            // Dependences.
+            for e in ddg.in_edges(n) {
+                if e.is_data() {
+                    let arrival = if assignment.instances(e.src).contains(c) {
+                        s.instance_cycle(e.src, c).expect("scheduled")
+                            + machine.latency(ddg.kind(e.src))
+                    } else {
+                        let (tc, _) = s
+                            .copy_of(e.src)
+                            .expect("cross-cluster value must be copied");
+                        tc + machine.bus_latency()
+                    };
+                    prop_assert!(
+                        arrival <= t,
+                        "{} arrives at {arrival} but {} issues at {t} in cluster {c}",
+                        e.src,
+                        e.dst
+                    );
+                } else {
+                    for cu in assignment.instances(e.src).iter() {
+                        let done = s.instance_cycle(e.src, cu).expect("scheduled")
+                            + machine.latency(ddg.kind(e.src));
+                        prop_assert!(done <= t, "memory ordering violated");
+                    }
+                }
+            }
+        }
+    }
+    // Bus occupancy: copies on one bus never overlap.
+    let mut copies: Vec<(u8, u32)> = ddg
+        .node_ids()
+        .filter_map(|n| s.copy_of(n).map(|(t, b)| (b, t)))
+        .collect();
+    copies.sort_unstable();
+    for w in copies.windows(2) {
+        if w[0].0 == w[1].0 {
+            prop_assert!(
+                w[0].1 + machine.bus_latency() <= w[1].1,
+                "bus {} transfers overlap at {} and {}",
+                w[0].0,
+                w[0].1,
+                w[1].1
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn acyclic_schedules_satisfy_all_constraints(
+        ddg in arb_dag(),
+        machine in arb_machine(),
+        seed in any::<u64>(),
+    ) {
+        let asg = random_partition(ddg.node_count(), machine.clusters(), seed);
+        let s = schedule_acyclic(&ddg, &machine, &asg).expect("DAGs always schedule");
+        check_schedule(&ddg, &machine, &asg, &s)?;
+        prop_assert_eq!(s.op_count(), asg.instance_count());
+    }
+
+    #[test]
+    fn replication_never_lengthens_a_block(
+        ddg in arb_dag(),
+        machine in arb_machine(),
+        seed in any::<u64>(),
+    ) {
+        let asg = random_partition(ddg.node_count(), machine.clusters(), seed);
+        let before = schedule_acyclic(&ddg, &machine, &asg).expect("schedules");
+        let (improved, after) =
+            replicate_for_acyclic_length(&ddg, &machine, asg).expect("schedules");
+        prop_assert!(
+            after.length() <= before.length(),
+            "replication lengthened the block: {} -> {}",
+            before.length(),
+            after.length()
+        );
+        check_schedule(&ddg, &machine, &improved, &after)?;
+    }
+
+    #[test]
+    fn single_cluster_blocks_never_communicate(ddg in arb_dag()) {
+        let machine = MachineConfig::unified(256);
+        let asg = Assignment::from_partition(&vec![0u8; ddg.node_count()]);
+        let s = schedule_acyclic(&ddg, &machine, &asg).expect("schedules");
+        prop_assert_eq!(s.copy_count(), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end tests of the `cvliw` command-line binary: every subcommand,
+//! exit codes, and error reporting.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn cvliw(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cvliw"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+const FIR: &str = "examples/loops/fir.loop";
+
+#[test]
+fn sample_loops_exist() {
+    for f in ["fir.loop", "stencil.loop", "recurrence.loop"] {
+        assert!(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/loops").join(f).exists(),
+            "missing sample {f}"
+        );
+    }
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = cvliw(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("schedule"));
+}
+
+#[test]
+fn no_arguments_prints_usage_with_exit_2() {
+    let out = cvliw(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn schedule_reports_and_verifies() {
+    let out = cvliw(&["schedule", FIR, "--machine", "4c1b2l64r"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("MII"));
+    assert!(text.contains("schedule verified OK"), "{text}");
+    assert!(text.contains("lockstep simulation (8 iterations) OK"), "{text}");
+}
+
+#[test]
+fn schedule_accepts_every_mode() {
+    for mode in ["baseline", "replicate", "sched-len", "zero-bus"] {
+        let out = cvliw(&["schedule", FIR, "--machine", "4c1b2l64r", "--mode", mode]);
+        assert!(out.status.success(), "mode {mode}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn schedule_on_unified_machine_has_no_copies() {
+    let out = cvliw(&["schedule", FIR, "--machine", "unified"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("0 scheduled on buses"));
+}
+
+#[test]
+fn expand_emits_pipelined_code() {
+    let out = cvliw(&["expand", FIR, "--machine", "4c1b2l64r", "--iterations", "3"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("static code"), "{text}");
+    assert!(text.contains("fill"), "{text}");
+    assert!(text.contains("#0"), "iteration tags missing: {text}");
+    assert!(text.contains("prologue"), "{text}");
+}
+
+#[test]
+fn compare_lists_all_four_modes() {
+    let out = cvliw(&["compare", FIR, "--machine", "4c2b4l64r"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for mode in ["baseline", "replicate", "sched-len", "zero-bus"] {
+        assert!(text.contains(mode), "missing {mode} in:\n{text}");
+    }
+}
+
+#[test]
+fn mii_prints_decomposition() {
+    let out = cvliw(&["mii", "examples/loops/recurrence.loop", "--machine", "4c1b2l64r"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("ResMII"));
+    // The fdiv recurrence dominates: RecMII = 18 + 3 (fdiv + fadd).
+    assert!(text.contains("21"), "{text}");
+}
+
+#[test]
+fn print_emits_reparseable_text() {
+    let out = cvliw(&["print", FIR]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let l = cvliw::ir::parse_loop(&text).expect("canonical form parses");
+    assert_eq!(l.name, "fir");
+    assert_eq!(l.ddg.node_count(), 8);
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let out = cvliw(&["dot", FIR]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("// loop fir"));
+    assert!(text.contains("digraph"));
+}
+
+#[test]
+fn suite_runs_capped() {
+    let out = cvliw(&["suite", "--machine", "4c1b2l64r", "--max-loops", "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("tomcatv"));
+    assert!(text.contains("TOTAL"));
+}
+
+#[test]
+fn loop_selector_picks_one_loop() {
+    let out = cvliw(&["print", FIR, "--loop", "fir"]);
+    assert!(out.status.success());
+    let missing = cvliw(&["print", FIR, "--loop", "nope"]);
+    assert_eq!(missing.status.code(), Some(1));
+    assert!(stderr(&missing).contains("no loop named"));
+}
+
+#[test]
+fn block_schedules_acyclic_regions() {
+    let out = cvliw(&["block", "examples/loops/block.loop", "--machine", "4c1b2l64r"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("length"), "{text}");
+    assert!(text.contains("c0@") || text.contains("c1@"), "placements missing: {text}");
+    // Loop-carried inputs are rejected with a clear message.
+    let bad = cvliw(&["block", FIR, "--machine", "4c1b2l64r"]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(stderr(&bad).contains("loop-carried"), "{}", stderr(&bad));
+}
+
+#[test]
+fn heterogeneous_machine_specs_work() {
+    let out = cvliw(&["schedule", FIR, "--machine", "het:0.3.1+3.0.2:1b2l64r"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("2 clusters"));
+}
+
+#[test]
+fn bad_machine_spec_fails_with_exit_1() {
+    let out = cvliw(&["schedule", FIR, "--machine", "notaspec"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("machine spec"));
+}
+
+#[test]
+fn missing_file_fails_with_io_error() {
+    let out = cvliw(&["schedule", "does/not/exist.loop", "--machine", "4c1b2l64r"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn unknown_command_and_options_exit_2_family() {
+    let out = cvliw(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown command"));
+
+    let out = cvliw(&["schedule", FIR, "--bogus", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown option"));
+}
+
+#[test]
+fn unknown_mode_is_rejected() {
+    let out = cvliw(&["schedule", FIR, "--machine", "4c1b2l64r", "--mode", "yolo"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown mode"));
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    let dir = std::env::temp_dir().join("cvliw-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.loop");
+    std::fs::write(&bad, "loop l {\n x: frobnicate y\n}\n").unwrap();
+    let out = cvliw(&["schedule", bad.to_str().unwrap(), "--machine", "4c1b2l64r"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("2:5"), "position missing: {err}");
+    assert!(err.contains("frobnicate"), "{err}");
+}

@@ -1,0 +1,141 @@
+//! §2.1 extension: the whole pipeline (partition → replicate → schedule →
+//! verify → simulate) on machines whose clusters have *different*
+//! functional-unit mixes.
+
+use cvliw::machine::{FuCounts, LatencyTable, MachineConfig};
+use cvliw::prelude::*;
+use cvliw::replicate::compile_loop;
+use cvliw::replicate::CompileOptions;
+
+/// An fp-compute cluster plus an int/mem "address engine" cluster.
+fn fp_int_machine(buses: u8) -> MachineConfig {
+    MachineConfig::heterogeneous(
+        vec![FuCounts { int: 0, fp: 3, mem: 1 }, FuCounts { int: 3, fp: 0, mem: 2 }],
+        buses,
+        2,
+        64,
+        LatencyTable::PAPER,
+    )
+    .expect("valid heterogeneous machine")
+}
+
+/// A loop with clearly separated int (address) and fp (compute) work.
+fn mixed_loop() -> Ddg {
+    let mut b = Ddg::builder();
+    let iv = b.add_labeled(OpKind::IntAdd, "iv");
+    b.data_dist(iv, iv, 1);
+    let a0 = b.add_labeled(OpKind::IntAdd, "a0");
+    let a1 = b.add_labeled(OpKind::IntAdd, "a1");
+    b.data(iv, a0).data(iv, a1);
+    let x = b.add_labeled(OpKind::Load, "x");
+    let y = b.add_labeled(OpKind::Load, "y");
+    b.data(a0, x).data(a1, y);
+    let m = b.add_labeled(OpKind::FpMul, "m");
+    let s = b.add_labeled(OpKind::FpAdd, "s");
+    b.data(x, m).data(y, m).data(m, s).data_dist(s, s, 1); // s accumulates
+    let st = b.add_labeled(OpKind::Store, "st");
+    b.data(s, st).data(a0, st);
+    b.build().unwrap()
+}
+
+#[test]
+fn heterogeneous_machine_compiles_and_verifies() {
+    let ddg = mixed_loop();
+    let machine = fp_int_machine(1);
+    let out = compile_loop(&ddg, &machine, &CompileOptions::replicate()).expect("compiles");
+    out.schedule.verify(&ddg, &machine).expect("schedule legal");
+}
+
+#[test]
+fn zero_capacity_clusters_never_receive_ops() {
+    let ddg = mixed_loop();
+    let machine = fp_int_machine(1);
+    let out = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
+    for ((n, c), _) in out.schedule.instances() {
+        let class = ddg.kind(n).class();
+        assert!(
+            machine.fu_count_in(c, class) > 0,
+            "{} (class {class:?}) landed in cluster {c} which has no such units",
+            ddg.display_label(n)
+        );
+    }
+}
+
+#[test]
+fn fp_work_lands_in_the_fp_cluster() {
+    let ddg = mixed_loop();
+    let machine = fp_int_machine(1);
+    let out = compile_loop(&ddg, &machine, &CompileOptions::baseline()).unwrap();
+    for n in ddg.node_ids() {
+        if ddg.kind(n).is_fp() {
+            assert_eq!(
+                out.assignment.home(n),
+                0,
+                "fp op {} must live in cluster 0",
+                ddg.display_label(n)
+            );
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_simulation_matches_reference() {
+    let ddg = mixed_loop();
+    let machine = fp_int_machine(1);
+    let out = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
+    cvliw::sim::simulate(&ddg, &machine, &out.schedule, 12).expect("lockstep execution agrees");
+}
+
+#[test]
+fn baseline_needs_communication_replication_can_remove_it() {
+    // The int address values are consumed by loads in the mem-rich cluster
+    // *and* by the store; with one bus the partition communicates. The
+    // cloneable induction chain is exactly what replication (or value
+    // cloning) removes — but int replicas can only go where int units
+    // exist, so capacity constraints stay honest.
+    let ddg = mixed_loop();
+    let machine = fp_int_machine(1);
+    let base = compile_loop(&ddg, &machine, &CompileOptions::baseline()).unwrap();
+    let repl = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
+    assert!(repl.stats.ii <= base.stats.ii, "replication never hurts the II");
+    assert!(repl.stats.final_coms <= base.stats.final_coms);
+}
+
+#[test]
+fn replication_respects_per_cluster_capacity() {
+    let ddg = mixed_loop();
+    let machine = fp_int_machine(1);
+    let out = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
+    // No int instance may exist in cluster 0 (0 int units), no fp in 1.
+    for n in ddg.node_ids() {
+        let inst = out.assignment.instances(n);
+        match ddg.kind(n).class() {
+            OpClass::Int => assert!(!inst.contains(0)),
+            OpClass::Fp => assert!(!inst.contains(1)),
+            OpClass::Mem => {}
+        }
+    }
+}
+
+#[test]
+fn three_way_heterogeneous_machine_works() {
+    // fp cluster, int cluster, mem cluster — extreme specialization.
+    let machine = MachineConfig::heterogeneous(
+        vec![
+            FuCounts { int: 0, fp: 4, mem: 0 },
+            FuCounts { int: 4, fp: 0, mem: 0 },
+            FuCounts { int: 0, fp: 0, mem: 4 },
+        ],
+        2,
+        2,
+        64,
+        LatencyTable::PAPER,
+    )
+    .unwrap();
+    let ddg = mixed_loop();
+    let out = compile_loop(&ddg, &machine, &CompileOptions::replicate()).expect("compiles");
+    out.schedule.verify(&ddg, &machine).unwrap();
+    // Every value chain crosses clusters here, so communication is heavy;
+    // the II must grow well beyond a homogeneous machine's.
+    assert!(out.stats.final_coms > 0, "fully specialized clusters must communicate");
+}

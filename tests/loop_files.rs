@@ -1,0 +1,103 @@
+//! Every sample `.loop` file under `examples/loops/` must parse, round-trip
+//! through the printer, and compile + verify + simulate on the paper's
+//! machines. This keeps the shipped samples honest as the IR evolves.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cvliw::ir::{parse_module, print_loop, same_structure};
+use cvliw::machine::MachineConfig;
+use cvliw::replicate::{compile_loop, CompileOptions};
+use cvliw::sim::simulate;
+
+fn sample_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/loops");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("examples/loops exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "loop"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 3, "expected at least three sample loops");
+    files
+}
+
+#[test]
+fn samples_parse_and_round_trip() {
+    for path in sample_files() {
+        let text = fs::read_to_string(&path).expect("readable");
+        let module = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{} failed to parse: {e}", path.display()));
+        for l in module.loops() {
+            let printed = print_loop(&l.name, &l.ddg);
+            let back = cvliw::ir::parse_loop(&printed)
+                .unwrap_or_else(|e| panic!("{} reprint failed: {e}", path.display()));
+            assert!(
+                same_structure(&l.ddg, &back.ddg),
+                "{}: loop {} does not round-trip",
+                path.display(),
+                l.name
+            );
+        }
+    }
+}
+
+#[test]
+fn samples_compile_on_every_paper_machine() {
+    let machines: Vec<MachineConfig> = cvliw::machine::paper_specs()
+        .iter()
+        .map(|s| MachineConfig::from_spec(s).expect("valid spec"))
+        .collect();
+    for path in sample_files() {
+        let text = fs::read_to_string(&path).expect("readable");
+        let module = parse_module(&text).expect("parses");
+        for l in module.loops() {
+            for machine in &machines {
+                for opts in [CompileOptions::baseline(), CompileOptions::replicate()] {
+                    let out = compile_loop(&l.ddg, machine, &opts).unwrap_or_else(|e| {
+                        panic!("{}: {} on {}: {e}", path.display(), l.name, machine.spec())
+                    });
+                    out.schedule.verify(&l.ddg, machine).unwrap_or_else(|e| {
+                        panic!("{}: {} on {}: {e}", path.display(), l.name, machine.spec())
+                    });
+                    simulate(&l.ddg, machine, &out.schedule, 5).unwrap_or_else(|e| {
+                        panic!("{}: {} on {}: {e}", path.display(), l.name, machine.spec())
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fir_sample_benefits_from_replication() {
+    let text = fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/loops/fir.loop"),
+    )
+    .unwrap();
+    let l = cvliw::ir::parse_loop(&text).unwrap();
+    let machine = MachineConfig::from_spec("4c1b2l64r").unwrap();
+    let base = compile_loop(&l.ddg, &machine, &CompileOptions::baseline()).unwrap();
+    let repl = compile_loop(&l.ddg, &machine, &CompileOptions::replicate()).unwrap();
+    assert!(
+        repl.stats.final_coms < base.stats.final_coms,
+        "the FIR sample exists to show replication removing communications \
+         ({} vs {})",
+        repl.stats.final_coms,
+        base.stats.final_coms
+    );
+}
+
+#[test]
+fn recurrence_sample_is_latency_bound() {
+    // The div recurrence controls the II; replication must be a no-op.
+    let text = fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/loops/recurrence.loop"),
+    )
+    .unwrap();
+    let l = cvliw::ir::parse_loop(&text).unwrap();
+    let machine = MachineConfig::from_spec("4c1b2l64r").unwrap();
+    let out = compile_loop(&l.ddg, &machine, &CompileOptions::replicate()).unwrap();
+    assert_eq!(out.stats.mii, 21, "fdiv (18) + fadd (3) around a distance-1 cycle");
+    assert_eq!(out.stats.replication.added_instances(), 0, "nothing is bus-bound");
+}

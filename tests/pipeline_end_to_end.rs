@@ -1,0 +1,126 @@
+//! End-to-end integration: hand-written kernels through the full pipeline
+//! (partition → replicate → schedule → verify → simulate) on every machine
+//! configuration of the paper.
+
+use cvliw::machine::paper_specs;
+use cvliw::prelude::*;
+use cvliw::sim::simulate;
+use cvliw::workloads::kernels;
+
+fn configs() -> Vec<MachineConfig> {
+    paper_specs()
+        .iter()
+        .map(|s| MachineConfig::from_spec(s).expect("preset parses"))
+        .collect()
+}
+
+#[test]
+fn every_kernel_compiles_verifies_and_simulates_everywhere() {
+    for (name, ddg) in kernels::all() {
+        for machine in configs() {
+            for opts in [CompileOptions::baseline(), CompileOptions::replicate()] {
+                let out = compile_loop(&ddg, &machine, &opts)
+                    .unwrap_or_else(|e| panic!("{name} on {machine}: {e}"));
+                out.schedule
+                    .verify(&ddg, &machine)
+                    .unwrap_or_else(|e| panic!("{name} on {machine}: {e}"));
+                let iters = u64::from(out.schedule.stage_count()) + 4;
+                simulate(&ddg, &machine, &out.schedule, iters)
+                    .unwrap_or_else(|e| panic!("{name} on {machine}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn replication_never_raises_the_ii() {
+    for (name, ddg) in kernels::all() {
+        for machine in configs() {
+            let base = compile_loop(&ddg, &machine, &CompileOptions::baseline()).unwrap();
+            let repl = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
+            assert!(
+                repl.stats.ii <= base.stats.ii,
+                "{name} on {machine}: replication II {} > baseline II {}",
+                repl.stats.ii,
+                base.stats.ii
+            );
+        }
+    }
+}
+
+#[test]
+fn unified_machine_is_a_practical_upper_bound() {
+    let unified = MachineConfig::unified(256);
+    for (name, ddg) in kernels::all() {
+        let u = compile_loop(&ddg, &unified, &CompileOptions::baseline()).unwrap();
+        for machine in configs() {
+            let c = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
+            // The clustered II can never beat the unified II by more than
+            // scheduling-heuristic noise (one cycle).
+            assert!(
+                c.stats.ii + 1 >= u.stats.ii,
+                "{name}: clustered {machine} II {} far below unified II {}",
+                c.stats.ii,
+                u.stats.ii
+            );
+        }
+    }
+}
+
+#[test]
+fn fir_speedup_grows_with_samples() {
+    let ddg = kernels::fir(8);
+    let machine = MachineConfig::from_spec("4c1b2l64r").unwrap();
+    let base = compile_loop(&ddg, &machine, &CompileOptions::baseline()).unwrap();
+    let repl = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
+    assert!(repl.stats.ii < base.stats.ii, "FIR is communication-bound on 4c1b");
+    // For long-running loops the speedup approaches the II ratio.
+    let t_base = base.schedule.texec(100_000) as f64;
+    let t_repl = repl.schedule.texec(100_000) as f64;
+    let expected = f64::from(base.stats.ii) / f64::from(repl.stats.ii);
+    assert!((t_base / t_repl - expected).abs() < 0.01);
+}
+
+#[test]
+fn dot_product_is_recurrence_bound_not_comm_bound() {
+    // The accumulator recurrence pins the II at the fp-add latency; no
+    // amount of replication changes that (MII = RecMII = 3).
+    let ddg = kernels::dot_product();
+    let machine = MachineConfig::from_spec("4c1b2l64r").unwrap();
+    let base = compile_loop(&ddg, &machine, &CompileOptions::baseline()).unwrap();
+    let repl = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
+    assert_eq!(base.stats.mii, 3);
+    assert_eq!(base.stats.ii, repl.stats.ii);
+}
+
+#[test]
+fn sched_len_extension_never_lengthens() {
+    for (name, ddg) in kernels::all() {
+        let machine = MachineConfig::from_spec("4c2b2l64r").unwrap();
+        let repl = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
+        let ext = compile_loop(&ddg, &machine, &CompileOptions::sched_len()).unwrap();
+        ext.schedule.verify(&ddg, &machine).unwrap();
+        if ext.stats.ii == repl.stats.ii {
+            assert!(
+                ext.stats.length <= repl.stats.length + 1,
+                "{name}: extension length {} vs {}",
+                ext.stats.length,
+                repl.stats.length
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_bus_bound_dominates_replication() {
+    for (name, ddg) in kernels::all() {
+        let machine = MachineConfig::from_spec("4c1b2l64r").unwrap();
+        let repl = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
+        let zero = compile_loop(&ddg, &machine, &CompileOptions::zero_bus()).unwrap();
+        let n = 10_000;
+        assert!(
+            zero.schedule.texec(n) <= repl.schedule.texec(n),
+            "{name}: the zero-latency upper bound must not lose"
+        );
+    }
+}

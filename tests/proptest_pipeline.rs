@@ -1,0 +1,125 @@
+//! Property-based testing of the whole pipeline: random loop bodies and
+//! random clustered machines, compiled with replication, must always yield
+//! verifiable, functionally correct schedules with consistent statistics.
+
+use cvliw::prelude::*;
+use cvliw::sim::simulate;
+use cvliw::workloads::{generate_loop, GeneratorParams};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = GeneratorParams> {
+    (
+        (1usize..=6, 1usize..=5),
+        0.0f64..0.6,
+        0.0f64..1.0,
+        0.0f64..0.3,
+        0.0f64..1.0,
+    )
+        .prop_map(|((chains, depth), coupling, shared_addr, recurrence, store)| {
+            GeneratorParams {
+                chains: (chains, chains + 2),
+                depth: (depth, depth + 2),
+                coupling,
+                shared_addr,
+                recurrence,
+                store,
+                ..GeneratorParams::medium()
+            }
+        })
+}
+
+fn arb_machine() -> impl Strategy<Value = MachineConfig> {
+    (
+        prop_oneof![Just(1u8), Just(2u8), Just(4u8)],
+        1u8..=4,
+        1u32..=4,
+        prop_oneof![Just(32u32), Just(64u32), Just(128u32)],
+    )
+        .prop_map(|(clusters, buses, bus_lat, regs)| {
+            let per = 4 / clusters;
+            MachineConfig::new(
+                clusters,
+                buses,
+                bus_lat,
+                regs,
+                cvliw::machine::FuCounts { int: per, fp: per, mem: per },
+                cvliw::machine::LatencyTable::PAPER,
+            )
+            .expect("valid machine")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn replication_pipeline_is_sound(
+        seed in 0u64..10_000,
+        params in arb_params(),
+        machine in arb_machine(),
+    ) {
+        let generated = generate_loop(seed, &params).expect("generator is total");
+        let ddg = generated.ddg;
+
+        let out = compile_loop(&ddg, &machine, &CompileOptions::replicate())
+            .expect("every generated loop compiles");
+        // Schedule legality: resources, latencies, value routing, registers.
+        out.schedule.verify(&ddg, &machine).expect("schedule verifies");
+
+        // Statistics consistency.
+        let s = &out.stats;
+        prop_assert!(s.ii >= s.mii);
+        prop_assert_eq!(s.causes.total(), s.ii - s.mii);
+        prop_assert!(s.final_coms <= machine.bus_coms_per_ii(s.ii));
+        prop_assert_eq!(
+            s.instances_per_iter,
+            s.ops_per_iter + s.replication.added_instances()
+                - s.replication.removed_instances
+        );
+
+        // Functional equivalence across a few pipeline fills.
+        let iters = u64::from(out.schedule.stage_count()) + 2;
+        let report = simulate(&ddg, &machine, &out.schedule, iters)
+            .expect("replicated code computes reference values on time");
+        prop_assert!(report.makespan <= report.texec_formula);
+    }
+
+    #[test]
+    fn replication_dominates_baseline(
+        seed in 0u64..10_000,
+        coupling in 0.0f64..0.6,
+    ) {
+        let params = GeneratorParams { coupling, ..GeneratorParams::medium() };
+        let ddg = generate_loop(seed, &params).expect("generator is total").ddg;
+        let machine = MachineConfig::from_spec("4c1b2l64r").expect("spec parses");
+        let base = compile_loop(&ddg, &machine, &CompileOptions::baseline())
+            .expect("baseline compiles");
+        let repl = compile_loop(&ddg, &machine, &CompileOptions::replicate())
+            .expect("replication compiles");
+        prop_assert!(repl.stats.ii <= base.stats.ii);
+        // Communication counts only compare at the same II: a lower II has
+        // less bus bandwidth but fewer cycles, and replication may leave
+        // more copies there while still being faster overall.
+        if repl.stats.ii == base.stats.ii {
+            prop_assert!(repl.stats.final_coms <= base.stats.final_coms);
+        }
+    }
+
+    #[test]
+    fn stores_are_never_replicated(
+        seed in 0u64..10_000,
+    ) {
+        let params = GeneratorParams { coupling: 0.5, ..GeneratorParams::medium() };
+        let ddg = generate_loop(seed, &params).expect("generator is total").ddg;
+        let machine = MachineConfig::from_spec("4c1b2l64r").expect("spec parses");
+        let out = compile_loop(&ddg, &machine, &CompileOptions::replicate())
+            .expect("compiles");
+        for n in ddg.node_ids() {
+            if ddg.kind(n) == OpKind::Store {
+                prop_assert_eq!(out.assignment.instances(n).len(), 1);
+            } else {
+                prop_assert!(!out.assignment.instances(n).is_empty());
+            }
+        }
+    }
+}
