@@ -15,7 +15,10 @@ use cvliw_sim::{harmonic_mean, IpcAccumulator};
 use cvliw_workloads::suite_subset;
 
 fn main() {
-    banner("Ablation: unpipelined vs pipelined register buses", "§3 bus model");
+    banner(
+        "Ablation: unpipelined vs pipelined register buses",
+        "§3 bus model",
+    );
     let cap = std::env::var("CVLIW_MAX_LOOPS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())

@@ -40,9 +40,7 @@ fn main() {
         "strategy",
         &["removed %".into(), "added".into(), "instr/com".into()],
     );
-    for (name, (before, removed, added)) in
-        [("subgraph", fine), ("macro-node", coarse)]
-    {
+    for (name, (before, removed, added)) in [("subgraph", fine), ("macro-node", coarse)] {
         print_row(
             name,
             &[

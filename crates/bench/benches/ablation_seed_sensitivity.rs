@@ -11,7 +11,10 @@ use cvliw_sim::harmonic_mean;
 use cvliw_workloads::suite_with_salt;
 
 fn main() {
-    banner("Ablation: suite-seed sensitivity", "the Fig. 7 headline, re-seeded");
+    banner(
+        "Ablation: suite-seed sensitivity",
+        "the Fig. 7 headline, re-seeded",
+    );
     let cap = std::env::var("CVLIW_MAX_LOOPS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -21,7 +24,12 @@ fn main() {
 
     print_row(
         "salt",
-        &["HMEAN base".into(), "HMEAN repl".into(), "speedup".into(), "failed".into()],
+        &[
+            "HMEAN base".into(),
+            "HMEAN repl".into(),
+            "speedup".into(),
+            "failed".into(),
+        ],
     );
     for salt in 0..5u64 {
         let suite = suite_with_salt(salt, cap);

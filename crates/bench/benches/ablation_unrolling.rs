@@ -25,7 +25,10 @@ struct Tally {
 }
 
 fn main() {
-    banner("Ablation: loop unrolling vs instruction replication", "§6 / ref [22]");
+    banner(
+        "Ablation: loop unrolling vs instruction replication",
+        "§6 / ref [22]",
+    );
     let cap = std::env::var("CVLIW_MAX_LOOPS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -50,7 +53,9 @@ fn main() {
             ] {
                 match compile_loop(&l.ddg, &machine, &opts) {
                     Ok(out) => {
-                        tally.acc.add_loop(visits, iters, ops, out.stats.ii, out.stats.stage_count);
+                        tally
+                            .acc
+                            .add_loop(visits, iters, ops, out.stats.ii, out.stats.stage_count);
                         tally.code_size +=
                             u64::from(out.stats.instances_per_iter + out.stats.copies_per_iter);
                         tally.coms += f64::from(out.stats.final_coms);
@@ -77,7 +82,12 @@ fn main() {
 
     print_row(
         "strategy",
-        &["IPC".into(), "code ops".into(), "coms/iter".into(), "failed".into()],
+        &[
+            "IPC".into(),
+            "code ops".into(),
+            "coms/iter".into(),
+            "failed".into(),
+        ],
     );
     let rows: [(&str, &Tally); 4] = [
         ("baseline", &baseline),
@@ -91,7 +101,11 @@ fn main() {
             name,
             &[
                 f2(t.acc.ipc()),
-                format!("{} ({})", t.code_size, pct(t.code_size as f64 / base_size as f64)),
+                format!(
+                    "{} ({})",
+                    t.code_size,
+                    pct(t.code_size as f64 / base_size as f64)
+                ),
                 f2(t.coms),
                 t.failures.to_string(),
             ],

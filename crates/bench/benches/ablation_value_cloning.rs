@@ -11,7 +11,10 @@ use cvliw_machine::MachineConfig;
 use cvliw_replicate::CompileOptions;
 
 fn main() {
-    banner("Ablation: value cloning vs subgraph replication", "§6 / ref [17]");
+    banner(
+        "Ablation: value cloning vs subgraph replication",
+        "§6 / ref [17]",
+    );
     let suite = suite_for_bench();
     let machine = MachineConfig::from_spec("4c1b2l64r").expect("spec parses");
 
@@ -47,7 +50,11 @@ fn main() {
         print_row(
             name,
             &[
-                format!("{} ({:+.1}%)", f2(hmean), 100.0 * (hmean / baseline_hmean - 1.0)),
+                format!(
+                    "{} ({:+.1}%)",
+                    f2(hmean),
+                    100.0 * (hmean / baseline_hmean - 1.0)
+                ),
                 pct(removed as f64 / before.max(1) as f64),
                 added.to_string(),
             ],

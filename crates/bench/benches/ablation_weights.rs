@@ -67,7 +67,9 @@ fn run_custom(
             Policy::Fewest => candidates.sort_by_key(|p| (p.added_instances(), p.com)),
             Policy::First => candidates.sort_by_key(|p| p.com),
             Policy::Heaviest => candidates.sort_by(|a, b| {
-                weights[&b.com].partial_cmp(&weights[&a.com]).expect("finite weights")
+                weights[&b.com]
+                    .partial_cmp(&weights[&a.com])
+                    .expect("finite weights")
             }),
             Policy::Weight => unreachable!("handled by engine.run()"),
         }
@@ -76,12 +78,21 @@ fn run_custom(
         // subgraph fits (the engine would refuse otherwise).
         let chosen = candidates
             .into_iter()
-            .find(|p| p.fits(engine.ddg(), engine.machine(), engine.ii(), engine.assignment()))
+            .find(|p| {
+                p.fits(
+                    engine.ddg(),
+                    engine.machine(),
+                    engine.ii(),
+                    engine.assignment(),
+                )
+            })
             .cloned();
         match chosen {
             Some(plan) => engine.commit(&plan),
             None => {
-                return ReplicationOutcome::Stuck { remaining_extra: engine.extra_coms() }
+                return ReplicationOutcome::Stuck {
+                    remaining_extra: engine.extra_coms(),
+                }
             }
         }
     }

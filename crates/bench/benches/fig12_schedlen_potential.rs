@@ -38,7 +38,12 @@ fn main() {
         let h_zero = harmonic_mean(&zero);
         print_row(
             spec,
-            &[f2(h_repl), f2(h_ext), f2(h_zero), pct(h_zero / h_repl - 1.0)],
+            &[
+                f2(h_repl),
+                f2(h_ext),
+                f2(h_zero),
+                pct(h_zero / h_repl - 1.0),
+            ],
         );
     }
     println!("\npaper shape: the zero-latency bound sits ~1% above replication");

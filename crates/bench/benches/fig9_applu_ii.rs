@@ -13,7 +13,12 @@ fn main() {
 
     print_row(
         "config",
-        &["II reduction".into(), "base IPC".into(), "repl IPC".into(), "IPC gain".into()],
+        &[
+            "II reduction".into(),
+            "base IPC".into(),
+            "repl IPC".into(),
+            "IPC gain".into(),
+        ],
     );
     for spec in fig1_specs() {
         let machine = MachineConfig::from_spec(spec).expect("preset parses");

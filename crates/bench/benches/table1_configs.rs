@@ -40,18 +40,30 @@ fn main() {
     print_row("row", &["INT".into(), "FP".into()]);
     print_row(
         "MEM",
-        &[m.latency(OpKind::Load).to_string(), m.latency(OpKind::Load).to_string()],
+        &[
+            m.latency(OpKind::Load).to_string(),
+            m.latency(OpKind::Load).to_string(),
+        ],
     );
     print_row(
         "ARITH",
-        &[m.latency(OpKind::IntAdd).to_string(), m.latency(OpKind::FpAdd).to_string()],
+        &[
+            m.latency(OpKind::IntAdd).to_string(),
+            m.latency(OpKind::FpAdd).to_string(),
+        ],
     );
     print_row(
         "MUL/ABS",
-        &[m.latency(OpKind::IntMul).to_string(), m.latency(OpKind::FpMul).to_string()],
+        &[
+            m.latency(OpKind::IntMul).to_string(),
+            m.latency(OpKind::FpMul).to_string(),
+        ],
     );
     print_row(
         "DIV/SQRT",
-        &[m.latency(OpKind::IntDiv).to_string(), m.latency(OpKind::FpDiv).to_string()],
+        &[
+            m.latency(OpKind::IntDiv).to_string(),
+            m.latency(OpKind::FpDiv).to_string(),
+        ],
     );
 }

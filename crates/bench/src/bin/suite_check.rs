@@ -13,9 +13,8 @@ fn main() {
             for l in &program.loops {
                 for opts in [CompileOptions::baseline(), CompileOptions::replicate()] {
                     let name = l.name.clone();
-                    let ok = std::panic::catch_unwind(|| {
-                        compile_loop(&l.ddg, &machine, &opts).is_ok()
-                    });
+                    let ok =
+                        std::panic::catch_unwind(|| compile_loop(&l.ddg, &machine, &opts).is_ok());
                     match ok {
                         Ok(true) => {}
                         Ok(false) => {

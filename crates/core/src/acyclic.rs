@@ -81,10 +81,16 @@ impl std::fmt::Display for AcyclicError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AcyclicError::LoopCarriedEdge { src, dst } => {
-                write!(f, "loop-carried dependence {src} -> {dst} in an acyclic region")
+                write!(
+                    f,
+                    "loop-carried dependence {src} -> {dst} in an acyclic region"
+                )
             }
             AcyclicError::NoBus { value } => {
-                write!(f, "value {value} crosses clusters but the machine has no buses")
+                write!(
+                    f,
+                    "value {value} crosses clusters but the machine has no buses"
+                )
             }
         }
     }
@@ -109,7 +115,10 @@ pub fn schedule_acyclic(
     assignment: &Assignment,
 ) -> Result<AcyclicSchedule, AcyclicError> {
     if let Some(e) = ddg.edges().find(|e| e.distance > 0) {
-        return Err(AcyclicError::LoopCarriedEdge { src: e.src, dst: e.dst });
+        return Err(AcyclicError::LoopCarriedEdge {
+            src: e.src,
+            dst: e.dst,
+        });
     }
 
     let mut fu_busy: Vec<[Vec<u32>; 3]> =
@@ -241,7 +250,9 @@ pub fn replicate_for_acyclic_length(
     let mut best = schedule_acyclic(ddg, machine, &best_asg)?;
 
     for _round in 0..ddg.node_count() {
-        let Some((p, c)) = critical_bus_hop(ddg, machine, &best_asg, &best) else { break };
+        let Some((p, c)) = critical_bus_hop(ddg, machine, &best_asg, &best) else {
+            break;
+        };
 
         let mut trial = best_asg.clone();
         trial.add_instance(p, c);
@@ -318,7 +329,14 @@ mod tests {
         // Clusters: D,E → 0; A,B,C → 1; F → 2.
         let asg = Assignment::from_partition(&[1, 1, 1, 0, 0, 2]);
         let machine = MachineConfig::heterogeneous(
-            vec![FuCounts { int: 2, fp: 0, mem: 0 }; 3],
+            vec![
+                FuCounts {
+                    int: 2,
+                    fp: 0,
+                    mem: 0
+                };
+                3
+            ],
             1,
             1,
             64,
@@ -343,7 +361,10 @@ mod tests {
         let (improved, s) = replicate_for_acyclic_length(&ddg, &m, asg).unwrap();
         assert_eq!(s.length(), 3, "right side of Figure 11");
         let a = ddg.find_by_label("A").unwrap();
-        assert!(improved.instances(a).len() >= 2, "A replicated into cluster 0");
+        assert!(
+            improved.instances(a).len() >= 2,
+            "A replicated into cluster 0"
+        );
         // The copy of A may remain for cluster 2's F — the paper's point:
         // replicate only where it helps the critical path.
         assert!(s.copy_count() <= 1);
@@ -372,7 +393,14 @@ mod tests {
         let ddg = b.build().unwrap();
         // Two clusters, zero buses.
         let m = MachineConfig::heterogeneous(
-            vec![FuCounts { int: 1, fp: 1, mem: 1 }; 2],
+            vec![
+                FuCounts {
+                    int: 1,
+                    fp: 1,
+                    mem: 1
+                };
+                2
+            ],
             0,
             1,
             64,
@@ -397,7 +425,11 @@ mod tests {
         b.data(x0, y0).data(x1, y1);
         let ddg = b.build().unwrap();
         let m = MachineConfig::heterogeneous(
-            vec![FuCounts { int: 1, fp: 0, mem: 0 }],
+            vec![FuCounts {
+                int: 1,
+                fp: 0,
+                mem: 0,
+            }],
             0,
             1,
             64,

@@ -58,31 +58,46 @@ impl CompileOptions {
     /// Baseline scheduler (no replication).
     #[must_use]
     pub fn baseline() -> Self {
-        CompileOptions { mode: Mode::Baseline, max_ii: None }
+        CompileOptions {
+            mode: Mode::Baseline,
+            max_ii: None,
+        }
     }
 
     /// The paper's replication scheduler.
     #[must_use]
     pub fn replicate() -> Self {
-        CompileOptions { mode: Mode::Replicate, max_ii: None }
+        CompileOptions {
+            mode: Mode::Replicate,
+            max_ii: None,
+        }
     }
 
     /// Replication plus the §5.1 schedule-length extension.
     #[must_use]
     pub fn sched_len() -> Self {
-        CompileOptions { mode: Mode::ReplicateSchedLen, max_ii: None }
+        CompileOptions {
+            mode: Mode::ReplicateSchedLen,
+            max_ii: None,
+        }
     }
 
     /// The zero-bus-latency upper bound of §5.1.
     #[must_use]
     pub fn zero_bus() -> Self {
-        CompileOptions { mode: Mode::ZeroBusLatency, max_ii: None }
+        CompileOptions {
+            mode: Mode::ZeroBusLatency,
+            max_ii: None,
+        }
     }
 
     /// Value cloning only (the Kuras et al. related-work baseline).
     #[must_use]
     pub fn value_clone() -> Self {
-        CompileOptions { mode: Mode::ValueClone, max_ii: None }
+        CompileOptions {
+            mode: Mode::ValueClone,
+            max_ii: None,
+        }
     }
 }
 
@@ -194,7 +209,10 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::IiLimitExceeded { mii, max_ii, .. } => {
-                write!(f, "no schedule found between MII {mii} and the II cap {max_ii}")
+                write!(
+                    f,
+                    "no schedule found between MII {mii} and the II cap {max_ii}"
+                )
             }
         }
     }
@@ -215,7 +233,9 @@ pub fn compile_loop(
     opts: &CompileOptions,
 ) -> Result<CompiledLoop, CompileError> {
     let mii = mii(ddg, machine);
-    let max_ii = opts.max_ii.unwrap_or_else(|| mii.saturating_mul(4).saturating_add(256));
+    let max_ii = opts
+        .max_ii
+        .unwrap_or_else(|| mii.saturating_mul(4).saturating_add(256));
     let mut causes = CauseCounts::default();
 
     let mut partition = partition_loop(ddg, machine, mii);
@@ -299,7 +319,11 @@ pub fn compile_loop(
                     instances_per_iter: sched.op_count(),
                     copies_per_iter: sched.copy_count(),
                 };
-                return Ok(CompiledLoop { schedule: sched, assignment, stats });
+                return Ok(CompiledLoop {
+                    schedule: sched,
+                    assignment,
+                    stats,
+                });
             }
             Err(e) => {
                 causes.add(e.cause());
@@ -307,7 +331,11 @@ pub fn compile_loop(
             }
         }
     }
-    Err(CompileError::IiLimitExceeded { mii, max_ii, causes })
+    Err(CompileError::IiLimitExceeded {
+        mii,
+        max_ii,
+        causes,
+    })
 }
 
 #[cfg(test)]
@@ -347,7 +375,10 @@ mod tests {
         let repl = compile_loop(&ddg, &m, &CompileOptions::replicate()).unwrap();
         base.schedule.verify(&ddg, &m).unwrap();
         repl.schedule.verify(&ddg, &m).unwrap();
-        assert!(repl.stats.ii <= base.stats.ii, "replication never hurts the II");
+        assert!(
+            repl.stats.ii <= base.stats.ii,
+            "replication never hurts the II"
+        );
     }
 
     #[test]
@@ -380,7 +411,11 @@ mod tests {
         let m = machine("4c1b2l64r");
         let base = compile_loop(&ddg, &m, &CompileOptions::baseline()).unwrap();
         if base.stats.ii > base.stats.mii {
-            assert!(base.stats.causes.bus > 0, "II grew: {:?}", base.stats.causes);
+            assert!(
+                base.stats.causes.bus > 0,
+                "II grew: {:?}",
+                base.stats.causes
+            );
         }
     }
 
@@ -406,7 +441,10 @@ mod tests {
         // communications need.
         let ddg = comm_bound();
         let m = machine("4c1b2l64r");
-        let opts = CompileOptions { mode: Mode::Baseline, max_ii: Some(1) };
+        let opts = CompileOptions {
+            mode: Mode::Baseline,
+            max_ii: Some(1),
+        };
         match compile_loop(&ddg, &m, &opts) {
             Err(CompileError::IiLimitExceeded { max_ii, .. }) => assert_eq!(max_ii, 1),
             other => panic!("expected cap error, got {other:?}"),
@@ -430,6 +468,9 @@ mod tests {
         let out = compile_loop(&ddg, &m, &CompileOptions::sched_len()).unwrap();
         out.schedule.verify(&ddg, &m).unwrap();
         let normal = compile_loop(&ddg, &m, &CompileOptions::replicate()).unwrap();
-        assert!(out.stats.ii <= normal.stats.ii + 1, "extension must not wreck the II");
+        assert!(
+            out.stats.ii <= normal.stats.ii + 1,
+            "extension must not wreck the II"
+        );
     }
 }

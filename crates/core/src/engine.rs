@@ -45,8 +45,9 @@ impl ReplicationStats {
     #[must_use]
     pub fn net_added_by_class(&self) -> [u32; 3] {
         let mut net = [0u32; 3];
-        for (slot, (&added, &removed)) in
-            net.iter_mut().zip(self.added_by_class.iter().zip(&self.removed_by_class))
+        for (slot, (&added, &removed)) in net
+            .iter_mut()
+            .zip(self.added_by_class.iter().zip(&self.removed_by_class))
         {
             *slot = added.saturating_sub(removed);
         }
@@ -93,7 +94,14 @@ impl<'a> ReplicationEngine<'a> {
             final_coms: coms.len() as u32,
             ..ReplicationStats::default()
         };
-        ReplicationEngine { ddg, machine, ii, assignment, coms, stats }
+        ReplicationEngine {
+            ddg,
+            machine,
+            ii,
+            assignment,
+            coms,
+            stats,
+        }
     }
 
     /// Communications exceeding bus bandwidth at the current II
@@ -108,7 +116,12 @@ impl<'a> ReplicationEngine<'a> {
     pub fn plans(&self) -> BTreeMap<NodeId, ReplicationPlan> {
         self.coms
             .iter()
-            .map(|&v| (v, replication_plan(self.ddg, &self.assignment, &self.coms, v)))
+            .map(|&v| {
+                (
+                    v,
+                    replication_plan(self.ddg, &self.assignment, &self.coms, v),
+                )
+            })
             .collect()
     }
 
@@ -120,7 +133,17 @@ impl<'a> ReplicationEngine<'a> {
         plans
             .iter()
             .map(|(&v, p)| {
-                (v, plan_weight(self.ddg, self.machine, self.ii, &self.assignment, &shares, p))
+                (
+                    v,
+                    plan_weight(
+                        self.ddg,
+                        self.machine,
+                        self.ii,
+                        &self.assignment,
+                        &shares,
+                        p,
+                    ),
+                )
             })
             .collect()
     }
@@ -138,8 +161,14 @@ impl<'a> ReplicationEngine<'a> {
                 if !plan.fits(self.ddg, self.machine, self.ii, &self.assignment) {
                     continue;
                 }
-                let w =
-                    plan_weight(self.ddg, self.machine, self.ii, &self.assignment, &shares, plan);
+                let w = plan_weight(
+                    self.ddg,
+                    self.machine,
+                    self.ii,
+                    &self.assignment,
+                    &shares,
+                    plan,
+                );
                 let key = (w, plan.added_instances(), v);
                 // Ties break on fewer added instances, then node id.
                 if best.as_ref().is_none_or(|b| key < *b) {
@@ -147,7 +176,9 @@ impl<'a> ReplicationEngine<'a> {
                 }
             }
             let Some((_, _, chosen)) = best else {
-                return ReplicationOutcome::Stuck { remaining_extra: self.extra_coms() };
+                return ReplicationOutcome::Stuck {
+                    remaining_extra: self.extra_coms(),
+                };
             };
             self.commit(&plans[&chosen]);
         }
@@ -297,7 +328,10 @@ mod tests {
         let m = machine("4c1b2l64r");
         let mut engine = ReplicationEngine::new(&ddg, &m, 1, asg);
         assert_eq!(engine.extra_coms(), 1);
-        assert_eq!(engine.run(), ReplicationOutcome::Stuck { remaining_extra: 1 });
+        assert_eq!(
+            engine.run(),
+            ReplicationOutcome::Stuck { remaining_extra: 1 }
+        );
     }
 
     #[test]

@@ -72,9 +72,7 @@ mod plan;
 mod sched_len;
 mod value_clone;
 
-pub use acyclic::{
-    replicate_for_acyclic_length, schedule_acyclic, AcyclicError, AcyclicSchedule,
-};
+pub use acyclic::{replicate_for_acyclic_length, schedule_acyclic, AcyclicError, AcyclicSchedule};
 pub use driver::{
     compile_loop, CauseCounts, CompileError, CompileOptions, CompiledLoop, LoopStats, Mode,
 };

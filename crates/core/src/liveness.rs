@@ -75,11 +75,11 @@ pub fn live_instances(ddg: &Ddg, view: &InstanceView) -> Vec<ClusterSet> {
     let mut live = vec![ClusterSet::empty(); n];
     let mut worklist: Vec<(NodeId, u8)> = Vec::new();
 
-    let anchor = |node: NodeId, cluster: u8, live: &mut Vec<ClusterSet>,
+    let anchor = |node: NodeId,
+                  cluster: u8,
+                  live: &mut Vec<ClusterSet>,
                   worklist: &mut Vec<(NodeId, u8)>| {
-        if view.instances[node.index()].contains(cluster)
-            && !live[node.index()].contains(cluster)
-        {
+        if view.instances[node.index()].contains(cluster) && !live[node.index()].contains(cluster) {
             live[node.index()].insert(cluster);
             worklist.push((node, cluster));
         }
@@ -88,8 +88,7 @@ pub fn live_instances(ddg: &Ddg, view: &InstanceView) -> Vec<ClusterSet> {
     let comps = cvliw_ddg::sccs(ddg);
     let mut on_cycle = vec![false; n];
     for comp in &comps {
-        let cyclic = comp.len() > 1
-            || ddg.out_edges(comp[0]).any(|e| e.dst == comp[0]);
+        let cyclic = comp.len() > 1 || ddg.out_edges(comp[0]).any(|e| e.dst == comp[0]);
         if cyclic {
             for &node in comp {
                 on_cycle[node.index()] = true;
@@ -99,13 +98,17 @@ pub fn live_instances(ddg: &Ddg, view: &InstanceView) -> Vec<ClusterSet> {
 
     for node in ddg.node_ids() {
         let kind = ddg.kind(node);
-        if kind == cvliw_ddg::OpKind::Store || !ddg.has_data_succs(node) || on_cycle[node.index()]
-        {
+        if kind == cvliw_ddg::OpKind::Store || !ddg.has_data_succs(node) || on_cycle[node.index()] {
             for c in view.instances[node.index()].iter() {
                 anchor(node, c, &mut live, &mut worklist);
             }
         } else if view.coms.contains(&node) {
-            anchor(node, view.com_source[node.index()], &mut live, &mut worklist);
+            anchor(
+                node,
+                view.com_source[node.index()],
+                &mut live,
+                &mut worklist,
+            );
         }
     }
 
@@ -115,9 +118,7 @@ pub fn live_instances(ddg: &Ddg, view: &InstanceView) -> Vec<ClusterSet> {
                 continue;
             }
             let p = e.src;
-            if view.instances[p.index()].contains(cluster)
-                && !live[p.index()].contains(cluster)
-            {
+            if view.instances[p.index()].contains(cluster) && !live[p.index()].contains(cluster) {
                 live[p.index()].insert(cluster);
                 worklist.push((p, cluster));
             }
@@ -133,7 +134,10 @@ pub fn dead_instances(ddg: &Ddg, view: &InstanceView) -> Vec<(NodeId, u8)> {
     let live = live_instances(ddg, view);
     let mut dead = Vec::new();
     for node in ddg.node_ids() {
-        for c in view.instances[node.index()].difference(live[node.index()]).iter() {
+        for c in view.instances[node.index()]
+            .difference(live[node.index()])
+            .iter()
+        {
             dead.push((node, c));
         }
     }

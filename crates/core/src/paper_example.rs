@@ -70,7 +70,12 @@ pub fn fig3_example() -> (Ddg, Assignment, Fig3Nodes) {
 
     // Cluster 3 internals: S_D = {D,B,C,A}, S_E = {E,A} with D a parent of
     // E that is excluded because D's value is itself communicated.
-    bld.data(a, b).data(a, c).data(b, d).data(c, d).data(a, e).data(d, e);
+    bld.data(a, b)
+        .data(a, c)
+        .data(b, d)
+        .data(c, d)
+        .data(a, e)
+        .data(d, e);
     // Communications: D → F (cluster 4); E → J (cluster 2) and E → G
     // (cluster 4); J → L (cluster 1) and J → H (cluster 4).
     bld.data(d, f).data(e, g).data(e, j).data(j, l).data(j, h);
@@ -96,7 +101,26 @@ pub fn fig3_example() -> (Ddg, Assignment, Fig3Nodes) {
         }
     }
     let assignment = Assignment::from_partition(&part);
-    (ddg, assignment, Fig3Nodes { a, b, c, d, e, f, g, h, i, j, k, l, m, n })
+    (
+        ddg,
+        assignment,
+        Fig3Nodes {
+            a,
+            b,
+            c,
+            d,
+            e,
+            f,
+            g,
+            h,
+            i,
+            j,
+            k,
+            l,
+            m,
+            n,
+        },
+    )
 }
 
 /// The machine of the worked example: four clusters of four universal FUs
@@ -111,7 +135,11 @@ pub fn fig3_machine() -> cvliw_machine::MachineConfig {
         1,
         1,
         64,
-        cvliw_machine::FuCounts { int: 4, fp: 4, mem: 4 },
+        cvliw_machine::FuCounts {
+            int: 4,
+            fp: 4,
+            mem: 4,
+        },
         cvliw_machine::LatencyTable::UNIT,
     )
     .expect("valid example machine")
@@ -153,12 +181,19 @@ mod tests {
         let s_d = crate::plan::replication_plan(&ddg, &asg, &coms, nd.d);
         assert_eq!(s_d.subgraph(), vec![nd.a, nd.b, nd.c, nd.d]);
         assert_eq!(s_d.targets, set(&[3]), "S_D goes to cluster 4 only");
-        assert!(s_d.removable.is_empty(), "D's copy child keeps the chain alive");
+        assert!(
+            s_d.removable.is_empty(),
+            "D's copy child keeps the chain alive"
+        );
 
         let s_e = crate::plan::replication_plan(&ddg, &asg, &coms, nd.e);
         assert_eq!(s_e.subgraph(), vec![nd.a, nd.e], "D is excluded from S_E");
         assert_eq!(s_e.targets, set(&[1, 3]));
-        assert_eq!(s_e.removable, vec![(nd.e, 2)], "only E itself dies in cluster 3");
+        assert_eq!(
+            s_e.removable,
+            vec![(nd.e, 2)],
+            "only E itself dies in cluster 3"
+        );
 
         let s_j = crate::plan::replication_plan(&ddg, &asg, &coms, nd.j);
         assert_eq!(s_j.subgraph(), vec![nd.i, nd.j]);
@@ -189,10 +224,18 @@ mod tests {
         let outcome = engine.run();
         assert_eq!(outcome, crate::engine::ReplicationOutcome::Fits);
         let (asg, stats) = engine.into_parts();
-        assert_eq!(stats.removed_coms(), 1, "exactly extra_coms subgraphs replicated");
+        assert_eq!(
+            stats.removed_coms(),
+            1,
+            "exactly extra_coms subgraphs replicated"
+        );
         // E now lives in clusters 2 and 4 (paper numbering), not 3.
         assert_eq!(asg.instances(nd.e), set(&[1, 3]));
-        assert_eq!(asg.instances(nd.a), set(&[1, 2, 3]), "A replicated, original kept");
+        assert_eq!(
+            asg.instances(nd.a),
+            set(&[1, 2, 3]),
+            "A replicated, original kept"
+        );
         assert_eq!(stats.added_by_class, [4, 0, 0]); // E and A into two clusters
         assert_eq!(stats.removed_instances, 1); // old E in cluster 3
     }
@@ -250,6 +293,10 @@ mod tests {
         })
         .expect("the example schedules at II=2 after replication");
         sched.verify(&ddg, &machine).unwrap();
-        assert_eq!(sched.copy_count(), 2, "two communications remain on the bus");
+        assert_eq!(
+            sched.copy_count(),
+            2,
+            "two communications remain on the bus"
+        );
     }
 }

@@ -115,7 +115,12 @@ pub fn replication_plan_into(
         .filter(|&(n, c)| assignment.instances(n).contains(c))
         .collect();
 
-    ReplicationPlan { com, targets, adds, removable }
+    ReplicationPlan {
+        com,
+        targets,
+        adds,
+        removable,
+    }
 }
 
 /// How many plans would reuse each `(node, cluster)` replica: the sharing
@@ -160,9 +165,8 @@ pub fn plan_weight(
         let class = ddg.kind(n).class();
         for c in set.iter() {
             let denom = f64::from(u32::from(machine.fu_count_in(c, class)) * ii);
-            let load = f64::from(
-                usage[c as usize][class.index()] + extra[c as usize][class.index()],
-            );
+            let load =
+                f64::from(usage[c as usize][class.index()] + extra[c as usize][class.index()]);
             let share = f64::from(*shares.get(&(n, c)).unwrap_or(&1));
             weight += load / denom / share;
         }
@@ -263,7 +267,11 @@ mod tests {
         let asg = Assignment::from_partition(&[0, 0, 2, 1]);
         let coms: BTreeSet<NodeId> = [gp, p].into_iter().collect();
         let plan = replication_plan(&ddg, &asg, &coms, p);
-        assert_eq!(plan.subgraph(), vec![p], "gp excluded: its value is broadcast");
+        assert_eq!(
+            plan.subgraph(),
+            vec![p],
+            "gp excluded: its value is broadcast"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ fn estimated_length(
     let lat = |e: &cvliw_ddg::Edge| {
         let base = machine.latency(ddg.kind(e.src));
         if e.is_data()
-            && !assignment.instances(e.dst).difference(assignment.instances(e.src)).is_empty()
+            && !assignment
+                .instances(e.dst)
+                .difference(assignment.instances(e.src))
+                .is_empty()
         {
             base + machine.bus_latency()
         } else {
@@ -79,8 +82,7 @@ pub fn extend_for_length(
                 .zip(edge_lat.iter())
                 .map(|(e, &l)| ((e.src, e.dst, e.distance), l))
                 .collect();
-        let Some(tb) = time_bounds(ddg, ii, move |e| indexed[&(e.src, e.dst, e.distance)])
-        else {
+        let Some(tb) = time_bounds(ddg, ii, move |e| indexed[&(e.src, e.dst, e.distance)]) else {
             return assignment;
         };
 
@@ -90,14 +92,13 @@ pub fn extend_for_length(
             if !e.is_data() {
                 continue;
             }
-            let missing =
-                assignment.instances(e.dst).difference(assignment.instances(e.src));
+            let missing = assignment
+                .instances(e.dst)
+                .difference(assignment.instances(e.src));
             if missing.is_empty() {
                 continue;
             }
-            let slack = tb.alap[e.dst.index()]
-                - tb.asap[e.src.index()]
-                - i64::from(edge_lat[idx])
+            let slack = tb.alap[e.dst.index()] - tb.asap[e.src.index()] - i64::from(edge_lat[idx])
                 + i64::from(ii) * i64::from(e.distance);
             if slack != 0 {
                 continue; // not on the critical path
@@ -178,7 +179,11 @@ mod tests {
             2,
             1,
             64,
-            cvliw_machine::FuCounts { int: 4, fp: 4, mem: 4 },
+            cvliw_machine::FuCounts {
+                int: 4,
+                fp: 4,
+                mem: 4,
+            },
             cvliw_machine::LatencyTable::UNIT,
         )
         .unwrap()

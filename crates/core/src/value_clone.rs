@@ -127,9 +127,9 @@ fn fits(
 ) -> bool {
     let usage = assignment.class_usage(ddg, machine.clusters());
     let class = ddg.kind(n).class();
-    targets.into_iter().all(|c| {
-        usage[c as usize][class.index()] < u32::from(machine.fu_count_in(c, class)) * ii
-    })
+    targets
+        .into_iter()
+        .all(|c| usage[c as usize][class.index()] < u32::from(machine.fu_count_in(c, class)) * ii)
 }
 
 #[cfg(test)]
@@ -197,8 +197,15 @@ mod tests {
         let (after, stats) = value_clone(&ddg, &m, 2, asg);
         assert!(before >= 2);
         let iv = ddg.find_by_label("iv").unwrap();
-        assert!(after.instances(iv).len() >= 3, "iv cloned into consumer clusters");
-        assert_eq!(stats.removed_coms(), 1, "only the iv communication is removable");
+        assert!(
+            after.instances(iv).len() >= 3,
+            "iv cloned into consumer clusters"
+        );
+        assert_eq!(
+            stats.removed_coms(),
+            1,
+            "only the iv communication is removable"
+        );
         assert!(stats.added_by_class[OpClass::Int.index()] >= 2);
     }
 

@@ -161,8 +161,7 @@ impl TimeBounds {
 #[must_use]
 pub fn time_bounds(ddg: &Ddg, ii: u32, lat: impl Fn(&Edge) -> u32) -> Option<TimeBounds> {
     let n = ddg.node_count();
-    let weight =
-        |e: &Edge| -> i64 { i64::from(lat(e)) - i64::from(ii) * i64::from(e.distance) };
+    let weight = |e: &Edge| -> i64 { i64::from(lat(e)) - i64::from(ii) * i64::from(e.distance) };
 
     // Longest-path fixpoint (Bellman-Ford from a virtual source at 0).
     let mut asap = vec![0i64; n];
@@ -266,8 +265,10 @@ mod tests {
         let ddg = ring();
         let order = topo_order(&ddg);
         assert_eq!(order.len(), 3);
-        let pos: Vec<usize> =
-            ddg.node_ids().map(|n| order.iter().position(|&o| o == n).unwrap()).collect();
+        let pos: Vec<usize> = ddg
+            .node_ids()
+            .map(|n| order.iter().position(|&o| o == n).unwrap())
+            .collect();
         for e in ddg.edges() {
             if e.distance == 0 {
                 assert!(pos[e.src.index()] < pos[e.dst.index()]);

@@ -74,10 +74,20 @@ mod tests {
     #[test]
     fn display_is_lowercase_and_nonempty() {
         let errors = [
-            DdgError::NodeOutOfRange { node: NodeId::new(7), node_count: 3 },
-            DdgError::StoreHasDataSuccessor { store: NodeId::new(0), consumer: NodeId::new(1) },
-            DdgError::ZeroDistanceSelfLoop { node: NodeId::new(2) },
-            DdgError::ZeroDistanceCycle { witness: NodeId::new(4) },
+            DdgError::NodeOutOfRange {
+                node: NodeId::new(7),
+                node_count: 3,
+            },
+            DdgError::StoreHasDataSuccessor {
+                store: NodeId::new(0),
+                consumer: NodeId::new(1),
+            },
+            DdgError::ZeroDistanceSelfLoop {
+                node: NodeId::new(2),
+            },
+            DdgError::ZeroDistanceCycle {
+                witness: NodeId::new(4),
+            },
             DdgError::Empty,
         ];
         for e in errors {

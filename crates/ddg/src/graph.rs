@@ -169,19 +169,26 @@ impl Ddg {
 
     /// Outgoing edges of `n`.
     pub fn out_edges(&self, n: NodeId) -> impl ExactSizeIterator<Item = &Edge> + '_ {
-        self.succs[n.index()].iter().map(move |&i| &self.edges[i as usize])
+        self.succs[n.index()]
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// Incoming edges of `n`.
     pub fn in_edges(&self, n: NodeId) -> impl ExactSizeIterator<Item = &Edge> + '_ {
-        self.preds[n.index()].iter().map(move |&i| &self.edges[i as usize])
+        self.preds[n.index()]
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// Producers whose register values `n` reads (deduplicated).
     #[must_use]
     pub fn data_preds(&self, n: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> =
-            self.in_edges(n).filter(|e| e.is_data()).map(|e| e.src).collect();
+        let mut out: Vec<NodeId> = self
+            .in_edges(n)
+            .filter(|e| e.is_data())
+            .map(|e| e.src)
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -190,8 +197,11 @@ impl Ddg {
     /// Consumers that read the register value `n` produces (deduplicated).
     #[must_use]
     pub fn data_succs(&self, n: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> =
-            self.out_edges(n).filter(|e| e.is_data()).map(|e| e.dst).collect();
+        let mut out: Vec<NodeId> = self
+            .out_edges(n)
+            .filter(|e| e.is_data())
+            .map(|e| e.dst)
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -237,7 +247,8 @@ impl Ddg {
     /// Finds the node with the given label, if any.
     #[must_use]
     pub fn find_by_label(&self, label: &str) -> Option<NodeId> {
-        self.node_ids().find(|&n| self.node(n).label() == Some(label))
+        self.node_ids()
+            .find(|&n| self.node(n).label() == Some(label))
     }
 }
 
@@ -279,13 +290,21 @@ impl DdgBuilder {
     /// Adds a labeled operation and returns its id.
     pub fn add_labeled(&mut self, kind: OpKind, label: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, label: Some(label.into().into_boxed_str()) });
+        self.nodes.push(Node {
+            kind,
+            label: Some(label.into().into_boxed_str()),
+        });
         id
     }
 
     /// Adds an edge of arbitrary kind and distance.
     pub fn edge(&mut self, src: NodeId, dst: NodeId, kind: DepKind, distance: u32) -> &mut Self {
-        self.edges.push(Edge { src, dst, kind, distance });
+        self.edges.push(Edge {
+            src,
+            dst,
+            kind,
+            distance,
+        });
         self
     }
 
@@ -325,11 +344,17 @@ impl DdgBuilder {
         for e in &self.edges {
             for endpoint in [e.src, e.dst] {
                 if endpoint.index() >= node_count {
-                    return Err(DdgError::NodeOutOfRange { node: endpoint, node_count });
+                    return Err(DdgError::NodeOutOfRange {
+                        node: endpoint,
+                        node_count,
+                    });
                 }
             }
             if e.kind == DepKind::Data && !self.nodes[e.src.index()].kind.produces_value() {
-                return Err(DdgError::StoreHasDataSuccessor { store: e.src, consumer: e.dst });
+                return Err(DdgError::StoreHasDataSuccessor {
+                    store: e.src,
+                    consumer: e.dst,
+                });
             }
             if e.distance == 0 && e.src == e.dst {
                 return Err(DdgError::ZeroDistanceSelfLoop { node: e.src });
@@ -343,7 +368,12 @@ impl DdgBuilder {
             preds[e.dst.index()].push(i as u32);
         }
 
-        let ddg = Ddg { nodes: self.nodes, edges: self.edges, succs, preds };
+        let ddg = Ddg {
+            nodes: self.nodes,
+            edges: self.edges,
+            succs,
+            preds,
+        };
         check_zero_distance_acyclic(&ddg)?;
         Ok(ddg)
     }
@@ -376,8 +406,12 @@ fn check_zero_distance_acyclic(ddg: &Ddg) -> Result<(), DdgError> {
     if seen == n {
         Ok(())
     } else {
-        let witness = (0..n).find(|&i| indeg[i] > 0).expect("cycle witness exists");
-        Err(DdgError::ZeroDistanceCycle { witness: NodeId(witness as u32) })
+        let witness = (0..n)
+            .find(|&i| indeg[i] > 0)
+            .expect("cycle witness exists");
+        Err(DdgError::ZeroDistanceCycle {
+            witness: NodeId(witness as u32),
+        })
     }
 }
 
@@ -422,7 +456,10 @@ mod tests {
         let mut b = Ddg::builder();
         let a = b.add_node(OpKind::IntAdd);
         b.data(a, NodeId::new(9));
-        assert!(matches!(b.build().unwrap_err(), DdgError::NodeOutOfRange { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            DdgError::NodeOutOfRange { .. }
+        ));
     }
 
     #[test]
@@ -431,7 +468,10 @@ mod tests {
         let st = b.add_node(OpKind::Store);
         let ld = b.add_node(OpKind::Load);
         b.data(st, ld);
-        assert!(matches!(b.build().unwrap_err(), DdgError::StoreHasDataSuccessor { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            DdgError::StoreHasDataSuccessor { .. }
+        ));
     }
 
     #[test]
@@ -448,7 +488,10 @@ mod tests {
         let mut b = Ddg::builder();
         let a = b.add_node(OpKind::IntAdd);
         b.data(a, a);
-        assert!(matches!(b.build().unwrap_err(), DdgError::ZeroDistanceSelfLoop { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            DdgError::ZeroDistanceSelfLoop { .. }
+        ));
     }
 
     #[test]
@@ -466,7 +509,10 @@ mod tests {
         let a = b.add_node(OpKind::IntAdd);
         let c = b.add_node(OpKind::IntAdd);
         b.data(a, c).data(c, a);
-        assert!(matches!(b.build().unwrap_err(), DdgError::ZeroDistanceCycle { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            DdgError::ZeroDistanceCycle { .. }
+        ));
     }
 
     #[test]

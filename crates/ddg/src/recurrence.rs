@@ -32,7 +32,10 @@ pub fn rec_mii(ddg: &Ddg, lat: impl Fn(&Edge) -> u32) -> u32 {
         return 1;
     }
     let (mut lo, mut hi) = (1u32, ub); // lo infeasible, hi feasible
-    debug_assert!(is_feasible_ii(ddg, hi, &lat), "upper bound must be feasible");
+    debug_assert!(
+        is_feasible_ii(ddg, hi, &lat),
+        "upper bound must be feasible"
+    );
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
         if is_feasible_ii(ddg, mid, &lat) {

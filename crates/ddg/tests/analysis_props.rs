@@ -14,8 +14,7 @@ fn arb_ddg() -> impl Strategy<Value = Ddg> {
     nodes
         .prop_flat_map(|kinds| {
             let n = kinds.len();
-            let edges =
-                prop::collection::vec((0..n, 0..n, 0u32..3, prop::bool::ANY), 0..(3 * n));
+            let edges = prop::collection::vec((0..n, 0..n, 0u32..3, prop::bool::ANY), 0..(3 * n));
             (Just(kinds), edges)
         })
         .prop_map(|(kinds, edges)| {

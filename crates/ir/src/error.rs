@@ -131,14 +131,21 @@ mod tests {
     fn display_includes_position_and_message() {
         let e = ParseError::new(
             Pos { line: 3, col: 7 },
-            ParseErrorKind::UnknownMnemonic { mnemonic: "vfma".into() },
+            ParseErrorKind::UnknownMnemonic {
+                mnemonic: "vfma".into(),
+            },
         );
         assert_eq!(e.to_string(), "3:7: unknown operation mnemonic `vfma`");
     }
 
     #[test]
     fn graph_errors_expose_a_source() {
-        let e = ParseError::new(Pos::default(), ParseErrorKind::Graph { source: DdgError::Empty });
+        let e = ParseError::new(
+            Pos::default(),
+            ParseErrorKind::Graph {
+                source: DdgError::Empty,
+            },
+        );
         assert!(Error::source(&e).is_some());
         let e = ParseError::new(Pos::default(), ParseErrorKind::EmptyModule);
         assert!(Error::source(&e).is_none());

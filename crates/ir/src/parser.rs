@@ -106,15 +106,22 @@ pub fn parse_module(source: &str) -> Result<LoopModule, ParseError> {
             break;
         }
         let l = p.parse_loop()?;
-        if loops.iter().any(|existing: &NamedLoop| existing.name == l.name) {
-            return Err(ParseError::new(p.prev_pos(), ParseErrorKind::DuplicateLoopName {
-                name: l.name,
-            }));
+        if loops
+            .iter()
+            .any(|existing: &NamedLoop| existing.name == l.name)
+        {
+            return Err(ParseError::new(
+                p.prev_pos(),
+                ParseErrorKind::DuplicateLoopName { name: l.name },
+            ));
         }
         loops.push(l);
     }
     if loops.is_empty() {
-        return Err(ParseError::new(Pos { line: 1, col: 1 }, ParseErrorKind::EmptyModule));
+        return Err(ParseError::new(
+            Pos { line: 1, col: 1 },
+            ParseErrorKind::EmptyModule,
+        ));
     }
     Ok(LoopModule { loops })
 }
@@ -128,10 +135,13 @@ pub fn parse_module(source: &str) -> Result<LoopModule, ParseError> {
 pub fn parse_loop(source: &str) -> Result<NamedLoop, ParseError> {
     let module = parse_module(source)?;
     if module.len() > 1 {
-        return Err(ParseError::new(Pos { line: 1, col: 1 }, ParseErrorKind::UnexpectedToken {
-            expected: "exactly one loop",
-            found: format!("{} loops", module.len()),
-        }));
+        return Err(ParseError::new(
+            Pos { line: 1, col: 1 },
+            ParseErrorKind::UnexpectedToken {
+                expected: "exactly one loop",
+                found: format!("{} loops", module.len()),
+            },
+        ));
     }
     let mut loops = module.loops;
     Ok(loops.remove(0))
@@ -192,20 +202,26 @@ impl Parser {
     }
 
     fn error(&self, expected: &'static str) -> ParseError {
-        ParseError::new(self.pos(), ParseErrorKind::UnexpectedToken {
-            expected,
-            found: self.peek().describe(),
-        })
+        ParseError::new(
+            self.pos(),
+            ParseErrorKind::UnexpectedToken {
+                expected,
+                found: self.peek().describe(),
+            },
+        )
     }
 
     fn expect_ident(&mut self, expected: &'static str) -> Result<(String, Pos), ParseError> {
         let pos = self.pos();
         match self.bump() {
             Token::Ident(s) => Ok((s, pos)),
-            other => Err(ParseError::new(pos, ParseErrorKind::UnexpectedToken {
-                expected,
-                found: other.describe(),
-            })),
+            other => Err(ParseError::new(
+                pos,
+                ParseErrorKind::UnexpectedToken {
+                    expected,
+                    found: other.describe(),
+                },
+            )),
         }
     }
 
@@ -228,26 +244,36 @@ impl Parser {
         match self.bump() {
             // The lexer guarantees the number fits in u32.
             Token::Number(n) => Ok(n as u32),
-            other => Err(ParseError::new(pos, ParseErrorKind::UnexpectedToken {
-                expected: "an iteration distance",
-                found: other.describe(),
-            })),
+            other => Err(ParseError::new(
+                pos,
+                ParseErrorKind::UnexpectedToken {
+                    expected: "an iteration distance",
+                    found: other.describe(),
+                },
+            )),
         }
     }
 
     fn parse_operand(&mut self) -> Result<OperandRef, ParseError> {
         let (label, pos) = self.expect_ident("an operand label")?;
         let distance = self.parse_distance()?;
-        Ok(OperandRef { label, distance, pos })
+        Ok(OperandRef {
+            label,
+            distance,
+            pos,
+        })
     }
 
     fn parse_loop(&mut self) -> Result<NamedLoop, ParseError> {
         let (kw, pos) = self.expect_ident("the `loop` keyword")?;
         if kw != "loop" {
-            return Err(ParseError::new(pos, ParseErrorKind::UnexpectedToken {
-                expected: "the `loop` keyword",
-                found: format!("`{kw}`"),
-            }));
+            return Err(ParseError::new(
+                pos,
+                ParseErrorKind::UnexpectedToken {
+                    expected: "the `loop` keyword",
+                    found: format!("`{kw}`"),
+                },
+            ));
         }
         let (name, _) = self.expect_ident("a loop name")?;
         self.skip_newlines();
@@ -270,8 +296,16 @@ impl Parser {
                     let (dst_label, dst_pos) = self.expect_ident("a destination label")?;
                     let distance = self.parse_distance()?;
                     mems.push(MemStmt {
-                        src: OperandRef { label: src_label, distance: 0, pos: src_pos },
-                        dst: OperandRef { label: dst_label, distance: 0, pos: dst_pos },
+                        src: OperandRef {
+                            label: src_label,
+                            distance: 0,
+                            pos: src_pos,
+                        },
+                        dst: OperandRef {
+                            label: dst_label,
+                            distance: 0,
+                            pos: dst_pos,
+                        },
                         distance,
                     });
                 }
@@ -296,9 +330,10 @@ impl Parser {
         self.expect(&Token::Colon, "`:`")?;
         let (mnemonic, mpos) = self.expect_ident("an operation mnemonic")?;
         let Some(kind) = OpKind::from_mnemonic(&mnemonic) else {
-            return Err(ParseError::new(mpos, ParseErrorKind::UnknownMnemonic {
-                mnemonic,
-            }));
+            return Err(ParseError::new(
+                mpos,
+                ParseErrorKind::UnknownMnemonic { mnemonic },
+            ));
         };
         let mut operands = Vec::new();
         if matches!(self.peek(), Token::Ident(_)) {
@@ -308,7 +343,12 @@ impl Parser {
                 operands.push(self.parse_operand()?);
             }
         }
-        Ok(NodeStmt { label, kind, operands, pos })
+        Ok(NodeStmt {
+            label,
+            kind,
+            operands,
+            pos,
+        })
     }
 }
 
@@ -322,20 +362,29 @@ fn build_loop(
     let mut by_label: HashMap<&str, NodeId> = HashMap::with_capacity(nodes.len());
     for stmt in &nodes {
         if by_label.contains_key(stmt.label.as_str()) {
-            return Err(ParseError::new(stmt.pos, ParseErrorKind::DuplicateLabel {
-                label: stmt.label.clone(),
-            }));
+            return Err(ParseError::new(
+                stmt.pos,
+                ParseErrorKind::DuplicateLabel {
+                    label: stmt.label.clone(),
+                },
+            ));
         }
         let id = builder.add_labeled(stmt.kind, stmt.label.clone());
         by_label.insert(stmt.label.as_str(), id);
     }
 
     let resolve = |operand: &OperandRef| -> Result<NodeId, ParseError> {
-        by_label.get(operand.label.as_str()).copied().ok_or_else(|| {
-            ParseError::new(operand.pos, ParseErrorKind::UndefinedLabel {
-                label: operand.label.clone(),
+        by_label
+            .get(operand.label.as_str())
+            .copied()
+            .ok_or_else(|| {
+                ParseError::new(
+                    operand.pos,
+                    ParseErrorKind::UndefinedLabel {
+                        label: operand.label.clone(),
+                    },
+                )
             })
-        })
     };
 
     let mut first_pos = Pos { line: 1, col: 1 };
@@ -399,10 +448,7 @@ mod tests {
 
     #[test]
     fn mem_edges_parse_with_and_without_distance() {
-        let l = parse_loop(
-            "loop f { v: load\n s: store v\n mem s -> v @1\n mem v -> s }",
-        )
-        .unwrap();
+        let l = parse_loop("loop f { v: load\n s: store v\n mem s -> v @1\n mem v -> s }").unwrap();
         let s = l.ddg.find_by_label("s").unwrap();
         let v = l.ddg.find_by_label("v").unwrap();
         // `mem s -> v @1`: distance binds to the edge, not the endpoint.
@@ -452,13 +498,17 @@ mod tests {
     #[test]
     fn undefined_operand_is_rejected() {
         let err = parse_loop("loop f { x: fadd ghost }").unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::UndefinedLabel { ref label } if label == "ghost"));
+        assert!(
+            matches!(err.kind, ParseErrorKind::UndefinedLabel { ref label } if label == "ghost")
+        );
     }
 
     #[test]
     fn unknown_mnemonic_is_rejected() {
         let err = parse_loop("loop f { x: vfma a }").unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::UnknownMnemonic { ref mnemonic } if mnemonic == "vfma"));
+        assert!(
+            matches!(err.kind, ParseErrorKind::UnknownMnemonic { ref mnemonic } if mnemonic == "vfma")
+        );
     }
 
     #[test]
@@ -486,7 +536,10 @@ mod tests {
         let err = parse_loop("loop f { x load }").unwrap_err();
         assert!(matches!(
             err.kind,
-            ParseErrorKind::UnexpectedToken { expected: "`:`", .. }
+            ParseErrorKind::UnexpectedToken {
+                expected: "`:`",
+                ..
+            }
         ));
     }
 

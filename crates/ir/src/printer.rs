@@ -38,7 +38,13 @@ pub fn print_loop(name: &str, ddg: &Ddg) -> String {
     let _ = writeln!(out, "loop {} {{", sanitize_name(name));
     for n in ddg.node_ids() {
         let label = &labels[n.index()];
-        let _ = write!(out, "    {label}:{:pad$} {}", "", ddg.kind(n), pad = width - label.len());
+        let _ = write!(
+            out,
+            "    {label}:{:pad$} {}",
+            "",
+            ddg.kind(n),
+            pad = width - label.len()
+        );
         let mut first = true;
         for e in ddg.in_edges(n).filter(|e| e.kind == DepKind::Data) {
             let sep = if first { " " } else { ", " };
@@ -48,7 +54,12 @@ pub fn print_loop(name: &str, ddg: &Ddg) -> String {
         out.push('\n');
     }
     for e in ddg.edges().filter(|e| e.kind == DepKind::Mem) {
-        let _ = write!(out, "    mem {} -> {}", labels[e.src.index()], labels[e.dst.index()]);
+        let _ = write!(
+            out,
+            "    mem {} -> {}",
+            labels[e.src.index()],
+            labels[e.dst.index()]
+        );
         if e.distance > 0 {
             let _ = write!(out, " @{}", e.distance);
         }
@@ -99,10 +110,11 @@ fn is_usable_label(s: &str) -> bool {
         return false;
     }
     let mut chars = s.chars();
-    let Some(first) = chars.next() else { return false };
+    let Some(first) = chars.next() else {
+        return false;
+    };
     let start_ok = first.is_ascii_alphabetic() || first == '_' || first == '.' || first == '$';
-    start_ok
-        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+    start_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
 }
 
 /// Makes an arbitrary string usable as a loop name.
@@ -112,7 +124,13 @@ fn sanitize_name(name: &str) -> String {
     }
     let mut cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         cleaned = format!("l_{cleaned}");
@@ -133,14 +151,22 @@ pub fn same_structure(a: &Ddg, b: &Ddg) -> bool {
     if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
         return false;
     }
-    if a.node_ids().zip(b.node_ids()).any(|(x, y)| a.kind(x) != b.kind(y)) {
+    if a.node_ids()
+        .zip(b.node_ids())
+        .any(|(x, y)| a.kind(x) != b.kind(y))
+    {
         return false;
     }
     let key = |ddg: &Ddg| {
         let mut edges: Vec<(u32, u32, bool, u32)> = ddg
             .edges()
             .map(|e| {
-                (e.src.index() as u32, e.dst.index() as u32, e.kind == DepKind::Data, e.distance)
+                (
+                    e.src.index() as u32,
+                    e.dst.index() as u32,
+                    e.kind == DepKind::Data,
+                    e.distance,
+                )
             })
             .collect();
         edges.sort_unstable();
@@ -173,7 +199,10 @@ mod tests {
         let text = print_loop("kernel", &ddg);
         let back = parse_loop(&text).unwrap();
         assert_eq!(back.name, "kernel");
-        assert!(same_structure(&ddg, &back.ddg), "round-trip changed the graph:\n{text}");
+        assert!(
+            same_structure(&ddg, &back.ddg),
+            "round-trip changed the graph:\n{text}"
+        );
     }
 
     #[test]
@@ -181,7 +210,10 @@ mod tests {
         let text = print_loop("kernel", &labeled_loop());
         assert!(text.contains("i@1"), "{text}");
         assert!(text.contains("mem s -> x @2"), "{text}");
-        assert!(text.contains("x, x"), "duplicate operands must survive: {text}");
+        assert!(
+            text.contains("x, x"),
+            "duplicate operands must survive: {text}"
+        );
     }
 
     #[test]
@@ -220,7 +252,10 @@ mod tests {
         b.data(n1, anon);
         let ddg = b.build().unwrap();
         let text = print_loop("clash", &ddg);
-        assert!(same_structure(&ddg, &parse_loop(&text).unwrap().ddg), "{text}");
+        assert!(
+            same_structure(&ddg, &parse_loop(&text).unwrap().ddg),
+            "{text}"
+        );
     }
 
     #[test]

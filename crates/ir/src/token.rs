@@ -83,7 +83,13 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
     let push = |token: Token, pos: Pos, out: &mut Vec<Spanned>| {
         // Collapse consecutive newlines.
         if token == Token::Newline
-            && matches!(out.last(), None | Some(Spanned { token: Token::Newline, .. }))
+            && matches!(
+                out.last(),
+                None | Some(Spanned {
+                    token: Token::Newline,
+                    ..
+                })
+            )
         {
             return;
         }
@@ -124,9 +130,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                         col += 1;
                     }
                 } else {
-                    return Err(ParseError::new(pos, ParseErrorKind::UnexpectedChar {
-                        found: '/',
-                    }));
+                    return Err(ParseError::new(
+                        pos,
+                        ParseErrorKind::UnexpectedChar { found: '/' },
+                    ));
                 }
             }
             ':' => {
@@ -162,9 +169,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                     col += 1;
                     push(Token::Arrow, pos, &mut out);
                 } else {
-                    return Err(ParseError::new(pos, ParseErrorKind::UnexpectedChar {
-                        found: '-',
-                    }));
+                    return Err(ParseError::new(
+                        pos,
+                        ParseErrorKind::UnexpectedChar { found: '-' },
+                    ));
                 }
             }
             c if c.is_ascii_digit() => {
@@ -193,13 +201,17 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                 push(Token::Ident(ident), pos, &mut out);
             }
             other => {
-                return Err(ParseError::new(pos, ParseErrorKind::UnexpectedChar {
-                    found: other,
-                }));
+                return Err(ParseError::new(
+                    pos,
+                    ParseErrorKind::UnexpectedChar { found: other },
+                ));
             }
         }
     }
-    out.push(Spanned { token: Token::Eof, pos: Pos { line, col } });
+    out.push(Spanned {
+        token: Token::Eof,
+        pos: Pos { line, col },
+    });
     Ok(out)
 }
 
@@ -221,55 +233,67 @@ mod tests {
 
     #[test]
     fn lexes_a_node_statement() {
-        assert_eq!(kinds("acc: fadd m, acc@1"), vec![
-            Token::Ident("acc".into()),
-            Token::Colon,
-            Token::Ident("fadd".into()),
-            Token::Ident("m".into()),
-            Token::Comma,
-            Token::Ident("acc".into()),
-            Token::At,
-            Token::Number(1),
-            Token::Eof,
-        ]);
+        assert_eq!(
+            kinds("acc: fadd m, acc@1"),
+            vec![
+                Token::Ident("acc".into()),
+                Token::Colon,
+                Token::Ident("fadd".into()),
+                Token::Ident("m".into()),
+                Token::Comma,
+                Token::Ident("acc".into()),
+                Token::At,
+                Token::Number(1),
+                Token::Eof,
+            ]
+        );
     }
 
     #[test]
     fn lexes_arrow_and_braces() {
-        assert_eq!(kinds("loop l { mem a -> b @2 }"), vec![
-            Token::Ident("loop".into()),
-            Token::Ident("l".into()),
-            Token::LBrace,
-            Token::Ident("mem".into()),
-            Token::Ident("a".into()),
-            Token::Arrow,
-            Token::Ident("b".into()),
-            Token::At,
-            Token::Number(2),
-            Token::RBrace,
-            Token::Eof,
-        ]);
+        assert_eq!(
+            kinds("loop l { mem a -> b @2 }"),
+            vec![
+                Token::Ident("loop".into()),
+                Token::Ident("l".into()),
+                Token::LBrace,
+                Token::Ident("mem".into()),
+                Token::Ident("a".into()),
+                Token::Arrow,
+                Token::Ident("b".into()),
+                Token::At,
+                Token::Number(2),
+                Token::RBrace,
+                Token::Eof,
+            ]
+        );
     }
 
     #[test]
     fn newlines_collapse_and_leading_newlines_vanish() {
-        assert_eq!(kinds("\n\n a \n\n\n b \n"), vec![
-            Token::Ident("a".into()),
-            Token::Newline,
-            Token::Ident("b".into()),
-            Token::Newline,
-            Token::Eof,
-        ]);
+        assert_eq!(
+            kinds("\n\n a \n\n\n b \n"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Newline,
+                Token::Ident("b".into()),
+                Token::Newline,
+                Token::Eof,
+            ]
+        );
     }
 
     #[test]
     fn comments_run_to_end_of_line() {
-        assert_eq!(kinds("a // hi : , @\nb # also { }"), vec![
-            Token::Ident("a".into()),
-            Token::Newline,
-            Token::Ident("b".into()),
-            Token::Eof,
-        ]);
+        assert_eq!(
+            kinds("a // hi : , @\nb # also { }"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Newline,
+                Token::Ident("b".into()),
+                Token::Eof,
+            ]
+        );
     }
 
     #[test]
@@ -283,7 +307,10 @@ mod tests {
     #[test]
     fn bare_minus_is_rejected() {
         let err = lex("a - b").unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::UnexpectedChar { found: '-' }));
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::UnexpectedChar { found: '-' }
+        ));
         assert_eq!(err.pos, Pos { line: 1, col: 3 });
     }
 
@@ -295,7 +322,10 @@ mod tests {
     #[test]
     fn unknown_character_is_rejected_with_position() {
         let err = lex("x: load [a]").unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::UnexpectedChar { found: '[' }));
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::UnexpectedChar { found: '[' }
+        ));
     }
 
     #[test]
@@ -304,16 +334,22 @@ mod tests {
             lex("4294967296").unwrap_err().kind,
             ParseErrorKind::DistanceOverflow
         ));
-        assert_eq!(kinds("4294967295"), vec![Token::Number(4_294_967_295), Token::Eof]);
+        assert_eq!(
+            kinds("4294967295"),
+            vec![Token::Number(4_294_967_295), Token::Eof]
+        );
     }
 
     #[test]
     fn identifiers_allow_dots_underscores_digits() {
-        assert_eq!(kinds("_x.1 $t0"), vec![
-            Token::Ident("_x.1".into()),
-            Token::Ident("$t0".into()),
-            Token::Eof,
-        ]);
+        assert_eq!(
+            kinds("_x.1 $t0"),
+            vec![
+                Token::Ident("_x.1".into()),
+                Token::Ident("$t0".into()),
+                Token::Eof,
+            ]
+        );
     }
 
     #[test]

@@ -30,10 +30,7 @@ fn arb_ddg() -> impl Strategy<Value = Ddg> {
     nodes
         .prop_flat_map(|nodes| {
             let n = nodes.len();
-            let edges = prop::collection::vec(
-                (0..n, 0..n, 0u32..3, prop::bool::ANY),
-                0..(3 * n),
-            );
+            let edges = prop::collection::vec((0..n, 0..n, 0u32..3, prop::bool::ANY), 0..(3 * n));
             (Just(nodes), edges)
         })
         .prop_map(|(nodes, edges)| {

@@ -136,13 +136,17 @@ impl MachineConfig {
             return Err(SpecError::ZeroField { field: "clusters" });
         }
         if cluster_fu.len() > MAX_CLUSTERS {
-            return Err(SpecError::TooManyClusters { clusters: cluster_fu.len() });
+            return Err(SpecError::TooManyClusters {
+                clusters: cluster_fu.len(),
+            });
         }
         if regs_per_cluster == 0 {
             return Err(SpecError::ZeroField { field: "registers" });
         }
         if buses > 0 && bus_latency == 0 {
-            return Err(SpecError::ZeroField { field: "bus latency" });
+            return Err(SpecError::ZeroField {
+                field: "bus latency",
+            });
         }
         Ok(MachineConfig {
             clusters: cluster_fu.len() as u8,
@@ -216,7 +220,9 @@ impl MachineConfig {
     /// # Ok::<(), cvliw_machine::SpecError>(())
     /// ```
     pub fn from_spec(spec: &str) -> Result<Self, SpecError> {
-        let malformed = || SpecError::Malformed { spec: spec.to_string() };
+        let malformed = || SpecError::Malformed {
+            spec: spec.to_string(),
+        };
         let mut rest = spec;
         let mut fields = [0u32; 4];
         for (i, marker) in ['c', 'b', 'l', 'r'].into_iter().enumerate() {
@@ -242,7 +248,11 @@ impl MachineConfig {
             u8::try_from(x).map_err(|_| malformed())?,
             y,
             z,
-            FuCounts { int: per, fp: per, mem: per },
+            FuCounts {
+                int: per,
+                fp: per,
+                mem: per,
+            },
             LatencyTable::PAPER,
         )
     }
@@ -281,15 +291,25 @@ impl MachineConfig {
         let Some(rest) = spec.strip_prefix("het:") else {
             return MachineConfig::from_spec(spec);
         };
-        let malformed = || SpecError::Malformed { spec: spec.to_string() };
+        let malformed = || SpecError::Malformed {
+            spec: spec.to_string(),
+        };
         let (mix, tail) = rest.split_once(':').ok_or_else(malformed)?;
         let mut cluster_fu = Vec::new();
         for triple in mix.split('+') {
             let mut parts = triple.split('.');
             let mut next = || -> Result<u8, SpecError> {
-                parts.next().ok_or_else(malformed)?.parse().map_err(|_| malformed())
+                parts
+                    .next()
+                    .ok_or_else(malformed)?
+                    .parse()
+                    .map_err(|_| malformed())
             };
-            let fu = FuCounts { int: next()?, fp: next()?, mem: next()? };
+            let fu = FuCounts {
+                int: next()?,
+                fp: next()?,
+                mem: next()?,
+            };
             if parts.next().is_some() {
                 return Err(malformed());
             }
@@ -331,7 +351,11 @@ impl MachineConfig {
             0,
             1,
             regs,
-            FuCounts { int: TOTAL_PER_CLASS, fp: TOTAL_PER_CLASS, mem: TOTAL_PER_CLASS },
+            FuCounts {
+                int: TOTAL_PER_CLASS,
+                fp: TOTAL_PER_CLASS,
+                mem: TOTAL_PER_CLASS,
+            },
             LatencyTable::PAPER,
         )
         .expect("unified config is valid for positive regs")
@@ -506,8 +530,14 @@ mod tests {
 
     #[test]
     fn parses_all_paper_specs() {
-        for spec in ["2c1b2l64r", "2c2b4l64r", "4c1b2l64r", "4c2b4l64r", "4c2b2l64r", "4c4b4l64r"]
-        {
+        for spec in [
+            "2c1b2l64r",
+            "2c2b4l64r",
+            "4c1b2l64r",
+            "4c2b4l64r",
+            "4c2b2l64r",
+            "4c4b4l64r",
+        ] {
             let m = MachineConfig::from_spec(spec).unwrap();
             assert_eq!(m.spec(), spec);
             assert_eq!(m.issue_width(), 12);
@@ -517,22 +547,47 @@ mod tests {
     #[test]
     fn two_cluster_split_matches_table_1() {
         let m = MachineConfig::from_spec("2c1b2l64r").unwrap();
-        assert_eq!(m.fu_counts(), FuCounts { int: 2, fp: 2, mem: 2 });
+        assert_eq!(
+            m.fu_counts(),
+            FuCounts {
+                int: 2,
+                fp: 2,
+                mem: 2
+            }
+        );
         assert_eq!(m.total_fu(OpClass::Int), 4);
     }
 
     #[test]
     fn four_cluster_split_matches_table_1() {
         let m = MachineConfig::from_spec("4c1b2l64r").unwrap();
-        assert_eq!(m.fu_counts(), FuCounts { int: 1, fp: 1, mem: 1 });
+        assert_eq!(
+            m.fu_counts(),
+            FuCounts {
+                int: 1,
+                fp: 1,
+                mem: 1
+            }
+        );
         assert_eq!(m.total_fu(OpClass::Mem), 4);
     }
 
     #[test]
     fn rejects_malformed_specs() {
-        for bad in ["", "4c", "c1b2l64r", "4c2b4l64", "4x2b4l64r", "4c2b4l64r1", "ac2b4l64r"] {
+        for bad in [
+            "",
+            "4c",
+            "c1b2l64r",
+            "4c2b4l64",
+            "4x2b4l64r",
+            "4c2b4l64r1",
+            "ac2b4l64r",
+        ] {
             assert!(
-                matches!(MachineConfig::from_spec(bad), Err(SpecError::Malformed { .. })),
+                matches!(
+                    MachineConfig::from_spec(bad),
+                    Err(SpecError::Malformed { .. })
+                ),
                 "{bad} should be malformed"
             );
         }
@@ -554,7 +609,9 @@ mod tests {
         ));
         assert!(matches!(
             MachineConfig::from_spec("4c1b0l64r"),
-            Err(SpecError::ZeroField { field: "bus latency" })
+            Err(SpecError::ZeroField {
+                field: "bus latency"
+            })
         ));
         assert!(matches!(
             MachineConfig::from_spec("4c1b2l0r"),
@@ -618,7 +675,18 @@ mod tests {
 
     fn fp_and_int_clusters() -> MachineConfig {
         MachineConfig::heterogeneous(
-            vec![FuCounts { int: 0, fp: 3, mem: 1 }, FuCounts { int: 3, fp: 0, mem: 2 }],
+            vec![
+                FuCounts {
+                    int: 0,
+                    fp: 3,
+                    mem: 1,
+                },
+                FuCounts {
+                    int: 3,
+                    fp: 0,
+                    mem: 2,
+                },
+            ],
             1,
             2,
             64,
@@ -667,7 +735,11 @@ mod tests {
         assert!(!m.pipelined_buses() && p.pipelined_buses());
         assert_eq!(m.bus_occupancy(), 2);
         assert_eq!(p.bus_occupancy(), 1);
-        assert_eq!(p.bus_latency(), m.bus_latency(), "delivery latency unchanged");
+        assert_eq!(
+            p.bus_latency(),
+            m.bus_latency(),
+            "delivery latency unchanged"
+        );
         // Capacity: floor(II/occ)·buses.
         assert_eq!(m.bus_coms_per_ii(5), 2);
         assert_eq!(p.bus_coms_per_ii(5), 5);
@@ -682,9 +754,26 @@ mod tests {
     fn extended_spec_parses_het_machines() {
         let m = MachineConfig::from_extended_spec("het:0.3.1+3.0.2:1b2l64r").unwrap();
         assert!(m.is_heterogeneous());
-        assert_eq!(m.fu_counts_in(0), FuCounts { int: 0, fp: 3, mem: 1 });
-        assert_eq!(m.fu_counts_in(1), FuCounts { int: 3, fp: 0, mem: 2 });
-        assert_eq!((m.buses(), m.bus_latency(), m.regs_per_cluster()), (1, 2, 64));
+        assert_eq!(
+            m.fu_counts_in(0),
+            FuCounts {
+                int: 0,
+                fp: 3,
+                mem: 1
+            }
+        );
+        assert_eq!(
+            m.fu_counts_in(1),
+            FuCounts {
+                int: 3,
+                fp: 0,
+                mem: 2
+            }
+        );
+        assert_eq!(
+            (m.buses(), m.bus_latency(), m.regs_per_cluster()),
+            (1, 2, 64)
+        );
     }
 
     #[test]
@@ -703,12 +792,12 @@ mod tests {
     fn extended_spec_rejects_garbage() {
         for bad in [
             "het:",
-            "het:1.1.1",          // missing tail
-            "het:1.1:1b2l64r",    // two-part triple
-            "het:1.1.1.1:1b2l64r",// four-part triple
-            "het:a.b.c:1b2l64r",  // non-numeric
-            "het:1.1.1:1b2l64",   // malformed tail
-            "het:1.1.1:1b2l64rX", // trailing junk
+            "het:1.1.1",           // missing tail
+            "het:1.1:1b2l64r",     // two-part triple
+            "het:1.1.1.1:1b2l64r", // four-part triple
+            "het:a.b.c:1b2l64r",   // non-numeric
+            "het:1.1.1:1b2l64",    // malformed tail
+            "het:1.1.1:1b2l64rX",  // trailing junk
         ] {
             assert!(
                 matches!(
@@ -726,7 +815,14 @@ mod tests {
             MachineConfig::heterogeneous(vec![], 1, 2, 64, LatencyTable::PAPER).unwrap_err(),
             SpecError::ZeroField { field: "clusters" }
         );
-        let too_many = vec![FuCounts { int: 1, fp: 1, mem: 1 }; 33];
+        let too_many = vec![
+            FuCounts {
+                int: 1,
+                fp: 1,
+                mem: 1
+            };
+            33
+        ];
         assert_eq!(
             MachineConfig::heterogeneous(too_many, 1, 2, 64, LatencyTable::PAPER).unwrap_err(),
             SpecError::TooManyClusters { clusters: 33 }

@@ -35,7 +35,10 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::Malformed { spec } => {
-                write!(f, "machine spec `{spec}` is not of the form <w>c<x>b<y>l<z>r")
+                write!(
+                    f,
+                    "machine spec `{spec}` is not of the form <w>c<x>b<y>l<z>r"
+                )
             }
             SpecError::ZeroField { field } => write!(f, "machine {field} must be positive"),
             SpecError::UnevenSplit { clusters } => write!(
@@ -57,8 +60,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SpecError::Malformed { spec: "zzz".into() }.to_string().contains("zzz"));
-        assert!(SpecError::ZeroField { field: "clusters" }.to_string().contains("clusters"));
-        assert!(SpecError::UnevenSplit { clusters: 3 }.to_string().contains('3'));
+        assert!(SpecError::Malformed { spec: "zzz".into() }
+            .to_string()
+            .contains("zzz"));
+        assert!(SpecError::ZeroField { field: "clusters" }
+            .to_string()
+            .contains("clusters"));
+        assert!(SpecError::UnevenSplit { clusters: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

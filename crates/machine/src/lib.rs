@@ -33,4 +33,4 @@ mod presets;
 pub use config::{FuCounts, MachineConfig};
 pub use error::SpecError;
 pub use latency::LatencyTable;
-pub use presets::{fig1_specs, fig8_specs, fig10_specs, paper_specs, register_sweep_specs};
+pub use presets::{fig10_specs, fig1_specs, fig8_specs, paper_specs, register_sweep_specs};

@@ -3,7 +3,14 @@
 /// The six clustered configurations of Figure 7 (and Figures 10/12).
 #[must_use]
 pub fn paper_specs() -> [&'static str; 6] {
-    ["2c1b2l64r", "2c2b4l64r", "4c1b2l64r", "4c2b4l64r", "4c2b2l64r", "4c4b4l64r"]
+    [
+        "2c1b2l64r",
+        "2c2b4l64r",
+        "4c1b2l64r",
+        "4c2b4l64r",
+        "4c2b2l64r",
+        "4c4b4l64r",
+    ]
 }
 
 /// The three configurations of Figure 1 (causes for increasing the II).
@@ -23,7 +30,14 @@ pub fn fig8_specs() -> [&'static str; 3] {
 /// (2-cycle-bus group then 4-cycle-bus group).
 #[must_use]
 pub fn fig10_specs() -> [&'static str; 6] {
-    ["2c1b2l64r", "4c1b2l64r", "4c2b2l64r", "2c2b4l64r", "4c2b4l64r", "4c4b4l64r"]
+    [
+        "2c1b2l64r",
+        "4c1b2l64r",
+        "4c2b2l64r",
+        "2c2b4l64r",
+        "4c2b4l64r",
+        "4c4b4l64r",
+    ]
 }
 
 /// Register-file sweep mentioned in §4: 32, 64 and 128 registers per

@@ -45,7 +45,9 @@ impl Hierarchy {
     /// The coarsest level.
     #[must_use]
     pub fn coarsest(&self) -> &CoarseLevel {
-        self.levels.last().expect("hierarchy has at least the identity level")
+        self.levels
+            .last()
+            .expect("hierarchy has at least the identity level")
     }
 
     /// The preliminary partition induced by the coarsest level: macro `i`
@@ -55,7 +57,11 @@ impl Hierarchy {
         let coarsest = self.coarsest();
         debug_assert!(coarsest.n_macros <= self.clusters as usize);
         Partition::from_vec(
-            coarsest.macro_of.iter().map(|&m| u8::try_from(m).expect("few clusters")).collect(),
+            coarsest
+                .macro_of
+                .iter()
+                .map(|&m| u8::try_from(m).expect("few clusters"))
+                .collect(),
         )
     }
 }
@@ -84,7 +90,10 @@ pub fn coarsen(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Hierarchy {
 
     let mut macro_of: Vec<usize> = (0..n).collect();
     let mut n_macros = n;
-    let mut levels = vec![CoarseLevel { macro_of: macro_of.clone(), n_macros }];
+    let mut levels = vec![CoarseLevel {
+        macro_of: macro_of.clone(),
+        n_macros,
+    }];
 
     // Macro-nodes must fit in *some* cluster; the largest one bounds them
     // (exact per-cluster fit is enforced later by refinement/scheduling).
@@ -103,9 +112,9 @@ pub fn coarsen(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Hierarchy {
             }
         }
         let fits = |a: usize, b: usize| {
-            OpClass::ALL.iter().all(|&class| {
-                counts[a][class.index()] + counts[b][class.index()] <= cap(class)
-            })
+            OpClass::ALL
+                .iter()
+                .all(|&class| counts[a][class.index()] + counts[b][class.index()] <= cap(class))
         };
         let candidates: Vec<(usize, usize, u64)> = agg
             .iter()
@@ -146,10 +155,16 @@ pub fn coarsen(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Hierarchy {
             *slot = remap[target[*slot]];
         }
         n_macros = next;
-        levels.push(CoarseLevel { macro_of: macro_of.clone(), n_macros });
+        levels.push(CoarseLevel {
+            macro_of: macro_of.clone(),
+            n_macros,
+        });
     }
 
-    Hierarchy { levels, clusters: machine.clusters() }
+    Hierarchy {
+        levels,
+        clusters: machine.clusters(),
+    }
 }
 
 #[cfg(test)]

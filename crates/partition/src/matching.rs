@@ -9,8 +9,10 @@
 /// indices so results are deterministic. Returns matched pairs.
 #[must_use]
 pub fn greedy_matching(n: usize, edges: &[(usize, usize, u64)]) -> Vec<(usize, usize)> {
-    let mut sorted: Vec<&(usize, usize, u64)> =
-        edges.iter().filter(|(a, b, _)| a != b && *a < n && *b < n).collect();
+    let mut sorted: Vec<&(usize, usize, u64)> = edges
+        .iter()
+        .filter(|(a, b, _)| a != b && *a < n && *b < n)
+        .collect();
     sorted.sort_by(|x, y| (y.2, x.0, x.1).cmp(&(x.2, y.0, y.1)));
     let mut matched = vec![false; n];
     let mut pairs = Vec::new();
@@ -46,7 +48,10 @@ mod tests {
             seen[*a] += 1;
             seen[*b] += 1;
         }
-        assert!(seen.iter().all(|&s| s <= 1), "each vertex matched at most once");
+        assert!(
+            seen.iter().all(|&s| s <= 1),
+            "each vertex matched at most once"
+        );
         assert_eq!(pairs.len(), 2);
     }
 

@@ -22,7 +22,9 @@ impl Partition {
     /// Everything in cluster 0 (used for unified machines).
     #[must_use]
     pub fn single_cluster(nodes: usize) -> Self {
-        Partition { cluster_of: vec![0; nodes] }
+        Partition {
+            cluster_of: vec![0; nodes],
+        }
     }
 
     /// The cluster of one node.

@@ -61,7 +61,11 @@ pub fn score_partition(
             u8::from(!ps.recurrences_ok),
             ps.reg_overflow,
             ps.ncoms,
-            if ps.recurrences_ok { ps.est_length } else { i64::MAX },
+            if ps.recurrences_ok {
+                ps.est_length
+            } else {
+                i64::MAX
+            },
             imbalance,
         ),
     }
@@ -91,12 +95,7 @@ pub fn refine(
 /// The "Refine Partition" box of the paper's Figure 2: refinement at node
 /// granularity only, used by the driver whenever it increases the II.
 #[must_use]
-pub fn refine_existing(
-    ddg: &Ddg,
-    machine: &MachineConfig,
-    ii: u32,
-    part: Partition,
-) -> Partition {
+pub fn refine_existing(ddg: &Ddg, machine: &MachineConfig, ii: u32, part: Partition) -> Partition {
     if machine.clusters() == 1 {
         return part;
     }
@@ -149,9 +148,7 @@ fn refine_level(
                     part.set_cluster(NodeId::new(i as u32), target);
                 }
                 let score = score_partition(ddg, &part, machine, ii);
-                if score < best_score
-                    && best_move.as_ref().is_none_or(|(_, s)| score < *s)
-                {
+                if score < best_score && best_move.as_ref().is_none_or(|(_, s)| score < *s) {
                     best_move = Some((target, score.clone()));
                 }
                 for &i in group {
@@ -216,7 +213,12 @@ mod tests {
         let bad = Partition::from_vec(vec![0, 1, 0, 1, 0, 1]);
         assert!(bad.comm_count(&ddg) > 0);
         let fixed = refine_existing(&ddg, &m, 2, bad);
-        assert_eq!(fixed.comm_count(&ddg), 0, "chains reunited: {:?}", fixed.as_slice());
+        assert_eq!(
+            fixed.comm_count(&ddg),
+            0,
+            "chains reunited: {:?}",
+            fixed.as_slice()
+        );
     }
 
     #[test]

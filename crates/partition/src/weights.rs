@@ -26,8 +26,8 @@ const BASE_WEIGHT: u64 = 1;
 pub fn edge_weights(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Vec<u64> {
     let lat = machine.edge_latency(ddg);
     let feasible_ii = ii.max(rec_mii(ddg, &lat));
-    let bounds = time_bounds(ddg, feasible_ii, &lat)
-        .expect("II at or above RecMII always has time bounds");
+    let bounds =
+        time_bounds(ddg, feasible_ii, &lat).expect("II at or above RecMII always has time bounds");
 
     let comps = sccs(ddg);
     let of = scc_of_node(ddg);
@@ -47,9 +47,7 @@ pub fn edge_weights(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Vec<u64> {
             if same_scc && nontrivial[of[e.src.index()]] {
                 w += RECURRENCE_PENALTY * bus;
             }
-            let slack = bounds.alap[e.dst.index()]
-                - bounds.asap[e.src.index()]
-                - i64::from(lat(e))
+            let slack = bounds.alap[e.dst.index()] - bounds.asap[e.src.index()] - i64::from(lat(e))
                 + i64::from(feasible_ii) * i64::from(e.distance);
             let shortfall = (i64::try_from(bus).expect("small") - slack).max(0) as u64;
             w + SLACK_PENALTY * shortfall
@@ -86,7 +84,12 @@ mod tests {
         b.data(y, z); // acyclic exit edge — wait, y is in the SCC, z outside
         let ddg = b.build().unwrap();
         let w = edge_weights(&ddg, &machine(), 6);
-        assert!(w[0] > w[2], "cycle edge {} should outweigh exit edge {}", w[0], w[2]);
+        assert!(
+            w[0] > w[2],
+            "cycle edge {} should outweigh exit edge {}",
+            w[0],
+            w[2]
+        );
         assert!(w[1] > w[2]);
     }
 

@@ -206,7 +206,9 @@ impl Assignment {
     /// `nof_coms` is the length of this list).
     #[must_use]
     pub fn communicated(&self, ddg: &Ddg) -> Vec<NodeId> {
-        ddg.node_ids().filter(|&n| self.needs_comm(ddg, n)).collect()
+        ddg.node_ids()
+            .filter(|&n| self.needs_comm(ddg, n))
+            .collect()
     }
 
     /// Number of communicated values.
@@ -304,7 +306,10 @@ mod tests {
         assert!(asg.needs_comm(&ddg, ld));
         assert_eq!(asg.communicated(&ddg), vec![ld]);
         assert_eq!(asg.comm_count(&ddg), 1);
-        assert_eq!(asg.missing_consumer_clusters(&ddg, ld), ClusterSet::single(1));
+        assert_eq!(
+            asg.missing_consumer_clusters(&ddg, ld),
+            ClusterSet::single(1)
+        );
     }
 
     #[test]

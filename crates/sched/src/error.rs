@@ -22,8 +22,12 @@ pub enum IiCause {
 
 impl IiCause {
     /// All causes in reporting order.
-    pub const ALL: [IiCause; 4] =
-        [IiCause::Bus, IiCause::Recurrence, IiCause::Registers, IiCause::Resources];
+    pub const ALL: [IiCause; 4] = [
+        IiCause::Bus,
+        IiCause::Recurrence,
+        IiCause::Registers,
+        IiCause::Resources,
+    ];
 
     /// Report label.
     #[must_use]
@@ -106,18 +110,32 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::Bus { needed, capacity } => {
-                write!(f, "{needed} communications exceed bus capacity of {capacity} per II")
+                write!(
+                    f,
+                    "{needed} communications exceed bus capacity of {capacity} per II"
+                )
             }
             ScheduleError::Recurrence { node } => {
-                write!(f, "issue window of {node} closed: recurrence does not fit this II")
+                write!(
+                    f,
+                    "issue window of {node} closed: recurrence does not fit this II"
+                )
             }
-            ScheduleError::FuSlots { node, class, cluster } => {
+            ScheduleError::FuSlots {
+                node,
+                class,
+                cluster,
+            } => {
                 write!(f, "no {class} slot for {node} in cluster {cluster}")
             }
             ScheduleError::CopySlots { value } => {
                 write!(f, "no bus slot for the copy of {value}")
             }
-            ScheduleError::Registers { cluster, maxlive, available } => write!(
+            ScheduleError::Registers {
+                cluster,
+                maxlive,
+                available,
+            } => write!(
                 f,
                 "register pressure {maxlive} exceeds {available} registers in cluster {cluster}"
             ),
@@ -214,8 +232,15 @@ impl fmt::Display for VerifyError {
             VerifyError::CopyWithoutSource { value } => {
                 write!(f, "copy of {value} reads a cluster without an instance")
             }
-            VerifyError::FuOversubscribed { cluster, class, slot } => {
-                write!(f, "too many {class} ops in cluster {cluster} at modulo slot {slot}")
+            VerifyError::FuOversubscribed {
+                cluster,
+                class,
+                slot,
+            } => {
+                write!(
+                    f,
+                    "too many {class} ops in cluster {cluster} at modulo slot {slot}"
+                )
             }
             VerifyError::BusOversubscribed { bus, slot } => {
                 write!(f, "bus {bus} oversubscribed at modulo slot {slot}")
@@ -223,7 +248,11 @@ impl fmt::Display for VerifyError {
             VerifyError::InvalidBus { value } => {
                 write!(f, "copy of {value} uses an invalid bus")
             }
-            VerifyError::RegisterPressure { cluster, maxlive, available } => write!(
+            VerifyError::RegisterPressure {
+                cluster,
+                maxlive,
+                available,
+            } => write!(
                 f,
                 "maxlive {maxlive} exceeds {available} registers in cluster {cluster}"
             ),
@@ -239,31 +268,60 @@ mod tests {
 
     #[test]
     fn causes_map_to_figure_1_buckets() {
-        assert_eq!(ScheduleError::Bus { needed: 5, capacity: 2 }.cause(), IiCause::Bus);
         assert_eq!(
-            ScheduleError::CopySlots { value: NodeId::new(0) }.cause(),
+            ScheduleError::Bus {
+                needed: 5,
+                capacity: 2
+            }
+            .cause(),
             IiCause::Bus
         );
         assert_eq!(
-            ScheduleError::Recurrence { node: NodeId::new(1) }.cause(),
+            ScheduleError::CopySlots {
+                value: NodeId::new(0)
+            }
+            .cause(),
+            IiCause::Bus
+        );
+        assert_eq!(
+            ScheduleError::Recurrence {
+                node: NodeId::new(1)
+            }
+            .cause(),
             IiCause::Recurrence
         );
         assert_eq!(
-            ScheduleError::Registers { cluster: 0, maxlive: 70, available: 64 }.cause(),
+            ScheduleError::Registers {
+                cluster: 0,
+                maxlive: 70,
+                available: 64
+            }
+            .cause(),
             IiCause::Registers
         );
         assert_eq!(
-            ScheduleError::FuSlots { node: NodeId::new(2), class: OpClass::Fp, cluster: 1 }
-                .cause(),
+            ScheduleError::FuSlots {
+                node: NodeId::new(2),
+                class: OpClass::Fp,
+                cluster: 1
+            }
+            .cause(),
             IiCause::Resources
         );
     }
 
     #[test]
     fn displays_are_informative() {
-        let e = ScheduleError::Bus { needed: 5, capacity: 2 };
+        let e = ScheduleError::Bus {
+            needed: 5,
+            capacity: 2,
+        };
         assert!(e.to_string().contains('5'));
-        let v = VerifyError::RegisterPressure { cluster: 3, maxlive: 70, available: 64 };
+        let v = VerifyError::RegisterPressure {
+            cluster: 3,
+            maxlive: 70,
+            available: 64,
+        };
         assert!(v.to_string().contains("cluster 3"));
     }
 }

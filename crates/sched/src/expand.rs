@@ -137,14 +137,21 @@ pub fn expand(schedule: &Schedule, iterations: u64) -> Expansion {
         for (n, copy) in schedule.copies() {
             let cycle =
                 base + u64::try_from(copy.cycle).expect("normalized cycles are non-negative");
-            rows[usize::try_from(cycle).expect("within trace")]
-                .push(ExpandedOp { op: SchedOp::Copy(n), iteration: i });
+            rows[usize::try_from(cycle).expect("within trace")].push(ExpandedOp {
+                op: SchedOp::Copy(n),
+                iteration: i,
+            });
         }
     }
     for row in &mut rows {
         row.sort_unstable_by_key(|e| (e.op, e.iteration));
     }
-    Expansion { ii, stage_count, iterations, rows }
+    Expansion {
+        ii,
+        stage_count,
+        iterations,
+        rows,
+    }
 }
 
 /// The static shape of the emitted code: how many rows (VLIW instructions)
@@ -209,7 +216,10 @@ pub fn code_shape(schedule: &Schedule) -> CodeShape {
         .take(usize::try_from(ii).expect("fits"))
         .map(|r| r.len() as u64)
         .sum();
-    debug_assert_eq!(kernel_ops, per_iter, "a full kernel issues one whole iteration");
+    debug_assert_eq!(
+        kernel_ops, per_iter,
+        "a full kernel issues one whole iteration"
+    );
     CodeShape {
         prologue_rows,
         kernel_rows: ii,
@@ -305,7 +315,10 @@ mod tests {
         let (_, sched) = pipelined_schedule();
         let n = 7;
         let trace = expand(&sched, n);
-        assert_eq!(trace.issued_ops(), n * u64::from(sched.op_count() + sched.copy_count()));
+        assert_eq!(
+            trace.issued_ops(),
+            n * u64::from(sched.op_count() + sched.copy_count())
+        );
         // Each iteration index appears exactly op_count times.
         let mut per_iter = vec![0u64; n as usize];
         for row in trace.rows() {
@@ -333,7 +346,11 @@ mod tests {
         assert_eq!(short.steady_cycles(), 0);
         assert_eq!(short.steady_fraction(), 0.0);
         let long = expand(&sched, 100);
-        assert!(long.steady_fraction() > 0.8, "got {}", long.steady_fraction());
+        assert!(
+            long.steady_fraction() > 0.8,
+            "got {}",
+            long.steady_fraction()
+        );
     }
 
     #[test]

@@ -88,8 +88,8 @@ mod tests {
     #[test]
     fn assigned_res_mii_sees_imbalance() {
         let ddg = wide_ddg();
-        let m = machine("4c1b2l64r"); // 1 fp unit per cluster
-        // all 6 fp ops in cluster 0 → 6 cycles there.
+        // 1 fp unit per cluster; all 6 fp ops in cluster 0 → 6 cycles there.
+        let m = machine("4c1b2l64r");
         let asg = Assignment::from_partition(&[0, 0, 0, 0, 0, 0, 1, 1]);
         assert_eq!(res_mii_assigned(&ddg, &asg, &m), 6);
         // balanced: 2,2,1,1 → 2.
@@ -155,7 +155,10 @@ mod tests {
         // hand-build a bus-less 2-cluster machine by abusing unified: not
         // possible through the public API, so emulate with clusters=1 where
         // the partition cannot cross — instead check unified accepts.
-        assert_eq!(ii_part(&ddg, &Assignment::from_partition(&[0, 0]), &unified), 0);
+        assert_eq!(
+            ii_part(&ddg, &Assignment::from_partition(&[0, 0]), &unified),
+            0
+        );
         // And a clustered machine sees the communication.
         let m = machine("2c1b2l64r");
         assert_eq!(ii_part(&ddg, &asg, &m), 2);

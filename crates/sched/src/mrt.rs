@@ -48,7 +48,13 @@ impl Mrt {
             })
             .collect();
         let bus = (0..machine.buses()).map(|_| vec![false; slots]).collect();
-        Mrt { ii, bus_latency: machine.bus_occupancy(), fu, fu_capacity, bus }
+        Mrt {
+            ii,
+            bus_latency: machine.bus_occupancy(),
+            fu,
+            fu_capacity,
+            bus,
+        }
     }
 
     /// The initiation interval of this table.
@@ -76,7 +82,10 @@ impl Mrt {
     ///
     /// Panics if the slot is full ([`Mrt::fu_free`] must be checked first).
     pub fn place_fu(&mut self, cluster: u8, class: OpClass, cycle: i64) {
-        assert!(self.fu_free(cluster, class, cycle), "functional unit oversubscribed");
+        assert!(
+            self.fu_free(cluster, class, cycle),
+            "functional unit oversubscribed"
+        );
         let slot = self.slot(cycle);
         self.fu[cluster as usize][class.index()][slot] += 1;
     }

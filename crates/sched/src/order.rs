@@ -54,8 +54,13 @@ fn order_group(
     let in_group_unordered =
         |n: NodeId, ordered: &[bool]| group.contains(&n) && !ordered[n.index()];
 
-    let remaining =
-        |ordered: &[bool]| group.iter().copied().filter(|n| !ordered[n.index()]).count();
+    let remaining = |ordered: &[bool]| {
+        group
+            .iter()
+            .copied()
+            .filter(|n| !ordered[n.index()])
+            .count()
+    };
 
     while remaining(ordered) > 0 {
         // Seed the ready set from nodes adjacent to the ordered prefix.
@@ -106,7 +111,11 @@ fn order_group(
                     Sweep::BottomUp => Box::new(ddg.in_edges(v)),
                 };
                 for e in next {
-                    let w = if sweep == Sweep::TopDown { e.dst } else { e.src };
+                    let w = if sweep == Sweep::TopDown {
+                        e.dst
+                    } else {
+                        e.src
+                    };
                     if in_group_unordered(w, ordered) {
                         ready.insert(w);
                     }
@@ -124,7 +133,11 @@ fn order_group(
                     Sweep::BottomUp => Box::new(ddg.in_edges(o)),
                 };
                 for e in adj {
-                    let w = if sweep == Sweep::TopDown { e.dst } else { e.src };
+                    let w = if sweep == Sweep::TopDown {
+                        e.dst
+                    } else {
+                        e.src
+                    };
                     if in_group_unordered(w, ordered) {
                         ready.insert(w);
                     }
@@ -160,8 +173,7 @@ fn priority_groups(ddg: &Ddg, machine: &MachineConfig) -> Vec<BTreeSet<NodeId>> 
     let mut recurrent: Vec<(u32, Vec<NodeId>)> = comps
         .into_iter()
         .filter(|c| {
-            c.len() > 1
-                || ddg.out_edges(c[0]).any(|e| e.dst == c[0]) // self-loop
+            c.len() > 1 || ddg.out_edges(c[0]).any(|e| e.dst == c[0]) // self-loop
         })
         .map(|c| (scc_rec_mii(ddg, &c, &lat), c))
         .collect();
@@ -205,8 +217,7 @@ fn priority_groups(ddg: &Ddg, machine: &MachineConfig) -> Vec<BTreeSet<NodeId>> 
             groups.push(group);
         }
     }
-    let rest: BTreeSet<NodeId> =
-        ddg.node_ids().filter(|n| !grouped[n.index()]).collect();
+    let rest: BTreeSet<NodeId> = ddg.node_ids().filter(|n| !grouped[n.index()]).collect();
     if !rest.is_empty() {
         groups.push(rest);
     }
@@ -414,7 +425,10 @@ mod tests {
         let bridge = b.add_node(OpKind::FpAdd);
         let r2a = b.add_node(OpKind::FpMul);
         let r2b = b.add_node(OpKind::FpAdd);
-        b.data(r1, bridge).data(bridge, r2a).data(r2a, r2b).data_dist(r2b, r2a, 1);
+        b.data(r1, bridge)
+            .data(bridge, r2a)
+            .data(r2a, r2b)
+            .data_dist(r2b, r2a, 1);
         let leftover = b.add_node(OpKind::Load);
         let _ = leftover;
         let ddg = b.build().unwrap();
@@ -427,9 +441,15 @@ mod tests {
     #[test]
     fn deterministic_across_calls() {
         let mut b = Ddg::builder();
-        let nodes: Vec<_> = (0..12).map(|i| {
-            b.add_node(if i % 3 == 0 { OpKind::Load } else { OpKind::FpAdd })
-        }).collect();
+        let nodes: Vec<_> = (0..12)
+            .map(|i| {
+                b.add_node(if i % 3 == 0 {
+                    OpKind::Load
+                } else {
+                    OpKind::FpAdd
+                })
+            })
+            .collect();
         for i in 1..nodes.len() {
             b.data(nodes[i / 2], nodes[i]);
         }

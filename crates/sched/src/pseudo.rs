@@ -65,7 +65,10 @@ pub fn pseudo_schedule(
     let lat = |e: &cvliw_ddg::Edge| {
         let base = machine.latency(ddg.kind(e.src));
         if e.is_data()
-            && !assignment.instances(e.dst).difference(assignment.instances(e.src)).is_empty()
+            && !assignment
+                .instances(e.dst)
+                .difference(assignment.instances(e.src))
+                .is_empty()
         {
             base + machine.bus_latency()
         } else {
@@ -92,9 +95,8 @@ pub fn pseudo_schedule(
                 let mut last = def + i64::from(machine.latency(ddg.kind(n)));
                 for e in ddg.out_edges(n) {
                     if e.is_data() {
-                        last = last.max(
-                            asap[e.dst.index()] + i64::from(ii) * i64::from(e.distance),
-                        );
+                        last =
+                            last.max(asap[e.dst.index()] + i64::from(ii) * i64::from(e.distance));
                     }
                 }
                 let span = u64::try_from((last - def).max(1)).expect("non-negative");
@@ -104,12 +106,22 @@ pub fn pseudo_schedule(
                 }
             }
             est.iter()
-                .map(|&e| u32::try_from(e.saturating_sub(u64::from(machine.regs_per_cluster()))).unwrap_or(u32::MAX))
+                .map(|&e| {
+                    u32::try_from(e.saturating_sub(u64::from(machine.regs_per_cluster())))
+                        .unwrap_or(u32::MAX)
+                })
                 .sum()
         }
     };
 
-    PseudoSchedule { ncoms, bus_ok, cap_overflow, recurrences_ok, est_length, reg_overflow }
+    PseudoSchedule {
+        ncoms,
+        bus_ok,
+        cap_overflow,
+        recurrences_ok,
+        est_length,
+        reg_overflow,
+    }
 }
 
 #[cfg(test)]

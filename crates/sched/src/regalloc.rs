@@ -68,7 +68,11 @@ impl RegisterAllocation {
     /// The most registers any cluster uses.
     #[must_use]
     pub fn peak(&self) -> u32 {
-        self.clusters.iter().map(|c| c.registers_used).max().unwrap_or(0)
+        self.clusters
+            .iter()
+            .map(|c| c.registers_used)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -142,10 +146,12 @@ pub fn allocate_registers(
 ) -> Result<RegisterAllocation, OutOfRegisters> {
     let ii = i64::from(schedule.ii());
     let ranges = live_ranges(schedule, ddg, machine);
-    let mut clusters: Vec<ClusterAllocation> =
-        (0..machine.clusters()).map(|_| ClusterAllocation::default()).collect();
-    let mut files: Vec<RegFile> =
-        (0..machine.clusters()).map(|_| RegFile::new(ii as usize)).collect();
+    let mut clusters: Vec<ClusterAllocation> = (0..machine.clusters())
+        .map(|_| ClusterAllocation::default())
+        .collect();
+    let mut files: Vec<RegFile> = (0..machine.clusters())
+        .map(|_| RegFile::new(ii as usize))
+        .collect();
 
     // Longest (widest) strips first: classic first-fit-decreasing.
     let mut order: Vec<&Range> = ranges.iter().filter(|r| r.span() > 0).collect();
@@ -156,11 +162,13 @@ pub fn allocate_registers(
         let strip = Strip::of(r, ii);
         let base = file.first_fit(&strip);
         file.occupy(base, &strip);
-        clusters[r.cluster as usize].assignments.push(RegAssignment {
-            value: r.value,
-            base: base as u32,
-            width: strip.width() as u32,
-        });
+        clusters[r.cluster as usize]
+            .assignments
+            .push(RegAssignment {
+                value: r.value,
+                base: base as u32,
+                width: strip.width() as u32,
+            });
         let used = &mut clusters[r.cluster as usize].registers_used;
         *used = (*used).max((base + strip.width()) as u32);
     }
@@ -209,7 +217,10 @@ struct RegFile {
 
 impl RegFile {
     fn new(ii: usize) -> RegFile {
-        RegFile { ii, regs: Vec::new() }
+        RegFile {
+            ii,
+            regs: Vec::new(),
+        }
     }
 
     fn grow_to(&mut self, n: usize) {
@@ -223,7 +234,9 @@ impl RegFile {
     }
 
     fn arc_free(&self, r: usize, start: usize, len: usize) -> bool {
-        let Some(row) = self.regs.get(r) else { return true };
+        let Some(row) = self.regs.get(r) else {
+            return true;
+        };
         (0..len).all(|k| !row[(start + k) % self.ii])
     }
 
@@ -234,7 +247,9 @@ impl RegFile {
     }
 
     fn first_fit(&self, strip: &Strip) -> usize {
-        (0..).find(|&base| self.fits(base, strip)).expect("file grows on demand")
+        (0..)
+            .find(|&base| self.fits(base, strip))
+            .expect("file grows on demand")
     }
 
     fn occupy(&mut self, base: usize, strip: &Strip) {
@@ -319,7 +334,11 @@ mod tests {
         let s = sched(&ddg, &m, &[0, 0, 0], 1);
         let alloc = allocate_registers(&s, &ddg, &m).unwrap();
         let p = max_live(&s, &ddg, &m)[0];
-        assert!(alloc.registers_used()[0] <= p + 2, "{} vs {p}", alloc.registers_used()[0]);
+        assert!(
+            alloc.registers_used()[0] <= p + 2,
+            "{} vs {p}",
+            alloc.registers_used()[0]
+        );
     }
 
     #[test]
@@ -373,7 +392,10 @@ mod tests {
         let s = sched(&ddg, &m, &[0, 1], 2);
         let alloc = allocate_registers(&s, &ddg, &m).unwrap();
         assert!(alloc.cluster(0).registers_used >= 1);
-        assert!(alloc.cluster(1).registers_used >= 1, "copied value needs a register");
+        assert!(
+            alloc.cluster(1).registers_used >= 1,
+            "copied value needs a register"
+        );
     }
 
     #[test]

@@ -87,7 +87,12 @@ fn collect_ranges(schedule: &Schedule, ddg: &Ddg, machine: &MachineConfig) -> Ve
                     last_use = last_use.max(cp.cycle);
                 }
             }
-            ranges.push(Range { value: n, cluster: c, def, last_use });
+            ranges.push(Range {
+                value: n,
+                cluster: c,
+                def,
+                last_use,
+            });
         }
 
         // Copy destinations.
@@ -110,7 +115,12 @@ fn collect_ranges(schedule: &Schedule, ddg: &Ddg, machine: &MachineConfig) -> Ve
                 }
             }
             for (c, last_use) in dest_last {
-                ranges.push(Range { value: n, cluster: c, def: cp.cycle, last_use });
+                ranges.push(Range {
+                    value: n,
+                    cluster: c,
+                    def: cp.cycle,
+                    last_use,
+                });
             }
         }
     }
@@ -136,19 +146,30 @@ fn fold_pressure(ranges: &[Range], ii: i64, clusters: u8) -> Vec<u32> {
             row[slot] += 1;
         }
     }
-    pressure.into_iter().map(|row| row.into_iter().max().unwrap_or(0)).collect()
+    pressure
+        .into_iter()
+        .map(|row| row.into_iter().max().unwrap_or(0))
+        .collect()
 }
 
 /// Convenience wrapper: the highest pressure across all clusters.
 #[must_use]
 pub fn peak_pressure(schedule: &Schedule, ddg: &Ddg, machine: &MachineConfig) -> u32 {
-    max_live(schedule, ddg, machine).into_iter().max().unwrap_or(0)
+    max_live(schedule, ddg, machine)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
 }
 
 /// Returns the last-use-based lifetime (in cycles) of node `n`'s value in
 /// its home cluster, if scheduled. Exposed for diagnostics and tests.
 #[must_use]
-pub fn lifetime_of(schedule: &Schedule, ddg: &Ddg, machine: &MachineConfig, n: NodeId) -> Option<i64> {
+pub fn lifetime_of(
+    schedule: &Schedule,
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    n: NodeId,
+) -> Option<i64> {
     if !ddg.kind(n).produces_value() {
         return None;
     }
@@ -185,8 +206,14 @@ mod tests {
 
     fn sched(ddg: &Ddg, m: &MachineConfig, part: &[u8], ii: u32) -> Schedule {
         let asg = Assignment::from_partition(part);
-        schedule(&ScheduleRequest { ddg, machine: m, assignment: &asg, ii, zero_bus_dep_latency: false })
-            .unwrap()
+        schedule(&ScheduleRequest {
+            ddg,
+            machine: m,
+            assignment: &asg,
+            ii,
+            zero_bus_dep_latency: false,
+        })
+        .unwrap()
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use cvliw_ddg::{DepKind, Ddg, NodeId};
+use cvliw_ddg::{Ddg, DepKind, NodeId};
 use cvliw_machine::MachineConfig;
 
 use crate::assign::{Assignment, ClusterSet};
@@ -160,8 +160,11 @@ impl Schedule {
     /// pressure above the file size.
     pub fn verify(&self, ddg: &Ddg, machine: &MachineConfig) -> Result<(), VerifyError> {
         let ii = i64::from(self.ii);
-        let bus_dep_lat =
-            if self.zero_bus_dep_latency { 0 } else { i64::from(machine.bus_latency()) };
+        let bus_dep_lat = if self.zero_bus_dep_latency {
+            0
+        } else {
+            i64::from(machine.bus_latency())
+        };
 
         // Instances present, stores unique.
         for n in ddg.node_ids() {
@@ -215,8 +218,7 @@ impl Schedule {
                 }
                 DepKind::Data => {
                     let src_clusters = self.instance_clusters(e.src);
-                    for (&(_, c), &t_dst) in self.instances.range((e.dst, 0)..=(e.dst, u8::MAX))
-                    {
+                    for (&(_, c), &t_dst) in self.instances.range((e.dst, 0)..=(e.dst, u8::MAX)) {
                         if src_clusters.contains(c) {
                             let t_src = self.instances[&(e.src, c)];
                             if t_dst + dist < t_src + lat {
@@ -259,7 +261,11 @@ impl Schedule {
             let count = &mut fu[c as usize][class.index()][slot];
             *count += 1;
             if *count > u32::from(machine.fu_count_in(c, class)) {
-                return Err(VerifyError::FuOversubscribed { cluster: c, class, slot: slot as u32 });
+                return Err(VerifyError::FuOversubscribed {
+                    cluster: c,
+                    class,
+                    slot: slot as u32,
+                });
             }
         }
 
@@ -330,7 +336,13 @@ impl Schedule {
             rows.push(row);
         }
         let mut out = String::new();
-        let _ = writeln!(out, "II={} length={} SC={}", self.ii, self.length, self.stage_count());
+        let _ = writeln!(
+            out,
+            "II={} length={} SC={}",
+            self.ii,
+            self.length,
+            self.stage_count()
+        );
         for (slot, row) in rows.iter().enumerate() {
             let _ = write!(out, "{slot:>3} |");
             for cell in row {
@@ -378,7 +390,11 @@ fn copy_source(assignment: &Assignment, n: NodeId) -> u8 {
     if assignment.instances(n).contains(home) {
         home
     } else {
-        assignment.instances(n).iter().next().expect("node has at least one instance")
+        assignment
+            .instances(n)
+            .iter()
+            .next()
+            .expect("node has at least one instance")
     }
 }
 
@@ -410,9 +426,15 @@ fn build_ops(
         }
     }
 
-    let mut graph = OpGraph { preds: BTreeMap::new(), succs: BTreeMap::new() };
-    let bus_dep_lat =
-        if req.zero_bus_dep_latency { 0 } else { i64::from(machine.bus_latency()) };
+    let mut graph = OpGraph {
+        preds: BTreeMap::new(),
+        succs: BTreeMap::new(),
+    };
+    let bus_dep_lat = if req.zero_bus_dep_latency {
+        0
+    } else {
+        i64::from(machine.bus_latency())
+    };
 
     for e in ddg.edges() {
         let lat = i64::from(machine.latency(ddg.kind(e.src)));
@@ -442,7 +464,12 @@ fn build_ops(
                         );
                     } else {
                         debug_assert!(is_com(e.src), "missing value must be communicated");
-                        graph.add(SchedOp::Copy(e.src), SchedOp::Instance(e.dst, c), bus_dep_lat, dist);
+                        graph.add(
+                            SchedOp::Copy(e.src),
+                            SchedOp::Instance(e.dst, c),
+                            bus_dep_lat,
+                            dist,
+                        );
                     }
                 }
             }
@@ -596,7 +623,11 @@ pub fn schedule_with(
             SchedOp::Copy(n) => {
                 copies.insert(
                     n,
-                    CopyPlacement { cycle: t, bus: buses[&n], source: copy_source(req.assignment, n) },
+                    CopyPlacement {
+                        cycle: t,
+                        bus: buses[&n],
+                        source: copy_source(req.assignment, n),
+                    },
                 );
             }
         }
@@ -664,7 +695,13 @@ mod tests {
         asg: &'a Assignment,
         ii: u32,
     ) -> ScheduleRequest<'a> {
-        ScheduleRequest { ddg, machine, assignment: asg, ii, zero_bus_dep_latency: false }
+        ScheduleRequest {
+            ddg,
+            machine,
+            assignment: asg,
+            ii,
+            zero_bus_dep_latency: false,
+        }
     }
 
     #[test]
@@ -732,7 +769,13 @@ mod tests {
         let asg = Assignment::from_partition(&[0, 0, 1, 1]);
         let m = machine("4c1b2l64r");
         let err = schedule(&request(&ddg, &m, &asg, 2)).unwrap_err();
-        assert_eq!(err, ScheduleError::Bus { needed: 2, capacity: 1 });
+        assert_eq!(
+            err,
+            ScheduleError::Bus {
+                needed: 2,
+                capacity: 1
+            }
+        );
         assert_eq!(err.cause(), crate::error::IiCause::Bus);
         // II=4 fits both.
         let s = schedule(&request(&ddg, &m, &asg, 4)).unwrap();
@@ -834,7 +877,10 @@ mod tests {
         let s = schedule(&request(&ddg, &m, &asg, 2)).unwrap();
         let mut bad = s.clone();
         bad.copies.clear();
-        assert!(matches!(bad.verify(&ddg, &m), Err(VerifyError::ValueUnavailable { .. })));
+        assert!(matches!(
+            bad.verify(&ddg, &m),
+            Err(VerifyError::ValueUnavailable { .. })
+        ));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use cvliw_ddg::{DepKind, Ddg, NodeId};
+use cvliw_ddg::{Ddg, DepKind, NodeId};
 use cvliw_machine::MachineConfig;
 use cvliw_sched::Schedule;
 
@@ -70,18 +70,26 @@ impl fmt::Display for SimError {
             SimError::RelaxedSchedule => {
                 f.write_str("zero-bus-latency schedules cannot be simulated")
             }
-            SimError::LatencyViolated { src, dst, cluster, iteration } => write!(
+            SimError::LatencyViolated {
+                src,
+                dst,
+                cluster,
+                iteration,
+            } => write!(
                 f,
                 "iteration {iteration}: {dst} in cluster {cluster} issued before {src} arrived"
             ),
-            SimError::ValueMismatch { node, cluster, iteration } => write!(
+            SimError::ValueMismatch {
+                node,
+                cluster,
+                iteration,
+            } => write!(
                 f,
                 "iteration {iteration}: {node} in cluster {cluster} computed a wrong value"
             ),
-            SimError::ValueUnavailable { src, dst, cluster } => write!(
-                f,
-                "{dst} in cluster {cluster} has no way to read {src}"
-            ),
+            SimError::ValueUnavailable { src, dst, cluster } => {
+                write!(f, "{dst} in cluster {cluster} has no way to read {src}")
+            }
         }
     }
 }
@@ -116,7 +124,11 @@ pub fn simulate(
 
     for i in 0..iterations {
         let i_i64 = i as i64;
-        for (&(v, c), &t_v) in schedule.instances().collect::<Vec<_>>().iter().map(|x| (&x.0, &x.1))
+        for (&(v, c), &t_v) in schedule
+            .instances()
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|x| (&x.0, &x.1))
         {
             let issue = t_v + i_i64 * ii;
             let mut operands: Vec<Value> = Vec::new();
@@ -129,12 +141,9 @@ pub fn simulate(
                         }
                         // Ordering against every instance of the producer.
                         for cu in schedule.instance_clusters(e.src).iter() {
-                            let t_u = schedule
-                                .instance_cycle(e.src, cu)
-                                .expect("instance exists");
-                            let ready = t_u
-                                + src_iter * ii
-                                + i64::from(machine.latency(ddg.kind(e.src)));
+                            let t_u = schedule.instance_cycle(e.src, cu).expect("instance exists");
+                            let ready =
+                                t_u + src_iter * ii + i64::from(machine.latency(ddg.kind(e.src)));
                             if ready > issue {
                                 return Err(SimError::LatencyViolated {
                                     src: e.src,
@@ -156,8 +165,7 @@ pub fn simulate(
                             continue; // live-ins are ready before the loop
                         }
                         let ready = if schedule.instance_clusters(e.src).contains(c) {
-                            let t_u =
-                                schedule.instance_cycle(e.src, c).expect("instance exists");
+                            let t_u = schedule.instance_cycle(e.src, c).expect("instance exists");
                             t_u + src_iter * ii + i64::from(machine.latency(ddg.kind(e.src)))
                         } else {
                             let Some(copy) = schedule.copy_of(e.src) else {
@@ -190,7 +198,11 @@ pub fn simulate(
                 );
                 let got = apply(ddg.kind(v), v, &operands);
                 if got != expected {
-                    return Err(SimError::ValueMismatch { node: v, cluster: c, iteration: i });
+                    return Err(SimError::ValueMismatch {
+                        node: v,
+                        cluster: c,
+                        iteration: i,
+                    });
                 }
             }
         }

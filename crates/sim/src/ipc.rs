@@ -76,7 +76,10 @@ impl IpcAccumulator {
 #[must_use]
 pub fn harmonic_mean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "harmonic mean of nothing");
-    assert!(values.iter().all(|&v| v > 0.0), "harmonic mean needs positive values");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "harmonic mean needs positive values"
+    );
     values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
 }
 

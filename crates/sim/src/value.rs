@@ -23,7 +23,10 @@ fn fold(h: u64, x: u64) -> u64 {
 /// with `i < d` reads a pre-loop live-in.
 #[must_use]
 pub fn live_in_value(node: NodeId, virtual_iteration: i64) -> Value {
-    fold(fold(FNV_OFFSET, node.index() as u64), virtual_iteration as u64 ^ 0xabcd_ef01)
+    fold(
+        fold(FNV_OFFSET, node.index() as u64),
+        virtual_iteration as u64 ^ 0xabcd_ef01,
+    )
 }
 
 /// Combines an operation with its operand values.

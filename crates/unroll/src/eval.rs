@@ -110,7 +110,11 @@ pub fn compile_unrolled(
     let unrolled = unroll(ddg, factor).map_err(UnrollError::Transform)?;
     let compiled = compile_loop(&unrolled, machine, &CompileOptions::baseline())
         .map_err(UnrollError::Compile)?;
-    Ok(UnrollReport { factor, compiled, ops_per_orig_iter: ddg.node_count() as u32 })
+    Ok(UnrollReport {
+        factor,
+        compiled,
+        ops_per_orig_iter: ddg.node_count() as u32,
+    })
 }
 
 #[cfg(test)]

@@ -145,7 +145,9 @@ mod tests {
         for k in 0..3 {
             let x = u.find_by_label(&format!("x.{k}")).unwrap();
             let m = u.find_by_label(&format!("m.{k}")).unwrap();
-            assert!(u.edges().any(|e| e.src == x && e.dst == m && e.distance == 0));
+            assert!(u
+                .edges()
+                .any(|e| e.src == x && e.dst == m && e.distance == 0));
         }
     }
 
@@ -157,7 +159,8 @@ mod tests {
             let prev = u.find_by_label(&format!("i.{}", k - 1)).unwrap();
             let cur = u.find_by_label(&format!("i.{k}")).unwrap();
             assert!(
-                u.edges().any(|e| e.src == prev && e.dst == cur && e.distance == 0),
+                u.edges()
+                    .any(|e| e.src == prev && e.dst == cur && e.distance == 0),
                 "missing chain link {} -> {}",
                 k - 1,
                 k
@@ -166,7 +169,9 @@ mod tests {
         // i.0 reads i.3 of the previous unrolled iteration.
         let last = u.find_by_label("i.3").unwrap();
         let first = u.find_by_label("i.0").unwrap();
-        assert!(u.edges().any(|e| e.src == last && e.dst == first && e.distance == 1));
+        assert!(u
+            .edges()
+            .any(|e| e.src == last && e.dst == first && e.distance == 1));
     }
 
     #[test]
@@ -180,9 +185,13 @@ mod tests {
         let v0 = u.find_by_label("v.0").unwrap();
         let v1 = u.find_by_label("v.1").unwrap();
         // v.0 of iter U = original iter 2U reads original 2U-3 = v.1 of U-2.
-        assert!(u.edges().any(|e| e.src == v1 && e.dst == v0 && e.distance == 2));
+        assert!(u
+            .edges()
+            .any(|e| e.src == v1 && e.dst == v0 && e.distance == 2));
         // v.1 of iter U = original 2U+1 reads original 2U-2 = v.0 of U-1.
-        assert!(u.edges().any(|e| e.src == v0 && e.dst == v1 && e.distance == 1));
+        assert!(u
+            .edges()
+            .any(|e| e.src == v0 && e.dst == v1 && e.distance == 1));
     }
 
     #[test]
@@ -197,7 +206,9 @@ mod tests {
         // s.0 -> l.1 same iteration; s.1 -> l.0 next iteration.
         let s0 = u.find_by_label("s.0").unwrap();
         let l1 = u.find_by_label("l.1").unwrap();
-        assert!(u.edges().any(|e| e.src == s0 && e.dst == l1 && e.distance == 0));
+        assert!(u
+            .edges()
+            .any(|e| e.src == s0 && e.dst == l1 && e.distance == 0));
     }
 
     #[test]
@@ -215,7 +226,10 @@ mod tests {
         let u4 = unroll(&ddg, 4).unwrap();
         let unrolled = rec_mii(&u4, lat);
         assert_eq!(base, 3);
-        assert_eq!(unrolled, 12, "recurrence length per unrolled iteration scales by F");
+        assert_eq!(
+            unrolled, 12,
+            "recurrence length per unrolled iteration scales by F"
+        );
     }
 
     #[test]

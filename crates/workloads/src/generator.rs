@@ -171,7 +171,11 @@ pub fn generate_loop(seed: u64, params: &GeneratorParams) -> Result<GeneratedLoo
 
     let trip_count = rng.random_range(params.trips.0..=params.trips.1);
     let visits = rng.random_range(params.visits.0..=params.visits.1);
-    Ok(GeneratedLoop { ddg: b.build()?, trip_count, visits })
+    Ok(GeneratedLoop {
+        ddg: b.build()?,
+        trip_count,
+        visits,
+    })
 }
 
 #[cfg(test)]
@@ -192,8 +196,9 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let p = GeneratorParams::medium();
-        let sizes: Vec<usize> =
-            (0..16).map(|s| generate_loop(s, &p).unwrap().ddg.node_count()).collect();
+        let sizes: Vec<usize> = (0..16)
+            .map(|s| generate_loop(s, &p).unwrap().ddg.node_count())
+            .collect();
         let first = sizes[0];
         assert!(sizes.iter().any(|&s| s != first), "some variation expected");
     }
@@ -220,8 +225,12 @@ mod tests {
         // fp predecessor: chains are pure.
         for n in g.ddg.node_ids() {
             if g.ddg.kind(n).is_fp() {
-                let fp_preds =
-                    g.ddg.data_preds(n).iter().filter(|&&p| g.ddg.kind(p).is_fp()).count();
+                let fp_preds = g
+                    .ddg
+                    .data_preds(n)
+                    .iter()
+                    .filter(|&&p| g.ddg.kind(p).is_fp())
+                    .count();
                 assert!(fp_preds <= 1);
             }
         }

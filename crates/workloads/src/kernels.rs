@@ -186,6 +186,10 @@ mod tests {
     fn complex_mac_shares_loads() {
         let ddg = complex_mac();
         let ar = ddg.find_by_label("ar").unwrap();
-        assert_eq!(ddg.data_succs(ar).len(), 2, "each load feeds two multiplies");
+        assert_eq!(
+            ddg.data_succs(ar).len(),
+            2,
+            "each load feeds two multiplies"
+        );
     }
 }

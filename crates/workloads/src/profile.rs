@@ -64,9 +64,10 @@ mod tests {
     fn short_trip_counts_amplify_stage_cost() {
         // applu's situation: N=4 makes the prolog/epilog share huge.
         let short = LoopProfile::new(1000, 4);
-        let kernel_heavy = short.cycles(10, 2); // (4-1+2)*10 per visit
-        let kernel_light = short.cycles(8, 6); // (4-1+6)*8 per visit
-        // A smaller II does NOT pay off if the stage count balloons.
+        // Heavy kernel: (4-1+2)*10 per visit. Light kernel: (4-1+6)*8 per
+        // visit — a smaller II does NOT pay off if the stage count balloons.
+        let kernel_heavy = short.cycles(10, 2);
+        let kernel_light = short.cycles(8, 6);
         assert!(kernel_light > kernel_heavy);
     }
 }

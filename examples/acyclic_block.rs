@@ -32,7 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three 2-wide integer clusters, one 1-cycle bus, unit latencies —
     // the setting of the figure.
     let machine = MachineConfig::heterogeneous(
-        vec![FuCounts { int: 2, fp: 0, mem: 0 }; 3],
+        vec![
+            FuCounts {
+                int: 2,
+                fp: 0,
+                mem: 0
+            };
+            3
+        ],
         1,
         1,
         64,
@@ -41,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let assignment = Assignment::from_partition(&[1, 1, 1, 0, 0, 2]);
 
     let before = schedule_acyclic(&ddg, &machine, &assignment)?;
-    println!("before replication: length {} cycles, {} copies", before.length(), before.copy_count());
+    println!(
+        "before replication: length {} cycles, {} copies",
+        before.length(),
+        before.copy_count()
+    );
     for n in ddg.node_ids() {
         for cl in machine.cluster_ids() {
             if let Some(t) = before.instance_cycle(n, cl) {
@@ -54,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let (improved, after) = replicate_for_acyclic_length(&ddg, &machine, assignment)?;
-    println!("\nafter replication: length {} cycles, {} copies", after.length(), after.copy_count());
+    println!(
+        "\nafter replication: length {} cycles, {} copies",
+        after.length(),
+        after.copy_count()
+    );
     println!(
         "A now lives in clusters {:?} — replicated where the critical path \
          needed it, left communicated elsewhere",

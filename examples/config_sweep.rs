@@ -25,16 +25,21 @@ fn ipc_of(program: &BenchmarkProgram, machine: &MachineConfig, opts: &CompileOpt
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "su2cor".to_string());
-    let program = cvliw::workloads::program(&name)
-        .ok_or_else(|| format!("unknown program `{name}`"))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "su2cor".to_string());
+    let program =
+        cvliw::workloads::program(&name).ok_or_else(|| format!("unknown program `{name}`"))?;
     println!(
         "{name}: {} loops, {} dynamic ops\n",
         program.loops.len(),
         program.dynamic_ops()
     );
 
-    println!("{:<12} {:>10} {:>12} {:>9}", "machine", "baseline", "replication", "speedup");
+    println!(
+        "{:<12} {:>10} {:>12} {:>9}",
+        "machine", "baseline", "replication", "speedup"
+    );
     let unified = MachineConfig::unified(256);
     let u = ipc_of(&program, &unified, &CompileOptions::baseline());
     println!("{:<12} {u:>10.2} {:>12} {:>9}", "unified", "-", "-");

@@ -13,8 +13,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "8-tap FIR: {} ops per output sample ({} loads, {} fp)\n",
         ddg.node_count(),
-        ddg.node_ids().filter(|&n| ddg.kind(n) == OpKind::Load).count(),
-        ddg.node_ids().filter(|&n| ddg.kind(n).class() == OpClass::Fp).count(),
+        ddg.node_ids()
+            .filter(|&n| ddg.kind(n) == OpKind::Load)
+            .count(),
+        ddg.node_ids()
+            .filter(|&n| ddg.kind(n).class() == OpClass::Fp)
+            .count(),
     );
 
     println!(
@@ -26,8 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let base = compile_loop(&ddg, &machine, &CompileOptions::baseline())?;
         let repl = compile_loop(&ddg, &machine, &CompileOptions::replicate())?;
         let n = 4096; // samples
-        let speedup =
-            base.schedule.texec(n) as f64 / repl.schedule.texec(n) as f64 - 1.0;
+        let speedup = base.schedule.texec(n) as f64 / repl.schedule.texec(n) as f64 - 1.0;
         println!(
             "{spec:<12} {:>8} {:>8} {:>4} → {:>2} {:>9} {:>9.1}%",
             base.stats.ii,
@@ -41,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Replicated code must still compute the same samples.
         repl.schedule.verify(&ddg, &machine)?;
         let report = cvliw::sim::simulate(&ddg, &machine, &repl.schedule, 64)?;
-        assert_eq!(report.instructions_executed, u64::from(repl.schedule.op_count()) * 64);
+        assert_eq!(
+            report.instructions_executed,
+            u64::from(repl.schedule.op_count()) * 64
+        );
     }
 
     println!("\nall replicated schedules verified and simulated (64 samples each)");

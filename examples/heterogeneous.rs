@@ -24,7 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // cluster gets 4 fp units, the address engine gets 4 int units, and
     // the memory ports sit 2+2.
     let heterogeneous = MachineConfig::heterogeneous(
-        vec![FuCounts { int: 0, fp: 4, mem: 2 }, FuCounts { int: 4, fp: 0, mem: 2 }],
+        vec![
+            FuCounts {
+                int: 0,
+                fp: 4,
+                mem: 2,
+            },
+            FuCounts {
+                int: 4,
+                fp: 0,
+                mem: 2,
+            },
+        ],
         1,
         2,
         64,
@@ -32,8 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     assert_eq!(homogeneous.issue_width(), heterogeneous.issue_width());
 
-    println!("machine A: {} (homogeneous 2/2/2 per cluster)", homogeneous.spec());
-    println!("machine B: {} (fp cluster + address engine)", heterogeneous.spec());
+    println!(
+        "machine A: {} (homogeneous 2/2/2 per cluster)",
+        homogeneous.spec()
+    );
+    println!(
+        "machine B: {} (fp cluster + address engine)",
+        heterogeneous.spec()
+    );
     println!();
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>12}",
@@ -47,11 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 match compile_loop(&ddg, machine, &opts) {
                     Ok(out) => {
                         out.schedule.verify(&ddg, machine)?;
-                        cells.push(format!(
-                            "{} ({}c)",
-                            out.stats.ii,
-                            out.stats.final_coms
-                        ));
+                        cells.push(format!("{} ({}c)", out.stats.ii, out.stats.final_coms));
                     }
                     Err(e) => cells.push(format!("fail: {e}")),
                 }

@@ -11,15 +11,23 @@ fn main() {
     let (ddg, assignment, _) = fig3_example();
     let machine = fig3_machine();
 
-    println!("Figure 3: {} instructions on 4 clusters, II = {FIG3_II}", ddg.node_count());
+    println!(
+        "Figure 3: {} instructions on 4 clusters, II = {FIG3_II}",
+        ddg.node_count()
+    );
     let coms = assignment.communicated(&ddg);
     println!(
         "communicated values: {:?}",
-        coms.iter().map(|&n| ddg.display_label(n)).collect::<Vec<_>>()
+        coms.iter()
+            .map(|&n| ddg.display_label(n))
+            .collect::<Vec<_>>()
     );
 
     let mut engine = ReplicationEngine::new(&ddg, &machine, FIG3_II, assignment);
-    println!("extra_coms = {} (3 communications, bus fits 2 per II)\n", engine.extra_coms());
+    println!(
+        "extra_coms = {} (3 communications, bus fits 2 per II)\n",
+        engine.extra_coms()
+    );
 
     println!("replication subgraphs and weights (paper: S_D=49/16, S_J=40/16):");
     let plans = engine.plans();
@@ -28,7 +36,10 @@ fn main() {
         println!(
             "  S_{}: nodes {:?} into clusters {}, removable {:?}, weight {:.4} ({}/16)",
             ddg.display_label(*com),
-            plan.subgraph().iter().map(|&n| ddg.display_label(n)).collect::<Vec<_>>(),
+            plan.subgraph()
+                .iter()
+                .map(|&n| ddg.display_label(n))
+                .collect::<Vec<_>>(),
             plan.targets,
             plan.removable
                 .iter()
@@ -56,7 +67,10 @@ fn main() {
         println!(
             "  S_{}: nodes {:?} into clusters {}, removable {:?}, weight {:.4} ({}/8)",
             ddg.display_label(*com),
-            plan.subgraph().iter().map(|&n| ddg.display_label(n)).collect::<Vec<_>>(),
+            plan.subgraph()
+                .iter()
+                .map(|&n| ddg.display_label(n))
+                .collect::<Vec<_>>(),
             plan.targets,
             plan.removable
                 .iter()

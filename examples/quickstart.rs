@@ -19,10 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mul = b.add_labeled(OpKind::FpMul, format!("mul{chain}"));
         let add = b.add_labeled(OpKind::FpAdd, format!("add{chain}"));
         let st = b.add_labeled(OpKind::Store, format!("st{chain}"));
-        b.data(base, ld).data(ld, mul).data(mul, add).data(add, st).data(base, st);
+        b.data(base, ld)
+            .data(ld, mul)
+            .data(mul, add)
+            .data(add, st)
+            .data(base, st);
     }
     let ddg = b.build()?;
-    println!("loop body: {} ops, {} dependences", ddg.node_count(), ddg.edge_count());
+    println!(
+        "loop body: {} ops, {} dependences",
+        ddg.node_count(),
+        ddg.edge_count()
+    );
 
     // The paper's 4-cluster machine with one 2-cycle bus.
     let machine = MachineConfig::from_spec("4c1b2l64r")?;
@@ -30,14 +38,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let baseline = compile_loop(&ddg, &machine, &CompileOptions::baseline())?;
     let replicated = compile_loop(&ddg, &machine, &CompileOptions::replicate())?;
 
-    println!("\nbaseline:    II={} length={} communications={}",
-        baseline.stats.ii, baseline.stats.length, baseline.stats.final_coms);
-    println!("replication: II={} length={} communications={} (+{} replicas, -{} dead)",
+    println!(
+        "\nbaseline:    II={} length={} communications={}",
+        baseline.stats.ii, baseline.stats.length, baseline.stats.final_coms
+    );
+    println!(
+        "replication: II={} length={} communications={} (+{} replicas, -{} dead)",
         replicated.stats.ii,
         replicated.stats.length,
         replicated.stats.final_coms,
         replicated.stats.replication.added_instances(),
-        replicated.stats.replication.removed_instances);
+        replicated.stats.replication.removed_instances
+    );
 
     println!("\nreplicated kernel:\n{}", replicated.schedule.render(&ddg));
 

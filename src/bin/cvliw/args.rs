@@ -60,14 +60,18 @@ impl Args {
     pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, UsageError> {
         let mut iter = raw.into_iter();
         let command = iter.next().ok_or(UsageError::MissingCommand)?;
-        let mut args = Args { command, ..Args::default() };
+        let mut args = Args {
+            command,
+            ..Args::default()
+        };
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
                 if !KNOWN_OPTIONS.contains(&name) {
                     return Err(UsageError::UnknownOption(name.to_string()));
                 }
-                let value =
-                    iter.next().ok_or_else(|| UsageError::MissingValue(name.to_string()))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| UsageError::MissingValue(name.to_string()))?;
                 args.options.insert(name.to_string(), value);
             } else {
                 args.positional.push(a);
@@ -117,8 +121,15 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_positionals() {
-        let a = parse(&["schedule", "f.loop", "--machine", "4c1b2l64r", "--mode", "replicate"])
-            .unwrap();
+        let a = parse(&[
+            "schedule",
+            "f.loop",
+            "--machine",
+            "4c1b2l64r",
+            "--mode",
+            "replicate",
+        ])
+        .unwrap();
         assert_eq!(a.command, "schedule");
         assert_eq!(a.one_positional("a file").unwrap(), "f.loop");
         assert_eq!(a.get("machine"), Some("4c1b2l64r"));
@@ -165,11 +176,14 @@ mod tests {
 
     #[test]
     fn usage_errors_display_helpfully() {
-        assert!(UsageError::RequiredOption("machine").to_string().contains("--machine"));
-        assert!(
-            UsageError::BadValue { option: "m".into(), value: "x".into() }
-                .to_string()
-                .contains("cannot parse")
-        );
+        assert!(UsageError::RequiredOption("machine")
+            .to_string()
+            .contains("--machine"));
+        assert!(UsageError::BadValue {
+            option: "m".into(),
+            value: "x".into()
+        }
+        .to_string()
+        .contains("cannot parse"));
     }
 }

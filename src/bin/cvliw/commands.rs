@@ -169,8 +169,10 @@ fn parse_mode(args: &Args) -> Result<Mode, CliError> {
 
 fn read_loops(args: &Args) -> Result<Vec<NamedLoop>, CliError> {
     let path = args.one_positional("one input file")?;
-    let text = fs::read_to_string(path)
-        .map_err(|source| CliError::Io { path: path.to_string(), source })?;
+    let text = fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })?;
     let module = parse_module(&text)?;
     match args.get("loop") {
         None => Ok(module.into_iter().collect()),
@@ -198,7 +200,10 @@ fn cmd_dot(args: &Args) -> Result<(), CliError> {
 
 fn cmd_mii(args: &Args) -> Result<(), CliError> {
     let machine = parse_machine(args.require("machine")?)?;
-    println!("{:<16} {:>6} {:>7} {:>6}", "loop", "ResMII", "RecMII", "MII");
+    println!(
+        "{:<16} {:>6} {:>7} {:>6}",
+        "loop", "ResMII", "RecMII", "MII"
+    );
     for l in read_loops(args)? {
         let res = res_mii_unclustered(&l.ddg, &machine);
         let total = sched_mii(&l.ddg, &machine);
@@ -211,10 +216,22 @@ fn cmd_mii(args: &Args) -> Result<(), CliError> {
 /// Renders one compiled loop in full.
 fn report_compiled(l: &NamedLoop, machine: &MachineConfig, out: &CompiledLoop, iterations: u64) {
     let s = &out.stats;
-    println!("loop {}: {} ops, {} deps", l.name, l.ddg.node_count(), l.ddg.edge_count());
-    println!("machine {}: {} clusters", machine.spec(), machine.clusters());
+    println!(
+        "loop {}: {} ops, {} deps",
+        l.name,
+        l.ddg.node_count(),
+        l.ddg.edge_count()
+    );
+    println!(
+        "machine {}: {} clusters",
+        machine.spec(),
+        machine.clusters()
+    );
     println!();
-    println!("  MII {} -> II {} (length {}, {} stages)", s.mii, s.ii, s.length, s.stage_count);
+    println!(
+        "  MII {} -> II {} (length {}, {} stages)",
+        s.mii, s.ii, s.length, s.stage_count
+    );
     println!(
         "  communications: {} after partition, {} scheduled on buses",
         s.partition_coms, s.final_coms
@@ -354,8 +371,7 @@ fn cmd_compare(args: &Args) -> Result<(), CliError> {
                 Ok(out) => {
                     let s = out.stats;
                     let cycles = out.schedule.texec(iterations);
-                    let ipc =
-                        (iterations * u64::from(s.ops_per_iter)) as f64 / cycles as f64;
+                    let ipc = (iterations * u64::from(s.ops_per_iter)) as f64 / cycles as f64;
                     println!(
                         "{name:<12} {:>4} {:>4} {:>7} {:>7} {:>6} {:>8} {ipc:>7.2}",
                         s.mii,

@@ -26,7 +26,10 @@ const FIR: &str = "examples/loops/fir.loop";
 fn sample_loops_exist() {
     for f in ["fir.loop", "stencil.loop", "recurrence.loop"] {
         assert!(
-            Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/loops").join(f).exists(),
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("examples/loops")
+                .join(f)
+                .exists(),
             "missing sample {f}"
         );
     }
@@ -55,7 +58,10 @@ fn schedule_reports_and_verifies() {
     let text = stdout(&out);
     assert!(text.contains("MII"));
     assert!(text.contains("schedule verified OK"), "{text}");
-    assert!(text.contains("lockstep simulation (8 iterations) OK"), "{text}");
+    assert!(
+        text.contains("lockstep simulation (8 iterations) OK"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -96,7 +102,12 @@ fn compare_lists_all_four_modes() {
 
 #[test]
 fn mii_prints_decomposition() {
-    let out = cvliw(&["mii", "examples/loops/recurrence.loop", "--machine", "4c1b2l64r"]);
+    let out = cvliw(&[
+        "mii",
+        "examples/loops/recurrence.loop",
+        "--machine",
+        "4c1b2l64r",
+    ]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("ResMII"));
@@ -143,11 +154,19 @@ fn loop_selector_picks_one_loop() {
 
 #[test]
 fn block_schedules_acyclic_regions() {
-    let out = cvliw(&["block", "examples/loops/block.loop", "--machine", "4c1b2l64r"]);
+    let out = cvliw(&[
+        "block",
+        "examples/loops/block.loop",
+        "--machine",
+        "4c1b2l64r",
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("length"), "{text}");
-    assert!(text.contains("c0@") || text.contains("c1@"), "placements missing: {text}");
+    assert!(
+        text.contains("c0@") || text.contains("c1@"),
+        "placements missing: {text}"
+    );
     // Loop-carried inputs are rejected with a clear message.
     let bad = cvliw(&["block", FIR, "--machine", "4c1b2l64r"]);
     assert_eq!(bad.status.code(), Some(1));

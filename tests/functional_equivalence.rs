@@ -79,8 +79,16 @@ fn arb_machine() -> impl Strategy<Value = MachineConfig> {
         Just(
             MachineConfig::heterogeneous(
                 vec![
-                    FuCounts { int: 1, fp: 3, mem: 2 },
-                    FuCounts { int: 3, fp: 1, mem: 2 },
+                    FuCounts {
+                        int: 1,
+                        fp: 3,
+                        mem: 2
+                    },
+                    FuCounts {
+                        int: 3,
+                        fp: 1,
+                        mem: 2
+                    },
                 ],
                 2,
                 2,
@@ -94,8 +102,12 @@ fn arb_machine() -> impl Strategy<Value = MachineConfig> {
 
 /// Modes whose schedules are executable (zero-bus is intentionally
 /// optimistic and excluded by design).
-const EXECUTABLE_MODES: [Mode; 4] =
-    [Mode::Baseline, Mode::ValueClone, Mode::Replicate, Mode::ReplicateSchedLen];
+const EXECUTABLE_MODES: [Mode; 4] = [
+    Mode::Baseline,
+    Mode::ValueClone,
+    Mode::Replicate,
+    Mode::ReplicateSchedLen,
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -227,7 +239,11 @@ fn simulation_catches_understated_operation_latencies() {
         0,
         1,
         64,
-        FuCounts { int: 4, fp: 4, mem: 4 },
+        FuCounts {
+            int: 4,
+            fp: 4,
+            mem: 4,
+        },
         LatencyTable::UNIT,
     )
     .unwrap();
@@ -237,7 +253,10 @@ fn simulation_catches_understated_operation_latencies() {
     simulate(&ddg, &optimistic, &out.schedule, 4).expect("consistent machine passes");
     let err = simulate(&ddg, &honest, &out.schedule, 4)
         .expect_err("a unit-latency schedule cannot satisfy Table-1 latencies");
-    assert!(matches!(err, cvliw::sim::SimError::LatencyViolated { .. }), "{err}");
+    assert!(
+        matches!(err, cvliw::sim::SimError::LatencyViolated { .. }),
+        "{err}"
+    );
 }
 
 #[test]

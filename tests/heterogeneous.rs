@@ -10,7 +10,18 @@ use cvliw::replicate::CompileOptions;
 /// An fp-compute cluster plus an int/mem "address engine" cluster.
 fn fp_int_machine(buses: u8) -> MachineConfig {
     MachineConfig::heterogeneous(
-        vec![FuCounts { int: 0, fp: 3, mem: 1 }, FuCounts { int: 3, fp: 0, mem: 2 }],
+        vec![
+            FuCounts {
+                int: 0,
+                fp: 3,
+                mem: 1,
+            },
+            FuCounts {
+                int: 3,
+                fp: 0,
+                mem: 2,
+            },
+        ],
         buses,
         2,
         64,
@@ -97,7 +108,10 @@ fn baseline_needs_communication_replication_can_remove_it() {
     let machine = fp_int_machine(1);
     let base = compile_loop(&ddg, &machine, &CompileOptions::baseline()).unwrap();
     let repl = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
-    assert!(repl.stats.ii <= base.stats.ii, "replication never hurts the II");
+    assert!(
+        repl.stats.ii <= base.stats.ii,
+        "replication never hurts the II"
+    );
     assert!(repl.stats.final_coms <= base.stats.final_coms);
 }
 
@@ -122,9 +136,21 @@ fn three_way_heterogeneous_machine_works() {
     // fp cluster, int cluster, mem cluster — extreme specialization.
     let machine = MachineConfig::heterogeneous(
         vec![
-            FuCounts { int: 0, fp: 4, mem: 0 },
-            FuCounts { int: 4, fp: 0, mem: 0 },
-            FuCounts { int: 0, fp: 0, mem: 4 },
+            FuCounts {
+                int: 0,
+                fp: 4,
+                mem: 0,
+            },
+            FuCounts {
+                int: 4,
+                fp: 0,
+                mem: 0,
+            },
+            FuCounts {
+                int: 0,
+                fp: 0,
+                mem: 4,
+            },
         ],
         2,
         2,
@@ -137,5 +163,8 @@ fn three_way_heterogeneous_machine_works() {
     out.schedule.verify(&ddg, &machine).unwrap();
     // Every value chain crosses clusters here, so communication is heavy;
     // the II must grow well beyond a homogeneous machine's.
-    assert!(out.stats.final_coms > 0, "fully specialized clusters must communicate");
+    assert!(
+        out.stats.final_coms > 0,
+        "fully specialized clusters must communicate"
+    );
 }

@@ -98,6 +98,13 @@ fn recurrence_sample_is_latency_bound() {
     let l = cvliw::ir::parse_loop(&text).unwrap();
     let machine = MachineConfig::from_spec("4c1b2l64r").unwrap();
     let out = compile_loop(&l.ddg, &machine, &CompileOptions::replicate()).unwrap();
-    assert_eq!(out.stats.mii, 21, "fdiv (18) + fadd (3) around a distance-1 cycle");
-    assert_eq!(out.stats.replication.added_instances(), 0, "nothing is bus-bound");
+    assert_eq!(
+        out.stats.mii, 21,
+        "fdiv (18) + fadd (3) around a distance-1 cycle"
+    );
+    assert_eq!(
+        out.stats.replication.added_instances(),
+        0,
+        "nothing is bus-bound"
+    );
 }

@@ -36,14 +36,21 @@ fn comm_bound_programs_gain_mgrid_does_not() {
     let su2cor = speedup("su2cor");
     let mgrid = speedup("mgrid");
     assert!(su2cor > 1.10, "su2cor should gain notably, got {su2cor:.3}");
-    assert!(mgrid < su2cor, "mgrid ({mgrid:.3}) must gain less than su2cor ({su2cor:.3})");
+    assert!(
+        mgrid < su2cor,
+        "mgrid ({mgrid:.3}) must gain less than su2cor ({su2cor:.3})"
+    );
     assert!(mgrid < 1.10, "mgrid barely gains, got {mgrid:.3}");
 }
 
 /// Figure 8: mgrid's clustered IPC stays near the unified machine's.
 #[test]
 fn mgrid_clustered_is_close_to_unified() {
-    let unified = program_ipc("mgrid", &MachineConfig::unified(256), &CompileOptions::baseline());
+    let unified = program_ipc(
+        "mgrid",
+        &MachineConfig::unified(256),
+        &CompileOptions::baseline(),
+    );
     for spec in ["2c1b2l64r", "4c1b2l64r", "4c2b2l64r"] {
         let machine = MachineConfig::from_spec(spec).unwrap();
         let clustered = program_ipc("mgrid", &machine, &CompileOptions::baseline());
@@ -87,7 +94,10 @@ fn bus_dominates_ii_increases() {
         );
     }
     assert!(bus > 0, "su2cor loops must be communication-bound");
-    assert!(bus >= other, "bus ({bus}) should dominate other causes ({other})");
+    assert!(
+        bus >= other,
+        "bus ({bus}) should dominate other causes ({other})"
+    );
 }
 
 /// §6's related-work ordering: the restricted value-cloning technique of
@@ -127,5 +137,8 @@ fn replication_overhead_is_small() {
         }
     }
     let overhead = added as f64 / original as f64;
-    assert!(overhead < 0.15, "added-instruction overhead too large: {overhead:.3}");
+    assert!(
+        overhead < 0.15,
+        "added-instruction overhead too large: {overhead:.3}"
+    );
 }

@@ -73,7 +73,10 @@ fn fir_speedup_grows_with_samples() {
     let machine = MachineConfig::from_spec("4c1b2l64r").unwrap();
     let base = compile_loop(&ddg, &machine, &CompileOptions::baseline()).unwrap();
     let repl = compile_loop(&ddg, &machine, &CompileOptions::replicate()).unwrap();
-    assert!(repl.stats.ii < base.stats.ii, "FIR is communication-bound on 4c1b");
+    assert!(
+        repl.stats.ii < base.stats.ii,
+        "FIR is communication-bound on 4c1b"
+    );
     // For long-running loops the speedup approaches the II ratio.
     let t_base = base.schedule.texec(100_000) as f64;
     let t_repl = repl.schedule.texec(100_000) as f64;

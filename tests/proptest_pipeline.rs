@@ -15,8 +15,8 @@ fn arb_params() -> impl Strategy<Value = GeneratorParams> {
         0.0f64..0.3,
         0.0f64..1.0,
     )
-        .prop_map(|((chains, depth), coupling, shared_addr, recurrence, store)| {
-            GeneratorParams {
+        .prop_map(
+            |((chains, depth), coupling, shared_addr, recurrence, store)| GeneratorParams {
                 chains: (chains, chains + 2),
                 depth: (depth, depth + 2),
                 coupling,
@@ -24,8 +24,8 @@ fn arb_params() -> impl Strategy<Value = GeneratorParams> {
                 recurrence,
                 store,
                 ..GeneratorParams::medium()
-            }
-        })
+            },
+        )
 }
 
 fn arb_machine() -> impl Strategy<Value = MachineConfig> {
@@ -42,7 +42,11 @@ fn arb_machine() -> impl Strategy<Value = MachineConfig> {
                 buses,
                 bus_lat,
                 regs,
-                cvliw::machine::FuCounts { int: per, fp: per, mem: per },
+                cvliw::machine::FuCounts {
+                    int: per,
+                    fp: per,
+                    mem: per,
+                },
                 cvliw::machine::LatencyTable::PAPER,
             )
             .expect("valid machine")

@@ -43,7 +43,11 @@ fn check_config(spec: &str) {
             // Replication must not lose: same or lower II; and at the same
             // II (identical deterministic partition path) it cannot end
             // with more communications.
-            assert!(repl.stats.ii <= base.stats.ii, "{}: replication raised II", l.name);
+            assert!(
+                repl.stats.ii <= base.stats.ii,
+                "{}: replication raised II",
+                l.name
+            );
             if repl.stats.ii == base.stats.ii {
                 assert!(
                     repl.stats.final_coms <= base.stats.final_coms,

@@ -1,0 +1,122 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Supports the `criterion_group!` / `criterion_main!` / `bench_function`
+//! subset. Each benchmark is warmed up briefly, then timed for a fixed
+//! budget; mean, min and max nanoseconds per iteration are printed. When the
+//! harness is invoked with `--test` (as `cargo test` does for bench
+//! targets), each benchmark body runs exactly once, untimed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], which upstream criterion also
+/// provides at the crate root.
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to the functions registered in
+/// [`criterion_group!`].
+pub struct Criterion {
+    test_mode: bool,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            test_mode: self.test_mode,
+            budget: self.warm_up + self.measure,
+            warm_up: self.warm_up,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {name} ... ok (bench smoke run)");
+        } else if b.samples.is_empty() {
+            println!("{name}: no samples collected");
+        } else {
+            let n = b.samples.len() as f64;
+            let mean = b.samples.iter().sum::<f64>() / n;
+            let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+            println!(
+                "{name}: mean {mean:.1} ns/iter (min {min:.1}, max {max:.1}, {} samples)",
+                b.samples.len()
+            );
+        }
+        self
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    test_mode: bool,
+    budget: Duration,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records nanoseconds per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let started = Instant::now();
+        // Warm-up: run without recording.
+        while started.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        // Measurement: batches of calls, one sample per batch.
+        while started.elapsed() < self.budget {
+            let batch = 16u32;
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_call = t0.elapsed().as_nanos() as f64 / f64::from(batch);
+            self.samples.push(per_call);
+        }
+    }
+}
+
+/// Registers benchmark functions under a group name, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the named groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

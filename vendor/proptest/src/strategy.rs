@@ -1,0 +1,510 @@
+//! Value-generation strategies: ranges, tuples, `Just`, mapping,
+//! flat-mapping, unions, collections, selections and regex-shaped strings.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: a strategy is just a
+/// sampler. All combinators upstream code uses (`prop_map`,
+/// `prop_flat_map`, `boxed`) are provided.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then uses it to build the strategy that produces
+    /// the final value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the strategy type, for storing heterogeneous strategies with
+    /// one value type together (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Type-erased strategy; see [`Strategy::boxed`].
+pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Weighted choice between strategies of one value type; built by
+/// `prop_oneof!`.
+pub struct Union<V> {
+    options: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    #[must_use]
+    pub fn new(options: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! requires a positive total weight"
+        );
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strat) in &self.options {
+            let w = u64::from(*weight);
+            if pick < w {
+                return strat.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights summed correctly")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric ranges.
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                {
+                    self.start + rng.below((self.end - self.start) as u64) as $t
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                if span == u64::MAX {
+                    rng.next_u64() as $t
+                } else {
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples.
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+// ---------------------------------------------------------------------------
+// Booleans.
+
+/// Strategy behind `prop::bool::ANY`.
+#[derive(Clone, Copy, Debug)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections and selection.
+
+/// Length specification accepted by [`vec()`].
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy; see
+/// [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span + 1) as usize
+            };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, len)`: vectors whose length is drawn
+/// from `len`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy cloning one of an explicit list of values; see [`select`].
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// `prop::sample::select(values)`: one of `values`, uniformly.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-shaped strings: `"[a-z][a-z0-9_]{0,6}"`, `".*"`, `".{0,200}"`, …
+
+impl<'a> Strategy for &'a str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+/// One parsed regex atom.
+enum Atom {
+    /// `.` — any char except `\n`.
+    AnyChar,
+    /// A literal character.
+    Literal(char),
+    /// `[...]` — one of an explicit char set.
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+            Atom::AnyChar => {
+                // Mostly printable ASCII, sometimes other unicode; never \n
+                // (regex `.` semantics).
+                const EXOTIC: &[char] = &[
+                    'λ', 'é', '→', '中', '𝕏', '\t', '"', '{', '}', '@', '\\', '\'',
+                ];
+                if rng.below(8) == 0 {
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                } else {
+                    char::from(0x20 + rng.below(0x5f) as u8)
+                }
+            }
+        }
+    }
+}
+
+/// Generates a string matching the tiny regex subset used by the tests:
+/// literals, `.`, `[a-z0-9_]`-style classes, and the quantifiers `*`, `+`,
+/// `?`, `{n}`, `{m,n}`, `{m,}`.
+fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated char class in regex {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("checked");
+                            let hi = chars.next().expect("checked");
+                            for code in lo as u32..=hi as u32 {
+                                set.extend(char::from_u32(code));
+                            }
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                set.extend(prev);
+                assert!(!set.is_empty(), "empty char class in regex {pattern:?}");
+                Atom::Class(set)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}")),
+            ),
+            other => Atom::Literal(other),
+        };
+
+        // Optional quantifier.
+        let (lo, hi) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0usize, 16usize)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                let parse = |s: &str| {
+                    s.parse::<usize>()
+                        .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in {pattern:?}"))
+                };
+                match spec.split_once(',') {
+                    None => {
+                        let n = parse(&spec);
+                        (n, n)
+                    }
+                    Some((m, "")) => {
+                        let m = parse(m);
+                        (m, m + 16)
+                    }
+                    Some((m, n)) => (parse(m), parse(n)),
+                }
+            }
+            _ => (1, 1),
+        };
+
+        let count = lo
+            + if hi > lo {
+                rng.below((hi - lo + 1) as u64) as usize
+            } else {
+                0
+            };
+        for _ in 0..count {
+            out.push(atom.sample(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_class_with_quantifier() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = sample_regex("[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!((1..=7).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn regex_dot_star_never_emits_newline() {
+        let mut rng = TestRng::for_test("dotstar");
+        for _ in 0..200 {
+            let s = sample_regex(".*", &mut rng);
+            assert!(!s.contains('\n'));
+            assert!(s.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn regex_bounded_any() {
+        let mut rng = TestRng::for_test("bounded");
+        for _ in 0..100 {
+            let s = sample_regex(".{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut rng = TestRng::for_test("union");
+        let u = Union::new(vec![(9, Just(true).boxed()), (1, Just(false).boxed())]);
+        let hits = (0..1000).filter(|_| u.sample(&mut rng)).count();
+        assert!(hits > 800, "expected ~900 true, got {hits}");
+    }
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let mut rng = TestRng::for_test("vec");
+        let v = vec(0u32..10, 2..5);
+        for _ in 0..100 {
+            let xs = v.sample(&mut rng);
+            assert!((2..5).contains(&xs.len()));
+        }
+    }
+}

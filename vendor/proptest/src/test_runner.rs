@@ -1,0 +1,117 @@
+//! Deterministic case runner: configuration, RNG, and the driver loop
+//! behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+
+/// How many cases to run, and how many rejects to tolerate.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            max_global_rejects: cases.saturating_mul(64).max(1024),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it does not count.
+    Reject(String),
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+}
+
+/// SplitMix64 stream used for all sampling. Deterministic per test.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from the test name (or `PROPTEST_SEED` when set,
+    /// to replay or vary a run).
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x8422_6e2d_8398_9ddd);
+        // FNV-1a over the name, folded into the base seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`. Panics when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample below 0");
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drives one property: samples values until `config.cases` cases pass,
+/// panicking on the first failed assertion.
+pub fn run_property<S, F>(config: &ProptestConfig, name: &str, strategy: &S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let value = strategy.sample(&mut rng);
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "property `{name}`: {rejected} cases rejected before {} passed \
+                     (assumptions too strict?)",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed after {passed} passing case(s):\n{msg}\n\
+                     (deterministic run; set PROPTEST_SEED to vary sampling)"
+                );
+            }
+        }
+    }
+}
