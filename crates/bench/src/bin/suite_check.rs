@@ -1,35 +1,77 @@
-//! Robustness sweep: compile every suite loop on every paper machine
-//! configuration, baseline and replication, and report any loop that
-//! panics or fails to schedule. A healthy tree prints `total failures: 0`.
+//! Robustness and regression gate over the full suite, re-expressed on the
+//! `cvliw_exp` parallel runner: compile every suite loop on every paper
+//! machine configuration under baseline and replication, then **exit
+//! nonzero** if any metric regressed, so CI can gate on it:
+//!
+//! * any loop that fails to compile (a healthy tree has zero), or
+//! * any configuration where replication's suite IPC drops more than 2%
+//!   below baseline — the paper's core claim, allowing for the handful of
+//!   short-trip loops where extra pipeline stages cost more than the II
+//!   saves.
+//!
+//! A panic inside any worker also aborts with a nonzero exit, so the old
+//! per-loop `catch_unwind` sweep is subsumed. `CVLIW_MAX_LOOPS` caps loops
+//! per program for quick runs; `CVLIW_JOBS` overrides the worker count.
 
-use cvliw_machine::{paper_specs, MachineConfig};
-use cvliw_replicate::{compile_loop, CompileOptions};
+use std::process::ExitCode;
 
-fn main() {
-    let mut failures = 0u32;
-    for spec in paper_specs() {
-        let machine = MachineConfig::from_spec(spec).expect("preset parses");
-        for program in cvliw_workloads::suite() {
-            for l in &program.loops {
-                for opts in [CompileOptions::baseline(), CompileOptions::replicate()] {
-                    let name = l.name.clone();
-                    let ok =
-                        std::panic::catch_unwind(|| compile_loop(&l.ddg, &machine, &opts).is_ok());
-                    match ok {
-                        Ok(true) => {}
-                        Ok(false) => {
-                            println!("COMPILE-FAIL {spec} {name}");
-                            failures += 1;
-                        }
-                        Err(_) => {
-                            println!("PANIC {spec} {name}");
-                            failures += 1;
-                        }
-                    }
-                }
-            }
-        }
-        eprintln!("{spec}: swept");
+use cvliw_exp::{default_jobs, run_suite, SuiteGrid};
+use cvliw_machine::paper_specs;
+use cvliw_replicate::Mode;
+
+/// Largest tolerated relative IPC loss of replication vs baseline.
+const IPC_REGRESSION_TOLERANCE: f64 = 0.02;
+
+fn env_num(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let mut grid = SuiteGrid::paper().with_modes(vec![Mode::Baseline, Mode::Replicate]);
+    if let Some(cap) = env_num("CVLIW_MAX_LOOPS") {
+        eprintln!("[suite_check] CVLIW_MAX_LOOPS={cap}: using a reduced suite");
+        grid = grid.with_max_loops(cap);
     }
-    println!("total failures: {failures}");
+    let jobs = env_num("CVLIW_JOBS").unwrap_or_else(default_jobs);
+
+    let report = match run_suite(&grid, jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("suite_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut regressions = 0u32;
+    for cell in &report.cells {
+        if cell.failures > 0 {
+            println!(
+                "COMPILE-FAIL {} {} {}: {} of {} loops",
+                cell.spec,
+                cell.mode.name(),
+                cell.program,
+                cell.failures,
+                cell.loops
+            );
+            regressions += 1;
+        }
+    }
+    for spec in paper_specs() {
+        let base = report.config_ipc(spec, Mode::Baseline);
+        let repl = report.config_ipc(spec, Mode::Replicate);
+        let verdict = if repl < base * (1.0 - IPC_REGRESSION_TOLERANCE) {
+            regressions += 1;
+            "IPC-REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("{spec}: baseline {base:.3} -> replicate {repl:.3}  {verdict}");
+    }
+
+    println!("total failures: {regressions}");
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -1,105 +1,21 @@
-//! Shared harness for the experiment regenerators in `benches/`.
+//! Shared harness for the experiment regenerators in `benches/` — the
+//! workspace's §4 instrumentation, one `harness = false` bench target per
+//! figure and table of the paper (Figures 1 and 7–12, Table 1, the
+//! communication and register-sweep tables, plus ablations).
 //!
-//! Every table and figure of the paper is regenerated by one
-//! `harness = false` bench target; this library holds the common plumbing:
-//! compiling a whole benchmark program under a machine/mode pair,
-//! aggregating IPC with profile weights, and printing aligned tables.
+//! The compile-and-aggregate plumbing (compiling a whole benchmark program
+//! under a machine/mode pair, profile-weighted IPC, replication
+//! accounting) lives in [`cvliw_exp`] and is re-exported here so every
+//! regenerator keeps a single import surface; this crate adds only the
+//! table-printing helpers and the `CVLIW_MAX_LOOPS` escape hatch for quick
+//! runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cvliw_machine::MachineConfig;
-use cvliw_replicate::{compile_loop, CompileOptions, LoopStats};
-use cvliw_sim::IpcAccumulator;
-use cvliw_workloads::{BenchmarkProgram, WorkloadLoop};
+pub use cvliw_exp::{run_loop, run_program, ProgramResult};
 
-/// Result of compiling one program under one configuration.
-#[derive(Clone, Debug, Default)]
-pub struct ProgramResult {
-    /// Profile-weighted IPC (original operations per cycle).
-    pub ipc: f64,
-    /// Per-loop statistics, aligned with the program's loop order (loops
-    /// that failed to compile are skipped and counted).
-    pub loop_stats: Vec<LoopStats>,
-    /// Loop profiles matching `loop_stats` (visits, iterations).
-    pub profiles: Vec<(u64, u64)>,
-    /// Loops that failed to compile (should stay zero).
-    pub failures: usize,
-}
-
-impl ProgramResult {
-    /// Dynamic (profile-weighted) executed instructions, split into
-    /// `(original, net replicated)`.
-    #[must_use]
-    pub fn executed_instructions(&self) -> (u64, u64) {
-        let mut original = 0u64;
-        let mut replicated = 0u64;
-        for (stats, &(visits, iters)) in self.loop_stats.iter().zip(&self.profiles) {
-            let dyn_iters = visits * iters;
-            original += dyn_iters * u64::from(stats.ops_per_iter);
-            let net: u32 = stats.replication.net_added_by_class().iter().sum();
-            replicated += dyn_iters * u64::from(net);
-        }
-        (original, replicated)
-    }
-
-    /// Dynamic net replicated instructions per class (`[int, fp, mem]`).
-    #[must_use]
-    pub fn replicated_by_class(&self) -> [u64; 3] {
-        let mut out = [0u64; 3];
-        for (stats, &(visits, iters)) in self.loop_stats.iter().zip(&self.profiles) {
-            let dyn_iters = visits * iters;
-            let net = stats.replication.net_added_by_class();
-            for (slot, &n) in out.iter_mut().zip(net.iter()) {
-                *slot += dyn_iters * u64::from(n);
-            }
-        }
-        out
-    }
-}
-
-/// Compiles every loop of `program` for `machine` under `opts` and
-/// aggregates profile-weighted IPC.
-#[must_use]
-pub fn run_program(
-    program: &BenchmarkProgram,
-    machine: &MachineConfig,
-    opts: &CompileOptions,
-) -> ProgramResult {
-    let mut acc = IpcAccumulator::new();
-    let mut result = ProgramResult::default();
-    for l in &program.loops {
-        match compile_loop(&l.ddg, machine, opts) {
-            Ok(out) => {
-                acc.add_loop(
-                    l.profile.visits,
-                    l.profile.iterations,
-                    out.stats.ops_per_iter,
-                    out.stats.ii,
-                    out.stats.stage_count,
-                );
-                result.loop_stats.push(out.stats);
-                result
-                    .profiles
-                    .push((l.profile.visits, l.profile.iterations));
-            }
-            Err(_) => result.failures += 1,
-        }
-    }
-    result.ipc = acc.ipc();
-    result
-}
-
-/// Compiles a single loop, returning its stats (convenience for benches
-/// that only need one loop).
-#[must_use]
-pub fn run_loop(
-    l: &WorkloadLoop,
-    machine: &MachineConfig,
-    opts: &CompileOptions,
-) -> Option<LoopStats> {
-    compile_loop(&l.ddg, machine, opts).ok().map(|o| o.stats)
-}
+use cvliw_workloads::BenchmarkProgram;
 
 /// Prints a row of right-aligned cells after a left-aligned label.
 pub fn print_row(label: &str, cells: &[String]) {
@@ -147,6 +63,8 @@ pub fn suite_for_bench() -> Vec<BenchmarkProgram> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cvliw_machine::MachineConfig;
+    use cvliw_replicate::CompileOptions;
     use cvliw_workloads::suite_subset;
 
     #[test]

@@ -38,10 +38,40 @@ pub enum Mode {
 }
 
 impl Mode {
+    /// Every pipeline, in the order the paper's comparisons present them:
+    /// the two non-replicating references first, then §3, then the §5
+    /// variants.
+    pub const ALL: [Mode; 5] = [
+        Mode::Baseline,
+        Mode::ValueClone,
+        Mode::Replicate,
+        Mode::ReplicateSchedLen,
+        Mode::ZeroBusLatency,
+    ];
+
     /// Whether this mode runs the full §3 replication engine.
     #[must_use]
     pub fn replicates(self) -> bool {
         !matches!(self, Mode::Baseline | Mode::ValueClone)
+    }
+
+    /// The stable CLI/report name of this mode (`baseline`, `replicate`,
+    /// `sched-len`, `zero-bus`, `value-clone`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Baseline => "baseline",
+            Mode::Replicate => "replicate",
+            Mode::ReplicateSchedLen => "sched-len",
+            Mode::ZeroBusLatency => "zero-bus",
+            Mode::ValueClone => "value-clone",
+        }
+    }
+
+    /// Parses a mode name as produced by [`Mode::name`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Mode> {
+        Mode::ALL.into_iter().find(|m| m.name() == name)
     }
 }
 
@@ -176,6 +206,14 @@ pub struct LoopStats {
     pub instances_per_iter: u32,
     /// Bus copies per iteration.
     pub copies_per_iter: u32,
+}
+
+impl LoopStats {
+    /// Net replicated instructions per iteration across all classes.
+    #[must_use]
+    pub fn net_added(&self) -> u32 {
+        self.replication.net_added_by_class().iter().sum()
+    }
 }
 
 /// A successfully compiled loop.
@@ -336,6 +374,23 @@ pub fn compile_loop(
         max_ii,
         causes,
     })
+}
+
+/// The single-cell entry point for suite orchestration: compiles one loop
+/// and returns only its [`LoopStats`], dropping the schedule. Everything an
+/// experiment grid aggregates (II, IPC inputs, replication ratios, cause
+/// tallies) lives in the stats; the schedule itself is only needed by
+/// callers that render, verify or simulate it.
+///
+/// # Errors
+///
+/// Returns [`CompileError::IiLimitExceeded`] if no II up to the cap works.
+pub fn compile_stats(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    opts: &CompileOptions,
+) -> Result<LoopStats, CompileError> {
+    compile_loop(ddg, machine, opts).map(|out| out.stats)
 }
 
 #[cfg(test)]

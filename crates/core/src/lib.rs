@@ -74,7 +74,8 @@ mod value_clone;
 
 pub use acyclic::{replicate_for_acyclic_length, schedule_acyclic, AcyclicError, AcyclicSchedule};
 pub use driver::{
-    compile_loop, CauseCounts, CompileError, CompileOptions, CompiledLoop, LoopStats, Mode,
+    compile_loop, compile_stats, CauseCounts, CompileError, CompileOptions, CompiledLoop,
+    LoopStats, Mode,
 };
 pub use engine::{ReplicationEngine, ReplicationOutcome, ReplicationStats};
 pub use liveness::{dead_instances, live_instances, InstanceView};

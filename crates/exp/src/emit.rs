@@ -1,0 +1,302 @@
+//! Report emitters: machine-readable JSON and CSV, and the aligned text
+//! table the CLI prints by default.
+//!
+//! Every emitter is a pure function of the [`SuiteReport`]; floats are
+//! rendered with fixed precision, so two runs over the same grid produce
+//! byte-identical output regardless of worker count.
+
+use std::fmt::Write as _;
+
+use crate::report::SuiteReport;
+
+/// Output format of a suite run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Aligned human-readable tables (the CLI default).
+    Text,
+    /// A single JSON document with per-cell and per-config records.
+    Json,
+    /// One CSV row per cell.
+    Csv,
+    /// The Markdown results book (`docs/RESULTS.md`).
+    Markdown,
+}
+
+impl Format {
+    /// Parses a format name (`text`, `json`, `csv`, `md`/`markdown`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Format> {
+        match name {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "csv" => Some(Format::Csv),
+            "md" | "markdown" => Some(Format::Markdown),
+            _ => None,
+        }
+    }
+
+    /// The canonical name of the format.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Text => "text",
+            Format::Json => "json",
+            Format::Csv => "csv",
+            Format::Markdown => "md",
+        }
+    }
+}
+
+/// Renders the report in the given format.
+#[must_use]
+pub fn emit(report: &SuiteReport, format: Format) -> String {
+    match format {
+        Format::Text => emit_text(report),
+        Format::Json => emit_json(report),
+        Format::Csv => emit_csv(report),
+        Format::Markdown => crate::emit_md::emit_markdown(report),
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The JSON document: suite metadata, one record per cell (raw integer
+/// accumulators plus derived metrics), and one record per configuration.
+#[must_use]
+pub fn emit_json(report: &SuiteReport) -> String {
+    let mut o = String::new();
+    o.push_str("{\n  \"suite\": {\n");
+    let _ = writeln!(o, "    \"loops_per_config\": {},", report.suite_loops);
+    match report.max_loops {
+        Some(cap) => {
+            let _ = writeln!(o, "    \"max_loops\": {cap},");
+        }
+        None => o.push_str("    \"max_loops\": null,\n"),
+    }
+    let list = |items: Vec<String>| items.join(", ");
+    let _ = writeln!(
+        o,
+        "    \"programs\": [{}],",
+        list(report.programs.iter().map(|p| json_string(p)).collect())
+    );
+    let _ = writeln!(
+        o,
+        "    \"specs\": [{}],",
+        list(report.specs.iter().map(|s| json_string(s)).collect())
+    );
+    let _ = writeln!(
+        o,
+        "    \"modes\": [{}]",
+        list(report.modes.iter().map(|m| json_string(m.name())).collect())
+    );
+    o.push_str("  },\n  \"cells\": [\n");
+    for (i, c) in report.cells.iter().enumerate() {
+        o.push_str("    {");
+        let _ = write!(
+            o,
+            "\"spec\": {}, \"mode\": {}, \"program\": {}, ",
+            json_string(&c.spec),
+            json_string(c.mode.name()),
+            json_string(&c.program)
+        );
+        let _ = write!(
+            o,
+            "\"loops\": {}, \"failures\": {}, \"ops\": {}, \"cycles\": {}, ",
+            c.loops, c.failures, c.ops, c.cycles
+        );
+        let _ = write!(
+            o,
+            "\"added_ops\": {}, \"weighted_ii\": {}, \"weighted_mii\": {}, \
+             \"dyn_iters\": {}, \"partition_coms\": {}, \"final_coms\": {}, ",
+            c.added_ops, c.weighted_ii, c.weighted_mii, c.dyn_iters, c.partition_coms, c.final_coms
+        );
+        let _ = write!(
+            o,
+            "\"ipc\": {:.4}, \"mean_ii\": {:.4}, \"overhead\": {:.4}",
+            c.ipc(),
+            c.mean_ii(),
+            c.overhead()
+        );
+        o.push('}');
+        o.push_str(if i + 1 < report.cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    o.push_str("  ],\n  \"configs\": [\n");
+    let mut first = true;
+    for spec in &report.specs {
+        for &mode in &report.modes {
+            if !first {
+                o.push_str(",\n");
+            }
+            first = false;
+            o.push_str("    {");
+            let _ = write!(
+                o,
+                "\"spec\": {}, \"mode\": {}, \"ipc\": {:.4}, ",
+                json_string(spec),
+                json_string(mode.name()),
+                report.config_ipc(spec, mode)
+            );
+            match report.config_hmean(spec, mode) {
+                Some(h) => {
+                    let _ = write!(o, "\"hmean_ipc\": {h:.4}, ");
+                }
+                None => o.push_str("\"hmean_ipc\": null, "),
+            }
+            let _ = write!(
+                o,
+                "\"mean_ii\": {:.4}, \"overhead\": {:.4}",
+                report.config_mean_ii(spec, mode),
+                report.config_overhead(spec, mode)
+            );
+            o.push('}');
+        }
+    }
+    o.push_str("\n  ]\n}\n");
+    o
+}
+
+/// One CSV row per cell, in grid order.
+#[must_use]
+pub fn emit_csv(report: &SuiteReport) -> String {
+    let mut o = String::from(
+        "spec,mode,program,loops,failures,ops,cycles,ipc,mean_ii,mean_mii,\
+         added_ops,overhead_pct,partition_coms,final_coms\n",
+    );
+    for c in &report.cells {
+        let _ = writeln!(
+            o,
+            "{},{},{},{},{},{},{},{:.4},{:.2},{:.2},{},{:.2},{},{}",
+            c.spec,
+            c.mode.name(),
+            c.program,
+            c.loops,
+            c.failures,
+            c.ops,
+            c.cycles,
+            c.ipc(),
+            c.mean_ii(),
+            c.mean_mii(),
+            c.added_ops,
+            100.0 * c.overhead(),
+            c.partition_coms,
+            c.final_coms
+        );
+    }
+    o
+}
+
+/// Aligned tables for the terminal: one block per machine spec, one IPC
+/// column per mode, with `HMEAN` / `TOTAL` / overhead summary rows.
+#[must_use]
+pub fn emit_text(report: &SuiteReport) -> String {
+    let mut o = String::new();
+    let _ = writeln!(
+        o,
+        "suite: {} loops/config · {} machines × {} modes × {} programs ({} cells) · {} failures",
+        report.suite_loops,
+        report.specs.len(),
+        report.modes.len(),
+        report.programs.len(),
+        report.cells.len(),
+        report.failures()
+    );
+    for spec in &report.specs {
+        let _ = writeln!(o, "\n=== {spec} ===");
+        let _ = write!(o, "{:<12}", "program");
+        for &mode in &report.modes {
+            let _ = write!(o, " {:>11}", mode.name());
+        }
+        o.push('\n');
+        for program in &report.programs {
+            let _ = write!(o, "{program:<12}");
+            for &mode in &report.modes {
+                match report.cell(spec, mode, program) {
+                    Some(c) if c.failures == 0 => {
+                        let _ = write!(o, " {:>11.2}", c.ipc());
+                    }
+                    Some(c) => {
+                        let _ = write!(o, " {:>11}", format!("{} fail", c.failures));
+                    }
+                    None => {
+                        let _ = write!(o, " {:>11}", "-");
+                    }
+                }
+            }
+            o.push('\n');
+        }
+        let _ = write!(o, "{:<12}", "HMEAN");
+        for &mode in &report.modes {
+            match report.config_hmean(spec, mode) {
+                Some(h) => {
+                    let _ = write!(o, " {h:>11.2}");
+                }
+                None => {
+                    let _ = write!(o, " {:>11}", "-");
+                }
+            }
+        }
+        o.push('\n');
+        let _ = write!(o, "{:<12}", "TOTAL");
+        for &mode in &report.modes {
+            let _ = write!(o, " {:>11.2}", report.config_ipc(spec, mode));
+        }
+        o.push('\n');
+        let _ = write!(o, "{:<12}", "+instr%");
+        for &mode in &report.modes {
+            let _ = write!(o, " {:>11.1}", 100.0 * report.config_overhead(spec, mode));
+        }
+        o.push('\n');
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_replicate::Mode;
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in [Format::Text, Format::Json, Format::Csv, Format::Markdown] {
+            assert_eq!(Format::parse(f.name()), Some(f));
+        }
+        assert_eq!(Format::parse("markdown"), Some(Format::Markdown));
+        assert_eq!(Format::parse("yaml"), None);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn csv_modes_use_stable_names() {
+        assert_eq!(Mode::ReplicateSchedLen.name(), "sched-len");
+        assert_eq!(Mode::parse("sched-len"), Some(Mode::ReplicateSchedLen));
+    }
+}

@@ -1,0 +1,145 @@
+//! Enumeration of the experiment grid: which (workload × machine × policy)
+//! cells a suite run covers, in a fixed, reproducible order.
+
+use cvliw_replicate::Mode;
+
+/// The full experiment grid of one suite run.
+///
+/// A grid is the cartesian product of benchmark programs, machine specs and
+/// replication policies ([`Mode`]), optionally capped at `max_loops` loops
+/// per program. [`SuiteGrid::cells`] enumerates it in a fixed order —
+/// machine-major, then mode, then program — so every run (and every worker
+/// count) sees the same cell list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SuiteGrid {
+    /// Benchmark program names (must be known to `cvliw_workloads`).
+    pub programs: Vec<String>,
+    /// Machine specifications in `wcxbylzr` / `unified` / `het:` form.
+    pub specs: Vec<String>,
+    /// Replication policies to compile under.
+    pub modes: Vec<Mode>,
+    /// Per-program loop cap; `None` runs every loop (the paper's 678).
+    pub max_loops: Option<usize>,
+}
+
+impl SuiteGrid {
+    /// The paper's full grid: all ten programs, the six clustered
+    /// configurations of Table 1/Figure 7, and every compilation mode.
+    #[must_use]
+    pub fn paper() -> Self {
+        SuiteGrid {
+            programs: cvliw_workloads::program_names()
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+            specs: cvliw_machine::paper_specs()
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+            modes: Mode::ALL.to_vec(),
+            max_loops: None,
+        }
+    }
+
+    /// Restricts the grid to the given machine specs.
+    #[must_use]
+    pub fn with_specs(mut self, specs: Vec<String>) -> Self {
+        self.specs = specs;
+        self
+    }
+
+    /// Restricts the grid to the given modes.
+    #[must_use]
+    pub fn with_modes(mut self, modes: Vec<Mode>) -> Self {
+        self.modes = modes;
+        self
+    }
+
+    /// Restricts the grid to the given programs.
+    #[must_use]
+    pub fn with_programs(mut self, programs: Vec<String>) -> Self {
+        self.programs = programs;
+        self
+    }
+
+    /// Caps every program at `max_loops` loops.
+    #[must_use]
+    pub fn with_max_loops(mut self, max_loops: usize) -> Self {
+        self.max_loops = Some(max_loops);
+        self
+    }
+
+    /// Number of cells the grid enumerates.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.programs.len() * self.specs.len() * self.modes.len()
+    }
+
+    /// Enumerates every cell in the canonical order: machine-major, then
+    /// mode, then program. The order is part of the report format — it is
+    /// what makes regenerated reports byte-identical.
+    #[must_use]
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::with_capacity(self.cell_count());
+        for spec in &self.specs {
+            for &mode in &self.modes {
+                for program in &self.programs {
+                    out.push(CellSpec {
+                        program: program.clone(),
+                        spec: spec.clone(),
+                        mode,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One cell of the grid: compile `program` for `spec` under `mode`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Benchmark program name.
+    pub program: String,
+    /// Machine specification string.
+    pub spec: String,
+    /// Replication policy.
+    pub mode: Mode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_covers_the_full_product() {
+        let g = SuiteGrid::paper();
+        assert_eq!(g.cell_count(), 10 * 6 * 5);
+        assert_eq!(g.cells().len(), g.cell_count());
+    }
+
+    #[test]
+    fn cell_order_is_machine_major() {
+        let g = SuiteGrid::paper()
+            .with_programs(vec!["tomcatv".into(), "mgrid".into()])
+            .with_specs(vec!["2c1b2l64r".into(), "4c1b2l64r".into()])
+            .with_modes(vec![Mode::Baseline, Mode::Replicate]);
+        let cells = g.cells();
+        assert_eq!(cells.len(), 8);
+        // First block: first spec, first mode, programs in order.
+        assert_eq!(cells[0].spec, "2c1b2l64r");
+        assert_eq!(cells[0].mode, Mode::Baseline);
+        assert_eq!(cells[0].program, "tomcatv");
+        assert_eq!(cells[1].program, "mgrid");
+        assert_eq!(cells[2].mode, Mode::Replicate);
+        assert_eq!(cells[4].spec, "4c1b2l64r");
+    }
+
+    #[test]
+    fn builders_restrict_the_grid() {
+        let g = SuiteGrid::paper().with_max_loops(2);
+        assert_eq!(g.max_loops, Some(2));
+        let g = g.with_modes(vec![Mode::Replicate]);
+        assert_eq!(g.cell_count(), 10 * 6);
+    }
+}

@@ -1,0 +1,191 @@
+//! The suite worker pool: shard grid cells across scoped threads and
+//! collect results by cell index.
+//!
+//! Workers pull cell indices from a shared atomic counter (dynamic
+//! work-stealing — cells vary a lot in cost, fpppp's dozen huge loops vs
+//! wave5's 276 small ones), but every result lands in its cell's slot, and
+//! aggregation walks the slots in grid order after the pool joins. The
+//! worker count therefore changes wall-clock time and nothing else:
+//! `--jobs 1` and `--jobs 4` produce byte-identical reports.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use cvliw_machine::{MachineConfig, SpecError};
+use cvliw_workloads::{program, program_subset, BenchmarkProgram};
+
+use crate::cell::run_cell_on;
+use crate::grid::SuiteGrid;
+use crate::report::SuiteReport;
+
+/// A suite run that could not start.
+#[derive(Debug)]
+pub enum SuiteError {
+    /// A machine spec in the grid does not parse.
+    Spec {
+        /// The offending spec string.
+        spec: String,
+        /// The underlying parse error.
+        source: SpecError,
+    },
+    /// A program name the workload suite does not define.
+    UnknownProgram(String),
+    /// The grid enumerates no cells.
+    EmptyGrid,
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::Spec { spec, source } => {
+                write!(f, "bad machine spec `{spec}` in grid: {source}")
+            }
+            SuiteError::UnknownProgram(name) => {
+                write!(f, "unknown benchmark program `{name}`")
+            }
+            SuiteError::EmptyGrid => write!(f, "the grid enumerates no cells"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+/// The default worker count for suite runs: the machine's available
+/// parallelism, capped at 8 (beyond that the cells run out before the
+/// pool fills on the paper grid).
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Runs every cell of `grid` on a pool of `jobs` worker threads and
+/// aggregates the results into a [`SuiteReport`].
+///
+/// The report is a pure function of the grid: worker count and scheduling
+/// order cannot affect a single byte of any emitted format.
+///
+/// # Errors
+///
+/// Returns [`SuiteError`] if a spec does not parse, a program is unknown,
+/// or the grid is empty — all validated before any worker starts.
+pub fn run_suite(grid: &SuiteGrid, jobs: usize) -> Result<SuiteReport, SuiteError> {
+    let machines: Vec<MachineConfig> = grid
+        .specs
+        .iter()
+        .map(|s| {
+            MachineConfig::from_extended_spec(s).map_err(|source| SuiteError::Spec {
+                spec: s.clone(),
+                source,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    // Programs are built once, up front, and shared read-only with every
+    // worker; the workers spend their time compiling, not generating.
+    let programs: Vec<BenchmarkProgram> = grid
+        .programs
+        .iter()
+        .map(|name| {
+            match grid.max_loops {
+                Some(cap) => program_subset(name, cap),
+                None => program(name),
+            }
+            .ok_or_else(|| SuiteError::UnknownProgram(name.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let cells = grid.cells();
+    if cells.is_empty() {
+        return Err(SuiteError::EmptyGrid);
+    }
+    let jobs = jobs.max(1).min(cells.len());
+
+    // Cell i compiles programs[i % P] on machines[i / (P·M)]: the cells()
+    // order is spec-major, then mode, then program.
+    let n_programs = grid.programs.len();
+    let n_modes = grid.modes.len();
+    let machine_of = |i: usize| &machines[i / (n_programs * n_modes)];
+    let program_of = |i: usize| &programs[i % n_programs];
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<crate::cell::CellResult>> =
+        (0..cells.len()).map(|_| OnceLock::new()).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let result = run_cell_on(&cells[i], program_of(i), machine_of(i));
+                slots[i]
+                    .set(result)
+                    .expect("each cell index is claimed exactly once");
+            });
+        }
+    });
+
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("pool completed every cell"))
+        .collect();
+    Ok(SuiteReport::new(grid, results, &programs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_replicate::Mode;
+
+    fn tiny_grid() -> SuiteGrid {
+        SuiteGrid::paper()
+            .with_programs(vec!["tomcatv".into(), "mgrid".into()])
+            .with_specs(vec!["2c1b2l64r".into()])
+            .with_modes(vec![Mode::Baseline, Mode::Replicate])
+            .with_max_loops(2)
+    }
+
+    #[test]
+    fn suite_runs_and_orders_cells() {
+        let report = run_suite(&tiny_grid(), 2).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.cells[0].program, "tomcatv");
+        assert_eq!(report.cells[1].program, "mgrid");
+        assert_eq!(report.cells[0].mode, Mode::Baseline);
+        assert_eq!(report.cells[2].mode, Mode::Replicate);
+        assert_eq!(report.failures(), 0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let grid = tiny_grid();
+        let one = run_suite(&grid, 1).unwrap();
+        let many = run_suite(&grid, 7).unwrap();
+        assert_eq!(one.cells, many.cells);
+    }
+
+    #[test]
+    fn bad_spec_is_rejected_up_front() {
+        let grid = tiny_grid().with_specs(vec!["notaspec".into()]);
+        assert!(matches!(run_suite(&grid, 1), Err(SuiteError::Spec { .. })));
+    }
+
+    #[test]
+    fn unknown_program_is_rejected() {
+        let grid = tiny_grid().with_programs(vec!["gcc".into()]);
+        assert!(matches!(
+            run_suite(&grid, 1),
+            Err(SuiteError::UnknownProgram(_))
+        ));
+    }
+
+    #[test]
+    fn empty_grid_is_rejected() {
+        let grid = tiny_grid().with_modes(vec![]);
+        assert!(matches!(run_suite(&grid, 1), Err(SuiteError::EmptyGrid)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Golden-file and determinism tests for the suite report emitters.
+//!
+//! The golden files under `tests/golden/` pin the exact bytes of every
+//! machine-readable format for a small fixed grid. If an emitter change is
+//! intentional, regenerate them (and `docs/RESULTS.md`) with:
+//!
+//! ```text
+//! CVLIW_UPDATE_GOLDEN=1 cargo test -p cvliw_exp --test emitters
+//! cargo run --release --bin cvliw -- suite --jobs 4 --format md
+//! ```
+
+use std::path::PathBuf;
+
+use cvliw_exp::{emit, run_suite, Format, SuiteGrid, SuiteReport};
+use cvliw_replicate::Mode;
+
+/// The fixed grid the golden files were generated from: two programs with
+/// opposite characters (communication-bound tomcatv, decoupled mgrid), a
+/// 2- and a 4-cluster machine, the two headline modes, two loops each.
+fn golden_grid() -> SuiteGrid {
+    SuiteGrid::paper()
+        .with_programs(vec!["tomcatv".into(), "mgrid".into()])
+        .with_specs(vec!["2c1b2l64r".into(), "4c2b2l64r".into()])
+        .with_modes(vec![Mode::Baseline, Mode::Replicate])
+        .with_max_loops(2)
+}
+
+fn golden_report() -> SuiteReport {
+    run_suite(&golden_grid(), 2).expect("golden grid runs")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("CVLIW_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e} (run with CVLIW_UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{name} drifted from its golden file; if intentional, regenerate \
+         with CVLIW_UPDATE_GOLDEN=1 cargo test -p cvliw_exp --test emitters\n\
+         --- golden ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn json_matches_golden() {
+    check_golden("small.json", &emit(&golden_report(), Format::Json));
+}
+
+#[test]
+fn csv_matches_golden() {
+    check_golden("small.csv", &emit(&golden_report(), Format::Csv));
+}
+
+#[test]
+fn markdown_matches_golden() {
+    check_golden("small.md", &emit(&golden_report(), Format::Markdown));
+}
+
+#[test]
+fn text_matches_golden() {
+    check_golden("small.txt", &emit(&golden_report(), Format::Text));
+}
+
+/// The acceptance-criterion invariant: the worker count must not change a
+/// single byte of any emitted format.
+#[test]
+fn jobs_1_and_jobs_4_emit_identical_reports() {
+    let grid = golden_grid();
+    let one = run_suite(&grid, 1).expect("jobs=1 runs");
+    let four = run_suite(&grid, 4).expect("jobs=4 runs");
+    for format in [Format::Json, Format::Csv, Format::Markdown, Format::Text] {
+        assert_eq!(
+            emit(&one, format),
+            emit(&four, format),
+            "{} output depends on the worker count",
+            format.name()
+        );
+    }
+}
+
+/// JSON output stays structurally sane: balanced braces, no NaN/inf leaks.
+#[test]
+fn json_is_well_formed_enough() {
+    let json = emit(&golden_report(), Format::Json);
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced braces");
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    assert!(json.ends_with("}\n"));
+}
+
+/// CSV has exactly one row per cell plus the header, all with the same
+/// column count.
+#[test]
+fn csv_row_and_column_counts_match_the_grid() {
+    let report = golden_report();
+    let csv = emit(&report, Format::Csv);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + report.cells.len());
+    let columns = lines[0].split(',').count();
+    for line in &lines {
+        assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+    }
+}

@@ -46,6 +46,6 @@ mod programs;
 pub use generator::{generate_loop, GeneratorParams};
 pub use profile::LoopProfile;
 pub use programs::{
-    program, program_names, suite, suite_loop_count, suite_subset, suite_with_salt,
+    program, program_names, program_subset, suite, suite_loop_count, suite_subset, suite_with_salt,
     BenchmarkProgram, WorkloadLoop,
 };

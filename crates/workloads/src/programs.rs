@@ -266,6 +266,18 @@ pub fn program(name: &str) -> Option<BenchmarkProgram> {
         .map(|(n, count, params)| build(n, count, &params))
 }
 
+/// Builds one named program capped at `max_loops` loops, or `None` for an
+/// unknown name. The capped prefix draws the same loops as the full
+/// program, so a suite sharded one program at a time (the `cvliw_exp`
+/// worker pool) sees exactly the loops [`suite_subset`] would produce.
+#[must_use]
+pub fn program_subset(name: &str, max_loops: usize) -> Option<BenchmarkProgram> {
+    spec()
+        .into_iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(n, count, params)| build(n, count.min(max_loops), &params))
+}
+
 /// Builds the whole 678-loop suite.
 #[must_use]
 pub fn suite() -> Vec<BenchmarkProgram> {
@@ -386,6 +398,21 @@ mod tests {
             .sum::<usize>()
             / wave5.loops.len();
         assert!(avg > 2 * avg_w, "fpppp {avg} vs wave5 {avg_w}");
+    }
+
+    #[test]
+    fn program_subset_matches_suite_subset() {
+        let whole = suite_subset(2);
+        for p in &whole {
+            let alone = program_subset(p.name, 2).unwrap();
+            assert_eq!(alone.loops.len(), p.loops.len());
+            for (a, b) in alone.loops.iter().zip(&p.loops) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.ddg.node_count(), b.ddg.node_count());
+                assert_eq!(a.profile, b.profile);
+            }
+        }
+        assert!(program_subset("gcc", 2).is_none());
     }
 
     #[test]

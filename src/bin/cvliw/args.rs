@@ -53,7 +53,17 @@ impl fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
-const KNOWN_OPTIONS: [&str; 6] = ["machine", "mode", "loop", "max-loops", "iterations", "seed"];
+const KNOWN_OPTIONS: [&str; 9] = [
+    "machine",
+    "mode",
+    "loop",
+    "max-loops",
+    "iterations",
+    "seed",
+    "jobs",
+    "format",
+    "out",
+];
 
 impl Args {
     /// Parses raw process arguments (without the executable name).
@@ -164,6 +174,14 @@ mod tests {
         assert_eq!(a.get_num::<usize>("iterations").unwrap(), None);
         let bad = parse(&["x", "--max-loops", "dozen"]).unwrap();
         assert!(bad.get_num::<usize>("max-loops").is_err());
+    }
+
+    #[test]
+    fn suite_options_are_known() {
+        let a = parse(&["suite", "--jobs", "4", "--format", "md", "--out", "-"]).unwrap();
+        assert_eq!(a.get_num::<usize>("jobs").unwrap(), Some(4));
+        assert_eq!(a.get("format"), Some("md"));
+        assert_eq!(a.get("out"), Some("-"));
     }
 
     #[test]

@@ -4,13 +4,13 @@ use std::fmt;
 use std::fs;
 
 use cvliw::ddg::to_dot;
+use cvliw::exp::{default_jobs, emit, run_suite, Format, SuiteError, SuiteGrid};
 use cvliw::ir::{parse_module, print_loop, NamedLoop, ParseError};
 use cvliw::machine::{MachineConfig, SpecError};
 use cvliw::replicate::{compile_loop, CompileError, CompileOptions, CompiledLoop, Mode};
 use cvliw::sched::mii as sched_mii;
 use cvliw::sched::res_mii_unclustered;
-use cvliw::sim::{simulate, IpcAccumulator};
-use cvliw::workloads::{suite, suite_subset};
+use cvliw::sim::simulate;
 
 use crate::args::{Args, UsageError};
 
@@ -21,6 +21,13 @@ pub enum CliError {
     Usage(UsageError),
     /// Could not read the input file.
     Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Could not write an output file (`--out`, the results book).
+    Write {
         /// The path that failed.
         path: String,
         /// The underlying error.
@@ -40,6 +47,10 @@ pub enum CliError {
     UnknownCommand(String),
     /// Unknown `--mode` value.
     UnknownMode(String),
+    /// Unknown `--format` value.
+    UnknownFormat(String),
+    /// A suite run could not start.
+    Suite(SuiteError),
 }
 
 impl fmt::Display for CliError {
@@ -47,6 +58,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(e) => write!(f, "{e}"),
             CliError::Io { path, source } => write!(f, "cannot read `{path}`: {source}"),
+            CliError::Write { path, source } => write!(f, "cannot write `{path}`: {source}"),
             CliError::Parse(e) => write!(f, "parse error at {e}"),
             CliError::Spec(e) => write!(f, "bad machine spec: {e}"),
             CliError::NoSuchLoop(name) => write!(f, "the file defines no loop named `{name}`"),
@@ -60,6 +72,10 @@ impl fmt::Display for CliError {
                 "unknown mode `{m}` (expected baseline, replicate, sched-len, zero-bus \
                  or value-clone)"
             ),
+            CliError::UnknownFormat(x) => {
+                write!(f, "unknown format `{x}` (expected text, json, csv or md)")
+            }
+            CliError::Suite(e) => write!(f, "suite failed: {e}"),
         }
     }
 }
@@ -129,7 +145,8 @@ COMMANDS:
     mii      <file.loop>   print the MII decomposition of each loop
     print    <file.loop>   parse and reprint in canonical form
     dot      <file.loop>   emit Graphviz DOT for the dependence graph
-    suite                  compile the built-in 678-loop suite, print IPC
+    suite                  run the 678-loop experiment grid in parallel
+                           (all paper machines × all modes by default)
     help                   show this message
 
 OPTIONS:
@@ -137,17 +154,27 @@ OPTIONS:
                            `unified` (12-wide, no clusters), or the
                            heterogeneous form het:INT.FP.MEM+...:xbylzr
                            (e.g. het:0.3.1+3.0.2:1b2l64r)
-                           [required for schedule/compare/mii/suite]
+                           [required for schedule/compare/mii; for `suite`
+                           it restricts the grid to one machine]
     --mode <mode>          baseline | replicate | sched-len | zero-bus |
-                           value-clone (default: replicate)
+                           value-clone (default: replicate; for `suite` it
+                           restricts the grid to one mode)
     --loop <name>          pick one loop from a multi-loop file
     --iterations <n>       trip count for Texec/IPC reporting (default 100)
     --max-loops <n>        cap loops per program for `suite`
+    --jobs <n>             suite worker threads (default: CPU count, max 8);
+                           the report is identical for any worker count
+    --format <fmt>         suite output: text | json | csv | md
+                           (default text; md is the docs/RESULTS.md book)
+    --out <path>           suite output file; `-` forces stdout
+                           (default: stdout, except md -> docs/RESULTS.md)
 
 EXAMPLES:
     cvliw schedule examples/loops/fir.loop --machine 4c1b2l64r
     cvliw compare  examples/loops/fir.loop --machine 4c2b4l64r
     cvliw suite --machine 4c1b2l64r --mode baseline --max-loops 16
+    cvliw suite --jobs 4 --format md        # regenerate docs/RESULTS.md
+    cvliw suite --jobs 4 --format csv --out results.csv
 "
     .to_string()
 }
@@ -157,14 +184,8 @@ fn parse_machine(spec: &str) -> Result<MachineConfig, CliError> {
 }
 
 fn parse_mode(args: &Args) -> Result<Mode, CliError> {
-    match args.get("mode").unwrap_or("replicate") {
-        "baseline" => Ok(Mode::Baseline),
-        "replicate" => Ok(Mode::Replicate),
-        "sched-len" => Ok(Mode::ReplicateSchedLen),
-        "zero-bus" => Ok(Mode::ZeroBusLatency),
-        "value-clone" => Ok(Mode::ValueClone),
-        other => Err(CliError::UnknownMode(other.to_string())),
-    }
+    let name = args.get("mode").unwrap_or("replicate");
+    Mode::parse(name).ok_or_else(|| CliError::UnknownMode(name.to_string()))
 }
 
 fn read_loops(args: &Args) -> Result<Vec<NamedLoop>, CliError> {
@@ -390,58 +411,62 @@ fn cmd_compare(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Where the Markdown results book lives relative to the repository root.
+const RESULTS_BOOK: &str = "docs/RESULTS.md";
+
 fn cmd_suite(args: &Args) -> Result<(), CliError> {
-    let machine = parse_machine(args.require("machine")?)?;
-    let mode = parse_mode(args)?;
-    let opts = CompileOptions { mode, max_ii: None };
-    let programs = match args.get_num::<usize>("max-loops")? {
-        Some(cap) => suite_subset(cap),
-        None => suite(),
-    };
-    println!(
-        "{:<10} {:>6} {:>8} {:>10} {:>8}",
-        "program", "loops", "failed", "IPC", "+instr%"
-    );
-    let mut grand = IpcAccumulator::new();
-    for p in &programs {
-        let mut acc = IpcAccumulator::new();
-        let mut failures = 0usize;
-        let mut base_ops = 0u64;
-        let mut extra_ops = 0u64;
-        for l in &p.loops {
-            match compile_loop(&l.ddg, &machine, &opts) {
-                Ok(out) => {
-                    let s = &out.stats;
-                    acc.add_loop(
-                        l.profile.visits,
-                        l.profile.iterations,
-                        s.ops_per_iter,
-                        s.ii,
-                        s.stage_count,
-                    );
-                    let dyn_iters = l.profile.total_iterations();
-                    base_ops += dyn_iters * u64::from(s.ops_per_iter);
-                    let net: u32 = s.replication.net_added_by_class().iter().sum();
-                    extra_ops += dyn_iters * u64::from(net);
-                }
-                Err(_) => failures += 1,
-            }
-        }
-        grand.add(acc.ops(), acc.cycles());
-        let extra_pct = if base_ops > 0 {
-            100.0 * extra_ops as f64 / base_ops as f64
-        } else {
-            0.0
-        };
-        println!(
-            "{:<10} {:>6} {:>8} {:>10.2} {:>7.1}%",
-            p.name,
-            p.loops.len(),
-            failures,
-            acc.ipc(),
-            extra_pct
-        );
+    let mut grid = SuiteGrid::paper();
+    if let Some(spec) = args.get("machine") {
+        parse_machine(spec)?; // report a spec error before the run starts
+        grid = grid.with_specs(vec![spec.to_string()]);
     }
-    println!("{:<10} {:>6} {:>8} {:>10.2}", "TOTAL", "", "", grand.ipc());
+    if args.get("mode").is_some() {
+        grid = grid.with_modes(vec![parse_mode(args)?]);
+    }
+    if let Some(cap) = args.get_num::<usize>("max-loops")? {
+        grid = grid.with_max_loops(cap);
+    }
+    let jobs = args.get_num::<usize>("jobs")?.unwrap_or_else(default_jobs);
+    let format = match args.get("format") {
+        None => Format::Text,
+        Some(name) => Format::parse(name).ok_or_else(|| CliError::UnknownFormat(name.into()))?,
+    };
+
+    let started = std::time::Instant::now();
+    let report = run_suite(&grid, jobs).map_err(CliError::Suite)?;
+    eprintln!(
+        "suite: {} cells on {} worker{} in {:.1}s",
+        report.cells.len(),
+        jobs,
+        if jobs == 1 { "" } else { "s" },
+        started.elapsed().as_secs_f64()
+    );
+
+    let rendered = emit(&report, format);
+    // `--format md` regenerates the checked-in results book unless an
+    // explicit destination is given; every other format prints to stdout.
+    let destination = match (args.get("out"), format) {
+        (Some("-"), _) | (None, Format::Text | Format::Json | Format::Csv) => None,
+        (Some(path), _) => Some(path.to_string()),
+        (None, Format::Markdown) => Some(RESULTS_BOOK.to_string()),
+    };
+    match destination {
+        None => print!("{rendered}"),
+        Some(path) => {
+            if let Some(parent) = std::path::Path::new(&path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    fs::create_dir_all(parent).map_err(|source| CliError::Write {
+                        path: path.clone(),
+                        source,
+                    })?;
+                }
+            }
+            fs::write(&path, &rendered).map_err(|source| CliError::Write {
+                path: path.clone(),
+                source,
+            })?;
+            eprintln!("wrote {path}");
+        }
+    }
     Ok(())
 }

@@ -25,7 +25,11 @@
 //! * [`ir`] — a textual loop format (parser + printer) and the `cvliw`
 //!   command-line front end;
 //! * [`unroll`] — loop unrolling, the code-size-hungry alternative the
-//!   paper's related work compares against (reference \[22\]).
+//!   paper's related work compares against (reference \[22\]);
+//! * [`exp`] — experiment orchestration: the §4 (workload × machine ×
+//!   policy) grid, a deterministic parallel suite runner, and the
+//!   JSON/CSV/Markdown report emitters behind `cvliw suite` and the
+//!   regenerable `docs/RESULTS.md` results book.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub use cvliw_ddg as ddg;
+pub use cvliw_exp as exp;
 pub use cvliw_ir as ir;
 pub use cvliw_machine as machine;
 pub use cvliw_partition as partition;

@@ -143,6 +143,75 @@ fn suite_runs_capped() {
     assert!(text.contains("TOTAL"));
 }
 
+const SMALL_SUITE: &[&str] = &[
+    "suite",
+    "--machine",
+    "2c1b2l64r",
+    "--mode",
+    "baseline",
+    "--max-loops",
+    "1",
+];
+
+fn small_suite_with<'a>(extra: &'a [&'a str]) -> Vec<&'a str> {
+    SMALL_SUITE.iter().chain(extra).copied().collect()
+}
+
+#[test]
+fn suite_emits_csv_and_json_to_stdout() {
+    let csv = cvliw(&small_suite_with(&["--format", "csv"]));
+    assert!(csv.status.success(), "{}", stderr(&csv));
+    let text = stdout(&csv);
+    assert!(text.starts_with("spec,mode,program"), "{text}");
+    assert!(text.contains("2c1b2l64r,baseline,tomcatv"), "{text}");
+
+    let json = cvliw(&small_suite_with(&["--format", "json"]));
+    assert!(json.status.success(), "{}", stderr(&json));
+    let text = stdout(&json);
+    assert!(text.starts_with('{'), "{text}");
+    assert!(text.contains("\"cells\""), "{text}");
+}
+
+#[test]
+fn suite_md_writes_to_the_given_path() {
+    let dir = std::env::temp_dir().join("cvliw-suite-md-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("book.md");
+    let out = cvliw(&small_suite_with(&[
+        "--format",
+        "md",
+        "--out",
+        path.to_str().unwrap(),
+    ]));
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("wrote"), "{}", stderr(&out));
+    let book = std::fs::read_to_string(&path).unwrap();
+    assert!(book.starts_with("# Results book"), "{book}");
+    assert!(book.contains("Reduced grid"), "{book}");
+}
+
+#[test]
+fn suite_out_dash_forces_stdout() {
+    let out = cvliw(&small_suite_with(&["--format", "md", "--out", "-"]));
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).starts_with("# Results book"));
+}
+
+#[test]
+fn suite_worker_count_does_not_change_output() {
+    let one = cvliw(&small_suite_with(&["--format", "csv", "--jobs", "1"]));
+    let four = cvliw(&small_suite_with(&["--format", "csv", "--jobs", "4"]));
+    assert!(one.status.success() && four.status.success());
+    assert_eq!(stdout(&one), stdout(&four));
+}
+
+#[test]
+fn suite_rejects_unknown_format() {
+    let out = cvliw(&small_suite_with(&["--format", "yaml"]));
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown format"), "{}", stderr(&out));
+}
+
 #[test]
 fn loop_selector_picks_one_loop() {
     let out = cvliw(&["print", FIR, "--loop", "fir"]);
