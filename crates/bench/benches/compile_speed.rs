@@ -1,14 +1,19 @@
 //! Criterion micro-benchmarks for the compiler itself: partitioning,
 //! ordering, scheduling and the full pipeline with and without
-//! replication. These measure *our* implementation's throughput, not a
-//! paper result.
+//! replication, plus the `LoopAnalysis` cache that the driver threads
+//! through all of them. These measure *our* implementation's throughput,
+//! not a paper result.
+//!
+//! This is the one target a plain `cargo bench` runs (every figure
+//! regenerator is `bench = false` and invoked explicitly); the suite-level
+//! wall-clock harness is `cvliw bench`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cvliw_machine::MachineConfig;
 use cvliw_partition::partition_loop;
-use cvliw_replicate::{compile_loop, CompileOptions};
+use cvliw_replicate::{compile_loop, compile_loop_with, CompileOptions, LoopAnalysis, Mode};
 use cvliw_sched::sms_order;
 use cvliw_workloads::{generate_loop, GeneratorParams};
 
@@ -25,9 +30,14 @@ fn representative_loop() -> cvliw_ddg::Ddg {
 fn bench_pipeline(c: &mut Criterion) {
     let ddg = representative_loop();
     let machine = MachineConfig::from_spec("4c1b2l64r").expect("spec parses");
+    let analysis = LoopAnalysis::new(&ddg, &machine);
 
     c.bench_function("sms_order/40ops", |b| {
         b.iter(|| black_box(sms_order(black_box(&ddg), black_box(&machine))));
+    });
+
+    c.bench_function("loop_analysis/build", |b| {
+        b.iter(|| black_box(LoopAnalysis::new(black_box(&ddg), black_box(&machine))));
     });
 
     c.bench_function("partition/40ops", |b| {
@@ -51,6 +61,32 @@ fn bench_pipeline(c: &mut Criterion) {
                 black_box(&machine),
                 &CompileOptions::replicate(),
             ))
+        });
+    });
+
+    // The driver entry the suite actually uses: the analysis built once,
+    // the compile reusing it — the delta vs `compile/replicate` is what
+    // the cache saves per call.
+    c.bench_function("compile/replicate_cached", |b| {
+        b.iter(|| {
+            black_box(compile_loop_with(
+                black_box(&ddg),
+                black_box(&machine),
+                &CompileOptions::replicate(),
+                black_box(&analysis),
+            ))
+        });
+    });
+
+    // One grid cell pair's worth of work: all five modes sharing one
+    // analysis, as `cvliw suite` schedules it.
+    c.bench_function("compile/all_modes_shared_analysis", |b| {
+        b.iter(|| {
+            let analysis = LoopAnalysis::new(black_box(&ddg), black_box(&machine));
+            for mode in Mode::ALL {
+                let opts = CompileOptions { mode, max_ii: None };
+                black_box(compile_loop_with(&ddg, &machine, &opts, &analysis)).ok();
+            }
         });
     });
 }

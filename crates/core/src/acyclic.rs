@@ -288,7 +288,7 @@ fn critical_bus_hop(
         if !seen.insert((n, c)) {
             continue;
         }
-        for p in ddg.data_preds(n) {
+        for &p in ddg.data_preds(n) {
             if p == n || ddg.kind(p) == OpKind::Store {
                 continue;
             }

@@ -73,8 +73,10 @@ mod sched_len;
 mod value_clone;
 
 pub use acyclic::{replicate_for_acyclic_length, schedule_acyclic, AcyclicError, AcyclicSchedule};
+pub use cvliw_sched::LoopAnalysis;
 pub use driver::{
-    compile_loop, compile_stats, CauseCounts, CompileError, CompileOptions, CompiledLoop,
+    compile_loop, compile_loop_ctx, compile_loop_with, compile_stats, compile_stats_ctx,
+    compile_stats_with, CauseCounts, CompileContext, CompileError, CompileOptions, CompiledLoop,
     LoopStats, Mode,
 };
 pub use engine::{ReplicationEngine, ReplicationOutcome, ReplicationStats};
@@ -83,5 +85,5 @@ pub use macro_rep::macro_replicate;
 pub use plan::{
     plan_weight, replication_plan, replication_plan_into, share_counts, ReplicationPlan,
 };
-pub use sched_len::extend_for_length;
+pub use sched_len::{extend_for_length, extend_for_length_with};
 pub use value_clone::{is_cloneable_value, value_clone};

@@ -89,7 +89,7 @@ pub fn replication_plan_into(
                 continue; // already available locally
             }
             adds.entry(u).or_default().insert(target);
-            for p in ddg.data_preds(u) {
+            for &p in ddg.data_preds(u) {
                 if coms.contains(&p) && p != com {
                     continue; // broadcast value: available in every cluster
                 }

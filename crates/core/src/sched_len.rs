@@ -11,23 +11,23 @@ use std::collections::BTreeSet;
 
 use cvliw_ddg::{time_bounds, Ddg, NodeId};
 use cvliw_machine::MachineConfig;
-use cvliw_sched::{Assignment, ClusterSet};
+use cvliw_sched::{Assignment, ClusterSet, LoopAnalysis};
 
 use crate::plan::replication_plan_into;
 
 /// Upper bound on extension rounds; each round commits one replication.
 const MAX_ROUNDS: usize = 8;
 
-/// Estimated critical-path length of one iteration (issue span) with bus
-/// latency charged on cross-cluster data edges; `None` below RecMII.
-fn estimated_length(
-    ddg: &Ddg,
-    machine: &MachineConfig,
-    ii: u32,
-    assignment: &Assignment,
-) -> Option<i64> {
-    let lat = |e: &cvliw_ddg::Edge| {
-        let base = machine.latency(ddg.kind(e.src));
+/// The assignment-adjusted edge latency: the producer's base latency, plus
+/// the bus when some consumer instance lives in a cluster without the
+/// producer. `base_lat` is either a machine lookup or the cached vector.
+fn comm_lat<'a>(
+    machine: &'a MachineConfig,
+    assignment: &'a Assignment,
+    base_lat: &'a impl Fn(NodeId) -> u32,
+) -> impl Fn(&cvliw_ddg::Edge) -> u32 + 'a {
+    move |e: &cvliw_ddg::Edge| {
+        let base = base_lat(e.src);
         if e.is_data()
             && !assignment
                 .instances(e.dst)
@@ -38,7 +38,19 @@ fn estimated_length(
         } else {
             base
         }
-    };
+    }
+}
+
+/// Estimated critical-path length of one iteration (issue span) with bus
+/// latency charged on cross-cluster data edges; `None` below RecMII.
+fn estimated_length(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    assignment: &Assignment,
+    base_lat: &impl Fn(NodeId) -> u32,
+) -> Option<i64> {
+    let lat = comm_lat(machine, assignment, base_lat);
     time_bounds(ddg, ii, lat).map(|tb| tb.length)
 }
 
@@ -50,39 +62,46 @@ pub fn extend_for_length(
     ddg: &Ddg,
     machine: &MachineConfig,
     ii: u32,
+    assignment: Assignment,
+) -> Assignment {
+    let base = |n: NodeId| machine.latency(ddg.kind(n));
+    extend_core(ddg, machine, ii, assignment, &base)
+}
+
+/// [`extend_for_length`] on a cached [`LoopAnalysis`] (bit-identical; the
+/// producer latencies are read from the cached vector).
+#[must_use]
+pub fn extend_for_length_with(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    assignment: Assignment,
+    analysis: &LoopAnalysis,
+) -> Assignment {
+    let base = |n: NodeId| analysis.node_lat()[n.index()];
+    extend_core(ddg, machine, ii, assignment, &base)
+}
+
+fn extend_core(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
     mut assignment: Assignment,
+    base_lat: &impl Fn(NodeId) -> u32,
 ) -> Assignment {
     for _ in 0..MAX_ROUNDS {
-        let Some(current_len) = estimated_length(ddg, machine, ii, &assignment) else {
+        let Some(current_len) = estimated_length(ddg, machine, ii, &assignment, base_lat) else {
             return assignment;
         };
         let coms: BTreeSet<NodeId> = assignment.communicated(ddg).into_iter().collect();
 
-        // Zero-slack cross edges: recompute bounds with the same latencies.
-        // Latencies and slacks are materialized up front so the assignment
-        // can be replaced while iterating.
+        // Zero-slack cross edges: slacks are materialized up front so the
+        // assignment can be replaced while iterating.
         let edge_lat: Vec<u32> = {
-            let lat = |e: &cvliw_ddg::Edge| {
-                let base = machine.latency(ddg.kind(e.src));
-                if e.is_data()
-                    && !assignment
-                        .instances(e.dst)
-                        .difference(assignment.instances(e.src))
-                        .is_empty()
-                {
-                    base + machine.bus_latency()
-                } else {
-                    base
-                }
-            };
+            let lat = comm_lat(machine, &assignment, base_lat);
             ddg.edges().map(&lat).collect()
         };
-        let indexed: std::collections::HashMap<(cvliw_ddg::NodeId, cvliw_ddg::NodeId, u32), u32> =
-            ddg.edges()
-                .zip(edge_lat.iter())
-                .map(|(e, &l)| ((e.src, e.dst, e.distance), l))
-                .collect();
-        let Some(tb) = time_bounds(ddg, ii, move |e| indexed[&(e.src, e.dst, e.distance)]) else {
+        let Some(tb) = time_bounds(ddg, ii, comm_lat(machine, &assignment, base_lat)) else {
             return assignment;
         };
 
@@ -129,7 +148,7 @@ pub fn extend_for_length(
                 if ncoms > machine.bus_coms_per_ii(ii) {
                     continue;
                 }
-                match estimated_length(ddg, machine, ii, &candidate) {
+                match estimated_length(ddg, machine, ii, &candidate, base_lat) {
                     Some(new_len) if new_len < current_len => {
                         assignment = candidate;
                         committed = true;
@@ -194,9 +213,10 @@ mod tests {
         let (ddg, asg) = fig11();
         let m = machine();
         let ii = 3;
-        let before = estimated_length(&ddg, &m, ii, &asg).unwrap();
+        let base = |n: NodeId| m.latency(ddg.kind(n));
+        let before = estimated_length(&ddg, &m, ii, &asg, &base).unwrap();
         let extended = extend_for_length(&ddg, &m, ii, asg);
-        let after = estimated_length(&ddg, &m, ii, &extended).unwrap();
+        let after = estimated_length(&ddg, &m, ii, &extended, &base).unwrap();
         assert!(after < before, "length must shrink: {after} vs {before}");
         // A was copied into cluster 0 (the critical consumer D's cluster)…
         let a = ddg.find_by_label("A").unwrap();

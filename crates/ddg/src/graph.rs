@@ -116,6 +116,11 @@ pub struct Ddg {
     edges: Vec<Edge>,
     succs: Vec<Vec<u32>>,
     preds: Vec<Vec<u32>>,
+    /// Deduplicated data-dependence adjacency, precomputed at build time:
+    /// the replication planner walks these for every candidate subgraph, so
+    /// they are slices, not per-call allocations.
+    data_preds: Vec<Vec<NodeId>>,
+    data_succs: Vec<Vec<NodeId>>,
 }
 
 impl Ddg {
@@ -181,30 +186,17 @@ impl Ddg {
             .map(move |&i| &self.edges[i as usize])
     }
 
-    /// Producers whose register values `n` reads (deduplicated).
+    /// Producers whose register values `n` reads (deduplicated, sorted).
     #[must_use]
-    pub fn data_preds(&self, n: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self
-            .in_edges(n)
-            .filter(|e| e.is_data())
-            .map(|e| e.src)
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+    pub fn data_preds(&self, n: NodeId) -> &[NodeId] {
+        &self.data_preds[n.index()]
     }
 
-    /// Consumers that read the register value `n` produces (deduplicated).
+    /// Consumers that read the register value `n` produces (deduplicated,
+    /// sorted).
     #[must_use]
-    pub fn data_succs(&self, n: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self
-            .out_edges(n)
-            .filter(|e| e.is_data())
-            .map(|e| e.dst)
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+    pub fn data_succs(&self, n: NodeId) -> &[NodeId] {
+        &self.data_succs[n.index()]
     }
 
     /// Whether `n` has at least one data consumer.
@@ -368,11 +360,26 @@ impl DdgBuilder {
             preds[e.dst.index()].push(i as u32);
         }
 
+        let mut data_preds = vec![Vec::new(); node_count];
+        let mut data_succs = vec![Vec::new(); node_count];
+        for e in &self.edges {
+            if e.kind == DepKind::Data {
+                data_preds[e.dst.index()].push(e.src);
+                data_succs[e.src.index()].push(e.dst);
+            }
+        }
+        for adj in data_preds.iter_mut().chain(data_succs.iter_mut()) {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+
         let ddg = Ddg {
             nodes: self.nodes,
             edges: self.edges,
             succs,
             preds,
+            data_preds,
+            data_succs,
         };
         check_zero_distance_acyclic(&ddg)?;
         Ok(ddg)

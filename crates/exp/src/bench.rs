@@ -1,0 +1,225 @@
+//! Wall-clock benchmarking of suite compilation — the measurement layer
+//! every perf PR lands with.
+//!
+//! [`bench_suite`] runs the same validated grid the suite runs, but times
+//! it: `warmup` untimed passes to populate caches and settle the CPU, then
+//! `runs` measured passes, reporting the **median** total wall clock, the
+//! derived cells-per-second throughput, and the median wall clock of every
+//! (machine × program) work unit. [`emit_bench_json`] renders the report as
+//! the `BENCH_compile.json` document the CLI's `cvliw bench` subcommand
+//! writes.
+//!
+//! Timing is inherently machine-dependent; the JSON is a measurement
+//! artifact, **not** part of the determinism contract (`docs/RESULTS.md`
+//! and the golden emitter files never contain a timestamp or a duration).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::grid::SuiteGrid;
+use crate::runner::{prepare, run_pool, SuiteError};
+
+/// Median wall clock of one (machine × program) work unit: all modes of
+/// the pair, every loop, one shared `LoopAnalysis` per loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairTiming {
+    /// Machine specification string.
+    pub spec: String,
+    /// Benchmark program name.
+    pub program: String,
+    /// Median wall-clock milliseconds across the measured runs.
+    pub wall_ms: f64,
+}
+
+/// The result of one [`bench_suite`] call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Measured runs (the median is taken over these).
+    pub runs: usize,
+    /// Untimed warmup passes that preceded the measurement.
+    pub warmup: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Cells in the grid.
+    pub cells: usize,
+    /// Loops per configuration (after any `max_loops` cap).
+    pub loops_per_config: usize,
+    /// Per-run total wall-clock milliseconds, in run order.
+    pub run_wall_ms: Vec<f64>,
+    /// Median total wall-clock milliseconds.
+    pub total_wall_ms: f64,
+    /// Cells compiled per second at the median total.
+    pub cells_per_sec: f64,
+    /// Median per-pair timings, spec-major then program (grid order).
+    pub pairs: Vec<PairTiming>,
+}
+
+/// Median of a non-empty slice (mean of the two middles for even lengths).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Times suite compilation over `grid`: `warmup` untimed passes, then
+/// `runs` measured passes (median-reported). `runs` is clamped to at
+/// least 1.
+///
+/// # Errors
+///
+/// Returns [`SuiteError`] for the same invalid grids [`crate::run_suite`]
+/// rejects.
+pub fn bench_suite(
+    grid: &SuiteGrid,
+    jobs: usize,
+    runs: usize,
+    warmup: usize,
+) -> Result<BenchReport, SuiteError> {
+    let prep = prepare(grid)?;
+    let runs = runs.max(1);
+
+    for _ in 0..warmup {
+        let _ = run_pool(&prep, jobs);
+    }
+
+    let mut run_wall_ms = Vec::with_capacity(runs);
+    let mut pair_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); prep.pair_count()];
+    for _ in 0..runs {
+        let started = Instant::now();
+        let (_, pair_nanos) = run_pool(&prep, jobs);
+        run_wall_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        for (samples, nanos) in pair_samples.iter_mut().zip(&pair_nanos) {
+            samples.push(*nanos as f64 / 1e6);
+        }
+    }
+
+    let total_wall_ms = median(&mut run_wall_ms.clone());
+    let pairs = pair_samples
+        .iter_mut()
+        .enumerate()
+        .map(|(k, samples)| {
+            let (s, j) = (k / prep.n_programs, k % prep.n_programs);
+            PairTiming {
+                spec: grid.specs[s].clone(),
+                program: grid.programs[j].clone(),
+                wall_ms: median(samples),
+            }
+        })
+        .collect();
+
+    let loops_per_config = prep.programs.iter().map(|p| p.loops.len()).sum();
+    let cells = prep.cells.len();
+    Ok(BenchReport {
+        runs,
+        warmup,
+        jobs: prep.effective_jobs(jobs),
+        cells,
+        loops_per_config,
+        run_wall_ms,
+        total_wall_ms,
+        cells_per_sec: cells as f64 / (total_wall_ms / 1e3),
+        pairs,
+    })
+}
+
+/// Renders a [`BenchReport`] as the `BENCH_compile.json` document.
+#[must_use]
+pub fn emit_bench_json(report: &BenchReport) -> String {
+    let mut o = String::new();
+    o.push_str("{\n  \"bench\": {\n");
+    let _ = writeln!(o, "    \"runs\": {},", report.runs);
+    let _ = writeln!(o, "    \"warmup\": {},", report.warmup);
+    let _ = writeln!(o, "    \"jobs\": {},", report.jobs);
+    let _ = writeln!(o, "    \"cells\": {},", report.cells);
+    let _ = writeln!(o, "    \"loops_per_config\": {}", report.loops_per_config);
+    o.push_str("  },\n  \"total\": {\n");
+    let _ = writeln!(o, "    \"wall_ms\": {:.1},", report.total_wall_ms);
+    let _ = writeln!(o, "    \"cells_per_sec\": {:.2},", report.cells_per_sec);
+    let runs: Vec<String> = report
+        .run_wall_ms
+        .iter()
+        .map(|ms| format!("{ms:.1}"))
+        .collect();
+    let _ = writeln!(o, "    \"run_wall_ms\": [{}]", runs.join(", "));
+    o.push_str("  },\n  \"pairs\": [\n");
+    for (i, p) in report.pairs.iter().enumerate() {
+        let _ = write!(
+            o,
+            "    {{\"spec\": \"{}\", \"program\": \"{}\", \"wall_ms\": {:.2}}}",
+            p.spec, p.program, p.wall_ms
+        );
+        o.push_str(if i + 1 < report.pairs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    o.push_str("  ]\n}\n");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_replicate::Mode;
+
+    fn tiny_grid() -> SuiteGrid {
+        SuiteGrid::paper()
+            .with_programs(vec!["tomcatv".into()])
+            .with_specs(vec!["2c1b2l64r".into()])
+            .with_modes(vec![Mode::Baseline, Mode::Replicate])
+            .with_max_loops(1)
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn bench_reports_grid_shape_and_timings() {
+        let report = bench_suite(&tiny_grid(), 1, 2, 0).unwrap();
+        assert_eq!(report.cells, 2);
+        assert_eq!(report.loops_per_config, 1);
+        assert_eq!(report.runs, 2);
+        assert_eq!(report.run_wall_ms.len(), 2);
+        assert_eq!(report.pairs.len(), 1);
+        assert_eq!(report.pairs[0].spec, "2c1b2l64r");
+        assert_eq!(report.pairs[0].program, "tomcatv");
+        assert!(report.total_wall_ms > 0.0);
+        assert!(report.cells_per_sec > 0.0);
+        assert!(report.pairs[0].wall_ms > 0.0);
+    }
+
+    #[test]
+    fn zero_runs_is_clamped_to_one() {
+        let report = bench_suite(&tiny_grid(), 1, 0, 0).unwrap();
+        assert_eq!(report.runs, 1);
+        assert_eq!(report.run_wall_ms.len(), 1);
+    }
+
+    #[test]
+    fn bad_grid_is_rejected() {
+        let grid = tiny_grid().with_specs(vec!["nope".into()]);
+        assert!(matches!(
+            bench_suite(&grid, 1, 1, 0),
+            Err(SuiteError::Spec { .. })
+        ));
+    }
+
+    #[test]
+    fn json_has_the_advertised_shape() {
+        let report = bench_suite(&tiny_grid(), 1, 1, 0).unwrap();
+        let json = emit_bench_json(&report);
+        assert!(json.contains("\"total\""));
+        assert!(json.contains("\"cells_per_sec\""));
+        assert!(json.contains("\"pairs\""));
+        assert!(json.contains("\"tomcatv\""));
+    }
+}

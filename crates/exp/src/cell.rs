@@ -9,7 +9,9 @@
 //! and friends), computed at read time from the integer sums.
 
 use cvliw_machine::MachineConfig;
-use cvliw_replicate::{compile_loop, compile_stats, CompileOptions, LoopStats, Mode};
+use cvliw_replicate::{
+    compile_loop, compile_stats, compile_stats_ctx, CompileContext, CompileOptions, LoopStats, Mode,
+};
 use cvliw_sim::IpcAccumulator;
 use cvliw_workloads::{BenchmarkProgram, WorkloadLoop};
 
@@ -143,21 +145,42 @@ pub fn run_cell_on(
     program: &BenchmarkProgram,
     machine: &MachineConfig,
 ) -> CellResult {
-    let opts = CompileOptions {
-        mode: cell.mode,
-        max_ii: None,
-    };
-    let mut out = CellResult::empty(cell);
+    run_pair_on(std::slice::from_ref(cell), program, machine)
+        .pop()
+        .expect("one cell in, one result out")
+}
+
+/// Compiles one (machine, program) pair under every mode of `cells` — the
+/// suite's unit of work. The grid is machine-major, so the five modes of a
+/// pair share the machine and every loop; one [`CompileContext`] per loop
+/// (the II-invariant `LoopAnalysis` plus the memoized MII seed partition)
+/// is computed here and reused across all modes — a straight 5× reuse.
+/// Results align with `cells` and are bit-identical to running each cell in
+/// isolation.
+#[must_use]
+pub fn run_pair_on(
+    cells: &[CellSpec],
+    program: &BenchmarkProgram,
+    machine: &MachineConfig,
+) -> Vec<CellResult> {
+    let mut outs: Vec<CellResult> = cells.iter().map(CellResult::empty).collect();
     for l in &program.loops {
-        match compile_stats(&l.ddg, machine, &opts) {
-            Ok(stats) => out.add_loop(l, &stats),
-            Err(_) => {
-                out.loops += 1;
-                out.failures += 1;
+        let ctx = CompileContext::new(&l.ddg, machine);
+        for (cell, out) in cells.iter().zip(outs.iter_mut()) {
+            let opts = CompileOptions {
+                mode: cell.mode,
+                max_ii: None,
+            };
+            match compile_stats_ctx(&l.ddg, machine, &opts, &ctx) {
+                Ok(stats) => out.add_loop(l, &stats),
+                Err(_) => {
+                    out.loops += 1;
+                    out.failures += 1;
+                }
             }
         }
     }
-    out
+    outs
 }
 
 /// Result of compiling one whole program under one configuration, keeping

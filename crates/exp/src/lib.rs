@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bench;
 mod cell;
 mod emit;
 mod emit_md;
@@ -52,7 +53,8 @@ mod grid;
 mod report;
 mod runner;
 
-pub use cell::{run_cell_on, run_loop, run_program, CellResult, ProgramResult};
+pub use bench::{bench_suite, emit_bench_json, BenchReport, PairTiming};
+pub use cell::{run_cell_on, run_loop, run_pair_on, run_program, CellResult, ProgramResult};
 pub use emit::{emit, emit_csv, emit_json, emit_text, Format};
 pub use emit_md::emit_markdown;
 pub use grid::{CellSpec, SuiteGrid};

@@ -1,22 +1,25 @@
-//! The suite worker pool: shard grid cells across scoped threads and
+//! The suite worker pool: shard grid work across scoped threads and
 //! collect results by cell index.
 //!
-//! Workers pull cell indices from a shared atomic counter (dynamic
-//! work-stealing — cells vary a lot in cost, fpppp's dozen huge loops vs
-//! wave5's 276 small ones), but every result lands in its cell's slot, and
-//! aggregation walks the slots in grid order after the pool joins. The
-//! worker count therefore changes wall-clock time and nothing else:
-//! `--jobs 1` and `--jobs 4` produce byte-identical reports.
+//! The unit of work is a **(machine, program) pair** — all modes of that
+//! pair run on one worker through [`crate::run_pair_on`], sharing one
+//! `LoopAnalysis` per loop. Workers pull pair indices from a shared atomic
+//! counter (dynamic work-stealing — pairs vary a lot in cost, fpppp's dozen
+//! huge loops vs wave5's 276 small ones), but every result lands in its
+//! cell's slot, and aggregation walks the slots in grid order after the
+//! pool joins. The worker count therefore changes wall-clock time and
+//! nothing else: `--jobs 1` and `--jobs 4` produce byte-identical reports.
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use cvliw_machine::{MachineConfig, SpecError};
 use cvliw_workloads::{program, program_subset, BenchmarkProgram};
 
-use crate::cell::run_cell_on;
-use crate::grid::SuiteGrid;
+use crate::cell::{run_pair_on, CellResult};
+use crate::grid::{CellSpec, SuiteGrid};
 use crate::report::SuiteReport;
 
 /// A suite run that could not start.
@@ -52,8 +55,11 @@ impl fmt::Display for SuiteError {
 impl std::error::Error for SuiteError {}
 
 /// The default worker count for suite runs: the machine's available
-/// parallelism, capped at 8 (beyond that the cells run out before the
-/// pool fills on the paper grid).
+/// parallelism, capped at 8. The cap is a tail-latency observation, not a
+/// cell-count limit: the 300-cell paper grid dispatches 60 machine×program
+/// work units whose costs vary ~50×, and beyond about 8 workers the heavy
+/// fpppp/applu pairs dominate the critical path while the extra threads
+/// idle after the short tail drains.
 #[must_use]
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
@@ -62,17 +68,41 @@ pub fn default_jobs() -> usize {
         .min(8)
 }
 
-/// Runs every cell of `grid` on a pool of `jobs` worker threads and
-/// aggregates the results into a [`SuiteReport`].
-///
-/// The report is a pure function of the grid: worker count and scheduling
-/// order cannot affect a single byte of any emitted format.
-///
-/// # Errors
-///
-/// Returns [`SuiteError`] if a spec does not parse, a program is unknown,
-/// or the grid is empty — all validated before any worker starts.
-pub fn run_suite(grid: &SuiteGrid, jobs: usize) -> Result<SuiteReport, SuiteError> {
+/// A validated, ready-to-run suite: parsed machines, generated programs and
+/// the enumerated cell list. Shared by [`run_suite`] and the bench harness
+/// so warmup and measured runs reuse one validation pass.
+pub(crate) struct PreparedSuite {
+    pub machines: Vec<MachineConfig>,
+    pub programs: Vec<BenchmarkProgram>,
+    pub cells: Vec<CellSpec>,
+    pub n_programs: usize,
+    pub n_modes: usize,
+}
+
+impl PreparedSuite {
+    /// Number of (machine, program) work units.
+    pub fn pair_count(&self) -> usize {
+        self.machines.len() * self.n_programs
+    }
+
+    /// The worker count the pool will actually use for a requested `jobs`
+    /// (the single source of the clamp, also reported by the bench
+    /// harness).
+    pub fn effective_jobs(&self, jobs: usize) -> usize {
+        jobs.max(1).min(self.pair_count())
+    }
+
+    /// The cell index of `(spec s, mode m, program j)` — the `cells()`
+    /// order is spec-major, then mode, then program.
+    fn cell_index(&self, s: usize, m: usize, j: usize) -> usize {
+        (s * self.n_modes + m) * self.n_programs + j
+    }
+}
+
+/// Validates the grid up front: parses every machine spec, generates every
+/// program once (workers spend their time compiling, not generating) and
+/// enumerates the cells.
+pub(crate) fn prepare(grid: &SuiteGrid) -> Result<PreparedSuite, SuiteError> {
     let machines: Vec<MachineConfig> = grid
         .specs
         .iter()
@@ -83,8 +113,6 @@ pub fn run_suite(grid: &SuiteGrid, jobs: usize) -> Result<SuiteReport, SuiteErro
             })
         })
         .collect::<Result<_, _>>()?;
-    // Programs are built once, up front, and shared read-only with every
-    // worker; the workers spend their time compiling, not generating.
     let programs: Vec<BenchmarkProgram> = grid
         .programs
         .iter()
@@ -101,30 +129,47 @@ pub fn run_suite(grid: &SuiteGrid, jobs: usize) -> Result<SuiteReport, SuiteErro
     if cells.is_empty() {
         return Err(SuiteError::EmptyGrid);
     }
-    let jobs = jobs.max(1).min(cells.len());
+    Ok(PreparedSuite {
+        machines,
+        programs,
+        cells,
+        n_programs: grid.programs.len(),
+        n_modes: grid.modes.len(),
+    })
+}
 
-    // Cell i compiles programs[i % P] on machines[i / (P·M)]: the cells()
-    // order is spec-major, then mode, then program.
-    let n_programs = grid.programs.len();
-    let n_modes = grid.modes.len();
-    let machine_of = |i: usize| &machines[i / (n_programs * n_modes)];
-    let program_of = |i: usize| &programs[i % n_programs];
+/// Runs the worker pool over every (machine, program) pair, returning the
+/// per-cell results in grid order plus each pair's wall-clock nanoseconds
+/// (indexed `spec-major × program`; the bench harness reads them, plain
+/// suite runs drop them).
+pub(crate) fn run_pool(prep: &PreparedSuite, jobs: usize) -> (Vec<CellResult>, Vec<u64>) {
+    let n_pairs = prep.pair_count();
+    let jobs = prep.effective_jobs(jobs);
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<OnceLock<crate::cell::CellResult>> =
-        (0..cells.len()).map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<CellResult>> = (0..prep.cells.len()).map(|_| OnceLock::new()).collect();
+    let pair_nanos: Vec<OnceLock<u64>> = (0..n_pairs).map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n_pairs {
                     break;
                 }
-                let result = run_cell_on(&cells[i], program_of(i), machine_of(i));
-                slots[i]
-                    .set(result)
-                    .expect("each cell index is claimed exactly once");
+                let (s, j) = (k / prep.n_programs, k % prep.n_programs);
+                let pair_cells: Vec<CellSpec> = (0..prep.n_modes)
+                    .map(|m| prep.cells[prep.cell_index(s, m, j)].clone())
+                    .collect();
+                let started = Instant::now();
+                let results = run_pair_on(&pair_cells, &prep.programs[j], &prep.machines[s]);
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                for (m, r) in results.into_iter().enumerate() {
+                    slots[prep.cell_index(s, m, j)]
+                        .set(r)
+                        .expect("each cell index is claimed exactly once");
+                }
+                pair_nanos[k].set(nanos).expect("each pair timed once");
             });
         }
     });
@@ -133,7 +178,27 @@ pub fn run_suite(grid: &SuiteGrid, jobs: usize) -> Result<SuiteReport, SuiteErro
         .into_iter()
         .map(|slot| slot.into_inner().expect("pool completed every cell"))
         .collect();
-    Ok(SuiteReport::new(grid, results, &programs))
+    let nanos = pair_nanos
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("pool timed every pair"))
+        .collect();
+    (results, nanos)
+}
+
+/// Runs every cell of `grid` on a pool of `jobs` worker threads and
+/// aggregates the results into a [`SuiteReport`].
+///
+/// The report is a pure function of the grid: worker count and scheduling
+/// order cannot affect a single byte of any emitted format.
+///
+/// # Errors
+///
+/// Returns [`SuiteError`] if a spec does not parse, a program is unknown,
+/// or the grid is empty — all validated before any worker starts.
+pub fn run_suite(grid: &SuiteGrid, jobs: usize) -> Result<SuiteReport, SuiteError> {
+    let prep = prepare(grid)?;
+    let (results, _timings) = run_pool(&prep, jobs);
+    Ok(SuiteReport::new(grid, results, &prep.programs))
 }
 
 #[cfg(test)]

@@ -84,9 +84,20 @@ fn macro_class_counts(ddg: &Ddg, macro_of: &[usize], n_macros: usize) -> Vec<[u3
 /// macro-nodes are force-merged so the process always terminates.
 #[must_use]
 pub fn coarsen(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Hierarchy {
+    coarsen_from_weights(ddg, machine, ii, &edge_weights(ddg, machine, ii))
+}
+
+/// [`coarsen`] with precomputed edge weights (see
+/// [`crate::edge_weights_with`] for the cached-analysis path).
+#[must_use]
+pub fn coarsen_from_weights(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    weights: &[u64],
+) -> Hierarchy {
     let n = ddg.node_count();
     let clusters = machine.clusters() as usize;
-    let weights = edge_weights(ddg, machine, ii);
 
     let mut macro_of: Vec<usize> = (0..n).collect();
     let mut n_macros = n;

@@ -50,14 +50,15 @@ mod partition;
 mod refine;
 mod weights;
 
-pub use coarsen::{coarsen, CoarseLevel, Hierarchy};
+pub use coarsen::{coarsen, coarsen_from_weights, CoarseLevel, Hierarchy};
 pub use matching::greedy_matching;
 pub use partition::Partition;
-pub use refine::{refine, refine_existing, score_partition, PartitionScore};
-pub use weights::edge_weights;
+pub use refine::{refine, refine_existing, refine_existing_with, score_partition, PartitionScore};
+pub use weights::{edge_weights, edge_weights_with};
 
 use cvliw_ddg::Ddg;
 use cvliw_machine::MachineConfig;
+use cvliw_sched::LoopAnalysis;
 
 /// Runs the full multilevel pipeline: weight, coarsen, seed, refine.
 ///
@@ -72,4 +73,24 @@ pub fn partition_loop(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Partition 
     let hierarchy = coarsen(ddg, machine, ii);
     let initial = hierarchy.initial_partition();
     refine(ddg, machine, ii, &hierarchy, initial)
+}
+
+/// [`partition_loop`] on a cached [`LoopAnalysis`]: the edge weights reuse
+/// the cache's RecMII and SCC decomposition, and every pseudo-schedule
+/// evaluated during refinement reads the cached latency vector. The result
+/// is bit-identical to [`partition_loop`].
+#[must_use]
+pub fn partition_loop_with(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    analysis: &LoopAnalysis,
+) -> Partition {
+    if machine.clusters() == 1 {
+        return Partition::single_cluster(ddg.node_count());
+    }
+    let weights = edge_weights_with(ddg, machine, ii, analysis);
+    let hierarchy = coarsen_from_weights(ddg, machine, ii, &weights);
+    let initial = hierarchy.initial_partition();
+    refine::refine_inner(ddg, machine, ii, &hierarchy, initial, Some(analysis))
 }

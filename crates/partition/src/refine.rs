@@ -2,7 +2,7 @@
 
 use cvliw_ddg::{Ddg, NodeId};
 use cvliw_machine::MachineConfig;
-use cvliw_sched::pseudo_schedule;
+use cvliw_sched::{pseudo_schedule, pseudo_schedule_with, LoopAnalysis};
 
 use crate::coarsen::{CoarseLevel, Hierarchy};
 use crate::partition::Partition;
@@ -48,8 +48,21 @@ pub fn score_partition(
     machine: &MachineConfig,
     ii: u32,
 ) -> PartitionScore {
+    score_partition_inner(ddg, part, machine, ii, None)
+}
+
+fn score_partition_inner(
+    ddg: &Ddg,
+    part: &Partition,
+    machine: &MachineConfig,
+    ii: u32,
+    analysis: Option<&LoopAnalysis>,
+) -> PartitionScore {
     let assignment = part.to_assignment();
-    let ps = pseudo_schedule(ddg, &assignment, machine, ii);
+    let ps = match analysis {
+        Some(a) => pseudo_schedule_with(ddg, &assignment, machine, ii, a),
+        None => pseudo_schedule(ddg, &assignment, machine, ii),
+    };
     let bus_overflow = ps.ncoms.saturating_sub(machine.bus_coms_per_ii(ii));
     let usage = assignment.class_usage(ddg, machine.clusters());
     let totals: Vec<u32> = usage.iter().map(|u| u.iter().sum()).collect();
@@ -84,10 +97,21 @@ pub fn refine(
     hierarchy: &Hierarchy,
     initial: Partition,
 ) -> Partition {
+    refine_inner(ddg, machine, ii, hierarchy, initial, None)
+}
+
+pub(crate) fn refine_inner(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    hierarchy: &Hierarchy,
+    initial: Partition,
+    analysis: Option<&LoopAnalysis>,
+) -> Partition {
     let mut part = initial;
     // Skip the coarsest level: each of its macros is an entire cluster.
     for level in hierarchy.levels.iter().rev().skip(1) {
-        part = refine_level(ddg, machine, ii, level, part);
+        part = refine_level(ddg, machine, ii, level, part, analysis);
     }
     part
 }
@@ -96,6 +120,29 @@ pub fn refine(
 /// granularity only, used by the driver whenever it increases the II.
 #[must_use]
 pub fn refine_existing(ddg: &Ddg, machine: &MachineConfig, ii: u32, part: Partition) -> Partition {
+    refine_existing_inner(ddg, machine, ii, part, None)
+}
+
+/// [`refine_existing`] on a cached [`LoopAnalysis`] (bit-identical results;
+/// the II-invariant latency vector is read from the cache).
+#[must_use]
+pub fn refine_existing_with(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    part: Partition,
+    analysis: &LoopAnalysis,
+) -> Partition {
+    refine_existing_inner(ddg, machine, ii, part, Some(analysis))
+}
+
+fn refine_existing_inner(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    part: Partition,
+    analysis: Option<&LoopAnalysis>,
+) -> Partition {
     if machine.clusters() == 1 {
         return part;
     }
@@ -103,7 +150,7 @@ pub fn refine_existing(ddg: &Ddg, machine: &MachineConfig, ii: u32, part: Partit
         macro_of: (0..ddg.node_count()).collect(),
         n_macros: ddg.node_count(),
     };
-    refine_level(ddg, machine, ii, &identity, part)
+    refine_level(ddg, machine, ii, &identity, part, analysis)
 }
 
 fn refine_level(
@@ -112,9 +159,10 @@ fn refine_level(
     ii: u32,
     level: &CoarseLevel,
     mut part: Partition,
+    analysis: Option<&LoopAnalysis>,
 ) -> Partition {
     let groups = level.groups();
-    let mut best_score = score_partition(ddg, &part, machine, ii);
+    let mut best_score = score_partition_inner(ddg, &part, machine, ii, analysis);
 
     // Only macros touching a cross-cluster data edge are move candidates.
     let is_boundary = |part: &Partition, group: &[usize]| {
@@ -147,7 +195,7 @@ fn refine_level(
                 for &i in group {
                     part.set_cluster(NodeId::new(i as u32), target);
                 }
-                let score = score_partition(ddg, &part, machine, ii);
+                let score = score_partition_inner(ddg, &part, machine, ii, analysis);
                 if score < best_score && best_move.as_ref().is_none_or(|(_, s)| score < *s) {
                     best_move = Some((target, score.clone()));
                 }

@@ -1,8 +1,9 @@
 //! Slack-based edge weights: the cost of paying a bus latency on a
 //! dependence (reference [1] of the paper).
 
-use cvliw_ddg::{rec_mii, scc_of_node, sccs, time_bounds, Ddg};
+use cvliw_ddg::{rec_mii, scc_of_node, sccs, time_bounds, Ddg, Edge, TimeBounds};
 use cvliw_machine::MachineConfig;
+use cvliw_sched::LoopAnalysis;
 
 /// Weight applied per bus-latency cycle to an edge inside a recurrence:
 /// communications on cycles raise the RecMII directly, so they are treated
@@ -36,6 +37,44 @@ pub fn edge_weights(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Vec<u64> {
         .map(|c| c.len() > 1 || ddg.out_edges(c[0]).any(|e| e.dst == c[0]))
         .collect();
 
+    weights_core(ddg, machine, feasible_ii, &bounds, &of, &nontrivial, &lat)
+}
+
+/// [`edge_weights`] on a cached [`LoopAnalysis`]: the RecMII and SCC
+/// decomposition are read from the cache instead of being recomputed, only
+/// the II-dependent slack bounds are evaluated per call. Bit-identical to
+/// the uncached variant.
+#[must_use]
+pub fn edge_weights_with(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    analysis: &LoopAnalysis,
+) -> Vec<u64> {
+    let lat = analysis.lat();
+    let feasible_ii = ii.max(analysis.rec_mii());
+    let bounds =
+        time_bounds(ddg, feasible_ii, &lat).expect("II at or above RecMII always has time bounds");
+    weights_core(
+        ddg,
+        machine,
+        feasible_ii,
+        &bounds,
+        analysis.scc_of(),
+        analysis.scc_recurrent(),
+        &lat,
+    )
+}
+
+fn weights_core(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    feasible_ii: u32,
+    bounds: &TimeBounds,
+    of: &[usize],
+    nontrivial: &[bool],
+    lat: impl Fn(&Edge) -> u32,
+) -> Vec<u64> {
     let bus = u64::from(machine.bus_latency());
     ddg.edges()
         .map(|e| {

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod assign;
+mod cache;
 mod error;
 mod expand;
 mod mii;
@@ -62,16 +63,18 @@ mod regs;
 mod schedule;
 
 pub use assign::{Assignment, ClusterSet};
+pub use cache::LoopAnalysis;
 pub use error::{IiCause, ScheduleError, VerifyError};
 pub use expand::{code_shape, expand, render_expansion, CodeShape, ExpandedOp, Expansion};
 pub use mii::{ii_part, mii, res_mii_assigned, res_mii_unclustered};
 pub use mrt::Mrt;
 pub use order::{neighbor_adjacency_ratio, sms_order};
-pub use pseudo::{pseudo_schedule, PseudoSchedule};
+pub use pseudo::{pseudo_schedule, pseudo_schedule_with, PseudoSchedule};
 pub use regalloc::{
     allocate_registers, ClusterAllocation, OutOfRegisters, RegAssignment, RegisterAllocation,
 };
 pub use regs::{lifetime_of, live_ranges, max_live, peak_pressure, Range};
 pub use schedule::{
-    schedule, schedule_with, CopyPlacement, OrderStrategy, SchedOp, Schedule, ScheduleRequest,
+    schedule, schedule_with, schedule_with_analysis, CopyPlacement, OrderStrategy, SchedOp,
+    Schedule, ScheduleRequest,
 };

@@ -18,19 +18,66 @@ use cvliw_machine::MachineConfig;
 /// remaining (non-recurrent) nodes come last. Within a group the classic
 /// alternating height/depth sweep is used. Ties break on node index, so the
 /// result is deterministic.
+///
+/// One-shot convenience: recomputes every ingredient (latencies, SCCs,
+/// depth/height) from scratch. The driver's II loop instead computes the
+/// order once per (loop, machine) through [`crate::LoopAnalysis`], which
+/// calls the same internals on its cached artifacts.
 #[must_use]
 pub fn sms_order(ddg: &Ddg, machine: &MachineConfig) -> Vec<NodeId> {
-    let n = ddg.node_count();
-    let lat = machine.edge_latency(ddg);
+    let node_lat: Vec<u32> = ddg
+        .node_ids()
+        .map(|n| machine.latency(ddg.kind(n)))
+        .collect();
+    let lat = |e: &Edge| node_lat[e.src.index()];
     let (depth, height) = depth_height(ddg, &lat);
+    let comps = sccs(ddg);
+    let comp_rec_mii = comp_rec_miis(ddg, &comps, &lat);
+    sms_order_parts(ddg, &depth, &height, &comps, &comp_rec_mii)
+}
 
-    let groups = priority_groups(ddg, machine);
+/// Whether a strongly connected component carries a recurrence: more than
+/// one node, or a single node with a loop-carried self-dependence.
+pub(crate) fn is_recurrent_comp(ddg: &Ddg, comp: &[NodeId]) -> bool {
+    comp.len() > 1 || ddg.out_edges(comp[0]).any(|e| e.dst == comp[0])
+}
+
+/// RecMII of every component of `comps`, aligned by index; trivial
+/// (non-recurrent) components report 1, the floor any II satisfies.
+pub(crate) fn comp_rec_miis(
+    ddg: &Ddg,
+    comps: &[Vec<NodeId>],
+    lat: impl Fn(&Edge) -> u32,
+) -> Vec<u32> {
+    comps
+        .iter()
+        .map(|c| {
+            if is_recurrent_comp(ddg, c) {
+                scc_rec_mii(ddg, c, &lat)
+            } else {
+                1
+            }
+        })
+        .collect()
+}
+
+/// The ordering core on precomputed artifacts: depth/height per node and
+/// the SCC decomposition with each component's RecMII.
+pub(crate) fn sms_order_parts(
+    ddg: &Ddg,
+    depth: &[i64],
+    height: &[i64],
+    comps: &[Vec<NodeId>],
+    comp_rec_mii: &[u32],
+) -> Vec<NodeId> {
+    let n = ddg.node_count();
+    let groups = priority_groups(ddg, comps, comp_rec_mii);
 
     let mut order: Vec<NodeId> = Vec::with_capacity(n);
     let mut ordered = vec![false; n];
 
     for group in groups {
-        order_group(ddg, &group, &depth, &height, &mut order, &mut ordered);
+        order_group(ddg, &group, depth, height, &mut order, &mut ordered);
     }
     debug_assert_eq!(order.len(), n);
     order
@@ -166,16 +213,19 @@ fn pick(ready: &BTreeSet<NodeId>, sweep: Sweep, depth: &[i64], height: &[i64]) -
 
 /// Builds the ordered list of node groups: each non-trivial SCC in
 /// decreasing RecMII order together with the nodes on paths connecting it
-/// to previously grouped nodes, then everything else.
-fn priority_groups(ddg: &Ddg, machine: &MachineConfig) -> Vec<BTreeSet<NodeId>> {
-    let lat = machine.edge_latency(ddg);
-    let comps = sccs(ddg);
+/// to previously grouped nodes, then everything else. The per-component
+/// RecMIIs arrive precomputed ([`comp_rec_miis`]) so a schedule attempt
+/// never re-runs the binary searches.
+fn priority_groups(
+    ddg: &Ddg,
+    comps: &[Vec<NodeId>],
+    comp_rec_mii: &[u32],
+) -> Vec<BTreeSet<NodeId>> {
     let mut recurrent: Vec<(u32, Vec<NodeId>)> = comps
-        .into_iter()
-        .filter(|c| {
-            c.len() > 1 || ddg.out_edges(c[0]).any(|e| e.dst == c[0]) // self-loop
-        })
-        .map(|c| (scc_rec_mii(ddg, &c, &lat), c))
+        .iter()
+        .zip(comp_rec_mii)
+        .filter(|(c, _)| is_recurrent_comp(ddg, c))
+        .map(|(c, &mii)| (mii, c.clone()))
         .collect();
     recurrent.sort_by_key(|(mii, c)| (std::cmp::Reverse(*mii), c[0].index()));
 

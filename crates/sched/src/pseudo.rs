@@ -11,6 +11,7 @@ use cvliw_ddg::{time_bounds, Ddg, OpClass};
 use cvliw_machine::MachineConfig;
 
 use crate::assign::Assignment;
+use crate::cache::LoopAnalysis;
 
 /// Estimated properties of scheduling `assignment` at a given II.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,6 +48,34 @@ pub fn pseudo_schedule(
     machine: &MachineConfig,
     ii: u32,
 ) -> PseudoSchedule {
+    pseudo_schedule_core(ddg, assignment, machine, ii, |n| {
+        machine.latency(ddg.kind(n))
+    })
+}
+
+/// [`pseudo_schedule`] on a cached [`LoopAnalysis`]: producer latencies are
+/// read from the cache's dense vector instead of being looked up per edge.
+/// Bit-identical to the uncached variant.
+#[must_use]
+pub fn pseudo_schedule_with(
+    ddg: &Ddg,
+    assignment: &Assignment,
+    machine: &MachineConfig,
+    ii: u32,
+    analysis: &LoopAnalysis,
+) -> PseudoSchedule {
+    pseudo_schedule_core(ddg, assignment, machine, ii, |n| {
+        analysis.node_lat()[n.index()]
+    })
+}
+
+fn pseudo_schedule_core(
+    ddg: &Ddg,
+    assignment: &Assignment,
+    machine: &MachineConfig,
+    ii: u32,
+    base_lat: impl Fn(cvliw_ddg::NodeId) -> u32,
+) -> PseudoSchedule {
     let ncoms = assignment.comm_count(ddg);
     let bus_ok = ncoms <= machine.bus_coms_per_ii(ii);
 
@@ -63,7 +92,7 @@ pub fn pseudo_schedule(
     // Critical path with communication latencies: a data edge whose
     // consumer lives in a cluster without the producer pays the bus.
     let lat = |e: &cvliw_ddg::Edge| {
-        let base = machine.latency(ddg.kind(e.src));
+        let base = base_lat(e.src);
         if e.is_data()
             && !assignment
                 .instances(e.dst)
@@ -92,7 +121,7 @@ pub fn pseudo_schedule(
                     continue;
                 }
                 let def = asap[n.index()];
-                let mut last = def + i64::from(machine.latency(ddg.kind(n)));
+                let mut last = def + i64::from(base_lat(n));
                 for e in ddg.out_edges(n) {
                     if e.is_data() {
                         last =

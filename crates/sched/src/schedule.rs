@@ -7,6 +7,7 @@ use cvliw_ddg::{Ddg, DepKind, NodeId};
 use cvliw_machine::MachineConfig;
 
 use crate::assign::{Assignment, ClusterSet};
+use crate::cache::LoopAnalysis;
 use crate::error::{ScheduleError, VerifyError};
 use crate::mrt::Mrt;
 use crate::order::sms_order;
@@ -370,19 +371,6 @@ pub enum OrderStrategy {
     Topological,
 }
 
-/// Dependence arcs between schedulable operations.
-struct OpGraph {
-    preds: BTreeMap<SchedOp, Vec<(SchedOp, i64, i64)>>,
-    succs: BTreeMap<SchedOp, Vec<(SchedOp, i64, i64)>>,
-}
-
-impl OpGraph {
-    fn add(&mut self, from: SchedOp, to: SchedOp, lat: i64, dist: i64) {
-        self.preds.entry(to).or_default().push((from, lat, dist));
-        self.succs.entry(from).or_default().push((to, lat, dist));
-    }
-}
-
 /// Chooses the cluster a value's copy reads from: the home cluster if an
 /// instance lives there, otherwise the lowest-numbered instance cluster.
 fn copy_source(assignment: &Assignment, n: NodeId) -> u8 {
@@ -398,38 +386,77 @@ fn copy_source(assignment: &Assignment, n: NodeId) -> u8 {
     }
 }
 
-/// Builds the operation list (in the requested order) and the arcs.
-fn build_ops(
+/// The per-attempt operation arena: every schedulable op gets a compact
+/// dense id (its index in `ops`), and all attempt-local state — dependence
+/// arcs, placements, bus choices — lives in plain `Vec`s indexed by that
+/// id instead of `BTreeMap<SchedOp, _>` lookups on the hot placement path.
+struct OpArena {
+    /// Ops in placement order; the index is the op's id.
+    ops: Vec<SchedOp>,
+    /// `node · clusters + cluster → id` (`u32::MAX` when absent).
+    instance_id: Vec<u32>,
+    /// `node → id` of the node's bus copy (`u32::MAX` when absent).
+    copy_id: Vec<u32>,
+    /// Incoming arcs per id: `(pred id, latency, distance)`.
+    preds: Vec<Vec<(u32, i64, i64)>>,
+    /// Outgoing arcs per id: `(succ id, latency, distance)`.
+    succs: Vec<Vec<(u32, i64, i64)>>,
+    clusters: usize,
+}
+
+impl OpArena {
+    fn instance(&self, n: NodeId, c: u8) -> u32 {
+        self.instance_id[n.index() * self.clusters + c as usize]
+    }
+
+    fn copy(&self, n: NodeId) -> u32 {
+        self.copy_id[n.index()]
+    }
+
+    fn arc(&mut self, from: u32, to: u32, lat: i64, dist: i64) {
+        self.preds[to as usize].push((from, lat, dist));
+        self.succs[from as usize].push((to, lat, dist));
+    }
+}
+
+/// Builds the arena: the operation list in the requested node order, the
+/// dense id maps and the dependence arcs.
+fn build_arena(
     req: &ScheduleRequest<'_>,
-    strategy: OrderStrategy,
-) -> (Vec<SchedOp>, OpGraph, Vec<NodeId>) {
+    node_order: &[NodeId],
+    communicated: &[NodeId],
+) -> OpArena {
     let ddg = req.ddg;
     let asg = req.assignment;
     let machine = req.machine;
-    let communicated = asg.communicated(ddg);
     let is_com = |n: NodeId| communicated.binary_search(&n).is_ok();
 
-    let node_order = match strategy {
-        OrderStrategy::Swing => sms_order(ddg, machine),
-        OrderStrategy::Topological => cvliw_ddg::topo_order(ddg),
+    let n = ddg.node_count();
+    let clusters = machine.clusters() as usize;
+    let mut arena = OpArena {
+        ops: Vec::with_capacity(n + communicated.len()),
+        instance_id: vec![u32::MAX; n * clusters],
+        copy_id: vec![u32::MAX; n],
+        preds: Vec::new(),
+        succs: Vec::new(),
+        clusters,
     };
-    let mut ops = Vec::new();
-    for &n in &node_order {
-        let mut clusters: Vec<u8> = asg.instances(n).iter().collect();
-        let src = copy_source(asg, n);
-        clusters.sort_by_key(|&c| (c != src, c));
-        for c in clusters {
-            ops.push(SchedOp::Instance(n, c));
+    for &nd in node_order {
+        let mut cs: Vec<u8> = asg.instances(nd).iter().collect();
+        let src = copy_source(asg, nd);
+        cs.sort_by_key(|&c| (c != src, c));
+        for c in cs {
+            arena.instance_id[nd.index() * clusters + c as usize] = arena.ops.len() as u32;
+            arena.ops.push(SchedOp::Instance(nd, c));
         }
-        if is_com(n) {
-            ops.push(SchedOp::Copy(n));
+        if is_com(nd) {
+            arena.copy_id[nd.index()] = arena.ops.len() as u32;
+            arena.ops.push(SchedOp::Copy(nd));
         }
     }
+    arena.preds = vec![Vec::new(); arena.ops.len()];
+    arena.succs = vec![Vec::new(); arena.ops.len()];
 
-    let mut graph = OpGraph {
-        preds: BTreeMap::new(),
-        succs: BTreeMap::new(),
-    };
     let bus_dep_lat = if req.zero_bus_dep_latency {
         0
     } else {
@@ -443,44 +470,34 @@ fn build_ops(
             DepKind::Mem => {
                 for cu in asg.instances(e.src).iter() {
                     for cv in asg.instances(e.dst).iter() {
-                        graph.add(
-                            SchedOp::Instance(e.src, cu),
-                            SchedOp::Instance(e.dst, cv),
-                            lat,
-                            dist,
-                        );
+                        let (from, to) = (arena.instance(e.src, cu), arena.instance(e.dst, cv));
+                        arena.arc(from, to, lat, dist);
                     }
                 }
             }
             DepKind::Data => {
                 let src_set = asg.instances(e.src);
                 for c in asg.instances(e.dst).iter() {
+                    let to = arena.instance(e.dst, c);
                     if src_set.contains(c) {
-                        graph.add(
-                            SchedOp::Instance(e.src, c),
-                            SchedOp::Instance(e.dst, c),
-                            lat,
-                            dist,
-                        );
+                        let from = arena.instance(e.src, c);
+                        arena.arc(from, to, lat, dist);
                     } else {
                         debug_assert!(is_com(e.src), "missing value must be communicated");
-                        graph.add(
-                            SchedOp::Copy(e.src),
-                            SchedOp::Instance(e.dst, c),
-                            bus_dep_lat,
-                            dist,
-                        );
+                        let from = arena.copy(e.src);
+                        arena.arc(from, to, bus_dep_lat, dist);
                     }
                 }
             }
         }
     }
-    for &n in &communicated {
-        let src = copy_source(asg, n);
-        let lat = i64::from(machine.latency(ddg.kind(n)));
-        graph.add(SchedOp::Instance(n, src), SchedOp::Copy(n), lat, 0);
+    for &nd in communicated {
+        let src = copy_source(asg, nd);
+        let lat = i64::from(machine.latency(ddg.kind(nd)));
+        let (from, to) = (arena.instance(nd, src), arena.copy(nd));
+        arena.arc(from, to, lat, 0);
     }
-    (ops, graph, communicated)
+    arena
 }
 
 /// Modulo-schedules one loop at a fixed initiation interval.
@@ -500,6 +517,10 @@ pub fn schedule(req: &ScheduleRequest<'_>) -> Result<Schedule, ScheduleError> {
 
 /// [`schedule`] with an explicit ordering strategy (see [`OrderStrategy`]).
 ///
+/// One-shot convenience: recomputes the node order from scratch. The
+/// driver's II loop passes a cached order through
+/// [`schedule_with_analysis`] instead.
+///
 /// # Errors
 ///
 /// As for [`schedule`].
@@ -507,89 +528,142 @@ pub fn schedule_with(
     req: &ScheduleRequest<'_>,
     strategy: OrderStrategy,
 ) -> Result<Schedule, ScheduleError> {
+    let node_order = match strategy {
+        OrderStrategy::Swing => sms_order(req.ddg, req.machine),
+        OrderStrategy::Topological => cvliw_ddg::topo_order(req.ddg),
+    };
+    schedule_ordered(req, &node_order)
+}
+
+/// [`schedule_with`] on a cached [`LoopAnalysis`]: the node order (and
+/// everything it derives from — latencies, SCCs, depth/height) is read from
+/// the cache instead of being recomputed per attempt. Produces bit-identical
+/// schedules to the uncached entry points.
+///
+/// # Errors
+///
+/// As for [`schedule`].
+pub fn schedule_with_analysis(
+    req: &ScheduleRequest<'_>,
+    strategy: OrderStrategy,
+    analysis: &LoopAnalysis,
+) -> Result<Schedule, ScheduleError> {
+    let node_order = match strategy {
+        OrderStrategy::Swing => analysis.sms_order(),
+        OrderStrategy::Topological => analysis.topo_order(),
+    };
+    schedule_ordered(req, node_order)
+}
+
+/// The placement core: modulo-schedules the assignment with operations
+/// visited in `node_order`.
+fn schedule_ordered(
+    req: &ScheduleRequest<'_>,
+    node_order: &[NodeId],
+) -> Result<Schedule, ScheduleError> {
     let machine = req.machine;
     let ii = req.ii;
     assert!(ii > 0, "initiation interval must be positive");
 
     // Bus bandwidth check (IIpart ≤ II in the paper's driver).
-    let (ops, graph, communicated) = build_ops(req, strategy);
+    let communicated = req.assignment.communicated(req.ddg);
     let needed = communicated.len() as u32;
     let capacity = machine.bus_coms_per_ii(ii);
     if needed > capacity {
         return Err(ScheduleError::Bus { needed, capacity });
     }
 
+    let arena = build_arena(req, node_order, &communicated);
+    let n_ops = arena.ops.len();
+
     let mut mrt = Mrt::new(machine, ii);
-    let mut placed: BTreeMap<SchedOp, i64> = BTreeMap::new();
-    let mut buses: BTreeMap<NodeId, u8> = BTreeMap::new();
+    /// Sentinel for "not placed yet" in the dense placement array.
+    const UNPLACED: i64 = i64::MIN;
+    let mut placed: Vec<i64> = vec![UNPLACED; n_ops];
+    let mut bus_of: Vec<u8> = vec![0; n_ops];
     let ii_i = i64::from(ii);
 
-    for &op in &ops {
+    for id in 0..n_ops {
+        let op = arena.ops[id];
         let mut estart: Option<i64> = None;
         let mut lstart: Option<i64> = None;
         // Whether the binding bound flows through a bus copy: a closed
         // window then signals communication latency, not a recurrence.
         let mut bound_by_copy = matches!(op, SchedOp::Copy(_));
-        if let Some(preds) = graph.preds.get(&op) {
-            for &(p, lat, dist) in preds {
-                if let Some(&tp) = placed.get(&p) {
-                    let bound = tp + lat - ii_i * dist;
-                    if estart.is_none_or(|e| bound > e) {
-                        estart = Some(bound);
-                        if matches!(p, SchedOp::Copy(_)) {
-                            bound_by_copy = true;
-                        }
+        for &(p, lat, dist) in &arena.preds[id] {
+            let tp = placed[p as usize];
+            if tp != UNPLACED {
+                let bound = tp + lat - ii_i * dist;
+                if estart.is_none_or(|e| bound > e) {
+                    estart = Some(bound);
+                    if matches!(arena.ops[p as usize], SchedOp::Copy(_)) {
+                        bound_by_copy = true;
                     }
                 }
             }
         }
-        if let Some(succs) = graph.succs.get(&op) {
-            for &(s, lat, dist) in succs {
-                if let Some(&ts) = placed.get(&s) {
-                    let bound = ts - lat + ii_i * dist;
-                    if lstart.is_none_or(|l| bound < l) {
-                        lstart = Some(bound);
-                        if matches!(s, SchedOp::Copy(_)) {
-                            bound_by_copy = true;
-                        }
+        for &(s, lat, dist) in &arena.succs[id] {
+            let ts = placed[s as usize];
+            if ts != UNPLACED {
+                let bound = ts - lat + ii_i * dist;
+                if lstart.is_none_or(|l| bound < l) {
+                    lstart = Some(bound);
+                    if matches!(arena.ops[s as usize], SchedOp::Copy(_)) {
+                        bound_by_copy = true;
                     }
                 }
             }
         }
 
-        let candidates: Vec<i64> = match (estart, lstart) {
+        let candidates: std::ops::Range<i64> = match (estart, lstart) {
             (Some(e), Some(l)) => {
                 if l < e {
                     return Err(window_closed(op, bound_by_copy));
                 }
-                (e..=l.min(e + ii_i - 1)).collect()
+                e..l.min(e + ii_i - 1) + 1
             }
-            (Some(e), None) => (e..e + ii_i).collect(),
-            (None, Some(l)) => (0..ii_i).map(|k| l - k).collect(),
-            (None, None) => (0..ii_i).collect(),
+            (Some(e), None) => e..e + ii_i,
+            (None, Some(l)) => l - ii_i + 1..l + 1,
+            (None, None) => 0..ii_i,
         };
+        // The unbounded-from-above case walks downward from `l`.
+        let downward = estart.is_none() && lstart.is_some();
         let doubly_bounded = estart.is_some() && lstart.is_some();
 
         let mut done = false;
-        for t in candidates {
+        let mut try_slot = |t: i64| -> bool {
             match op {
                 SchedOp::Instance(n, c) => {
                     let class = req.ddg.kind(n).class();
                     if mrt.fu_free(c, class, t) {
                         mrt.place_fu(c, class, t);
-                        placed.insert(op, t);
-                        done = true;
-                        break;
+                        placed[id] = t;
+                        return true;
                     }
                 }
-                SchedOp::Copy(n) => {
+                SchedOp::Copy(_) => {
                     if let Some(bus) = mrt.bus_available(t) {
                         mrt.place_copy(bus, t);
-                        placed.insert(op, t);
-                        buses.insert(n, bus);
-                        done = true;
-                        break;
+                        placed[id] = t;
+                        bus_of[id] = bus;
+                        return true;
                     }
+                }
+            }
+            false
+        };
+        if downward {
+            for t in candidates.rev() {
+                if try_slot(t) {
+                    done = true;
+                    break;
+                }
+            }
+        } else {
+            for t in candidates {
+                if try_slot(t) {
+                    done = true;
+                    break;
                 }
             }
         }
@@ -610,13 +684,13 @@ pub fn schedule_with(
     }
 
     // Normalize to cycle 0 and assemble.
-    let min_t = placed.values().copied().min().unwrap_or(0);
-    let max_t = placed.values().copied().max().unwrap_or(0);
+    let min_t = placed.iter().copied().min().unwrap_or(0);
+    let max_t = placed.iter().copied().max().unwrap_or(0);
     let mut instances = BTreeMap::new();
     let mut copies = BTreeMap::new();
-    for (op, t) in placed {
+    for (id, &t) in placed.iter().enumerate() {
         let t = t - min_t;
-        match op {
+        match arena.ops[id] {
             SchedOp::Instance(n, c) => {
                 instances.insert((n, c), t);
             }
@@ -625,7 +699,7 @@ pub fn schedule_with(
                     n,
                     CopyPlacement {
                         cycle: t,
-                        bus: buses[&n],
+                        bus: bus_of[id],
                         source: copy_source(req.assignment, n),
                     },
                 );

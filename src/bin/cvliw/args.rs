@@ -53,7 +53,7 @@ impl fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
-const KNOWN_OPTIONS: [&str; 9] = [
+const KNOWN_OPTIONS: [&str; 12] = [
     "machine",
     "mode",
     "loop",
@@ -63,6 +63,9 @@ const KNOWN_OPTIONS: [&str; 9] = [
     "jobs",
     "format",
     "out",
+    "runs",
+    "warmup",
+    "budget-ms",
 ];
 
 impl Args {

@@ -4,7 +4,9 @@ use std::fmt;
 use std::fs;
 
 use cvliw::ddg::to_dot;
-use cvliw::exp::{default_jobs, emit, run_suite, Format, SuiteError, SuiteGrid};
+use cvliw::exp::{
+    bench_suite, default_jobs, emit, emit_bench_json, run_suite, Format, SuiteError, SuiteGrid,
+};
 use cvliw::ir::{parse_module, print_loop, NamedLoop, ParseError};
 use cvliw::machine::{MachineConfig, SpecError};
 use cvliw::replicate::{compile_loop, CompileError, CompileOptions, CompiledLoop, Mode};
@@ -51,6 +53,13 @@ pub enum CliError {
     UnknownFormat(String),
     /// A suite run could not start.
     Suite(SuiteError),
+    /// A `cvliw bench` run exceeded its `--budget-ms` wall-clock budget.
+    BudgetExceeded {
+        /// Median total wall clock of the measured runs.
+        wall_ms: f64,
+        /// The budget that was exceeded.
+        budget_ms: f64,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -76,6 +85,10 @@ impl fmt::Display for CliError {
                 write!(f, "unknown format `{x}` (expected text, json, csv or md)")
             }
             CliError::Suite(e) => write!(f, "suite failed: {e}"),
+            CliError::BudgetExceeded { wall_ms, budget_ms } => write!(
+                f,
+                "bench exceeded its wall-clock budget: {wall_ms:.0} ms > {budget_ms:.0} ms"
+            ),
         }
     }
 }
@@ -121,6 +134,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "expand" => cmd_expand(args),
         "compare" => cmd_compare(args),
         "suite" => cmd_suite(args),
+        "bench" => cmd_bench(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -147,6 +161,8 @@ COMMANDS:
     dot      <file.loop>   emit Graphviz DOT for the dependence graph
     suite                  run the 678-loop experiment grid in parallel
                            (all paper machines × all modes by default)
+    bench                  time suite compilation (warmup + median-of-N)
+                           and write BENCH_compile.json
     help                   show this message
 
 OPTIONS:
@@ -167,7 +183,12 @@ OPTIONS:
     --format <fmt>         suite output: text | json | csv | md
                            (default text; md is the docs/RESULTS.md book)
     --out <path>           suite output file; `-` forces stdout
-                           (default: stdout, except md -> docs/RESULTS.md)
+                           (default: stdout, except md -> docs/RESULTS.md;
+                           for `bench`: BENCH_compile.json)
+    --runs <n>             bench: measured passes, median reported (default 3)
+    --warmup <n>           bench: untimed warmup passes (default 1)
+    --budget-ms <n>        bench: exit nonzero if the median total exceeds
+                           this wall-clock budget (CI's 10×-regression net)
 
 EXAMPLES:
     cvliw schedule examples/loops/fir.loop --machine 4c1b2l64r
@@ -175,6 +196,8 @@ EXAMPLES:
     cvliw suite --machine 4c1b2l64r --mode baseline --max-loops 16
     cvliw suite --jobs 4 --format md        # regenerate docs/RESULTS.md
     cvliw suite --jobs 4 --format csv --out results.csv
+    cvliw bench --max-loops 8 --runs 3      # quick perf snapshot
+    cvliw bench                             # full-grid BENCH_compile.json
 "
     .to_string()
 }
@@ -414,7 +437,11 @@ fn cmd_compare(args: &Args) -> Result<(), CliError> {
 /// Where the Markdown results book lives relative to the repository root.
 const RESULTS_BOOK: &str = "docs/RESULTS.md";
 
-fn cmd_suite(args: &Args) -> Result<(), CliError> {
+/// Where `cvliw bench` writes its timing artifact by default.
+const BENCH_BOOK: &str = "BENCH_compile.json";
+
+/// Builds the (possibly restricted) grid shared by `suite` and `bench`.
+fn grid_from_args(args: &Args) -> Result<SuiteGrid, CliError> {
     let mut grid = SuiteGrid::paper();
     if let Some(spec) = args.get("machine") {
         parse_machine(spec)?; // report a spec error before the run starts
@@ -426,6 +453,20 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
     if let Some(cap) = args.get_num::<usize>("max-loops")? {
         grid = grid.with_max_loops(cap);
     }
+    Ok(grid)
+}
+
+fn cmd_suite(args: &Args) -> Result<(), CliError> {
+    // The timing knobs belong to `bench`; accepting them here would
+    // silently skip the wall-clock gate a CI author thought they set.
+    for bench_only in ["runs", "warmup", "budget-ms"] {
+        if args.get(bench_only).is_some() {
+            return Err(CliError::Usage(UsageError::UnknownOption(format!(
+                "{bench_only} (only `cvliw bench` accepts it)"
+            ))));
+        }
+    }
+    let grid = grid_from_args(args)?;
     let jobs = args.get_num::<usize>("jobs")?.unwrap_or_else(default_jobs);
     let format = match args.get("format") {
         None => Format::Text,
@@ -434,12 +475,15 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
 
     let started = std::time::Instant::now();
     let report = run_suite(&grid, jobs).map_err(CliError::Suite)?;
+    let elapsed = started.elapsed().as_secs_f64();
+    // The measured footer: throughput belongs on stderr so every emitted
+    // format stays a pure (deterministic) function of the grid.
     eprintln!(
-        "suite: {} cells on {} worker{} in {:.1}s",
+        "suite: {} cells on {} worker{} in {elapsed:.1}s ({:.1} cells/s)",
         report.cells.len(),
         jobs,
         if jobs == 1 { "" } else { "s" },
-        started.elapsed().as_secs_f64()
+        report.cells.len() as f64 / elapsed
     );
 
     let rendered = emit(&report, format);
@@ -466,6 +510,56 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
                 source,
             })?;
             eprintln!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+/// `cvliw bench`: time suite compilation with warmup and median-of-N, write
+/// `BENCH_compile.json`, and optionally enforce a wall-clock budget.
+fn cmd_bench(args: &Args) -> Result<(), CliError> {
+    let grid = grid_from_args(args)?;
+    let jobs = args.get_num::<usize>("jobs")?.unwrap_or_else(default_jobs);
+    let runs = args.get_num::<usize>("runs")?.unwrap_or(3);
+    let warmup = args.get_num::<usize>("warmup")?.unwrap_or(1);
+    let budget_ms = args.get_num::<f64>("budget-ms")?;
+
+    let report = bench_suite(&grid, jobs, runs, warmup).map_err(CliError::Suite)?;
+    eprintln!(
+        "bench: {} cells × {} run{} (+{} warmup) on {} worker{}: median {:.0} ms, {:.1} cells/s",
+        report.cells,
+        report.runs,
+        if report.runs == 1 { "" } else { "s" },
+        report.warmup,
+        report.jobs,
+        if report.jobs == 1 { "" } else { "s" },
+        report.total_wall_ms,
+        report.cells_per_sec
+    );
+
+    let rendered = emit_bench_json(&report);
+    let destination = match args.get("out") {
+        Some("-") => None,
+        Some(path) => Some(path.to_string()),
+        None => Some(BENCH_BOOK.to_string()),
+    };
+    match destination {
+        None => print!("{rendered}"),
+        Some(path) => {
+            fs::write(&path, &rendered).map_err(|source| CliError::Write {
+                path: path.clone(),
+                source,
+            })?;
+            eprintln!("wrote {path}");
+        }
+    }
+
+    if let Some(budget) = budget_ms {
+        if report.total_wall_ms > budget {
+            return Err(CliError::BudgetExceeded {
+                wall_ms: report.total_wall_ms,
+                budget_ms: budget,
+            });
         }
     }
     Ok(())

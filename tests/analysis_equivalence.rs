@@ -1,0 +1,146 @@
+//! Equivalence property test for the II-invariant analysis cache and the
+//! dense-arena scheduler: the cached entry points (`compile_loop_ctx` with
+//! one `CompileContext` shared across all five modes, `compile_loop_with`,
+//! `schedule_with_analysis`) must produce **bit-identical** results — same
+//! instances, copies, length and II — to the self-contained `compile_loop`
+//! / `schedule_with` paths, across generated loops × machines × modes.
+//!
+//! This is the determinism contract of the perf work: caching and the
+//! arena are observationally pure, and `docs/RESULTS.md` plus the golden
+//! emitter files stay byte-identical because every cell compiles to the
+//! same statistics no matter which entry point ran it.
+
+use cvliw::machine::{FuCounts, LatencyTable, MachineConfig};
+use cvliw::prelude::*;
+use cvliw::replicate::{compile_loop_ctx, compile_loop_with, CompileContext};
+use cvliw::sched::{
+    schedule_with, schedule_with_analysis, Assignment, LoopAnalysis, OrderStrategy, ScheduleRequest,
+};
+use cvliw::workloads::{generate_loop, GeneratorParams};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = GeneratorParams> {
+    (
+        (1usize..=6, 1usize..=5),
+        0.0f64..0.6,
+        0.0f64..1.0,
+        0.0f64..0.3,
+    )
+        .prop_map(
+            |((chains, depth), coupling, shared_addr, recurrence)| GeneratorParams {
+                chains: (chains, chains + 2),
+                depth: (depth, depth + 2),
+                coupling,
+                shared_addr,
+                recurrence,
+                ..GeneratorParams::medium()
+            },
+        )
+}
+
+fn arb_machine() -> impl Strategy<Value = MachineConfig> {
+    (
+        prop_oneof![Just(1u8), Just(2u8), Just(4u8)],
+        1u8..=4,
+        1u32..=4,
+        prop_oneof![Just(32u32), Just(64u32), Just(128u32)],
+    )
+        .prop_map(|(clusters, buses, bus_lat, regs)| {
+            let per = 4 / clusters;
+            MachineConfig::new(
+                clusters,
+                buses,
+                bus_lat,
+                regs,
+                FuCounts {
+                    int: per,
+                    fp: per,
+                    mem: per,
+                },
+                LatencyTable::PAPER,
+            )
+            .expect("valid machine")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// One shared `CompileContext` across all five modes versus a fresh
+    /// self-contained `compile_loop` per mode: identical schedules,
+    /// assignments, statistics — and identical errors when no II fits.
+    #[test]
+    fn cached_context_is_bit_identical_across_all_modes(
+        seed in 0u64..10_000,
+        params in arb_params(),
+        machine in arb_machine(),
+    ) {
+        let ddg = generate_loop(seed, &params).expect("generator is total").ddg;
+        let ctx = CompileContext::new(&ddg, &machine);
+        let analysis = LoopAnalysis::new(&ddg, &machine);
+
+        for mode in Mode::ALL {
+            let opts = CompileOptions { mode, max_ii: None };
+            let fresh = compile_loop(&ddg, &machine, &opts);
+            let shared = compile_loop_ctx(&ddg, &machine, &opts, &ctx);
+            let with_analysis = compile_loop_with(&ddg, &machine, &opts, &analysis);
+            match (&fresh, &shared, &with_analysis) {
+                (Ok(a), Ok(b), Ok(c)) => {
+                    prop_assert_eq!(&a.schedule, &b.schedule, "mode {}", mode.name());
+                    prop_assert_eq!(&a.schedule, &c.schedule, "mode {}", mode.name());
+                    prop_assert_eq!(&a.assignment, &b.assignment);
+                    prop_assert_eq!(&a.assignment, &c.assignment);
+                    prop_assert_eq!(a.stats, b.stats);
+                    prop_assert_eq!(a.stats, c.stats);
+                    // The shared fields the suite aggregates, spelled out.
+                    prop_assert_eq!(a.stats.ii, b.stats.ii);
+                    prop_assert_eq!(a.schedule.length(), b.schedule.length());
+                    prop_assert_eq!(a.schedule.op_count(), b.schedule.op_count());
+                    prop_assert_eq!(a.schedule.copy_count(), b.schedule.copy_count());
+                    a.schedule.verify(&ddg, &machine).expect("schedule verifies");
+                }
+                (Err(a), Err(b), Err(c)) => {
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(a, c);
+                }
+                _ => prop_assert!(
+                    false,
+                    "cached and uncached paths disagree on success for mode {}",
+                    mode.name()
+                ),
+            }
+        }
+    }
+
+    /// The cached analysis feeds the scheduler the same orders the one-shot
+    /// APIs compute, so `schedule_with_analysis` equals `schedule_with` for
+    /// both strategies on a plain partition-derived assignment.
+    #[test]
+    fn scheduler_arena_matches_for_both_strategies(
+        seed in 0u64..10_000,
+        params in arb_params(),
+        machine in arb_machine(),
+        ii_bump in 0u32..4,
+    ) {
+        let ddg = generate_loop(seed, &params).expect("generator is total").ddg;
+        let analysis = LoopAnalysis::new(&ddg, &machine);
+        let partition = cvliw::partition::partition_loop(&ddg, &machine, analysis.mii());
+        let assignment: Assignment = partition.to_assignment();
+        let request = ScheduleRequest {
+            ddg: &ddg,
+            machine: &machine,
+            assignment: &assignment,
+            ii: analysis.mii() + ii_bump,
+            zero_bus_dep_latency: false,
+        };
+        for strategy in [OrderStrategy::Swing, OrderStrategy::Topological] {
+            let fresh = schedule_with(&request, strategy);
+            let cached = schedule_with_analysis(&request, strategy, &analysis);
+            match (fresh, cached) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "disagreement: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
