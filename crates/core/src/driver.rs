@@ -1,20 +1,22 @@
 //! The full compilation driver: the II loop of the paper's Figure 2 with
 //! instruction replication slotted between partitioning and scheduling.
 
-use std::cell::OnceCell;
+use std::cell::{OnceCell, RefCell};
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 use cvliw_ddg::Ddg;
 use cvliw_machine::MachineConfig;
-use cvliw_partition::{partition_loop_with, refine_existing_with, Partition};
+use cvliw_partition::{partition_loop_scratch, refine_existing_scratch, Partition, RefineScratch};
 use cvliw_sched::{
-    schedule_with_analysis, Assignment, IiCause, LoopAnalysis, OrderStrategy, Schedule,
-    ScheduleError, ScheduleRequest,
+    schedule_with_scratch, Assignment, IiCause, LoopAnalysis, OrderStrategy, SchedScratch,
+    Schedule, ScheduleError, ScheduleRequest,
 };
 
-use crate::engine::{ReplicationEngine, ReplicationOutcome, ReplicationStats};
+use crate::engine::{EngineScratch, ReplicationEngine, ReplicationOutcome, ReplicationStats};
 use crate::sched_len::extend_for_length_with;
+use crate::value_clone::uncloneable_coms;
 
 /// Which compilation pipeline to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -259,18 +261,74 @@ impl fmt::Display for CompileError {
 
 impl Error for CompileError {}
 
+/// Index of each stage in [`CompileContext::stage_nanos`] /
+/// `CompileScratch::stage_nanos`: II-invariant analysis, partitioning +
+/// refinement, replication (engine, value cloning, §5.1 extension), and
+/// modulo scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// [`LoopAnalysis`] construction.
+    Analysis = 0,
+    /// Multilevel partitioning and per-II refinement.
+    Partition = 1,
+    /// The replication engine, value cloning and the §5.1 extension.
+    Replicate = 2,
+    /// Modulo scheduling attempts (including the topological retry).
+    Schedule = 3,
+}
+
+impl Stage {
+    /// All stages in reporting order.
+    pub const ALL: [Stage; 4] = [
+        Stage::Analysis,
+        Stage::Partition,
+        Stage::Replicate,
+        Stage::Schedule,
+    ];
+
+    /// Report label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Analysis => "analysis",
+            Stage::Partition => "partition",
+            Stage::Replicate => "replicate",
+            Stage::Schedule => "schedule",
+        }
+    }
+}
+
+/// The persistent compile scratch: every mutable workspace the attempt
+/// loop needs, reused clear-and-refill across IIs and modes instead of
+/// being reallocated per attempt — the partition refiner's scoring state,
+/// the replication engine's plan worklists, and the scheduler's operation
+/// arena / reservation table / MaxLive buffers. Also accumulates the
+/// per-stage wall-clock the bench harness reports.
+#[derive(Debug, Default)]
+pub struct CompileScratch {
+    refine: RefineScratch,
+    engine: EngineScratch,
+    sched: SchedScratch,
+    /// Wall-clock nanoseconds per [`Stage`].
+    stage_nanos: [u64; 4],
+}
+
 /// The per-(loop, machine) compilation context: the II-invariant
-/// [`LoopAnalysis`] plus a lazily computed seed partition.
+/// [`LoopAnalysis`], a lazily computed seed partition, and the persistent
+/// [`CompileScratch`] threaded by `&mut` through the whole attempt loop.
 ///
 /// The driver's Figure-2 loop always starts from `partition_loop` at the
 /// MII — a pure function of `(loop, machine)`, identical for every
 /// [`Mode`]. The suite compiles each (loop, machine) pair under all five
 /// modes, so [`CompileContext`] memoizes that seed: the first mode pays
-/// for the multilevel partitioner, the other four clone the result.
+/// for the multilevel partitioner, the other four clone the result. The
+/// scratch likewise warms up once and keeps its buffers for every II of
+/// every mode.
 #[derive(Debug)]
 pub struct CompileContext {
     analysis: LoopAnalysis,
     initial_partition: OnceCell<Partition>,
+    scratch: RefCell<CompileScratch>,
 }
 
 impl CompileContext {
@@ -278,9 +336,15 @@ impl CompileContext {
     /// computed on first use.
     #[must_use]
     pub fn new(ddg: &Ddg, machine: &MachineConfig) -> Self {
+        let started = Instant::now();
+        let analysis = LoopAnalysis::new(ddg, machine);
+        let mut scratch = CompileScratch::default();
+        scratch.stage_nanos[Stage::Analysis as usize] = elapsed_nanos(started);
+        scratch.engine.prepare(ddg, &analysis);
         CompileContext {
-            analysis: LoopAnalysis::new(ddg, machine),
+            analysis,
             initial_partition: OnceCell::new(),
+            scratch: RefCell::new(scratch),
         }
     }
 
@@ -290,11 +354,38 @@ impl CompileContext {
         &self.analysis
     }
 
-    /// The memoized `partition_loop` result at the loop's MII.
-    fn initial_partition(&self, ddg: &Ddg, machine: &MachineConfig) -> &Partition {
-        self.initial_partition
-            .get_or_init(|| partition_loop_with(ddg, machine, self.analysis.mii(), &self.analysis))
+    /// Wall-clock nanoseconds spent per [`Stage`] across every compilation
+    /// run through this context (indexed by `Stage as usize`). Purely a
+    /// measurement by-product: timing never influences any result.
+    #[must_use]
+    pub fn stage_nanos(&self) -> [u64; 4] {
+        self.scratch.borrow().stage_nanos
     }
+
+    /// The memoized `partition_loop` result at the loop's MII.
+    fn initial_partition(
+        &self,
+        ddg: &Ddg,
+        machine: &MachineConfig,
+        scratch: &mut CompileScratch,
+    ) -> &Partition {
+        self.initial_partition.get_or_init(|| {
+            let started = Instant::now();
+            let seed = partition_loop_scratch(
+                ddg,
+                machine,
+                self.analysis.mii(),
+                &self.analysis,
+                &mut scratch.refine,
+            );
+            scratch.stage_nanos[Stage::Partition as usize] += elapsed_nanos(started);
+            seed
+        })
+    }
+}
+
+fn elapsed_nanos(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Compiles one loop for one machine: Figure 2's `II = MII; loop
@@ -323,7 +414,8 @@ pub fn compile_loop(
 /// is read from the cache, so the II loop and the swing→topological retry
 /// never recompute them. Results are bit-identical to [`compile_loop`].
 /// (The suite goes one step further and shares a [`CompileContext`], which
-/// also memoizes the MII seed partition across modes.)
+/// also memoizes the MII seed partition and the compile scratch across
+/// modes.)
 ///
 /// # Errors
 ///
@@ -334,12 +426,14 @@ pub fn compile_loop_with(
     opts: &CompileOptions,
     analysis: &LoopAnalysis,
 ) -> Result<CompiledLoop, CompileError> {
-    compile_loop_inner(ddg, machine, opts, analysis, None)
+    let mut scratch = CompileScratch::default();
+    scratch.engine.prepare(ddg, analysis);
+    compile_loop_inner(ddg, machine, opts, analysis, None, &mut scratch)
 }
 
-/// [`compile_loop`] on a shared [`CompileContext`]: the analysis *and* the
-/// MII seed partition are reused across calls. Results are bit-identical
-/// to [`compile_loop`].
+/// [`compile_loop`] on a shared [`CompileContext`]: the analysis, the MII
+/// seed partition *and* the persistent compile scratch are reused across
+/// calls. Results are bit-identical to [`compile_loop`].
 ///
 /// # Errors
 ///
@@ -350,13 +444,9 @@ pub fn compile_loop_ctx(
     opts: &CompileOptions,
     ctx: &CompileContext,
 ) -> Result<CompiledLoop, CompileError> {
-    compile_loop_inner(
-        ddg,
-        machine,
-        opts,
-        &ctx.analysis,
-        Some(ctx.initial_partition(ddg, machine)),
-    )
+    let scratch = &mut *ctx.scratch.borrow_mut();
+    let seed = ctx.initial_partition(ddg, machine, scratch);
+    compile_loop_inner(ddg, machine, opts, &ctx.analysis, Some(seed), scratch)
 }
 
 fn compile_loop_inner(
@@ -365,6 +455,7 @@ fn compile_loop_inner(
     opts: &CompileOptions,
     analysis: &LoopAnalysis,
     seed: Option<&Partition>,
+    scratch: &mut CompileScratch,
 ) -> Result<CompiledLoop, CompileError> {
     debug_assert_eq!(
         ddg.node_count(),
@@ -379,21 +470,61 @@ fn compile_loop_inner(
 
     let mut partition = match seed {
         Some(p) => p.clone(),
-        None => partition_loop_with(ddg, machine, mii, analysis),
+        None => {
+            let started = Instant::now();
+            let p = partition_loop_scratch(ddg, machine, mii, analysis, &mut scratch.refine);
+            scratch.stage_nanos[Stage::Partition as usize] += elapsed_nanos(started);
+            p
+        }
     };
     let mut ii = mii;
+    // Failure-driven II skipping (non-replicating modes): after a bus
+    // failure, the smallest II whose bandwidth could possibly fit the
+    // partition's communication floor. While the refined partition stays
+    // *unchanged* — the common case during a bus-bound climb — every II
+    // below the bound provably fails the same bandwidth check, so the
+    // attempt body is skipped and the cause tallied directly. The moment
+    // refinement changes the partition the bound is discarded, which is
+    // what keeps the sweep byte-identical to the plain linear one: the
+    // refinement chain itself (whose outcome future attempts depend on)
+    // is never skipped. Debug builds re-run each skipped check.
+    let mut bus_bound = 0u32;
     while ii <= max_ii {
         if ii > mii {
-            partition = refine_existing_with(ddg, machine, ii, partition, analysis);
+            let started = Instant::now();
+            let refined = refine_existing_scratch(
+                ddg,
+                machine,
+                ii,
+                partition.clone(),
+                analysis,
+                &mut scratch.refine,
+            );
+            scratch.stage_nanos[Stage::Partition as usize] += elapsed_nanos(started);
+            if refined != partition {
+                partition = refined;
+                bus_bound = 0;
+            }
+        }
+        if ii < bus_bound {
+            debug_assert!(
+                skipped_attempt_fails_bus(ddg, machine, opts.mode, &partition, ii),
+                "the II-skip bound must only skip provably failing attempts"
+            );
+            causes.add(IiCause::Bus);
+            ii += 1;
+            continue;
         }
         let base = partition.to_assignment();
         let partition_coms = base.comm_count(ddg);
 
+        let started = Instant::now();
         let (assignment, replication) = if opts.mode.replicates() {
             let mut engine = ReplicationEngine::new(ddg, machine, ii, base);
-            match engine.run() {
+            match engine.run_scratch(&mut scratch.engine) {
                 ReplicationOutcome::Fits => engine.into_parts(),
                 ReplicationOutcome::Stuck { .. } => {
+                    scratch.stage_nanos[Stage::Replicate as usize] += elapsed_nanos(started);
                     causes.add(IiCause::Bus);
                     ii += 1;
                     continue;
@@ -409,6 +540,7 @@ fn compile_loop_inner(
             };
             (base, stats)
         };
+        scratch.stage_nanos[Stage::Replicate as usize] += elapsed_nanos(started);
 
         // Every branch above already tracked the surviving communication
         // count in its stats; recounting per II would walk the whole DDG
@@ -421,12 +553,27 @@ fn compile_loop_inner(
         );
         if ncoms > machine.bus_coms_per_ii(ii) {
             causes.add(IiCause::Bus);
+            // The failure's bound arithmetic: baseline communications are
+            // exactly the partition's, so `min_ii_for_coms(ncoms)` is the
+            // first II that could pass this check; value cloning can shed
+            // cloneable communications as capacity grows, so its floor is
+            // the communications cloning can never remove.
+            bus_bound = match opts.mode {
+                Mode::Baseline => machine.min_ii_for_coms(ncoms).unwrap_or(u32::MAX),
+                Mode::ValueClone => machine
+                    .min_ii_for_coms(uncloneable_coms(ddg, &assignment))
+                    .unwrap_or(u32::MAX),
+                _ => 0,
+            };
             ii += 1;
             continue;
         }
 
         let assignment = if opts.mode == Mode::ReplicateSchedLen {
-            extend_for_length_with(ddg, machine, ii, assignment, analysis)
+            let started = Instant::now();
+            let extended = extend_for_length_with(ddg, machine, ii, assignment, analysis);
+            scratch.stage_nanos[Stage::Replicate as usize] += elapsed_nanos(started);
+            extended
         } else {
             assignment
         };
@@ -444,17 +591,25 @@ fn compile_loop_inner(
         // fail, the topological failure carries the honest cause — a swing
         // window-closure may be an ordering artifact, while topological
         // windows only close under genuine recurrence pressure.
+        let started = Instant::now();
         let attempt =
-            schedule_with_analysis(&request, OrderStrategy::Swing, analysis).or_else(|first| {
-                if matches!(
-                    first,
-                    ScheduleError::Recurrence { .. } | ScheduleError::CopySlots { .. }
-                ) {
-                    schedule_with_analysis(&request, OrderStrategy::Topological, analysis)
-                } else {
-                    Err(first)
-                }
-            });
+            schedule_with_scratch(&request, OrderStrategy::Swing, analysis, &mut scratch.sched)
+                .or_else(|first| {
+                    if matches!(
+                        first,
+                        ScheduleError::Recurrence { .. } | ScheduleError::CopySlots { .. }
+                    ) {
+                        schedule_with_scratch(
+                            &request,
+                            OrderStrategy::Topological,
+                            analysis,
+                            &mut scratch.sched,
+                        )
+                    } else {
+                        Err(first)
+                    }
+                });
+        scratch.stage_nanos[Stage::Schedule as usize] += elapsed_nanos(started);
         match attempt {
             Ok(sched) => {
                 let stats = LoopStats {
@@ -487,6 +642,31 @@ fn compile_loop_inner(
         max_ii,
         causes,
     })
+}
+
+/// Debug-build verification of the failure-driven II skip: re-runs the
+/// attempt the skip elided — exactly what the linear sweep would have done
+/// at `ii` — and reports whether it fails the bus-bandwidth check, which
+/// is what the bound arithmetic promised. Only ever invoked from a
+/// `debug_assert!`, so release builds never pay for it.
+fn skipped_attempt_fails_bus(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    mode: Mode,
+    partition: &Partition,
+    ii: u32,
+) -> bool {
+    let base = partition.to_assignment();
+    let ncoms = match mode {
+        Mode::Baseline => base.comm_count(ddg),
+        Mode::ValueClone => {
+            crate::value_clone::value_clone(ddg, machine, ii, base)
+                .1
+                .final_coms
+        }
+        _ => return false, // the bound is never armed for replicating modes
+    };
+    ncoms > machine.bus_coms_per_ii(ii)
 }
 
 /// The single-cell entry point for suite orchestration: compiles one loop

@@ -5,10 +5,89 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use cvliw_ddg::{Ddg, NodeId};
 use cvliw_machine::MachineConfig;
-use cvliw_sched::Assignment;
+use cvliw_sched::{Assignment, ClusterSet, LoopAnalysis};
 
-use crate::liveness::{dead_instances, InstanceView};
-use crate::plan::{plan_weight, replication_plan, share_counts, ReplicationPlan};
+use crate::liveness::{dead_instances_into, on_cycle_into, ViewRef};
+use crate::plan::{
+    plan_fits_with_usage, plan_weight, plan_weight_with_usage, replication_plan,
+    replication_plan_scratch, share_counts, share_counts_of, PlanScratch, ReplicationPlan,
+};
+
+/// The replication engine's persistent workspace: the recurrence-membership
+/// slice the liveness queries anchor on, the per-iteration plan list, the
+/// usage/extra/freed censuses and the plan-construction buffers. One
+/// scratch serves every engine run of a compilation (every II of every
+/// replicating mode); [`ReplicationEngine::run_scratch`] resets what each
+/// run needs and produces bit-identical outcomes to
+/// [`ReplicationEngine::run`].
+#[derive(Clone, Debug, Default)]
+pub struct EngineScratch {
+    on_cycle: Vec<bool>,
+    /// Fingerprint of the loop `on_cycle` was computed for (see
+    /// [`fingerprint`]), so a scratch accidentally reused across loops
+    /// recomputes instead of anchoring liveness on a stale recurrence set.
+    on_cycle_for: Option<u64>,
+    plans: Vec<ReplicationPlan>,
+    usage: Vec<[u32; 3]>,
+    extra: Vec<[u32; 3]>,
+    freed: Vec<[u32; 3]>,
+    plan: PlanScratch,
+    com_source: Vec<u8>,
+    live: Vec<ClusterSet>,
+    worklist: Vec<(NodeId, u8)>,
+    dead: Vec<(NodeId, u8)>,
+    coms_buf: Vec<NodeId>,
+}
+
+impl EngineScratch {
+    /// Seeds the recurrence-membership slice for `ddg` from its cached
+    /// [`LoopAnalysis`] instead of recomputing the SCC decomposition on
+    /// first use. `analysis` must have been built for `ddg`; the engine
+    /// re-checks the loop fingerprint on every run, so a scratch handed a
+    /// *different* loop falls back to recomputing instead of anchoring
+    /// liveness on stale recurrences.
+    pub fn prepare(&mut self, ddg: &Ddg, analysis: &LoopAnalysis) {
+        debug_assert_eq!(ddg.node_count(), analysis.scc_of().len());
+        self.on_cycle.clear();
+        self.on_cycle.extend(
+            analysis
+                .scc_of()
+                .iter()
+                .map(|&c| analysis.scc_recurrent()[c]),
+        );
+        self.on_cycle_for = Some(fingerprint(ddg));
+    }
+
+    fn ensure_on_cycle(&mut self, ddg: &Ddg) {
+        if self.on_cycle_for != Some(fingerprint(ddg)) {
+            on_cycle_into(ddg, &mut self.on_cycle);
+            self.on_cycle_for = Some(fingerprint(ddg));
+        }
+    }
+}
+
+/// Identity of a loop for scratch-staleness checks: an FNV-1a hash over
+/// the node count and every edge's endpoints, distance and kind — the
+/// exact inputs `on_cycle` is a function of. Content-based (addresses
+/// would be unsound under allocator reuse), and cheaper than the Tarjan
+/// pass it guards.
+fn fingerprint(ddg: &Ddg) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
+    mix(ddg.node_count() as u64);
+    for e in ddg.edges() {
+        mix(u64::from(e.src.index() as u32));
+        mix(u64::from(e.dst.index() as u32));
+        mix(u64::from(e.distance));
+        mix(e.is_data() as u64);
+    }
+    h
+}
 
 /// Counters describing what a replication pass did to one loop.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -153,34 +232,80 @@ impl<'a> ReplicationEngine<'a> {
     /// fits or no plan fits the remaining resources (no over-replication,
     /// §3.3).
     pub fn run(&mut self) -> ReplicationOutcome {
+        self.run_scratch(&mut EngineScratch::default())
+    }
+
+    /// [`ReplicationEngine::run`] on a persistent [`EngineScratch`]: the
+    /// plan list, the SCC anchors and every census and worklist are reused
+    /// across engine runs. Bit-identical outcomes, assignments and
+    /// statistics — plans are built in the same ascending-value order the
+    /// unscratched path iterates, and every weight is the same arithmetic.
+    pub fn run_scratch(&mut self, scratch: &mut EngineScratch) -> ReplicationOutcome {
+        scratch.ensure_on_cycle(self.ddg);
         while self.extra_coms() > 0 {
-            let plans = self.plans();
-            let shares = share_counts(&plans);
+            scratch.plans.clear();
+            for &v in &self.coms {
+                let targets = self.assignment.missing_consumer_clusters(self.ddg, v);
+                scratch.plans.push(replication_plan_scratch(
+                    self.ddg,
+                    &self.assignment,
+                    &self.coms,
+                    v,
+                    targets,
+                    &scratch.on_cycle,
+                    &mut scratch.plan,
+                ));
+            }
+            let shares = share_counts_of(&scratch.plans);
+            self.assignment
+                .class_usage_into(self.ddg, self.machine.clusters(), &mut scratch.usage);
             let mut best: Option<(f64, u32, NodeId)> = None;
-            for (&v, plan) in &plans {
-                if !plan.fits(self.ddg, self.machine, self.ii, &self.assignment) {
-                    continue;
-                }
-                let w = plan_weight(
+            let mut best_idx = usize::MAX;
+            for (i, plan) in scratch.plans.iter().enumerate() {
+                if !plan_fits_with_usage(
                     self.ddg,
                     self.machine,
                     self.ii,
-                    &self.assignment,
+                    &scratch.usage,
+                    &mut scratch.extra,
+                    &mut scratch.freed,
+                    plan,
+                ) {
+                    continue;
+                }
+                let w = plan_weight_with_usage(
+                    self.ddg,
+                    self.machine,
+                    self.ii,
+                    &scratch.usage,
+                    &mut scratch.extra,
                     &shares,
                     plan,
                 );
-                let key = (w, plan.added_instances(), v);
+                let key = (w, plan.added_instances(), plan.com);
                 // Ties break on fewer added instances, then node id.
                 if best.as_ref().is_none_or(|b| key < *b) {
                     best = Some(key);
+                    best_idx = i;
                 }
             }
-            let Some((_, _, chosen)) = best else {
+            if best.is_none() {
                 return ReplicationOutcome::Stuck {
                     remaining_extra: self.extra_coms(),
                 };
-            };
-            self.commit(&plans[&chosen]);
+            }
+            let EngineScratch {
+                plans,
+                on_cycle,
+                com_source,
+                live,
+                worklist,
+                dead,
+                coms_buf,
+                ..
+            } = scratch;
+            let plan = &plans[best_idx];
+            self.commit_scratch(plan, on_cycle, com_source, live, worklist, dead, coms_buf);
         }
         ReplicationOutcome::Fits
     }
@@ -188,6 +313,31 @@ impl<'a> ReplicationEngine<'a> {
     /// Applies one plan: create its instances, drop the communication,
     /// remove instances that became dead, refresh statistics.
     pub fn commit(&mut self, plan: &ReplicationPlan) {
+        let mut on_cycle = Vec::new();
+        on_cycle_into(self.ddg, &mut on_cycle);
+        self.commit_scratch(
+            plan,
+            &on_cycle,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
+    }
+
+    /// [`ReplicationEngine::commit`] over caller-owned buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_scratch(
+        &mut self,
+        plan: &ReplicationPlan,
+        on_cycle: &[bool],
+        com_source: &mut Vec<u8>,
+        live: &mut Vec<ClusterSet>,
+        worklist: &mut Vec<(NodeId, u8)>,
+        dead: &mut Vec<(NodeId, u8)>,
+        coms_buf: &mut Vec<NodeId>,
+    ) {
         for (&n, &set) in &plan.adds {
             for c in set.iter() {
                 debug_assert!(!self.assignment.instances(n).contains(c));
@@ -199,18 +349,35 @@ impl<'a> ReplicationEngine<'a> {
 
         // The communication set can only shrink (side removals may satisfy
         // other communications too); recompute from scratch.
-        self.coms = self.assignment.communicated(self.ddg).into_iter().collect();
+        self.assignment.communicated_into(self.ddg, coms_buf);
+        self.coms.clear();
+        self.coms.extend(coms_buf.iter().copied());
         debug_assert!(!self.coms.contains(&plan.com));
 
         // Remove dead instances (§3.2).
-        let view = InstanceView::from_assignment(self.ddg, &self.assignment, &self.coms);
-        for (n, c) in dead_instances(self.ddg, &view) {
+        com_source.clear();
+        com_source.extend(self.ddg.node_ids().map(|n| self.assignment.copy_source(n)));
+        dead_instances_into(
+            self.ddg,
+            ViewRef {
+                instances: self.assignment.instance_sets(),
+                coms: coms_buf,
+                com_source,
+            },
+            on_cycle,
+            live,
+            worklist,
+            dead,
+        );
+        for &(n, c) in dead.iter() {
             self.assignment.remove_instance(n, c);
             self.stats.removed_instances += 1;
             self.stats.removed_by_class[self.ddg.kind(n).class().index()] += 1;
         }
         // Removals can remove further communications; settle.
-        self.coms = self.assignment.communicated(self.ddg).into_iter().collect();
+        self.assignment.communicated_into(self.ddg, coms_buf);
+        self.coms.clear();
+        self.coms.extend(coms_buf.iter().copied());
         self.stats.final_coms = self.coms.len() as u32;
     }
 

@@ -76,14 +76,14 @@ pub use acyclic::{replicate_for_acyclic_length, schedule_acyclic, AcyclicError, 
 pub use cvliw_sched::LoopAnalysis;
 pub use driver::{
     compile_loop, compile_loop_ctx, compile_loop_with, compile_stats, compile_stats_ctx,
-    compile_stats_with, CauseCounts, CompileContext, CompileError, CompileOptions, CompiledLoop,
-    LoopStats, Mode,
+    compile_stats_with, CauseCounts, CompileContext, CompileError, CompileOptions, CompileScratch,
+    CompiledLoop, LoopStats, Mode, Stage,
 };
-pub use engine::{ReplicationEngine, ReplicationOutcome, ReplicationStats};
+pub use engine::{EngineScratch, ReplicationEngine, ReplicationOutcome, ReplicationStats};
 pub use liveness::{dead_instances, live_instances, InstanceView};
 pub use macro_rep::macro_replicate;
 pub use plan::{
     plan_weight, replication_plan, replication_plan_into, share_counts, ReplicationPlan,
 };
 pub use sched_len::{extend_for_length, extend_for_length_with};
-pub use value_clone::{is_cloneable_value, value_clone};
+pub use value_clone::{is_cloneable_value, uncloneable_coms, value_clone};

@@ -40,17 +40,110 @@ impl InstanceView {
         InstanceView {
             instances: ddg.node_ids().map(|n| assignment.instances(n)).collect(),
             coms: coms.clone(),
-            com_source: ddg
-                .node_ids()
-                .map(|n| {
-                    let home = assignment.home(n);
-                    if assignment.instances(n).contains(home) {
-                        home
-                    } else {
-                        assignment.instances(n).iter().next().unwrap_or(home)
-                    }
-                })
-                .collect(),
+            com_source: ddg.node_ids().map(|n| assignment.copy_source(n)).collect(),
+        }
+    }
+}
+
+/// Marks every node sitting on a dependence cycle (a non-trivial SCC or a
+/// self-loop) — the recurrence anchors of the Figure-5 liveness rule.
+/// Equals `analysis.scc_recurrent()[analysis.scc_of()[n]]` for a cached
+/// `LoopAnalysis`; the replication engine fills its scratch from whichever
+/// source is at hand so the SCC decomposition is not recomputed per plan.
+pub(crate) fn on_cycle_into(ddg: &Ddg, on_cycle: &mut Vec<bool>) {
+    on_cycle.clear();
+    on_cycle.resize(ddg.node_count(), false);
+    for comp in &cvliw_ddg::sccs(ddg) {
+        let cyclic = comp.len() > 1 || ddg.out_edges(comp[0]).any(|e| e.dst == comp[0]);
+        if cyclic {
+            for &node in comp {
+                on_cycle[node.index()] = true;
+            }
+        }
+    }
+}
+
+/// The borrowed ingredients of a liveness query: instance sets, the sorted
+/// communicated list and each communicated value's copy-source cluster.
+/// [`InstanceView`] owns the same data; the scratch paths borrow it
+/// straight from an [`Assignment`] instead of copying.
+#[derive(Clone, Copy)]
+pub(crate) struct ViewRef<'a> {
+    /// Clusters holding an instance of each node (indexed by node).
+    pub instances: &'a [ClusterSet],
+    /// Values still communicated, sorted by node id.
+    pub coms: &'a [NodeId],
+    /// Source cluster each communicated value is read from.
+    pub com_source: &'a [u8],
+}
+
+/// [`live_instances`] over borrowed state and caller-owned buffers; `live`
+/// receives the result. Bit-identical to the owning entry point.
+pub(crate) fn live_instances_into(
+    ddg: &Ddg,
+    view: ViewRef<'_>,
+    on_cycle: &[bool],
+    live: &mut Vec<ClusterSet>,
+    worklist: &mut Vec<(NodeId, u8)>,
+) {
+    let n = ddg.node_count();
+    live.clear();
+    live.resize(n, ClusterSet::empty());
+    worklist.clear();
+
+    let anchor = |node: NodeId,
+                  cluster: u8,
+                  live: &mut Vec<ClusterSet>,
+                  worklist: &mut Vec<(NodeId, u8)>| {
+        if view.instances[node.index()].contains(cluster) && !live[node.index()].contains(cluster) {
+            live[node.index()].insert(cluster);
+            worklist.push((node, cluster));
+        }
+    };
+
+    for node in ddg.node_ids() {
+        let kind = ddg.kind(node);
+        if kind == cvliw_ddg::OpKind::Store || !ddg.has_data_succs(node) || on_cycle[node.index()] {
+            for c in view.instances[node.index()].iter() {
+                anchor(node, c, live, worklist);
+            }
+        } else if view.coms.binary_search(&node).is_ok() {
+            anchor(node, view.com_source[node.index()], live, worklist);
+        }
+    }
+
+    while let Some((node, cluster)) = worklist.pop() {
+        for e in ddg.in_edges(node) {
+            if !e.is_data() {
+                continue;
+            }
+            let p = e.src;
+            if view.instances[p.index()].contains(cluster) && !live[p.index()].contains(cluster) {
+                live[p.index()].insert(cluster);
+                worklist.push((p, cluster));
+            }
+        }
+    }
+}
+
+/// [`dead_instances`] over borrowed state and caller-owned buffers; `dead`
+/// receives the result. Bit-identical to the owning entry point.
+pub(crate) fn dead_instances_into(
+    ddg: &Ddg,
+    view: ViewRef<'_>,
+    on_cycle: &[bool],
+    live: &mut Vec<ClusterSet>,
+    worklist: &mut Vec<(NodeId, u8)>,
+    dead: &mut Vec<(NodeId, u8)>,
+) {
+    live_instances_into(ddg, view, on_cycle, live, worklist);
+    dead.clear();
+    for node in ddg.node_ids() {
+        for c in view.instances[node.index()]
+            .difference(live[node.index()])
+            .iter()
+        {
+            dead.push((node, c));
         }
     }
 }
@@ -71,59 +164,22 @@ impl InstanceView {
 /// cluster is communicated and anchored at its source.
 #[must_use]
 pub fn live_instances(ddg: &Ddg, view: &InstanceView) -> Vec<ClusterSet> {
-    let n = ddg.node_count();
-    let mut live = vec![ClusterSet::empty(); n];
-    let mut worklist: Vec<(NodeId, u8)> = Vec::new();
-
-    let anchor = |node: NodeId,
-                  cluster: u8,
-                  live: &mut Vec<ClusterSet>,
-                  worklist: &mut Vec<(NodeId, u8)>| {
-        if view.instances[node.index()].contains(cluster) && !live[node.index()].contains(cluster) {
-            live[node.index()].insert(cluster);
-            worklist.push((node, cluster));
-        }
-    };
-
-    let comps = cvliw_ddg::sccs(ddg);
-    let mut on_cycle = vec![false; n];
-    for comp in &comps {
-        let cyclic = comp.len() > 1 || ddg.out_edges(comp[0]).any(|e| e.dst == comp[0]);
-        if cyclic {
-            for &node in comp {
-                on_cycle[node.index()] = true;
-            }
-        }
-    }
-
-    for node in ddg.node_ids() {
-        let kind = ddg.kind(node);
-        if kind == cvliw_ddg::OpKind::Store || !ddg.has_data_succs(node) || on_cycle[node.index()] {
-            for c in view.instances[node.index()].iter() {
-                anchor(node, c, &mut live, &mut worklist);
-            }
-        } else if view.coms.contains(&node) {
-            anchor(
-                node,
-                view.com_source[node.index()],
-                &mut live,
-                &mut worklist,
-            );
-        }
-    }
-
-    while let Some((node, cluster)) = worklist.pop() {
-        for e in ddg.in_edges(node) {
-            if !e.is_data() {
-                continue;
-            }
-            let p = e.src;
-            if view.instances[p.index()].contains(cluster) && !live[p.index()].contains(cluster) {
-                live[p.index()].insert(cluster);
-                worklist.push((p, cluster));
-            }
-        }
-    }
+    let mut on_cycle = Vec::new();
+    on_cycle_into(ddg, &mut on_cycle);
+    let coms: Vec<NodeId> = view.coms.iter().copied().collect();
+    let mut live = Vec::new();
+    let mut worklist = Vec::new();
+    live_instances_into(
+        ddg,
+        ViewRef {
+            instances: &view.instances,
+            coms: &coms,
+            com_source: &view.com_source,
+        },
+        &on_cycle,
+        &mut live,
+        &mut worklist,
+    );
     live
 }
 

@@ -6,7 +6,119 @@ use cvliw_ddg::{Ddg, NodeId, OpClass};
 use cvliw_machine::MachineConfig;
 use cvliw_sched::{Assignment, ClusterSet};
 
-use crate::liveness::{dead_instances, InstanceView};
+use crate::liveness::{dead_instances, dead_instances_into, InstanceView, ViewRef};
+
+/// Reusable buffers for [`replication_plan_scratch`]: the upward-walk
+/// visit stamps and stack, the hypothetical assignment, its communicated
+/// list and copy sources, and the liveness worklists. One scratch serves
+/// every plan of every engine run of a compilation.
+#[derive(Clone, Debug)]
+pub(crate) struct PlanScratch {
+    visited: Vec<u32>,
+    epoch: u32,
+    stack: Vec<NodeId>,
+    hyp: Assignment,
+    hyp_coms: Vec<NodeId>,
+    com_source: Vec<u8>,
+    live: Vec<ClusterSet>,
+    worklist: Vec<(NodeId, u8)>,
+    dead: Vec<(NodeId, u8)>,
+}
+
+impl Default for PlanScratch {
+    fn default() -> Self {
+        PlanScratch {
+            visited: Vec::new(),
+            epoch: 0,
+            stack: Vec::new(),
+            hyp: Assignment::from_partition(&[]),
+            hyp_coms: Vec::new(),
+            com_source: Vec::new(),
+            live: Vec::new(),
+            worklist: Vec::new(),
+            dead: Vec::new(),
+        }
+    }
+}
+
+/// [`replication_plan_into`] on caller-owned buffers and a precomputed
+/// recurrence-membership slice (see `liveness::on_cycle_into`).
+/// Bit-identical plans; the SCC decomposition, the hypothetical assignment
+/// and every worklist are reused instead of being rebuilt per plan.
+pub(crate) fn replication_plan_scratch(
+    ddg: &Ddg,
+    assignment: &Assignment,
+    coms: &BTreeSet<NodeId>,
+    com: NodeId,
+    targets: ClusterSet,
+    on_cycle: &[bool],
+    s: &mut PlanScratch,
+) -> ReplicationPlan {
+    let mut adds: BTreeMap<NodeId, ClusterSet> = BTreeMap::new();
+
+    s.visited.resize(ddg.node_count(), 0);
+    for target in targets.iter() {
+        s.epoch += 1;
+        s.stack.clear();
+        s.stack.push(com);
+        while let Some(u) = s.stack.pop() {
+            if s.visited[u.index()] == s.epoch {
+                continue;
+            }
+            s.visited[u.index()] = s.epoch;
+            if assignment.instances(u).contains(target) {
+                continue; // already available locally
+            }
+            adds.entry(u).or_default().insert(target);
+            for &p in ddg.data_preds(u) {
+                if coms.contains(&p) && p != com {
+                    continue; // broadcast value: available in every cluster
+                }
+                s.stack.push(p);
+            }
+        }
+    }
+
+    // Anticipate removable instances: liveness over the hypothetical state,
+    // with the communication set recomputed for the hypothetical instances
+    // (a partial replication may leave `com` communicated).
+    s.hyp.copy_from(assignment);
+    for (&n, &set) in &adds {
+        for c in set.iter() {
+            s.hyp.add_instance(n, c);
+        }
+    }
+    s.hyp.communicated_into(ddg, &mut s.hyp_coms);
+    s.com_source.clear();
+    s.com_source
+        .extend(ddg.node_ids().map(|n| s.hyp.copy_source(n)));
+    dead_instances_into(
+        ddg,
+        ViewRef {
+            instances: s.hyp.instance_sets(),
+            coms: &s.hyp_coms,
+            com_source: &s.com_source,
+        },
+        on_cycle,
+        &mut s.live,
+        &mut s.worklist,
+        &mut s.dead,
+    );
+    let removable: Vec<(NodeId, u8)> = s
+        .dead
+        .iter()
+        .copied()
+        // only instances that exist today count as removals
+        .filter(|&(n, c)| assignment.instances(n).contains(c))
+        .collect();
+
+    ReplicationPlan {
+        com,
+        targets,
+        adds,
+        removable,
+    }
+}
 
 /// The replication plan of one communicated value `com`: the minimum set of
 /// instances to create so that every consumer of `com` reads a local value,
@@ -130,13 +242,27 @@ pub fn replication_plan_into(
 pub fn share_counts(plans: &BTreeMap<NodeId, ReplicationPlan>) -> BTreeMap<(NodeId, u8), u32> {
     let mut counts: BTreeMap<(NodeId, u8), u32> = BTreeMap::new();
     for plan in plans.values() {
-        for (&n, &set) in &plan.adds {
-            for c in set.iter() {
-                *counts.entry((n, c)).or_insert(0) += 1;
-            }
-        }
+        share_counts_one(plan, &mut counts);
     }
     counts
+}
+
+/// [`share_counts`] over a plan slice (the engine scratch keeps plans in
+/// ascending-value order, matching the map's iteration order).
+pub(crate) fn share_counts_of(plans: &[ReplicationPlan]) -> BTreeMap<(NodeId, u8), u32> {
+    let mut counts: BTreeMap<(NodeId, u8), u32> = BTreeMap::new();
+    for plan in plans {
+        share_counts_one(plan, &mut counts);
+    }
+    counts
+}
+
+fn share_counts_one(plan: &ReplicationPlan, counts: &mut BTreeMap<(NodeId, u8), u32>) {
+    for (&n, &set) in &plan.adds {
+        for c in set.iter() {
+            *counts.entry((n, c)).or_insert(0) += 1;
+        }
+    }
 }
 
 /// The §3.3 weight of a plan: for every instance to create,
@@ -179,17 +305,91 @@ pub fn plan_weight(
     weight
 }
 
+/// [`plan_weight`] with the (plan-invariant) usage census hoisted out and
+/// the per-plan `extra` census written into a reusable buffer. Identical
+/// arithmetic in identical order — bit-identical weights.
+pub(crate) fn plan_weight_with_usage(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    usage: &[[u32; 3]],
+    extra: &mut Vec<[u32; 3]>,
+    shares: &BTreeMap<(NodeId, u8), u32>,
+    plan: &ReplicationPlan,
+) -> f64 {
+    plan.added_by_class_per_cluster_into(ddg, machine.clusters(), extra);
+    let mut weight = 0.0;
+    for (&n, &set) in &plan.adds {
+        let class = ddg.kind(n).class();
+        for c in set.iter() {
+            let denom = f64::from(u32::from(machine.fu_count_in(c, class)) * ii);
+            let load =
+                f64::from(usage[c as usize][class.index()] + extra[c as usize][class.index()]);
+            let share = f64::from(*shares.get(&(n, c)).unwrap_or(&1));
+            weight += load / denom / share;
+        }
+    }
+    for &(n, c) in &plan.removable {
+        let class = ddg.kind(n).class();
+        let denom = f64::from(u32::from(machine.fu_count_in(c, class)) * ii);
+        weight -= 1.0 / denom;
+    }
+    weight
+}
+
+/// [`ReplicationPlan::fits`] with the usage census hoisted out and the
+/// `extra`/`freed` censuses in reusable buffers. Bit-identical verdicts.
+pub(crate) fn plan_fits_with_usage(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    usage: &[[u32; 3]],
+    extra: &mut Vec<[u32; 3]>,
+    freed: &mut Vec<[u32; 3]>,
+    plan: &ReplicationPlan,
+) -> bool {
+    plan.added_by_class_per_cluster_into(ddg, machine.clusters(), extra);
+    freed.clear();
+    freed.resize(machine.clusters() as usize, [0u32; 3]);
+    for &(n, c) in &plan.removable {
+        freed[c as usize][ddg.kind(n).class().index()] += 1;
+    }
+    for c in 0..machine.clusters() as usize {
+        for class in OpClass::ALL {
+            let i = class.index();
+            let cap = u32::from(machine.fu_count_in(c as u8, class)) * ii;
+            if usage[c][i] + extra[c][i] > cap + freed[c][i] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 impl ReplicationPlan {
     /// Instances created per cluster and class: `extra_ops(res, c, S)`.
     #[must_use]
     pub fn added_by_class_per_cluster(&self, ddg: &Ddg, clusters: u8) -> Vec<[u32; 3]> {
-        let mut counts = vec![[0u32; 3]; clusters as usize];
+        let mut counts = Vec::new();
+        self.added_by_class_per_cluster_into(ddg, clusters, &mut counts);
+        counts
+    }
+
+    /// [`ReplicationPlan::added_by_class_per_cluster`] into a caller-owned
+    /// buffer (cleared first).
+    pub(crate) fn added_by_class_per_cluster_into(
+        &self,
+        ddg: &Ddg,
+        clusters: u8,
+        counts: &mut Vec<[u32; 3]>,
+    ) {
+        counts.clear();
+        counts.resize(clusters as usize, [0u32; 3]);
         for (&n, &set) in &self.adds {
             for c in set.iter() {
                 counts[c as usize][ddg.kind(n).class().index()] += 1;
             }
         }
-        counts
     }
 
     /// Whether the target clusters can absorb the new instances without

@@ -46,6 +46,26 @@ pub fn is_cloneable_value(ddg: &Ddg, n: NodeId) -> bool {
     ddg.kind(n).produces_value() && ddg.data_preds(n).iter().all(|&p| p == n)
 }
 
+/// The communications value cloning can **never** remove from an
+/// assignment: communicated values that are not cloneable.
+///
+/// This is the driver's failure-driven II bound for the value-clone mode.
+/// It is a true floor because the whole procedure preserves non-cloneable
+/// communications: cloning only ever *adds* instances of cloneable values
+/// (which, having no register inputs, consume nothing), so no consumer of
+/// any other value appears or disappears; and the dead-instance cascade
+/// only removes instances that lost their consumers, which — consumers
+/// being unaffected for non-cloneable values — can only be instances of
+/// cloneable values themselves. A non-cloneable communicated value
+/// therefore stays communicated at every II, and the bus must have room
+/// for all of them before [`value_clone`] can possibly succeed.
+#[must_use]
+pub fn uncloneable_coms(ddg: &Ddg, assignment: &Assignment) -> u32 {
+    ddg.node_ids()
+        .filter(|&n| assignment.needs_comm(ddg, n) && !is_cloneable_value(ddg, n))
+        .count() as u32
+}
+
 /// Applies value cloning to a partitioned loop: clones read-only values and
 /// induction variables into the clusters that consume them, cheapest first,
 /// until the remaining communications fit the bus (or no clone is possible).

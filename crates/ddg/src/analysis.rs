@@ -205,6 +205,48 @@ pub fn time_bounds(ddg: &Ddg, ii: u32, lat: impl Fn(&Edge) -> u32) -> Option<Tim
     Some(TimeBounds { asap, alap, length })
 }
 
+/// The ASAP half of [`time_bounds`] into a caller-owned buffer: earliest
+/// legal issue cycles for initiation interval `ii` with per-edge latencies
+/// given as a dense slice aligned with `ddg.edges()` order.
+///
+/// Returns the estimated issue span (`max(asap)`), or `None` when the
+/// constraints are unsatisfiable (some recurrence has positive cycle weight
+/// at this `ii`). Exactly equivalent to `time_bounds(..).map(|tb|
+/// tb.length)` with `asap` matching `tb.asap` — same relaxation order, same
+/// pass bound — but it skips the ALAP sweep entirely and reuses `asap`
+/// instead of allocating, which matters because partition refinement calls
+/// this once per candidate move.
+///
+/// # Panics
+///
+/// Panics in debug builds if `edge_lat` is not aligned with `ddg.edges()`.
+#[must_use]
+pub fn asap_times_into(ddg: &Ddg, ii: u32, edge_lat: &[u32], asap: &mut Vec<i64>) -> Option<i64> {
+    debug_assert_eq!(edge_lat.len(), ddg.edge_count(), "one latency per edge");
+    let n = ddg.node_count();
+    asap.clear();
+    asap.resize(n, 0);
+
+    let ii = i64::from(ii);
+    let mut changed = true;
+    let mut passes = 0usize;
+    while changed {
+        changed = false;
+        passes += 1;
+        if passes > n + 1 {
+            return None; // positive cycle: ii below RecMII
+        }
+        for (e, &lat) in ddg.edges().zip(edge_lat) {
+            let t = asap[e.src.index()] + i64::from(lat) - ii * i64::from(e.distance);
+            if t > asap[e.dst.index()] {
+                asap[e.dst.index()] = t;
+                changed = true;
+            }
+        }
+    }
+    Some(asap.iter().copied().max().unwrap_or(0))
+}
+
 /// Longest-path **depth** (from sources) and **height** (to sinks) of every
 /// node over the distance-0 subgraph, as used by the swing modulo
 /// scheduling ordering.

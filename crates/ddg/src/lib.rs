@@ -59,7 +59,9 @@ mod graph;
 mod op;
 mod recurrence;
 
-pub use analysis::{depth_height, scc_of_node, sccs, time_bounds, topo_order, TimeBounds};
+pub use analysis::{
+    asap_times_into, depth_height, scc_of_node, sccs, time_bounds, topo_order, TimeBounds,
+};
 pub use dot::to_dot;
 pub use error::DdgError;
 pub use graph::{Ddg, DdgBuilder, DepKind, Edge, Node, NodeId};

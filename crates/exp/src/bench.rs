@@ -16,6 +16,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use cvliw_replicate::Stage;
+
 use crate::grid::SuiteGrid;
 use crate::runner::{prepare, run_pool, SuiteError};
 
@@ -50,6 +52,11 @@ pub struct BenchReport {
     pub total_wall_ms: f64,
     /// Cells compiled per second at the median total.
     pub cells_per_sec: f64,
+    /// Median per-stage wall-clock milliseconds summed over all pairs, in
+    /// `cvliw_replicate::Stage` order (analysis, partition+refine,
+    /// replicate, schedule). Shows where compile time goes so a perf PR
+    /// can aim before it fires.
+    pub stage_ms: [f64; 4],
     /// Median per-pair timings, spec-major then program (grid order).
     pub pairs: Vec<PairTiming>,
 }
@@ -88,16 +95,22 @@ pub fn bench_suite(
 
     let mut run_wall_ms = Vec::with_capacity(runs);
     let mut pair_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); prep.pair_count()];
+    let mut stage_samples: [Vec<f64>; 4] = std::array::from_fn(|_| Vec::with_capacity(runs));
     for _ in 0..runs {
         let started = Instant::now();
-        let (_, pair_nanos) = run_pool(&prep, jobs);
+        let (_, pair_nanos, pair_stages) = run_pool(&prep, jobs);
         run_wall_ms.push(started.elapsed().as_secs_f64() * 1e3);
         for (samples, nanos) in pair_samples.iter_mut().zip(&pair_nanos) {
             samples.push(*nanos as f64 / 1e6);
         }
+        for (stage, samples) in stage_samples.iter_mut().enumerate() {
+            let total: u64 = pair_stages.iter().map(|s| s[stage]).sum();
+            samples.push(total as f64 / 1e6);
+        }
     }
 
     let total_wall_ms = median(&mut run_wall_ms.clone());
+    let stage_ms = std::array::from_fn(|i| median(&mut stage_samples[i]));
     let pairs = pair_samples
         .iter_mut()
         .enumerate()
@@ -122,6 +135,7 @@ pub fn bench_suite(
         run_wall_ms,
         total_wall_ms,
         cells_per_sec: cells as f64 / (total_wall_ms / 1e3),
+        stage_ms,
         pairs,
     })
 }
@@ -145,6 +159,20 @@ pub fn emit_bench_json(report: &BenchReport) -> String {
         .map(|ms| format!("{ms:.1}"))
         .collect();
     let _ = writeln!(o, "    \"run_wall_ms\": [{}]", runs.join(", "));
+    o.push_str("  },\n  \"stage_ms\": {\n");
+    for (i, stage) in Stage::ALL.iter().enumerate() {
+        let _ = write!(
+            o,
+            "    \"{}\": {:.1}",
+            stage.name(),
+            report.stage_ms[*stage as usize]
+        );
+        o.push_str(if i + 1 < Stage::ALL.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
     o.push_str("  },\n  \"pairs\": [\n");
     for (i, p) in report.pairs.iter().enumerate() {
         let _ = write!(
@@ -219,7 +247,21 @@ mod tests {
         let json = emit_bench_json(&report);
         assert!(json.contains("\"total\""));
         assert!(json.contains("\"cells_per_sec\""));
+        assert!(json.contains("\"stage_ms\""));
+        for stage in Stage::ALL {
+            assert!(json.contains(&format!("\"{}\"", stage.name())));
+        }
         assert!(json.contains("\"pairs\""));
         assert!(json.contains("\"tomcatv\""));
+    }
+
+    #[test]
+    fn stage_breakdown_is_populated() {
+        let report = bench_suite(&tiny_grid(), 1, 1, 0).unwrap();
+        // Analysis and partitioning always run; their buckets cannot be
+        // empty for a real compile.
+        assert!(report.stage_ms[Stage::Analysis as usize] > 0.0);
+        assert!(report.stage_ms[Stage::Partition as usize] > 0.0);
+        assert!(report.stage_ms.iter().all(|&ms| ms >= 0.0));
     }
 }

@@ -153,17 +153,32 @@ pub fn run_cell_on(
 /// Compiles one (machine, program) pair under every mode of `cells` — the
 /// suite's unit of work. The grid is machine-major, so the five modes of a
 /// pair share the machine and every loop; one [`CompileContext`] per loop
-/// (the II-invariant `LoopAnalysis` plus the memoized MII seed partition)
-/// is computed here and reused across all modes — a straight 5× reuse.
-/// Results align with `cells` and are bit-identical to running each cell in
-/// isolation.
+/// (the II-invariant `LoopAnalysis`, the memoized MII seed partition and
+/// the persistent compile scratch) is computed here and reused across all
+/// modes — a straight 5× reuse. Results align with `cells` and are
+/// bit-identical to running each cell in isolation.
 #[must_use]
 pub fn run_pair_on(
     cells: &[CellSpec],
     program: &BenchmarkProgram,
     machine: &MachineConfig,
 ) -> Vec<CellResult> {
+    run_pair_timed(cells, program, machine).0
+}
+
+/// [`run_pair_on`] plus the pair's accumulated per-stage wall-clock
+/// nanoseconds (indexed by `cvliw_replicate::Stage as usize`), summed over
+/// every loop's [`CompileContext`]. The bench harness aggregates these
+/// into the `stage_ms` section of `BENCH_compile.json`; plain suite runs
+/// drop them — timing never reaches a report.
+#[must_use]
+pub fn run_pair_timed(
+    cells: &[CellSpec],
+    program: &BenchmarkProgram,
+    machine: &MachineConfig,
+) -> (Vec<CellResult>, [u64; 4]) {
     let mut outs: Vec<CellResult> = cells.iter().map(CellResult::empty).collect();
+    let mut stage_nanos = [0u64; 4];
     for l in &program.loops {
         let ctx = CompileContext::new(&l.ddg, machine);
         for (cell, out) in cells.iter().zip(outs.iter_mut()) {
@@ -179,8 +194,11 @@ pub fn run_pair_on(
                 }
             }
         }
+        for (total, stage) in stage_nanos.iter_mut().zip(ctx.stage_nanos()) {
+            *total += stage;
+        }
     }
-    outs
+    (outs, stage_nanos)
 }
 
 /// Result of compiling one whole program under one configuration, keeping

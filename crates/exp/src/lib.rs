@@ -54,7 +54,9 @@ mod report;
 mod runner;
 
 pub use bench::{bench_suite, emit_bench_json, BenchReport, PairTiming};
-pub use cell::{run_cell_on, run_loop, run_pair_on, run_program, CellResult, ProgramResult};
+pub use cell::{
+    run_cell_on, run_loop, run_pair_on, run_pair_timed, run_program, CellResult, ProgramResult,
+};
 pub use emit::{emit, emit_csv, emit_json, emit_text, Format};
 pub use emit_md::emit_markdown;
 pub use grid::{CellSpec, SuiteGrid};

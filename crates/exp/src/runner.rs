@@ -18,9 +18,48 @@ use std::time::Instant;
 use cvliw_machine::{MachineConfig, SpecError};
 use cvliw_workloads::{program, program_subset, BenchmarkProgram};
 
-use crate::cell::{run_pair_on, CellResult};
+use crate::cell::{run_pair_timed, CellResult};
 use crate::grid::{CellSpec, SuiteGrid};
 use crate::report::SuiteReport;
+
+/// Parsed `(spec, program, wall_ms)` rows of the committed timing book
+/// (`BENCH_compile.json` at the repository root, written by `cvliw
+/// bench`), which seed the longest-first dispatch. Loaded at runtime from
+/// the repository the crate was built from — never from the working
+/// directory, so a stray same-named file cannot skew dispatch — and
+/// *best-effort*: a missing or unparseable book (e.g. a binary deployed
+/// off its build machine) just means pairs dispatch in machine-major
+/// order. The file is machine-written with one pair per line, so a line
+/// scan suffices — no JSON dependency.
+fn committed_pair_ms() -> &'static [(String, String, f64)] {
+    static ROWS: OnceLock<Vec<(String, String, f64)>> = OnceLock::new();
+    ROWS.get_or_init(|| {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_compile.json"
+        ))
+        .unwrap_or_default();
+        let field = |line: &str, key: &str| -> Option<String> {
+            let rest = &line[line.find(key)? + key.len()..];
+            let rest = &rest[rest.find('"')? + 1..];
+            Some(rest[..rest.find('"')?].to_string())
+        };
+        text.lines()
+            .filter(|l| l.contains("\"spec\"") && l.contains("\"wall_ms\""))
+            .filter_map(|l| {
+                let spec = field(l, "\"spec\"")?;
+                let program = field(l, "\"program\"")?;
+                let rest = &l[l.find("\"wall_ms\"")? + "\"wall_ms\"".len()..];
+                let num: String = rest
+                    .chars()
+                    .skip_while(|c| *c == ':' || c.is_whitespace())
+                    .take_while(|c| c.is_ascii_digit() || *c == '.')
+                    .collect();
+                Some((spec, program, num.parse().ok()?))
+            })
+            .collect()
+    })
+}
 
 /// A suite run that could not start.
 #[derive(Debug)]
@@ -77,6 +116,10 @@ pub(crate) struct PreparedSuite {
     pub cells: Vec<CellSpec>,
     pub n_programs: usize,
     pub n_modes: usize,
+    /// Pair indices in dispatch order: heaviest first by the committed
+    /// timing book, unseeded pairs trailing in machine-major order. Work
+    /// distribution only — results land in grid-order slots regardless.
+    pub dispatch: Vec<usize>,
 }
 
 impl PreparedSuite {
@@ -129,40 +172,66 @@ pub(crate) fn prepare(grid: &SuiteGrid) -> Result<PreparedSuite, SuiteError> {
     if cells.is_empty() {
         return Err(SuiteError::EmptyGrid);
     }
+
+    // Longest-first dispatch: pairs whose cost the committed timing book
+    // knows go out heaviest-first, so a multi-worker run starts su2cor and
+    // fpppp immediately instead of discovering them behind a short tail;
+    // everything else keeps machine-major order. This is scheduling only —
+    // every report stays byte-identical for any `--jobs`.
+    let n_programs = grid.programs.len();
+    let seed_ms = |k: usize| -> f64 {
+        let (s, j) = (k / n_programs, k % n_programs);
+        committed_pair_ms()
+            .iter()
+            .find(|(spec, prog, _)| *spec == grid.specs[s] && *prog == grid.programs[j])
+            .map_or(-1.0, |&(_, _, ms)| ms)
+    };
+    let mut dispatch: Vec<usize> = (0..machines.len() * n_programs).collect();
+    dispatch.sort_by(|&a, &b| seed_ms(b).total_cmp(&seed_ms(a)).then(a.cmp(&b)));
+
     Ok(PreparedSuite {
         machines,
         programs,
         cells,
-        n_programs: grid.programs.len(),
+        n_programs,
         n_modes: grid.modes.len(),
+        dispatch,
     })
 }
 
 /// Runs the worker pool over every (machine, program) pair, returning the
 /// per-cell results in grid order plus each pair's wall-clock nanoseconds
-/// (indexed `spec-major × program`; the bench harness reads them, plain
-/// suite runs drop them).
-pub(crate) fn run_pool(prep: &PreparedSuite, jobs: usize) -> (Vec<CellResult>, Vec<u64>) {
+/// and per-stage nanoseconds (indexed `spec-major × program`; the bench
+/// harness reads them, plain suite runs drop them). Pairs are *dispatched*
+/// longest-first (see [`PreparedSuite::dispatch`]) but every result lands
+/// in its grid-order slot.
+pub(crate) fn run_pool(
+    prep: &PreparedSuite,
+    jobs: usize,
+) -> (Vec<CellResult>, Vec<u64>, Vec<[u64; 4]>) {
     let n_pairs = prep.pair_count();
     let jobs = prep.effective_jobs(jobs);
 
     let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<CellResult>> = (0..prep.cells.len()).map(|_| OnceLock::new()).collect();
     let pair_nanos: Vec<OnceLock<u64>> = (0..n_pairs).map(|_| OnceLock::new()).collect();
+    let pair_stages: Vec<OnceLock<[u64; 4]>> = (0..n_pairs).map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
-                let k = next.fetch_add(1, Ordering::Relaxed);
-                if k >= n_pairs {
+                let d = next.fetch_add(1, Ordering::Relaxed);
+                if d >= n_pairs {
                     break;
                 }
+                let k = prep.dispatch[d];
                 let (s, j) = (k / prep.n_programs, k % prep.n_programs);
                 let pair_cells: Vec<CellSpec> = (0..prep.n_modes)
                     .map(|m| prep.cells[prep.cell_index(s, m, j)].clone())
                     .collect();
                 let started = Instant::now();
-                let results = run_pair_on(&pair_cells, &prep.programs[j], &prep.machines[s]);
+                let (results, stages) =
+                    run_pair_timed(&pair_cells, &prep.programs[j], &prep.machines[s]);
                 let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 for (m, r) in results.into_iter().enumerate() {
                     slots[prep.cell_index(s, m, j)]
@@ -170,6 +239,7 @@ pub(crate) fn run_pool(prep: &PreparedSuite, jobs: usize) -> (Vec<CellResult>, V
                         .expect("each cell index is claimed exactly once");
                 }
                 pair_nanos[k].set(nanos).expect("each pair timed once");
+                pair_stages[k].set(stages).expect("each pair staged once");
             });
         }
     });
@@ -182,7 +252,11 @@ pub(crate) fn run_pool(prep: &PreparedSuite, jobs: usize) -> (Vec<CellResult>, V
         .into_iter()
         .map(|slot| slot.into_inner().expect("pool timed every pair"))
         .collect();
-    (results, nanos)
+    let stages = pair_stages
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("pool staged every pair"))
+        .collect();
+    (results, nanos, stages)
 }
 
 /// Runs every cell of `grid` on a pool of `jobs` worker threads and
@@ -197,7 +271,7 @@ pub(crate) fn run_pool(prep: &PreparedSuite, jobs: usize) -> (Vec<CellResult>, V
 /// or the grid is empty — all validated before any worker starts.
 pub fn run_suite(grid: &SuiteGrid, jobs: usize) -> Result<SuiteReport, SuiteError> {
     let prep = prepare(grid)?;
-    let (results, _timings) = run_pool(&prep, jobs);
+    let (results, _timings, _stages) = run_pool(&prep, jobs);
     Ok(SuiteReport::new(grid, results, &prep.programs))
 }
 
@@ -252,5 +326,36 @@ mod tests {
     fn empty_grid_is_rejected() {
         let grid = tiny_grid().with_modes(vec![]);
         assert!(matches!(run_suite(&grid, 1), Err(SuiteError::EmptyGrid)));
+    }
+
+    #[test]
+    fn dispatch_is_a_longest_first_permutation() {
+        let grid = SuiteGrid::paper().with_max_loops(1);
+        let prep = prepare(&grid).unwrap();
+        let mut sorted = prep.dispatch.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..prep.pair_count()).collect::<Vec<_>>());
+
+        // Dispatch order must walk the committed wall-clock seeds in
+        // non-increasing order (unseeded pairs trail as -1).
+        let seed = |k: usize| {
+            let (s, j) = (k / prep.n_programs, k % prep.n_programs);
+            committed_pair_ms()
+                .iter()
+                .find(|(spec, prog, _)| *spec == grid.specs[s] && *prog == grid.programs[j])
+                .map_or(-1.0, |&(_, _, ms)| ms)
+        };
+        for pair in prep.dispatch.windows(2) {
+            assert!(seed(pair[0]) >= seed(pair[1]), "not longest-first");
+        }
+    }
+
+    #[test]
+    fn committed_bench_parses_into_pair_seeds() {
+        // The committed book must contain the full paper grid's pairs
+        // (6 machines × 10 programs) with positive medians.
+        let rows = committed_pair_ms();
+        assert_eq!(rows.len(), 60, "one row per (machine, program) pair");
+        assert!(rows.iter().all(|&(_, _, ms)| ms > 0.0));
     }
 }

@@ -53,7 +53,10 @@ mod weights;
 pub use coarsen::{coarsen, coarsen_from_weights, CoarseLevel, Hierarchy};
 pub use matching::greedy_matching;
 pub use partition::Partition;
-pub use refine::{refine, refine_existing, refine_existing_with, score_partition, PartitionScore};
+pub use refine::{
+    refine, refine_existing, refine_existing_scratch, refine_existing_with, score_partition,
+    score_partition_scratch, PartitionScore, RefineScratch,
+};
 pub use weights::{edge_weights, edge_weights_with};
 
 use cvliw_ddg::Ddg;
@@ -86,11 +89,25 @@ pub fn partition_loop_with(
     ii: u32,
     analysis: &LoopAnalysis,
 ) -> Partition {
+    partition_loop_scratch(ddg, machine, ii, analysis, &mut RefineScratch::default())
+}
+
+/// [`partition_loop_with`] on a persistent [`RefineScratch`], so the
+/// multilevel refinement walk is allocation-free too. Bit-identical to
+/// [`partition_loop`].
+#[must_use]
+pub fn partition_loop_scratch(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    analysis: &LoopAnalysis,
+    scratch: &mut RefineScratch,
+) -> Partition {
     if machine.clusters() == 1 {
         return Partition::single_cluster(ddg.node_count());
     }
     let weights = edge_weights_with(ddg, machine, ii, analysis);
     let hierarchy = coarsen_from_weights(ddg, machine, ii, &weights);
     let initial = hierarchy.initial_partition();
-    refine::refine_inner(ddg, machine, ii, &hierarchy, initial, Some(analysis))
+    refine::refine_inner(ddg, machine, ii, &hierarchy, initial, analysis, scratch)
 }

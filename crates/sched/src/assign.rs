@@ -145,6 +145,18 @@ impl Assignment {
         }
     }
 
+    /// Rewrites this assignment in place from a partition, reusing the
+    /// existing buffers — the clear-and-reuse twin of
+    /// [`Assignment::from_partition`] for the compile scratch, where a fresh
+    /// single-instance assignment is needed at every candidate II.
+    pub fn set_from_partition(&mut self, cluster_of: &[u8]) {
+        self.instances.clear();
+        self.instances
+            .extend(cluster_of.iter().map(|&c| ClusterSet::single(c)));
+        self.home.clear();
+        self.home.extend_from_slice(cluster_of);
+    }
+
     /// Number of nodes covered.
     #[must_use]
     pub fn node_count(&self) -> usize {
@@ -161,10 +173,42 @@ impl Assignment {
         self.instances[n.index()]
     }
 
+    /// The per-node instance sets as a slice indexed by node — the
+    /// borrow-don't-copy access the replication engine's liveness queries
+    /// use.
+    #[must_use]
+    pub fn instance_sets(&self) -> &[ClusterSet] {
+        &self.instances
+    }
+
+    /// Overwrites this assignment with a copy of `other`, reusing the
+    /// existing buffers (the replication engine rebuilds a hypothetical
+    /// assignment once per candidate plan).
+    pub fn copy_from(&mut self, other: &Assignment) {
+        self.instances.clone_from(&other.instances);
+        self.home.clone_from(&other.home);
+    }
+
     /// The cluster the partitioner originally assigned `n` to.
     #[must_use]
     pub fn home(&self, n: NodeId) -> u8 {
         self.home[n.index()]
+    }
+
+    /// The cluster a bus copy of `n`'s value reads from: the home cluster
+    /// if an instance still lives there, otherwise the lowest-numbered
+    /// instance cluster (falling back to the home for nodes with no
+    /// instances at all, which no legal configuration produces). This is
+    /// the single source of the copy-source rule — the scheduler's bus
+    /// sources and the liveness analysis's anchors must agree on it.
+    #[must_use]
+    pub fn copy_source(&self, n: NodeId) -> u8 {
+        let home = self.home(n);
+        if self.instances(n).contains(home) {
+            home
+        } else {
+            self.instances(n).iter().next().unwrap_or(home)
+        }
     }
 
     /// Adds an instance of `n` in `cluster`.
@@ -206,15 +250,24 @@ impl Assignment {
     /// `nof_coms` is the length of this list).
     #[must_use]
     pub fn communicated(&self, ddg: &Ddg) -> Vec<NodeId> {
-        ddg.node_ids()
-            .filter(|&n| self.needs_comm(ddg, n))
-            .collect()
+        let mut out = Vec::new();
+        self.communicated_into(ddg, &mut out);
+        out
     }
 
-    /// Number of communicated values.
+    /// [`Assignment::communicated`] into a caller-owned buffer (cleared
+    /// first) — the replication engine recomputes this list after every
+    /// committed plan, so the scratch path reuses one allocation.
+    pub fn communicated_into(&self, ddg: &Ddg, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(ddg.node_ids().filter(|&n| self.needs_comm(ddg, n)));
+    }
+
+    /// Number of communicated values (allocation-free; equals
+    /// `communicated(ddg).len()`).
     #[must_use]
     pub fn comm_count(&self, ddg: &Ddg) -> u32 {
-        self.communicated(ddg).len() as u32
+        ddg.node_ids().filter(|&n| self.needs_comm(ddg, n)).count() as u32
     }
 
     /// The clusters that need the value of `n` but hold no instance of it
@@ -235,14 +288,22 @@ impl Assignment {
     /// `usage[cluster][class.index()]`.
     #[must_use]
     pub fn class_usage(&self, ddg: &Ddg, clusters: u8) -> Vec<[u32; 3]> {
-        let mut usage = vec![[0u32; 3]; clusters as usize];
+        let mut usage = Vec::new();
+        self.class_usage_into(ddg, clusters, &mut usage);
+        usage
+    }
+
+    /// [`Assignment::class_usage`] into a caller-owned buffer (cleared
+    /// first).
+    pub fn class_usage_into(&self, ddg: &Ddg, clusters: u8, usage: &mut Vec<[u32; 3]>) {
+        usage.clear();
+        usage.resize(clusters as usize, [0u32; 3]);
         for n in ddg.node_ids() {
             let class = ddg.kind(n).class().index();
             for c in self.instances(n).iter() {
                 usage[c as usize][class] += 1;
             }
         }
-        usage
     }
 
     /// Instance count of one class in one cluster.

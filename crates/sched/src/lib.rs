@@ -69,12 +69,16 @@ pub use expand::{code_shape, expand, render_expansion, CodeShape, ExpandedOp, Ex
 pub use mii::{ii_part, mii, res_mii_assigned, res_mii_unclustered};
 pub use mrt::Mrt;
 pub use order::{neighbor_adjacency_ratio, sms_order};
-pub use pseudo::{pseudo_schedule, pseudo_schedule_with, PseudoSchedule};
+pub use pseudo::{
+    pseudo_schedule, pseudo_schedule_scratch, pseudo_schedule_with, PseudoSchedule, PseudoScratch,
+};
 pub use regalloc::{
     allocate_registers, ClusterAllocation, OutOfRegisters, RegAssignment, RegisterAllocation,
 };
-pub use regs::{lifetime_of, live_ranges, max_live, peak_pressure, Range};
+pub use regs::{
+    lifetime_of, live_ranges, max_live, max_live_scratch, peak_pressure, Range, RegScratch,
+};
 pub use schedule::{
-    schedule, schedule_with, schedule_with_analysis, CopyPlacement, OrderStrategy, SchedOp,
-    Schedule, ScheduleRequest,
+    schedule, schedule_with, schedule_with_analysis, schedule_with_scratch, CopyPlacement,
+    OrderStrategy, SchedOp, SchedScratch, Schedule, ScheduleRequest,
 };

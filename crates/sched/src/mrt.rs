@@ -15,16 +15,31 @@ pub struct Mrt {
     ii: u32,
     /// Cycles one transfer occupies its bus (1 on pipelined-bus machines).
     bus_latency: u32,
-    /// `fu[cluster][class][slot]` = issued ops; capacity is the unit count.
-    fu: Vec<[Vec<u8>; 3]>,
+    /// `fu[(cluster·3 + class)·slots + slot]` = issued ops; flat so a
+    /// [`Mrt::reset`] between scheduling attempts touches one allocation.
+    fu: Vec<u8>,
     /// `fu_capacity[cluster][class]` — per cluster, so heterogeneous
     /// machines (§2.1 extension) are handled natively.
     fu_capacity: Vec<[u8; 3]>,
-    /// `bus[bus][slot]` = busy flag.
-    bus: Vec<Vec<bool>>,
+    /// `bus[bus·slots + slot]` = busy flag.
+    bus: Vec<bool>,
 }
 
 impl Mrt {
+    /// An unsized table holding no reservations; must be [`Mrt::reset`]
+    /// before use. Crate-internal: the scheduler scratch needs a value to
+    /// hold between attempts, but a zero-II table would panic on every
+    /// query, so it is never exposed.
+    pub(crate) fn unset() -> Self {
+        Mrt {
+            ii: 0,
+            bus_latency: 0,
+            fu: Vec::new(),
+            fu_capacity: Vec::new(),
+            bus: Vec::new(),
+        }
+    }
+
     /// Creates an empty table for `machine` at initiation interval `ii`.
     ///
     /// # Panics
@@ -32,29 +47,40 @@ impl Mrt {
     /// Panics if `ii == 0`.
     #[must_use]
     pub fn new(machine: &MachineConfig, ii: u32) -> Self {
+        let mut mrt = Mrt::unset();
+        mrt.reset(machine, ii);
+        mrt
+    }
+
+    /// Clears the table and resizes it for `machine` at `ii`, reusing the
+    /// existing buffers. A table that is reset before each scheduling
+    /// attempt behaves exactly like a freshly constructed one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn reset(&mut self, machine: &MachineConfig, ii: u32) {
         assert!(ii > 0, "initiation interval must be positive");
         let slots = ii as usize;
-        let fu = (0..machine.clusters())
-            .map(|_| [vec![0u8; slots], vec![0u8; slots], vec![0u8; slots]])
-            .collect();
-        let fu_capacity = machine
-            .cluster_ids()
-            .map(|c| {
-                [
-                    machine.fu_count_in(c, OpClass::Int),
-                    machine.fu_count_in(c, OpClass::Fp),
-                    machine.fu_count_in(c, OpClass::Mem),
-                ]
-            })
-            .collect();
-        let bus = (0..machine.buses()).map(|_| vec![false; slots]).collect();
-        Mrt {
-            ii,
-            bus_latency: machine.bus_occupancy(),
-            fu,
-            fu_capacity,
-            bus,
-        }
+        self.ii = ii;
+        self.bus_latency = machine.bus_occupancy();
+        self.fu.clear();
+        self.fu.resize(machine.clusters() as usize * 3 * slots, 0);
+        self.fu_capacity.clear();
+        self.fu_capacity.extend(machine.cluster_ids().map(|c| {
+            [
+                machine.fu_count_in(c, OpClass::Int),
+                machine.fu_count_in(c, OpClass::Fp),
+                machine.fu_count_in(c, OpClass::Mem),
+            ]
+        }));
+        self.bus.clear();
+        self.bus.resize(machine.buses() as usize * slots, false);
+    }
+
+    /// Flat index of `(cluster, class, slot)` in the unit table.
+    fn fu_index(&self, cluster: u8, class: OpClass, slot: usize) -> usize {
+        (cluster as usize * 3 + class.index()) * self.ii as usize + slot
     }
 
     /// The initiation interval of this table.
@@ -72,7 +98,7 @@ impl Mrt {
     #[must_use]
     pub fn fu_free(&self, cluster: u8, class: OpClass, cycle: i64) -> bool {
         let slot = self.slot(cycle);
-        self.fu[cluster as usize][class.index()][slot]
+        self.fu[self.fu_index(cluster, class, slot)]
             < self.fu_capacity[cluster as usize][class.index()]
     }
 
@@ -86,8 +112,8 @@ impl Mrt {
             self.fu_free(cluster, class, cycle),
             "functional unit oversubscribed"
         );
-        let slot = self.slot(cycle);
-        self.fu[cluster as usize][class.index()][slot] += 1;
+        let idx = self.fu_index(cluster, class, self.slot(cycle));
+        self.fu[idx] += 1;
     }
 
     /// Releases a previously reserved slot (used by backtracking tests).
@@ -96,8 +122,8 @@ impl Mrt {
     ///
     /// Panics if nothing was reserved there.
     pub fn remove_fu(&mut self, cluster: u8, class: OpClass, cycle: i64) {
-        let slot = self.slot(cycle);
-        let v = &mut self.fu[cluster as usize][class.index()][slot];
+        let idx = self.fu_index(cluster, class, self.slot(cycle));
+        let v = &mut self.fu[idx];
         assert!(*v > 0, "no reservation to remove");
         *v -= 1;
     }
@@ -109,7 +135,8 @@ impl Mrt {
         if self.bus_latency > self.ii {
             return None; // a transfer cannot even fit inside the kernel
         }
-        'bus: for (b, busy) in self.bus.iter().enumerate() {
+        let slots = self.ii as usize;
+        'bus: for (b, busy) in self.bus.chunks_exact(slots).enumerate() {
             for k in 0..self.bus_latency {
                 if busy[self.slot(cycle + i64::from(k))] {
                     continue 'bus;
@@ -127,9 +154,9 @@ impl Mrt {
     /// Panics if any of the occupied slots is already busy.
     pub fn place_copy(&mut self, bus: u8, cycle: i64) {
         for k in 0..self.bus_latency {
-            let slot = self.slot(cycle + i64::from(k));
-            assert!(!self.bus[bus as usize][slot], "bus oversubscribed");
-            self.bus[bus as usize][slot] = true;
+            let slot = bus as usize * self.ii as usize + self.slot(cycle + i64::from(k));
+            assert!(!self.bus[slot], "bus oversubscribed");
+            self.bus[slot] = true;
         }
     }
 
@@ -142,7 +169,7 @@ impl Mrt {
         }
         let per_bus = self.ii / self.bus_latency;
         self.bus
-            .iter()
+            .chunks_exact(self.ii as usize)
             .map(|busy| {
                 let used = busy.iter().filter(|&&b| b).count() as u32;
                 per_bus.saturating_sub(used.div_ceil(self.bus_latency))

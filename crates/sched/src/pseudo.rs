@@ -7,11 +7,31 @@
 //! is added to cross-cluster dependences, roughly how long would one
 //! iteration be, and how hard would it press on the register files.
 
-use cvliw_ddg::{time_bounds, Ddg, OpClass};
+use cvliw_ddg::{asap_times_into, time_bounds, Ddg, OpClass};
 use cvliw_machine::MachineConfig;
 
 use crate::assign::Assignment;
 use crate::cache::LoopAnalysis;
+
+/// Reusable buffers for [`pseudo_schedule_scratch`]: the per-edge
+/// communication-adjusted latency vector, the ASAP issue times, the
+/// per-cluster class usage and the per-cluster register estimate.
+///
+/// Partition refinement scores hundreds of candidate partitions per II, and
+/// every score needs all four buffers; holding them in a scratch that lives
+/// for the whole compilation (see `cvliw_replicate::CompileContext`) makes
+/// a score allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct PseudoScratch {
+    /// Communication-adjusted per-edge latencies (`ddg.edges()` order).
+    pub edge_lat: Vec<u32>,
+    /// ASAP issue times per node.
+    pub asap: Vec<i64>,
+    /// Instance counts per cluster and class.
+    pub usage: Vec<[u32; 3]>,
+    /// Estimated rotating registers per cluster.
+    pub est: Vec<u64>,
+}
 
 /// Estimated properties of scheduling `assignment` at a given II.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -67,6 +87,100 @@ pub fn pseudo_schedule_with(
     pseudo_schedule_core(ddg, assignment, machine, ii, |n| {
         analysis.node_lat()[n.index()]
     })
+}
+
+/// [`pseudo_schedule_with`] into caller-owned scratch buffers — the
+/// allocation-free scoring path of partition refinement. Bit-identical
+/// results: the comm-adjusted latencies, the ASAP fixpoint (same relaxation
+/// order and pass bound as [`time_bounds`]) and the register estimate are
+/// the same computations, just written into reused storage, and the ALAP
+/// sweep — whose output no score reads — is skipped.
+#[must_use]
+pub fn pseudo_schedule_scratch(
+    ddg: &Ddg,
+    assignment: &Assignment,
+    machine: &MachineConfig,
+    ii: u32,
+    analysis: &LoopAnalysis,
+    scratch: &mut PseudoScratch,
+) -> PseudoSchedule {
+    let ncoms = assignment.comm_count(ddg);
+    let bus_ok = ncoms <= machine.bus_coms_per_ii(ii);
+
+    assignment.class_usage_into(ddg, machine.clusters(), &mut scratch.usage);
+    let mut cap_overflow = 0u32;
+    for (c, per_cluster) in scratch.usage.iter().enumerate() {
+        for class in OpClass::ALL {
+            let cap = u32::from(machine.fu_count_in(c as u8, class)) * ii;
+            cap_overflow += per_cluster[class.index()].saturating_sub(cap);
+        }
+    }
+
+    // Communication-adjusted per-edge latencies, from the cached base
+    // vector (aligned with `ddg.edges()`).
+    let base = analysis.edge_lat();
+    scratch.edge_lat.clear();
+    scratch
+        .edge_lat
+        .extend(ddg.edges().zip(base).map(|(e, &lat)| {
+            if e.is_data()
+                && !assignment
+                    .instances(e.dst)
+                    .difference(assignment.instances(e.src))
+                    .is_empty()
+            {
+                lat + machine.bus_latency()
+            } else {
+                lat
+            }
+        }));
+
+    let (recurrences_ok, est_length) =
+        match asap_times_into(ddg, ii, &scratch.edge_lat, &mut scratch.asap) {
+            Some(length) => (true, length),
+            None => (false, i64::MAX),
+        };
+
+    let reg_overflow = if recurrences_ok {
+        let asap = &scratch.asap;
+        let est = &mut scratch.est;
+        est.clear();
+        est.resize(machine.clusters() as usize, 0);
+        for n in ddg.node_ids() {
+            if !ddg.kind(n).produces_value() {
+                continue;
+            }
+            let def = asap[n.index()];
+            let mut last = def + i64::from(analysis.node_lat()[n.index()]);
+            for e in ddg.out_edges(n) {
+                if e.is_data() {
+                    last = last.max(asap[e.dst.index()] + i64::from(ii) * i64::from(e.distance));
+                }
+            }
+            let span = u64::try_from((last - def).max(1)).expect("non-negative");
+            let regs = span.div_ceil(u64::from(ii));
+            for c in assignment.instances(n).iter() {
+                est[c as usize] += regs;
+            }
+        }
+        est.iter()
+            .map(|&e| {
+                u32::try_from(e.saturating_sub(u64::from(machine.regs_per_cluster())))
+                    .unwrap_or(u32::MAX)
+            })
+            .sum()
+    } else {
+        0
+    };
+
+    PseudoSchedule {
+        ncoms,
+        bus_ok,
+        cap_overflow,
+        recurrences_ok,
+        est_length,
+        reg_overflow,
+    }
 }
 
 fn pseudo_schedule_core(

@@ -36,11 +36,24 @@ impl Range {
     }
 }
 
+/// Reusable buffers for [`max_live_scratch`]: the collected live ranges,
+/// the flat per-(cluster, slot) pressure table and the per-cluster peaks.
+/// One scratch serves every scheduling attempt of a compilation.
+#[derive(Clone, Debug, Default)]
+pub struct RegScratch {
+    ranges: Vec<Range>,
+    /// `pressure[cluster·ii + slot]`.
+    pressure: Vec<u32>,
+    peaks: Vec<u32>,
+}
+
 /// Collects every register live range of a schedule (see [`max_live`] for
 /// the accounting rules).
 #[must_use]
 pub fn live_ranges(schedule: &Schedule, ddg: &Ddg, machine: &MachineConfig) -> Vec<Range> {
-    collect_ranges(schedule, ddg, machine)
+    let mut ranges = Vec::new();
+    collect_ranges_into(schedule, ddg, machine, &mut ranges);
+    ranges
 }
 
 /// Computes the per-cluster MaxLive of a schedule.
@@ -55,13 +68,58 @@ pub fn live_ranges(schedule: &Schedule, ddg: &Ddg, machine: &MachineConfig) -> V
 ///   as part of the lifetime.
 #[must_use]
 pub fn max_live(schedule: &Schedule, ddg: &Ddg, machine: &MachineConfig) -> Vec<u32> {
-    let ranges = collect_ranges(schedule, ddg, machine);
-    fold_pressure(&ranges, i64::from(schedule.ii()), machine.clusters())
+    let mut scratch = RegScratch::default();
+    max_live_scratch(schedule, ddg, machine, &mut scratch);
+    scratch.peaks
 }
 
-fn collect_ranges(schedule: &Schedule, ddg: &Ddg, machine: &MachineConfig) -> Vec<Range> {
+/// [`max_live`] into caller-owned buffers; returns the per-cluster peaks as
+/// a slice of the scratch. Bit-identical to [`max_live`].
+pub fn max_live_scratch<'s>(
+    schedule: &Schedule,
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    scratch: &'s mut RegScratch,
+) -> &'s [u32] {
+    collect_ranges_into(schedule, ddg, machine, &mut scratch.ranges);
     let ii = i64::from(schedule.ii());
-    let mut ranges: Vec<Range> = Vec::new();
+    let clusters = machine.clusters() as usize;
+    let slots = ii as usize;
+    scratch.pressure.clear();
+    scratch.pressure.resize(clusters * slots, 0);
+    for r in &scratch.ranges {
+        let span = (r.last_use - r.def).max(0);
+        let full_wraps = span / ii;
+        let rem = span % ii;
+        let row = &mut scratch.pressure[r.cluster as usize * slots..][..slots];
+        if full_wraps > 0 {
+            for slot in row.iter_mut() {
+                *slot += u32::try_from(full_wraps).expect("span fits u32");
+            }
+        }
+        for off in 1..=rem {
+            let slot = (r.def + off).rem_euclid(ii) as usize;
+            row[slot] += 1;
+        }
+    }
+    scratch.peaks.clear();
+    scratch.peaks.extend(
+        scratch
+            .pressure
+            .chunks_exact(slots)
+            .map(|row| row.iter().copied().max().unwrap_or(0)),
+    );
+    &scratch.peaks
+}
+
+fn collect_ranges_into(
+    schedule: &Schedule,
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ranges: &mut Vec<Range>,
+) {
+    let ii = i64::from(schedule.ii());
+    ranges.clear();
 
     for n in ddg.node_ids() {
         if !ddg.kind(n).produces_value() {
@@ -124,32 +182,6 @@ fn collect_ranges(schedule: &Schedule, ddg: &Ddg, machine: &MachineConfig) -> Ve
             }
         }
     }
-    ranges
-}
-
-/// Folds absolute live ranges into per-cluster modulo pressure and takes
-/// the per-cluster maximum.
-fn fold_pressure(ranges: &[Range], ii: i64, clusters: u8) -> Vec<u32> {
-    let mut pressure = vec![vec![0u32; ii as usize]; clusters as usize];
-    for r in ranges {
-        let span = (r.last_use - r.def).max(0);
-        let full_wraps = span / ii;
-        let rem = span % ii;
-        let row = &mut pressure[r.cluster as usize];
-        if full_wraps > 0 {
-            for slot in row.iter_mut() {
-                *slot += u32::try_from(full_wraps).expect("span fits u32");
-            }
-        }
-        for off in 1..=rem {
-            let slot = (r.def + off).rem_euclid(ii) as usize;
-            row[slot] += 1;
-        }
-    }
-    pressure
-        .into_iter()
-        .map(|row| row.into_iter().max().unwrap_or(0))
-        .collect()
 }
 
 /// Convenience wrapper: the highest pressure across all clusters.

@@ -11,7 +11,7 @@ use crate::cache::LoopAnalysis;
 use crate::error::{ScheduleError, VerifyError};
 use crate::mrt::Mrt;
 use crate::order::sms_order;
-use crate::regs::max_live;
+use crate::regs::{max_live, max_live_scratch, RegScratch};
 
 /// One schedulable operation: an instance of a DDG node in a concrete
 /// cluster, or the bus copy of a communicated value.
@@ -250,16 +250,14 @@ impl Schedule {
             }
         }
 
-        // Functional units.
+        // Functional units: one flat `(cluster, class, slot)` occupancy
+        // table instead of a `Vec<[Vec<u32>; 3]>` per call.
         let slots = self.ii as usize;
-        let mut fu: Vec<[Vec<u32>; 3]> = Vec::new();
-        fu.resize_with(machine.clusters() as usize, || {
-            [vec![0; slots], vec![0; slots], vec![0; slots]]
-        });
+        let mut fu = vec![0u32; machine.clusters() as usize * 3 * slots];
         for (&(n, c), &t) in &self.instances {
             let class = ddg.kind(n).class();
             let slot = t.rem_euclid(ii) as usize;
-            let count = &mut fu[c as usize][class.index()][slot];
+            let count = &mut fu[(c as usize * 3 + class.index()) * slots + slot];
             *count += 1;
             if *count > u32::from(machine.fu_count_in(c, class)) {
                 return Err(VerifyError::FuOversubscribed {
@@ -272,18 +270,19 @@ impl Schedule {
 
         // Buses: a copy occupies its bus for the machine's per-transfer
         // occupancy (= latency on the paper's unpipelined buses, 1 cycle
-        // on the pipelined variant).
-        let mut bus = vec![vec![false; slots]; machine.buses() as usize];
+        // on the pipelined variant). Same flat-table treatment.
+        let mut bus = vec![false; machine.buses() as usize * slots];
         for copy in self.copies.values() {
             for k in 0..machine.bus_occupancy() {
                 let slot = (copy.cycle + i64::from(k)).rem_euclid(ii) as usize;
-                if bus[copy.bus as usize][slot] {
+                let cell = &mut bus[copy.bus as usize * slots + slot];
+                if *cell {
                     return Err(VerifyError::BusOversubscribed {
                         bus: copy.bus,
                         slot: slot as u32,
                     });
                 }
-                bus[copy.bus as usize][slot] = true;
+                *cell = true;
             }
         }
 
@@ -371,25 +370,21 @@ pub enum OrderStrategy {
     Topological,
 }
 
-/// Chooses the cluster a value's copy reads from: the home cluster if an
-/// instance lives there, otherwise the lowest-numbered instance cluster.
+/// Chooses the cluster a value's copy reads from (the shared
+/// [`Assignment::copy_source`] rule).
 fn copy_source(assignment: &Assignment, n: NodeId) -> u8 {
-    let home = assignment.home(n);
-    if assignment.instances(n).contains(home) {
-        home
-    } else {
-        assignment
-            .instances(n)
-            .iter()
-            .next()
-            .expect("node has at least one instance")
-    }
+    assignment.copy_source(n)
 }
 
 /// The per-attempt operation arena: every schedulable op gets a compact
 /// dense id (its index in `ops`), and all attempt-local state — dependence
 /// arcs, placements, bus choices — lives in plain `Vec`s indexed by that
 /// id instead of `BTreeMap<SchedOp, _>` lookups on the hot placement path.
+///
+/// The arena is a clear-and-reuse workspace: [`OpArena::reset`] empties it
+/// without releasing its buffers, so the driver's II loop re-populates the
+/// same allocations attempt after attempt (see [`SchedScratch`]).
+#[derive(Clone, Debug, Default)]
 struct OpArena {
     /// Ops in placement order; the index is the op's id.
     ops: Vec<SchedOp>,
@@ -417,35 +412,87 @@ impl OpArena {
         self.preds[to as usize].push((from, lat, dist));
         self.succs[from as usize].push((to, lat, dist));
     }
+
+    /// Empties the arena for `nodes` DDG nodes on `clusters` clusters,
+    /// keeping every buffer's capacity.
+    fn reset(&mut self, nodes: usize, clusters: usize) {
+        self.ops.clear();
+        self.instance_id.clear();
+        self.instance_id.resize(nodes * clusters, u32::MAX);
+        self.copy_id.clear();
+        self.copy_id.resize(nodes, u32::MAX);
+        self.clusters = clusters;
+    }
+
+    /// Clears the adjacency rows for `n_ops` operations, reusing the inner
+    /// vectors' capacity.
+    fn reset_arcs(&mut self, n_ops: usize) {
+        for row in &mut self.preds {
+            row.clear();
+        }
+        for row in &mut self.succs {
+            row.clear();
+        }
+        if self.preds.len() < n_ops {
+            self.preds.resize_with(n_ops, Vec::new);
+            self.succs.resize_with(n_ops, Vec::new);
+        }
+    }
 }
 
-/// Builds the arena: the operation list in the requested node order, the
-/// dense id maps and the dependence arcs.
-fn build_arena(
-    req: &ScheduleRequest<'_>,
-    node_order: &[NodeId],
-    communicated: &[NodeId],
-) -> OpArena {
+/// The scheduler's persistent per-compilation workspace: the operation
+/// arena, the modulo reservation table, the placement arrays, the
+/// communicated list and the MaxLive buffers. One `SchedScratch`, reset between
+/// attempts, replaces the per-II allocations the attempt loop used to make;
+/// results are bit-identical to the scratch-free entry points.
+#[derive(Clone, Debug)]
+pub struct SchedScratch {
+    arena: OpArena,
+    communicated: Vec<NodeId>,
+    /// Per-node cluster ordering buffer (copy source first).
+    cs: Vec<u8>,
+    placed: Vec<i64>,
+    bus_of: Vec<u8>,
+    mrt: Mrt,
+    regs: RegScratch,
+}
+
+impl Default for SchedScratch {
+    fn default() -> Self {
+        SchedScratch {
+            arena: OpArena::default(),
+            communicated: Vec::new(),
+            cs: Vec::new(),
+            placed: Vec::new(),
+            bus_of: Vec::new(),
+            // The scheduler resets the table for every attempt's machine
+            // and II before any query, so the unsized state never leaks.
+            mrt: Mrt::unset(),
+            regs: RegScratch::default(),
+        }
+    }
+}
+
+/// Builds the arena in `scratch`: the operation list in the requested node
+/// order, the dense id maps and the dependence arcs.
+fn build_arena(req: &ScheduleRequest<'_>, node_order: &[NodeId], scratch: &mut SchedScratch) {
     let ddg = req.ddg;
     let asg = req.assignment;
     let machine = req.machine;
+    let communicated = &scratch.communicated;
     let is_com = |n: NodeId| communicated.binary_search(&n).is_ok();
 
     let n = ddg.node_count();
     let clusters = machine.clusters() as usize;
-    let mut arena = OpArena {
-        ops: Vec::with_capacity(n + communicated.len()),
-        instance_id: vec![u32::MAX; n * clusters],
-        copy_id: vec![u32::MAX; n],
-        preds: Vec::new(),
-        succs: Vec::new(),
-        clusters,
-    };
+    let arena = &mut scratch.arena;
+    arena.reset(n, clusters);
     for &nd in node_order {
-        let mut cs: Vec<u8> = asg.instances(nd).iter().collect();
+        let cs = &mut scratch.cs;
+        cs.clear();
+        cs.extend(asg.instances(nd).iter());
         let src = copy_source(asg, nd);
         cs.sort_by_key(|&c| (c != src, c));
-        for c in cs {
+        for &c in cs.iter() {
             arena.instance_id[nd.index() * clusters + c as usize] = arena.ops.len() as u32;
             arena.ops.push(SchedOp::Instance(nd, c));
         }
@@ -454,8 +501,8 @@ fn build_arena(
             arena.ops.push(SchedOp::Copy(nd));
         }
     }
-    arena.preds = vec![Vec::new(); arena.ops.len()];
-    arena.succs = vec![Vec::new(); arena.ops.len()];
+    let n_ops = arena.ops.len();
+    arena.reset_arcs(n_ops);
 
     let bus_dep_lat = if req.zero_bus_dep_latency {
         0
@@ -497,7 +544,6 @@ fn build_arena(
         let (from, to) = (arena.instance(nd, src), arena.copy(nd));
         arena.arc(from, to, lat, 0);
     }
-    arena
 }
 
 /// Modulo-schedules one loop at a fixed initiation interval.
@@ -548,11 +594,28 @@ pub fn schedule_with_analysis(
     strategy: OrderStrategy,
     analysis: &LoopAnalysis,
 ) -> Result<Schedule, ScheduleError> {
+    schedule_with_scratch(req, strategy, analysis, &mut SchedScratch::default())
+}
+
+/// [`schedule_with_analysis`] on a persistent [`SchedScratch`]: the arena,
+/// reservation table, placement arrays and MaxLive buffers are reused from
+/// the previous attempt instead of being reallocated. Bit-identical
+/// schedules — the scratch is fully reset before use.
+///
+/// # Errors
+///
+/// As for [`schedule`].
+pub fn schedule_with_scratch(
+    req: &ScheduleRequest<'_>,
+    strategy: OrderStrategy,
+    analysis: &LoopAnalysis,
+    scratch: &mut SchedScratch,
+) -> Result<Schedule, ScheduleError> {
     let node_order = match strategy {
         OrderStrategy::Swing => analysis.sms_order(),
         OrderStrategy::Topological => analysis.topo_order(),
     };
-    schedule_ordered(req, node_order)
+    schedule_ordered_scratch(req, node_order, scratch)
 }
 
 /// The placement core: modulo-schedules the assignment with operations
@@ -561,26 +624,43 @@ fn schedule_ordered(
     req: &ScheduleRequest<'_>,
     node_order: &[NodeId],
 ) -> Result<Schedule, ScheduleError> {
+    schedule_ordered_scratch(req, node_order, &mut SchedScratch::default())
+}
+
+/// [`schedule_ordered`] with every attempt-local buffer drawn from
+/// `scratch`.
+fn schedule_ordered_scratch(
+    req: &ScheduleRequest<'_>,
+    node_order: &[NodeId],
+    scratch: &mut SchedScratch,
+) -> Result<Schedule, ScheduleError> {
     let machine = req.machine;
     let ii = req.ii;
     assert!(ii > 0, "initiation interval must be positive");
 
     // Bus bandwidth check (IIpart ≤ II in the paper's driver).
-    let communicated = req.assignment.communicated(req.ddg);
-    let needed = communicated.len() as u32;
+    req.assignment
+        .communicated_into(req.ddg, &mut scratch.communicated);
+    let needed = scratch.communicated.len() as u32;
     let capacity = machine.bus_coms_per_ii(ii);
     if needed > capacity {
         return Err(ScheduleError::Bus { needed, capacity });
     }
 
-    let arena = build_arena(req, node_order, &communicated);
+    build_arena(req, node_order, scratch);
+    let arena = &scratch.arena;
     let n_ops = arena.ops.len();
 
-    let mut mrt = Mrt::new(machine, ii);
+    let mrt = &mut scratch.mrt;
+    mrt.reset(machine, ii);
     /// Sentinel for "not placed yet" in the dense placement array.
     const UNPLACED: i64 = i64::MIN;
-    let mut placed: Vec<i64> = vec![UNPLACED; n_ops];
-    let mut bus_of: Vec<u8> = vec![0; n_ops];
+    scratch.placed.clear();
+    scratch.placed.resize(n_ops, UNPLACED);
+    let placed = &mut scratch.placed;
+    scratch.bus_of.clear();
+    scratch.bus_of.resize(n_ops, 0);
+    let bus_of = &mut scratch.bus_of;
     let ii_i = i64::from(ii);
 
     for id in 0..n_ops {
@@ -715,7 +795,7 @@ fn schedule_ordered(
     };
 
     // Register-pressure gate (the third Figure-1 cause).
-    let pressure = max_live(&sched, req.ddg, machine);
+    let pressure = max_live_scratch(&sched, req.ddg, machine, &mut scratch.regs);
     for (c, &p) in pressure.iter().enumerate() {
         if p > machine.regs_per_cluster() {
             return Err(ScheduleError::Registers {

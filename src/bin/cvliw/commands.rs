@@ -536,6 +536,14 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
         report.total_wall_ms,
         report.cells_per_sec
     );
+    eprintln!(
+        "stage_ms: {}",
+        cvliw::replicate::Stage::ALL
+            .iter()
+            .map(|s| format!("{} {:.0}", s.name(), report.stage_ms[*s as usize]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     let rendered = emit_bench_json(&report);
     let destination = match args.get("out") {

@@ -112,6 +112,51 @@ proptest! {
         }
     }
 
+    /// Scratch reuse is observationally pure: compiling through one
+    /// `CompileContext` — whose `CompileScratch` stays dirty across modes
+    /// and repeated compilations — must equal a fresh-state `compile_loop`
+    /// per call: same II, same schedule, same statistics. The second pass
+    /// through every mode exercises reuse of buffers left behind by a
+    /// *different* mode's attempt loop (including the failure-driven
+    /// II-skip state), and the driver's debug assertions re-verify every
+    /// skipped attempt along the way.
+    #[test]
+    fn scratch_reuse_equals_fresh_state_compilation(
+        seed in 0u64..10_000,
+        params in arb_params(),
+        machine in arb_machine(),
+    ) {
+        let ddg = generate_loop(seed, &params).expect("generator is total").ddg;
+        let ctx = CompileContext::new(&ddg, &machine);
+
+        for pass in 0..2 {
+            for mode in Mode::ALL {
+                let opts = CompileOptions { mode, max_ii: None };
+                let fresh = compile_loop(&ddg, &machine, &opts);
+                let reused = compile_loop_ctx(&ddg, &machine, &opts, &ctx);
+                match (&fresh, &reused) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(
+                            a.stats.ii, b.stats.ii,
+                            "pass {} mode {}", pass, mode.name()
+                        );
+                        prop_assert_eq!(&a.schedule, &b.schedule);
+                        prop_assert_eq!(&a.assignment, &b.assignment);
+                        prop_assert_eq!(a.stats, b.stats);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    _ => prop_assert!(
+                        false,
+                        "dirty-scratch and fresh-state compilation disagree on \
+                         success for mode {} (pass {})",
+                        mode.name(),
+                        pass
+                    ),
+                }
+            }
+        }
+    }
+
     /// The cached analysis feeds the scheduler the same orders the one-shot
     /// APIs compute, so `schedule_with_analysis` equals `schedule_with` for
     /// both strategies on a plain partition-derived assignment.
