@@ -17,11 +17,26 @@ use cvliw_ddg::{topo_order, Ddg, NodeId, OpKind};
 use cvliw_machine::MachineConfig;
 use cvliw_sched::Assignment;
 
+/// One scheduled transfer of a value over the interconnect.
+#[derive(Clone, Copy, Debug)]
+struct CopyIssue {
+    /// Issue cycle of the (first) transfer.
+    cycle: u32,
+    /// Shared bus carrying it (0 on point-to-point fabrics).
+    bus: u8,
+    /// Cluster the transfer reads from.
+    source: u8,
+}
+
 /// A schedule for one acyclic region.
 #[derive(Clone, Debug)]
 pub struct AcyclicSchedule {
     instances: BTreeMap<(NodeId, u8), u32>,
-    copies: BTreeMap<NodeId, (u32, u8)>,
+    copies: BTreeMap<NodeId, CopyIssue>,
+    /// Point-to-point fabrics deliver per destination: the cycle a value
+    /// becomes readable in a cluster (empty on shared-bus machines, whose
+    /// copies broadcast).
+    ptp_ready: BTreeMap<(NodeId, u8), u32>,
     length: u32,
 }
 
@@ -39,10 +54,16 @@ impl AcyclicSchedule {
         self.instances.get(&(n, cluster)).copied()
     }
 
-    /// Issue cycle and bus of the copy broadcasting `n`, if any.
+    /// Issue cycle and bus of the (first) copy of `n`, if any.
     #[must_use]
     pub fn copy_of(&self, n: NodeId) -> Option<(u32, u8)> {
-        self.copies.get(&n).copied()
+        self.copies.get(&n).map(|c| (c.cycle, c.bus))
+    }
+
+    /// Cluster the (first) copy of `n` reads from, if any.
+    #[must_use]
+    pub fn copy_source_of(&self, n: NodeId) -> Option<u8> {
+        self.copies.get(&n).map(|c| c.source)
     }
 
     /// Number of bus copies in the region.
@@ -70,7 +91,8 @@ pub enum AcyclicError {
         /// Consumer of the offending dependence.
         dst: NodeId,
     },
-    /// A value must cross clusters but the machine has no buses.
+    /// A value must cross clusters but the machine has no interconnect
+    /// links.
     NoBus {
         /// The value that cannot travel.
         value: NodeId,
@@ -89,7 +111,7 @@ impl std::fmt::Display for AcyclicError {
             AcyclicError::NoBus { value } => {
                 write!(
                     f,
-                    "value {value} crosses clusters but the machine has no buses"
+                    "value {value} crosses clusters but the machine has no links"
                 )
             }
         }
@@ -123,10 +145,13 @@ pub fn schedule_acyclic(
 
     let mut fu_busy: Vec<[Vec<u32>; 3]> =
         vec![[Vec::new(), Vec::new(), Vec::new()]; machine.clusters() as usize];
-    let mut bus_busy: Vec<Vec<bool>> = vec![Vec::new(); machine.buses() as usize];
+    // One busy row per interconnect link: the shared buses, or the
+    // dedicated per-pair links of a point-to-point fabric.
+    let mut link_busy: Vec<Vec<bool>> = vec![Vec::new(); machine.links() as usize];
     let mut out = AcyclicSchedule {
         instances: BTreeMap::new(),
         copies: BTreeMap::new(),
+        ptp_ready: BTreeMap::new(),
         length: 0,
     };
 
@@ -151,13 +176,30 @@ pub fn schedule_acyclic(
         }
     };
 
+    // Books `occ` cycles on one link row at the earliest free slot ≥
+    // `from`, returning the issue cycle.
+    fn book_link(row: &mut Vec<bool>, from: u32, occ: usize) -> u32 {
+        let mut t = from as usize;
+        loop {
+            if row.len() < t + occ {
+                row.resize(t + occ, false);
+            }
+            if row[t..t + occ].iter().all(|&x| !x) {
+                row[t..t + occ].iter_mut().for_each(|x| *x = true);
+                return t as u32;
+            }
+            t += 1;
+        }
+    }
+
     // The cycle at which `n`'s value becomes readable in cluster `c`,
-    // inserting a bus copy on demand. Returns `None` for a NoBus failure.
+    // inserting an interconnect transfer on demand. Returns `None` for a
+    // NoBus failure.
     fn value_ready_in(
         ddg: &Ddg,
         machine: &MachineConfig,
         out: &mut AcyclicSchedule,
-        bus_busy: &mut [Vec<bool>],
+        link_busy: &mut [Vec<bool>],
         n: NodeId,
         c: u8,
     ) -> Result<u32, AcyclicError> {
@@ -171,36 +213,66 @@ pub fn schedule_acyclic(
         if let Some(t) = local {
             return Ok(t);
         }
-        // Existing copy?
-        if let Some((t, _)) = out.copies.get(&n) {
-            return Ok(t + machine.bus_latency());
+        let shared = machine.interconnect().is_shared_bus();
+        // Existing delivery? Shared buses broadcast (one copy serves every
+        // cluster); point-to-point transfers are per destination.
+        if shared {
+            if let Some(copy) = out.copies.get(&n) {
+                return Ok(copy.cycle + machine.bus_latency());
+            }
+        } else if let Some(&ready) = out.ptp_ready.get(&(n, c)) {
+            return Ok(ready);
         }
-        // Schedule a new copy after the earliest instance completes.
-        if machine.buses() == 0 {
+        // Schedule a new transfer after the earliest instance completes.
+        if machine.links() == 0 {
             return Err(AcyclicError::NoBus { value: n });
         }
-        let src_done = out
+        let (src_done, source) = out
             .instances
             .iter()
             .filter(|&(&(m, _), _)| m == n)
-            .map(|(_, &t)| t + machine.latency(ddg.kind(n)))
+            .map(|(&(_, mc), &t)| (t + machine.latency(ddg.kind(n)), mc))
             .min()
             .expect("producer scheduled before consumers (topological order)");
-        let lat = machine.bus_latency() as usize;
-        let mut t = src_done as usize;
-        loop {
-            for (b, busy) in bus_busy.iter_mut().enumerate() {
-                if busy.len() < t + lat {
-                    busy.resize(t + lat, false);
+        if shared {
+            // Earliest bus able to carry the broadcast.
+            let lat = machine.bus_latency() as usize;
+            let mut t = src_done as usize;
+            loop {
+                for (b, busy) in link_busy.iter_mut().enumerate() {
+                    if busy.len() < t + lat {
+                        busy.resize(t + lat, false);
+                    }
+                    if busy[t..t + lat].iter().all(|&x| !x) {
+                        busy[t..t + lat].iter_mut().for_each(|x| *x = true);
+                        out.copies.insert(
+                            n,
+                            CopyIssue {
+                                cycle: t as u32,
+                                bus: b as u8,
+                                source,
+                            },
+                        );
+                        out.length = out.length.max((t + lat) as u32);
+                        return Ok((t as u32) + machine.bus_latency());
+                    }
                 }
-                if busy[t..t + lat].iter().all(|&x| !x) {
-                    busy[t..t + lat].iter_mut().for_each(|x| *x = true);
-                    out.copies.insert(n, (t as u32, b as u8));
-                    out.length = out.length.max((t + lat) as u32);
-                    return Ok((t as u32) + machine.bus_latency());
-                }
+                t += 1;
             }
-            t += 1;
+        } else {
+            // The dedicated `source → c` link, at its per-pair occupancy.
+            let link = machine.link_of(source, c) as usize;
+            let occ = machine.link_occupancy(source, c) as usize;
+            let t = book_link(&mut link_busy[link], src_done, occ);
+            let ready = t + machine.transfer_latency(source, c);
+            out.copies.entry(n).or_insert(CopyIssue {
+                cycle: t,
+                bus: 0,
+                source,
+            });
+            out.ptp_ready.insert((n, c), ready);
+            out.length = out.length.max(ready);
+            Ok(ready)
         }
     }
 
@@ -209,7 +281,7 @@ pub fn schedule_acyclic(
             let mut ready = 0u32;
             for e in ddg.in_edges(n) {
                 let arrival = if e.is_data() {
-                    value_ready_in(ddg, machine, &mut out, &mut bus_busy, e.src, c)?
+                    value_ready_in(ddg, machine, &mut out, &mut link_busy, e.src, c)?
                 } else {
                     // Memory ordering: after every instance of the producer
                     // completes, regardless of cluster (centralized cache).
@@ -297,10 +369,14 @@ fn critical_bus_hop(
                 if t_p + machine.latency(ddg.kind(p)) == t_n {
                     stack.push((p, c, t_p)); // binding local operand
                 }
-            } else if let Some((tc, _)) = sched.copy_of(p) {
-                if tc + machine.bus_latency() == t_n {
-                    return Some((p, c)); // binding bus hop: replicate here
+            } else if machine.interconnect().is_shared_bus() {
+                if let Some((tc, _)) = sched.copy_of(p) {
+                    if tc + machine.bus_latency() == t_n {
+                        return Some((p, c)); // binding bus hop: replicate here
+                    }
                 }
+            } else if sched.ptp_ready.get(&(p, c)) == Some(&t_n) {
+                return Some((p, c)); // binding link hop: replicate here
             }
         }
     }
@@ -464,6 +540,40 @@ mod tests {
         // (memory is centralized).
         assert!(t_ld >= t_st + 2);
         assert_eq!(s.copy_count(), 0);
+    }
+
+    #[test]
+    fn point_to_point_fabrics_schedule_and_replicate() {
+        // The Figure-11 DDG on ring and crossbar machines: every value
+        // still arrives (per-destination link transfers), and critical
+        // link hops are still replicated away when it helps.
+        for spec in ["4c-ring1l64r", "4c-xbar1l64r"] {
+            let mut b = Ddg::builder();
+            let a = b.add_labeled(OpKind::IntAdd, "A");
+            let bb = b.add_node(OpKind::IntAdd);
+            let c = b.add_node(OpKind::IntAdd);
+            let d = b.add_node(OpKind::IntAdd);
+            let e = b.add_node(OpKind::IntAdd);
+            let f = b.add_node(OpKind::IntAdd);
+            b.data(a, bb).data(bb, c).data(a, d).data(d, e).data(a, f);
+            let ddg = b.build().unwrap();
+            let asg = Assignment::from_partition(&[1, 1, 1, 0, 0, 2]);
+            let m = MachineConfig::from_spec(spec).unwrap();
+            let before = schedule_acyclic(&ddg, &m, &asg).unwrap();
+            assert!(before.copy_count() >= 1, "{spec}: A crosses clusters");
+            // Consumers issue only after their transfer delivered, and the
+            // transfer reads a cluster actually holding the producer.
+            let a_id = ddg.find_by_label("A").unwrap();
+            let t_d = before.instance_cycle(NodeId::new(3), 0).unwrap();
+            let ready = before.ptp_ready[&(a_id, 0)];
+            assert!(t_d >= ready, "{spec}: D waits for A's transfer");
+            let src = before.copy_source_of(a_id).unwrap();
+            assert!(asg.instances(a_id).contains(src), "{spec}: valid source");
+
+            let (improved, after) = replicate_for_acyclic_length(&ddg, &m, asg).unwrap();
+            assert!(after.length() <= before.length(), "{spec}");
+            let _ = improved;
+        }
     }
 
     #[test]

@@ -551,18 +551,22 @@ fn compile_loop_inner(
             assignment.comm_count(ddg),
             "ReplicationStats::final_coms tracks the assignment"
         );
-        if ncoms > machine.bus_coms_per_ii(ii) {
+        if ncoms > machine.coms_capacity_per_ii(ii) {
             causes.add(IiCause::Bus);
             // The failure's bound arithmetic: baseline communications are
-            // exactly the partition's, so `min_ii_for_coms(ncoms)` is the
-            // first II that could pass this check; value cloning can shed
-            // cloneable communications as capacity grows, so its floor is
-            // the communications cloning can never remove.
+            // exactly the partition's, so the closed-form capacity inverse
+            // is the first II that could pass this check; value cloning
+            // can shed cloneable communications as capacity grows, so its
+            // floor is the communications cloning can never remove. The
+            // closed form is exact only on shared buses, whose transfers
+            // are interchangeable — on point-to-point fabrics
+            // `closed_form_min_ii_for_coms` returns 0 and the skip
+            // soundly disarms (every II is attempted, as before PR 4).
             bus_bound = match opts.mode {
-                Mode::Baseline => machine.min_ii_for_coms(ncoms).unwrap_or(u32::MAX),
-                Mode::ValueClone => machine
-                    .min_ii_for_coms(uncloneable_coms(ddg, &assignment))
-                    .unwrap_or(u32::MAX),
+                Mode::Baseline => machine.closed_form_min_ii_for_coms(ncoms),
+                Mode::ValueClone => {
+                    machine.closed_form_min_ii_for_coms(uncloneable_coms(ddg, &assignment))
+                }
                 _ => 0,
             };
             ii += 1;
@@ -666,7 +670,7 @@ fn skipped_attempt_fails_bus(
         }
         _ => return false, // the bound is never armed for replicating modes
     };
-    ncoms > machine.bus_coms_per_ii(ii)
+    ncoms > machine.coms_capacity_per_ii(ii)
 }
 
 /// The single-cell entry point for suite orchestration: compiles one loop
@@ -811,6 +815,53 @@ mod tests {
             s.ops_per_iter + s.replication.added_instances() - s.replication.removed_instances
         );
         assert_eq!(s.causes.total(), s.ii - s.mii);
+    }
+
+    #[test]
+    fn topology_machines_compile_all_modes() {
+        // Ring and crossbar fabrics must carry the full pipeline: every
+        // mode compiles, schedules verify (per-pair latencies, per-link
+        // occupancy), and the II-skip stays disarmed (debug builds assert
+        // any armed skip, so compiling at all exercises that path).
+        let ddg = comm_bound();
+        for spec in [
+            "4c-ring1l64r",
+            "4c-ring2l64r",
+            "4c-xbar1l64r",
+            "2c-xbar2l64r",
+        ] {
+            let m = machine(spec);
+            for mode in Mode::ALL {
+                let out = compile_loop(&ddg, &m, &CompileOptions { mode, max_ii: None })
+                    .unwrap_or_else(|e| panic!("{spec} {}: {e}", mode.name()));
+                out.schedule
+                    .verify(&ddg, &m)
+                    .unwrap_or_else(|e| panic!("{spec} {}: {e}", mode.name()));
+                assert!(
+                    out.stats.final_coms <= m.coms_capacity_per_ii(out.stats.ii),
+                    "{spec} {}: capacity respected",
+                    mode.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crossbar_needs_less_replication_than_the_bus() {
+        // Pair-dedicated links give the crossbar far more aggregate
+        // bandwidth than one shared bus, so the replication engine has
+        // less to do — the scenario the topology appendix measures.
+        let ddg = comm_bound();
+        let bus = compile_loop(&ddg, &machine("4c1b2l64r"), &CompileOptions::replicate()).unwrap();
+        let xbar =
+            compile_loop(&ddg, &machine("4c-xbar1l64r"), &CompileOptions::replicate()).unwrap();
+        assert!(
+            xbar.stats.replication.added_instances() <= bus.stats.replication.added_instances(),
+            "crossbar {} vs bus {}",
+            xbar.stats.replication.added_instances(),
+            bus.stats.replication.added_instances()
+        );
+        assert!(xbar.stats.ii <= bus.stats.ii);
     }
 
     #[test]

@@ -187,7 +187,7 @@ impl<'a> ReplicationEngine<'a> {
     /// (`extra_coms = nof_coms − bus_coms`, §3).
     #[must_use]
     pub fn extra_coms(&self) -> u32 {
-        (self.coms.len() as u32).saturating_sub(self.machine.bus_coms_per_ii(self.ii))
+        (self.coms.len() as u32).saturating_sub(self.machine.coms_capacity_per_ii(self.ii))
     }
 
     /// The current plans of every remaining communication, keyed by value.

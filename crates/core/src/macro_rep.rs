@@ -43,7 +43,7 @@ pub fn macro_replicate(
     let level = &hierarchy.levels[hierarchy.levels.len() / 2];
 
     for group in level.groups() {
-        if (coms.len() as u32) <= machine.bus_coms_per_ii(ii) {
+        if (coms.len() as u32) <= machine.coms_capacity_per_ii(ii) {
             break; // bus fits: stop, as the §3 engine would
         }
         let members: Vec<NodeId> = group.iter().map(|&i| NodeId::new(i as u32)).collect();

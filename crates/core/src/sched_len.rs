@@ -19,24 +19,28 @@ use crate::plan::replication_plan_into;
 const MAX_ROUNDS: usize = 8;
 
 /// The assignment-adjusted edge latency: the producer's base latency, plus
-/// the bus when some consumer instance lives in a cluster without the
-/// producer. `base_lat` is either a machine lookup or the cached vector.
+/// the transfer cost when some consumer instance lives in a cluster
+/// without the producer (pair-dependent on point-to-point fabrics, the
+/// flat bus latency on shared buses). `base_lat` is either a machine
+/// lookup or the cached vector.
 fn comm_lat<'a>(
     machine: &'a MachineConfig,
     assignment: &'a Assignment,
     base_lat: &'a impl Fn(NodeId) -> u32,
 ) -> impl Fn(&cvliw_ddg::Edge) -> u32 + 'a {
+    let uniform = machine.uniform_transfer_latency();
     move |e: &cvliw_ddg::Edge| {
         let base = base_lat(e.src);
-        if e.is_data()
-            && !assignment
-                .instances(e.dst)
-                .difference(assignment.instances(e.src))
-                .is_empty()
-        {
-            base + machine.bus_latency()
-        } else {
+        if !e.is_data() {
+            return base;
+        }
+        let missing = assignment
+            .instances(e.dst)
+            .difference(assignment.instances(e.src));
+        if missing.is_empty() {
             base
+        } else {
+            base + cvliw_sched::comm_penalty(machine, assignment, e.src, missing, uniform)
         }
     }
 }
@@ -145,7 +149,7 @@ fn extend_core(
                 // Bus bandwidth must keep fitting (replication can only
                 // reduce the communication count, but be defensive).
                 let ncoms = candidate.comm_count(ddg);
-                if ncoms > machine.bus_coms_per_ii(ii) {
+                if ncoms > machine.coms_capacity_per_ii(ii) {
                     continue;
                 }
                 match estimated_length(ddg, machine, ii, &candidate, base_lat) {

@@ -85,7 +85,7 @@ pub fn value_clone(
         final_coms: coms.len() as u32,
         ..ReplicationStats::default()
     };
-    let capacity = machine.bus_coms_per_ii(ii);
+    let capacity = machine.coms_capacity_per_ii(ii);
 
     loop {
         if coms.len() as u32 <= capacity {

@@ -26,21 +26,57 @@ fn hmean_cell(report: &SuiteReport, spec: &str, mode: Mode) -> String {
     }
 }
 
+/// Whether a spec names a point-to-point fabric (appendix material): the
+/// main sections reproduce the paper and must stay byte-identical to a
+/// shared-bus-only run, so topology machines render separately.
+fn is_topology_spec(spec: &str) -> bool {
+    MachineConfig::from_extended_spec(spec)
+        .map(|m| !m.interconnect().is_shared_bus())
+        .unwrap_or(false)
+}
+
+/// Compile failures across the cells of the given specs only — sections
+/// must report their own machines' failures, not the whole grid's, or the
+/// appendix would perturb the paper sections' bytes.
+fn failures_in(report: &SuiteReport, specs: &[String]) -> usize {
+    report
+        .cells
+        .iter()
+        .filter(|c| specs.contains(&c.spec))
+        .map(|c| c.failures)
+        .sum()
+}
+
 /// Renders the whole results book.
+///
+/// The paper's shared-bus machines fill the main sections; any
+/// point-to-point machines in the grid render into a trailing appendix, so
+/// adding the topology grid never changes a byte of the paper sections. A
+/// topology-only grid (e.g. `--machine 4c-ring1l64r`) skips the empty
+/// paper sections and lets the header describe the appendix grid.
 #[must_use]
 pub fn emit_markdown(report: &SuiteReport) -> String {
+    let (main, appendix): (Vec<String>, Vec<String>) = report
+        .specs
+        .iter()
+        .cloned()
+        .partition(|s| !is_topology_spec(s));
     let mut o = String::new();
-    header(&mut o, report);
-    machine_table(&mut o, report);
-    ipc_tables(&mut o, report);
-    applu_ii_table(&mut o, report);
-    sched_len_table(&mut o, report);
-    overhead_table(&mut o, report);
-    comms_table(&mut o, report);
+    let described = if main.is_empty() { &appendix } else { &main };
+    header(&mut o, report, described);
+    if !main.is_empty() {
+        machine_table(&mut o, &main);
+        ipc_tables(&mut o, report, &main);
+        applu_ii_table(&mut o, report, &main);
+        sched_len_table(&mut o, report, &main);
+        overhead_table(&mut o, report, &main);
+        comms_table(&mut o, report, &main);
+    }
+    topology_appendix(&mut o, report, &appendix, !main.is_empty());
     o
 }
 
-fn header(o: &mut String, report: &SuiteReport) {
+fn header(o: &mut String, report: &SuiteReport, specs: &[String]) {
     o.push_str("# Results book\n\n");
     o.push_str(
         "> **Generated file — do not edit.** Regenerate with\n\
@@ -56,22 +92,19 @@ fn header(o: &mut String, report: &SuiteReport) {
          with the paper's `(N − 1 + SC)·II` model.",
         report.suite_loops,
         report.programs.len(),
-        report.specs.len(),
+        specs.len(),
         report.modes.len(),
-        report.cells.len()
+        specs.len() * report.modes.len() * report.programs.len()
     );
     o.push('\n');
-    match report.max_loops {
-        Some(cap) => {
-            let _ = writeln!(
-                o,
-                "**Reduced grid:** capped at {cap} loops per program — \
-                 figures below are not the full-suite numbers.\n"
-            );
-        }
-        None => {}
+    if let Some(cap) = report.max_loops {
+        let _ = writeln!(
+            o,
+            "**Reduced grid:** capped at {cap} loops per program — \
+             figures below are not the full-suite numbers.\n"
+        );
     }
-    let failures = report.failures();
+    let failures = failures_in(report, specs);
     if failures > 0 {
         let _ = writeln!(
             o,
@@ -91,7 +124,7 @@ fn header(o: &mut String, report: &SuiteReport) {
     );
 }
 
-fn machine_table(o: &mut String, report: &SuiteReport) {
+fn machine_table(o: &mut String, specs: &[String]) {
     o.push_str("## 1. Machine configurations (Table 1)\n\n");
     o.push_str(
         "Specs read `<clusters>c<buses>b<bus-latency>l<registers>r`; \
@@ -99,7 +132,7 @@ fn machine_table(o: &mut String, report: &SuiteReport) {
     );
     o.push_str("| config | clusters | INT | FP | MEM | regs/cluster | buses | bus latency |\n");
     o.push_str("|---|---:|---:|---:|---:|---:|---:|---:|\n");
-    for spec in &report.specs {
+    for spec in specs {
         // Specs were validated when the suite ran; an unparsable one here
         // means the report was hand-built, so render a placeholder row.
         match MachineConfig::from_extended_spec(spec) {
@@ -124,7 +157,7 @@ fn machine_table(o: &mut String, report: &SuiteReport) {
     o.push('\n');
 }
 
-fn ipc_tables(o: &mut String, report: &SuiteReport) {
+fn ipc_tables(o: &mut String, report: &SuiteReport, specs: &[String]) {
     o.push_str("## 2. IPC by configuration (Figure 7)\n\n");
     o.push_str(
         "Profile-weighted IPC of **original** operations (replicas and bus \
@@ -133,80 +166,86 @@ fn ipc_tables(o: &mut String, report: &SuiteReport) {
          dynamic operation counts.\n\n",
     );
     let speedup = report.has_mode(Mode::Baseline) && report.has_mode(Mode::Replicate);
-    for spec in &report.specs {
-        let _ = writeln!(o, "### `{spec}`\n");
-        let _ = write!(o, "| program |");
+    for spec in specs {
+        ipc_table_for(o, report, spec, speedup);
+    }
+}
+
+/// One configuration's per-program IPC table (shared between the main
+/// Figure-7 section and the topology appendix).
+fn ipc_table_for(o: &mut String, report: &SuiteReport, spec: &str, speedup: bool) {
+    let _ = writeln!(o, "### `{spec}`\n");
+    let _ = write!(o, "| program |");
+    for &mode in &report.modes {
+        let _ = write!(o, " {} |", mode.name());
+    }
+    if speedup {
+        o.push_str(" repl/base |");
+    }
+    o.push('\n');
+    let _ = write!(o, "|---|");
+    for _ in &report.modes {
+        o.push_str("---:|");
+    }
+    if speedup {
+        o.push_str("---:|");
+    }
+    o.push('\n');
+    for program in &report.programs {
+        let _ = write!(o, "| {program} |");
         for &mode in &report.modes {
-            let _ = write!(o, " {} |", mode.name());
-        }
-        if speedup {
-            o.push_str(" repl/base |");
-        }
-        o.push('\n');
-        let _ = write!(o, "|---|");
-        for _ in &report.modes {
-            o.push_str("---:|");
-        }
-        if speedup {
-            o.push_str("---:|");
-        }
-        o.push('\n');
-        for program in &report.programs {
-            let _ = write!(o, "| {program} |");
-            for &mode in &report.modes {
-                match report.cell(spec, mode, program) {
-                    Some(c) => {
-                        let _ = write!(o, " {:.2} |", c.ipc());
-                    }
-                    None => o.push_str(" — |"),
+            match report.cell(spec, mode, program) {
+                Some(c) => {
+                    let _ = write!(o, " {:.2} |", c.ipc());
                 }
+                None => o.push_str(" — |"),
             }
-            if speedup {
-                let base = report.cell(spec, Mode::Baseline, program);
-                let repl = report.cell(spec, Mode::Replicate, program);
-                match (base, repl) {
-                    (Some(b), Some(r)) if b.ipc() > 0.0 => {
-                        let _ = write!(o, " {} |", pct(r.ipc() / b.ipc() - 1.0));
-                    }
-                    _ => o.push_str(" — |"),
-                }
-            }
-            o.push('\n');
-        }
-        let _ = write!(o, "| **HMEAN** |");
-        for &mode in &report.modes {
-            let _ = write!(o, " {} |", hmean_cell(report, spec, mode));
         }
         if speedup {
-            match (
-                report.config_hmean(spec, Mode::Baseline),
-                report.config_hmean(spec, Mode::Replicate),
-            ) {
-                (Some(b), Some(r)) if b > 0.0 => {
-                    let _ = write!(o, " **{}** |", pct(r / b - 1.0));
+            let base = report.cell(spec, Mode::Baseline, program);
+            let repl = report.cell(spec, Mode::Replicate, program);
+            match (base, repl) {
+                (Some(b), Some(r)) if b.ipc() > 0.0 => {
+                    let _ = write!(o, " {} |", pct(r.ipc() / b.ipc() - 1.0));
                 }
                 _ => o.push_str(" — |"),
             }
         }
         o.push('\n');
-        let _ = write!(o, "| **TOTAL** |");
-        for &mode in &report.modes {
-            let _ = write!(o, " {:.2} |", report.config_ipc(spec, mode));
-        }
-        if speedup {
-            let b = report.config_ipc(spec, Mode::Baseline);
-            let r = report.config_ipc(spec, Mode::Replicate);
-            if b > 0.0 {
-                let _ = write!(o, " **{}** |", pct(r / b - 1.0));
-            } else {
-                o.push_str(" — |");
-            }
-        }
-        o.push_str("\n\n");
     }
+    let _ = write!(o, "| **HMEAN** |");
+    for &mode in &report.modes {
+        let _ = write!(o, " {} |", hmean_cell(report, spec, mode));
+    }
+    if speedup {
+        match (
+            report.config_hmean(spec, Mode::Baseline),
+            report.config_hmean(spec, Mode::Replicate),
+        ) {
+            (Some(b), Some(r)) if b > 0.0 => {
+                let _ = write!(o, " **{}** |", pct(r / b - 1.0));
+            }
+            _ => o.push_str(" — |"),
+        }
+    }
+    o.push('\n');
+    let _ = write!(o, "| **TOTAL** |");
+    for &mode in &report.modes {
+        let _ = write!(o, " {:.2} |", report.config_ipc(spec, mode));
+    }
+    if speedup {
+        let b = report.config_ipc(spec, Mode::Baseline);
+        let r = report.config_ipc(spec, Mode::Replicate);
+        if b > 0.0 {
+            let _ = write!(o, " **{}** |", pct(r / b - 1.0));
+        } else {
+            o.push_str(" — |");
+        }
+    }
+    o.push_str("\n\n");
 }
 
-fn applu_ii_table(o: &mut String, report: &SuiteReport) {
+fn applu_ii_table(o: &mut String, report: &SuiteReport, specs: &[String]) {
     if !report.programs.iter().any(|p| p == "applu")
         || !report.has_mode(Mode::Baseline)
         || !report.has_mode(Mode::Replicate)
@@ -221,7 +260,7 @@ fn applu_ii_table(o: &mut String, report: &SuiteReport) {
     );
     o.push_str("| config | base II | repl II | II reduction | base IPC | repl IPC | IPC gain |\n");
     o.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
-    for spec in &report.specs {
+    for spec in specs {
         let base = report.cell(spec, Mode::Baseline, "applu");
         let repl = report.cell(spec, Mode::Replicate, "applu");
         let (Some(b), Some(r)) = (base, repl) else {
@@ -249,7 +288,7 @@ fn applu_ii_table(o: &mut String, report: &SuiteReport) {
     o.push('\n');
 }
 
-fn sched_len_table(o: &mut String, report: &SuiteReport) {
+fn sched_len_table(o: &mut String, report: &SuiteReport, specs: &[String]) {
     if !report.has_mode(Mode::Replicate)
         || !report.has_mode(Mode::ReplicateSchedLen)
         || !report.has_mode(Mode::ZeroBusLatency)
@@ -265,7 +304,7 @@ fn sched_len_table(o: &mut String, report: &SuiteReport) {
     );
     o.push_str("| config | replicate | sched-len | zero-bus | realized | potential |\n");
     o.push_str("|---|---:|---:|---:|---:|---:|\n");
-    for spec in &report.specs {
+    for spec in specs {
         let repl = report.config_hmean(spec, Mode::Replicate);
         let ext = report.config_hmean(spec, Mode::ReplicateSchedLen);
         let zero = report.config_hmean(spec, Mode::ZeroBusLatency);
@@ -286,7 +325,7 @@ fn sched_len_table(o: &mut String, report: &SuiteReport) {
     o.push('\n');
 }
 
-fn overhead_table(o: &mut String, report: &SuiteReport) {
+fn overhead_table(o: &mut String, report: &SuiteReport, specs: &[String]) {
     if !report.has_mode(Mode::Replicate) {
         return;
     }
@@ -296,18 +335,18 @@ fn overhead_table(o: &mut String, report: &SuiteReport) {
          instances over original operations, profile-weighted.\n\n",
     );
     let _ = write!(o, "| program |");
-    for spec in &report.specs {
+    for spec in specs {
         let _ = write!(o, " `{spec}` |");
     }
     o.push('\n');
     o.push_str("|---|");
-    for _ in &report.specs {
+    for _ in specs {
         o.push_str("---:|");
     }
     o.push('\n');
     for program in &report.programs {
         let _ = write!(o, "| {program} |");
-        for spec in &report.specs {
+        for spec in specs {
             match report.cell(spec, Mode::Replicate, program) {
                 Some(c) => {
                     let _ = write!(o, " {} |", pct(c.overhead()));
@@ -318,7 +357,7 @@ fn overhead_table(o: &mut String, report: &SuiteReport) {
         o.push('\n');
     }
     let _ = write!(o, "| **suite** |");
-    for spec in &report.specs {
+    for spec in specs {
         let _ = write!(
             o,
             " **{}** |",
@@ -328,7 +367,7 @@ fn overhead_table(o: &mut String, report: &SuiteReport) {
     o.push_str("\n\n");
 }
 
-fn comms_table(o: &mut String, report: &SuiteReport) {
+fn comms_table(o: &mut String, report: &SuiteReport, specs: &[String]) {
     if !report.has_mode(Mode::Replicate) {
         return;
     }
@@ -339,7 +378,7 @@ fn comms_table(o: &mut String, report: &SuiteReport) {
     );
     o.push_str("| config | partition coms | scheduled coms | removed |\n");
     o.push_str("|---|---:|---:|---:|\n");
-    for spec in &report.specs {
+    for spec in specs {
         let (part, fin) = report
             .config_cells(spec, Mode::Replicate)
             .fold((0u64, 0u64), |(p, f), c| {
@@ -353,6 +392,100 @@ fn comms_table(o: &mut String, report: &SuiteReport) {
         let _ = writeln!(o, "| `{spec}` | {part} | {fin} | {removed} |");
     }
     o.push('\n');
+}
+
+/// The topology appendix: every point-to-point machine in the grid, with
+/// its fabric parameters and the same per-program IPC tables as Figure 7.
+/// Skipped entirely when the grid is shared-bus only, which is what keeps
+/// paper-only books byte-identical.
+fn topology_appendix(o: &mut String, report: &SuiteReport, specs: &[String], warn_failures: bool) {
+    if specs.is_empty() {
+        return;
+    }
+    o.push_str("## Appendix A. Point-to-point topology grid\n\n");
+    // Appendix machines report their own failures here; when the grid is
+    // topology-only the header already covered them.
+    let failures = failures_in(report, specs);
+    if warn_failures && failures > 0 {
+        let _ = writeln!(
+            o,
+            "**⚠ {failures} loop compilations failed on the appendix \
+             machines** — figures below exclude the failing loops.\n"
+        );
+    }
+    let _ = writeln!(
+        o,
+        "The same 12-issue cluster splits re-joined by point-to-point \
+         fabrics instead of shared buses (`<clusters>c-<topo><hop>l\
+         <registers>r` specs): one dedicated directed link per ordered \
+         cluster pair, latency and occupancy scaling with hop distance. \
+         **{} machines × {} modes × {} programs** ({} cells). \
+         Pair-dedicated links multiply aggregate bandwidth, so the \
+         replication win here bounds how much of the paper's benefit is \
+         bus *contention* rather than transfer *latency*.",
+        specs.len(),
+        report.modes.len(),
+        report.programs.len(),
+        specs.len() * report.modes.len() * report.programs.len()
+    );
+    o.push('\n');
+
+    o.push_str("| config | clusters | interconnect | links | transfer latency | regs/cluster |\n");
+    o.push_str("|---|---:|---|---:|---:|---:|\n");
+    for spec in specs {
+        match MachineConfig::from_extended_spec(spec) {
+            Ok(m) => {
+                let lat_min = m.bus_latency();
+                let lat_max = m.max_transfer_latency();
+                let lat = if lat_min == lat_max {
+                    format!("{lat_min}")
+                } else {
+                    format!("{lat_min}\u{2013}{lat_max}")
+                };
+                let _ = writeln!(
+                    o,
+                    "| `{spec}` | {} | {} | {} | {lat} | {} |",
+                    m.clusters(),
+                    m.interconnect().describe(m.clusters()),
+                    m.links(),
+                    m.regs_per_cluster()
+                );
+            }
+            Err(_) => {
+                let _ = writeln!(o, "| `{spec}` | — | — | — | — | — |");
+            }
+        }
+    }
+    o.push('\n');
+
+    let speedup = report.has_mode(Mode::Baseline) && report.has_mode(Mode::Replicate);
+    for spec in specs {
+        ipc_table_for(o, report, spec, speedup);
+    }
+
+    if speedup {
+        o.push_str("### Replication win by topology\n\n");
+        o.push_str(
+            "HMEAN IPC gain of `replicate` over `baseline` per machine \
+             (paper shared-bus machines shown for contrast).\n\n",
+        );
+        o.push_str("| config | fabric | repl/base |\n|---|---|---:|\n");
+        for spec in report.specs.iter() {
+            let fabric = match MachineConfig::from_extended_spec(spec) {
+                Ok(m) => m.interconnect().describe(m.clusters()),
+                Err(_) => "—".to_string(),
+            };
+            let win = match (
+                report.config_hmean(spec, Mode::Baseline),
+                report.config_hmean(spec, Mode::Replicate),
+            ) {
+                (Some(b), Some(r)) if b > 0.0 => pct(r / b - 1.0),
+                _ => "—".into(),
+            };
+            let _ = writeln!(o, "| `{spec}` | {fabric} | {win} |");
+        }
+        o.push('\n');
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,23 @@ impl SuiteGrid {
         }
     }
 
+    /// The paper grid plus the topology appendix machines
+    /// ([`cvliw_machine::topology_specs`]): ring and crossbar fabrics on
+    /// the same 12-issue cluster splits. This is what `cvliw suite` runs
+    /// by default — the Markdown book renders the paper machines in its
+    /// main sections (byte-identical to a paper-only run) and the
+    /// point-to-point machines in an appendix.
+    #[must_use]
+    pub fn paper_with_topology() -> Self {
+        let mut grid = SuiteGrid::paper();
+        grid.specs.extend(
+            cvliw_machine::topology_specs()
+                .iter()
+                .map(ToString::to_string),
+        );
+        grid
+    }
+
     /// Restricts the grid to the given machine specs.
     #[must_use]
     pub fn with_specs(mut self, specs: Vec<String>) -> Self {
@@ -116,6 +133,16 @@ mod tests {
         let g = SuiteGrid::paper();
         assert_eq!(g.cell_count(), 10 * 6 * 5);
         assert_eq!(g.cells().len(), g.cell_count());
+    }
+
+    #[test]
+    fn topology_grid_appends_the_appendix_machines() {
+        let g = SuiteGrid::paper_with_topology();
+        assert_eq!(g.cell_count(), 10 * 9 * 5);
+        // Paper machines first — the cell order of the paper prefix is
+        // part of the report format.
+        assert_eq!(g.specs[..6], SuiteGrid::paper().specs[..]);
+        assert!(g.specs[6..].iter().all(|s| s.contains('-')));
     }
 
     #[test]

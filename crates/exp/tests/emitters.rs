@@ -56,9 +56,51 @@ fn check_golden(name: &str, actual: &str) {
     );
 }
 
+/// The topology golden grid: one paper machine plus a ring and a crossbar,
+/// pinning the appendix rendering (the acceptance criterion for the
+/// interconnect refactor) — main sections must show only the shared-bus
+/// machine, the appendix only the point-to-point ones.
+fn topology_grid() -> SuiteGrid {
+    SuiteGrid::paper()
+        .with_programs(vec!["tomcatv".into(), "mgrid".into()])
+        .with_specs(vec![
+            "4c1b2l64r".into(),
+            "4c-ring1l64r".into(),
+            "4c-xbar1l64r".into(),
+        ])
+        .with_modes(vec![Mode::Baseline, Mode::Replicate])
+        .with_max_loops(2)
+}
+
 #[test]
 fn json_matches_golden() {
     check_golden("small.json", &emit(&golden_report(), Format::Json));
+}
+
+#[test]
+fn topology_markdown_matches_golden() {
+    let report = run_suite(&topology_grid(), 2).expect("topology grid runs");
+    let md = emit(&report, Format::Markdown);
+    // Structure first: the paper sections cover only the shared-bus
+    // machine, the appendix only the fabrics.
+    assert!(
+        md.contains("## Appendix A. Point-to-point topology grid"),
+        "{md}"
+    );
+    let (main, appendix) = md.split_once("## Appendix A.").unwrap();
+    assert!(main.contains("`4c1b2l64r`"));
+    assert!(!main.contains("4c-ring1l64r") && !main.contains("4c-xbar1l64r"));
+    assert!(appendix.contains("`4c-ring1l64r`") && appendix.contains("`4c-xbar1l64r`"));
+    assert!(appendix.contains("Replication win by topology"));
+    check_golden("topology.md", &md);
+}
+
+/// A shared-bus-only grid must not grow an appendix — the paper book's
+/// bytes are governed by `small.md`; this pins the absence explicitly.
+#[test]
+fn shared_bus_grids_have_no_appendix() {
+    let md = emit(&golden_report(), Format::Markdown);
+    assert!(!md.contains("Appendix"), "{md}");
 }
 
 #[test]

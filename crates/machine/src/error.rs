@@ -3,20 +3,30 @@
 use std::error::Error;
 use std::fmt;
 
-/// Errors raised when parsing a `wcxbylzr` specification string or building
+/// Errors raised when parsing a machine specification string or building
 /// an inconsistent [`crate::MachineConfig`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SpecError {
-    /// The spec string does not have the `<w>c<x>b<y>l<z>r` shape.
+    /// The spec string does not follow the `<w>c<x>b<y>l<z>r` /
+    /// `<w>c-<topo><y>l<z>r` grammar.
     Malformed {
         /// The offending input.
         spec: String,
+        /// What exactly went wrong (missing marker, non-numeric field,
+        /// unknown topology, trailing junk).
+        detail: String,
     },
     /// A numeric field is zero where a positive value is required.
     ZeroField {
-        /// Name of the field (`"clusters"`, `"bus latency"`, `"registers"`).
+        /// Name of the field (`"clusters"`, `"bus latency"`,
+        /// `"hop latency"`, `"registers"`).
         field: &'static str,
+        /// The spec string the field came from, when the error arose while
+        /// parsing (programmatic constructors have no spec to report).
+        spec: Option<String>,
+        /// Byte span of the offending number within `spec`.
+        span: Option<(usize, usize)>,
     },
     /// The 12-wide machine (4 units per class) cannot be split evenly into
     /// this many clusters.
@@ -31,16 +41,46 @@ pub enum SpecError {
     },
 }
 
+impl SpecError {
+    /// A zero-field error raised by a programmatic constructor (no spec
+    /// string to point into).
+    #[must_use]
+    pub fn zero_field(field: &'static str) -> Self {
+        SpecError::ZeroField {
+            field,
+            spec: None,
+            span: None,
+        }
+    }
+
+    /// A zero-field error raised while parsing `spec`, with the byte span
+    /// of the offending number.
+    #[must_use]
+    pub fn zero_field_in(field: &'static str, spec: &str, span: (usize, usize)) -> Self {
+        SpecError::ZeroField {
+            field,
+            spec: Some(spec.to_string()),
+            span: Some(span),
+        }
+    }
+}
+
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SpecError::Malformed { spec } => {
-                write!(
-                    f,
-                    "machine spec `{spec}` is not of the form <w>c<x>b<y>l<z>r"
-                )
+            SpecError::Malformed { spec, detail } => {
+                write!(f, "machine spec `{spec}`: {detail}")
             }
-            SpecError::ZeroField { field } => write!(f, "machine {field} must be positive"),
+            SpecError::ZeroField { field, spec, span } => {
+                write!(f, "machine {field} must be positive")?;
+                if let Some(spec) = spec {
+                    write!(f, " in `{spec}`")?;
+                }
+                if let Some((start, end)) = span {
+                    write!(f, " (bytes {start}..{end})")?;
+                }
+                Ok(())
+            }
             SpecError::UnevenSplit { clusters } => write!(
                 f,
                 "cannot split 4 units of each class evenly into {clusters} clusters"
@@ -60,14 +100,31 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SpecError::Malformed { spec: "zzz".into() }
-            .to_string()
-            .contains("zzz"));
-        assert!(SpecError::ZeroField { field: "clusters" }
+        let e = SpecError::Malformed {
+            spec: "zzz".into(),
+            detail: "missing `c` field".into(),
+        };
+        assert!(e.to_string().contains("zzz"));
+        assert!(e.to_string().contains("missing `c`"));
+        assert!(SpecError::zero_field("clusters")
             .to_string()
             .contains("clusters"));
         assert!(SpecError::UnevenSplit { clusters: 3 }
             .to_string()
             .contains('3'));
+    }
+
+    #[test]
+    fn zero_field_display_names_field_spec_and_span() {
+        let e = SpecError::zero_field_in("bus latency", "4c1b0l64r", (4, 5));
+        let msg = e.to_string();
+        assert!(msg.contains("bus latency"), "{msg}");
+        assert!(msg.contains("`4c1b0l64r`"), "{msg}");
+        assert!(msg.contains("4..5"), "{msg}");
+        // Constructor-raised errors stay terse.
+        assert_eq!(
+            SpecError::zero_field("registers").to_string(),
+            "machine registers must be positive"
+        );
     }
 }

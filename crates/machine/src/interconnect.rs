@@ -1,0 +1,498 @@
+//! The first-class interconnect model: the fabric that moves register
+//! values between clusters.
+//!
+//! The paper evaluates exactly one fabric — a small set of shared,
+//! unpipelined broadcast buses — and its arithmetic (`bus_coms =
+//! ⌊II/bus_lat⌋·nof_buses`, §3) used to be scattered across every crate
+//! that reasons about communication. [`Interconnect`] lifts that assumption
+//! into one enum so the replication trade-off can also be measured on
+//! richer fabrics: point-to-point rings and full crossbars.
+//!
+//! Every method is a small, allocation-free match: the hot scheduling and
+//! refinement paths call these per candidate slot.
+//!
+//! # The point-to-point model
+//!
+//! A [`Interconnect::PointToPoint`] fabric provides one dedicated directed
+//! **link** per ordered cluster pair `(src, dst)` — a virtual channel. Its
+//! latency and occupancy scale with the topology's hop distance: 1 for
+//! every pair on a full crossbar, the shorter ring distance on a ring.
+//! A transfer occupies its pair's link for the whole delivery (links are
+//! unpipelined, like the paper's buses), so long-distance ring transfers
+//! consume proportionally more bandwidth. A broadcast to several clusters
+//! books one link per destination. This deliberately models the *latency
+//! and bandwidth* consequences of the topology, not per-segment flit
+//! contention — see `docs/ARCHITECTURE.md`.
+
+use std::fmt;
+
+/// Shape of a point-to-point fabric: how hop distance maps onto cluster
+/// pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PtpShape {
+    /// A bidirectional ring: the distance between clusters `s` and `d` is
+    /// the shorter way around, `min(|s−d|, C−|s−d|)`.
+    Ring,
+    /// A full crossbar: every pair is one hop apart.
+    Crossbar,
+}
+
+impl PtpShape {
+    /// The spec-language name of the shape (`ring`, `xbar`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PtpShape::Ring => "ring",
+            PtpShape::Crossbar => "xbar",
+        }
+    }
+}
+
+/// The inter-cluster communication fabric of a machine.
+///
+/// All pair-indexed methods take the machine's cluster count as a
+/// parameter; the enum itself stays a small `Copy` value that scratch
+/// structures (e.g. the scheduler's reservation table) can embed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Interconnect {
+    /// The paper's fabric: `buses` shared broadcast buses, each delivering
+    /// any transfer in `latency` cycles. Unpipelined unless `pipelined`: a
+    /// transfer occupies its bus for the full latency.
+    SharedBus {
+        /// Number of shared buses.
+        buses: u8,
+        /// Delivery latency of one transfer, in cycles.
+        latency: u32,
+        /// Whether a bus accepts a new transfer every cycle (delivery
+        /// latency unchanged) — the `ablation_bus_model` knob.
+        pipelined: bool,
+    },
+    /// Dedicated directed links per ordered cluster pair, with per-pair
+    /// latency `hop_latency × distance(src, dst)` (see the module docs).
+    PointToPoint {
+        /// The topology determining hop distances.
+        shape: PtpShape,
+        /// Latency of a single hop, in cycles.
+        hop_latency: u32,
+    },
+}
+
+impl Interconnect {
+    /// Whether this is the paper's shared-bus fabric.
+    #[must_use]
+    pub fn is_shared_bus(self) -> bool {
+        matches!(self, Interconnect::SharedBus { .. })
+    }
+
+    /// Number of link resources the modulo reservation table must track:
+    /// the bus count on a shared-bus fabric, one directed link per ordered
+    /// cluster pair on a point-to-point fabric.
+    #[must_use]
+    pub fn links(self, clusters: u8) -> u32 {
+        match self {
+            Interconnect::SharedBus { buses, .. } => u32::from(buses),
+            Interconnect::PointToPoint { .. } => {
+                let c = u32::from(clusters);
+                c * c.saturating_sub(1)
+            }
+        }
+    }
+
+    /// Hop distance between two distinct clusters under this fabric
+    /// (always 1 on a shared bus or crossbar).
+    #[must_use]
+    pub fn distance(self, clusters: u8, src: u8, dst: u8) -> u32 {
+        debug_assert_ne!(src, dst, "no transfer within a cluster");
+        match self {
+            Interconnect::SharedBus { .. }
+            | Interconnect::PointToPoint {
+                shape: PtpShape::Crossbar,
+                ..
+            } => 1,
+            Interconnect::PointToPoint {
+                shape: PtpShape::Ring,
+                ..
+            } => {
+                let c = u32::from(clusters);
+                let d = u32::from(src.abs_diff(dst));
+                d.min(c - d)
+            }
+        }
+    }
+
+    /// The largest hop distance any pair can be apart.
+    #[must_use]
+    pub fn max_distance(self, clusters: u8) -> u32 {
+        match self {
+            Interconnect::SharedBus { .. }
+            | Interconnect::PointToPoint {
+                shape: PtpShape::Crossbar,
+                ..
+            } => 1,
+            Interconnect::PointToPoint {
+                shape: PtpShape::Ring,
+                ..
+            } => (u32::from(clusters) / 2).max(1),
+        }
+    }
+
+    /// Delivery latency of a transfer from `src` to `dst`, in cycles.
+    #[must_use]
+    pub fn latency_between(self, clusters: u8, src: u8, dst: u8) -> u32 {
+        match self {
+            Interconnect::SharedBus { latency, .. } => latency,
+            Interconnect::PointToPoint { hop_latency, .. } => {
+                hop_latency * self.distance(clusters, src, dst)
+            }
+        }
+    }
+
+    /// Cycles a transfer from `src` to `dst` occupies its link: the full
+    /// delivery latency on unpipelined fabrics, 1 on pipelined shared
+    /// buses.
+    #[must_use]
+    pub fn occupancy_between(self, clusters: u8, src: u8, dst: u8) -> u32 {
+        match self {
+            Interconnect::SharedBus {
+                latency, pipelined, ..
+            } => {
+                if pipelined {
+                    1
+                } else {
+                    latency
+                }
+            }
+            Interconnect::PointToPoint { .. } => self.latency_between(clusters, src, dst),
+        }
+    }
+
+    /// The delivery latency when it is the same for every cluster pair
+    /// (`None` only on rings whose diameter exceeds one hop) — the fast
+    /// path for estimators that charge a scalar communication cost.
+    #[must_use]
+    pub fn uniform_latency(self, clusters: u8) -> Option<u32> {
+        match self {
+            Interconnect::SharedBus { latency, .. } => Some(latency),
+            Interconnect::PointToPoint { hop_latency, .. } => {
+                (self.max_distance(clusters) == 1).then_some(hop_latency)
+            }
+        }
+    }
+
+    /// The largest delivery latency any pair can pay — the conservative
+    /// scalar for slack-based edge weights.
+    #[must_use]
+    pub fn max_latency(self, clusters: u8) -> u32 {
+        match self {
+            Interconnect::SharedBus { latency, .. } => latency,
+            Interconnect::PointToPoint { hop_latency, .. } => {
+                hop_latency * self.max_distance(clusters)
+            }
+        }
+    }
+
+    /// Index of the directed link carrying `src → dst` transfers on a
+    /// point-to-point fabric (rows `0..links`). Shared buses have no pair
+    /// binding — any bus carries any transfer — so this must not be called
+    /// on them.
+    #[must_use]
+    pub fn link_of(self, clusters: u8, src: u8, dst: u8) -> u32 {
+        debug_assert!(!self.is_shared_bus(), "shared buses are not pair-addressed");
+        debug_assert!(src != dst && src < clusters && dst < clusters);
+        let c = u32::from(clusters);
+        let (s, d) = (u32::from(src), u32::from(dst));
+        s * (c - 1) + d - u32::from(d > s)
+    }
+
+    /// The `(src, dst)` pair of a point-to-point link index (inverse of
+    /// [`Interconnect::link_of`]).
+    #[must_use]
+    pub fn link_pair(self, clusters: u8, link: u32) -> (u8, u8) {
+        debug_assert!(!self.is_shared_bus());
+        let c = u32::from(clusters);
+        let s = link / (c - 1);
+        let r = link % (c - 1);
+        let d = r + u32::from(r >= s);
+        (s as u8, d as u8)
+    }
+
+    /// Aggregate number of transfers the fabric can carry per initiation
+    /// interval: the paper's `⌊II/occ⌋·nof_buses` on a shared bus, the sum
+    /// of every link's `⌊II/occ_link⌋` on a point-to-point fabric. Exact
+    /// for shared buses; an upper bound for point-to-point fabrics (whose
+    /// transfers are pair-bound and cannot borrow another pair's link).
+    #[must_use]
+    pub fn coms_capacity_per_ii(self, clusters: u8, ii: u32) -> u32 {
+        match self {
+            Interconnect::SharedBus {
+                buses,
+                latency,
+                pipelined,
+            } => {
+                if buses == 0 {
+                    return 0;
+                }
+                let occ = if pipelined { 1 } else { latency };
+                (ii / occ) * u32::from(buses)
+            }
+            Interconnect::PointToPoint { hop_latency, .. } => {
+                if clusters < 2 || hop_latency == 0 {
+                    return 0;
+                }
+                let mut total = 0;
+                for s in 0..clusters {
+                    for d in 0..clusters {
+                        if s != d {
+                            total += ii / self.occupancy_between(clusters, s, d);
+                        }
+                    }
+                }
+                total
+            }
+        }
+    }
+
+    /// The smallest initiation interval whose aggregate capacity fits
+    /// `ncoms` transfers (the paper's `IIpart` generalized), or `None` if
+    /// the fabric has no links and `ncoms > 0`.
+    #[must_use]
+    pub fn min_ii_for_coms(self, clusters: u8, ncoms: u32) -> Option<u32> {
+        if ncoms == 0 {
+            return Some(0);
+        }
+        let links = self.links(clusters);
+        if links == 0 {
+            return None;
+        }
+        match self {
+            Interconnect::SharedBus { buses, .. } => {
+                // ⌊II/occ⌋·buses ≥ n ⇔ II ≥ occ·⌈n/buses⌉.
+                Some(self.occupancy_between(clusters, 0, 1) * ncoms.div_ceil(u32::from(buses)))
+            }
+            Interconnect::PointToPoint {
+                shape: PtpShape::Crossbar,
+                hop_latency,
+            } => Some(hop_latency * ncoms.div_ceil(links)),
+            Interconnect::PointToPoint {
+                shape: PtpShape::Ring,
+                hop_latency,
+            } => {
+                // Capacity is monotone in the II but mixes occupancies, so
+                // search upward from the all-pairs-one-hop lower bound.
+                let mut ii = hop_latency * ncoms.div_ceil(links);
+                while self.coms_capacity_per_ii(clusters, ii) < ncoms {
+                    ii += 1;
+                }
+                Some(ii)
+            }
+        }
+    }
+
+    /// The driver's failure-driven II-skip bound: the first II whose bus
+    /// bandwidth could fit `ncoms` communications, valid **only** where the
+    /// closed form is the exact feasibility condition the scheduler checks
+    /// — the shared bus, whose transfers are interchangeable. On
+    /// point-to-point fabrics transfers are pair-bound, the aggregate
+    /// inverse is not the binding constraint, and the bound disarms to `0`
+    /// ("no skip"), exactly as the PR 4 skip logic requires.
+    ///
+    /// Returns `u32::MAX` when the fabric can never carry a transfer.
+    #[must_use]
+    pub fn closed_form_min_ii_for_coms(self, clusters: u8, ncoms: u32) -> u32 {
+        match self {
+            Interconnect::SharedBus { .. } => {
+                self.min_ii_for_coms(clusters, ncoms).unwrap_or(u32::MAX)
+            }
+            Interconnect::PointToPoint { .. } => 0,
+        }
+    }
+
+    /// A human-readable one-liner for machine listings.
+    #[must_use]
+    pub fn describe(self, clusters: u8) -> String {
+        match self {
+            Interconnect::SharedBus {
+                buses,
+                latency,
+                pipelined,
+            } => format!(
+                "{buses} shared bus{} ({latency}-cycle{})",
+                if buses == 1 { "" } else { "es" },
+                if pipelined { ", pipelined" } else { "" }
+            ),
+            Interconnect::PointToPoint {
+                shape: PtpShape::Ring,
+                hop_latency,
+            } => format!(
+                "ring ({hop_latency}-cycle hops, diameter {})",
+                self.max_distance(clusters)
+            ),
+            Interconnect::PointToPoint {
+                shape: PtpShape::Crossbar,
+                hop_latency,
+            } => format!("full crossbar ({hop_latency}-cycle links)"),
+        }
+    }
+}
+
+impl fmt::Display for Interconnect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interconnect::SharedBus { buses, latency, .. } => {
+                write!(f, "{buses}b{latency}l")
+            }
+            Interconnect::PointToPoint { shape, hop_latency } => {
+                write!(f, "-{}{hop_latency}l", shape.name())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUS: Interconnect = Interconnect::SharedBus {
+        buses: 2,
+        latency: 4,
+        pipelined: false,
+    };
+    const RING: Interconnect = Interconnect::PointToPoint {
+        shape: PtpShape::Ring,
+        hop_latency: 1,
+    };
+    const XBAR: Interconnect = Interconnect::PointToPoint {
+        shape: PtpShape::Crossbar,
+        hop_latency: 2,
+    };
+
+    #[test]
+    fn link_counts() {
+        assert_eq!(BUS.links(4), 2);
+        assert_eq!(RING.links(4), 12);
+        assert_eq!(XBAR.links(2), 2);
+        assert_eq!(RING.links(1), 0);
+    }
+
+    #[test]
+    fn ring_distances_take_the_short_way() {
+        assert_eq!(RING.distance(4, 0, 1), 1);
+        assert_eq!(RING.distance(4, 0, 2), 2);
+        assert_eq!(RING.distance(4, 0, 3), 1);
+        assert_eq!(RING.distance(4, 3, 0), 1);
+        assert_eq!(RING.max_distance(4), 2);
+        assert_eq!(RING.max_distance(2), 1);
+        assert_eq!(XBAR.distance(4, 0, 2), 1);
+    }
+
+    #[test]
+    fn latencies_scale_with_distance() {
+        assert_eq!(BUS.latency_between(4, 0, 2), 4);
+        assert_eq!(RING.latency_between(4, 0, 2), 2);
+        assert_eq!(RING.latency_between(4, 0, 3), 1);
+        assert_eq!(XBAR.latency_between(4, 0, 2), 2);
+        assert_eq!(BUS.max_latency(4), 4);
+        assert_eq!(RING.max_latency(4), 2);
+        assert_eq!(XBAR.max_latency(4), 2);
+    }
+
+    #[test]
+    fn uniform_latency_only_when_diameter_is_one() {
+        assert_eq!(BUS.uniform_latency(4), Some(4));
+        assert_eq!(XBAR.uniform_latency(4), Some(2));
+        assert_eq!(RING.uniform_latency(2), Some(1));
+        assert_eq!(RING.uniform_latency(4), None);
+    }
+
+    #[test]
+    fn occupancy_follows_latency_except_pipelined() {
+        let piped = Interconnect::SharedBus {
+            buses: 2,
+            latency: 4,
+            pipelined: true,
+        };
+        assert_eq!(BUS.occupancy_between(4, 0, 1), 4);
+        assert_eq!(piped.occupancy_between(4, 0, 1), 1);
+        assert_eq!(RING.occupancy_between(4, 0, 2), 2);
+    }
+
+    #[test]
+    fn link_indexing_round_trips() {
+        for c in [2u8, 3, 4, 8] {
+            let mut seen = vec![false; RING.links(c) as usize];
+            for s in 0..c {
+                for d in 0..c {
+                    if s == d {
+                        continue;
+                    }
+                    let l = RING.link_of(c, s, d);
+                    assert!(!seen[l as usize], "link {l} reused");
+                    seen[l as usize] = true;
+                    assert_eq!(RING.link_pair(c, l), (s, d));
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn shared_bus_capacity_matches_the_paper_formula() {
+        // floor(II/4) * 2 buses
+        assert_eq!(BUS.coms_capacity_per_ii(4, 3), 0);
+        assert_eq!(BUS.coms_capacity_per_ii(4, 4), 2);
+        assert_eq!(BUS.coms_capacity_per_ii(4, 8), 4);
+    }
+
+    #[test]
+    fn ptp_capacity_sums_per_link_slots() {
+        // 4-cluster ring, 1-cycle hops: 8 distance-1 links + 4 distance-2
+        // links; at II=2 each distance-1 link carries 2, distance-2 one.
+        assert_eq!(RING.coms_capacity_per_ii(4, 2), 8 * 2 + 4);
+        // crossbar, 2-cycle links: 12 links × floor(4/2).
+        assert_eq!(XBAR.coms_capacity_per_ii(4, 4), 24);
+        assert_eq!(XBAR.coms_capacity_per_ii(1, 10), 0);
+    }
+
+    #[test]
+    fn min_ii_inverts_capacity_on_every_topology() {
+        for (ic, c) in [(BUS, 4u8), (RING, 4), (RING, 3), (XBAR, 4), (XBAR, 2)] {
+            for n in 0..60u32 {
+                let ii = ic.min_ii_for_coms(c, n).unwrap();
+                assert!(
+                    n == 0 || ic.coms_capacity_per_ii(c, ii) >= n,
+                    "{ic:?} c={c} n={n} ii={ii}"
+                );
+                if ii > 0 {
+                    assert!(
+                        ic.coms_capacity_per_ii(c, ii - 1) < n,
+                        "{ic:?} c={c} n={n}: {ii} is not minimal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_bound_disarms_off_bus() {
+        assert_eq!(BUS.closed_form_min_ii_for_coms(4, 3), 8); // 4·⌈3/2⌉
+        assert_eq!(BUS.closed_form_min_ii_for_coms(4, 0), 0);
+        let no_bus = Interconnect::SharedBus {
+            buses: 0,
+            latency: 1,
+            pipelined: false,
+        };
+        assert_eq!(no_bus.closed_form_min_ii_for_coms(4, 1), u32::MAX);
+        assert_eq!(RING.closed_form_min_ii_for_coms(4, 100), 0);
+        assert_eq!(XBAR.closed_form_min_ii_for_coms(4, 100), 0);
+    }
+
+    #[test]
+    fn descriptions_and_display() {
+        assert_eq!(BUS.describe(4), "2 shared buses (4-cycle)");
+        assert!(RING.describe(4).contains("diameter 2"));
+        assert!(XBAR.describe(4).contains("crossbar"));
+        assert_eq!(BUS.to_string(), "2b4l");
+        assert_eq!(RING.to_string(), "-ring1l");
+        assert_eq!(XBAR.to_string(), "-xbar2l");
+    }
+}

@@ -47,6 +47,17 @@ pub fn register_sweep_specs() -> [&'static str; 3] {
     ["4c1b2l32r", "4c1b2l64r", "4c1b2l128r"]
 }
 
+/// The topology appendix grid: the paper's 4-cluster machine re-joined by
+/// point-to-point fabrics instead of shared buses — a 1-cycle-hop ring, a
+/// 2-cycle-hop ring, and a full crossbar with 1-cycle links. These are not
+/// paper configurations; `cvliw suite` compiles them into the appendix of
+/// `docs/RESULTS.md` to measure how much of the replication win survives
+/// on fabrics with per-pair links.
+#[must_use]
+pub fn topology_specs() -> [&'static str; 3] {
+    ["4c-ring1l64r", "4c-ring2l64r", "4c-xbar1l64r"]
+}
+
 #[cfg(test)]
 mod tests {
     use crate::MachineConfig;
@@ -58,9 +69,20 @@ mod tests {
             .chain(super::fig1_specs())
             .chain(super::fig8_specs())
             .chain(super::fig10_specs())
-            .chain(super::register_sweep_specs());
+            .chain(super::register_sweep_specs())
+            .chain(super::topology_specs());
         for spec in all {
             assert_eq!(MachineConfig::from_spec(spec).unwrap().spec(), spec);
+        }
+    }
+
+    #[test]
+    fn topology_specs_are_point_to_point() {
+        for spec in super::topology_specs() {
+            let m = MachineConfig::from_spec(spec).unwrap();
+            assert!(!m.interconnect().is_shared_bus(), "{spec}");
+            assert!(m.links() > 0, "{spec}");
+            assert_eq!(m.issue_width(), 12, "{spec}");
         }
     }
 

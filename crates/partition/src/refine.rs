@@ -140,7 +140,7 @@ pub fn score_partition_scratch(
         analysis,
         &mut scratch.pseudo,
     );
-    let bus_overflow = ps.ncoms.saturating_sub(machine.bus_coms_per_ii(ii));
+    let bus_overflow = ps.ncoms.saturating_sub(machine.coms_capacity_per_ii(ii));
     let totals = scratch.pseudo.usage.iter().map(|u| u.iter().sum());
     let (min, max) = totals.fold((u32::MAX, 0u32), |(lo, hi), t: u32| (lo.min(t), hi.max(t)));
     let imbalance = max - min.min(max);
@@ -305,7 +305,7 @@ fn refine_level(
     scratch: &mut RefineScratch,
 ) -> Partition {
     let groups = level.groups();
-    let bus_cap = machine.bus_coms_per_ii(ii);
+    let bus_cap = machine.coms_capacity_per_ii(ii);
     let mut best_score = score_partition_scratch(ddg, &part, machine, ii, analysis, scratch);
     // The cheap-delta base state of the *current* partition: instance
     // census and communication count, refreshed after every accepted move.

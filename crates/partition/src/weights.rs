@@ -75,7 +75,10 @@ fn weights_core(
     nontrivial: &[bool],
     lat: impl Fn(&Edge) -> u32,
 ) -> Vec<u64> {
-    let bus = u64::from(machine.bus_latency());
+    // The conservative scalar communication cost: the worst transfer
+    // latency any cluster pair can pay (= the bus latency on shared-bus
+    // machines, so the paper configurations score identically).
+    let bus = u64::from(machine.max_transfer_latency());
     ddg.edges()
         .map(|e| {
             if !e.is_data() {

@@ -64,13 +64,13 @@ impl LoopAnalysis {
         let edge_lat: Vec<u32> = ddg.edges().map(|e| node_lat[e.src.index()]).collect();
         let lat = |e: &Edge| node_lat[e.src.index()];
 
-        let (depth, height) = depth_height(ddg, &lat);
+        let (depth, height) = depth_height(ddg, lat);
         let comps = sccs(ddg);
         let scc_of = scc_of_node(ddg);
         let scc_recurrent: Vec<bool> = comps.iter().map(|c| is_recurrent_comp(ddg, c)).collect();
-        let scc_rec_mii = comp_rec_miis(ddg, &comps, &lat);
+        let scc_rec_mii = comp_rec_miis(ddg, &comps, lat);
 
-        let rec = rec_mii(ddg, &lat);
+        let rec = rec_mii(ddg, lat);
         let res = res_mii_unclustered(ddg, machine);
         let order = sms_order_parts(ddg, &depth, &height, &comps, &scc_rec_mii);
 
@@ -216,7 +216,7 @@ mod tests {
         assert_eq!(a.rec_mii(), cvliw_ddg::rec_mii(&ddg, m.edge_latency(&ddg)));
         assert_eq!(a.count_by_class(), &ddg.count_by_class());
         let lat = m.edge_latency(&ddg);
-        let expect: Vec<u32> = ddg.edges().map(|e| lat(e)).collect();
+        let expect: Vec<u32> = ddg.edges().map(&lat).collect();
         assert_eq!(a.edge_lat(), expect.as_slice());
         let (depth, height) = cvliw_ddg::depth_height(&ddg, &lat);
         assert_eq!(a.depth(), depth.as_slice());

@@ -193,14 +193,15 @@ pub enum VerifyError {
         /// Modulo slot with the conflict.
         slot: u32,
     },
-    /// Two copies overlap on the same bus.
+    /// Two copies overlap on the same interconnect link (a shared bus, or
+    /// a dedicated cluster-pair link on point-to-point fabrics).
     BusOversubscribed {
-        /// Bus index.
-        bus: u8,
+        /// Link index (bus index on shared-bus machines).
+        bus: u32,
         /// Modulo slot with the conflict.
         slot: u32,
     },
-    /// A copy was emitted for a machine without buses, or with an invalid
+    /// A copy was emitted for a machine without links, or with an invalid
     /// bus index.
     InvalidBus {
         /// The copied value.
@@ -243,7 +244,7 @@ impl fmt::Display for VerifyError {
                 )
             }
             VerifyError::BusOversubscribed { bus, slot } => {
-                write!(f, "bus {bus} oversubscribed at modulo slot {slot}")
+                write!(f, "link {bus} oversubscribed at modulo slot {slot}")
             }
             VerifyError::InvalidBus { value } => {
                 write!(f, "copy of {value} uses an invalid bus")

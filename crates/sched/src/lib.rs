@@ -70,7 +70,8 @@ pub use mii::{ii_part, mii, res_mii_assigned, res_mii_unclustered};
 pub use mrt::Mrt;
 pub use order::{neighbor_adjacency_ratio, sms_order};
 pub use pseudo::{
-    pseudo_schedule, pseudo_schedule_scratch, pseudo_schedule_with, PseudoSchedule, PseudoScratch,
+    comm_penalty, pseudo_schedule, pseudo_schedule_scratch, pseudo_schedule_with, PseudoSchedule,
+    PseudoScratch,
 };
 pub use regalloc::{
     allocate_registers, ClusterAllocation, OutOfRegisters, RegAssignment, RegisterAllocation,

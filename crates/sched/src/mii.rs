@@ -37,9 +37,11 @@ pub fn res_mii_assigned(ddg: &Ddg, assignment: &Assignment, machine: &MachineCon
     bound
 }
 
-/// The bus-induced lower bound of a partition (the paper's `IIpart`): the
-/// smallest II whose bus bandwidth carries all communications, or
-/// `u32::MAX` when the machine has no buses but communication is required.
+/// The interconnect-induced lower bound of a partition (the paper's
+/// `IIpart`, generalized to every [`cvliw_machine::Interconnect`]): the
+/// smallest II whose aggregate link bandwidth carries all communications,
+/// or `u32::MAX` when the machine has no links but communication is
+/// required.
 #[must_use]
 pub fn ii_part(ddg: &Ddg, assignment: &Assignment, machine: &MachineConfig) -> u32 {
     let ncoms = assignment.comm_count(ddg);

@@ -1,28 +1,37 @@
-//! Modulo reservation tables for functional units and register buses.
+//! Modulo reservation tables for functional units and interconnect links.
 
 use cvliw_ddg::OpClass;
-use cvliw_machine::MachineConfig;
+use cvliw_machine::{Interconnect, MachineConfig};
 
-/// Modulo reservation table tracking functional-unit and bus occupancy of a
-/// kernel with a given initiation interval.
+use crate::assign::ClusterSet;
+
+/// Modulo reservation table tracking functional-unit and interconnect-link
+/// occupancy of a kernel with a given initiation interval.
 ///
 /// Functional units are fully pipelined: an operation occupies one issue
-/// slot of its class in its cluster at `cycle mod II`. Buses are **not**
+/// slot of its class in its cluster at `cycle mod II`. Links are **not**
 /// pipelined (§3 of the paper: `bus_coms = floor(II/bus_lat)·nof_buses`): a
-/// copy occupies one bus for `bus_lat` consecutive modulo slots.
+/// copy occupies its link(s) for the transfer's occupancy in consecutive
+/// modulo slots. On the paper's shared buses every copy takes any one bus
+/// row; on point-to-point fabrics a copy books the dedicated `src → dst`
+/// link of every destination it reaches, each with its own per-pair
+/// occupancy.
 #[derive(Clone, Debug)]
 pub struct Mrt {
     ii: u32,
-    /// Cycles one transfer occupies its bus (1 on pipelined-bus machines).
-    bus_latency: u32,
+    clusters: u8,
+    interconnect: Interconnect,
     /// `fu[(cluster·3 + class)·slots + slot]` = issued ops; flat so a
     /// [`Mrt::reset`] between scheduling attempts touches one allocation.
     fu: Vec<u8>,
     /// `fu_capacity[cluster][class]` — per cluster, so heterogeneous
     /// machines (§2.1 extension) are handled natively.
     fu_capacity: Vec<[u8; 3]>,
-    /// `bus[bus·slots + slot]` = busy flag.
-    bus: Vec<bool>,
+    /// Per-link transfer occupancy in cycles (uniform on shared buses,
+    /// per-pair on point-to-point fabrics).
+    link_occ: Vec<u32>,
+    /// `links[link·slots + slot]` = busy flag.
+    links: Vec<bool>,
 }
 
 impl Mrt {
@@ -33,10 +42,16 @@ impl Mrt {
     pub(crate) fn unset() -> Self {
         Mrt {
             ii: 0,
-            bus_latency: 0,
+            clusters: 0,
+            interconnect: Interconnect::SharedBus {
+                buses: 0,
+                latency: 0,
+                pipelined: false,
+            },
             fu: Vec::new(),
             fu_capacity: Vec::new(),
-            bus: Vec::new(),
+            link_occ: Vec::new(),
+            links: Vec::new(),
         }
     }
 
@@ -63,7 +78,8 @@ impl Mrt {
         assert!(ii > 0, "initiation interval must be positive");
         let slots = ii as usize;
         self.ii = ii;
-        self.bus_latency = machine.bus_occupancy();
+        self.clusters = machine.clusters();
+        self.interconnect = machine.interconnect();
         self.fu.clear();
         self.fu.resize(machine.clusters() as usize * 3 * slots, 0);
         self.fu_capacity.clear();
@@ -74,8 +90,18 @@ impl Mrt {
                 machine.fu_count_in(c, OpClass::Mem),
             ]
         }));
-        self.bus.clear();
-        self.bus.resize(machine.buses() as usize * slots, false);
+        let n_links = machine.links() as usize;
+        self.link_occ.clear();
+        if self.interconnect.is_shared_bus() {
+            self.link_occ.resize(n_links, machine.bus_occupancy());
+        } else {
+            self.link_occ.extend((0..n_links as u32).map(|l| {
+                let (s, d) = self.interconnect.link_pair(self.clusters, l);
+                machine.link_occupancy(s, d)
+            }));
+        }
+        self.links.clear();
+        self.links.resize(n_links * slots, false);
     }
 
     /// Flat index of `(cluster, class, slot)` in the unit table.
@@ -128,51 +154,89 @@ impl Mrt {
         *v -= 1;
     }
 
-    /// Finds a bus able to carry a copy issued at `cycle` (occupying
-    /// `bus_lat` consecutive modulo slots), if any.
-    #[must_use]
-    pub fn bus_available(&self, cycle: i64) -> Option<u8> {
-        if self.bus_latency > self.ii {
-            return None; // a transfer cannot even fit inside the kernel
-        }
+    /// Whether one link is free for `occ` consecutive modulo slots from
+    /// `cycle`.
+    fn link_free(&self, link: usize, occ: u32, cycle: i64) -> bool {
         let slots = self.ii as usize;
-        'bus: for (b, busy) in self.bus.chunks_exact(slots).enumerate() {
-            for k in 0..self.bus_latency {
-                if busy[self.slot(cycle + i64::from(k))] {
-                    continue 'bus;
-                }
-            }
-            return Some(b as u8);
-        }
-        None
+        let row = &self.links[link * slots..(link + 1) * slots];
+        (0..occ).all(|k| !row[self.slot(cycle + i64::from(k))])
     }
 
-    /// Reserves `bus` for a copy issued at `cycle`.
+    /// Books one link for `occ` consecutive modulo slots from `cycle`.
+    fn book_link(&mut self, link: usize, occ: u32, cycle: i64) {
+        let slots = self.ii as usize;
+        for k in 0..occ {
+            let slot = link * slots + self.slot(cycle + i64::from(k));
+            assert!(!self.links[slot], "link oversubscribed");
+            self.links[slot] = true;
+        }
+    }
+
+    /// Finds the fabric resource able to carry a copy issued at `cycle`
+    /// from `source` to every cluster in `dests`, if any: the index of a
+    /// free shared bus, or `0` on a point-to-point fabric when the
+    /// dedicated `source → dest` link of **every** destination is free for
+    /// its per-pair occupancy. Shared buses broadcast, so `source`/`dests`
+    /// are ignored there.
+    #[must_use]
+    pub fn copy_available(&self, source: u8, dests: ClusterSet, cycle: i64) -> Option<u8> {
+        if self.interconnect.is_shared_bus() {
+            let occ = self.link_occ.first().copied().unwrap_or(0);
+            if occ > self.ii {
+                return None; // a transfer cannot even fit inside the kernel
+            }
+            (0..self.link_occ.len())
+                .find(|&b| self.link_free(b, occ, cycle))
+                .map(|b| b as u8)
+        } else {
+            if self.links.is_empty() {
+                return None;
+            }
+            debug_assert!(!dests.is_empty(), "a copy must reach some cluster");
+            for d in dests.iter() {
+                let link = self.interconnect.link_of(self.clusters, source, d) as usize;
+                let occ = self.link_occ[link];
+                if occ > self.ii || !self.link_free(link, occ, cycle) {
+                    return None;
+                }
+            }
+            Some(0)
+        }
+    }
+
+    /// Reserves the fabric for a copy issued at `cycle`: shared bus `bus`
+    /// (as returned by [`Mrt::copy_available`]), or the per-destination
+    /// links of a point-to-point fabric.
     ///
     /// # Panics
     ///
-    /// Panics if any of the occupied slots is already busy.
-    pub fn place_copy(&mut self, bus: u8, cycle: i64) {
-        for k in 0..self.bus_latency {
-            let slot = bus as usize * self.ii as usize + self.slot(cycle + i64::from(k));
-            assert!(!self.bus[slot], "bus oversubscribed");
-            self.bus[slot] = true;
+    /// Panics if any occupied slot is already busy.
+    pub fn place_copy(&mut self, source: u8, dests: ClusterSet, bus: u8, cycle: i64) {
+        if self.interconnect.is_shared_bus() {
+            let occ = self.link_occ.first().copied().unwrap_or(0);
+            self.book_link(bus as usize, occ, cycle);
+        } else {
+            for d in dests.iter() {
+                let link = self.interconnect.link_of(self.clusters, source, d) as usize;
+                self.book_link(link, self.link_occ[link], cycle);
+            }
         }
     }
 
-    /// Number of copies that could still be placed if issued back to back
-    /// (diagnostic; used in tests).
+    /// Number of transfers that could still be placed if issued back to
+    /// back (diagnostic; used in tests).
     #[must_use]
-    pub fn free_bus_transfers(&self) -> u32 {
-        if self.bus_latency == 0 || self.bus_latency > self.ii {
-            return 0;
-        }
-        let per_bus = self.ii / self.bus_latency;
-        self.bus
-            .chunks_exact(self.ii as usize)
-            .map(|busy| {
+    pub fn free_link_transfers(&self) -> u32 {
+        let slots = self.ii as usize;
+        self.links
+            .chunks_exact(slots.max(1))
+            .zip(&self.link_occ)
+            .map(|(busy, &occ)| {
+                if occ == 0 || occ > self.ii {
+                    return 0;
+                }
                 let used = busy.iter().filter(|&&b| b).count() as u32;
-                per_bus.saturating_sub(used.div_ceil(self.bus_latency))
+                (self.ii / occ).saturating_sub(used.div_ceil(occ))
             })
             .sum()
     }
@@ -185,6 +249,11 @@ mod tests {
 
     fn machine(spec: &str) -> MachineConfig {
         MachineConfig::from_spec(spec).unwrap()
+    }
+
+    /// Shorthand: a copy from cluster 0 to cluster 1.
+    fn to1() -> ClusterSet {
+        ClusterSet::single(1)
     }
 
     #[test]
@@ -236,15 +305,15 @@ mod tests {
         // 1 bus, 2-cycle latency, II=4 → capacity 2 transfers.
         let m = machine("2c1b2l64r");
         let mut mrt = Mrt::new(&m, 4);
-        let b = mrt.bus_available(0).unwrap();
-        mrt.place_copy(b, 0); // occupies slots 0,1
-        assert!(mrt.bus_available(0).is_none());
-        assert!(mrt.bus_available(1).is_none()); // would need slots 1,2
-        let b2 = mrt.bus_available(2).unwrap(); // slots 2,3 free
-        mrt.place_copy(b2, 2);
-        assert!(mrt.bus_available(2).is_none());
+        let b = mrt.copy_available(0, to1(), 0).unwrap();
+        mrt.place_copy(0, to1(), b, 0); // occupies slots 0,1
+        assert!(mrt.copy_available(0, to1(), 0).is_none());
+        assert!(mrt.copy_available(0, to1(), 1).is_none()); // would need slots 1,2
+        let b2 = mrt.copy_available(0, to1(), 2).unwrap(); // slots 2,3 free
+        mrt.place_copy(0, to1(), b2, 2);
+        assert!(mrt.copy_available(0, to1(), 2).is_none());
         for t in 0..4 {
-            assert!(mrt.bus_available(t).is_none());
+            assert!(mrt.copy_available(0, to1(), t).is_none());
         }
     }
 
@@ -252,29 +321,29 @@ mod tests {
     fn multiple_buses() {
         let m = machine("4c2b4l64r");
         let mut mrt = Mrt::new(&m, 4);
-        let b0 = mrt.bus_available(0).unwrap();
-        mrt.place_copy(b0, 0);
-        let b1 = mrt.bus_available(0).unwrap();
+        let b0 = mrt.copy_available(0, to1(), 0).unwrap();
+        mrt.place_copy(0, to1(), b0, 0);
+        let b1 = mrt.copy_available(0, to1(), 0).unwrap();
         assert_ne!(b0, b1);
-        mrt.place_copy(b1, 0);
-        assert!(mrt.bus_available(0).is_none());
+        mrt.place_copy(0, to1(), b1, 0);
+        assert!(mrt.copy_available(0, to1(), 0).is_none());
     }
 
     #[test]
     fn bus_latency_longer_than_ii_is_impossible() {
         let m = machine("4c2b4l64r"); // 4-cycle bus
         let mrt = Mrt::new(&m, 3);
-        assert!(mrt.bus_available(0).is_none());
+        assert!(mrt.copy_available(0, to1(), 0).is_none());
     }
 
     #[test]
     fn bus_wraps_modulo_ii() {
         let m = machine("2c1b2l64r"); // 2-cycle bus
         let mut mrt = Mrt::new(&m, 3);
-        let b = mrt.bus_available(2).unwrap();
-        mrt.place_copy(b, 2); // occupies slots 2 and 0
-        assert!(mrt.bus_available(0).is_none()); // needs 0,1 but 0 busy
-        assert!(mrt.bus_available(1).is_none()); // needs 1,2 but 2 busy
+        let b = mrt.copy_available(0, to1(), 2).unwrap();
+        mrt.place_copy(0, to1(), b, 2); // occupies slots 2 and 0
+        assert!(mrt.copy_available(0, to1(), 0).is_none()); // needs 0,1 but 0 busy
+        assert!(mrt.copy_available(0, to1(), 1).is_none()); // needs 1,2 but 2 busy
     }
 
     #[test]
@@ -284,17 +353,87 @@ mod tests {
         let m = machine("2c1b2l64r").with_pipelined_buses();
         let mut mrt = Mrt::new(&m, 4);
         for t in 0..4 {
-            let b = mrt.bus_available(t).expect("slot free at cycle {t}");
-            mrt.place_copy(b, t);
+            let b = mrt
+                .copy_available(0, to1(), t)
+                .expect("slot free at cycle {t}");
+            mrt.place_copy(0, to1(), b, t);
         }
-        assert!(mrt.bus_available(0).is_none(), "kernel now full");
+        assert!(mrt.copy_available(0, to1(), 0).is_none(), "kernel now full");
     }
 
     #[test]
-    fn unified_machine_has_no_buses() {
+    fn unified_machine_has_no_links() {
         let m = MachineConfig::unified(256);
         let mrt = Mrt::new(&m, 10);
-        assert!(mrt.bus_available(0).is_none());
-        assert_eq!(mrt.free_bus_transfers(), 0);
+        assert!(mrt.copy_available(0, to1(), 0).is_none());
+        assert_eq!(mrt.free_link_transfers(), 0);
+    }
+
+    #[test]
+    fn ptp_links_are_pair_dedicated() {
+        // 4-cluster crossbar, 1-cycle links at II=1: every ordered pair
+        // has its own link, so transfers to different destinations never
+        // contend while same-pair transfers do.
+        let m = machine("4c-xbar1l64r");
+        let mut mrt = Mrt::new(&m, 1);
+        mrt.place_copy(0, ClusterSet::single(1), 0, 0);
+        assert!(mrt.copy_available(0, ClusterSet::single(1), 0).is_none());
+        assert!(mrt.copy_available(0, ClusterSet::single(2), 0).is_some());
+        assert!(mrt.copy_available(1, ClusterSet::single(0), 0).is_some());
+    }
+
+    #[test]
+    fn ptp_broadcast_books_every_destination_link() {
+        let m = machine("4c-xbar1l64r");
+        let mut mrt = Mrt::new(&m, 1);
+        let dests = {
+            let mut s = ClusterSet::single(1);
+            s.insert(2);
+            s
+        };
+        mrt.place_copy(0, dests, 0, 0);
+        assert!(mrt.copy_available(0, ClusterSet::single(1), 0).is_none());
+        assert!(mrt.copy_available(0, ClusterSet::single(2), 0).is_none());
+        assert!(mrt.copy_available(0, ClusterSet::single(3), 0).is_some());
+    }
+
+    #[test]
+    fn ring_occupancy_scales_with_distance() {
+        // 4-cluster ring, 1-cycle hops: 0→2 is two hops, occupying its
+        // link for 2 cycles; at II=2 only one such transfer fits.
+        let m = machine("4c-ring1l64r");
+        let mut mrt = Mrt::new(&m, 2);
+        let far = ClusterSet::single(2);
+        assert!(mrt.copy_available(0, far, 0).is_some());
+        mrt.place_copy(0, far, 0, 0);
+        assert!(mrt.copy_available(0, far, 0).is_none());
+        assert!(mrt.copy_available(0, far, 1).is_none());
+        // Neighbouring transfers (1-cycle occupancy) still fit twice.
+        let near = ClusterSet::single(1);
+        mrt.place_copy(0, near, 0, 0);
+        mrt.place_copy(0, near, 0, 1);
+        assert!(mrt.copy_available(0, near, 0).is_none());
+    }
+
+    #[test]
+    fn ring_transfer_longer_than_ii_is_impossible() {
+        // 4-cluster ring with 2-cycle hops: 0→2 occupies 4 cycles.
+        let m = machine("4c-ring2l64r");
+        let mrt = Mrt::new(&m, 3);
+        assert!(mrt.copy_available(0, ClusterSet::single(2), 0).is_none());
+        assert!(mrt.copy_available(0, ClusterSet::single(1), 0).is_some());
+    }
+
+    #[test]
+    fn free_link_transfers_counts_per_link_slots() {
+        let m = machine("2c1b2l64r"); // 1 bus, occ 2, II=4 → 2 transfers
+        let mut mrt = Mrt::new(&m, 4);
+        assert_eq!(mrt.free_link_transfers(), 2);
+        mrt.place_copy(0, to1(), 0, 0);
+        assert_eq!(mrt.free_link_transfers(), 1);
+
+        let x = machine("4c-xbar1l64r"); // 12 links, occ 1, II=2
+        let mrt = Mrt::new(&x, 2);
+        assert_eq!(mrt.free_link_transfers(), 24);
     }
 }

@@ -30,9 +30,9 @@ pub fn sms_order(ddg: &Ddg, machine: &MachineConfig) -> Vec<NodeId> {
         .map(|n| machine.latency(ddg.kind(n)))
         .collect();
     let lat = |e: &Edge| node_lat[e.src.index()];
-    let (depth, height) = depth_height(ddg, &lat);
+    let (depth, height) = depth_height(ddg, lat);
     let comps = sccs(ddg);
-    let comp_rec_mii = comp_rec_miis(ddg, &comps, &lat);
+    let comp_rec_mii = comp_rec_miis(ddg, &comps, lat);
     sms_order_parts(ddg, &depth, &height, &comps, &comp_rec_mii)
 }
 

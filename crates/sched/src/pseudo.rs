@@ -10,8 +10,34 @@
 use cvliw_ddg::{asap_times_into, time_bounds, Ddg, OpClass};
 use cvliw_machine::MachineConfig;
 
-use crate::assign::Assignment;
+use crate::assign::{Assignment, ClusterSet};
 use crate::cache::LoopAnalysis;
+
+/// The communication penalty a cross-cluster data edge pays: the uniform
+/// transfer latency where the fabric has one (shared buses, crossbars),
+/// otherwise the worst per-pair latency from the value's copy source to
+/// the consumer clusters still missing it. `missing` must be non-empty;
+/// `uniform` is [`MachineConfig::uniform_transfer_latency`], hoisted by
+/// the caller so per-edge evaluation stays allocation-free.
+pub fn comm_penalty(
+    machine: &MachineConfig,
+    assignment: &Assignment,
+    src: cvliw_ddg::NodeId,
+    missing: ClusterSet,
+    uniform: Option<u32>,
+) -> u32 {
+    match uniform {
+        Some(lat) => lat,
+        None => {
+            let from = assignment.copy_source(src);
+            missing
+                .iter()
+                .map(|c| machine.transfer_latency(from, c))
+                .max()
+                .unwrap_or(0)
+        }
+    }
+}
 
 /// Reusable buffers for [`pseudo_schedule_scratch`]: the per-edge
 /// communication-adjusted latency vector, the ASAP issue times, the
@@ -105,7 +131,7 @@ pub fn pseudo_schedule_scratch(
     scratch: &mut PseudoScratch,
 ) -> PseudoSchedule {
     let ncoms = assignment.comm_count(ddg);
-    let bus_ok = ncoms <= machine.bus_coms_per_ii(ii);
+    let bus_ok = ncoms <= machine.coms_capacity_per_ii(ii);
 
     assignment.class_usage_into(ddg, machine.clusters(), &mut scratch.usage);
     let mut cap_overflow = 0u32;
@@ -119,19 +145,21 @@ pub fn pseudo_schedule_scratch(
     // Communication-adjusted per-edge latencies, from the cached base
     // vector (aligned with `ddg.edges()`).
     let base = analysis.edge_lat();
+    let uniform = machine.uniform_transfer_latency();
     scratch.edge_lat.clear();
     scratch
         .edge_lat
         .extend(ddg.edges().zip(base).map(|(e, &lat)| {
-            if e.is_data()
-                && !assignment
-                    .instances(e.dst)
-                    .difference(assignment.instances(e.src))
-                    .is_empty()
-            {
-                lat + machine.bus_latency()
-            } else {
+            if !e.is_data() {
+                return lat;
+            }
+            let missing = assignment
+                .instances(e.dst)
+                .difference(assignment.instances(e.src));
+            if missing.is_empty() {
                 lat
+            } else {
+                lat + comm_penalty(machine, assignment, e.src, missing, uniform)
             }
         }));
 
@@ -191,7 +219,7 @@ fn pseudo_schedule_core(
     base_lat: impl Fn(cvliw_ddg::NodeId) -> u32,
 ) -> PseudoSchedule {
     let ncoms = assignment.comm_count(ddg);
-    let bus_ok = ncoms <= machine.bus_coms_per_ii(ii);
+    let bus_ok = ncoms <= machine.coms_capacity_per_ii(ii);
 
     // Capacity: every (cluster, class) must fit its instances in units·II.
     let usage = assignment.class_usage(ddg, machine.clusters());
@@ -204,18 +232,20 @@ fn pseudo_schedule_core(
     }
 
     // Critical path with communication latencies: a data edge whose
-    // consumer lives in a cluster without the producer pays the bus.
+    // consumer lives in a cluster without the producer pays the transfer.
+    let uniform = machine.uniform_transfer_latency();
     let lat = |e: &cvliw_ddg::Edge| {
         let base = base_lat(e.src);
-        if e.is_data()
-            && !assignment
-                .instances(e.dst)
-                .difference(assignment.instances(e.src))
-                .is_empty()
-        {
-            base + machine.bus_latency()
-        } else {
+        if !e.is_data() {
+            return base;
+        }
+        let missing = assignment
+            .instances(e.dst)
+            .difference(assignment.instances(e.src));
+        if missing.is_empty() {
             base
+        } else {
+            base + comm_penalty(machine, assignment, e.src, missing, uniform)
         }
     };
     let (recurrences_ok, est_length, asap) = match time_bounds(ddg, ii, lat) {

@@ -28,7 +28,9 @@ pub enum SchedOp {
 pub struct CopyPlacement {
     /// Issue cycle (absolute, within the flat one-iteration schedule).
     pub cycle: i64,
-    /// Bus carrying the transfer.
+    /// Shared bus carrying the transfer; `0` on point-to-point fabrics,
+    /// whose links are determined by `(source, destination)` pairs instead
+    /// of chosen.
     pub bus: u8,
     /// Cluster whose instance the copy reads.
     pub source: u8,
@@ -161,10 +163,15 @@ impl Schedule {
     /// pressure above the file size.
     pub fn verify(&self, ddg: &Ddg, machine: &MachineConfig) -> Result<(), VerifyError> {
         let ii = i64::from(self.ii);
-        let bus_dep_lat = if self.zero_bus_dep_latency {
-            0
-        } else {
-            i64::from(machine.bus_latency())
+        // The latency a consumer in `cluster` waits on a copy's delivery:
+        // pair-dependent on point-to-point fabrics, the bus latency on the
+        // paper's shared buses, zero under the §5.1 relaxation.
+        let copy_dep_lat = |copy: &CopyPlacement, cluster: u8| -> i64 {
+            if self.zero_bus_dep_latency {
+                0
+            } else {
+                i64::from(machine.transfer_latency(copy.source, cluster))
+            }
         };
 
         // Instances present, stores unique.
@@ -178,12 +185,21 @@ impl Schedule {
             }
         }
 
-        // Copy sources exist.
+        // Copy sources exist and the fabric can carry them.
         for (&value, copy) in &self.copies {
             if !self.instance_clusters(value).contains(copy.source) {
                 return Err(VerifyError::CopyWithoutSource { value });
             }
-            if machine.buses() == 0 || copy.bus >= machine.buses() {
+            let valid_resource = match machine.interconnect() {
+                cvliw_machine::Interconnect::SharedBus { buses, .. } => copy.bus < buses,
+                // Point-to-point links are pair-addressed, not chosen: the
+                // fabric must exist and the bus field must be the
+                // documented placeholder 0.
+                cvliw_machine::Interconnect::PointToPoint { .. } => {
+                    machine.links() > 0 && copy.bus == 0
+                }
+            };
+            if !valid_resource {
                 return Err(VerifyError::InvalidBus { value });
             }
             let t_src = self.instances[&(value, copy.source)];
@@ -237,7 +253,7 @@ impl Schedule {
                                     cluster: c,
                                 });
                             };
-                            if t_dst + dist < copy.cycle + bus_dep_lat {
+                            if t_dst + dist < copy.cycle + copy_dep_lat(copy, c) {
                                 return Err(VerifyError::LatencyViolated {
                                     src: e.src,
                                     dst: e.dst,
@@ -268,21 +284,48 @@ impl Schedule {
             }
         }
 
-        // Buses: a copy occupies its bus for the machine's per-transfer
-        // occupancy (= latency on the paper's unpipelined buses, 1 cycle
-        // on the pipelined variant). Same flat-table treatment.
-        let mut bus = vec![false; machine.buses() as usize * slots];
-        for copy in self.copies.values() {
-            for k in 0..machine.bus_occupancy() {
-                let slot = (copy.cycle + i64::from(k)).rem_euclid(ii) as usize;
-                let cell = &mut bus[copy.bus as usize * slots + slot];
+        // Interconnect links: a copy occupies its link(s) for the
+        // transfer's occupancy (= latency on the paper's unpipelined
+        // buses, 1 cycle on the pipelined variant, the per-pair occupancy
+        // on point-to-point fabrics, where a broadcast books the dedicated
+        // link of every destination). Same flat-table treatment as the
+        // functional units.
+        let mut link_table = vec![false; machine.links() as usize * slots];
+        let mut book = |link: u32, occ: u32, cycle: i64| -> Result<(), VerifyError> {
+            for k in 0..occ {
+                let slot = (cycle + i64::from(k)).rem_euclid(ii) as usize;
+                let cell = &mut link_table[link as usize * slots + slot];
                 if *cell {
                     return Err(VerifyError::BusOversubscribed {
-                        bus: copy.bus,
+                        bus: link,
                         slot: slot as u32,
                     });
                 }
                 *cell = true;
+            }
+            Ok(())
+        };
+        for (&value, copy) in &self.copies {
+            if machine.interconnect().is_shared_bus() {
+                book(u32::from(copy.bus), machine.bus_occupancy(), copy.cycle)?;
+            } else {
+                // Destinations: every consumer cluster without an instance
+                // of the value.
+                let mut dests = ClusterSet::empty();
+                let sources = self.instance_clusters(value);
+                for e in ddg.out_edges(value) {
+                    if !e.is_data() {
+                        continue;
+                    }
+                    dests = dests.union(self.instance_clusters(e.dst).difference(sources));
+                }
+                for d in dests.iter() {
+                    book(
+                        machine.link_of(copy.source, d),
+                        machine.link_occupancy(copy.source, d),
+                        copy.cycle,
+                    )?;
+                }
             }
         }
 
@@ -504,12 +547,6 @@ fn build_arena(req: &ScheduleRequest<'_>, node_order: &[NodeId], scratch: &mut S
     let n_ops = arena.ops.len();
     arena.reset_arcs(n_ops);
 
-    let bus_dep_lat = if req.zero_bus_dep_latency {
-        0
-    } else {
-        i64::from(machine.bus_latency())
-    };
-
     for e in ddg.edges() {
         let lat = i64::from(machine.latency(ddg.kind(e.src)));
         let dist = i64::from(e.distance);
@@ -532,7 +569,15 @@ fn build_arena(req: &ScheduleRequest<'_>, node_order: &[NodeId], scratch: &mut S
                     } else {
                         debug_assert!(is_com(e.src), "missing value must be communicated");
                         let from = arena.copy(e.src);
-                        arena.arc(from, to, bus_dep_lat, dist);
+                        // Delivery latency of the copy into this consumer's
+                        // cluster: pair-dependent on point-to-point
+                        // fabrics, the flat bus latency on shared buses.
+                        let dep_lat = if req.zero_bus_dep_latency {
+                            0
+                        } else {
+                            i64::from(machine.transfer_latency(copy_source(asg, e.src), c))
+                        };
+                        arena.arc(from, to, dep_lat, dist);
                     }
                 }
             }
@@ -638,11 +683,13 @@ fn schedule_ordered_scratch(
     let ii = req.ii;
     assert!(ii > 0, "initiation interval must be positive");
 
-    // Bus bandwidth check (IIpart ≤ II in the paper's driver).
+    // Aggregate bandwidth check (IIpart ≤ II in the paper's driver):
+    // exact on shared buses; a sound necessary condition on point-to-point
+    // fabrics, where each copy books at least one link slot.
     req.assignment
         .communicated_into(req.ddg, &mut scratch.communicated);
     let needed = scratch.communicated.len() as u32;
-    let capacity = machine.bus_coms_per_ii(ii);
+    let capacity = machine.coms_capacity_per_ii(ii);
     if needed > capacity {
         return Err(ScheduleError::Bus { needed, capacity });
     }
@@ -663,8 +710,21 @@ fn schedule_ordered_scratch(
     let bus_of = &mut scratch.bus_of;
     let ii_i = i64::from(ii);
 
+    // Whether the fabric needs (source, destinations) per copy: shared
+    // buses broadcast from any source, point-to-point links are
+    // pair-addressed.
+    let pair_addressed = !machine.interconnect().is_shared_bus();
+
     for id in 0..n_ops {
         let op = arena.ops[id];
+        // The copy's routing, resolved once per operation (not per slot).
+        let (copy_src, copy_dests) = match op {
+            SchedOp::Copy(n) if pair_addressed => (
+                copy_source(req.assignment, n),
+                req.assignment.missing_consumer_clusters(req.ddg, n),
+            ),
+            _ => (0, ClusterSet::empty()),
+        };
         let mut estart: Option<i64> = None;
         let mut lstart: Option<i64> = None;
         // Whether the binding bound flows through a bus copy: a closed
@@ -722,8 +782,8 @@ fn schedule_ordered_scratch(
                     }
                 }
                 SchedOp::Copy(_) => {
-                    if let Some(bus) = mrt.bus_available(t) {
-                        mrt.place_copy(bus, t);
+                    if let Some(bus) = mrt.copy_available(copy_src, copy_dests, t) {
+                        mrt.place_copy(copy_src, copy_dests, bus, t);
                         placed[id] = t;
                         bus_of[id] = bus;
                         return true;
@@ -1035,6 +1095,107 @@ mod tests {
             bad.verify(&ddg, &m),
             Err(VerifyError::ValueUnavailable { .. })
         ));
+    }
+
+    /// The ISSUE-5 oversubscription property: on **every** topology
+    /// variant, double-booking one link in an otherwise valid schedule
+    /// must be caught by [`Schedule::verify`].
+    ///
+    /// Construction: `k` independent producer→consumer pairs all crossing
+    /// the same cluster pair `0 → 1`, scheduled at the first feasible II
+    /// (so every copy is legally placed), then tampered: the second copy
+    /// is re-timed onto the first copy's modulo slot and bus, and its
+    /// consumer pushed later by whole IIs (slot-invariant, so functional
+    /// units and every latency stay legal — the *only* remaining defect is
+    /// the double-booked link).
+    mod oversubscription {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn cross_pairs(k: usize) -> (Ddg, Assignment) {
+            let mut b = Ddg::builder();
+            let mut part = Vec::new();
+            for _ in 0..k {
+                let p = b.add_node(OpKind::IntAdd);
+                let c = b.add_node(OpKind::FpAdd);
+                b.data(p, c);
+                part.extend([0u8, 1u8]);
+            }
+            (b.build().unwrap(), Assignment::from_partition(&part))
+        }
+
+        fn first_feasible(ddg: &Ddg, m: &MachineConfig, asg: &Assignment) -> Schedule {
+            for ii in 1..=64 {
+                if let Ok(s) = schedule(&ScheduleRequest {
+                    ddg,
+                    machine: m,
+                    assignment: asg,
+                    ii,
+                    zero_bus_dep_latency: false,
+                }) {
+                    return s;
+                }
+            }
+            panic!("no feasible II up to 64");
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn verify_rejects_a_double_booked_link(
+                spec_idx in 0usize..6,
+                k in 2usize..=4,
+            ) {
+                let spec = [
+                    "2c1b2l64r",
+                    "4c2b4l64r",
+                    "4c-ring1l64r",
+                    "4c-ring2l64r",
+                    "4c-xbar1l64r",
+                    "2c-xbar2l64r",
+                ][spec_idx];
+                let m = MachineConfig::from_spec(spec).unwrap();
+                let (ddg, asg) = cross_pairs(k);
+                let sched = first_feasible(&ddg, &m, &asg);
+                prop_assert_eq!(sched.copy_count(), k as u32);
+                sched.verify(&ddg, &m).expect("pristine schedule verifies");
+
+                let ii = i64::from(sched.ii());
+                let values: Vec<NodeId> = sched.copies.keys().copied().collect();
+                let (v1, v2) = (values[0], values[1]);
+                let c1 = sched.copies[&v1];
+                let c2 = sched.copies[&v2];
+
+                let mut bad = sched.clone();
+                // Re-time copy 2 onto copy 1's modulo slot (never earlier
+                // than its own legal cycle) and the same bus.
+                let delta = (c1.cycle - c2.cycle).rem_euclid(ii);
+                let tampered = bad.copies.get_mut(&v2).unwrap();
+                tampered.cycle = c2.cycle + delta;
+                tampered.bus = c1.bus;
+                // Push copy 2's consumer later by whole IIs so its read
+                // still follows the delivery (same modulo slot → same
+                // functional-unit booking).
+                let consumer = ddg
+                    .out_edges(v2)
+                    .find(|e| e.is_data())
+                    .map(|e| e.dst)
+                    .unwrap();
+                let t = bad.instances[&(consumer, 1)];
+                bad.instances.insert((consumer, 1), t + 2 * ii);
+                bad.length += u32::try_from(2 * ii).unwrap();
+
+                prop_assert!(
+                    matches!(
+                        bad.verify(&ddg, &m),
+                        Err(VerifyError::BusOversubscribed { .. })
+                    ),
+                    "{spec}: tampered schedule must fail with an oversubscribed link, got {:?}",
+                    bad.verify(&ddg, &m)
+                );
+            }
+        }
     }
 
     #[test]

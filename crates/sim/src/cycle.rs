@@ -118,7 +118,6 @@ pub fn simulate(
         return Err(SimError::RelaxedSchedule);
     }
     let ii = i64::from(schedule.ii());
-    let bus_lat = i64::from(machine.bus_latency());
     let reference = reference_values(ddg, iterations);
     let mut values_checked = 0u64;
 
@@ -175,7 +174,11 @@ pub fn simulate(
                                     cluster: c,
                                 });
                             };
-                            copy.cycle + src_iter * ii + bus_lat
+                            // Delivery into this consumer's cluster:
+                            // pair-dependent on point-to-point fabrics.
+                            copy.cycle
+                                + src_iter * ii
+                                + i64::from(machine.transfer_latency(copy.source, c))
                         };
                         values_checked += 1;
                         if ready > issue {

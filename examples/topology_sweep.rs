@@ -1,0 +1,77 @@
+//! Compile one communication-bound loop across bus, ring and crossbar
+//! variants of the same 4-cluster machine and print the replication win
+//! per topology.
+//!
+//! The interesting outcome is the *shape* of the table: on the paper's
+//! shared bus, replication buys back most of the communication-bound II;
+//! on a ring the win shrinks (per-pair links add bandwidth, long hops
+//! still cost latency); on a full crossbar it mostly vanishes — which is
+//! exactly the evidence that the paper's benefit is bus *contention*
+//! rather than transfer *latency*.
+//!
+//! Run with `cargo run --release --example topology_sweep [loop-name]`
+//! (default: the su2cor-style communication-bound loop below).
+
+use cvliw::machine::topology_specs;
+use cvliw::prelude::*;
+use cvliw::replicate::compile_loop as compile;
+
+/// A loop whose partition necessarily communicates: two shared integer
+/// address chains feeding eight coupled fp chains that end in stores, with
+/// cross-links between neighbouring chains so no clean per-cluster split
+/// exists (a denser variant of the shape the driver's unit tests use).
+fn comm_bound() -> Ddg {
+    let mut b = Ddg::builder();
+    let iv = b.add_labeled(OpKind::IntAdd, "iv");
+    b.data_dist(iv, iv, 1);
+    let base = b.add_labeled(OpKind::IntAdd, "base");
+    b.data(iv, base);
+    let mut prev_mul = None;
+    for _ in 0..8 {
+        let ld = b.add_node(OpKind::Load);
+        b.data(base, ld);
+        let m0 = b.add_node(OpKind::FpMul);
+        let a0 = b.add_node(OpKind::FpAdd);
+        b.data(ld, m0).data(m0, a0);
+        // Couple neighbouring chains: each fp add also reads the previous
+        // chain's product, so cutting anywhere costs a communication.
+        if let Some(p) = prev_mul {
+            b.data(p, a0);
+        }
+        prev_mul = Some(m0);
+        let st = b.add_node(OpKind::Store);
+        b.data(a0, st).data(base, st);
+    }
+    b.build().expect("well-formed loop")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ddg = comm_bound();
+    println!(
+        "loop: {} ops, {} deps\n",
+        ddg.node_count(),
+        ddg.edge_count()
+    );
+    println!(
+        "{:<14} {:<30} {:>8} {:>8} {:>8} {:>9} {:>8}",
+        "machine", "interconnect", "base II", "repl II", "+instrs", "coms", "win"
+    );
+    let specs = std::iter::once("4c1b2l64r").chain(topology_specs());
+    for spec in specs {
+        let machine = MachineConfig::from_spec(spec)?;
+        let base = compile(&ddg, &machine, &CompileOptions::baseline())?;
+        let repl = compile(&ddg, &machine, &CompileOptions::replicate())?;
+        repl.schedule.verify(&ddg, &machine)?;
+        let win = 100.0 * (f64::from(base.stats.ii) / f64::from(repl.stats.ii) - 1.0);
+        println!(
+            "{spec:<14} {:<30} {:>8} {:>8} {:>8} {:>4} → {:>2} {win:>7.1}%",
+            machine.interconnect().describe(machine.clusters()),
+            base.stats.ii,
+            repl.stats.ii,
+            repl.stats.replication.added_instances(),
+            repl.stats.partition_coms,
+            repl.stats.final_coms,
+        );
+    }
+    Ok(())
+}

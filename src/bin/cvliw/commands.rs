@@ -129,6 +129,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "print" => cmd_print(args),
         "dot" => cmd_dot(args),
         "mii" => cmd_mii(args),
+        "machines" => cmd_machines(args),
         "schedule" => cmd_schedule(args),
         "block" => cmd_block(args),
         "expand" => cmd_expand(args),
@@ -157,18 +158,23 @@ COMMANDS:
                            edges) and apply critical-path replication
     compare  <file.loop>   baseline vs replication (and §5 modes) side by side
     mii      <file.loop>   print the MII decomposition of each loop
+    machines               list every registered machine spec (paper grid +
+                           topology grid) with its interconnect and derived
+                           capacity numbers
     print    <file.loop>   parse and reprint in canonical form
     dot      <file.loop>   emit Graphviz DOT for the dependence graph
     suite                  run the 678-loop experiment grid in parallel
-                           (all paper machines × all modes by default)
+                           (paper machines + topology appendix × all modes
+                           by default)
     bench                  time suite compilation (warmup + median-of-N)
                            and write BENCH_compile.json
     help                   show this message
 
 OPTIONS:
-    --machine <spec>       machine config: wcxbylzr (e.g. 4c1b2l64r),
-                           `unified` (12-wide, no clusters), or the
-                           heterogeneous form het:INT.FP.MEM+...:xbylzr
+    --machine <spec>       machine config: wcxbylzr (e.g. 4c1b2l64r), a
+                           topology spec wc-<ring|xbar><y>l<z>r (e.g.
+                           4c-ring1l64r), `unified` (12-wide, no clusters),
+                           or the heterogeneous form het:INT.FP.MEM+...:xbylzr
                            (e.g. het:0.3.1+3.0.2:1b2l64r)
                            [required for schedule/compare/mii; for `suite`
                            it restricts the grid to one machine]
@@ -434,6 +440,58 @@ fn cmd_compare(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `cvliw machines`: the registered machine specs (the paper's Table-1
+/// grid plus the topology appendix grid) with their parsed interconnect,
+/// per-cluster unit mix and MII-relevant derived numbers.
+fn cmd_machines(args: &Args) -> Result<(), CliError> {
+    let _ = args;
+    println!(
+        "{:<14} {:>8} {:>13} {:>5} {:<28} {:>5} {:>9} {:>7} {:>7}",
+        "spec",
+        "clusters",
+        "int/fp/mem",
+        "regs",
+        "interconnect",
+        "links",
+        "lat",
+        "cap@8",
+        "IIpart4"
+    );
+    let specs = cvliw::machine::paper_specs()
+        .into_iter()
+        .chain(cvliw::machine::topology_specs());
+    for spec in specs {
+        let m = parse_machine(spec)?;
+        let fu = m.fu_counts();
+        let lat_min = m.bus_latency();
+        let lat_max = m.max_transfer_latency();
+        let lat = if lat_min == lat_max {
+            format!("{lat_min}")
+        } else {
+            format!("{lat_min}-{lat_max}")
+        };
+        // MII-relevant derived numbers: aggregate transfer capacity at a
+        // representative II of 8, and the smallest II whose bandwidth
+        // carries 4 communications (the `IIpart` floor of a 4-com loop).
+        let ii_part4 = m
+            .min_ii_for_coms(4)
+            .map_or("—".to_string(), |ii| ii.to_string());
+        println!(
+            "{:<14} {:>8} {:>13} {:>5} {:<28} {:>5} {:>9} {:>7} {:>7}",
+            m.spec(),
+            m.clusters(),
+            format!("{}/{}/{}", fu.int, fu.fp, fu.mem),
+            m.regs_per_cluster(),
+            m.interconnect().describe(m.clusters()),
+            m.links(),
+            lat,
+            m.coms_capacity_per_ii(8),
+            ii_part4,
+        );
+    }
+    Ok(())
+}
+
 /// Where the Markdown results book lives relative to the repository root.
 const RESULTS_BOOK: &str = "docs/RESULTS.md";
 
@@ -441,8 +499,11 @@ const RESULTS_BOOK: &str = "docs/RESULTS.md";
 const BENCH_BOOK: &str = "BENCH_compile.json";
 
 /// Builds the (possibly restricted) grid shared by `suite` and `bench`.
-fn grid_from_args(args: &Args) -> Result<SuiteGrid, CliError> {
-    let mut grid = SuiteGrid::paper();
+/// `suite` defaults to the paper grid plus the topology appendix; `bench`
+/// times the paper grid only, so the committed `BENCH_compile.json` keeps
+/// its shape (one row per paper machine × program pair).
+fn grid_from_args(args: &Args, base: SuiteGrid) -> Result<SuiteGrid, CliError> {
+    let mut grid = base;
     if let Some(spec) = args.get("machine") {
         parse_machine(spec)?; // report a spec error before the run starts
         grid = grid.with_specs(vec![spec.to_string()]);
@@ -466,7 +527,7 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
             ))));
         }
     }
-    let grid = grid_from_args(args)?;
+    let grid = grid_from_args(args, SuiteGrid::paper_with_topology())?;
     let jobs = args.get_num::<usize>("jobs")?.unwrap_or_else(default_jobs);
     let format = match args.get("format") {
         None => Format::Text,
@@ -518,7 +579,7 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
 /// `cvliw bench`: time suite compilation with warmup and median-of-N, write
 /// `BENCH_compile.json`, and optionally enforce a wall-clock budget.
 fn cmd_bench(args: &Args) -> Result<(), CliError> {
-    let grid = grid_from_args(args)?;
+    let grid = grid_from_args(args, SuiteGrid::paper())?;
     let jobs = args.get_num::<usize>("jobs")?.unwrap_or_else(default_jobs);
     let runs = args.get_num::<usize>("runs")?.unwrap_or(3);
     let warmup = args.get_num::<usize>("warmup")?.unwrap_or(1);

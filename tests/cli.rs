@@ -116,6 +116,57 @@ fn mii_prints_decomposition() {
 }
 
 #[test]
+fn machines_lists_paper_and_topology_grids() {
+    let out = cvliw(&["machines"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // Every paper machine and every topology machine, with its parsed
+    // interconnect and capacity-derived numbers.
+    for spec in [
+        "2c1b2l64r",
+        "4c4b4l64r",
+        "4c-ring1l64r",
+        "4c-ring2l64r",
+        "4c-xbar1l64r",
+    ] {
+        assert!(text.contains(spec), "missing {spec} in:\n{text}");
+    }
+    assert!(text.contains("shared bus"), "{text}");
+    assert!(text.contains("ring"), "{text}");
+    assert!(text.contains("crossbar"), "{text}");
+    assert!(text.contains("links"), "{text}");
+}
+
+#[test]
+fn schedule_accepts_topology_machines() {
+    for spec in ["4c-ring1l64r", "4c-xbar1l64r"] {
+        let out = cvliw(&["schedule", FIR, "--machine", spec]);
+        assert!(out.status.success(), "{spec}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("schedule verified OK"), "{spec}: {text}");
+        assert!(
+            text.contains("lockstep simulation (8 iterations) OK"),
+            "{spec}: {text}"
+        );
+    }
+}
+
+#[test]
+fn suite_restricted_to_a_topology_machine_runs() {
+    let out = cvliw(&[
+        "suite",
+        "--machine",
+        "4c-xbar1l64r",
+        "--mode",
+        "baseline",
+        "--max-loops",
+        "1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("tomcatv"));
+}
+
+#[test]
 fn print_emits_reparseable_text() {
     let out = cvliw(&["print", FIR]);
     assert!(out.status.success());

@@ -46,7 +46,7 @@ fn arb_loop() -> impl Strategy<Value = Ddg> {
                 let n = b.add_labeled(kind, format!("c{chain}_{k}"));
                 b.data(cur, n);
                 // Occasionally read another chain's producer too.
-                if coupling > 1 && next().is_multiple_of(u64::from(coupling)) {
+                if coupling > 1 && next() % u64::from(coupling) == 0 {
                     let extra = producers[next() as usize % producers.len()];
                     b.data(extra, n);
                 }
@@ -54,7 +54,7 @@ fn arb_loop() -> impl Strategy<Value = Ddg> {
                 cur = n;
             }
             // Half the chains accumulate (loop-carried self dependence).
-            if next().is_multiple_of(2) {
+            if next() % 2 == 0 {
                 b.data_dist(cur, cur, 1);
             }
             let st = b.add_labeled(OpKind::Store, format!("s{chain}"));

@@ -1,0 +1,170 @@
+//! Property-based pinning of the interconnect refactor.
+//!
+//! PR 5 lifted the shared-bus arithmetic that used to live inline in ten
+//! files (`bus_coms = ⌊II/bus_lat⌋·nof_buses` and its inverse, §3 of the
+//! paper) into the [`cvliw::machine::Interconnect`] abstraction. These
+//! properties pin the new methods against the **old closed forms written
+//! out literally**, on random shared-bus machines — the observational
+//! purity argument for every downstream consumer — and check the
+//! capacity/inverse contract on the new point-to-point fabrics.
+
+use cvliw::machine::{FuCounts, Interconnect, LatencyTable, MachineConfig, PtpShape};
+use proptest::prelude::*;
+
+fn arb_shared_bus() -> impl Strategy<Value = MachineConfig> {
+    (
+        prop_oneof![Just(1u8), Just(2u8), Just(4u8)],
+        0u8..=4,
+        1u32..=5,
+        any::<bool>(),
+    )
+        .prop_map(|(clusters, buses, bus_lat, pipelined)| {
+            let per = 4 / clusters;
+            let m = MachineConfig::new(
+                clusters,
+                buses,
+                bus_lat,
+                64,
+                FuCounts {
+                    int: per,
+                    fp: per,
+                    mem: per,
+                },
+                LatencyTable::PAPER,
+            )
+            .expect("valid machine");
+            if pipelined {
+                m.with_pipelined_buses()
+            } else {
+                m
+            }
+        })
+}
+
+fn arb_ptp() -> impl Strategy<Value = MachineConfig> {
+    (
+        prop_oneof![Just(2u8), Just(4u8)],
+        prop_oneof![Just(PtpShape::Ring), Just(PtpShape::Crossbar)],
+        1u32..=4,
+    )
+        .prop_map(|(clusters, shape, hop_latency)| {
+            let per = 4 / clusters;
+            MachineConfig::clustered(
+                vec![
+                    FuCounts {
+                        int: per,
+                        fp: per,
+                        mem: per,
+                    };
+                    clusters as usize
+                ],
+                Interconnect::PointToPoint { shape, hop_latency },
+                64,
+                LatencyTable::PAPER,
+            )
+            .expect("valid machine")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The new capacity/inverse/latency methods reproduce the seed tree's
+    /// shared-bus arithmetic bit for bit.
+    #[test]
+    fn shared_bus_arithmetic_matches_the_old_closed_forms(
+        m in arb_shared_bus(),
+        ii in 1u32..=40,
+        ncoms in 0u32..=40,
+    ) {
+        // Old `bus_occupancy`: 1 when pipelined, the bus latency otherwise.
+        let old_occ = if m.pipelined_buses() { 1 } else { m.bus_latency() };
+        prop_assert_eq!(m.bus_occupancy(), old_occ);
+
+        // Old `bus_coms_per_ii`: floor(II/occ)·buses, 0 without buses.
+        let old_capacity = if m.buses() == 0 {
+            0
+        } else {
+            (ii / old_occ) * u32::from(m.buses())
+        };
+        prop_assert_eq!(m.coms_capacity_per_ii(ii), old_capacity);
+
+        // Old `min_ii_for_coms`: occ·ceil(n/buses), None when impossible.
+        let old_min_ii = if ncoms == 0 {
+            Some(0)
+        } else if m.buses() == 0 {
+            None
+        } else {
+            Some(old_occ * ncoms.div_ceil(u32::from(m.buses())))
+        };
+        prop_assert_eq!(m.min_ii_for_coms(ncoms), old_min_ii);
+
+        // The driver's PR 4 skip bound was `min_ii_for_coms(n).unwrap_or(MAX)`.
+        prop_assert_eq!(
+            m.closed_form_min_ii_for_coms(ncoms),
+            old_min_ii.unwrap_or(u32::MAX)
+        );
+
+        // Every pair pays the flat bus latency; links are the buses.
+        prop_assert_eq!(m.links(), u32::from(m.buses()));
+        prop_assert_eq!(m.uniform_transfer_latency(), Some(m.bus_latency()));
+        prop_assert_eq!(m.max_transfer_latency(), m.bus_latency());
+        for s in m.cluster_ids() {
+            for d in m.cluster_ids() {
+                if s != d {
+                    prop_assert_eq!(m.transfer_latency(s, d), m.bus_latency());
+                    prop_assert_eq!(m.link_occupancy(s, d), old_occ);
+                }
+            }
+        }
+    }
+
+    /// On point-to-point fabrics: capacity is monotone in the II,
+    /// `min_ii_for_coms` is its exact inverse, the skip bound disarms, and
+    /// per-pair latency scales with hop distance symmetrically.
+    #[test]
+    fn point_to_point_capacity_inverse_holds(
+        m in arb_ptp(),
+        ncoms in 0u32..=60,
+    ) {
+        for ii in 1u32..=30 {
+            prop_assert!(m.coms_capacity_per_ii(ii) <= m.coms_capacity_per_ii(ii + 1));
+        }
+        let ii = m.min_ii_for_coms(ncoms).expect("links exist");
+        prop_assert!(ncoms == 0 || m.coms_capacity_per_ii(ii) >= ncoms);
+        if ii > 0 {
+            prop_assert!(m.coms_capacity_per_ii(ii - 1) < ncoms);
+        }
+        prop_assert_eq!(m.closed_form_min_ii_for_coms(ncoms), 0, "skip must disarm");
+
+        let hop = m.bus_latency();
+        for s in m.cluster_ids() {
+            for d in m.cluster_ids() {
+                if s == d {
+                    continue;
+                }
+                let lat = m.transfer_latency(s, d);
+                prop_assert_eq!(lat, m.transfer_latency(d, s), "symmetric");
+                prop_assert!(lat >= hop && lat <= m.max_transfer_latency());
+                prop_assert_eq!(m.link_occupancy(s, d), lat, "links are unpipelined");
+            }
+        }
+    }
+
+    /// The whole pipeline on topology machines: every mode compiles a
+    /// random coupled loop into a verifying schedule whose communications
+    /// respect the aggregate capacity.
+    #[test]
+    fn topology_machines_compile_random_loops(
+        seed in 0u64..400,
+        m in arb_ptp(),
+    ) {
+        use cvliw::prelude::*;
+        use cvliw::workloads::{generate_loop, GeneratorParams};
+        let generated = generate_loop(seed, &GeneratorParams::medium()).expect("generator is total");
+        let out = compile_loop(&generated.ddg, &m, &CompileOptions::replicate())
+            .expect("topology machines compile");
+        out.schedule.verify(&generated.ddg, &m).expect("schedule verifies");
+        prop_assert!(out.stats.final_coms <= m.coms_capacity_per_ii(out.stats.ii));
+    }
+}

@@ -74,7 +74,7 @@ proptest! {
         let s = &out.stats;
         prop_assert!(s.ii >= s.mii);
         prop_assert_eq!(s.causes.total(), s.ii - s.mii);
-        prop_assert!(s.final_coms <= machine.bus_coms_per_ii(s.ii));
+        prop_assert!(s.final_coms <= machine.coms_capacity_per_ii(s.ii));
         prop_assert_eq!(
             s.instances_per_iter,
             s.ops_per_iter + s.replication.added_instances()

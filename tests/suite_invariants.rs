@@ -27,7 +27,7 @@ fn check_config(spec: &str) {
                 assert!(s.ii >= s.mii, "{}: II below MII", l.name);
                 assert_eq!(s.causes.total(), s.ii - s.mii, "{}: cause tally", l.name);
                 assert!(
-                    s.final_coms <= machine.bus_coms_per_ii(s.ii),
+                    s.final_coms <= machine.coms_capacity_per_ii(s.ii),
                     "{}: bus oversubscribed",
                     l.name
                 );

@@ -318,7 +318,7 @@ pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
 // ---------------------------------------------------------------------------
 // Regex-shaped strings: `"[a-z][a-z0-9_]{0,6}"`, `".*"`, `".{0,200}"`, …
 
-impl<'a> Strategy for &'a str {
+impl Strategy for &str {
     type Value = String;
     fn sample(&self, rng: &mut TestRng) -> String {
         sample_regex(self, rng)
