@@ -8,7 +8,11 @@ use std::time::Instant;
 
 use cvliw_ddg::Ddg;
 use cvliw_machine::MachineConfig;
-use cvliw_partition::{partition_loop_scratch, refine_existing_scratch, Partition, RefineScratch};
+use cvliw_partition::{
+    partition_loop_scratch, partition_loop_variant, refine_existing_cached,
+    refine_existing_scratch, score_partition_scratch, Partition, PartitionScore, RefineCache,
+    RefineScratch,
+};
 use cvliw_sched::{
     schedule_with_scratch, Assignment, IiCause, LoopAnalysis, OrderStrategy, SchedScratch,
     Schedule, ScheduleError, ScheduleRequest,
@@ -307,27 +311,66 @@ impl Stage {
 #[derive(Debug, Default)]
 pub struct CompileScratch {
     refine: RefineScratch,
+    /// Move-delta cache for the II-climb refinement chain. Sound only
+    /// because a `CompileContext` (and hence its scratch) serves exactly
+    /// one `(loop, machine)` pair — a [`RefineScratch`] may be reused
+    /// across graphs, a [`RefineCache`] must not be.
+    refine_cache: RefineCache,
     engine: EngineScratch,
     sched: SchedScratch,
     /// Wall-clock nanoseconds per [`Stage`].
     stage_nanos: [u64; 4],
 }
 
+/// One memoized step of the refinement chain: the partition refined at
+/// `ii = mii + k`, its communication count, and whether refinement changed
+/// it relative to the previous step (the driver's II-skip disarm signal).
+#[derive(Clone, Debug)]
+struct ChainStep {
+    partition: Partition,
+    coms: u32,
+    changed: bool,
+}
+
+/// One memoized replication-engine run at `ii = mii + k`.
+#[derive(Clone, Debug)]
+enum EngineStep {
+    /// Bandwidth fits: the multi-instance assignment plus its statistics.
+    Fits(Assignment, ReplicationStats),
+    /// Resource constraints stopped replication early at this II.
+    Stuck,
+}
+
 /// The per-(loop, machine) compilation context: the II-invariant
-/// [`LoopAnalysis`], a lazily computed seed partition, and the persistent
-/// [`CompileScratch`] threaded by `&mut` through the whole attempt loop.
+/// [`LoopAnalysis`], the memoized refinement chain, the memoized
+/// replication-engine outcomes, and the persistent [`CompileScratch`]
+/// threaded by `&mut` through the whole attempt loop.
 ///
 /// The driver's Figure-2 loop always starts from `partition_loop` at the
-/// MII — a pure function of `(loop, machine)`, identical for every
-/// [`Mode`]. The suite compiles each (loop, machine) pair under all five
-/// modes, so [`CompileContext`] memoizes that seed: the first mode pays
-/// for the multilevel partitioner, the other four clone the result. The
-/// scratch likewise warms up once and keeps its buffers for every II of
-/// every mode.
+/// MII and refines the *current* partition at each II bump — a chain that
+/// is a pure function of `(loop, machine, ii)`, identical for every
+/// [`Mode`] (no refinement input depends on the mode). The suite compiles
+/// each (loop, machine) pair under all five modes, so [`CompileContext`]
+/// memoizes the whole chain: the first mode to reach an II pays for its
+/// refinement, the other modes clone the result. The §3 replication engine
+/// is likewise a pure function of `(loop, machine, ii)` given the chain —
+/// the three replicating modes differ only *after* the engine (the §5.1
+/// extension, the zero-bus-latency relaxation) — so its per-II outcome is
+/// memoized the same way. The scratch warms up once and keeps its buffers
+/// for every II of every mode.
 #[derive(Debug)]
 pub struct CompileContext {
     analysis: LoopAnalysis,
     initial_partition: OnceCell<Partition>,
+    /// `chain[k]` = refinement state at `ii = mii + k` (`chain[0]` wraps
+    /// the seed partition). Grown lazily as modes climb.
+    chain: RefCell<Vec<ChainStep>>,
+    /// `engine_memo[k]` = the §3 engine outcome at `ii = mii + k`, `None`
+    /// until some replicating mode first reaches that II.
+    engine_memo: RefCell<Vec<Option<EngineStep>>>,
+    /// Parallel refinement seeds to race for the MII seed partition
+    /// (1 = racing disabled; see [`CompileContext::with_refine_seeds`]).
+    refine_seeds: u32,
     scratch: RefCell<CompileScratch>,
 }
 
@@ -344,8 +387,25 @@ impl CompileContext {
         CompileContext {
             analysis,
             initial_partition: OnceCell::new(),
+            chain: RefCell::new(Vec::new()),
+            engine_memo: RefCell::new(Vec::new()),
+            refine_seeds: 1,
             scratch: RefCell::new(scratch),
         }
+    }
+
+    /// Enables best-of-N seed racing for the MII seed partition: `seeds`
+    /// perturbed multilevel refinements race on scoped threads and the
+    /// winner is selected deterministically by `(score, seed-index)` —
+    /// thread scheduling can never change the outcome, and on score ties
+    /// the canonical seed 0 (the unperturbed pipeline) always wins, which
+    /// is what keeps reports byte-identical whether racing is enabled or
+    /// not as long as no perturbation finds a strictly better partition.
+    /// `seeds` is clamped to at least 1.
+    #[must_use]
+    pub fn with_refine_seeds(mut self, seeds: u32) -> Self {
+        self.refine_seeds = seeds.max(1);
+        self
     }
 
     /// The cached II-invariant analysis.
@@ -356,13 +416,17 @@ impl CompileContext {
 
     /// Wall-clock nanoseconds spent per [`Stage`] across every compilation
     /// run through this context (indexed by `Stage as usize`). Purely a
-    /// measurement by-product: timing never influences any result.
+    /// measurement by-product: timing never influences any result. When
+    /// seed racing is enabled the partition bucket accumulates **every**
+    /// raced seed's wall clock — losers burned real CPU, so the stage
+    /// breakdown charges them (summed thread time, not winner-only).
     #[must_use]
     pub fn stage_nanos(&self) -> [u64; 4] {
         self.scratch.borrow().stage_nanos
     }
 
-    /// The memoized `partition_loop` result at the loop's MII.
+    /// The memoized `partition_loop` result at the loop's MII (racing
+    /// `refine_seeds` perturbed variants when configured).
     fn initial_partition(
         &self,
         ddg: &Ddg,
@@ -370,18 +434,157 @@ impl CompileContext {
         scratch: &mut CompileScratch,
     ) -> &Partition {
         self.initial_partition.get_or_init(|| {
+            let mii = self.analysis.mii();
+            if self.refine_seeds > 1 {
+                let (seed, raced_nanos) =
+                    race_seed_partitions(ddg, machine, mii, &self.analysis, self.refine_seeds);
+                scratch.stage_nanos[Stage::Partition as usize] += raced_nanos;
+                return seed;
+            }
             let started = Instant::now();
-            let seed = partition_loop_scratch(
-                ddg,
-                machine,
-                self.analysis.mii(),
-                &self.analysis,
-                &mut scratch.refine,
-            );
+            let seed =
+                partition_loop_scratch(ddg, machine, mii, &self.analysis, &mut scratch.refine);
             scratch.stage_nanos[Stage::Partition as usize] += elapsed_nanos(started);
             seed
         })
     }
+
+    /// The memoized refinement-chain step at `ii = mii + k`: refines lazily
+    /// from the previous step the first time any mode reaches `ii`, then
+    /// serves clones. Also yields the partition's communication count and
+    /// the changed-vs-previous flag so per-mode callers never recount.
+    fn chain_step(
+        &self,
+        ddg: &Ddg,
+        machine: &MachineConfig,
+        ii: u32,
+        scratch: &mut CompileScratch,
+    ) -> ChainStep {
+        let k = (ii - self.analysis.mii()) as usize;
+        let mut chain = self.chain.borrow_mut();
+        if chain.is_empty() {
+            let partition = self.initial_partition(ddg, machine, scratch).clone();
+            let coms = partition.to_assignment().comm_count(ddg);
+            chain.push(ChainStep {
+                partition,
+                coms,
+                changed: false,
+            });
+        }
+        while chain.len() <= k {
+            let prev = &chain[chain.len() - 1].partition;
+            let started = Instant::now();
+            let refined = refine_existing_cached(
+                ddg,
+                machine,
+                self.analysis.mii() + chain.len() as u32,
+                prev.clone(),
+                &self.analysis,
+                &mut scratch.refine,
+                &mut scratch.refine_cache,
+            );
+            scratch.stage_nanos[Stage::Partition as usize] += elapsed_nanos(started);
+            let changed = refined != *prev;
+            let coms = if changed {
+                refined.to_assignment().comm_count(ddg)
+            } else {
+                chain[chain.len() - 1].coms
+            };
+            chain.push(ChainStep {
+                partition: refined,
+                coms,
+                changed,
+            });
+        }
+        chain[k].clone()
+    }
+
+    /// The memoized §3 replication-engine outcome at `ii = mii + k`. The
+    /// engine input is the chain partition at `ii`, so the outcome is the
+    /// same for every replicating mode; the first one to reach `ii` runs
+    /// the engine, the others clone. Timing is charged when the work runs.
+    fn engine_step(
+        &self,
+        ddg: &Ddg,
+        machine: &MachineConfig,
+        ii: u32,
+        base: &Partition,
+        scratch: &mut CompileScratch,
+    ) -> EngineStep {
+        let k = (ii - self.analysis.mii()) as usize;
+        {
+            let memo = self.engine_memo.borrow();
+            if let Some(Some(step)) = memo.get(k) {
+                return step.clone();
+            }
+        }
+        let started = Instant::now();
+        let mut engine = ReplicationEngine::new(ddg, machine, ii, base.to_assignment());
+        let step = match engine.run_scratch(&mut scratch.engine) {
+            ReplicationOutcome::Fits => {
+                let (assignment, stats) = engine.into_parts();
+                EngineStep::Fits(assignment, stats)
+            }
+            ReplicationOutcome::Stuck { .. } => EngineStep::Stuck,
+        };
+        scratch.stage_nanos[Stage::Replicate as usize] += elapsed_nanos(started);
+        let mut memo = self.engine_memo.borrow_mut();
+        if memo.len() <= k {
+            memo.resize(k + 1, None);
+        }
+        memo[k] = Some(step.clone());
+        step
+    }
+}
+
+/// Races `seeds` perturbed multilevel partitionings of `(ddg, machine)` at
+/// the MII on scoped threads and picks the winner by `(score, seed-index)`
+/// — the smallest score wins, ties resolve to the lowest index, so seed 0
+/// (the canonical, unperturbed pipeline) wins unless a perturbation is
+/// strictly better. Returns the winning partition and the **summed**
+/// wall-clock nanoseconds of every raced seed (losers included), which the
+/// caller charges to the partition stage.
+fn race_seed_partitions(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    mii: u32,
+    analysis: &LoopAnalysis,
+    seeds: u32,
+) -> (Partition, u64) {
+    let mut lanes: Vec<Option<(PartitionScore, Partition, u64)>> =
+        (0..seeds).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (variant, lane) in lanes.iter_mut().enumerate() {
+            scope.spawn(move || {
+                let started = Instant::now();
+                let mut scratch = RefineScratch::default();
+                let part = partition_loop_variant(
+                    ddg,
+                    machine,
+                    mii,
+                    analysis,
+                    &mut scratch,
+                    variant as u32,
+                );
+                let score =
+                    score_partition_scratch(ddg, &part, machine, mii, analysis, &mut scratch);
+                *lane = Some((score, part, elapsed_nanos(started)));
+            });
+        }
+    });
+    let raced_nanos = lanes
+        .iter()
+        .map(|l| l.as_ref().expect("every lane ran").2)
+        .sum();
+    let winner = lanes
+        .into_iter()
+        .map(|l| l.expect("every lane ran"))
+        .enumerate()
+        .min_by(|(i, (a, _, _)), (j, (b, _, _))| a.cmp(b).then(i.cmp(j)))
+        .expect("at least one seed")
+        .1
+         .1;
+    (winner, raced_nanos)
 }
 
 fn elapsed_nanos(started: Instant) -> u64 {
@@ -445,8 +648,7 @@ pub fn compile_loop_ctx(
     ctx: &CompileContext,
 ) -> Result<CompiledLoop, CompileError> {
     let scratch = &mut *ctx.scratch.borrow_mut();
-    let seed = ctx.initial_partition(ddg, machine, scratch);
-    compile_loop_inner(ddg, machine, opts, &ctx.analysis, Some(seed), scratch)
+    compile_loop_inner(ddg, machine, opts, &ctx.analysis, Some(ctx), scratch)
 }
 
 fn compile_loop_inner(
@@ -454,7 +656,7 @@ fn compile_loop_inner(
     machine: &MachineConfig,
     opts: &CompileOptions,
     analysis: &LoopAnalysis,
-    seed: Option<&Partition>,
+    ctx: Option<&CompileContext>,
     scratch: &mut CompileScratch,
 ) -> Result<CompiledLoop, CompileError> {
     debug_assert_eq!(
@@ -468,12 +670,21 @@ fn compile_loop_inner(
         .unwrap_or_else(|| mii.saturating_mul(4).saturating_add(256));
     let mut causes = CauseCounts::default();
 
-    let mut partition = match seed {
-        Some(p) => p.clone(),
+    // `known_coms` caches the current partition's communication count; it
+    // rides along with the chain memo (which counts once per step) and is
+    // dropped whenever the no-ctx path changes the partition.
+    let mut known_coms: Option<u32>;
+    let mut partition = match ctx {
+        Some(c) => {
+            let step = c.chain_step(ddg, machine, mii, scratch);
+            known_coms = Some(step.coms);
+            step.partition
+        }
         None => {
             let started = Instant::now();
             let p = partition_loop_scratch(ddg, machine, mii, analysis, &mut scratch.refine);
             scratch.stage_nanos[Stage::Partition as usize] += elapsed_nanos(started);
+            known_coms = None;
             p
         }
     };
@@ -491,19 +702,32 @@ fn compile_loop_inner(
     let mut bus_bound = 0u32;
     while ii <= max_ii {
         if ii > mii {
-            let started = Instant::now();
-            let refined = refine_existing_scratch(
-                ddg,
-                machine,
-                ii,
-                partition.clone(),
-                analysis,
-                &mut scratch.refine,
-            );
-            scratch.stage_nanos[Stage::Partition as usize] += elapsed_nanos(started);
-            if refined != partition {
-                partition = refined;
-                bus_bound = 0;
+            match ctx {
+                Some(c) => {
+                    let step = c.chain_step(ddg, machine, ii, scratch);
+                    if step.changed {
+                        partition = step.partition;
+                        bus_bound = 0;
+                    }
+                    known_coms = Some(step.coms);
+                }
+                None => {
+                    let started = Instant::now();
+                    let refined = refine_existing_scratch(
+                        ddg,
+                        machine,
+                        ii,
+                        partition.clone(),
+                        analysis,
+                        &mut scratch.refine,
+                    );
+                    scratch.stage_nanos[Stage::Partition as usize] += elapsed_nanos(started);
+                    if refined != partition {
+                        partition = refined;
+                        bus_bound = 0;
+                        known_coms = None;
+                    }
+                }
             }
         }
         if ii < bus_bound {
@@ -515,32 +739,55 @@ fn compile_loop_inner(
             ii += 1;
             continue;
         }
-        let base = partition.to_assignment();
-        let partition_coms = base.comm_count(ddg);
+        let partition_coms = match known_coms {
+            Some(coms) => coms,
+            None => {
+                let coms = partition.comm_count(ddg);
+                known_coms = Some(coms);
+                coms
+            }
+        };
 
         let started = Instant::now();
         let (assignment, replication) = if opts.mode.replicates() {
-            let mut engine = ReplicationEngine::new(ddg, machine, ii, base);
-            match engine.run_scratch(&mut scratch.engine) {
-                ReplicationOutcome::Fits => engine.into_parts(),
-                ReplicationOutcome::Stuck { .. } => {
+            let step = match ctx {
+                Some(c) => c.engine_step(ddg, machine, ii, &partition, scratch),
+                None => {
+                    let mut engine =
+                        ReplicationEngine::new(ddg, machine, ii, partition.to_assignment());
+                    let step = match engine.run_scratch(&mut scratch.engine) {
+                        ReplicationOutcome::Fits => {
+                            let (assignment, stats) = engine.into_parts();
+                            EngineStep::Fits(assignment, stats)
+                        }
+                        ReplicationOutcome::Stuck { .. } => EngineStep::Stuck,
+                    };
                     scratch.stage_nanos[Stage::Replicate as usize] += elapsed_nanos(started);
+                    step
+                }
+            };
+            match step {
+                EngineStep::Fits(assignment, stats) => (assignment, stats),
+                EngineStep::Stuck => {
                     causes.add(IiCause::Bus);
                     ii += 1;
                     continue;
                 }
             }
         } else if opts.mode == Mode::ValueClone {
-            crate::value_clone::value_clone(ddg, machine, ii, base)
+            let out = crate::value_clone::value_clone(ddg, machine, ii, partition.to_assignment());
+            scratch.stage_nanos[Stage::Replicate as usize] += elapsed_nanos(started);
+            out
         } else {
             let stats = ReplicationStats {
                 initial_coms: partition_coms,
                 final_coms: partition_coms,
                 ..ReplicationStats::default()
             };
+            let base = partition.to_assignment();
+            scratch.stage_nanos[Stage::Replicate as usize] += elapsed_nanos(started);
             (base, stats)
         };
-        scratch.stage_nanos[Stage::Replicate as usize] += elapsed_nanos(started);
 
         // Every branch above already tracked the surviving communication
         // count in its stats; recounting per II would walk the whole DDG

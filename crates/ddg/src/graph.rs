@@ -186,6 +186,30 @@ impl Ddg {
             .map(move |&i| &self.edges[i as usize])
     }
 
+    /// Indices (into [`Ddg::edges`] order) of the outgoing edges of `n` —
+    /// for callers that maintain per-edge side tables (e.g. the
+    /// incrementally updated latency vector of partition refinement).
+    #[must_use]
+    pub fn out_edge_ids(&self, n: NodeId) -> &[u32] {
+        &self.succs[n.index()]
+    }
+
+    /// Indices (into [`Ddg::edges`] order) of the incoming edges of `n`.
+    #[must_use]
+    pub fn in_edge_ids(&self, n: NodeId) -> &[u32] {
+        &self.preds[n.index()]
+    }
+
+    /// The edge with the given index in [`Ddg::edges`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn edge(&self, idx: u32) -> &Edge {
+        &self.edges[idx as usize]
+    }
+
     /// Producers whose register values `n` reads (deduplicated, sorted).
     #[must_use]
     pub fn data_preds(&self, n: NodeId) -> &[NodeId] {

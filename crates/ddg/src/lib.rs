@@ -56,6 +56,7 @@ mod analysis;
 mod dot;
 mod error;
 mod graph;
+mod incremental;
 mod op;
 mod recurrence;
 
@@ -65,5 +66,6 @@ pub use analysis::{
 pub use dot::to_dot;
 pub use error::DdgError;
 pub use graph::{Ddg, DdgBuilder, DepKind, Edge, Node, NodeId};
+pub use incremental::IncrementalAsap;
 pub use op::{LatencyClass, OpClass, OpKind, ParseOpKindError};
 pub use recurrence::{is_feasible_ii, rec_mii};

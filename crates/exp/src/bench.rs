@@ -256,6 +256,24 @@ mod tests {
     }
 
     #[test]
+    fn stage_breakdown_sums_to_total_wall_clock() {
+        // One worker and no seed racing: every stage bucket is wall clock
+        // the single thread actually spent compiling, so the four buckets
+        // must account for nearly all of the measured run — the remainder
+        // is per-loop bookkeeping and pool overhead. (With seed racing
+        // the sum may legitimately exceed the total: every raced seed's
+        // thread time is charged to the partition bucket.)
+        let grid = tiny_grid().with_max_loops(6);
+        let report = bench_suite(&grid, 1, 1, 1).unwrap();
+        let sum: f64 = report.stage_ms.iter().sum();
+        assert!(
+            sum >= 0.5 * report.total_wall_ms && sum <= 1.05 * report.total_wall_ms,
+            "stage_ms sums to {sum:.2} ms but the run took {:.2} ms",
+            report.total_wall_ms
+        );
+    }
+
+    #[test]
     fn stage_breakdown_is_populated() {
         let report = bench_suite(&tiny_grid(), 1, 1, 0).unwrap();
         // Analysis and partitioning always run; their buckets cannot be

@@ -163,7 +163,7 @@ pub fn run_pair_on(
     program: &BenchmarkProgram,
     machine: &MachineConfig,
 ) -> Vec<CellResult> {
-    run_pair_timed(cells, program, machine).0
+    run_pair_timed(cells, program, machine, 1).0
 }
 
 /// [`run_pair_on`] plus the pair's accumulated per-stage wall-clock
@@ -171,16 +171,23 @@ pub fn run_pair_on(
 /// every loop's [`CompileContext`]. The bench harness aggregates these
 /// into the `stage_ms` section of `BENCH_compile.json`; plain suite runs
 /// drop them — timing never reaches a report.
+///
+/// `refine_seeds > 1` races that many perturbed refinements per loop for
+/// the MII seed partition (deterministic winner; see
+/// [`CompileContext::with_refine_seeds`]). Every raced seed's wall clock
+/// lands in the partition stage bucket, so the stage breakdown charges
+/// the losers' CPU too.
 #[must_use]
 pub fn run_pair_timed(
     cells: &[CellSpec],
     program: &BenchmarkProgram,
     machine: &MachineConfig,
+    refine_seeds: u32,
 ) -> (Vec<CellResult>, [u64; 4]) {
     let mut outs: Vec<CellResult> = cells.iter().map(CellResult::empty).collect();
     let mut stage_nanos = [0u64; 4];
     for l in &program.loops {
-        let ctx = CompileContext::new(&l.ddg, machine);
+        let ctx = CompileContext::new(&l.ddg, machine).with_refine_seeds(refine_seeds);
         for (cell, out) in cells.iter().zip(outs.iter_mut()) {
             let opts = CompileOptions {
                 mode: cell.mode,

@@ -20,6 +20,13 @@ pub struct SuiteGrid {
     pub modes: Vec<Mode>,
     /// Per-program loop cap; `None` runs every loop (the paper's 678).
     pub max_loops: Option<usize>,
+    /// Best-of-N refinement seeds raced per loop for the MII seed
+    /// partition (1 = racing disabled; see
+    /// `cvliw_replicate::CompileContext::with_refine_seeds`). Winner
+    /// selection is deterministic by `(score, seed-index)`, so this knob —
+    /// like `--jobs` — can change wall-clock time and partition quality
+    /// but never makes a report depend on thread scheduling.
+    pub refine_seeds: u32,
 }
 
 impl SuiteGrid {
@@ -38,6 +45,7 @@ impl SuiteGrid {
                 .collect(),
             modes: Mode::ALL.to_vec(),
             max_loops: None,
+            refine_seeds: 1,
         }
     }
 
@@ -83,6 +91,14 @@ impl SuiteGrid {
     #[must_use]
     pub fn with_max_loops(mut self, max_loops: usize) -> Self {
         self.max_loops = Some(max_loops);
+        self
+    }
+
+    /// Races `seeds` perturbed refinements per loop for the MII seed
+    /// partition (clamped to at least 1; 1 disables racing).
+    #[must_use]
+    pub fn with_refine_seeds(mut self, seeds: u32) -> Self {
+        self.refine_seeds = seeds.max(1);
         self
     }
 

@@ -116,6 +116,8 @@ pub(crate) struct PreparedSuite {
     pub cells: Vec<CellSpec>,
     pub n_programs: usize,
     pub n_modes: usize,
+    /// Best-of-N refinement seeds raced per loop (from the grid).
+    pub refine_seeds: u32,
     /// Pair indices in dispatch order: heaviest first by the committed
     /// timing book, unseeded pairs trailing in machine-major order. Work
     /// distribution only — results land in grid-order slots regardless.
@@ -195,6 +197,7 @@ pub(crate) fn prepare(grid: &SuiteGrid) -> Result<PreparedSuite, SuiteError> {
         cells,
         n_programs,
         n_modes: grid.modes.len(),
+        refine_seeds: grid.refine_seeds,
         dispatch,
     })
 }
@@ -230,8 +233,12 @@ pub(crate) fn run_pool(
                     .map(|m| prep.cells[prep.cell_index(s, m, j)].clone())
                     .collect();
                 let started = Instant::now();
-                let (results, stages) =
-                    run_pair_timed(&pair_cells, &prep.programs[j], &prep.machines[s]);
+                let (results, stages) = run_pair_timed(
+                    &pair_cells,
+                    &prep.programs[j],
+                    &prep.machines[s],
+                    prep.refine_seeds,
+                );
                 let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 for (m, r) in results.into_iter().enumerate() {
                     slots[prep.cell_index(s, m, j)]
@@ -305,6 +312,28 @@ mod tests {
         let one = run_suite(&grid, 1).unwrap();
         let many = run_suite(&grid, 7).unwrap();
         assert_eq!(one.cells, many.cells);
+    }
+
+    #[test]
+    fn seed_racing_reports_are_byte_identical_across_jobs_and_vs_disabled() {
+        // Best-of-N seed racing picks its winner by (score, seed-index),
+        // never by thread completion order — so a raced suite must be
+        // byte-identical at any worker count, and because seed 0 is the
+        // canonical unperturbed pipeline (winning every score tie), it
+        // must also match the seeds-disabled run whenever no perturbation
+        // finds a strictly better partition, as on this subset.
+        let raced = tiny_grid().with_refine_seeds(4);
+        let one = run_suite(&raced, 1).unwrap();
+        let four = run_suite(&raced, 4).unwrap();
+        assert_eq!(
+            one, four,
+            "seed racing leaked thread scheduling into a report"
+        );
+        let disabled = run_suite(&tiny_grid(), 1).unwrap();
+        assert_eq!(
+            one, disabled,
+            "a raced report diverged from the canonical pipeline"
+        );
     }
 
     #[test]

@@ -54,8 +54,9 @@ pub use coarsen::{coarsen, coarsen_from_weights, CoarseLevel, Hierarchy};
 pub use matching::greedy_matching;
 pub use partition::Partition;
 pub use refine::{
-    refine, refine_existing, refine_existing_scratch, refine_existing_with, score_partition,
-    score_partition_scratch, PartitionScore, RefineScratch,
+    refine, refine_existing, refine_existing_cached, refine_existing_oracle,
+    refine_existing_scratch, refine_existing_trace, refine_existing_with, score_partition,
+    score_partition_scratch, PartitionScore, RefineCache, RefineMove, RefineScratch,
 };
 pub use weights::{edge_weights, edge_weights_with};
 
@@ -110,4 +111,32 @@ pub fn partition_loop_scratch(
     let hierarchy = coarsen_from_weights(ddg, machine, ii, &weights);
     let initial = hierarchy.initial_partition();
     refine::refine_inner(ddg, machine, ii, &hierarchy, initial, analysis, scratch)
+}
+
+/// [`partition_loop_scratch`] with a refinement perturbation index, the
+/// worker body of best-of-N seed racing: `variant` rotates the
+/// target-cluster scan order inside every refinement level, so ties in the
+/// greedy move selection break toward different clusters and the walk
+/// explores a different trajectory through the same score landscape.
+/// `variant == 0` is the canonical order — bit-identical to
+/// [`partition_loop_scratch`]; any other variant still only ever accepts
+/// strictly score-improving moves.
+#[must_use]
+pub fn partition_loop_variant(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    analysis: &LoopAnalysis,
+    scratch: &mut RefineScratch,
+    variant: u32,
+) -> Partition {
+    if machine.clusters() == 1 {
+        return Partition::single_cluster(ddg.node_count());
+    }
+    let weights = edge_weights_with(ddg, machine, ii, analysis);
+    let hierarchy = coarsen_from_weights(ddg, machine, ii, &weights);
+    let initial = hierarchy.initial_partition();
+    refine::refine_inner_variant(
+        ddg, machine, ii, &hierarchy, initial, analysis, scratch, variant,
+    )
 }

@@ -1,28 +1,35 @@
 //! Pseudo-schedule-guided refinement of a partition (reference [2]).
 //!
 //! Refinement is the compilation driver's hottest loop: every II bump
-//! re-scores hundreds of candidate single-node moves, and every score used
-//! to build a fresh [`Assignment`] and run a full pseudo-schedule. Two
-//! things make the current implementation fast without changing a single
-//! accepted move:
+//! re-scores hundreds of candidate single-node moves. Three layers keep
+//! that cheap without changing a single accepted move:
 //!
-//! * **Persistent scratch** ([`RefineScratch`]): every buffer a score needs
-//!   (the assignment, the comm-adjusted latency vector, the ASAP fixpoint,
-//!   the usage census) is owned by the caller and reused across scores,
-//!   IIs and modes.
-//! * **Lazy lexicographic scoring**: a candidate move is rejected as soon
-//!   as a cheap prefix of the score key — capacity overflow and bus
-//!   overflow — already compares worse than the incumbent. Those
-//!   components are computed exactly from O(degree) deltas, so the
-//!   expensive ASAP sweep only runs for moves that are still in the race.
-//!   Most candidates (interior nodes whose move would add communications)
-//!   die at the bus-overflow key, which is why this is equivalent: the
-//!   lexicographic comparison is decided by the first differing component,
-//!   and the delta computation produces the same component values as the
-//!   full score (debug builds re-score every rejected move in full and
-//!   assert the verdict).
+//! * **Lazy lexicographic rejection**: a candidate dies as soon as a cheap
+//!   prefix of the score key — capacity overflow and bus overflow, both
+//!   computed exactly from O(degree) deltas — already compares worse than
+//!   the incumbent. The lexicographic comparison is decided by the first
+//!   differing component, so the verdict equals the full score's.
+//! * **Incremental scoring** for the survivors: a move only changes the
+//!   latencies of the data edges incident to the moved group, so the
+//!   recurrence check, the estimated length and the register pressure are
+//!   re-derived from an incrementally maintained ASAP fixpoint
+//!   ([`IncrementalAsap`]) instead of a from-scratch pseudo-schedule. The
+//!   affected cone is updated, speculatively, and rolled back; debug
+//!   builds re-score every candidate in full and assert byte equality.
+//! * **A move-result cache** ([`RefineCache`]): the communication delta of
+//!   a rejected `(node, target)` move depends only on the clusters of a
+//!   fixed, graph-structural neighborhood of the node. Entries carry that
+//!   neighborhood's cluster bitmask plus a sum of per-cluster version
+//!   counters; any accepted move bumps the versions of its two clusters,
+//!   so a stale entry can never validate. The counts are latency-free,
+//!   hence II-independent: entries filled at one II keep hitting across
+//!   the whole II climb.
+//!
+//! All three layers are observationally pure: `refine_existing_cached`
+//! is bit-identical to `refine_existing`, pinned by debug assertions and
+//! the differential oracle in `tests/refine_incremental_props.rs`.
 
-use cvliw_ddg::{Ddg, NodeId, OpClass};
+use cvliw_ddg::{Ddg, IncrementalAsap, NodeId, OpClass};
 use cvliw_machine::MachineConfig;
 use cvliw_sched::{pseudo_schedule_scratch, Assignment, LoopAnalysis, PseudoScratch};
 
@@ -63,11 +70,14 @@ impl PartitionScore {
 }
 
 /// Reusable state for refinement and scoring: the pseudo-schedule buffers,
-/// a reusable [`Assignment`], and the delta-evaluation worklists (group
-/// membership stamps, affected-producer lists, usage censuses).
+/// a reusable [`Assignment`], the delta-evaluation worklists (group
+/// membership stamps, affected-producer lists, usage censuses) and the
+/// incremental-ASAP move-speculation state.
 ///
 /// One `RefineScratch` serves a whole compilation — every II of every mode
-/// — via `cvliw_replicate::CompileContext`'s compile scratch.
+/// — via `cvliw_replicate::CompileContext`'s compile scratch. All
+/// incremental state is rebuilt at every `refine_level` entry, so a
+/// scratch may be reused across unrelated graphs (unlike [`RefineCache`]).
 #[derive(Clone, Debug)]
 pub struct RefineScratch {
     pseudo: PseudoScratch,
@@ -78,10 +88,29 @@ pub struct RefineScratch {
     in_group: Vec<bool>,
     /// Producers whose communication status the move can change.
     affected: Vec<NodeId>,
-    /// Dedup stamps for building `affected` (one epoch per group).
+    /// Dedup stamps for building `affected` and the register-update set.
     seen: Vec<u32>,
     /// Current epoch for `seen`.
     epoch: u32,
+    /// Incrementally maintained ASAP fixpoint of the current partition.
+    inc: IncrementalAsap,
+    /// Comm-adjusted per-edge latencies of the current partition.
+    cur_edge_lat: Vec<u32>,
+    /// `(edge id, previous latency)` log of the speculated candidate.
+    edge_changes: Vec<(u32, u32)>,
+    /// Destinations of edges whose latency the candidate raised / lowered.
+    raised: Vec<NodeId>,
+    lowered: Vec<NodeId>,
+    /// Per-producer register cost under the current partition's ASAP.
+    node_regs: Vec<u64>,
+    /// Per-cluster register estimate of the current partition.
+    est_base: Vec<u64>,
+    /// Per-cluster register estimate of the speculated candidate.
+    est_tmp: Vec<u64>,
+    /// Communication count of the partition the move base describes, so a
+    /// follow-up `refine_level` on the *same* (graph, II, partition) state
+    /// can skip the entry recount (see [`LevelOpts::reuse_base`]).
+    base_ncoms: u32,
 }
 
 impl Default for RefineScratch {
@@ -94,8 +123,81 @@ impl Default for RefineScratch {
             affected: Vec::new(),
             seen: Vec::new(),
             epoch: 0,
+            inc: IncrementalAsap::default(),
+            cur_edge_lat: Vec::new(),
+            edge_changes: Vec::new(),
+            raised: Vec::new(),
+            lowered: Vec::new(),
+            node_regs: Vec::new(),
+            est_base: Vec::new(),
+            est_tmp: Vec::new(),
+            base_ncoms: 0,
         }
     }
+}
+
+impl RefineScratch {
+    /// Rebuilds the incremental move-speculation base state — the current
+    /// partition's comm-adjusted latencies, ASAP fixpoint and per-producer
+    /// register costs. Called at `refine_level` entry and after every
+    /// accepted move (accepts are rare; candidates are speculative).
+    fn rebuild_move_base(
+        &mut self,
+        ddg: &Ddg,
+        machine: &MachineConfig,
+        ii: u32,
+        part: &Partition,
+        analysis: &LoopAnalysis,
+    ) {
+        let base = analysis.edge_lat();
+        let uniform = machine.uniform_transfer_latency();
+        self.cur_edge_lat.clear();
+        self.cur_edge_lat
+            .extend(ddg.edges().zip(base).map(|(e, &lat)| {
+                if !e.is_data() {
+                    return lat;
+                }
+                let cs = part.cluster_of(e.src);
+                let cd = part.cluster_of(e.dst);
+                if cs == cd {
+                    lat
+                } else {
+                    lat + uniform.unwrap_or_else(|| machine.transfer_latency(cs, cd))
+                }
+            }));
+        self.inc.rebuild(ddg, ii, &self.cur_edge_lat);
+        self.node_regs.clear();
+        self.node_regs.resize(ddg.node_count(), 0);
+        self.est_base.clear();
+        self.est_base.resize(machine.clusters() as usize, 0);
+        if self.inc.is_feasible() {
+            let asap = self.inc.asap();
+            for n in ddg.node_ids() {
+                if !ddg.kind(n).produces_value() {
+                    continue;
+                }
+                let regs = node_reg_cost(ddg, ii, analysis, asap, n);
+                self.node_regs[n.index()] = regs;
+                self.est_base[part.cluster_of(n) as usize] += regs;
+            }
+        }
+    }
+}
+
+/// Register cost of producer `n` under `asap`: its value lives from
+/// definition to its furthest consumer (plus iteration distance), and an
+/// overlapped lifetime of `span` cycles pins `ceil(span / II)` rotating
+/// registers. Mirrors the pseudo-schedule's estimate exactly.
+fn node_reg_cost(ddg: &Ddg, ii: u32, analysis: &LoopAnalysis, asap: &[i64], n: NodeId) -> u64 {
+    let def = asap[n.index()];
+    let mut last = def + i64::from(analysis.node_lat()[n.index()]);
+    for e in ddg.out_edges(n) {
+        if e.is_data() {
+            last = last.max(asap[e.dst.index()] + i64::from(ii) * i64::from(e.distance));
+        }
+    }
+    let span = u64::try_from((last - def).max(1)).expect("non-negative");
+    span.div_ceil(u64::from(ii))
 }
 
 /// Scores a partition with a pseudo-schedule (see [`PartitionScore`]).
@@ -164,6 +266,140 @@ pub fn score_partition_scratch(
 /// Maximum improvement passes per hierarchy level.
 const MAX_PASSES: usize = 2;
 
+/// An accepted refinement move: `(node or group-representative index,
+/// source cluster, destination cluster)`.
+#[doc(hidden)]
+pub type RefineMove = (u32, u8, u8);
+
+/// Cached communication deltas of candidate moves, keyed `(node,
+/// destination cluster)`, surviving across refinement calls and IIs.
+///
+/// A candidate's `before`/`after` communication counts depend only on the
+/// clusters of a **graph-structural** neighborhood of the node: the node,
+/// its data predecessors, and the data successors of those. Each entry
+/// records the cluster bitmask of that neighborhood plus the sum of the
+/// per-cluster **version counters** over the mask at fill time. Every
+/// observed cluster change bumps the versions of its two clusters, and
+/// versions only grow — so the sums match iff no relevant node changed
+/// cluster, and a stale entry can never validate. The counts contain no
+/// latencies, so entries filled at one II stay valid across the II climb.
+///
+/// A cache is only sound for a single `(graph, machine)` pair (the
+/// neighborhood is graph-structural, the key space machine-shaped). The
+/// driver owns one per compilation context; reusing one across loops the
+/// way a [`RefineScratch`] may be reused is a contract violation, guarded
+/// by debug assertions that recompute every hit in full.
+#[derive(Clone, Debug, Default)]
+pub struct RefineCache {
+    nodes: usize,
+    clusters: u8,
+    /// `nodes × clusters` move entries, row-major by node.
+    entries: Vec<MoveEntry>,
+    /// Per-cluster move counters; bumped for both endpoint clusters of
+    /// every observed node move.
+    version: Vec<u32>,
+    /// Partition snapshot the versions are relative to.
+    last_part: Vec<u8>,
+    primed: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct MoveEntry {
+    /// Version-counter sum over `mask` at fill time.
+    vsum: u64,
+    /// Cluster bitmask of the move's structural neighborhood at fill time.
+    mask: u32,
+    /// Communications paid by the neighborhood with the node in place.
+    before: u32,
+    /// Communications paid with the node re-homed to the entry's target.
+    after: u32,
+    valid: bool,
+}
+
+impl RefineCache {
+    /// Re-anchors the cache to `part` before a refinement call: resizes
+    /// (invalidating everything) on shape change, otherwise folds the
+    /// partition diff since the last call into the version counters.
+    fn prepare(&mut self, part: &[u8], clusters: u8) {
+        if !self.primed || self.nodes != part.len() || self.clusters != clusters {
+            self.nodes = part.len();
+            self.clusters = clusters;
+            self.entries.clear();
+            self.entries
+                .resize(part.len() * clusters as usize, MoveEntry::default());
+            self.version.clear();
+            self.version.resize(clusters as usize, 0);
+            self.last_part.clear();
+            self.last_part.extend_from_slice(part);
+            self.primed = true;
+        } else {
+            self.observe(part);
+        }
+    }
+
+    /// Folds every cluster change between the snapshot and `part` into the
+    /// version counters. Called on entry and after each accepted move.
+    fn observe(&mut self, part: &[u8]) {
+        for (&new, old) in part.iter().zip(self.last_part.iter_mut()) {
+            if *old != new {
+                self.version[*old as usize] += 1;
+                self.version[new as usize] += 1;
+                *old = new;
+            }
+        }
+    }
+
+    fn vsum_of(&self, mask: u32) -> u64 {
+        let mut sum = 0u64;
+        let mut m = mask;
+        while m != 0 {
+            sum += u64::from(self.version[m.trailing_zeros() as usize]);
+            m &= m - 1;
+        }
+        sum
+    }
+
+    /// The cached `(before, after)` communication counts of moving `node`
+    /// to `target`, if still valid.
+    fn get(&self, node: usize, target: u8) -> Option<(u32, u32)> {
+        let e = &self.entries[node * self.clusters as usize + target as usize];
+        (e.valid && e.vsum == self.vsum_of(e.mask)).then_some((e.before, e.after))
+    }
+
+    /// Fills the `(node, target)` entry under the current partition.
+    fn put(
+        &mut self,
+        ddg: &Ddg,
+        part: &Partition,
+        node: usize,
+        target: u8,
+        before: u32,
+        after: u32,
+    ) {
+        let n = NodeId::new(node as u32);
+        let mut mask = 0u32;
+        let mut add = |x: NodeId| mask |= 1u32 << part.cluster_of(x);
+        add(n);
+        for &s in ddg.data_succs(n) {
+            add(s);
+        }
+        for &p in ddg.data_preds(n) {
+            add(p);
+            for &s in ddg.data_succs(p) {
+                add(s);
+            }
+        }
+        let vsum = self.vsum_of(mask);
+        self.entries[node * self.clusters as usize + target as usize] = MoveEntry {
+            vsum,
+            mask,
+            before,
+            after,
+            valid: true,
+        };
+    }
+}
+
 /// Refines a partition by walking the hierarchy from coarse to fine,
 /// greedily moving macro-nodes between clusters while the score improves.
 #[must_use]
@@ -195,10 +431,39 @@ pub(crate) fn refine_inner(
     analysis: &LoopAnalysis,
     scratch: &mut RefineScratch,
 ) -> Partition {
+    refine_inner_variant(ddg, machine, ii, hierarchy, initial, analysis, scratch, 0)
+}
+
+/// [`refine_inner`] with a perturbation index for best-of-N seed racing:
+/// `variant` rotates the target-cluster scan order inside every level, so
+/// score *ties* between destination clusters break differently and the
+/// greedy walk explores a different trajectory. `variant == 0` is the
+/// canonical order — bit-identical to [`refine_inner`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refine_inner_variant(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    hierarchy: &Hierarchy,
+    initial: Partition,
+    analysis: &LoopAnalysis,
+    scratch: &mut RefineScratch,
+    variant: u32,
+) -> Partition {
     let mut part = initial;
     // Skip the coarsest level: each of its macros is an entire cluster.
+    // Consecutive levels see the same (graph, II, partition) state, so the
+    // first level's exit move base is every later level's entry base.
+    let mut reuse_base = false;
     for level in hierarchy.levels.iter().rev().skip(1) {
-        part = refine_level(ddg, machine, ii, level, part, analysis, scratch);
+        let mut opts = LevelOpts {
+            variant,
+            cache: None,
+            trace: None,
+            reuse_base,
+        };
+        part = refine_level(ddg, machine, ii, level, part, analysis, scratch, &mut opts);
+        reuse_base = true;
     }
     part
 }
@@ -241,8 +506,8 @@ pub fn refine_existing_with(
     )
 }
 
-/// [`refine_existing_with`] on a persistent [`RefineScratch`] — the
-/// driver's per-II entry point. Bit-identical to [`refine_existing`].
+/// [`refine_existing_with`] on a persistent [`RefineScratch`] — bit-identical
+/// to [`refine_existing`].
 #[must_use]
 pub fn refine_existing_scratch(
     ddg: &Ddg,
@@ -252,14 +517,147 @@ pub fn refine_existing_scratch(
     analysis: &LoopAnalysis,
     scratch: &mut RefineScratch,
 ) -> Partition {
+    refine_existing_driver(ddg, machine, ii, part, analysis, scratch, None, None)
+}
+
+/// [`refine_existing_scratch`] with a persistent [`RefineCache`] — the
+/// driver's per-II entry point. The cache must only ever see this one
+/// `(graph, machine)` pair. Bit-identical to [`refine_existing`].
+#[must_use]
+pub fn refine_existing_cached(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    part: Partition,
+    analysis: &LoopAnalysis,
+    scratch: &mut RefineScratch,
+    cache: &mut RefineCache,
+) -> Partition {
+    refine_existing_driver(ddg, machine, ii, part, analysis, scratch, Some(cache), None)
+}
+
+/// [`refine_existing_cached`] recording every accepted move — the
+/// production side of the differential oracle tests.
+#[doc(hidden)]
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn refine_existing_trace(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    part: Partition,
+    analysis: &LoopAnalysis,
+    scratch: &mut RefineScratch,
+    cache: Option<&mut RefineCache>,
+    trace: &mut Vec<RefineMove>,
+) -> Partition {
+    refine_existing_driver(
+        ddg,
+        machine,
+        ii,
+        part,
+        analysis,
+        scratch,
+        cache,
+        Some(trace),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn refine_existing_driver(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    part: Partition,
+    analysis: &LoopAnalysis,
+    scratch: &mut RefineScratch,
+    cache: Option<&mut RefineCache>,
+    trace: Option<&mut Vec<RefineMove>>,
+) -> Partition {
     if machine.clusters() == 1 {
         return part;
+    }
+    if let Some(cache) = &cache {
+        debug_assert!(!cache.primed || cache.nodes == ddg.node_count() || cache.nodes == 0);
     }
     let identity = CoarseLevel {
         macro_of: (0..ddg.node_count()).collect(),
         n_macros: ddg.node_count(),
     };
-    refine_level(ddg, machine, ii, &identity, part, analysis, scratch)
+    let mut opts = LevelOpts {
+        variant: 0,
+        cache,
+        trace,
+        reuse_base: false,
+    };
+    if let Some(cache) = opts.cache.as_deref_mut() {
+        cache.prepare(part.as_slice(), machine.clusters());
+    }
+    refine_level(
+        ddg, machine, ii, &identity, part, analysis, scratch, &mut opts,
+    )
+}
+
+/// A from-scratch reference implementation of [`refine_existing_scratch`]:
+/// the same greedy walk, but every candidate is scored with a full
+/// pseudo-schedule — no lazy rejection, no incremental ASAP, no cache.
+/// Returns the refined partition and the accepted-move sequence; the
+/// differential proptests assert both match the production path exactly.
+#[doc(hidden)]
+#[must_use]
+pub fn refine_existing_oracle(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    mut part: Partition,
+    analysis: &LoopAnalysis,
+) -> (Partition, Vec<RefineMove>) {
+    let mut moves = Vec::new();
+    if machine.clusters() == 1 {
+        return (part, moves);
+    }
+    let mut scratch = RefineScratch::default();
+    let mut best = score_partition_scratch(ddg, &part, machine, ii, analysis, &mut scratch);
+    for _ in 0..MAX_PASSES {
+        let mut improved = false;
+        let consider_all = !best.feasible();
+        for i in 0..ddg.node_count() {
+            let n = NodeId::new(i as u32);
+            let current = part.cluster_of(n);
+            let boundary = ddg
+                .out_edges(n)
+                .map(|e| e.dst)
+                .chain(ddg.in_edges(n).map(|e| e.src))
+                .any(|other| part.cluster_of(other) != current);
+            if !consider_all && !boundary {
+                continue;
+            }
+            let mut best_move: Option<(u8, PartitionScore)> = None;
+            for target in 0..machine.clusters() {
+                if target == current {
+                    continue;
+                }
+                part.set_cluster(n, target);
+                let score =
+                    score_partition_scratch(ddg, &part, machine, ii, analysis, &mut scratch);
+                part.set_cluster(n, current);
+                let thresh = best_move.as_ref().map_or(&best, |(_, s)| s);
+                if score < *thresh {
+                    best_move = Some((target, score));
+                }
+            }
+            if let Some((target, score)) = best_move {
+                part.set_cluster(n, target);
+                best = score;
+                improved = true;
+                moves.push((i as u32, current, target));
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (part, moves)
 }
 
 /// Whether producer `x` needs a bus under `part` with the nodes marked in
@@ -295,6 +693,22 @@ fn cluster_overflow(machine: &MachineConfig, ii: u32, cluster: u8, usage: &[u32;
         .sum()
 }
 
+/// Per-call refinement options: the tie-break perturbation, the optional
+/// move-delta cache (singleton groups only) and the optional move trace.
+struct LevelOpts<'a> {
+    variant: u32,
+    cache: Option<&'a mut RefineCache>,
+    trace: Option<&'a mut Vec<RefineMove>>,
+    /// The scratch already holds the move base (census, comm count, ASAP
+    /// fixpoint, register estimates) of exactly this (graph, II, partition)
+    /// — true between consecutive levels of the multilevel walk, where the
+    /// previous level's exit state *is* this level's entry state. Skips the
+    /// O(V + E) entry recount; the entry-score debug assertion still
+    /// cross-checks the reused state against a full pseudo-schedule.
+    reuse_base: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn refine_level(
     ddg: &Ddg,
     machine: &MachineConfig,
@@ -303,18 +717,41 @@ fn refine_level(
     mut part: Partition,
     analysis: &LoopAnalysis,
     scratch: &mut RefineScratch,
+    opts: &mut LevelOpts,
 ) -> Partition {
     let groups = level.groups();
     let bus_cap = machine.coms_capacity_per_ii(ii);
-    let mut best_score = score_partition_scratch(ddg, &part, machine, ii, analysis, scratch);
     // The cheap-delta base state of the *current* partition: instance
-    // census and communication count, refreshed after every accepted move.
+    // census, communication count and the incremental ASAP fixpoint,
+    // refreshed after every accepted move. The entry score is assembled
+    // from the same base state instead of a second full pseudo-schedule.
     let mut usage = std::mem::take(&mut scratch.usage);
-    scratch.assignment.set_from_partition(part.as_slice());
-    scratch
-        .assignment
-        .class_usage_into(ddg, machine.clusters(), &mut usage);
-    let mut ncoms = scratch.assignment.comm_count(ddg);
+    let mut ncoms;
+    if opts.reuse_base {
+        ncoms = scratch.base_ncoms;
+    } else {
+        scratch.assignment.set_from_partition(part.as_slice());
+        scratch
+            .assignment
+            .class_usage_into(ddg, machine.clusters(), &mut usage);
+        ncoms = scratch.assignment.comm_count(ddg);
+        scratch.rebuild_move_base(ddg, machine, ii, &part, analysis);
+        scratch.base_ncoms = ncoms;
+    }
+    let mut best_score = base_score(
+        machine,
+        ii,
+        bus_cap,
+        &usage,
+        ncoms,
+        &scratch.inc,
+        &scratch.est_base,
+    );
+    debug_assert_eq!(
+        best_score,
+        score_partition_scratch(ddg, &part, machine, ii, analysis, scratch),
+        "base-state entry score diverged from the full pseudo-schedule"
+    );
 
     scratch.in_group.clear();
     scratch.in_group.resize(ddg.node_count(), false);
@@ -344,10 +781,14 @@ fn refine_level(
                 continue;
             }
             let current = part.cluster_of(NodeId::new(group[0] as u32));
+            // The move-delta cache only keys singleton groups: multilevel
+            // macro representatives alias across hierarchy levels.
+            let singleton = group.len() == 1;
 
             // Group-invariant delta ingredients, shared by every target:
             // membership marks, the affected-producer list, the group's
-            // class census and the communications counted under `part`.
+            // class census and (lazily) the communications paid under
+            // `part`.
             scratch.epoch += 1;
             let epoch = scratch.epoch;
             for &i in group {
@@ -369,11 +810,7 @@ fn refine_level(
                     }
                 }
             }
-            let before: u32 = scratch
-                .affected
-                .iter()
-                .filter(|&&x| needs_comm_moved(ddg, &part, &scratch.in_group, current, x))
-                .count() as u32;
+            let mut before: Option<u32> = None;
             let cap_rest: u32 = (0..machine.clusters())
                 .map(|c| cluster_overflow(machine, ii, c, &usage[c as usize]))
                 .sum::<u32>()
@@ -384,78 +821,157 @@ fn refine_level(
             }
 
             let mut best_move: Option<(u8, PartitionScore)> = None;
-            for target in machine.cluster_ids() {
+            // The `variant` rotation only changes which *tied* destination
+            // is scanned (and therefore kept) first; variant 0 is the
+            // canonical ascending order.
+            let clusters = u32::from(machine.clusters());
+            for t in 0..clusters {
+                let target = ((t + opts.variant) % clusters) as u8;
                 if target == current {
                     continue;
                 }
+                let thresh = best_move.as_ref().map_or(&best_score, |(_, s)| s);
                 // Lazy lexicographic rejection on the exact cheap prefix:
                 // (capacity, bus). `thresh` is what the full score would
                 // be compared against.
-                let thresh = best_move.as_ref().map_or(&best_score, |(_, s)| s);
-                let decided_worse = 'cheap: {
-                    let mut dst_usage = usage[target as usize];
-                    for (slot, &g) in dst_usage.iter_mut().zip(&group_census) {
-                        *slot += g;
+                let mut dst_usage = usage[target as usize];
+                for (slot, &g) in dst_usage.iter_mut().zip(&group_census) {
+                    *slot += g;
+                }
+                let cap = cap_rest - cluster_overflow(machine, ii, target, &usage[target as usize])
+                    + cluster_overflow(machine, ii, current, &src_usage)
+                    + cluster_overflow(machine, ii, target, &dst_usage);
+                if cap > thresh.key.0 {
+                    debug_check_rejection(
+                        ddg,
+                        machine,
+                        ii,
+                        &mut part,
+                        analysis,
+                        scratch,
+                        group,
+                        current,
+                        target,
+                        &best_score,
+                        &best_move,
+                    );
+                    continue;
+                }
+                // Exact communication delta of the move, from the cache
+                // when a prior fill is still valid, else recomputed (and
+                // cached for later passes and IIs).
+                let (bef, after) = match opts
+                    .cache
+                    .as_deref()
+                    .filter(|_| singleton)
+                    .and_then(|c| c.get(group[0], target))
+                {
+                    Some(hit) => {
+                        #[cfg(debug_assertions)]
+                        {
+                            let want_before = comm_count_moved(ddg, &part, scratch, current);
+                            let want_after = comm_count_moved(ddg, &part, scratch, target);
+                            debug_assert_eq!(
+                                hit,
+                                (want_before, want_after),
+                                "stale RefineCache hit for node {} -> {target}",
+                                group[0]
+                            );
+                        }
+                        hit
                     }
-                    let cap = cap_rest
-                        - cluster_overflow(machine, ii, target, &usage[target as usize])
-                        + cluster_overflow(machine, ii, current, &src_usage)
-                        + cluster_overflow(machine, ii, target, &dst_usage);
-                    if cap != thresh.key.0 {
-                        break 'cheap cap > thresh.key.0;
+                    None => {
+                        let bef = *before
+                            .get_or_insert_with(|| comm_count_moved(ddg, &part, scratch, current));
+                        let after = comm_count_moved(ddg, &part, scratch, target);
+                        if singleton {
+                            if let Some(cache) = opts.cache.as_deref_mut() {
+                                cache.put(ddg, &part, group[0], target, bef, after);
+                            }
+                        }
+                        (bef, after)
                     }
-                    let after: u32 = scratch
-                        .affected
-                        .iter()
-                        .filter(|&&x| needs_comm_moved(ddg, &part, &scratch.in_group, target, x))
-                        .count() as u32;
-                    let q_ncoms = ncoms - before + after;
-                    let bus = q_ncoms.saturating_sub(bus_cap);
-                    if bus != thresh.key.1 {
-                        break 'cheap bus > thresh.key.1;
-                    }
-                    // Beyond (cap, bus) the cheap prefix ends: when the
-                    // group touches no recurrence its rec component
-                    // provably ties with the incumbent's (no cycle edge
-                    // changed latency, and any pending best_move is a
-                    // same-group candidate under the same invariance), so
-                    // the decision always rests on the expensive
-                    // register/length components — full score it is.
-                    false
                 };
-                if decided_worse {
-                    // Debug builds re-score the rejected move in full and
-                    // assert the lazy prefix reached the same verdict —
-                    // the delta arithmetic's equivalence proof obligation.
-                    #[cfg(debug_assertions)]
-                    {
-                        for &i in group {
-                            part.set_cluster(NodeId::new(i as u32), target);
-                        }
-                        let full =
-                            score_partition_scratch(ddg, &part, machine, ii, analysis, scratch);
-                        for &i in group {
-                            part.set_cluster(NodeId::new(i as u32), current);
-                        }
-                        let thresh = best_move.as_ref().map_or(&best_score, |(_, s)| s);
-                        debug_assert!(
-                            full >= *thresh,
-                            "lazy prefix rejected an improving move: {full:?} < {thresh:?}"
-                        );
-                    }
+                let q_ncoms = ncoms - bef + after;
+                let bus = q_ncoms.saturating_sub(bus_cap);
+                if cap == thresh.key.0 && bus > thresh.key.1 {
+                    debug_check_rejection(
+                        ddg,
+                        machine,
+                        ii,
+                        &mut part,
+                        analysis,
+                        scratch,
+                        group,
+                        current,
+                        target,
+                        &best_score,
+                        &best_move,
+                    );
+                    continue;
+                }
+                // One more exact cheap rejection: with (cap, bus) tied and
+                // an incumbent that is recurrence- and register-feasible,
+                // a candidate with MORE communications loses no matter what
+                // its own expensive components are — its key tail is at
+                // best (0, 0, q_ncoms, ..) which already compares greater.
+                // This is the common shape in the II climb (stable feasible
+                // partition, every move adds a communication) and is what
+                // keeps most candidates away from the ASAP speculation.
+                if cap == thresh.key.0
+                    && bus == thresh.key.1
+                    && thresh.key.2 == 0
+                    && thresh.key.3 == 0
+                    && q_ncoms > thresh.key.4
+                {
+                    debug_check_rejection(
+                        ddg,
+                        machine,
+                        ii,
+                        &mut part,
+                        analysis,
+                        scratch,
+                        group,
+                        current,
+                        target,
+                        &best_score,
+                        &best_move,
+                    );
                     continue;
                 }
 
-                for &i in group {
-                    part.set_cluster(NodeId::new(i as u32), target);
+                // Still in the race: derive the expensive key components
+                // (recurrences, registers, length, imbalance) from a
+                // speculative incremental-ASAP update instead of a full
+                // pseudo-schedule. `None` is a proven raise-only rejection.
+                let score = speculate_move_score(
+                    ddg, machine, ii, &part, analysis, scratch, group, target, cap, bus, q_ncoms,
+                    &usage, current, &src_usage, &dst_usage, thresh,
+                );
+                #[cfg(debug_assertions)]
+                {
+                    for &i in group {
+                        part.set_cluster(NodeId::new(i as u32), target);
+                    }
+                    let full = score_partition_scratch(ddg, &part, machine, ii, analysis, scratch);
+                    for &i in group {
+                        part.set_cluster(NodeId::new(i as u32), current);
+                    }
+                    match &score {
+                        Some(score) => debug_assert_eq!(
+                            score, &full,
+                            "incremental candidate score diverged from the full pseudo-schedule"
+                        ),
+                        None => debug_assert!(
+                            full >= *best_move.as_ref().map_or(&best_score, |(_, s)| s),
+                            "monotonicity rejection dropped an improving move"
+                        ),
+                    }
                 }
-                let score = score_partition_scratch(ddg, &part, machine, ii, analysis, scratch);
+                let Some(score) = score else { continue };
                 let thresh = best_move.as_ref().map_or(&best_score, |(_, s)| s);
                 if score < *thresh {
                     best_move = Some((target, score));
-                }
-                for &i in group {
-                    part.set_cluster(NodeId::new(i as u32), current);
                 }
             }
             for &i in group {
@@ -472,6 +988,14 @@ fn refine_level(
                     .assignment
                     .class_usage_into(ddg, machine.clusters(), &mut usage);
                 ncoms = scratch.assignment.comm_count(ddg);
+                scratch.rebuild_move_base(ddg, machine, ii, &part, analysis);
+                scratch.base_ncoms = ncoms;
+                if let Some(cache) = opts.cache.as_deref_mut() {
+                    cache.observe(part.as_slice());
+                }
+                if let Some(trace) = opts.trace.as_deref_mut() {
+                    trace.push((group[0] as u32, current, target));
+                }
             }
         }
         if !improved {
@@ -480,6 +1004,320 @@ fn refine_level(
     }
     scratch.usage = usage;
     part
+}
+
+/// Communications paid by the affected producers with the marked group
+/// re-homed to `target` — the cacheable half of a move's bus delta.
+fn comm_count_moved(ddg: &Ddg, part: &Partition, scratch: &RefineScratch, target: u8) -> u32 {
+    scratch
+        .affected
+        .iter()
+        .filter(|&&x| needs_comm_moved(ddg, part, &scratch.in_group, target, x))
+        .count() as u32
+}
+
+/// Debug-build proof obligation of the lazy (cap, bus) rejection: re-score
+/// the rejected candidate in full and assert the verdict matches.
+#[allow(clippy::too_many_arguments, unused_variables)]
+fn debug_check_rejection(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    part: &mut Partition,
+    analysis: &LoopAnalysis,
+    scratch: &mut RefineScratch,
+    group: &[usize],
+    current: u8,
+    target: u8,
+    best_score: &PartitionScore,
+    best_move: &Option<(u8, PartitionScore)>,
+) {
+    #[cfg(debug_assertions)]
+    {
+        for &i in group {
+            part.set_cluster(NodeId::new(i as u32), target);
+        }
+        let full = score_partition_scratch(ddg, part, machine, ii, analysis, scratch);
+        for &i in group {
+            part.set_cluster(NodeId::new(i as u32), current);
+        }
+        let thresh = best_move.as_ref().map_or(best_score, |(_, s)| s);
+        debug_assert!(
+            full >= *thresh,
+            "lazy prefix rejected an improving move: {full:?} < {thresh:?}"
+        );
+    }
+}
+
+/// Scores one surviving candidate move incrementally: applies the move's
+/// edge-latency changes, speculates the ASAP fixpoint through the affected
+/// cone, re-derives the register estimate over only the producers whose
+/// lifetime or home could have changed, and rolls everything back. The
+/// returned score is byte-identical to [`score_partition_scratch`] of the
+/// moved partition (asserted per candidate in debug builds).
+#[allow(clippy::too_many_arguments)]
+fn speculate_move_score(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    part: &Partition,
+    analysis: &LoopAnalysis,
+    scratch: &mut RefineScratch,
+    group: &[usize],
+    target: u8,
+    cap: u32,
+    bus: u32,
+    q_ncoms: u32,
+    usage: &[[u32; 3]],
+    current: u8,
+    src_usage: &[u32; 3],
+    dst_usage: &[u32; 3],
+    thresh: &PartitionScore,
+) -> Option<PartitionScore> {
+    let RefineScratch {
+        in_group,
+        seen,
+        epoch,
+        inc,
+        cur_edge_lat,
+        edge_changes,
+        raised,
+        lowered,
+        node_regs,
+        est_base,
+        est_tmp,
+        ..
+    } = scratch;
+
+    // 1. Collect the move's edge-latency changes: only data edges incident
+    // to the group can change, and each is visited exactly once (in-edges
+    // whose source is also in the group were already seen as out-edges).
+    edge_changes.clear();
+    raised.clear();
+    lowered.clear();
+    let base = analysis.edge_lat();
+    let uniform = machine.uniform_transfer_latency();
+    {
+        let eff = |n: NodeId| {
+            if in_group[n.index()] {
+                target
+            } else {
+                part.cluster_of(n)
+            }
+        };
+        let mut consider = |eid: u32| {
+            let e = ddg.edge(eid);
+            if !e.is_data() {
+                return;
+            }
+            let cs = eff(e.src);
+            let cd = eff(e.dst);
+            let lat = base[eid as usize]
+                + if cs == cd {
+                    0
+                } else {
+                    uniform.unwrap_or_else(|| machine.transfer_latency(cs, cd))
+                };
+            let old = cur_edge_lat[eid as usize];
+            if lat != old {
+                edge_changes.push((eid, old));
+                cur_edge_lat[eid as usize] = lat;
+                if lat > old {
+                    raised.push(e.dst);
+                } else {
+                    lowered.push(e.dst);
+                }
+            }
+        };
+        for &i in group {
+            let m = NodeId::new(i as u32);
+            for &eid in ddg.out_edge_ids(m) {
+                consider(eid);
+            }
+            for &eid in ddg.in_edge_ids(m) {
+                if !in_group[ddg.edge(eid).src.index()] {
+                    consider(eid);
+                }
+            }
+        }
+    }
+
+    // 2. Monotonicity rejection: a move that only *raises* latencies (it
+    // pulls the group away from every neighbour; nothing gets closer) can
+    // only grow the least fixpoint, so its length is at least the base
+    // length — and an infeasible base or candidate stays / becomes
+    // infeasible, which is worse still. Against a recurrence- and
+    // register-feasible incumbent that ties the whole cheap prefix, the
+    // candidate can therefore only win on imbalance, and only when the
+    // incumbent's length already equals the base length. Everything here
+    // is exact; no speculation is needed to reject.
+    if lowered.is_empty()
+        && cap == thresh.key.0
+        && bus == thresh.key.1
+        && thresh.key.2 == 0
+        && thresh.key.3 == 0
+        && q_ncoms == thresh.key.4
+    {
+        let beaten = if thresh.key.5 < inc.length() {
+            true
+        } else if thresh.key.5 == inc.length() {
+            imbalance_of(machine, usage, current, target, src_usage, dst_usage) >= thresh.key.6
+        } else {
+            false
+        };
+        if beaten {
+            for &(eid, old) in edge_changes.iter() {
+                cur_edge_lat[eid as usize] = old;
+            }
+            return None;
+        }
+    }
+
+    // 3. Speculate the ASAP fixpoint through the affected cone.
+    let (rec, est, reg) = match inc.speculate(ddg, ii, cur_edge_lat, raised, lowered) {
+        // Infeasible candidate: the full score reports reg 0 and max est.
+        None => (1u8, i64::MAX, 0u32),
+        Some(len) => {
+            // 4. Register estimate. A producer's cost changes only if its
+            // own ASAP or a data successor's ASAP moved, or it is in the
+            // group (its home cluster changes); update exactly that set.
+            let reg = match inc.spec_changed() {
+                Some(changed) => {
+                    est_tmp.clone_from(est_base);
+                    *epoch += 1;
+                    let ep = *epoch;
+                    let asap = inc.asap();
+                    let mut update = |i: usize| {
+                        if seen[i] == ep {
+                            return;
+                        }
+                        seen[i] = ep;
+                        let n = NodeId::new(i as u32);
+                        if !ddg.kind(n).produces_value() {
+                            return;
+                        }
+                        est_tmp[part.cluster_of(n) as usize] -= node_regs[i];
+                        let home = if in_group[i] {
+                            target
+                        } else {
+                            part.cluster_of(n)
+                        };
+                        est_tmp[home as usize] += node_reg_cost(ddg, ii, analysis, asap, n);
+                    };
+                    for &(v, _) in changed {
+                        update(v as usize);
+                        for &p in ddg.data_preds(NodeId::new(v)) {
+                            update(p.index());
+                        }
+                    }
+                    for &i in group {
+                        update(i);
+                    }
+                    reg_overflow_of(est_tmp, machine)
+                }
+                // The speculation fell back to a full sweep (infeasible
+                // base or budget blown): recompute the estimate in full.
+                None => {
+                    est_tmp.clear();
+                    est_tmp.resize(machine.clusters() as usize, 0);
+                    let asap = inc.asap();
+                    for n in ddg.node_ids() {
+                        if !ddg.kind(n).produces_value() {
+                            continue;
+                        }
+                        let home = if in_group[n.index()] {
+                            target
+                        } else {
+                            part.cluster_of(n)
+                        };
+                        est_tmp[home as usize] += node_reg_cost(ddg, ii, analysis, asap, n);
+                    }
+                    reg_overflow_of(est_tmp, machine)
+                }
+            };
+            (0u8, len, reg)
+        }
+    };
+
+    // 5. Load imbalance from the substituted usage census — O(clusters).
+    let imbalance = imbalance_of(machine, usage, current, target, src_usage, dst_usage);
+
+    // 6. Roll the speculation back; the base state is untouched.
+    inc.rollback();
+    for &(eid, old) in edge_changes.iter() {
+        cur_edge_lat[eid as usize] = old;
+    }
+
+    Some(PartitionScore {
+        key: (cap, bus, rec, reg, q_ncoms, est, imbalance),
+    })
+}
+
+/// Load imbalance of the candidate partition, from the base census with
+/// the group's source / destination rows substituted — O(clusters).
+fn imbalance_of(
+    machine: &MachineConfig,
+    usage: &[[u32; 3]],
+    current: u8,
+    target: u8,
+    src_usage: &[u32; 3],
+    dst_usage: &[u32; 3],
+) -> u32 {
+    let mut lo = u32::MAX;
+    let mut hi = 0u32;
+    for c in 0..machine.clusters() {
+        let total: u32 = if c == current {
+            src_usage.iter().sum()
+        } else if c == target {
+            dst_usage.iter().sum()
+        } else {
+            usage[c as usize].iter().sum()
+        };
+        lo = lo.min(total);
+        hi = hi.max(total);
+    }
+    hi - lo.min(hi)
+}
+
+/// [`score_partition_scratch`] of the *current* partition assembled from
+/// the already-maintained base state (usage census, communication count,
+/// incremental ASAP fixpoint, per-cluster register estimate) — byte-equal
+/// by construction, asserted at every `refine_level` entry in debug builds.
+fn base_score(
+    machine: &MachineConfig,
+    ii: u32,
+    bus_cap: u32,
+    usage: &[[u32; 3]],
+    ncoms: u32,
+    inc: &IncrementalAsap,
+    est_base: &[u64],
+) -> PartitionScore {
+    let cap: u32 = (0..machine.clusters())
+        .map(|c| cluster_overflow(machine, ii, c, &usage[c as usize]))
+        .sum();
+    let bus = ncoms.saturating_sub(bus_cap);
+    let (rec, est, reg) = if inc.is_feasible() {
+        (0u8, inc.length(), reg_overflow_of(est_base, machine))
+    } else {
+        (1u8, i64::MAX, 0u32)
+    };
+    let (lo, hi) = usage
+        .iter()
+        .map(|u| u.iter().sum::<u32>())
+        .fold((u32::MAX, 0u32), |(lo, hi), t| (lo.min(t), hi.max(t)));
+    PartitionScore {
+        key: (cap, bus, rec, reg, ncoms, est, hi - lo.min(hi)),
+    }
+}
+
+/// Total register-file excess of a per-cluster estimate.
+fn reg_overflow_of(est: &[u64], machine: &MachineConfig) -> u32 {
+    est.iter()
+        .map(|&e| {
+            u32::try_from(e.saturating_sub(u64::from(machine.regs_per_cluster())))
+                .unwrap_or(u32::MAX)
+        })
+        .sum()
 }
 
 #[cfg(test)]
@@ -581,6 +1419,50 @@ mod tests {
             let fresh = refine_existing(&ddg, &m, ii, bad.clone());
             let reused = refine_existing_scratch(&ddg, &m, ii, bad, &analysis, &mut scratch);
             assert_eq!(fresh, reused, "ii={ii}");
+        }
+    }
+
+    /// A persistent cache across the II climb must not change a single
+    /// accepted move (debug builds additionally verify every hit in full).
+    #[test]
+    fn cached_refinement_matches_uncached_across_iis() {
+        let ddg = two_chains();
+        let m = machine("2c1b2l64r");
+        let analysis = LoopAnalysis::new(&ddg, &m);
+        let mut scratch = RefineScratch::default();
+        let mut cache = RefineCache::default();
+        let mut part = Partition::from_vec(vec![0, 1, 0, 1, 0, 1]);
+        for ii in 1..8 {
+            let plain = refine_existing(&ddg, &m, ii, part.clone());
+            part = refine_existing_cached(&ddg, &m, ii, part, &analysis, &mut scratch, &mut cache);
+            assert_eq!(plain, part, "ii={ii}");
+        }
+    }
+
+    /// The oracle and the production path accept the same move sequence.
+    #[test]
+    fn trace_matches_oracle() {
+        let ddg = two_chains();
+        let m = machine("2c1b2l64r");
+        let analysis = LoopAnalysis::new(&ddg, &m);
+        let mut scratch = RefineScratch::default();
+        let mut cache = RefineCache::default();
+        for ii in 1..6 {
+            let bad = Partition::from_vec(vec![0, 1, 0, 1, 0, 1]);
+            let mut trace = Vec::new();
+            let got = refine_existing_trace(
+                &ddg,
+                &m,
+                ii,
+                bad.clone(),
+                &analysis,
+                &mut scratch,
+                Some(&mut cache),
+                &mut trace,
+            );
+            let (want, want_moves) = refine_existing_oracle(&ddg, &m, ii, bad, &analysis);
+            assert_eq!(got, want, "ii={ii}");
+            assert_eq!(trace, want_moves, "ii={ii}");
         }
     }
 }

@@ -53,7 +53,7 @@ impl fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
-const KNOWN_OPTIONS: [&str; 12] = [
+const KNOWN_OPTIONS: [&str; 13] = [
     "machine",
     "mode",
     "loop",
@@ -66,6 +66,7 @@ const KNOWN_OPTIONS: [&str; 12] = [
     "runs",
     "warmup",
     "budget-ms",
+    "refine-seeds",
 ];
 
 impl Args {

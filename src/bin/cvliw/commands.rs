@@ -186,6 +186,10 @@ OPTIONS:
     --max-loops <n>        cap loops per program for `suite`
     --jobs <n>             suite worker threads (default: CPU count, max 8);
                            the report is identical for any worker count
+    --refine-seeds <n>     suite/bench: race n perturbed refinement seeds
+                           per loop for the MII seed partition (default 1 =
+                           off); the winner is picked by (score, seed-index),
+                           so reports never depend on thread scheduling
     --format <fmt>         suite output: text | json | csv | md
                            (default text; md is the docs/RESULTS.md book)
     --out <path>           suite output file; `-` forces stdout
@@ -514,6 +518,9 @@ fn grid_from_args(args: &Args, base: SuiteGrid) -> Result<SuiteGrid, CliError> {
     if let Some(cap) = args.get_num::<usize>("max-loops")? {
         grid = grid.with_max_loops(cap);
     }
+    if let Some(seeds) = args.get_num::<u32>("refine-seeds")? {
+        grid = grid.with_refine_seeds(seeds);
+    }
     Ok(grid)
 }
 
@@ -605,7 +612,6 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
             .collect::<Vec<_>>()
             .join(", ")
     );
-
     let rendered = emit_bench_json(&report);
     let destination = match args.get("out") {
         Some("-") => None,

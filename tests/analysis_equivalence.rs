@@ -115,9 +115,18 @@ proptest! {
     /// Scratch reuse is observationally pure: compiling through one
     /// `CompileContext` — whose `CompileScratch` stays dirty across modes
     /// and repeated compilations — must equal a fresh-state `compile_loop`
-    /// per call: same II, same schedule, same statistics. The second pass
-    /// through every mode exercises reuse of buffers left behind by a
-    /// *different* mode's attempt loop (including the failure-driven
+    /// per call: same II, same schedule, same statistics. "Dirty" here
+    /// covers every piece of incremental refinement state this crate
+    /// maintains: the `RefineScratch` with its incremental-ASAP engine
+    /// (per-candidate edge-latency overrides, cone worklists, undo logs),
+    /// the `(op, dest-cluster)` move-result `RefineCache` shared by the
+    /// whole II-climb chain, and the reused base-state communication
+    /// counts of the multilevel walk. An arbitrary capped pre-compile
+    /// first abandons the II climb at an arbitrary prefix — possibly as
+    /// an error — so the comparison passes start from a genuinely
+    /// arbitrary dirty state, not just a completed one. The second pass
+    /// through every mode then exercises reuse of buffers left behind by
+    /// a *different* mode's attempt loop (including the failure-driven
     /// II-skip state), and the driver's debug assertions re-verify every
     /// skipped attempt along the way.
     #[test]
@@ -125,9 +134,20 @@ proptest! {
         seed in 0u64..10_000,
         params in arb_params(),
         machine in arb_machine(),
+        cap_bump in 0u32..3,
     ) {
         let ddg = generate_loop(seed, &params).expect("generator is total").ddg;
         let ctx = CompileContext::new(&ddg, &machine);
+
+        // Dirty every incremental structure with a prior compile that may
+        // abort partway: the refinement chain, the move cache and the
+        // incremental-ASAP scratch are left at whatever prefix the capped
+        // climb reached.
+        let capped = CompileOptions {
+            mode: Mode::Replicate,
+            max_ii: Some(ctx.analysis().mii() + cap_bump),
+        };
+        let _ = compile_loop_ctx(&ddg, &machine, &capped, &ctx);
 
         for pass in 0..2 {
             for mode in Mode::ALL {
@@ -153,6 +173,40 @@ proptest! {
                         pass
                     ),
                 }
+            }
+        }
+    }
+
+    /// Best-of-N seed racing is deterministic at the context level: two
+    /// independently constructed seeded contexts — each racing its
+    /// perturbed refinements on its own scoped threads — must agree
+    /// bit-for-bit across every mode, because the winner is selected by
+    /// `(score, seed-index)`, never by thread completion order.
+    #[test]
+    fn seed_racing_context_is_deterministic(
+        seed in 0u64..10_000,
+        params in arb_params(),
+        machine in arb_machine(),
+    ) {
+        let ddg = generate_loop(seed, &params).expect("generator is total").ddg;
+        let a = CompileContext::new(&ddg, &machine).with_refine_seeds(4);
+        let b = CompileContext::new(&ddg, &machine).with_refine_seeds(4);
+        for mode in Mode::ALL {
+            let opts = CompileOptions { mode, max_ii: None };
+            let ra = compile_loop_ctx(&ddg, &machine, &opts, &a);
+            let rb = compile_loop_ctx(&ddg, &machine, &opts, &b);
+            match (&ra, &rb) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(&x.schedule, &y.schedule, "mode {}", mode.name());
+                    prop_assert_eq!(&x.assignment, &y.assignment);
+                    prop_assert_eq!(x.stats, y.stats);
+                }
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                _ => prop_assert!(
+                    false,
+                    "raced contexts disagree on success for mode {}",
+                    mode.name()
+                ),
             }
         }
     }
