@@ -414,6 +414,16 @@ impl CompileContext {
         &self.analysis
     }
 
+    /// The seed-racing width this context compiles with (1 = racing
+    /// disabled). A context's results are a pure function of
+    /// `(loop structure, machine, mode, refine_seeds)`, so any cache keyed
+    /// on a context must fold this in — it is part of the canonical cache
+    /// key, alongside [`crate::loop_fingerprint`] and the machine spec.
+    #[must_use]
+    pub fn refine_seeds(&self) -> u32 {
+        self.refine_seeds
+    }
+
     /// Wall-clock nanoseconds spent per [`Stage`] across every compilation
     /// run through this context (indexed by `Stage as usize`). Purely a
     /// measurement by-product: timing never influences any result. When

@@ -65,6 +65,7 @@
 mod acyclic;
 mod driver;
 mod engine;
+mod fingerprint;
 mod liveness;
 mod macro_rep;
 pub mod paper_example;
@@ -80,6 +81,7 @@ pub use driver::{
     CompiledLoop, LoopStats, Mode, Stage,
 };
 pub use engine::{EngineScratch, ReplicationEngine, ReplicationOutcome, ReplicationStats};
+pub use fingerprint::{fnv1a_64, loop_fingerprint};
 pub use liveness::{dead_instances, live_instances, InstanceView};
 pub use macro_rep::macro_replicate;
 pub use plan::{

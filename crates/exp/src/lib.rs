@@ -52,6 +52,7 @@ mod emit_md;
 mod grid;
 mod report;
 mod runner;
+mod serve_bench;
 
 pub use bench::{bench_suite, emit_bench_json, BenchReport, PairTiming};
 pub use cell::{
@@ -62,3 +63,4 @@ pub use emit_md::emit_markdown;
 pub use grid::{CellSpec, SuiteGrid};
 pub use report::SuiteReport;
 pub use runner::{default_jobs, run_suite, SuiteError};
+pub use serve_bench::{serve_replay, ServeReport};

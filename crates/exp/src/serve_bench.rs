@@ -1,0 +1,184 @@
+//! The `cvliw bench --serve` loopback driver: replays the suite grid as
+//! daemon traffic and measures the serving layer the way `bench_suite`
+//! measures the compiler.
+//!
+//! The replay renders every (machine × mode × loop) cell of the grid as a
+//! protocol request line — the loop reprinted through `cvliw_ir`, exactly
+//! what a real client would pipe in — then pushes the whole stream through
+//! one in-process [`Server`] **twice**: a cold pass that compiles and
+//! populates the cache, and a warm pass of the same requests under fresh
+//! ids that must be answered entirely from it. Byte-identity of the two
+//! passes (modulo ids) is asserted here on every bench run, not just in
+//! the test suite.
+
+use std::time::Instant;
+
+use cvliw_ir::print_loop;
+use cvliw_serve::testutil::escape;
+use cvliw_serve::{Server, ServerConfig};
+
+use crate::grid::SuiteGrid;
+use crate::runner::{prepare, SuiteError};
+
+/// Throughput and hit-rate accounting of one loopback replay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    /// Requests per pass (grid cells × loops per program).
+    pub requests: usize,
+    /// Worker threads the server ran with.
+    pub jobs: usize,
+    /// Wall-clock milliseconds of the cold (compiling) pass.
+    pub cold_wall_ms: f64,
+    /// Wall-clock milliseconds of the warm (all-hit) pass.
+    pub warm_wall_ms: f64,
+    /// Cold-pass requests per second.
+    pub cold_rps: f64,
+    /// Warm-pass requests per second.
+    pub warm_rps: f64,
+    /// Fraction of warm-pass requests answered from the result cache.
+    pub warm_hit_rate: f64,
+    /// Responses that carried an error body (0 for a healthy grid).
+    pub errors: u64,
+}
+
+/// Replays `grid` through an in-process server: one cold pass, one warm
+/// pass, asserting the warm responses are byte-identical to the cold ones
+/// apart from the request ids.
+///
+/// # Errors
+///
+/// Returns [`SuiteError`] for the same invalid grids [`crate::run_suite`]
+/// rejects.
+///
+/// # Panics
+///
+/// Panics if the server violates its byte-identity guarantee — a bench
+/// run doubles as an end-to-end check of the serving layer.
+pub fn serve_replay(grid: &SuiteGrid, jobs: usize) -> Result<ServeReport, SuiteError> {
+    let prep = prepare(grid)?;
+    let jobs = jobs.max(1);
+
+    // Traffic in cell order (machine-major, then mode, then program), every
+    // loop of the program: the same work a suite run compiles, phrased as
+    // requests. Sources are escaped once; the two passes differ only in id.
+    let mut sources: Vec<(String, usize, usize)> = Vec::new(); // (escaped loop, spec, mode)
+    for s in 0..grid.specs.len() {
+        for m in 0..grid.modes.len() {
+            for program in &prep.programs {
+                for l in &program.loops {
+                    sources.push((escape(&print_loop(&l.name, &l.ddg)), s, m));
+                }
+            }
+        }
+    }
+    let render_pass = |id_base: u64| -> Vec<String> {
+        sources
+            .iter()
+            .enumerate()
+            .map(|(i, (escaped, s, m))| {
+                format!(
+                    "{{\"id\": {}, \"loop\": \"{escaped}\", \"machine\": \"{}\", \
+                     \"mode\": \"{}\", \"seeds\": {}}}",
+                    id_base + i as u64,
+                    escape(&grid.specs[*s]),
+                    grid.modes[*m].name(),
+                    prep.refine_seeds.max(1),
+                )
+            })
+            .collect()
+    };
+    let requests = sources.len();
+
+    let mut server = Server::new(ServerConfig {
+        jobs,
+        // The cache must hold the whole grid for the warm pass to be a
+        // pure hit storm — that is the scenario this bench exists to time.
+        cache_entries: requests.max(1),
+        ..ServerConfig::default()
+    });
+
+    let cold_lines = render_pass(0);
+    let mut cold_out = String::new();
+    let started = Instant::now();
+    for batch in cold_lines.chunks(cvliw_serve::MAX_BATCH) {
+        server.process_batch(batch, &mut cold_out);
+    }
+    let cold_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let cold_stats = server.stats();
+
+    let warm_lines = render_pass(requests as u64);
+    let mut warm_out = String::new();
+    let started = Instant::now();
+    for batch in warm_lines.chunks(cvliw_serve::MAX_BATCH) {
+        server.process_batch(batch, &mut warm_out);
+    }
+    let warm_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let warm_stats = server.stats();
+
+    // Byte-identity: strip the id prefix of every response line; the
+    // remainder must match pairwise between the passes.
+    let strip = |line: &str| -> String {
+        line.split_once(',')
+            .map_or_else(|| line.to_string(), |(_, rest)| rest.to_string())
+    };
+    let cold_bodies: Vec<String> = cold_out.lines().map(strip).collect();
+    let warm_bodies: Vec<String> = warm_out.lines().map(strip).collect();
+    assert_eq!(
+        cold_bodies, warm_bodies,
+        "serve replay: warm responses diverged from cold responses"
+    );
+
+    let warm_requests = warm_stats.requests - cold_stats.requests;
+    let warm_hits = warm_stats.hits - cold_stats.hits;
+    Ok(ServeReport {
+        requests,
+        jobs,
+        cold_wall_ms,
+        warm_wall_ms,
+        cold_rps: requests as f64 / (cold_wall_ms / 1e3),
+        warm_rps: requests as f64 / (warm_wall_ms / 1e3),
+        warm_hit_rate: if warm_requests == 0 {
+            0.0
+        } else {
+            warm_hits as f64 / warm_requests as f64
+        },
+        errors: warm_stats.errors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvliw_replicate::Mode;
+
+    fn tiny_grid() -> SuiteGrid {
+        SuiteGrid::paper()
+            .with_programs(vec!["tomcatv".into()])
+            .with_specs(vec!["2c1b2l64r".into(), "4c1b2l64r".into()])
+            .with_modes(vec![Mode::Baseline, Mode::Replicate])
+            .with_max_loops(2)
+    }
+
+    #[test]
+    fn replay_reports_full_warm_hit_rate_and_no_errors() {
+        let report = serve_replay(&tiny_grid(), 2).unwrap();
+        assert_eq!(report.requests, 2 * 2 * 2);
+        assert_eq!(report.jobs, 2);
+        assert!(report.errors == 0, "{report:?}");
+        assert!(
+            (report.warm_hit_rate - 1.0).abs() < 1e-9,
+            "warm pass must be all hits: {report:?}"
+        );
+        assert!(report.cold_wall_ms > 0.0 && report.warm_wall_ms > 0.0);
+        assert!(report.warm_rps >= report.cold_rps, "{report:?}");
+    }
+
+    #[test]
+    fn bad_grid_is_rejected() {
+        let grid = tiny_grid().with_specs(vec!["nope".into()]);
+        assert!(matches!(
+            serve_replay(&grid, 1),
+            Err(SuiteError::Spec { .. })
+        ));
+    }
+}

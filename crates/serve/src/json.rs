@@ -1,0 +1,314 @@
+//! A minimal flat-JSON scanner for the serve protocol — no external
+//! dependency, no allocation on the happy path.
+//!
+//! The protocol only ever exchanges one-level JSON objects whose values
+//! are strings or unsigned integers, so a full JSON tree is overkill:
+//! [`scan_object`] walks the line once and hands each `key: value` pair to
+//! a callback as **borrowed slices** of the input. String values are the
+//! *escaped* span between the quotes — callers that need the decoded text
+//! call [`unescape`] (which only allocates when an escape is actually
+//! present), and callers that only need an identity (the raw-text cache
+//! memo) hash the escaped span directly and never decode at all.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// Where and why a line failed to scan as a protocol object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the line.
+    pub pos: usize,
+    /// What was wrong at that offset.
+    pub detail: String,
+}
+
+impl JsonError {
+    fn new(pos: usize, detail: impl Into<String>) -> Self {
+        JsonError {
+            pos,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.pos, self.detail)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A scanned value: a borrowed escaped-string span or a number span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RawValue<'a> {
+    /// The bytes between the quotes, escapes untouched.
+    Str(&'a str),
+    /// The literal digit span (unsigned integers only).
+    Num(&'a str),
+    /// The literal `null`.
+    Null,
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), JsonError> {
+        match self.bytes.get(self.pos) {
+            Some(&b) if b == ch => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(JsonError::new(
+                self.pos,
+                format!("expected `{}`", char::from(ch)),
+            )),
+        }
+    }
+
+    /// Scans a quoted string, returning the escaped span between the
+    /// quotes. Escapes are *not* validated here beyond "a backslash is
+    /// followed by something" — [`unescape`] rejects unknown sequences.
+    fn string(&mut self, src: &'a str) -> Result<&'a str, JsonError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let span = &src[start..self.pos];
+                    self.pos += 1;
+                    return Ok(span);
+                }
+                b'\\' => {
+                    if self.pos + 1 >= self.bytes.len() {
+                        return Err(JsonError::new(self.pos, "truncated escape"));
+                    }
+                    self.pos += 2;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Err(JsonError::new(self.pos, "unterminated string"))
+    }
+
+    fn value(&mut self, src: &'a str) -> Result<RawValue<'a>, JsonError> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(RawValue::Str(self.string(src)?)),
+            Some(b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                Ok(RawValue::Num(&src[start..self.pos]))
+            }
+            Some(b'n') if self.bytes[self.pos..].starts_with(b"null") => {
+                self.pos += 4;
+                Ok(RawValue::Null)
+            }
+            _ => Err(JsonError::new(
+                self.pos,
+                "expected a string, an unsigned integer or null",
+            )),
+        }
+    }
+}
+
+/// Scans `line` as a single flat JSON object, invoking `field` for every
+/// `key: value` pair with borrowed slices. Trailing content after the
+/// closing brace (other than whitespace) is an error, as is anything the
+/// protocol grammar does not cover (nested objects, arrays, floats,
+/// booleans).
+pub fn scan_object<'a>(
+    line: &'a str,
+    mut field: impl FnMut(&'a str, RawValue<'a>) -> Result<(), JsonError>,
+) -> Result<(), JsonError> {
+    let mut s = Scanner {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    s.skip_ws();
+    s.expect(b'{')?;
+    s.skip_ws();
+    if s.bytes.get(s.pos) != Some(&b'}') {
+        loop {
+            s.skip_ws();
+            let key = s.string(line)?;
+            s.skip_ws();
+            s.expect(b':')?;
+            s.skip_ws();
+            let value = s.value(line)?;
+            field(key, value)?;
+            s.skip_ws();
+            match s.bytes.get(s.pos) {
+                Some(b',') => s.pos += 1,
+                Some(b'}') => break,
+                _ => return Err(JsonError::new(s.pos, "expected `,` or `}`")),
+            }
+        }
+    }
+    s.expect(b'}')?;
+    s.skip_ws();
+    if s.pos != s.bytes.len() {
+        return Err(JsonError::new(s.pos, "trailing content after object"));
+    }
+    Ok(())
+}
+
+/// Decodes a JSON-escaped span (as returned by [`scan_object`]) into the
+/// represented text. Borrows the input unchanged when no escape occurs.
+pub fn unescape(escaped: &str) -> Result<Cow<'_, str>, JsonError> {
+    if !escaped.as_bytes().contains(&b'\\') {
+        return Ok(Cow::Borrowed(escaped));
+    }
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.char_indices();
+    while let Some((pos, c)) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some((_, '"')) => out.push('"'),
+            Some((_, '\\')) => out.push('\\'),
+            Some((_, '/')) => out.push('/'),
+            Some((_, 'n')) => out.push('\n'),
+            Some((_, 't')) => out.push('\t'),
+            Some((_, 'r')) => out.push('\r'),
+            Some((_, 'b')) => out.push('\u{8}'),
+            Some((_, 'f')) => out.push('\u{c}'),
+            Some((_, 'u')) => {
+                let hex: String = chars.by_ref().take(4).map(|(_, c)| c).collect();
+                if hex.len() != 4 {
+                    return Err(JsonError::new(pos, "truncated \\u escape"));
+                }
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| JsonError::new(pos, "bad \\u escape"))?;
+                match char::from_u32(code) {
+                    Some(c) => out.push(c),
+                    None => {
+                        return Err(JsonError::new(pos, "\\u escape is not a scalar value"));
+                    }
+                }
+            }
+            _ => return Err(JsonError::new(pos, "unknown escape")),
+        }
+    }
+    Ok(Cow::Owned(out))
+}
+
+/// Appends `s` to `out` JSON-escaped (the inverse of [`unescape`] for
+/// the escapes this writer emits).
+pub fn escape_into(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(line: &str) -> Result<Vec<(String, String)>, JsonError> {
+        let mut out = Vec::new();
+        scan_object(line, |k, v| {
+            out.push((
+                k.to_string(),
+                match v {
+                    RawValue::Str(s) => format!("s:{s}"),
+                    RawValue::Num(n) => format!("n:{n}"),
+                    RawValue::Null => "null".to_string(),
+                },
+            ));
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    #[test]
+    fn scans_flat_objects() {
+        let got = fields(r#"{"id": 7, "loop": "loop t {\n}", "mode": "baseline"}"#).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                ("id".to_string(), "n:7".to_string()),
+                ("loop".to_string(), "s:loop t {\\n}".to_string()),
+                ("mode".to_string(), "s:baseline".to_string()),
+            ]
+        );
+        assert_eq!(fields("  { }  ").unwrap(), vec![]);
+        assert_eq!(
+            fields(r#"{"id": null}"#).unwrap(),
+            vec![("id".to_string(), "null".to_string())]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "not json",
+            "{",
+            r#"{"id""#,
+            r#"{"id":"#,
+            r#"{"id": 7"#,
+            r#"{"id": 7,}"#,
+            r#"{"id": 7} trailing"#,
+            r#"{"x": [1]}"#,
+            r#"{"x": {"y": 1}}"#,
+            r#"{"x": 1.5}"#,
+            r#"{"x": true}"#,
+            r#"{"x": "unterminated"#,
+            r#"{"x": "trailing backslash\"#,
+        ] {
+            assert!(fields(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn unescape_round_trips_escape() {
+        let original = "loop t {\n    x: load i\t// \"quoted\" \\ \u{1} ü\n}";
+        let mut escaped = String::new();
+        escape_into(original, &mut escaped);
+        assert_eq!(unescape(&escaped).unwrap(), original);
+        // No escapes → borrowed, not copied.
+        assert!(matches!(unescape("plain").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_rejects_bad_escapes() {
+        assert!(unescape(r"\q").is_err());
+        assert!(unescape(r"\u12").is_err());
+        assert!(unescape(r"\uzzzz").is_err());
+        assert!(unescape(r"\ud800").is_err()); // lone surrogate
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(unescape("\\u00fc").unwrap(), "ü");
+        assert_eq!(unescape("a\\u0041b").unwrap(), "aAb");
+    }
+}

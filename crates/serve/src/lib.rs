@@ -1,0 +1,39 @@
+//! Compile-as-a-service for the replication compiler: the machinery
+//! behind `cvliw serve`.
+//!
+//! A long-running daemon accepts compile requests — loop source, machine
+//! spec, mode, optional seed-racing width — as JSONL over stdin or a Unix
+//! socket, and answers each with exactly the counters a one-shot
+//! `compile_stats` run would report. Three guarantees, pinned by the
+//! differential test layer:
+//!
+//! * **Byte identity** — a served response body equals the one-shot
+//!   rendering of the same compile, hit or miss, whatever the worker
+//!   count, cold or warm.
+//! * **Determinism** — cache state and responses are a pure function of
+//!   the request stream: LRU stamps are request seq numbers, insertion
+//!   follows admission order, and work is sharded by key hash, never by
+//!   load.
+//! * **Allocation-free warm path** — a batch answered entirely from cache
+//!   touches no allocator: borrowed-slice JSON scanning, an interned spec
+//!   table, a raw-text fingerprint memo and `Arc` payload clones.
+//!
+//! The module split mirrors the request's journey: [`json`] scans the
+//! line, [`protocol`] types it, [`cache`] answers repeats, [`server`]
+//! runs the pool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod testutil;
+
+pub use cache::{CacheKey, ResultCache};
+pub use protocol::{
+    parse_request, render_compile_error_body, render_error_body, render_ok_body, render_response,
+    ErrorKind, Request, MAX_LINE_BYTES,
+};
+pub use server::{ServeStats, Server, ServerConfig, MAX_BATCH};

@@ -1,0 +1,687 @@
+//! The daemon proper: admission, the persistent worker pool and the
+//! batched request pump.
+//!
+//! A batch of request lines flows through four strictly ordered phases:
+//!
+//! 1. **Admission** (single-threaded, in line order): parse, intern the
+//!    machine spec, fingerprint the loop (via a raw-text memo that lets a
+//!    repeated request skip unescape *and* parse), then classify each
+//!    line as a cache **hit**, a **coalesced** duplicate of a miss
+//!    already admitted this batch, or a fresh **miss** routed to a
+//!    worker by `fnv(key) % jobs`.
+//! 2. **Compile fan-out**: each worker with jobs runs them on its own
+//!    thread against its own long-lived [`CompileContext`]s — a context
+//!    is keyed per `(loop, machine, seeds)` and survives across requests
+//!    and batches, so the scratch reuse the one-shot driver proves
+//!    byte-identical also pays off here. Workers never touch the cache.
+//! 3. **Cache insert** (single-threaded, in admission order): freshly
+//!    rendered payloads — compile failures included — enter the LRU
+//!    stamped with their request seq, so the cache state after a batch
+//!    is independent of worker count and thread scheduling.
+//! 4. **Emit** (in line order): every line gets exactly one response
+//!    line, hits and misses rendered from the same cached bytes.
+//!
+//! The warm path (every line a hit) allocates nothing: slots, job queues
+//! and the output string are reused across batches, payload clones are
+//! `Arc` refcount bumps, and the compile fan-out — the only phase that
+//! spawns threads — is skipped entirely when no jobs were admitted.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+use cvliw_ddg::Ddg;
+use cvliw_ir::parse_loop;
+use cvliw_machine::MachineConfig;
+use cvliw_replicate::{
+    compile_stats_ctx, fnv1a_64, loop_fingerprint, CompileContext, CompileOptions, Mode,
+};
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::json;
+use crate::protocol::{self, ErrorKind, Request, MAX_LINE_BYTES};
+
+/// Upper bound on lines drained into one batch by [`Server::run_jsonl`].
+pub const MAX_BATCH: usize = 64;
+
+/// Sizing knobs for a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Result-cache entry bound.
+    pub cache_entries: usize,
+    /// Result-cache payload-byte bound.
+    pub cache_bytes: usize,
+    /// Live [`CompileContext`]s each worker retains (LRU beyond that).
+    pub contexts_per_worker: usize,
+    /// Raw-text memo entries (escaped loop source → fingerprint).
+    pub memo_entries: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            jobs: 1,
+            cache_entries: 1024,
+            cache_bytes: 64 << 20,
+            contexts_per_worker: 64,
+            memo_entries: 1024,
+        }
+    }
+}
+
+/// Lifetime accounting, all counters monotonic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Request lines admitted (blank lines not counted).
+    pub requests: u64,
+    /// Lines answered from the result cache.
+    pub hits: u64,
+    /// Lines that required a compile.
+    pub misses: u64,
+    /// Lines that duplicated a miss admitted earlier in the same batch
+    /// and shared its compile instead of running their own.
+    pub coalesced: u64,
+    /// Compiles executed by the pool (successes and failures).
+    pub compiles: u64,
+    /// Result-cache evictions.
+    pub evictions: u64,
+    /// Responses that carried an `error` body.
+    pub errors: u64,
+}
+
+struct TextEntry {
+    escaped: Box<str>,
+    fp: u64,
+    stamp: u64,
+}
+
+struct CtxEntry {
+    ddg: Ddg,
+    ctx: CompileContext,
+    stamp: u64,
+}
+
+/// One worker's private state: its long-lived compile contexts. Each
+/// `CompileContext` holds interior mutability (`RefCell` scratch), so it
+/// is `Send` but not `Sync` — ownership by exactly one worker is what
+/// makes the fan-out sound, and key-sharded routing is what makes it
+/// deterministic.
+#[derive(Default)]
+struct WorkerState {
+    ctxs: HashMap<(u64, u32, u32), CtxEntry>,
+}
+
+struct Job {
+    key: CacheKey,
+    mode: Mode,
+    ddg: Option<Ddg>,
+    stamp: u64,
+    payload: Option<Arc<str>>,
+    is_err: bool,
+}
+
+enum Slot {
+    /// Whitespace-only line: no response.
+    Blank,
+    /// Answered from cache.
+    Hit { id: u64, payload: Arc<str> },
+    /// Awaiting the payload computed by `worker_jobs[worker][idx]`.
+    Job { id: u64, worker: u32, idx: u32 },
+    /// Rejected before compilation.
+    Reject { id: Option<u64>, kind: ErrorKind },
+    /// Accounting request.
+    Stats { id: u64 },
+}
+
+/// The compile daemon. Feed it batches of JSONL request lines (or a whole
+/// stream via [`Server::run_jsonl`]); state — cache, memo, worker
+/// contexts, counters — persists for the server's lifetime.
+pub struct Server {
+    cfg: ServerConfig,
+    machines: Vec<MachineConfig>,
+    spec_ids: HashMap<Box<str>, u32>,
+    text_memo: HashMap<u64, TextEntry>,
+    cache: ResultCache,
+    workers: Vec<WorkerState>,
+    worker_jobs: Vec<Vec<Job>>,
+    pending: HashMap<CacheKey, (u32, u32)>,
+    slots: Vec<Slot>,
+    body_buf: String,
+    stats: ServeStats,
+    seq: u64,
+}
+
+impl Server {
+    /// Creates a server with `cfg.jobs` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(cfg: ServerConfig) -> Self {
+        let jobs = cfg.jobs.max(1);
+        Server {
+            cfg: ServerConfig { jobs, ..cfg },
+            machines: Vec::new(),
+            spec_ids: HashMap::new(),
+            text_memo: HashMap::new(),
+            cache: ResultCache::new(cfg.cache_entries, cfg.cache_bytes),
+            workers: (0..jobs).map(|_| WorkerState::default()).collect(),
+            worker_jobs: (0..jobs).map(|_| Vec::new()).collect(),
+            pending: HashMap::new(),
+            slots: Vec::new(),
+            body_buf: String::new(),
+            stats: ServeStats::default(),
+            seq: 0,
+        }
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// One-line human summary for stderr.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "serve: {} requests, {} hits, {} misses ({} coalesced), {} compiles, {} evictions, \
+             {} errors",
+            s.requests, s.hits, s.misses, s.coalesced, s.compiles, s.evictions, s.errors
+        )
+    }
+
+    fn intern_spec(&mut self, escaped: &str) -> Result<u32, ErrorKind> {
+        if let Some(&id) = self.spec_ids.get(escaped) {
+            return Ok(id);
+        }
+        let text = json::unescape(escaped).map_err(|e| ErrorKind::BadField {
+            field: "machine",
+            detail: e.to_string(),
+        })?;
+        let machine = MachineConfig::from_extended_spec(&text).map_err(ErrorKind::Spec)?;
+        let id = u32::try_from(self.machines.len()).expect("spec intern overflow");
+        self.machines.push(machine);
+        self.spec_ids.insert(Box::from(escaped), id);
+        Ok(id)
+    }
+
+    /// Fingerprints the escaped loop source, via the raw-text memo when it
+    /// has seen these exact bytes before. Returns the parsed DDG only when
+    /// parsing actually happened (memo misses).
+    fn fingerprint_loop(
+        &mut self,
+        escaped: &str,
+        stamp: u64,
+    ) -> Result<(u64, Option<Ddg>), ErrorKind> {
+        let h = fnv1a_64(escaped.as_bytes());
+        if let Some(e) = self.text_memo.get_mut(&h) {
+            // Full-text equality guards against a 64-bit collision ever
+            // aliasing two different loops.
+            if &*e.escaped == escaped {
+                e.stamp = stamp;
+                return Ok((e.fp, None));
+            }
+        }
+        let text = json::unescape(escaped).map_err(|e| ErrorKind::BadField {
+            field: "loop",
+            detail: e.to_string(),
+        })?;
+        let named = parse_loop(&text).map_err(ErrorKind::Parse)?;
+        let fp = loop_fingerprint(&named.ddg);
+        if self.text_memo.len() >= self.cfg.memo_entries.max(1) {
+            if let Some(&victim) = self
+                .text_memo
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k)
+            {
+                self.text_memo.remove(&victim);
+            }
+        }
+        self.text_memo.insert(
+            h,
+            TextEntry {
+                escaped: Box::from(escaped),
+                fp,
+                stamp,
+            },
+        );
+        Ok((fp, Some(named.ddg)))
+    }
+
+    fn admit_compile(
+        &mut self,
+        id: u64,
+        loop_src: &str,
+        machine: &str,
+        mode: Mode,
+        seeds: u32,
+        stamp: u64,
+    ) -> Slot {
+        let spec = match self.intern_spec(machine) {
+            Ok(spec) => spec,
+            Err(kind) => return Slot::Reject { id: Some(id), kind },
+        };
+        let (fp, parsed) = match self.fingerprint_loop(loop_src, stamp) {
+            Ok(pair) => pair,
+            Err(kind) => return Slot::Reject { id: Some(id), kind },
+        };
+        let mode_idx = Mode::ALL
+            .into_iter()
+            .position(|m| m == mode)
+            .expect("mode in Mode::ALL") as u8;
+        let key = CacheKey {
+            fp,
+            spec,
+            mode: mode_idx,
+            seeds,
+        };
+
+        if let Some(payload) = self.cache.lookup(&key, stamp) {
+            self.stats.hits += 1;
+            if payload.starts_with("\"error\"") {
+                self.stats.errors += 1;
+            }
+            return Slot::Hit { id, payload };
+        }
+        if let Some(&(worker, idx)) = self.pending.get(&key) {
+            self.stats.coalesced += 1;
+            return Slot::Job { id, worker, idx };
+        }
+
+        self.stats.misses += 1;
+        // A miss always carries its DDG: the worker may lack a context for
+        // it (or may evict one mid-batch), and re-parsing here costs noise
+        // next to the compile the miss is about to pay for anyway.
+        let ddg = match parsed {
+            Some(d) => Some(d),
+            None => match json::unescape(loop_src)
+                .ok()
+                .and_then(|text| parse_loop(&text).ok())
+            {
+                Some(named) => Some(named.ddg),
+                // Unreachable in practice: a memo hit means these exact
+                // bytes parsed before. Fail closed if it ever happens.
+                None => {
+                    return Slot::Reject {
+                        id: Some(id),
+                        kind: ErrorKind::BadField {
+                            field: "loop",
+                            detail: "loop no longer parses".into(),
+                        },
+                    }
+                }
+            },
+        };
+        let worker = (fnv1a_64(&key.bytes()) % self.cfg.jobs as u64) as u32;
+        let idx = u32::try_from(self.worker_jobs[worker as usize].len()).expect("batch too large");
+        self.worker_jobs[worker as usize].push(Job {
+            key,
+            mode,
+            ddg,
+            stamp,
+            payload: None,
+            is_err: false,
+        });
+        self.pending.insert(key, (worker, idx));
+        Slot::Job { id, worker, idx }
+    }
+
+    /// Processes one batch of request lines, appending one response line
+    /// per non-blank input line (in input order) to `out`.
+    ///
+    /// A `stats` request reports the counters as of the end of this
+    /// batch's admission and compile work — deterministic for a given
+    /// request stream, whatever the worker count.
+    pub fn process_batch<S: AsRef<str>>(&mut self, lines: &[S], out: &mut String) {
+        self.slots.clear();
+        self.pending.clear();
+
+        // Phase 1: admission, in line order.
+        for line in lines {
+            let line = line.as_ref();
+            if line.trim().is_empty() {
+                self.slots.push(Slot::Blank);
+                continue;
+            }
+            self.stats.requests += 1;
+            let stamp = self.seq;
+            self.seq += 1;
+            if line.len() > MAX_LINE_BYTES {
+                self.stats.errors += 1;
+                self.slots.push(Slot::Reject {
+                    id: None,
+                    kind: ErrorKind::Oversized { bytes: line.len() },
+                });
+                continue;
+            }
+            let slot = match protocol::parse_request(line) {
+                Ok(Request::Stats { id }) => Slot::Stats { id },
+                Ok(Request::Compile {
+                    id,
+                    loop_src,
+                    machine,
+                    mode,
+                    seeds,
+                }) => self.admit_compile(id, loop_src, machine, mode, seeds, stamp),
+                Err((id, kind)) => Slot::Reject { id, kind },
+            };
+            if let Slot::Reject { .. } = slot {
+                self.stats.errors += 1;
+            }
+            self.slots.push(slot);
+        }
+
+        // Phase 2: compile fan-out. Skipped entirely on an all-hit batch —
+        // even spawning a scope would allocate.
+        if self.worker_jobs.iter().any(|jobs| !jobs.is_empty()) {
+            let machines = &self.machines;
+            let max_ctxs = self.cfg.contexts_per_worker.max(1);
+            thread::scope(|scope| {
+                for (ws, jobs) in self.workers.iter_mut().zip(self.worker_jobs.iter_mut()) {
+                    if jobs.is_empty() {
+                        continue;
+                    }
+                    scope.spawn(move || run_worker(ws, jobs, machines, max_ctxs));
+                }
+            });
+        }
+
+        // Phase 3: cache insertion in admission (stamp) order, so the
+        // cache state never depends on which worker finished first.
+        let mut done: Vec<(u64, u32, u32)> = Vec::new();
+        for (w, jobs) in self.worker_jobs.iter().enumerate() {
+            for (i, job) in jobs.iter().enumerate() {
+                done.push((job.stamp, w as u32, i as u32));
+            }
+        }
+        done.sort_unstable();
+        for &(stamp, w, i) in &done {
+            let job = &self.worker_jobs[w as usize][i as usize];
+            let payload = job.payload.clone().expect("worker filled every job");
+            self.stats.compiles += 1;
+            if job.is_err {
+                self.stats.errors += 1;
+            }
+            self.stats.evictions += self.cache.insert(job.key, payload, stamp);
+        }
+
+        // Phase 4: emit, in line order.
+        for slot in &self.slots {
+            match slot {
+                Slot::Blank => {}
+                Slot::Hit { id, payload } => protocol::render_response(Some(*id), payload, out),
+                Slot::Job { id, worker, idx } => {
+                    let job = &self.worker_jobs[*worker as usize][*idx as usize];
+                    let payload = job.payload.as_deref().expect("worker filled every job");
+                    protocol::render_response(Some(*id), payload, out);
+                }
+                Slot::Reject { id, kind } => {
+                    self.body_buf.clear();
+                    protocol::render_error_body(kind, &mut self.body_buf);
+                    protocol::render_response(*id, &self.body_buf, out);
+                }
+                Slot::Stats { id } => {
+                    self.body_buf.clear();
+                    let s = &self.stats;
+                    let _ = write!(
+                        self.body_buf,
+                        "\"ok\":{{\"requests\":{},\"hits\":{},\"misses\":{},\"coalesced\":{},\
+                         \"compiles\":{},\"evictions\":{},\"errors\":{},\"cache_entries\":{},\
+                         \"cache_bytes\":{}}}",
+                        s.requests,
+                        s.hits,
+                        s.misses,
+                        s.coalesced,
+                        s.compiles,
+                        s.evictions,
+                        s.errors,
+                        self.cache.len(),
+                        self.cache.bytes(),
+                    );
+                    protocol::render_response(Some(*id), &self.body_buf, out);
+                }
+            }
+        }
+
+        for jobs in &mut self.worker_jobs {
+            jobs.clear();
+        }
+    }
+
+    /// Pumps a JSONL stream: reads request lines from `reader` (on a
+    /// dedicated thread, so a slow client never stalls compilation of
+    /// lines already received), batches up to [`MAX_BATCH`] at a time
+    /// through [`Server::process_batch`], and writes response lines to
+    /// `writer`, flushing after every batch. Returns at input EOF. A final
+    /// line without a trailing newline is still a request — a truncated
+    /// one gets a structured error response like any other malformed line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `writer` failures; `reader` errors end the stream.
+    pub fn run_jsonl<R, W>(&mut self, reader: R, mut writer: W) -> io::Result<()>
+    where
+        R: BufRead + Send,
+        W: Write,
+    {
+        let (tx, rx) = mpsc::sync_channel::<String>(4 * MAX_BATCH);
+        thread::scope(|scope| {
+            scope.spawn(move || {
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if tx.send(line).is_err() {
+                        break;
+                    }
+                }
+            });
+            let mut lines: Vec<String> = Vec::with_capacity(MAX_BATCH);
+            let mut out = String::new();
+            while let Ok(first) = rx.recv() {
+                lines.clear();
+                lines.push(first);
+                while lines.len() < MAX_BATCH {
+                    match rx.try_recv() {
+                        Ok(line) => lines.push(line),
+                        Err(_) => break,
+                    }
+                }
+                out.clear();
+                self.process_batch(&lines, &mut out);
+                writer.write_all(out.as_bytes())?;
+                writer.flush()?;
+            }
+            Ok(())
+        })
+    }
+}
+
+fn run_worker(ws: &mut WorkerState, jobs: &mut [Job], machines: &[MachineConfig], max_ctxs: usize) {
+    let mut body = String::new();
+    for job in jobs {
+        let ctx_key = (job.key.fp, job.key.spec, job.key.seeds);
+        let machine = &machines[job.key.spec as usize];
+        if !ws.ctxs.contains_key(&ctx_key) {
+            while ws.ctxs.len() >= max_ctxs {
+                let victim = ws
+                    .ctxs
+                    .iter()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty context pool");
+                ws.ctxs.remove(&victim);
+            }
+            let ddg = job.ddg.take().expect("miss carries its DDG");
+            let ctx = CompileContext::new(&ddg, machine).with_refine_seeds(job.key.seeds);
+            ws.ctxs.insert(
+                ctx_key,
+                CtxEntry {
+                    ddg,
+                    ctx,
+                    stamp: job.stamp,
+                },
+            );
+        }
+        let entry = ws.ctxs.get_mut(&ctx_key).expect("context just ensured");
+        entry.stamp = entry.stamp.max(job.stamp);
+        let opts = CompileOptions {
+            mode: job.mode,
+            max_ii: None,
+        };
+        body.clear();
+        match compile_stats_ctx(&entry.ddg, machine, &opts, &entry.ctx) {
+            Ok(stats) => protocol::render_ok_body(&stats, &mut body),
+            Err(e) => {
+                job.is_err = true;
+                protocol::render_compile_error_body(&e, &mut body);
+            }
+        }
+        job.payload = Some(Arc::from(body.as_str()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{escape, request_line, TINY_LOOP};
+
+    fn server(jobs: usize) -> Server {
+        Server::new(ServerConfig {
+            jobs,
+            ..ServerConfig::default()
+        })
+    }
+
+    #[test]
+    fn one_request_compiles_and_repeats_hit_the_cache() {
+        let mut s = server(2);
+        let line = request_line(1, TINY_LOOP, "4c1b2l64r", "replicate", 1);
+        let mut cold = String::new();
+        s.process_batch(std::slice::from_ref(&line), &mut cold);
+        assert!(cold.starts_with("{\"id\":1,\"ok\":{\"mii\":"), "{cold}");
+        assert_eq!(s.stats().misses, 1);
+
+        let line2 = request_line(2, TINY_LOOP, "4c1b2l64r", "replicate", 1);
+        let mut warm = String::new();
+        s.process_batch(&[line2], &mut warm);
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().compiles, 1, "hit must not recompile");
+        // Same body, different id.
+        assert_eq!(
+            cold.trim_start_matches("{\"id\":1,"),
+            warm.trim_start_matches("{\"id\":2,")
+        );
+    }
+
+    #[test]
+    fn duplicates_within_a_batch_coalesce() {
+        let mut s = server(3);
+        let a = request_line(1, TINY_LOOP, "4c1b2l64r", "replicate", 1);
+        let b = request_line(2, TINY_LOOP, "4c1b2l64r", "replicate", 1);
+        let mut out = String::new();
+        s.process_batch(&[a, b], &mut out);
+        assert_eq!(s.stats().compiles, 1);
+        assert_eq!(s.stats().coalesced, 1);
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn alpha_renaming_and_whitespace_still_hit() {
+        let mut s = server(1);
+        let renamed = TINY_LOOP.replace("acc", "total").replace("ld", "v");
+        let spaced = format!("  {}", TINY_LOOP.replace('\n', "\n  "));
+        let mut out = String::new();
+        s.process_batch(
+            &[
+                request_line(1, TINY_LOOP, "4c1b2l64r", "replicate", 1),
+                request_line(2, &renamed, "4c1b2l64r", "replicate", 1),
+                request_line(3, &spaced, "4c1b2l64r", "replicate", 1),
+            ],
+            &mut out,
+        );
+        assert_eq!(s.stats().compiles, 1);
+        assert_eq!(s.stats().hits + s.stats().coalesced, 2);
+    }
+
+    #[test]
+    fn errors_answer_without_killing_the_server() {
+        let mut s = server(2);
+        let mut out = String::new();
+        let lines = [
+            "not json".to_string(),
+            format!(
+                "{{\"id\": 1, \"loop\": \"{}\", \"machine\": \"bogus\"}}",
+                escape(TINY_LOOP)
+            ),
+            request_line(2, "loop broken {", "4c1b2l64r", "replicate", 1),
+            request_line(3, TINY_LOOP, "4c1b2l64r", "replicate", 1),
+        ];
+        s.process_batch(&lines, &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"id\":null,\"error\":{\"kind\":\"json\""));
+        assert!(lines[1].starts_with("{\"id\":1,\"error\":{\"kind\":\"spec\""));
+        assert!(lines[2].starts_with("{\"id\":2,\"error\":{\"kind\":\"parse\""));
+        assert!(lines[3].starts_with("{\"id\":3,\"ok\":"));
+        assert_eq!(s.stats().errors, 3);
+    }
+
+    #[test]
+    fn stats_op_reports_accounting() {
+        let mut s = server(1);
+        let mut out = String::new();
+        s.process_batch(
+            &[
+                request_line(1, TINY_LOOP, "4c1b2l64r", "replicate", 1),
+                "{\"id\": 9, \"op\": \"stats\"}".to_string(),
+            ],
+            &mut out,
+        );
+        let stats_line = out.lines().nth(1).unwrap();
+        assert!(stats_line.contains("\"requests\":2"), "{stats_line}");
+        assert!(stats_line.contains("\"compiles\":1"), "{stats_line}");
+    }
+
+    #[test]
+    fn run_jsonl_round_trips_a_stream() {
+        let mut s = server(2);
+        let input = format!(
+            "{}\n{}\n{}",
+            request_line(1, TINY_LOOP, "4c1b2l64r", "baseline", 1),
+            "",
+            // Truncated final line, no newline: still answered.
+            "{\"id\": 3, \"loo"
+        );
+        let mut out = Vec::new();
+        s.run_jsonl(io::Cursor::new(input), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].starts_with("{\"id\":1,\"ok\":"));
+        assert!(lines[1].starts_with("{\"id\":3,\"error\":{\"kind\":\"json\""));
+    }
+
+    #[test]
+    fn responses_are_identical_for_any_worker_count() {
+        let reqs: Vec<String> = (0..6)
+            .map(|i| {
+                request_line(
+                    i,
+                    TINY_LOOP,
+                    ["4c1b2l64r", "2c1b2l64r", "unified"][i as usize % 3],
+                    ["baseline", "replicate"][i as usize % 2],
+                    1,
+                )
+            })
+            .collect();
+        let mut one = String::new();
+        server(1).process_batch(&reqs, &mut one);
+        let mut four = String::new();
+        server(4).process_batch(&reqs, &mut four);
+        assert_eq!(one, four);
+    }
+}

@@ -1,0 +1,29 @@
+//! Small helpers for building protocol request lines — shared by this
+//! crate's tests, the workspace differential tests and the `bench
+//! --serve` loopback driver.
+
+use crate::json;
+
+/// A tiny loop every paper machine compiles quickly: one recurrence, a
+/// load, an fp op and a store.
+pub const TINY_LOOP: &str =
+    "loop tiny {\n  i: iadd i@1\n  ld: load i\n  m: fmul ld\n  st: store m\n}";
+
+/// JSON-escapes `s` into a fresh string.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    json::escape_into(s, &mut out);
+    out
+}
+
+/// Renders one complete compile request line (no trailing newline).
+#[must_use]
+pub fn request_line(id: u64, loop_src: &str, machine: &str, mode: &str, seeds: u32) -> String {
+    format!(
+        "{{\"id\": {id}, \"loop\": \"{}\", \"machine\": \"{}\", \"mode\": \"{mode}\", \
+         \"seeds\": {seeds}}}",
+        escape(loop_src),
+        escape(machine),
+    )
+}

@@ -1,0 +1,234 @@
+//! Cache-correctness properties: the content-addressed key must equate
+//! exactly the requests whose compiles are interchangeable.
+//!
+//! Hits are *structural*: alpha-renaming every label or reflowing the
+//! whitespace of a loop changes none of the compile inputs, so it must
+//! hit. Misses are *structural* too: mutating one edge distance or one
+//! operation kind produces a different loop, so it must miss — a false
+//! hit here would serve a wrong (cached) schedule, the one failure mode a
+//! result cache cannot have. And eviction must be invisible: a key pushed
+//! out by LRU pressure recomputes to byte-identical payload bytes.
+
+use cvliw_serve::testutil::request_line;
+use cvliw_serve::{Server, ServerConfig};
+use cvliw_workloads::{generate_loop, GeneratorParams};
+use proptest::prelude::*;
+
+fn server(jobs: usize, cache_entries: usize) -> Server {
+    Server::new(ServerConfig {
+        jobs,
+        cache_entries,
+        ..ServerConfig::default()
+    })
+}
+
+/// One batch per request so every repeat is a cache hit, never a
+/// coalesced duplicate.
+fn run_one(server: &mut Server, line: &str) -> String {
+    let mut out = String::new();
+    server.process_batch(&[line], &mut out);
+    out
+}
+
+/// The response body after the `"id":N,` prefix.
+fn body(response: &str) -> &str {
+    response.split_once(',').expect("id prefix").1
+}
+
+/// A two-chain loop over a shared induction variable, with every label
+/// drawn from `names` — two calls with different `names` are
+/// alpha-renamings of each other.
+fn relabeled_loop(names: [&str; 6], distance: u32, kind: &str) -> String {
+    let [i, a, b, c, d, e] = names;
+    format!(
+        "loop l {{\n  {i}: iadd {i}@{distance}\n  {a}: load {i}\n  {b}: {kind} {a}\n  \
+         {c}: store {b}\n  {d}: fadd {b}\n  {e}: store {d}\n}}"
+    )
+}
+
+#[test]
+fn alpha_renamed_loops_hit() {
+    let mut s = server(2, 64);
+    let first = run_one(
+        &mut s,
+        &request_line(
+            1,
+            &relabeled_loop(["i", "ld", "m", "st", "acc", "out"], 1, "fmul"),
+            "4c1b2l64r",
+            "replicate",
+            1,
+        ),
+    );
+    let second = run_one(
+        &mut s,
+        &request_line(
+            2,
+            &relabeled_loop(["j", "v", "prod", "w", "sum", "res"], 1, "fmul"),
+            "4c1b2l64r",
+            "replicate",
+            1,
+        ),
+    );
+    assert_eq!(s.stats().compiles, 1, "rename must not recompile");
+    assert_eq!(s.stats().hits, 1);
+    assert_eq!(body(&first), body(&second));
+}
+
+#[test]
+fn one_edge_mutations_miss() {
+    let names = ["i", "ld", "m", "st", "acc", "out"];
+    let mut s = server(2, 64);
+    run_one(
+        &mut s,
+        &request_line(
+            1,
+            &relabeled_loop(names, 1, "fmul"),
+            "4c1b2l64r",
+            "replicate",
+            1,
+        ),
+    );
+    // Same shape, one loop-carried distance changed.
+    run_one(
+        &mut s,
+        &request_line(
+            2,
+            &relabeled_loop(names, 2, "fmul"),
+            "4c1b2l64r",
+            "replicate",
+            1,
+        ),
+    );
+    // Same shape, one op kind changed.
+    run_one(
+        &mut s,
+        &request_line(
+            3,
+            &relabeled_loop(names, 1, "fdiv"),
+            "4c1b2l64r",
+            "replicate",
+            1,
+        ),
+    );
+    assert_eq!(s.stats().hits, 0, "mutated loops must never hit");
+    assert_eq!(s.stats().compiles, 3);
+}
+
+#[test]
+fn key_distinguishes_machine_mode_and_seeds() {
+    let src = relabeled_loop(["i", "ld", "m", "st", "acc", "out"], 1, "fmul");
+    let mut s = server(2, 64);
+    run_one(&mut s, &request_line(1, &src, "4c1b2l64r", "replicate", 1));
+    run_one(&mut s, &request_line(2, &src, "2c1b2l64r", "replicate", 1));
+    run_one(&mut s, &request_line(3, &src, "4c1b2l64r", "baseline", 1));
+    run_one(&mut s, &request_line(4, &src, "4c1b2l64r", "replicate", 3));
+    assert_eq!(s.stats().hits, 0);
+    assert_eq!(s.stats().compiles, 4);
+}
+
+#[test]
+fn eviction_recomputes_byte_identical() {
+    let names = ["i", "ld", "m", "st", "acc", "out"];
+    let mut s = server(1, 2);
+    let line_a = request_line(
+        1,
+        &relabeled_loop(names, 1, "fmul"),
+        "4c1b2l64r",
+        "replicate",
+        1,
+    );
+    let first_a = run_one(&mut s, &line_a);
+    // Two more distinct keys overflow the 2-entry cache and evict A.
+    run_one(
+        &mut s,
+        &request_line(
+            2,
+            &relabeled_loop(names, 2, "fmul"),
+            "4c1b2l64r",
+            "replicate",
+            1,
+        ),
+    );
+    run_one(
+        &mut s,
+        &request_line(
+            3,
+            &relabeled_loop(names, 3, "fmul"),
+            "4c1b2l64r",
+            "replicate",
+            1,
+        ),
+    );
+    assert!(s.stats().evictions >= 1, "{:?}", s.stats());
+
+    let again_a = run_one(&mut s, &line_a);
+    assert_eq!(
+        s.stats().compiles,
+        4,
+        "evicted key must recompute, not hit: {:?}",
+        s.stats()
+    );
+    assert_eq!(
+        first_a, again_a,
+        "recompute after eviction must be byte-identical"
+    );
+}
+
+fn arb_params() -> impl Strategy<Value = GeneratorParams> {
+    ((1usize..=4, 1usize..=3), 0.0f64..0.6, 0.0f64..1.0).prop_map(
+        |((chains, depth), coupling, shared_addr)| GeneratorParams {
+            chains: (chains, chains + 1),
+            depth: (depth, depth + 1),
+            coupling,
+            shared_addr,
+            ..GeneratorParams::medium()
+        },
+    )
+}
+
+/// Reflows the loop body's whitespace without touching its tokens.
+fn reflow(src: &str) -> String {
+    src.replace("\n    ", "\n\t  ").replace(" {", "  {")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On arbitrary generated loops: the canonical reprint and a
+    /// whitespace-reflowed variant must both hit the first compile, and
+    /// every body served for the key must be byte-identical.
+    #[test]
+    fn whitespace_and_reprints_hit_on_generated_loops(
+        seed in 0u64..10_000,
+        params in arb_params(),
+    ) {
+        let l = generate_loop(seed, &params).expect("generator is total");
+        let src = cvliw_ir::print_loop("gen", &l.ddg);
+        let mut s = server(2, 64);
+        let first = run_one(&mut s, &request_line(1, &src, "4c1b2l64r", "replicate", 1));
+        let second = run_one(&mut s, &request_line(2, &src, "4c1b2l64r", "replicate", 1));
+        let third = run_one(&mut s, &request_line(3, &reflow(&src), "4c1b2l64r", "replicate", 1));
+        prop_assert_eq!(s.stats().compiles, 1, "reflow recompiled");
+        prop_assert_eq!(s.stats().hits, 2);
+        prop_assert_eq!(body(&first), body(&second));
+        prop_assert_eq!(body(&first), body(&third));
+    }
+
+    /// Bumping one loop-carried distance in the printed text must miss.
+    #[test]
+    fn distance_bump_misses_on_generated_loops(
+        seed in 0u64..10_000,
+        params in arb_params(),
+    ) {
+        let l = generate_loop(seed, &params).expect("generator is total");
+        let src = cvliw_ir::print_loop("gen", &l.ddg);
+        // Every generated loop carries recurrences; bump the first `@1`.
+        prop_assume!(src.contains("@1"));
+        let mutated = src.replacen("@1", "@7", 1);
+        let mut s = server(2, 64);
+        run_one(&mut s, &request_line(1, &src, "4c1b2l64r", "replicate", 1));
+        run_one(&mut s, &request_line(2, &mutated, "4c1b2l64r", "replicate", 1));
+        prop_assert_eq!(s.stats().hits, 0);
+        prop_assert_eq!(s.stats().compiles, 2);
+    }
+}

@@ -34,6 +34,8 @@ pub enum UsageError {
     },
     /// Wrong number of positional arguments.
     Positional(&'static str),
+    /// An option value parsed but is zero where at least 1 is required.
+    NotPositive(String),
 }
 
 impl fmt::Display for UsageError {
@@ -47,13 +49,14 @@ impl fmt::Display for UsageError {
                 write!(f, "cannot parse `{value}` for --{option}")
             }
             UsageError::Positional(what) => write!(f, "expected {what}"),
+            UsageError::NotPositive(o) => write!(f, "--{o} must be at least 1"),
         }
     }
 }
 
 impl std::error::Error for UsageError {}
 
-const KNOWN_OPTIONS: [&str; 13] = [
+const KNOWN_OPTIONS: [&str; 16] = [
     "machine",
     "mode",
     "loop",
@@ -67,7 +70,13 @@ const KNOWN_OPTIONS: [&str; 13] = [
     "warmup",
     "budget-ms",
     "refine-seeds",
+    "socket",
+    "cache-entries",
+    "cache-mb",
 ];
+
+/// Options that take no value (stored as `"true"` when present).
+const KNOWN_FLAGS: [&str; 1] = ["serve"];
 
 impl Args {
     /// Parses raw process arguments (without the executable name).
@@ -80,6 +89,10 @@ impl Args {
         };
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
+                if KNOWN_FLAGS.contains(&name) {
+                    args.options.insert(name.to_string(), "true".to_string());
+                    continue;
+                }
                 if !KNOWN_OPTIONS.contains(&name) {
                     return Err(UsageError::UnknownOption(name.to_string()));
                 }
@@ -114,6 +127,25 @@ impl Args {
                 value: v.to_string(),
             }),
         }
+    }
+
+    /// An optional numeric option that must be at least 1. Zero (however
+    /// spelled — `0`, `00`, …) is a usage error; overflow and garbage are
+    /// [`UsageError::BadValue`] like any other number.
+    pub fn get_positive_num<T>(&self, name: &str) -> Result<Option<T>, UsageError>
+    where
+        T: std::str::FromStr + Default + PartialEq,
+    {
+        match self.get_num::<T>(name)? {
+            Some(v) if v == T::default() => Err(UsageError::NotPositive(name.to_string())),
+            other => Ok(other),
+        }
+    }
+
+    /// Whether a value-less flag (e.g. `--serve`) was given.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.get(name) == Some("true")
     }
 
     /// Exactly one positional argument (the input file).
@@ -186,6 +218,34 @@ mod tests {
         assert_eq!(a.get_num::<usize>("jobs").unwrap(), Some(4));
         assert_eq!(a.get("format"), Some("md"));
         assert_eq!(a.get("out"), Some("-"));
+    }
+
+    #[test]
+    fn positive_numbers_reject_zero_and_overflow() {
+        let zero = parse(&["suite", "--jobs", "0"]).unwrap();
+        assert_eq!(
+            zero.get_positive_num::<usize>("jobs").unwrap_err(),
+            UsageError::NotPositive("jobs".into())
+        );
+        let zeros = parse(&["suite", "--jobs", "000"]).unwrap();
+        assert!(zeros.get_positive_num::<usize>("jobs").is_err());
+        let over = parse(&["bench", "--runs", "99999999999999999999999999"]).unwrap();
+        assert!(matches!(
+            over.get_positive_num::<u32>("runs").unwrap_err(),
+            UsageError::BadValue { .. }
+        ));
+        let fine = parse(&["suite", "--jobs", "4"]).unwrap();
+        assert_eq!(fine.get_positive_num::<usize>("jobs").unwrap(), Some(4));
+        let absent = parse(&["suite"]).unwrap();
+        assert_eq!(absent.get_positive_num::<usize>("jobs").unwrap(), None);
+    }
+
+    #[test]
+    fn serve_flag_takes_no_value() {
+        let a = parse(&["bench", "--serve", "--jobs", "2"]).unwrap();
+        assert!(a.flag("serve"));
+        assert_eq!(a.get_num::<usize>("jobs").unwrap(), Some(2));
+        assert!(!parse(&["bench"]).unwrap().flag("serve"));
     }
 
     #[test]

@@ -5,7 +5,8 @@ use std::fs;
 
 use cvliw::ddg::to_dot;
 use cvliw::exp::{
-    bench_suite, default_jobs, emit, emit_bench_json, run_suite, Format, SuiteError, SuiteGrid,
+    bench_suite, default_jobs, emit, emit_bench_json, run_suite, serve_replay, Format, SuiteError,
+    SuiteGrid,
 };
 use cvliw::ir::{parse_module, print_loop, NamedLoop, ParseError};
 use cvliw::machine::{MachineConfig, SpecError};
@@ -60,6 +61,8 @@ pub enum CliError {
         /// The budget that was exceeded.
         budget_ms: f64,
     },
+    /// `cvliw serve` failed on its transport (stdin/stdout or the socket).
+    Serve(std::io::Error),
 }
 
 impl fmt::Display for CliError {
@@ -89,6 +92,7 @@ impl fmt::Display for CliError {
                 f,
                 "bench exceeded its wall-clock budget: {wall_ms:.0} ms > {budget_ms:.0} ms"
             ),
+            CliError::Serve(e) => write!(f, "serve i/o failed: {e}"),
         }
     }
 }
@@ -136,6 +140,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "compare" => cmd_compare(args),
         "suite" => cmd_suite(args),
         "bench" => cmd_bench(args),
+        "serve" => cmd_serve(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -167,7 +172,13 @@ COMMANDS:
                            (paper machines + topology appendix × all modes
                            by default)
     bench                  time suite compilation (warmup + median-of-N)
-                           and write BENCH_compile.json
+                           and write BENCH_compile.json; --serve also
+                           replays the grid through the compile daemon
+                           (cold + warm pass) and records throughput
+    serve                  run as a compile daemon: JSONL requests on
+                           stdin (or --socket <path>), one response per
+                           line, with a content-addressed result cache
+                           and per-worker persistent compile contexts
     help                   show this message
 
 OPTIONS:
@@ -199,6 +210,22 @@ OPTIONS:
     --warmup <n>           bench: untimed warmup passes (default 1)
     --budget-ms <n>        bench: exit nonzero if the median total exceeds
                            this wall-clock budget (CI's 10×-regression net)
+    --serve                bench: also replay the grid through an in-process
+                           compile daemon and record cold/warm throughput
+                           in the serve section of BENCH_compile.json
+    --socket <path>        serve: listen on a Unix socket instead of stdin
+                           (one connection at a time; cache persists across
+                           connections)
+    --cache-entries <n>    serve: result-cache entry bound (default 1024)
+    --cache-mb <n>         serve: result-cache payload bound in MiB
+                           (default 64)
+
+SERVE PROTOCOL (one JSON object per line):
+    {\"id\": 1, \"loop\": \"loop t {\\n i: iadd i@1\\n x: load i\\n}\",
+     \"machine\": \"4c1b2l64r\", \"mode\": \"replicate\", \"seeds\": 1}
+    {\"id\": 2, \"op\": \"stats\"}
+    -> {\"id\":1,\"ok\":{...same counters as one-shot compilation...}}
+    -> {\"id\":2,\"ok\":{...cache hit/miss/eviction accounting...}}
 
 EXAMPLES:
     cvliw schedule examples/loops/fir.loop --machine 4c1b2l64r
@@ -208,6 +235,9 @@ EXAMPLES:
     cvliw suite --jobs 4 --format csv --out results.csv
     cvliw bench --max-loops 8 --runs 3      # quick perf snapshot
     cvliw bench                             # full-grid BENCH_compile.json
+    cvliw bench --serve --max-loops 4       # daemon throughput snapshot
+    cvliw serve --jobs 4                    # compile daemon on stdin/stdout
+    cvliw serve --socket /tmp/cvliw.sock
 "
     .to_string()
 }
@@ -325,7 +355,7 @@ fn report_compiled(l: &NamedLoop, machine: &MachineConfig, out: &CompiledLoop, i
 fn cmd_schedule(args: &Args) -> Result<(), CliError> {
     let machine = parse_machine(args.require("machine")?)?;
     let mode = parse_mode(args)?;
-    let iterations = args.get_num::<u64>("iterations")?.unwrap_or(100);
+    let iterations = args.get_positive_num::<u64>("iterations")?.unwrap_or(100);
     let opts = CompileOptions { mode, max_ii: None };
     for l in read_loops(args)? {
         let out = compile_loop(&l.ddg, &machine, &opts)?;
@@ -380,7 +410,7 @@ fn cmd_block(args: &Args) -> Result<(), CliError> {
 fn cmd_expand(args: &Args) -> Result<(), CliError> {
     let machine = parse_machine(args.require("machine")?)?;
     let mode = parse_mode(args)?;
-    let iterations = args.get_num::<u64>("iterations")?.unwrap_or(6);
+    let iterations = args.get_positive_num::<u64>("iterations")?.unwrap_or(6);
     let opts = CompileOptions { mode, max_ii: None };
     for l in read_loops(args)? {
         let out = compile_loop(&l.ddg, &machine, &opts)?;
@@ -406,7 +436,7 @@ fn cmd_expand(args: &Args) -> Result<(), CliError> {
 
 fn cmd_compare(args: &Args) -> Result<(), CliError> {
     let machine = parse_machine(args.require("machine")?)?;
-    let iterations = args.get_num::<u64>("iterations")?.unwrap_or(100);
+    let iterations = args.get_positive_num::<u64>("iterations")?.unwrap_or(100);
     const MODES: [(&str, Mode); 5] = [
         ("baseline", Mode::Baseline),
         ("value-clone", Mode::ValueClone),
@@ -515,10 +545,10 @@ fn grid_from_args(args: &Args, base: SuiteGrid) -> Result<SuiteGrid, CliError> {
     if args.get("mode").is_some() {
         grid = grid.with_modes(vec![parse_mode(args)?]);
     }
-    if let Some(cap) = args.get_num::<usize>("max-loops")? {
+    if let Some(cap) = args.get_positive_num::<usize>("max-loops")? {
         grid = grid.with_max_loops(cap);
     }
-    if let Some(seeds) = args.get_num::<u32>("refine-seeds")? {
+    if let Some(seeds) = args.get_positive_num::<u32>("refine-seeds")? {
         grid = grid.with_refine_seeds(seeds);
     }
     Ok(grid)
@@ -527,15 +557,24 @@ fn grid_from_args(args: &Args, base: SuiteGrid) -> Result<SuiteGrid, CliError> {
 fn cmd_suite(args: &Args) -> Result<(), CliError> {
     // The timing knobs belong to `bench`; accepting them here would
     // silently skip the wall-clock gate a CI author thought they set.
-    for bench_only in ["runs", "warmup", "budget-ms"] {
+    for bench_only in ["runs", "warmup", "budget-ms", "serve"] {
         if args.get(bench_only).is_some() {
             return Err(CliError::Usage(UsageError::UnknownOption(format!(
                 "{bench_only} (only `cvliw bench` accepts it)"
             ))));
         }
     }
+    for serve_only in ["socket", "cache-entries", "cache-mb"] {
+        if args.get(serve_only).is_some() {
+            return Err(CliError::Usage(UsageError::UnknownOption(format!(
+                "{serve_only} (only `cvliw serve` accepts it)"
+            ))));
+        }
+    }
     let grid = grid_from_args(args, SuiteGrid::paper_with_topology())?;
-    let jobs = args.get_num::<usize>("jobs")?.unwrap_or_else(default_jobs);
+    let jobs = args
+        .get_positive_num::<usize>("jobs")?
+        .unwrap_or_else(default_jobs);
     let format = match args.get("format") {
         None => Format::Text,
         Some(name) => Format::parse(name).ok_or_else(|| CliError::UnknownFormat(name.into()))?,
@@ -586,13 +625,30 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
 /// `cvliw bench`: time suite compilation with warmup and median-of-N, write
 /// `BENCH_compile.json`, and optionally enforce a wall-clock budget.
 fn cmd_bench(args: &Args) -> Result<(), CliError> {
+    for serve_only in ["socket", "cache-entries", "cache-mb"] {
+        if args.get(serve_only).is_some() {
+            return Err(CliError::Usage(UsageError::UnknownOption(format!(
+                "{serve_only} (only `cvliw serve` accepts it)"
+            ))));
+        }
+    }
     let grid = grid_from_args(args, SuiteGrid::paper())?;
-    let jobs = args.get_num::<usize>("jobs")?.unwrap_or_else(default_jobs);
-    let runs = args.get_num::<usize>("runs")?.unwrap_or(3);
+    let jobs = args
+        .get_positive_num::<usize>("jobs")?
+        .unwrap_or_else(default_jobs);
+    let runs = args.get_positive_num::<usize>("runs")?.unwrap_or(3);
     let warmup = args.get_num::<usize>("warmup")?.unwrap_or(1);
     let budget_ms = args.get_num::<f64>("budget-ms")?;
+    if let Some(budget) = budget_ms {
+        // "0", "-5" and "NaN" all parse as f64; none is a usable budget.
+        if budget.is_nan() || budget <= 0.0 {
+            return Err(CliError::Usage(UsageError::NotPositive(
+                "budget-ms".to_string(),
+            )));
+        }
+    }
 
-    let report = bench_suite(&grid, jobs, runs, warmup).map_err(CliError::Suite)?;
+    let mut report = bench_suite(&grid, jobs, runs, warmup).map_err(CliError::Suite)?;
     eprintln!(
         "bench: {} cells × {} run{} (+{} warmup) on {} worker{}: median {:.0} ms, {:.1} cells/s",
         report.cells,
@@ -612,6 +668,23 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    if args.flag("serve") {
+        let sr = serve_replay(&grid, jobs).map_err(CliError::Suite)?;
+        eprintln!(
+            "serve: {} requests on {} worker{}: cold {:.0} ms ({:.0} req/s), \
+             warm {:.0} ms ({:.0} req/s, hit rate {:.2}), {} errors",
+            sr.requests,
+            sr.jobs,
+            if sr.jobs == 1 { "" } else { "s" },
+            sr.cold_wall_ms,
+            sr.cold_rps,
+            sr.warm_wall_ms,
+            sr.warm_rps,
+            sr.warm_hit_rate,
+            sr.errors
+        );
+        report.serve = Some(sr);
+    }
     let rendered = emit_bench_json(&report);
     let destination = match args.get("out") {
         Some("-") => None,
@@ -638,4 +711,94 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// `cvliw serve`: the long-running compile daemon. Requests arrive as
+/// JSONL on stdin (or a Unix socket with `--socket`); each carries its own
+/// loop, machine, mode and seed config, so none of the grid-shaping
+/// options apply here.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    use cvliw::serve::{Server, ServerConfig};
+
+    for not_serve in [
+        "machine",
+        "mode",
+        "loop",
+        "max-loops",
+        "iterations",
+        "seed",
+        "format",
+        "out",
+        "runs",
+        "warmup",
+        "budget-ms",
+        "refine-seeds",
+        "serve",
+    ] {
+        if args.get(not_serve).is_some() {
+            return Err(CliError::Usage(UsageError::UnknownOption(format!(
+                "{not_serve} (not a `cvliw serve` option; each request carries its own \
+                 machine/mode/seeds)"
+            ))));
+        }
+    }
+    let jobs = args
+        .get_positive_num::<usize>("jobs")?
+        .unwrap_or_else(default_jobs);
+    let cache_entries = args
+        .get_positive_num::<usize>("cache-entries")?
+        .unwrap_or(1024);
+    let cache_mb = args.get_positive_num::<usize>("cache-mb")?.unwrap_or(64);
+    let mut server = Server::new(ServerConfig {
+        jobs,
+        cache_entries,
+        cache_bytes: cache_mb << 20,
+        ..ServerConfig::default()
+    });
+
+    match args.get("socket") {
+        None => {
+            // `StdinLock` is not `Send` (the reader runs on its own
+            // thread), so buffer the handle instead of locking it.
+            let stdin = std::io::BufReader::new(std::io::stdin());
+            let stdout = std::io::stdout().lock();
+            server
+                .run_jsonl(stdin, std::io::BufWriter::new(stdout))
+                .map_err(CliError::Serve)?;
+        }
+        Some(path) => serve_socket(&mut server, path)?,
+    }
+    eprintln!("{}", server.summary());
+    Ok(())
+}
+
+/// Accepts connections on a Unix socket, one at a time; the server (and
+/// its cache) persists across connections.
+#[cfg(unix)]
+fn serve_socket(server: &mut cvliw::serve::Server, path: &str) -> Result<(), CliError> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a previous run would make bind fail.
+    let _ = fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })?;
+    eprintln!("serve: listening on {path} (one connection at a time, ctrl-c to stop)");
+    for conn in listener.incoming() {
+        let conn = conn.map_err(CliError::Serve)?;
+        let reader = std::io::BufReader::new(conn.try_clone().map_err(CliError::Serve)?);
+        server
+            .run_jsonl(reader, std::io::BufWriter::new(conn))
+            .map_err(CliError::Serve)?;
+        eprintln!("{}", server.summary());
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_server: &mut cvliw::serve::Server, _path: &str) -> Result<(), CliError> {
+    Err(CliError::Usage(UsageError::UnknownOption(
+        "socket (Unix sockets are unavailable on this platform; use stdin)".to_string(),
+    )))
 }

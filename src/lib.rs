@@ -29,7 +29,11 @@
 //! * [`exp`] — experiment orchestration: the §4 (workload × machine ×
 //!   policy) grid, a deterministic parallel suite runner, and the
 //!   JSON/CSV/Markdown report emitters behind `cvliw suite` and the
-//!   regenerable `docs/RESULTS.md` results book.
+//!   regenerable `docs/RESULTS.md` results book;
+//! * [`serve`] — compile-as-a-service: the JSONL protocol,
+//!   content-addressed result cache and persistent worker pool behind
+//!   `cvliw serve`, pinned byte-identical to one-shot compilation by a
+//!   differential test layer.
 //!
 //! ## Quickstart
 //!
@@ -63,6 +67,7 @@ pub use cvliw_machine as machine;
 pub use cvliw_partition as partition;
 pub use cvliw_replicate as replicate;
 pub use cvliw_sched as sched;
+pub use cvliw_serve as serve;
 pub use cvliw_sim as sim;
 pub use cvliw_unroll as unroll;
 pub use cvliw_workloads as workloads;

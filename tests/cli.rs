@@ -333,6 +333,117 @@ fn unknown_mode_is_rejected() {
 }
 
 #[test]
+fn zero_and_overflow_counts_are_usage_errors() {
+    // Zero is never a usable worker/loop/seed count; the old code path
+    // accepted `--jobs 0` and hung the thread pool.
+    for args in [
+        &["suite", "--jobs", "0"][..],
+        &["suite", "--max-loops", "0"],
+        &["suite", "--refine-seeds", "0"],
+        &["serve", "--jobs", "0"],
+        &["serve", "--cache-entries", "0"],
+        &["serve", "--cache-mb", "0"],
+        &["bench", "--runs", "0"],
+    ] {
+        let out = cvliw(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("must be at least 1"),
+            "{args:?}: {}",
+            stderr(&out)
+        );
+    }
+    // Overflowing and garbage values are diagnosed, not wrapped.
+    for val in ["99999999999999999999999", "three", "-2"] {
+        let out = cvliw(&["suite", "--jobs", val]);
+        assert_eq!(out.status.code(), Some(2), "{val}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("cannot parse"),
+            "{val}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn suite_and_bench_reject_serve_only_options() {
+    let out = cvliw(&small_suite_with(&["--serve"]));
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--serve"), "{}", stderr(&out));
+
+    let out = cvliw(&small_suite_with(&["--socket", "/tmp/x.sock"]));
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+
+    let out = cvliw(&["bench", "--socket", "/tmp/x.sock"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn serve_rejects_per_request_options() {
+    // Machine, mode and seeds travel on each request line, not the
+    // command line; passing them to `serve` is a misunderstanding worth
+    // a pointed diagnostic.
+    let out = cvliw(&["serve", "--machine", "4c1b2l64r"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("not a `cvliw serve` option"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn serve_answers_a_piped_jsonl_session() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cvliw"))
+        .args(["serve", "--jobs", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let req = concat!(
+        r#"{"id": 1, "loop": "loop t {\n  i: iadd i@1\n  x: load i\n  y: fmul x\n  s: store y\n}", "machine": "4c1b2l64r", "mode": "replicate"}"#,
+        "\n",
+        r#"{"id": 2, "loop": "loop t {\n  i: iadd i@1\n  x: load i\n  y: fmul x\n  s: store y\n}", "machine": "4c1b2l64r", "mode": "replicate"}"#,
+        "\n",
+        "this is not json\n",
+        r#"{"id": 4, "op": "stats"}"#,
+        "\n",
+    );
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(req.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let lines: Vec<String> = stdout(&out).lines().map(String::from).collect();
+    assert_eq!(lines.len(), 4, "{lines:?}");
+    assert!(
+        lines[0].starts_with("{\"id\":1,\"ok\":{\"mii\":"),
+        "{}",
+        lines[0]
+    );
+    // The duplicate is answered byte-identically (id aside).
+    assert_eq!(
+        lines[0].trim_start_matches("{\"id\":1,"),
+        lines[1].trim_start_matches("{\"id\":2,")
+    );
+    assert!(
+        lines[2].starts_with("{\"id\":null,\"error\":{\"kind\":\"json\""),
+        "{}",
+        lines[2]
+    );
+    assert!(lines[3].contains("\"requests\":4"), "{}", lines[3]);
+    // EOF ends the session with a one-line accounting summary on stderr.
+    assert!(stderr(&out).contains("serve:"), "{}", stderr(&out));
+}
+
+#[test]
 fn parse_errors_carry_positions() {
     let dir = std::env::temp_dir().join("cvliw-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
