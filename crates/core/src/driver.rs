@@ -80,6 +80,19 @@ impl Mode {
     pub fn parse(name: &str) -> Option<Mode> {
         Mode::ALL.into_iter().find(|m| m.name() == name)
     }
+
+    /// This mode's index in [`Mode::ALL`] — the stable discriminant used
+    /// by cache keys and wire formats. Infallible by construction.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        match self {
+            Mode::Baseline => 0,
+            Mode::ValueClone => 1,
+            Mode::Replicate => 2,
+            Mode::ReplicateSchedLen => 3,
+            Mode::ZeroBusLatency => 4,
+        }
+    }
 }
 
 /// Options for [`compile_loop`].
@@ -248,6 +261,16 @@ pub enum CompileError {
         /// Cause tally accumulated while trying.
         causes: CauseCounts,
     },
+    /// The compile's [`CancelToken`] fired (deadline expired or an
+    /// explicit cancel) before any II produced a schedule. The partial
+    /// work — refinement chain, engine memo — stays consistent: only
+    /// fully completed steps were memoized, so the context remains safe
+    /// to reuse.
+    Cancelled {
+        /// The II the sweep was about to attempt when it observed the
+        /// cancellation.
+        ii_reached: u32,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -258,6 +281,9 @@ impl fmt::Display for CompileError {
                     f,
                     "no schedule found between MII {mii} and the II cap {max_ii}"
                 )
+            }
+            CompileError::Cancelled { ii_reached } => {
+                write!(f, "compilation cancelled while attempting II {ii_reached}")
             }
         }
     }
@@ -302,14 +328,97 @@ impl Stage {
     }
 }
 
+/// A clonable cancellation handle shared between a compile's caller and
+/// the attempt loop. The loop polls [`CancelToken::expired`] at the top
+/// of every II attempt — the natural checkpoint where no partial state
+/// is in flight — so cancellation is cooperative, prompt (one attempt's
+/// latency at worst) and never leaves a [`CompileContext`] memo
+/// half-written.
+///
+/// Two triggers, checked together: an explicit [`CancelToken::cancel`]
+/// (sticky until [`CancelToken::reset`]) and an optional wall-clock
+/// deadline armed per compile via [`CancelToken::arm_deadline`]. A
+/// default token never fires, so single-shot callers pay one relaxed
+/// atomic load per II and nothing else.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: std::sync::Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: std::sync::atomic::AtomicBool,
+    deadline: std::sync::Mutex<Option<Instant>>,
+}
+
+impl CancelToken {
+    /// A fresh token, not cancelled, with no deadline.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; sticky until [`CancelToken::reset`].
+    pub fn cancel(&self) {
+        self.inner
+            .cancelled
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Arms (or re-arms) a wall-clock deadline; the token reads as
+    /// expired once `Instant::now()` passes it.
+    pub fn arm_deadline(&self, deadline: Instant) {
+        if let Ok(mut slot) = self.inner.deadline.lock() {
+            *slot = Some(deadline);
+        }
+    }
+
+    /// Disarms the deadline (the explicit-cancel flag is untouched).
+    pub fn disarm_deadline(&self) {
+        if let Ok(mut slot) = self.inner.deadline.lock() {
+            *slot = None;
+        }
+    }
+
+    /// Clears both the cancel flag and the deadline.
+    pub fn reset(&self) {
+        self.inner
+            .cancelled
+            .store(false, std::sync::atomic::Ordering::Release);
+        self.disarm_deadline();
+    }
+
+    /// Whether the compile should stop: explicitly cancelled, or past an
+    /// armed deadline. A poisoned deadline lock (impossible today — no
+    /// holder can panic) fails open to "not expired" rather than killing
+    /// the compile.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        if self
+            .inner
+            .cancelled
+            .load(std::sync::atomic::Ordering::Acquire)
+        {
+            return true;
+        }
+        match self.inner.deadline.lock() {
+            Ok(slot) => slot.is_some_and(|d| Instant::now() >= d),
+            Err(_) => false,
+        }
+    }
+}
+
 /// The persistent compile scratch: every mutable workspace the attempt
 /// loop needs, reused clear-and-refill across IIs and modes instead of
 /// being reallocated per attempt — the partition refiner's scoring state,
 /// the replication engine's plan worklists, and the scheduler's operation
 /// arena / reservation table / MaxLive buffers. Also accumulates the
-/// per-stage wall-clock the bench harness reports.
+/// per-stage wall-clock the bench harness reports, and carries the
+/// [`CancelToken`] the attempt loop polls.
 #[derive(Debug, Default)]
 pub struct CompileScratch {
+    /// Cooperative cancellation, polled once per II attempt.
+    cancel: CancelToken,
     refine: RefineScratch,
     /// Move-delta cache for the II-climb refinement chain. Sound only
     /// because a `CompileContext` (and hence its scratch) serves exactly
@@ -422,6 +531,18 @@ impl CompileContext {
     #[must_use]
     pub fn refine_seeds(&self) -> u32 {
         self.refine_seeds
+    }
+
+    /// A clone of this context's [`CancelToken`]: arm a deadline or
+    /// cancel from any thread and every compile running through this
+    /// context observes it at its next II attempt. The token is part of
+    /// the scratch, so a context serves exactly one token for its whole
+    /// lifetime; callers that arm a per-request deadline must disarm (or
+    /// [`CancelToken::reset`]) it afterwards or the next compile on this
+    /// context inherits it.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.scratch.borrow().cancel.clone()
     }
 
     /// Wall-clock nanoseconds spent per [`Stage`] across every compilation
@@ -711,6 +832,12 @@ fn compile_loop_inner(
     // is never skipped. Debug builds re-run each skipped check.
     let mut bus_bound = 0u32;
     while ii <= max_ii {
+        // Cooperative cancellation checkpoint: between attempts nothing
+        // is half-done — the chain and engine memos only ever hold fully
+        // completed steps — so bailing here leaves the context reusable.
+        if scratch.cancel.expired() {
+            return Err(CompileError::Cancelled { ii_reached: ii });
+        }
         if ii > mii {
             match ctx {
                 Some(c) => {
@@ -1158,5 +1285,49 @@ mod tests {
             out.stats.ii <= normal.stats.ii + 1,
             "extension must not wreck the II"
         );
+    }
+
+    #[test]
+    fn mode_index_matches_position_in_all() {
+        for (i, m) in Mode::ALL.into_iter().enumerate() {
+            assert_eq!(m.index() as usize, i, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_sweep_and_leaves_the_context_reusable() {
+        let ddg = comm_bound();
+        let m = machine("4c1b2l64r");
+        let ctx = CompileContext::new(&ddg, &m);
+        let token = ctx.cancel_token();
+        token.cancel();
+        let opts = CompileOptions::replicate();
+        match compile_loop_ctx(&ddg, &m, &opts, &ctx) {
+            Err(CompileError::Cancelled { ii_reached }) => {
+                assert_eq!(ii_reached, ctx.analysis().mii());
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        // Reset and the same context compiles cleanly — no memo was left
+        // half-written by the bail-out.
+        token.reset();
+        let stats = compile_stats_ctx(&ddg, &m, &opts, &ctx).unwrap();
+        let oracle = compile_stats(&ddg, &m, &opts).unwrap();
+        assert_eq!(stats, oracle, "post-cancel compile diverged");
+    }
+
+    #[test]
+    fn expired_deadline_cancels_and_disarming_restores() {
+        let ddg = comm_bound();
+        let m = machine("4c1b2l64r");
+        let ctx = CompileContext::new(&ddg, &m);
+        let token = ctx.cancel_token();
+        token.arm_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        assert!(matches!(
+            compile_loop_ctx(&ddg, &m, &CompileOptions::replicate(), &ctx),
+            Err(CompileError::Cancelled { .. })
+        ));
+        token.disarm_deadline();
+        assert!(compile_loop_ctx(&ddg, &m, &CompileOptions::replicate(), &ctx).is_ok());
     }
 }

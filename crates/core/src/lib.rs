@@ -77,8 +77,8 @@ pub use acyclic::{replicate_for_acyclic_length, schedule_acyclic, AcyclicError, 
 pub use cvliw_sched::LoopAnalysis;
 pub use driver::{
     compile_loop, compile_loop_ctx, compile_loop_with, compile_stats, compile_stats_ctx,
-    compile_stats_with, CauseCounts, CompileContext, CompileError, CompileOptions, CompileScratch,
-    CompiledLoop, LoopStats, Mode, Stage,
+    compile_stats_with, CancelToken, CauseCounts, CompileContext, CompileError, CompileOptions,
+    CompileScratch, CompiledLoop, LoopStats, Mode, Stage,
 };
 pub use engine::{EngineScratch, ReplicationEngine, ReplicationOutcome, ReplicationStats};
 pub use fingerprint::{fnv1a_64, loop_fingerprint};

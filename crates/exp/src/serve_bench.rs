@@ -93,7 +93,9 @@ pub fn serve_replay(grid: &SuiteGrid, jobs: usize) -> Result<ServeReport, SuiteE
         jobs,
         // The cache must hold the whole grid for the warm pass to be a
         // pure hit storm — that is the scenario this bench exists to time.
-        cache_entries: requests.max(1),
+        // ×8 gives every stripe of the lock-striped front headroom for
+        // hash skew (per-stripe capacity is total/stripes).
+        cache_entries: requests.max(1) * 8,
         ..ServerConfig::default()
     });
 
@@ -126,6 +128,16 @@ pub fn serve_replay(grid: &SuiteGrid, jobs: usize) -> Result<ServeReport, SuiteE
     assert_eq!(
         cold_bodies, warm_bodies,
         "serve replay: warm responses diverged from cold responses"
+    );
+
+    // The fault-tolerance plumbing must be inert when disarmed: no
+    // deadline is configured, the in-flight bound far exceeds a batch,
+    // and nothing injects faults — so a replay that sheds, panics or
+    // deadlines has a real regression to report.
+    assert_eq!(
+        (warm_stats.shed, warm_stats.panics, warm_stats.deadlines),
+        (0, 0, 0),
+        "serve replay tripped fault-tolerance paths while disarmed: {warm_stats:?}"
     );
 
     let warm_requests = warm_stats.requests - cold_stats.requests;

@@ -44,12 +44,14 @@ impl CacheKey {
     }
 }
 
+#[derive(Debug)]
 struct Entry {
     payload: Arc<str>,
     stamp: u64,
 }
 
 /// A bounded-memory LRU of rendered response bodies.
+#[derive(Debug)]
 pub struct ResultCache {
     entries: HashMap<CacheKey, Entry>,
     max_entries: usize,
@@ -103,19 +105,24 @@ impl ResultCache {
             || (self.bytes > self.max_bytes && self.entries.len() > 1)
         {
             // Stamps are unique request seq numbers, so the minimum is
-            // unique and the victim deterministic.
-            let victim = self
+            // unique and the victim deterministic. The loop condition
+            // guarantees a non-empty map; if it were ever empty anyway,
+            // stopping is strictly safer than panicking mid-request.
+            let Some(victim) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(k, _)| *k)
-                .expect("non-empty cache");
+            else {
+                break;
+            };
             if victim == key && self.entries.len() == 1 {
                 break;
             }
-            let gone = self.entries.remove(&victim).expect("victim present");
-            self.bytes -= gone.payload.len();
-            evicted += 1;
+            if let Some(gone) = self.entries.remove(&victim) {
+                self.bytes -= gone.payload.len();
+                evicted += 1;
+            }
         }
         self.evictions += evicted;
         evicted

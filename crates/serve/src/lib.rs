@@ -18,22 +18,45 @@
 //!   touches no allocator: borrowed-slice JSON scanning, an interned spec
 //!   table, a raw-text fingerprint memo and `Arc` payload clones.
 //!
+//! On top of those, the serve layer is built to stay up: a panicking
+//! compile is contained to its job (`compile_panic`), a compile that
+//! blows the per-request budget is cancelled at the next II attempt
+//! (`deadline_exceeded`), misses beyond the in-flight bound are shed
+//! with a back-off hint (`overloaded`) instead of queueing unboundedly,
+//! and SIGTERM/SIGINT drain in-flight batches before the daemon exits.
+//! Fault payloads never enter the result cache.
+//!
 //! The module split mirrors the request's journey: [`json`] scans the
-//! line, [`protocol`] types it, [`cache`] answers repeats, [`server`]
-//! runs the pool.
+//! line, [`protocol`] types it, [`cache`] answers repeats, [`shared`]
+//! holds what sessions share, [`server`] runs the pool, [`daemon`]
+//! owns the Unix socket.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// No panic may be reachable from request handling: every `unwrap`/
+// `expect` in the serve crate is a latent daemon crash, so the lint
+// makes them unrepresentable outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+#[cfg(unix)]
+pub mod daemon;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod json;
 pub mod protocol;
 pub mod server;
+pub mod shared;
 pub mod testutil;
 
 pub use cache::{CacheKey, ResultCache};
+#[cfg(unix)]
+pub use daemon::{probe_socket, run_socket, SocketConfig, SocketProbe};
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
 pub use protocol::{
     parse_request, render_compile_error_body, render_error_body, render_ok_body, render_response,
     ErrorKind, Request, MAX_LINE_BYTES,
 };
-pub use server::{ServeStats, Server, ServerConfig, MAX_BATCH};
+pub use server::{ServeStats, Server, ServerConfig, ShutdownFlag, MAX_BATCH, RETRY_AFTER_MS};
+pub use shared::SharedState;

@@ -86,6 +86,19 @@ pub enum ErrorKind {
     /// Compilation itself failed (cached like a success — the failure is
     /// as much a function of the inputs as a schedule is).
     Compile(CompileError),
+    /// The daemon is at its in-flight compile bound and shed this
+    /// request instead of queueing it unboundedly. Never cached.
+    Overloaded {
+        /// Client back-off hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// An invariant the daemon relies on failed. Replaces what used to
+    /// be a request-path panic: the client gets a structured answer and
+    /// the daemon keeps serving.
+    Internal {
+        /// What went wrong.
+        detail: &'static str,
+    },
 }
 
 /// Parses one request line (already length-checked by the server).
@@ -335,7 +348,46 @@ pub fn render_error_body(kind: &ErrorKind, out: &mut String) {
             out.push('}');
         }
         ErrorKind::Compile(e) => render_compile_error_body(e, out),
+        ErrorKind::Overloaded { retry_after_ms } => {
+            let _ = write!(
+                out,
+                "\"error\":{{\"kind\":\"overloaded\",\"detail\":\"compile queue at capacity; \
+                 retry after {retry_after_ms} ms\",\"retry_after_ms\":{retry_after_ms}}}"
+            );
+        }
+        ErrorKind::Internal { detail } => {
+            out.push_str("\"error\":{\"kind\":\"internal\",\"detail\":\"");
+            json::escape_into(detail, out);
+            out.push_str("\"}");
+        }
     }
+}
+
+/// Appends the `"error":{...}` body for a compile job that blew its
+/// `--deadline-ms` budget. Never cached: the timeout reflects load, not
+/// the request, so a follow-up identical request compiles cleanly.
+pub fn render_deadline_body(deadline_ms: u64, out: &mut String) {
+    let _ = write!(
+        out,
+        "\"error\":{{\"kind\":\"deadline_exceeded\",\"detail\":\"compile exceeded the \
+         {deadline_ms} ms budget\",\"deadline_ms\":{deadline_ms}}}"
+    );
+}
+
+/// Appends the `"error":{...}` body for a compile job whose worker
+/// panicked. Carries the offending cache key (loop fingerprint, interned
+/// spec id, mode index, seed count) so the input can be reproduced, plus
+/// the panic message. Never cached — the worker's context pool entry is
+/// discarded as poisoned, and a follow-up identical request recompiles
+/// on a rebuilt context.
+pub fn render_panic_body(key: &crate::cache::CacheKey, detail: &str, out: &mut String) {
+    out.push_str("\"error\":{\"kind\":\"compile_panic\",\"detail\":\"");
+    json::escape_into(detail, out);
+    let _ = write!(
+        out,
+        "\",\"fp\":\"{:016x}\",\"spec\":{},\"mode\":{},\"seeds\":{}}}",
+        key.fp, key.spec, key.mode, key.seeds
+    );
 }
 
 /// Appends one full response line: `{"id":<id>,<body>}\n`. `None` renders

@@ -8,44 +8,75 @@
 //!    repeated request skip unescape *and* parse), then classify each
 //!    line as a cache **hit**, a **coalesced** duplicate of a miss
 //!    already admitted this batch, or a fresh **miss** routed to a
-//!    worker by `fnv(key) % jobs`.
+//!    worker by `fnv(key) % jobs` — unless the daemon-wide in-flight
+//!    bound is reached, in which case the miss is **shed** with an
+//!    `overloaded` error and a `retry_after` hint.
 //! 2. **Compile fan-out**: each worker with jobs runs them on its own
 //!    thread against its own long-lived [`CompileContext`]s — a context
 //!    is keyed per `(loop, machine, seeds)` and survives across requests
 //!    and batches, so the scratch reuse the one-shot driver proves
 //!    byte-identical also pays off here. Workers never touch the cache.
+//!    Every job runs under `catch_unwind`: a panicking compile renders a
+//!    structured `compile_panic` response and discards the worker's
+//!    context for that key as poisoned (rebuilt on next use) instead of
+//!    killing the daemon. When a deadline is configured the job arms the
+//!    context's [`cvliw_replicate::CancelToken`], and a compile that
+//!    blows the budget renders `deadline_exceeded`.
 //! 3. **Cache insert** (single-threaded, in admission order): freshly
 //!    rendered payloads — compile failures included — enter the LRU
 //!    stamped with their request seq, so the cache state after a batch
-//!    is independent of worker count and thread scheduling.
+//!    is independent of worker count and thread scheduling. Fault
+//!    payloads (`compile_panic`, `deadline_exceeded`) are **never**
+//!    cached: they reflect load or a bug, not the request, and a
+//!    follow-up identical request must compile cleanly.
 //! 4. **Emit** (in line order): every line gets exactly one response
 //!    line, hits and misses rendered from the same cached bytes.
 //!
 //! The warm path (every line a hit) allocates nothing: slots, job queues
 //! and the output string are reused across batches, payload clones are
-//! `Arc` refcount bumps, and the compile fan-out — the only phase that
-//! spawns threads — is skipped entirely when no jobs were admitted.
+//! `Arc` refcount bumps, counters are atomics, and the compile fan-out —
+//! the only phase that spawns threads — is skipped entirely when no jobs
+//! were admitted. The fault-tolerance plumbing is free when disarmed: no
+//! deadline means no token is ever armed, and the shed gate is two
+//! atomic operations per miss, none per hit.
+//!
+//! Cross-session state — the result cache, the spec interner, the seq
+//! counter, the counters and the shed gate — lives in [`SharedState`];
+//! a `Server` is one *session* over it. A single-session daemon behaves
+//! bit-for-bit like the old single-owner design, which is what lets the
+//! differential layer keep pinning byte identity.
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 use std::io::{self, BufRead, Write};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use cvliw_ddg::Ddg;
 use cvliw_ir::parse_loop;
 use cvliw_machine::MachineConfig;
 use cvliw_replicate::{
-    compile_stats_ctx, fnv1a_64, loop_fingerprint, CompileContext, CompileOptions, Mode,
+    compile_stats_ctx, fnv1a_64, loop_fingerprint, CompileContext, CompileError, CompileOptions,
+    Mode,
 };
 
-use crate::cache::{CacheKey, ResultCache};
+use crate::cache::CacheKey;
+#[cfg(feature = "fault-inject")]
+use crate::fault::FaultPlan;
 use crate::json;
 use crate::protocol::{self, ErrorKind, Request, MAX_LINE_BYTES};
+use crate::shared::SharedState;
 
 /// Upper bound on lines drained into one batch by [`Server::run_jsonl`].
 pub const MAX_BATCH: usize = 64;
+
+/// The back-off hint attached to `overloaded` responses, in
+/// milliseconds. A constant (not a measurement) so shed responses stay a
+/// pure function of the request stream.
+pub const RETRY_AFTER_MS: u64 = 50;
 
 /// Sizing knobs for a [`Server`].
 #[derive(Clone, Copy, Debug)]
@@ -60,6 +91,12 @@ pub struct ServerConfig {
     pub contexts_per_worker: usize,
     /// Raw-text memo entries (escaped loop source → fingerprint).
     pub memo_entries: usize,
+    /// Per-request compile budget in milliseconds; `None` disarms the
+    /// deadline entirely (no token is ever armed).
+    pub deadline_ms: Option<u64>,
+    /// Daemon-wide bound on in-flight compile jobs; misses beyond it are
+    /// shed with an `overloaded` error (clamped to at least 1).
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,28 +107,86 @@ impl Default for ServerConfig {
             cache_bytes: 64 << 20,
             contexts_per_worker: 64,
             memo_entries: 1024,
+            deadline_ms: None,
+            max_inflight: 256,
         }
     }
 }
 
-/// Lifetime accounting, all counters monotonic.
+/// Lifetime accounting, all counters monotonic. Daemon-wide: sessions
+/// sharing a [`SharedState`] report combined counts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Request lines admitted (blank lines not counted).
     pub requests: u64,
     /// Lines answered from the result cache.
     pub hits: u64,
-    /// Lines that required a compile.
+    /// Lines that required a compile (shed lines not counted).
     pub misses: u64,
     /// Lines that duplicated a miss admitted earlier in the same batch
     /// and shared its compile instead of running their own.
     pub coalesced: u64,
-    /// Compiles executed by the pool (successes and failures).
+    /// Compiles executed by the pool (successes, failures, faults).
     pub compiles: u64,
     /// Result-cache evictions.
     pub evictions: u64,
     /// Responses that carried an `error` body.
     pub errors: u64,
+    /// Misses shed at the in-flight bound (`overloaded` responses).
+    pub shed: u64,
+    /// Compile jobs that panicked and were contained (`compile_panic`).
+    pub panics: u64,
+    /// Compile jobs that blew the budget (`deadline_exceeded`).
+    pub deadlines: u64,
+}
+
+impl fmt::Display for ServeStats {
+    /// The one-line human summary the daemon prints to stderr at exit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "serve: {} requests, {} hits, {} misses ({} coalesced), {} compiles, {} evictions, \
+             {} errors, {} shed, {} panics, {} deadline",
+            self.requests,
+            self.hits,
+            self.misses,
+            self.coalesced,
+            self.compiles,
+            self.evictions,
+            self.errors,
+            self.shed,
+            self.panics,
+            self.deadlines,
+        )
+    }
+}
+
+/// A clonable, thread-safe shutdown request. Hand one to
+/// [`Server::run_jsonl_until`] (or the socket daemon) and
+/// [`ShutdownFlag::request`] it from a signal handler watcher or another
+/// thread: readers stop at the next line boundary, every admitted
+/// request is still answered and flushed, and the stream ends with no
+/// torn output line.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, unrequested flag.
+    #[must_use]
+    pub fn new() -> Self {
+        ShutdownFlag::default()
+    }
+
+    /// Requests shutdown (idempotent, sticky).
+    pub fn request(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_requested(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
 }
 
 struct TextEntry {
@@ -116,13 +211,38 @@ struct WorkerState {
     ctxs: HashMap<(u64, u32, u32), CtxEntry>,
 }
 
+/// What became of one compile job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobOutcome {
+    /// Worker has not filled the job (unreachable once phase 2 ran).
+    Pending,
+    /// Compiled; payload is an `ok` body.
+    Ok,
+    /// Compiled to a structured compile error (cached like a success).
+    CompileErr,
+    /// An internal invariant failed; payload is an `internal` error.
+    Internal,
+    /// The worker panicked; payload is a `compile_panic` error.
+    Panicked,
+    /// The compile blew its budget; payload is `deadline_exceeded`.
+    DeadlineExceeded,
+}
+
+impl JobOutcome {
+    /// Fault payloads reflect load or a bug, never the request — only
+    /// honest compile outcomes may enter the shared cache.
+    fn cacheable(self) -> bool {
+        matches!(self, JobOutcome::Ok | JobOutcome::CompileErr)
+    }
+}
+
 struct Job {
     key: CacheKey,
     mode: Mode,
     ddg: Option<Ddg>,
     stamp: u64,
     payload: Option<Arc<str>>,
-    is_err: bool,
+    outcome: JobOutcome,
 }
 
 enum Slot {
@@ -138,74 +258,103 @@ enum Slot {
     Stats { id: u64 },
 }
 
-/// The compile daemon. Feed it batches of JSONL request lines (or a whole
-/// stream via [`Server::run_jsonl`]); state — cache, memo, worker
-/// contexts, counters — persists for the server's lifetime.
+/// Everything a worker thread needs besides its own state: the session's
+/// spec mirror, pool sizing, the deadline and (under `fault-inject`) the
+/// fault plan.
+struct WorkerEnv<'a> {
+    machines: &'a HashMap<u32, MachineConfig>,
+    max_ctxs: usize,
+    deadline_ms: Option<u64>,
+    #[cfg(feature = "fault-inject")]
+    fault: &'a FaultPlan,
+}
+
+/// One session of the compile daemon. Feed it batches of JSONL request
+/// lines (or a whole stream via [`Server::run_jsonl`]); session state —
+/// worker contexts, the raw-text memo — lives here, daemon state — the
+/// cache, the spec interner, counters — in the [`SharedState`] all
+/// sessions of one daemon share.
 pub struct Server {
     cfg: ServerConfig,
-    machines: Vec<MachineConfig>,
+    shared: Arc<SharedState>,
+    /// Session-local mirror of the shared spec table (id → config),
+    /// lock-free on the warm path.
+    machines: HashMap<u32, MachineConfig>,
+    /// Session-local mirror: escaped spec text → shared id.
     spec_ids: HashMap<Box<str>, u32>,
     text_memo: HashMap<u64, TextEntry>,
-    cache: ResultCache,
     workers: Vec<WorkerState>,
     worker_jobs: Vec<Vec<Job>>,
     pending: HashMap<CacheKey, (u32, u32)>,
     slots: Vec<Slot>,
     body_buf: String,
-    stats: ServeStats,
-    seq: u64,
+    #[cfg(feature = "fault-inject")]
+    fault: FaultPlan,
 }
 
 impl Server {
-    /// Creates a server with `cfg.jobs` workers (clamped to at least 1).
+    /// Creates a single-session server with its own private
+    /// [`SharedState`] and `cfg.jobs` workers (clamped to at least 1).
     #[must_use]
     pub fn new(cfg: ServerConfig) -> Self {
+        let shared = SharedState::new(&cfg);
+        Server::with_shared(cfg, shared)
+    }
+
+    /// Creates a session over existing daemon-wide state. Every session
+    /// of one daemon must be built from the same `Arc` — the cache keys
+    /// carry interned spec ids that only the shared table can mint.
+    #[must_use]
+    pub fn with_shared(cfg: ServerConfig, shared: Arc<SharedState>) -> Self {
         let jobs = cfg.jobs.max(1);
         Server {
             cfg: ServerConfig { jobs, ..cfg },
-            machines: Vec::new(),
+            shared,
+            machines: HashMap::new(),
             spec_ids: HashMap::new(),
             text_memo: HashMap::new(),
-            cache: ResultCache::new(cfg.cache_entries, cfg.cache_bytes),
             workers: (0..jobs).map(|_| WorkerState::default()).collect(),
             worker_jobs: (0..jobs).map(|_| Vec::new()).collect(),
             pending: HashMap::new(),
             slots: Vec::new(),
             body_buf: String::new(),
-            stats: ServeStats::default(),
-            seq: 0,
+            #[cfg(feature = "fault-inject")]
+            fault: FaultPlan::default(),
         }
     }
 
-    /// Lifetime counters.
+    /// The daemon-wide state this session shares.
+    #[must_use]
+    pub fn shared(&self) -> &Arc<SharedState> {
+        &self.shared
+    }
+
+    /// Arms a deterministic [`FaultPlan`] for this session's workers
+    /// (test builds only).
+    #[cfg(feature = "fault-inject")]
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// Lifetime counters (daemon-wide when sessions share state).
     #[must_use]
     pub fn stats(&self) -> ServeStats {
-        self.stats
+        self.shared.stats().snapshot()
     }
 
     /// One-line human summary for stderr.
     #[must_use]
     pub fn summary(&self) -> String {
-        let s = &self.stats;
-        format!(
-            "serve: {} requests, {} hits, {} misses ({} coalesced), {} compiles, {} evictions, \
-             {} errors",
-            s.requests, s.hits, s.misses, s.coalesced, s.compiles, s.evictions, s.errors
-        )
+        self.stats().to_string()
     }
 
     fn intern_spec(&mut self, escaped: &str) -> Result<u32, ErrorKind> {
         if let Some(&id) = self.spec_ids.get(escaped) {
             return Ok(id);
         }
-        let text = json::unescape(escaped).map_err(|e| ErrorKind::BadField {
-            field: "machine",
-            detail: e.to_string(),
-        })?;
-        let machine = MachineConfig::from_extended_spec(&text).map_err(ErrorKind::Spec)?;
-        let id = u32::try_from(self.machines.len()).expect("spec intern overflow");
-        self.machines.push(machine);
+        let (id, machine) = self.shared.intern_spec(escaped)?;
         self.spec_ids.insert(Box::from(escaped), id);
+        self.machines.insert(id, machine);
         Ok(id)
     }
 
@@ -270,30 +419,25 @@ impl Server {
             Ok(pair) => pair,
             Err(kind) => return Slot::Reject { id: Some(id), kind },
         };
-        let mode_idx = Mode::ALL
-            .into_iter()
-            .position(|m| m == mode)
-            .expect("mode in Mode::ALL") as u8;
         let key = CacheKey {
             fp,
             spec,
-            mode: mode_idx,
+            mode: mode.index(),
             seeds,
         };
 
-        if let Some(payload) = self.cache.lookup(&key, stamp) {
-            self.stats.hits += 1;
+        if let Some(payload) = self.shared.cache_lookup(&key, stamp) {
+            self.shared.stats().hits(1);
             if payload.starts_with("\"error\"") {
-                self.stats.errors += 1;
+                self.shared.stats().errors(1);
             }
             return Slot::Hit { id, payload };
         }
         if let Some(&(worker, idx)) = self.pending.get(&key) {
-            self.stats.coalesced += 1;
+            self.shared.stats().coalesced(1);
             return Slot::Job { id, worker, idx };
         }
 
-        self.stats.misses += 1;
         // A miss always carries its DDG: the worker may lack a context for
         // it (or may evict one mid-batch), and re-parsing here costs noise
         // next to the compile the miss is about to pay for anyway.
@@ -317,15 +461,40 @@ impl Server {
                 }
             },
         };
+
+        // Load shedding: a fresh miss claims one daemon-wide in-flight
+        // slot or is turned away with a back-off hint — never queued
+        // unboundedly. Hits and coalesced duplicates above cost nothing.
+        if !self.shared.try_acquire_compile() {
+            self.shared.stats().shed(1);
+            return Slot::Reject {
+                id: Some(id),
+                kind: ErrorKind::Overloaded {
+                    retry_after_ms: RETRY_AFTER_MS,
+                },
+            };
+        }
+        self.shared.stats().misses(1);
         let worker = (fnv1a_64(&key.bytes()) % self.cfg.jobs as u64) as u32;
-        let idx = u32::try_from(self.worker_jobs[worker as usize].len()).expect("batch too large");
+        let idx = match u32::try_from(self.worker_jobs[worker as usize].len()) {
+            Ok(idx) => idx,
+            Err(_) => {
+                self.shared.release_compiles(1);
+                return Slot::Reject {
+                    id: Some(id),
+                    kind: ErrorKind::Internal {
+                        detail: "batch job index overflow",
+                    },
+                };
+            }
+        };
         self.worker_jobs[worker as usize].push(Job {
             key,
             mode,
             ddg,
             stamp,
             payload: None,
-            is_err: false,
+            outcome: JobOutcome::Pending,
         });
         self.pending.insert(key, (worker, idx));
         Slot::Job { id, worker, idx }
@@ -348,11 +517,10 @@ impl Server {
                 self.slots.push(Slot::Blank);
                 continue;
             }
-            self.stats.requests += 1;
-            let stamp = self.seq;
-            self.seq += 1;
+            self.shared.stats().requests(1);
+            let stamp = self.shared.next_stamp();
             if line.len() > MAX_LINE_BYTES {
-                self.stats.errors += 1;
+                self.shared.stats().errors(1);
                 self.slots.push(Slot::Reject {
                     id: None,
                     kind: ErrorKind::Oversized { bytes: line.len() },
@@ -371,7 +539,7 @@ impl Server {
                 Err((id, kind)) => Slot::Reject { id, kind },
             };
             if let Slot::Reject { .. } = slot {
-                self.stats.errors += 1;
+                self.shared.stats().errors(1);
             }
             self.slots.push(slot);
         }
@@ -379,20 +547,27 @@ impl Server {
         // Phase 2: compile fan-out. Skipped entirely on an all-hit batch —
         // even spawning a scope would allocate.
         if self.worker_jobs.iter().any(|jobs| !jobs.is_empty()) {
-            let machines = &self.machines;
-            let max_ctxs = self.cfg.contexts_per_worker.max(1);
+            let env = WorkerEnv {
+                machines: &self.machines,
+                max_ctxs: self.cfg.contexts_per_worker.max(1),
+                deadline_ms: self.cfg.deadline_ms,
+                #[cfg(feature = "fault-inject")]
+                fault: &self.fault,
+            };
+            let env = &env;
             thread::scope(|scope| {
                 for (ws, jobs) in self.workers.iter_mut().zip(self.worker_jobs.iter_mut()) {
                     if jobs.is_empty() {
                         continue;
                     }
-                    scope.spawn(move || run_worker(ws, jobs, machines, max_ctxs));
+                    scope.spawn(move || run_worker(ws, jobs, env));
                 }
             });
         }
 
         // Phase 3: cache insertion in admission (stamp) order, so the
-        // cache state never depends on which worker finished first.
+        // cache state never depends on which worker finished first. Every
+        // job claimed an in-flight slot at admission; return them all.
         let mut done: Vec<(u64, u32, u32)> = Vec::new();
         for (w, jobs) in self.worker_jobs.iter().enumerate() {
             for (i, job) in jobs.iter().enumerate() {
@@ -402,13 +577,29 @@ impl Server {
         done.sort_unstable();
         for &(stamp, w, i) in &done {
             let job = &self.worker_jobs[w as usize][i as usize];
-            let payload = job.payload.clone().expect("worker filled every job");
-            self.stats.compiles += 1;
-            if job.is_err {
-                self.stats.errors += 1;
+            let stats = self.shared.stats();
+            stats.compiles(1);
+            match job.outcome {
+                JobOutcome::Ok => {}
+                JobOutcome::CompileErr | JobOutcome::Internal | JobOutcome::Pending => {
+                    stats.errors(1);
+                }
+                JobOutcome::Panicked => {
+                    stats.errors(1);
+                    stats.panics(1);
+                }
+                JobOutcome::DeadlineExceeded => {
+                    stats.errors(1);
+                    stats.deadlines(1);
+                }
             }
-            self.stats.evictions += self.cache.insert(job.key, payload, stamp);
+            if job.outcome.cacheable() {
+                if let Some(payload) = job.payload.clone() {
+                    stats.evictions(self.shared.cache_insert(job.key, payload, stamp));
+                }
+            }
         }
+        self.shared.release_compiles(done.len() as u64);
 
         // Phase 4: emit, in line order.
         for slot in &self.slots {
@@ -417,8 +608,21 @@ impl Server {
                 Slot::Hit { id, payload } => protocol::render_response(Some(*id), payload, out),
                 Slot::Job { id, worker, idx } => {
                     let job = &self.worker_jobs[*worker as usize][*idx as usize];
-                    let payload = job.payload.as_deref().expect("worker filled every job");
-                    protocol::render_response(Some(*id), payload, out);
+                    match job.payload.as_deref() {
+                        Some(payload) => protocol::render_response(Some(*id), payload, out),
+                        // Unreachable: phase 2 fills every job, panic or
+                        // not. Fail closed with a structured answer.
+                        None => {
+                            self.body_buf.clear();
+                            protocol::render_error_body(
+                                &ErrorKind::Internal {
+                                    detail: "worker returned no payload",
+                                },
+                                &mut self.body_buf,
+                            );
+                            protocol::render_response(Some(*id), &self.body_buf, out);
+                        }
+                    }
                 }
                 Slot::Reject { id, kind } => {
                     self.body_buf.clear();
@@ -427,12 +631,12 @@ impl Server {
                 }
                 Slot::Stats { id } => {
                     self.body_buf.clear();
-                    let s = &self.stats;
+                    let s = self.shared.stats().snapshot();
                     let _ = write!(
                         self.body_buf,
                         "\"ok\":{{\"requests\":{},\"hits\":{},\"misses\":{},\"coalesced\":{},\
-                         \"compiles\":{},\"evictions\":{},\"errors\":{},\"cache_entries\":{},\
-                         \"cache_bytes\":{}}}",
+                         \"compiles\":{},\"evictions\":{},\"errors\":{},\"shed\":{},\
+                         \"panics\":{},\"deadlines\":{},\"cache_entries\":{},\"cache_bytes\":{}}}",
                         s.requests,
                         s.hits,
                         s.misses,
@@ -440,8 +644,11 @@ impl Server {
                         s.compiles,
                         s.evictions,
                         s.errors,
-                        self.cache.len(),
-                        self.cache.bytes(),
+                        s.shed,
+                        s.panics,
+                        s.deadlines,
+                        self.shared.cache_len(),
+                        self.shared.cache_bytes(),
                     );
                     protocol::render_response(Some(*id), &self.body_buf, out);
                 }
@@ -464,83 +671,257 @@ impl Server {
     /// # Errors
     ///
     /// Propagates `writer` failures; `reader` errors end the stream.
-    pub fn run_jsonl<R, W>(&mut self, reader: R, mut writer: W) -> io::Result<()>
+    pub fn run_jsonl<R, W>(&mut self, reader: R, writer: W) -> io::Result<()>
+    where
+        R: BufRead + Send,
+        W: Write,
+    {
+        self.run_jsonl_until(reader, writer, &ShutdownFlag::new())
+    }
+
+    /// [`Server::run_jsonl`] with cooperative shutdown: when `shutdown`
+    /// is requested, the reader stops at the next line boundary (or read
+    /// timeout), every line already read is processed and answered, the
+    /// writer is flushed, and the pump returns `Ok`. The reader side
+    /// tolerates `WouldBlock`/`TimedOut` (a socket with a read timeout)
+    /// by retrying, retaining any partial line across retries — that
+    /// polling is what lets a blocking socket session observe the flag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `writer` failures; `reader` errors end the stream.
+    pub fn run_jsonl_until<R, W>(
+        &mut self,
+        reader: R,
+        mut writer: W,
+        shutdown: &ShutdownFlag,
+    ) -> io::Result<()>
     where
         R: BufRead + Send,
         W: Write,
     {
         let (tx, rx) = mpsc::sync_channel::<String>(4 * MAX_BATCH);
+        // Set once the pump stops consuming (EOF or a writer error), so
+        // a reader waking from a read timeout exits instead of pumping
+        // lines nobody will answer.
+        let done = AtomicBool::new(false);
+        let done = &done;
         thread::scope(|scope| {
-            scope.spawn(move || {
-                for line in reader.lines() {
-                    let Ok(line) = line else { break };
-                    if tx.send(line).is_err() {
-                        break;
+            scope.spawn(move || pump_lines(reader, &tx, shutdown, done));
+            let result = (|| {
+                let mut lines: Vec<String> = Vec::with_capacity(MAX_BATCH);
+                let mut out = String::new();
+                while let Ok(first) = rx.recv() {
+                    lines.clear();
+                    lines.push(first);
+                    while lines.len() < MAX_BATCH {
+                        match rx.try_recv() {
+                            Ok(line) => lines.push(line),
+                            Err(_) => break,
+                        }
                     }
+                    out.clear();
+                    self.process_batch(&lines, &mut out);
+                    writer.write_all(out.as_bytes())?;
+                    writer.flush()?;
                 }
-            });
-            let mut lines: Vec<String> = Vec::with_capacity(MAX_BATCH);
-            let mut out = String::new();
-            while let Ok(first) = rx.recv() {
-                lines.clear();
-                lines.push(first);
-                while lines.len() < MAX_BATCH {
-                    match rx.try_recv() {
-                        Ok(line) => lines.push(line),
-                        Err(_) => break,
-                    }
-                }
-                out.clear();
-                self.process_batch(&lines, &mut out);
-                writer.write_all(out.as_bytes())?;
-                writer.flush()?;
-            }
-            Ok(())
+                Ok(())
+            })();
+            done.store(true, Ordering::Release);
+            drop(rx);
+            result
         })
     }
 }
 
-fn run_worker(ws: &mut WorkerState, jobs: &mut [Job], machines: &[MachineConfig], max_ctxs: usize) {
+/// The reader half of [`Server::run_jsonl_until`]: assembles lines from
+/// `reader` and sends them to the pump. Memory-bounded — once a line
+/// passes the protocol cap its tail is discarded (the line is already
+/// doomed to an `oversized` rejection, reported at the cap) — and
+/// timeout-tolerant: `WouldBlock`/`TimedOut`/`Interrupted` re-check the
+/// shutdown and done flags and retry, keeping the partial line.
+fn pump_lines<R: BufRead>(
+    mut reader: R,
+    tx: &mpsc::SyncSender<String>,
+    shutdown: &ShutdownFlag,
+    done: &AtomicBool,
+) {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.is_requested() || done.load(Ordering::Acquire) {
+            return;
+        }
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            // A hard reader error ends the stream like EOF.
+            Err(_) => &[][..],
+        };
+        if chunk.is_empty() {
+            // EOF: a final line without a trailing newline is still a
+            // request.
+            if !line.is_empty() {
+                let _ = tx.send(String::from_utf8_lossy(&line).into_owned());
+            }
+            return;
+        }
+        let (take, complete) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (chunk.len(), false),
+        };
+        let body = if complete { take - 1 } else { take };
+        let room = (MAX_LINE_BYTES + 1).saturating_sub(line.len());
+        line.extend_from_slice(&chunk[..body.min(room)]);
+        reader.consume(take);
+        if complete {
+            let mut text = String::from_utf8_lossy(&line).into_owned();
+            if text.ends_with('\r') {
+                text.pop();
+            }
+            line.clear();
+            if tx.send(text).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "worker panicked (non-string payload)"
+    }
+}
+
+fn run_worker(ws: &mut WorkerState, jobs: &mut [Job], env: &WorkerEnv<'_>) {
     let mut body = String::new();
     for job in jobs {
-        let ctx_key = (job.key.fp, job.key.spec, job.key.seeds);
-        let machine = &machines[job.key.spec as usize];
-        if !ws.ctxs.contains_key(&ctx_key) {
-            while ws.ctxs.len() >= max_ctxs {
-                let victim = ws
-                    .ctxs
-                    .iter()
-                    .min_by_key(|(_, e)| e.stamp)
-                    .map(|(k, _)| *k)
-                    .expect("non-empty context pool");
-                ws.ctxs.remove(&victim);
-            }
-            let ddg = job.ddg.take().expect("miss carries its DDG");
-            let ctx = CompileContext::new(&ddg, machine).with_refine_seeds(job.key.seeds);
-            ws.ctxs.insert(
-                ctx_key,
-                CtxEntry {
-                    ddg,
-                    ctx,
-                    stamp: job.stamp,
-                },
-            );
-        }
-        let entry = ws.ctxs.get_mut(&ctx_key).expect("context just ensured");
-        entry.stamp = entry.stamp.max(job.stamp);
-        let opts = CompileOptions {
-            mode: job.mode,
-            max_ii: None,
-        };
         body.clear();
-        match compile_stats_ctx(&entry.ddg, machine, &opts, &entry.ctx) {
-            Ok(stats) => protocol::render_ok_body(&stats, &mut body),
-            Err(e) => {
-                job.is_err = true;
-                protocol::render_compile_error_body(&e, &mut body);
+        // The containment boundary: a panic anywhere in context
+        // construction or compilation converts to a structured response,
+        // and the context this job touched is discarded as poisoned —
+        // `thread::scope` would otherwise re-raise the panic on join and
+        // take the daemon down.
+        let outcome =
+            panic::catch_unwind(AssertUnwindSafe(|| compile_one(ws, job, env, &mut body)));
+        job.outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(panic_payload) => {
+                ws.ctxs.remove(&(job.key.fp, job.key.spec, job.key.seeds));
+                body.clear();
+                protocol::render_panic_body(&job.key, panic_message(&*panic_payload), &mut body);
+                JobOutcome::Panicked
             }
-        }
+        };
         job.payload = Some(Arc::from(body.as_str()));
+    }
+}
+
+/// Runs one compile job on the worker's context pool, rendering the
+/// response body and reporting what happened. May panic (a compiler bug
+/// or an injected fault); [`run_worker`] contains that.
+fn compile_one(
+    ws: &mut WorkerState,
+    job: &mut Job,
+    env: &WorkerEnv<'_>,
+    body: &mut String,
+) -> JobOutcome {
+    #[cfg(feature = "fault-inject")]
+    if env.fault.panics_at(job.stamp) {
+        panic!("injected fault: worker panic at request {}", job.stamp);
+    }
+    let ctx_key = (job.key.fp, job.key.spec, job.key.seeds);
+    let Some(machine) = env.machines.get(&job.key.spec) else {
+        protocol::render_error_body(
+            &ErrorKind::Internal {
+                detail: "no machine for interned spec id",
+            },
+            body,
+        );
+        return JobOutcome::Internal;
+    };
+    if !ws.ctxs.contains_key(&ctx_key) {
+        while ws.ctxs.len() >= env.max_ctxs {
+            let Some(victim) = ws.ctxs.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) else {
+                break;
+            };
+            ws.ctxs.remove(&victim);
+        }
+        let Some(ddg) = job.ddg.take() else {
+            protocol::render_error_body(
+                &ErrorKind::Internal {
+                    detail: "compile job lost its DDG",
+                },
+                body,
+            );
+            return JobOutcome::Internal;
+        };
+        let ctx = CompileContext::new(&ddg, machine).with_refine_seeds(job.key.seeds);
+        ws.ctxs.insert(
+            ctx_key,
+            CtxEntry {
+                ddg,
+                ctx,
+                stamp: job.stamp,
+            },
+        );
+    }
+    let Some(entry) = ws.ctxs.get_mut(&ctx_key) else {
+        protocol::render_error_body(
+            &ErrorKind::Internal {
+                detail: "context pool lost a just-ensured entry",
+            },
+            body,
+        );
+        return JobOutcome::Internal;
+    };
+    entry.stamp = entry.stamp.max(job.stamp);
+    let opts = CompileOptions {
+        mode: job.mode,
+        max_ii: None,
+    };
+    // Deadline checkpoints live in the driver's II attempt loop; arm the
+    // context's token for this job only and disarm before the context is
+    // reused. When no deadline is configured the token is never touched.
+    let token = env.deadline_ms.map(|ms| {
+        let token = entry.ctx.cancel_token();
+        token.arm_deadline(Instant::now() + Duration::from_millis(ms));
+        token
+    });
+    #[cfg(feature = "fault-inject")]
+    if let Some(stall) = env.fault.stall_at(job.stamp) {
+        thread::sleep(stall);
+    }
+    let result = compile_stats_ctx(&entry.ddg, machine, &opts, &entry.ctx);
+    if let Some(token) = token {
+        token.disarm_deadline();
+    }
+    match result {
+        Ok(stats) => {
+            protocol::render_ok_body(&stats, body);
+            JobOutcome::Ok
+        }
+        Err(CompileError::Cancelled { .. }) => {
+            protocol::render_deadline_body(env.deadline_ms.unwrap_or(0), body);
+            JobOutcome::DeadlineExceeded
+        }
+        Err(e) => {
+            protocol::render_compile_error_body(&e, body);
+            JobOutcome::CompileErr
+        }
     }
 }
 
@@ -555,6 +936,10 @@ mod tests {
             ..ServerConfig::default()
         })
     }
+
+    /// A second loop structurally distinct from [`TINY_LOOP`].
+    const OTHER_LOOP: &str =
+        "loop other {\n  i: iadd i@1\n  a: load i\n  b: load i\n  m: fadd a, b\n  st: store m\n}";
 
     #[test]
     fn one_request_compiles_and_repeats_hit_the_cache() {
@@ -644,6 +1029,7 @@ mod tests {
         let stats_line = out.lines().nth(1).unwrap();
         assert!(stats_line.contains("\"requests\":2"), "{stats_line}");
         assert!(stats_line.contains("\"compiles\":1"), "{stats_line}");
+        assert!(stats_line.contains("\"shed\":0"), "{stats_line}");
     }
 
     #[test]
@@ -683,5 +1069,177 @@ mod tests {
         let mut four = String::new();
         server(4).process_batch(&reqs, &mut four);
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn zero_deadline_is_exceeded_deterministically_and_never_cached() {
+        let cfg = ServerConfig {
+            jobs: 1,
+            deadline_ms: Some(0),
+            ..ServerConfig::default()
+        };
+        let shared = SharedState::new(&cfg);
+        let mut strict = Server::with_shared(cfg, Arc::clone(&shared));
+        let mut out = String::new();
+        let line = request_line(1, TINY_LOOP, "4c1b2l64r", "replicate", 1);
+        strict.process_batch(std::slice::from_ref(&line), &mut out);
+        assert!(
+            out.starts_with("{\"id\":1,\"error\":{\"kind\":\"deadline_exceeded\""),
+            "{out}"
+        );
+        assert!(out.contains("\"deadline_ms\":0"), "{out}");
+        assert_eq!(strict.stats().deadlines, 1);
+
+        // Not cached: the same request on the same session compiles again
+        // (another miss, another deadline error), never a poisoned hit.
+        out.clear();
+        strict.process_batch(std::slice::from_ref(&line), &mut out);
+        assert!(out.contains("deadline_exceeded"), "{out}");
+        assert_eq!(strict.stats().misses, 2, "fault payload must not be cached");
+        assert_eq!(strict.stats().hits, 0);
+
+        // A sibling session over the same shared cache, deadline
+        // disarmed: compiles cleanly — the shared cache was not corrupted.
+        let relaxed_cfg = ServerConfig {
+            deadline_ms: None,
+            ..cfg
+        };
+        let mut relaxed = Server::with_shared(relaxed_cfg, shared);
+        out.clear();
+        relaxed.process_batch(
+            &[request_line(9, TINY_LOOP, "4c1b2l64r", "replicate", 1)],
+            &mut out,
+        );
+        assert!(out.starts_with("{\"id\":9,\"ok\":{\"mii\":"), "{out}");
+    }
+
+    #[test]
+    fn inflight_bound_sheds_with_retry_after_and_recovers() {
+        let mut s = Server::new(ServerConfig {
+            jobs: 1,
+            max_inflight: 1,
+            ..ServerConfig::default()
+        });
+        let mut out = String::new();
+        s.process_batch(
+            &[
+                request_line(1, TINY_LOOP, "4c1b2l64r", "replicate", 1),
+                request_line(2, OTHER_LOOP, "4c1b2l64r", "replicate", 1),
+            ],
+            &mut out,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"id\":1,\"ok\":"), "{out}");
+        assert!(
+            lines[1].starts_with("{\"id\":2,\"error\":{\"kind\":\"overloaded\""),
+            "{out}"
+        );
+        assert!(
+            lines[1].contains(&format!("\"retry_after_ms\":{RETRY_AFTER_MS}")),
+            "{out}"
+        );
+        assert_eq!(s.stats().shed, 1);
+        assert_eq!(s.stats().misses, 1, "a shed line is not a miss");
+
+        // The batch released its slot: the shed request now compiles.
+        out.clear();
+        s.process_batch(
+            &[request_line(3, OTHER_LOOP, "4c1b2l64r", "replicate", 1)],
+            &mut out,
+        );
+        assert!(out.starts_with("{\"id\":3,\"ok\":"), "{out}");
+        assert_eq!(s.stats().shed, 1, "no further shedding");
+    }
+
+    #[test]
+    fn sessions_share_the_cache_and_the_spec_interner() {
+        let cfg = ServerConfig::default();
+        let shared = SharedState::new(&cfg);
+        let mut a = Server::with_shared(cfg, Arc::clone(&shared));
+        let mut b = Server::with_shared(cfg, shared);
+
+        let mut cold = String::new();
+        a.process_batch(
+            &[request_line(1, TINY_LOOP, "4c1b2l64r", "replicate", 1)],
+            &mut cold,
+        );
+        let mut warm = String::new();
+        b.process_batch(
+            &[request_line(2, TINY_LOOP, "4c1b2l64r", "replicate", 1)],
+            &mut warm,
+        );
+
+        assert!(cold.starts_with("{\"id\":1,\"ok\":"), "{cold}");
+        assert_eq!(
+            cold.trim_start_matches("{\"id\":1,"),
+            warm.trim_start_matches("{\"id\":2,"),
+            "session B must serve session A's cached bytes"
+        );
+        let s = a.stats();
+        assert_eq!((s.misses, s.hits, s.compiles), (1, 1, 1));
+    }
+
+    #[test]
+    fn requested_shutdown_stops_the_pump_before_reading() {
+        let mut s = server(1);
+        let shutdown = ShutdownFlag::new();
+        shutdown.request();
+        let input = request_line(1, TINY_LOOP, "4c1b2l64r", "replicate", 1);
+        let mut out = Vec::new();
+        s.run_jsonl_until(io::Cursor::new(input), &mut out, &shutdown)
+            .unwrap();
+        assert!(out.is_empty(), "pre-requested shutdown must read nothing");
+        assert_eq!(s.stats().requests, 0);
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_with_bounded_memory() {
+        let mut s = server(1);
+        // 2 MiB of garbage on one line, then a valid request: the reader
+        // truncates at the cap, the response is a structured oversized
+        // error, and the following line is served normally.
+        let mut input = "x".repeat(2 * MAX_LINE_BYTES);
+        input.push('\n');
+        input.push_str(&request_line(7, TINY_LOOP, "4c1b2l64r", "baseline", 1));
+        let mut out = Vec::new();
+        s.run_jsonl(io::Cursor::new(input), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(
+            lines[0].starts_with("{\"id\":null,\"error\":{\"kind\":\"oversized\""),
+            "{out}"
+        );
+        assert!(lines[1].starts_with("{\"id\":7,\"ok\":"), "{out}");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_panic_is_contained_and_the_context_rebuilt() {
+        let mut s = server(2);
+        s.set_fault_plan(FaultPlan {
+            panic_at: vec![0],
+            ..FaultPlan::default()
+        });
+        let line = request_line(1, TINY_LOOP, "4c1b2l64r", "replicate", 1);
+        let mut out = String::new();
+        s.process_batch(std::slice::from_ref(&line), &mut out);
+        assert!(
+            out.starts_with("{\"id\":1,\"error\":{\"kind\":\"compile_panic\""),
+            "{out}"
+        );
+        assert!(out.contains("injected fault"), "{out}");
+        assert_eq!(s.stats().panics, 1);
+
+        // Stamp 1 is not in the plan: the same request recompiles on a
+        // rebuilt context and matches a fresh server's answer.
+        out.clear();
+        let line2 = request_line(2, TINY_LOOP, "4c1b2l64r", "replicate", 1);
+        s.process_batch(std::slice::from_ref(&line2), &mut out);
+        let mut oracle = String::new();
+        server(1).process_batch(std::slice::from_ref(&line2), &mut oracle);
+        assert_eq!(out, oracle, "post-panic compile diverged");
+        assert_eq!(s.stats().hits, 0, "panic payload must not be cached");
     }
 }

@@ -1,0 +1,254 @@
+//! State shared by every concurrent session of one daemon.
+//!
+//! A [`crate::server::Server`] is a *session*: single-threaded admission,
+//! private worker pool, private raw-text memo. Everything whose identity
+//! must be daemon-wide lives here instead, behind an `Arc`:
+//!
+//! * the **result cache**, lock-striped by key hash so concurrent
+//!   sessions rarely contend on the same stripe;
+//! * the **machine-spec interner** — `CacheKey.spec` is the interned id,
+//!   so two sessions interning independently would alias *different*
+//!   specs to the *same* id and serve wrong cached payloads. Sessions
+//!   keep a lock-free local mirror for the warm path and fall through to
+//!   the shared table only on their first sight of a spec;
+//! * the **request sequence counter** — LRU stamps and fault-plan
+//!   indices are global request seq numbers;
+//! * the **counters** (plain atomics) and the **shed gate** bounding
+//!   daemon-wide in-flight compiles.
+//!
+//! With a single session the shared state degenerates to exactly the old
+//! single-owner behavior: stamps are consecutive, the striped LRU is a
+//! deterministic function of the request stream, and every byte of every
+//! response is unchanged — the differential layer pins this.
+//!
+//! Poisoned locks are impossible by construction (no panic can happen
+//! while a stripe or the spec table is held: workers never touch them,
+//! and admission is panic-free), but every `lock()` still recovers via
+//! [`PoisonError::into_inner`] rather than unwrapping — a daemon must
+//! not die on a theory.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use cvliw_machine::MachineConfig;
+use cvliw_replicate::fnv1a_64;
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::json;
+use crate::protocol::ErrorKind;
+use crate::server::{ServeStats, ServerConfig};
+
+/// Result-cache stripes. A power of two keeps the modulo cheap; eight is
+/// plenty for the session counts a Unix-socket daemon realistically runs.
+/// Entry/byte bounds are divided per stripe, so the configured totals
+/// hold globally (hash skew can make one stripe evict a little early —
+/// capacity is a bound, not a promise of perfect utilization).
+pub(crate) const CACHE_STRIPES: usize = 8;
+
+/// Caches bounded below this many entries stay single-striped: striping
+/// is a contention optimization for big caches, and a single stripe
+/// preserves the exact global-LRU eviction order that tightly bounded
+/// (mostly test) configurations observe.
+const STRIPE_THRESHOLD: usize = 64;
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Daemon-wide counters. Sessions bump these with relaxed atomics; a
+/// single-session daemon therefore observes exactly the sequential
+/// counts the old owned struct reported.
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    compiles: AtomicU64,
+    evictions: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    deadlines: AtomicU64,
+}
+
+macro_rules! bump {
+    ($($name:ident),+) => {
+        $(pub(crate) fn $name(&self, n: u64) {
+            self.$name.fetch_add(n, Ordering::Relaxed);
+        })+
+    };
+}
+
+impl SharedStats {
+    bump!(requests, hits, misses, coalesced, compiles, evictions, errors, shed, panics, deadlines);
+
+    /// A point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            deadlines: self.deadlines.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The daemon-wide machine-spec interner: escaped spec text → small id,
+/// plus the parsed config per id.
+#[derive(Debug, Default)]
+struct SpecTable {
+    ids: HashMap<Box<str>, u32>,
+    machines: Vec<MachineConfig>,
+}
+
+/// Bounds daemon-wide in-flight compile jobs. Admission acquires one
+/// slot per fresh miss and sheds (with a `retry_after` hint) when the
+/// bound is reached; the batch releases its slots after the compile
+/// fan-out returns. Hits and coalesced duplicates never touch the gate.
+#[derive(Debug)]
+struct ShedGate {
+    inflight: AtomicU64,
+    max: u64,
+}
+
+impl ShedGate {
+    fn try_acquire(&self) -> bool {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max {
+                return false;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn release(&self, n: u64) {
+        self.inflight.fetch_sub(n, Ordering::AcqRel);
+    }
+}
+
+/// Everything one daemon's sessions share. Construct once, hand an
+/// `Arc` clone to each [`crate::server::Server`] session.
+#[derive(Debug)]
+pub struct SharedState {
+    stripes: Vec<Mutex<ResultCache>>,
+    specs: Mutex<SpecTable>,
+    seq: AtomicU64,
+    stats: SharedStats,
+    gate: ShedGate,
+}
+
+impl SharedState {
+    /// Builds the shared state a [`ServerConfig`] describes.
+    #[must_use]
+    pub fn new(cfg: &ServerConfig) -> Arc<Self> {
+        let stripes = if cfg.cache_entries >= STRIPE_THRESHOLD {
+            CACHE_STRIPES
+        } else {
+            1
+        };
+        let per_entries = (cfg.cache_entries / stripes).max(1);
+        let per_bytes = (cfg.cache_bytes / stripes).max(1);
+        Arc::new(SharedState {
+            stripes: (0..stripes)
+                .map(|_| Mutex::new(ResultCache::new(per_entries, per_bytes)))
+                .collect(),
+            specs: Mutex::new(SpecTable::default()),
+            seq: AtomicU64::new(0),
+            stats: SharedStats::default(),
+            gate: ShedGate {
+                inflight: AtomicU64::new(0),
+                max: cfg.max_inflight.max(1) as u64,
+            },
+        })
+    }
+
+    /// The daemon-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> &SharedStats {
+        &self.stats
+    }
+
+    /// Claims the next global request sequence number.
+    pub(crate) fn next_stamp(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Tries to claim one in-flight compile slot.
+    pub(crate) fn try_acquire_compile(&self) -> bool {
+        self.gate.try_acquire()
+    }
+
+    /// Returns `n` in-flight compile slots.
+    pub(crate) fn release_compiles(&self, n: u64) {
+        if n > 0 {
+            self.gate.release(n);
+        }
+    }
+
+    fn stripe(&self, key: &CacheKey) -> MutexGuard<'_, ResultCache> {
+        let i = (fnv1a_64(&key.bytes()) as usize) % self.stripes.len();
+        relock(&self.stripes[i])
+    }
+
+    /// Looks `key` up in its stripe, refreshing the LRU stamp on a hit.
+    pub(crate) fn cache_lookup(&self, key: &CacheKey, stamp: u64) -> Option<Arc<str>> {
+        self.stripe(key).lookup(key, stamp)
+    }
+
+    /// Inserts into `key`'s stripe; returns how many entries it evicted.
+    pub(crate) fn cache_insert(&self, key: CacheKey, payload: Arc<str>, stamp: u64) -> u64 {
+        self.stripe(&key).insert(key, payload, stamp)
+    }
+
+    /// Entries resident across all stripes.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.stripes.iter().map(|s| relock(s).len()).sum()
+    }
+
+    /// Payload bytes resident across all stripes.
+    #[must_use]
+    pub fn cache_bytes(&self) -> usize {
+        self.stripes.iter().map(|s| relock(s).bytes()).sum()
+    }
+
+    /// Interns an escaped machine-spec string daemon-wide, parsing it on
+    /// first sight. Returns the id and (for first sight per session) the
+    /// parsed config so the session can mirror both locally.
+    pub(crate) fn intern_spec(&self, escaped: &str) -> Result<(u32, MachineConfig), ErrorKind> {
+        let mut table = relock(&self.specs);
+        if let Some(&id) = table.ids.get(escaped) {
+            let machine = table.machines[id as usize].clone();
+            return Ok((id, machine));
+        }
+        let text = json::unescape(escaped).map_err(|e| ErrorKind::BadField {
+            field: "machine",
+            detail: e.to_string(),
+        })?;
+        let machine = MachineConfig::from_extended_spec(&text).map_err(ErrorKind::Spec)?;
+        let id = u32::try_from(table.machines.len()).map_err(|_| ErrorKind::Internal {
+            detail: "machine-spec intern table overflow",
+        })?;
+        table.machines.push(machine.clone());
+        table.ids.insert(Box::from(escaped), id);
+        Ok((id, machine))
+    }
+}

@@ -86,3 +86,47 @@ fn warm_batch_allocates_nothing() {
     assert_eq!(server.stats().hits, 5, "{:?}", server.stats());
     assert_eq!(server.stats().coalesced, 2, "{:?}", server.stats());
 }
+
+/// The fault-tolerance plumbing must be free when armed but idle: with a
+/// deadline configured and an in-flight bound in place, a warm batch
+/// still takes the pure hit path — no token is armed (hits never reach a
+/// worker), the shed gate is untouched (hits never acquire), and the
+/// allocation count stays exactly zero.
+#[test]
+fn warm_batch_with_deadline_and_inflight_bound_still_allocates_nothing() {
+    let mut server = Server::new(ServerConfig {
+        jobs: 2,
+        deadline_ms: Some(10_000),
+        max_inflight: 8,
+        ..ServerConfig::default()
+    });
+
+    let lines: Vec<String> = vec![
+        request_line(1, TINY_LOOP, "4c1b2l64r", "replicate", 1),
+        request_line(2, OTHER_LOOP, "4c1b2l64r", "baseline", 1),
+        request_line(3, TINY_LOOP, "4c1b2l64r", "replicate", 1),
+    ];
+
+    let mut out = String::new();
+    server.process_batch(&lines, &mut out);
+    let cold = out.clone();
+    let stats = server.stats();
+    assert_eq!(
+        (stats.errors, stats.shed, stats.deadlines, stats.panics),
+        (0, 0, 0, 0),
+        "{stats:?}"
+    );
+
+    out.clear();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    server.process_batch(&lines, &mut out);
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(out, cold, "warm responses must be byte-identical");
+    assert_eq!(
+        after - before,
+        0,
+        "armed-but-idle fault plumbing allocated {} times on the warm path",
+        after - before
+    );
+}

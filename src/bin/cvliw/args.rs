@@ -56,7 +56,7 @@ impl fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
-const KNOWN_OPTIONS: [&str; 16] = [
+const KNOWN_OPTIONS: [&str; 19] = [
     "machine",
     "mode",
     "loop",
@@ -73,6 +73,9 @@ const KNOWN_OPTIONS: [&str; 16] = [
     "socket",
     "cache-entries",
     "cache-mb",
+    "deadline-ms",
+    "sessions",
+    "max-inflight",
 ];
 
 /// Options that take no value (stored as `"true"` when present).

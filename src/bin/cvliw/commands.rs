@@ -214,11 +214,20 @@ OPTIONS:
                            compile daemon and record cold/warm throughput
                            in the serve section of BENCH_compile.json
     --socket <path>        serve: listen on a Unix socket instead of stdin
-                           (one connection at a time; cache persists across
-                           connections)
+                           (refuses a path a live daemon serves; recovers
+                           a stale one; removes the file on exit)
+    --sessions <n>         serve: concurrent socket sessions sharing one
+                           cache (default 4; requires --socket)
     --cache-entries <n>    serve: result-cache entry bound (default 1024)
     --cache-mb <n>         serve: result-cache payload bound in MiB
                            (default 64)
+    --deadline-ms <n>      serve: per-request compile budget; a compile
+                           that exceeds it is cancelled at its next II
+                           attempt and answers `deadline_exceeded`
+                           (default: no deadline)
+    --max-inflight <n>     serve: daemon-wide in-flight compile bound;
+                           misses beyond it answer `overloaded` with a
+                           retry_after_ms hint (default 256)
 
 SERVE PROTOCOL (one JSON object per line):
     {\"id\": 1, \"loop\": \"loop t {\\n i: iadd i@1\\n x: load i\\n}\",
@@ -226,6 +235,12 @@ SERVE PROTOCOL (one JSON object per line):
     {\"id\": 2, \"op\": \"stats\"}
     -> {\"id\":1,\"ok\":{...same counters as one-shot compilation...}}
     -> {\"id\":2,\"ok\":{...cache hit/miss/eviction accounting...}}
+    error kinds: json | field | oversized | spec | parse | compile |
+    deadline_exceeded | overloaded | compile_panic | internal — one
+    response per request even when its compile panics or is shed; the
+    daemon itself never exits on a request. Exit code 0 on EOF or a
+    drained SIGTERM/SIGINT, 1 on transport errors (socket in use, bind
+    failure), 2 on usage errors.
 
 EXAMPLES:
     cvliw schedule examples/loops/fir.loop --machine 4c1b2l64r
@@ -526,6 +541,18 @@ fn cmd_machines(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Options only `cvliw serve` understands; `suite` and `bench` reject
+/// them so a typo'd invocation fails loudly instead of silently ignoring
+/// a daemon knob.
+const SERVE_ONLY_OPTIONS: [&str; 6] = [
+    "socket",
+    "cache-entries",
+    "cache-mb",
+    "deadline-ms",
+    "sessions",
+    "max-inflight",
+];
+
 /// Where the Markdown results book lives relative to the repository root.
 const RESULTS_BOOK: &str = "docs/RESULTS.md";
 
@@ -564,7 +591,7 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
             ))));
         }
     }
-    for serve_only in ["socket", "cache-entries", "cache-mb"] {
+    for serve_only in SERVE_ONLY_OPTIONS {
         if args.get(serve_only).is_some() {
             return Err(CliError::Usage(UsageError::UnknownOption(format!(
                 "{serve_only} (only `cvliw serve` accepts it)"
@@ -625,7 +652,7 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
 /// `cvliw bench`: time suite compilation with warmup and median-of-N, write
 /// `BENCH_compile.json`, and optionally enforce a wall-clock budget.
 fn cmd_bench(args: &Args) -> Result<(), CliError> {
-    for serve_only in ["socket", "cache-entries", "cache-mb"] {
+    for serve_only in SERVE_ONLY_OPTIONS {
         if args.get(serve_only).is_some() {
             return Err(CliError::Usage(UsageError::UnknownOption(format!(
                 "{serve_only} (only `cvliw serve` accepts it)"
@@ -749,55 +776,76 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         .get_positive_num::<usize>("cache-entries")?
         .unwrap_or(1024);
     let cache_mb = args.get_positive_num::<usize>("cache-mb")?.unwrap_or(64);
-    let mut server = Server::new(ServerConfig {
+    let deadline_ms = args.get_positive_num::<u64>("deadline-ms")?;
+    let max_inflight = args
+        .get_positive_num::<usize>("max-inflight")?
+        .unwrap_or(256);
+    let sessions = args.get_positive_num::<usize>("sessions")?;
+    if sessions.is_some() && args.get("socket").is_none() {
+        return Err(CliError::Usage(UsageError::UnknownOption(
+            "sessions (only meaningful with --socket; the stdin daemon is one session)".to_string(),
+        )));
+    }
+    let cfg = ServerConfig {
         jobs,
         cache_entries,
         cache_bytes: cache_mb << 20,
+        deadline_ms,
+        max_inflight,
         ..ServerConfig::default()
-    });
+    };
 
     match args.get("socket") {
         None => {
             // `StdinLock` is not `Send` (the reader runs on its own
-            // thread), so buffer the handle instead of locking it.
+            // thread), so buffer the handle instead of locking it. The
+            // graceful shutdown path here is EOF on stdin.
+            let mut server = Server::new(cfg);
             let stdin = std::io::BufReader::new(std::io::stdin());
             let stdout = std::io::stdout().lock();
             server
                 .run_jsonl(stdin, std::io::BufWriter::new(stdout))
                 .map_err(CliError::Serve)?;
+            eprintln!("{}", server.summary());
         }
-        Some(path) => serve_socket(&mut server, path)?,
+        Some(path) => {
+            let stats = serve_socket(cfg, path, sessions.unwrap_or(4))?;
+            eprintln!("{stats}");
+        }
     }
-    eprintln!("{}", server.summary());
     Ok(())
 }
 
-/// Accepts connections on a Unix socket, one at a time; the server (and
-/// its cache) persists across connections.
+/// The Unix-socket daemon: concurrent sessions over one shared cache,
+/// graceful drain on SIGTERM/SIGINT, socket file removed on every exit.
 #[cfg(unix)]
-fn serve_socket(server: &mut cvliw::serve::Server, path: &str) -> Result<(), CliError> {
-    use std::os::unix::net::UnixListener;
+fn serve_socket(
+    cfg: cvliw::serve::ServerConfig,
+    path: &str,
+    sessions: usize,
+) -> Result<cvliw::serve::ServeStats, CliError> {
+    use cvliw::serve::{run_socket, ShutdownFlag, SocketConfig};
 
-    // A stale socket file from a previous run would make bind fail.
-    let _ = fs::remove_file(path);
-    let listener = UnixListener::bind(path).map_err(|source| CliError::Io {
-        path: path.to_string(),
-        source,
-    })?;
-    eprintln!("serve: listening on {path} (one connection at a time, ctrl-c to stop)");
-    for conn in listener.incoming() {
-        let conn = conn.map_err(CliError::Serve)?;
-        let reader = std::io::BufReader::new(conn.try_clone().map_err(CliError::Serve)?);
-        server
-            .run_jsonl(reader, std::io::BufWriter::new(conn))
-            .map_err(CliError::Serve)?;
-        eprintln!("{}", server.summary());
-    }
-    Ok(())
+    let shutdown = ShutdownFlag::new();
+    crate::signals::install_shutdown_handler(&shutdown);
+    eprintln!(
+        "serve: listening on {path} (up to {sessions} concurrent session{}, \
+         SIGTERM/ctrl-c drains and exits)",
+        if sessions == 1 { "" } else { "s" }
+    );
+    let sock = SocketConfig {
+        path: path.into(),
+        sessions,
+    };
+    run_socket(cfg, &sock, &shutdown).map_err(CliError::Serve)
 }
 
 #[cfg(not(unix))]
-fn serve_socket(_server: &mut cvliw::serve::Server, _path: &str) -> Result<(), CliError> {
+fn serve_socket(
+    _cfg: cvliw::serve::ServerConfig,
+    _path: &str,
+    _sessions: usize,
+) -> Result<cvliw::serve::ServeStats, CliError> {
     Err(CliError::Usage(UsageError::UnknownOption(
         "socket (Unix sockets are unavailable on this platform; use stdin)".to_string(),
     )))

@@ -6,6 +6,8 @@
 
 mod args;
 mod commands;
+#[cfg(unix)]
+mod signals;
 
 use std::process::ExitCode;
 

@@ -376,6 +376,25 @@ fn suite_and_bench_reject_serve_only_options() {
 
     let out = cvliw(&["bench", "--socket", "/tmp/x.sock"]);
     assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+
+    // The fault-tolerance knobs are daemon-only too.
+    for (opt, val) in [
+        ("--deadline-ms", "100"),
+        ("--sessions", "2"),
+        ("--max-inflight", "8"),
+    ] {
+        let out = cvliw(&small_suite_with(&[opt, val]));
+        assert_eq!(out.status.code(), Some(2), "{opt}: {}", stderr(&out));
+        let out = cvliw(&["bench", opt, val]);
+        assert_eq!(out.status.code(), Some(2), "{opt}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn serve_sessions_requires_a_socket() {
+    let out = cvliw(&["serve", "--sessions", "2"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--socket"), "{}", stderr(&out));
 }
 
 #[test]
@@ -441,6 +460,51 @@ fn serve_answers_a_piped_jsonl_session() {
     assert!(lines[3].contains("\"requests\":4"), "{}", lines[3]);
     // EOF ends the session with a one-line accounting summary on stderr.
     assert!(stderr(&out).contains("serve:"), "{}", stderr(&out));
+}
+
+#[test]
+fn serve_accepts_the_fault_tolerance_knobs() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    // A generous deadline and in-flight bound: both armed, neither
+    // tripped — requests answer normally and the stats op reports the
+    // fault counters at zero.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cvliw"))
+        .args([
+            "serve",
+            "--jobs",
+            "2",
+            "--deadline-ms",
+            "10000",
+            "--max-inflight",
+            "8",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let req = concat!(
+        r#"{"id": 1, "loop": "loop t {\n  i: iadd i@1\n  x: load i\n  y: fmul x\n  s: store y\n}", "machine": "4c1b2l64r", "mode": "replicate"}"#,
+        "\n",
+        r#"{"id": 2, "op": "stats"}"#,
+        "\n",
+    );
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(req.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let lines: Vec<String> = stdout(&out).lines().map(String::from).collect();
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert!(lines[0].starts_with("{\"id\":1,\"ok\":"), "{}", lines[0]);
+    assert!(lines[1].contains("\"shed\":0"), "{}", lines[1]);
+    assert!(lines[1].contains("\"deadlines\":0"), "{}", lines[1]);
+    assert!(lines[1].contains("\"panics\":0"), "{}", lines[1]);
 }
 
 #[test]
