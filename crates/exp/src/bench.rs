@@ -62,6 +62,9 @@ pub struct BenchReport {
     /// Loopback serve replay of the same grid (`cvliw bench --serve`);
     /// `None` when the serving layer was not benched.
     pub serve: Option<crate::serve_bench::ServeReport>,
+    /// Persistence-backed restart replay (`cvliw bench --serve
+    /// --restart`); `None` when the restart leg was not benched.
+    pub serve_restart: Option<crate::serve_bench::ServeRestartReport>,
 }
 
 /// Median of a non-empty slice (mean of the two middles for even lengths).
@@ -141,6 +144,7 @@ pub fn bench_suite(
         stage_ms,
         pairs,
         serve: None,
+        serve_restart: None,
     })
 }
 
@@ -192,6 +196,30 @@ pub fn emit_bench_json(report: &BenchReport) -> String {
         let _ = writeln!(o, "    \"warm_requests_per_sec\": {:.0},", serve.warm_rps);
         let _ = writeln!(o, "    \"warm_hit_rate\": {:.3},", serve.warm_hit_rate);
         let _ = writeln!(o, "    \"errors\": {}", serve.errors);
+    }
+    if let Some(restart) = &report.serve_restart {
+        // Same filter discipline as the serve section: `restart_wall_ms`
+        // and friends keep the quote character away from `wall_ms` and
+        // `spec`, so the pair-row recovery never matches these lines.
+        o.push_str("  },\n  \"serve_restart\": {\n");
+        let _ = writeln!(o, "    \"restart_requests\": {},", restart.requests);
+        let _ = writeln!(o, "    \"restart_jobs\": {},", restart.jobs);
+        let _ = writeln!(o, "    \"loaded_entries\": {},", restart.loaded_entries);
+        let _ = writeln!(
+            o,
+            "    \"restart_wall_ms\": {:.1},",
+            restart.restart_wall_ms
+        );
+        let _ = writeln!(
+            o,
+            "    \"restart_requests_per_sec\": {:.0},",
+            restart.restart_rps
+        );
+        let _ = writeln!(
+            o,
+            "    \"restart_hit_rate\": {:.3}",
+            restart.restart_hit_rate
+        );
     }
     o.push_str("  },\n  \"pairs\": [\n");
     for (i, p) in report.pairs.iter().enumerate() {
@@ -288,9 +316,20 @@ mod tests {
             warm_hit_rate: 1.0,
             errors: 0,
         });
+        report.serve_restart = Some(crate::serve_bench::ServeRestartReport {
+            requests: 120,
+            jobs: 2,
+            loaded_entries: 120,
+            restart_wall_ms: 6.0,
+            restart_rps: 20000.0,
+            restart_hit_rate: 1.0,
+        });
         let json = emit_bench_json(&report);
         assert!(json.contains("\"serve\": {"));
         assert!(json.contains("\"warm_hit_rate\": 1.000"));
+        assert!(json.contains("\"serve_restart\": {"));
+        assert!(json.contains("\"restart_hit_rate\": 1.000"));
+        assert!(json.contains("\"loaded_entries\": 120"));
         // The committed book's pair rows are recovered by filtering lines
         // that contain both `"spec"` and `"wall_ms"`; CI's regression awk
         // keys on the *first* `"wall_ms"` line. The serve section must

@@ -63,4 +63,4 @@ pub use emit_md::emit_markdown;
 pub use grid::{CellSpec, SuiteGrid};
 pub use report::SuiteReport;
 pub use runner::{default_jobs, run_suite, SuiteError};
-pub use serve_bench::{serve_replay, ServeReport};
+pub use serve_bench::{serve_replay, serve_restart_replay, ServeReport, ServeRestartReport};

@@ -75,6 +75,8 @@ pub enum SuiteError {
     UnknownProgram(String),
     /// The grid enumerates no cells.
     EmptyGrid,
+    /// The serve-restart bench could not persist or recover its cache.
+    Persist(String),
 }
 
 impl fmt::Display for SuiteError {
@@ -87,6 +89,9 @@ impl fmt::Display for SuiteError {
                 write!(f, "unknown benchmark program `{name}`")
             }
             SuiteError::EmptyGrid => write!(f, "the grid enumerates no cells"),
+            SuiteError::Persist(detail) => {
+                write!(f, "cache persistence failed: {detail}")
+            }
         }
     }
 }

@@ -11,14 +11,15 @@
 //! passes (modulo ids) is asserted here on every bench run, not just in
 //! the test suite.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use cvliw_ir::print_loop;
 use cvliw_serve::testutil::escape;
-use cvliw_serve::{Server, ServerConfig};
+use cvliw_serve::{PersistConfig, Server, ServerConfig, SharedState};
 
 use crate::grid::SuiteGrid;
-use crate::runner::{prepare, SuiteError};
+use crate::runner::{prepare, PreparedSuite, SuiteError};
 
 /// Throughput and hit-rate accounting of one loopback replay.
 #[derive(Clone, Debug, PartialEq)]
@@ -41,6 +42,66 @@ pub struct ServeReport {
     pub errors: u64,
 }
 
+/// Traffic in cell order (machine-major, then mode, then program), every
+/// loop of the program: the same work a suite run compiles, phrased as
+/// requests. Sources are escaped once; passes differ only in id.
+struct GridTraffic {
+    /// `(escaped loop source, spec index, mode index)` per request.
+    sources: Vec<(String, usize, usize)>,
+    specs: Vec<String>,
+    modes: Vec<String>,
+    seeds: u32,
+}
+
+impl GridTraffic {
+    fn build(grid: &SuiteGrid, prep: &PreparedSuite) -> GridTraffic {
+        let mut sources = Vec::new();
+        for s in 0..grid.specs.len() {
+            for m in 0..grid.modes.len() {
+                for program in &prep.programs {
+                    for l in &program.loops {
+                        sources.push((escape(&print_loop(&l.name, &l.ddg)), s, m));
+                    }
+                }
+            }
+        }
+        GridTraffic {
+            sources,
+            specs: grid.specs.iter().map(|s| escape(s)).collect(),
+            modes: grid.modes.iter().map(|m| m.name().to_string()).collect(),
+            seeds: prep.refine_seeds.max(1),
+        }
+    }
+
+    fn render_pass(&self, id_base: u64) -> Vec<String> {
+        self.sources
+            .iter()
+            .enumerate()
+            .map(|(i, (escaped, s, m))| {
+                format!(
+                    "{{\"id\": {}, \"loop\": \"{escaped}\", \"machine\": \"{}\", \
+                     \"mode\": \"{}\", \"seeds\": {}}}",
+                    id_base + i as u64,
+                    self.specs[*s],
+                    self.modes[*m],
+                    self.seeds,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Strips the id prefix of every response line, leaving the body bytes
+/// two passes must agree on.
+fn strip_ids(out: &str) -> Vec<String> {
+    out.lines()
+        .map(|line| {
+            line.split_once(',')
+                .map_or_else(|| line.to_string(), |(_, rest)| rest.to_string())
+        })
+        .collect()
+}
+
 /// Replays `grid` through an in-process server: one cold pass, one warm
 /// pass, asserting the warm responses are byte-identical to the cold ones
 /// apart from the request ids.
@@ -57,37 +118,8 @@ pub struct ServeReport {
 pub fn serve_replay(grid: &SuiteGrid, jobs: usize) -> Result<ServeReport, SuiteError> {
     let prep = prepare(grid)?;
     let jobs = jobs.max(1);
-
-    // Traffic in cell order (machine-major, then mode, then program), every
-    // loop of the program: the same work a suite run compiles, phrased as
-    // requests. Sources are escaped once; the two passes differ only in id.
-    let mut sources: Vec<(String, usize, usize)> = Vec::new(); // (escaped loop, spec, mode)
-    for s in 0..grid.specs.len() {
-        for m in 0..grid.modes.len() {
-            for program in &prep.programs {
-                for l in &program.loops {
-                    sources.push((escape(&print_loop(&l.name, &l.ddg)), s, m));
-                }
-            }
-        }
-    }
-    let render_pass = |id_base: u64| -> Vec<String> {
-        sources
-            .iter()
-            .enumerate()
-            .map(|(i, (escaped, s, m))| {
-                format!(
-                    "{{\"id\": {}, \"loop\": \"{escaped}\", \"machine\": \"{}\", \
-                     \"mode\": \"{}\", \"seeds\": {}}}",
-                    id_base + i as u64,
-                    escape(&grid.specs[*s]),
-                    grid.modes[*m].name(),
-                    prep.refine_seeds.max(1),
-                )
-            })
-            .collect()
-    };
-    let requests = sources.len();
+    let traffic = GridTraffic::build(grid, &prep);
+    let requests = traffic.sources.len();
 
     let mut server = Server::new(ServerConfig {
         jobs,
@@ -99,7 +131,7 @@ pub fn serve_replay(grid: &SuiteGrid, jobs: usize) -> Result<ServeReport, SuiteE
         ..ServerConfig::default()
     });
 
-    let cold_lines = render_pass(0);
+    let cold_lines = traffic.render_pass(0);
     let mut cold_out = String::new();
     let started = Instant::now();
     for batch in cold_lines.chunks(cvliw_serve::MAX_BATCH) {
@@ -108,7 +140,7 @@ pub fn serve_replay(grid: &SuiteGrid, jobs: usize) -> Result<ServeReport, SuiteE
     let cold_wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let cold_stats = server.stats();
 
-    let warm_lines = render_pass(requests as u64);
+    let warm_lines = traffic.render_pass(requests as u64);
     let mut warm_out = String::new();
     let started = Instant::now();
     for batch in warm_lines.chunks(cvliw_serve::MAX_BATCH) {
@@ -119,12 +151,8 @@ pub fn serve_replay(grid: &SuiteGrid, jobs: usize) -> Result<ServeReport, SuiteE
 
     // Byte-identity: strip the id prefix of every response line; the
     // remainder must match pairwise between the passes.
-    let strip = |line: &str| -> String {
-        line.split_once(',')
-            .map_or_else(|| line.to_string(), |(_, rest)| rest.to_string())
-    };
-    let cold_bodies: Vec<String> = cold_out.lines().map(strip).collect();
-    let warm_bodies: Vec<String> = warm_out.lines().map(strip).collect();
+    let cold_bodies = strip_ids(&cold_out);
+    let warm_bodies = strip_ids(&warm_out);
     assert_eq!(
         cold_bodies, warm_bodies,
         "serve replay: warm responses diverged from cold responses"
@@ -155,6 +183,120 @@ pub fn serve_replay(grid: &SuiteGrid, jobs: usize) -> Result<ServeReport, SuiteE
             warm_hits as f64 / warm_requests as f64
         },
         errors: warm_stats.errors,
+    })
+}
+
+/// Throughput and recovery accounting of one restart replay
+/// (`cvliw bench --serve --restart`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeRestartReport {
+    /// Requests per pass.
+    pub requests: usize,
+    /// Worker threads each daemon "run" used.
+    pub jobs: usize,
+    /// Cache entries the restarted daemon recovered from disk.
+    pub loaded_entries: usize,
+    /// Wall-clock milliseconds of the warm pass served by the
+    /// *restarted* daemon.
+    pub restart_wall_ms: f64,
+    /// Restart-warm requests per second.
+    pub restart_rps: f64,
+    /// Fraction of restart-pass requests answered from the recovered
+    /// cache (the headline number: how much of the warm state survived
+    /// the restart).
+    pub restart_hit_rate: f64,
+}
+
+/// Measures cache persistence end to end: a first daemon "run" compiles
+/// the grid cold and snapshots to a scratch cache directory; its state
+/// is dropped (the restart); a second run recovers the directory and
+/// serves the same traffic, which must be answered from the recovered
+/// cache — byte-identical to the cold responses.
+///
+/// # Errors
+///
+/// [`SuiteError`] for invalid grids, [`SuiteError::Persist`] when the
+/// scratch directory cannot be written or recovered.
+///
+/// # Panics
+///
+/// Panics if a restart-pass response diverges from its cold counterpart
+/// — persistence must never change a single served byte.
+pub fn serve_restart_replay(
+    grid: &SuiteGrid,
+    jobs: usize,
+) -> Result<ServeRestartReport, SuiteError> {
+    let prep = prepare(grid)?;
+    let jobs = jobs.max(1);
+    let traffic = GridTraffic::build(grid, &prep);
+    let requests = traffic.sources.len();
+
+    static SCRATCH: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cvliw-restart-{}-{}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ));
+    let cfg = ServerConfig {
+        jobs,
+        cache_entries: requests.max(1) * 8,
+        ..ServerConfig::default()
+    };
+    // Journal every insert, compact only at the explicit shutdown
+    // snapshot — the cadence is exercised elsewhere; here the journal
+    // itself must carry the cold pass.
+    let pcfg = PersistConfig {
+        dir: dir.clone(),
+        snapshot_every: u64::MAX,
+    };
+    let persist_err = |e: std::io::Error| SuiteError::Persist(e.to_string());
+
+    // First life: cold-compile the grid, snapshot, "crash" (drop).
+    let (shared, _) = SharedState::with_persistence(&cfg, &pcfg).map_err(persist_err)?;
+    let mut server = Server::with_shared(cfg, shared.clone());
+    let cold_lines = traffic.render_pass(0);
+    let mut cold_out = String::new();
+    for batch in cold_lines.chunks(cvliw_serve::MAX_BATCH) {
+        server.process_batch(batch, &mut cold_out);
+    }
+    if let Some(outcome) = shared.snapshot_now() {
+        outcome.map_err(persist_err)?;
+    }
+    drop(server);
+    drop(shared);
+
+    // Second life: recover the directory, serve the same traffic warm.
+    let (shared, load) = SharedState::with_persistence(&cfg, &pcfg).map_err(persist_err)?;
+    let mut server = Server::with_shared(cfg, shared.clone());
+    let warm_lines = traffic.render_pass(requests as u64);
+    let mut warm_out = String::new();
+    let started = Instant::now();
+    for batch in warm_lines.chunks(cvliw_serve::MAX_BATCH) {
+        server.process_batch(batch, &mut warm_out);
+    }
+    let restart_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = server.stats();
+    drop(server);
+    drop(shared);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        strip_ids(&cold_out),
+        strip_ids(&warm_out),
+        "serve restart replay: recovered-cache responses diverged from cold responses"
+    );
+
+    Ok(ServeRestartReport {
+        requests,
+        jobs,
+        loaded_entries: load.loaded,
+        restart_wall_ms,
+        restart_rps: requests as f64 / (restart_wall_ms / 1e3),
+        restart_hit_rate: if stats.requests == 0 {
+            0.0
+        } else {
+            stats.hits as f64 / stats.requests as f64
+        },
     })
 }
 
@@ -192,5 +334,20 @@ mod tests {
             serve_replay(&grid, 1),
             Err(SuiteError::Spec { .. })
         ));
+    }
+
+    #[test]
+    fn restart_replay_recovers_the_whole_cache() {
+        let report = serve_restart_replay(&tiny_grid(), 1).unwrap();
+        assert_eq!(report.requests, 2 * 2 * 2);
+        assert_eq!(
+            report.loaded_entries, report.requests,
+            "every cold compile must survive the restart: {report:?}"
+        );
+        assert!(
+            (report.restart_hit_rate - 1.0).abs() < 1e-9,
+            "the restarted daemon recompiled something: {report:?}"
+        );
+        assert!(report.restart_wall_ms > 0.0 && report.restart_rps > 0.0);
     }
 }

@@ -151,6 +151,17 @@ impl ResultCache {
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// Every resident entry with its LRU stamp, in arbitrary order — the
+    /// raw material for a persistence snapshot. Payload clones are
+    /// refcount bumps.
+    #[must_use]
+    pub fn export(&self) -> Vec<(CacheKey, u64, Arc<str>)> {
+        self.entries
+            .iter()
+            .map(|(k, e)| (*k, e.stamp, Arc::clone(&e.payload)))
+            .collect()
+    }
 }
 
 #[cfg(test)]

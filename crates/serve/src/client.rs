@@ -1,0 +1,344 @@
+//! The resilient caller's side of the daemon socket.
+//!
+//! `testutil`'s raw one-shot socket writes are fine for tests that own
+//! both ends; a real caller has to live with a daemon that restarts
+//! underneath it (deploys, crashes — the whole point of persistence is
+//! that a restart keeps the cache, and the client's job is to make it
+//! keep the *connection* too). A [`Client`] therefore:
+//!
+//! * connects lazily and **reconnects** on EOF or a broken pipe,
+//!   resending the in-flight request — safe because compile and stats
+//!   requests are idempotent by construction (byte-identity is the
+//!   serve layer's core guarantee);
+//! * spaces attempts with **exponential backoff + deterministic
+//!   jitter** ([`BackoffPolicy`]): nominal delay `base · 2^attempt`
+//!   capped at `cap_ms`, jittered within ±25% by a seeded splitmix so
+//!   tests can pin the exact schedule while a fleet of real clients
+//!   still decorrelates;
+//! * honors **`retry_after_ms`** from `overloaded` shed responses,
+//!   sleeping the server's hint (capped at `cap_ms`) before resending
+//!   instead of hammering a daemon that just said it was full.
+//!
+//! `cvliw client` is a thin CLI over this type.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::thread;
+use std::time::Duration;
+
+/// How reconnect attempts are spaced. All of it is deterministic given
+/// the seed — the backoff tests pin the exact millisecond schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffPolicy {
+    /// Nominal first-retry delay, in milliseconds.
+    pub base_ms: u64,
+    /// Ceiling for both backoff delays and honored `retry_after_ms`
+    /// hints, in milliseconds.
+    pub cap_ms: u64,
+    /// Connection/shed retries per request before giving up.
+    pub max_retries: u32,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ms: 10,
+            cap_ms: 2000,
+            max_retries: 8,
+            jitter_seed: 0x5eed_cafe,
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl BackoffPolicy {
+    /// The delay before retry number `attempt` (zero-based), in
+    /// milliseconds: `min(cap, base · 2^attempt)`, jittered within
+    /// ±25% by `jitter_seed` — a pure function of `(policy, attempt)`.
+    #[must_use]
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let nominal = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.cap_ms)
+            .max(1);
+        let span = nominal / 4;
+        if span == 0 {
+            return nominal;
+        }
+        let roll = splitmix(self.jitter_seed ^ u64::from(attempt));
+        let jitter = (roll % (2 * span + 1)) as i64 - span as i64;
+        nominal.saturating_add_signed(jitter).max(1)
+    }
+}
+
+/// Extracts the server's back-off hint from an `overloaded` shed
+/// response; `None` for any other response line.
+#[must_use]
+pub fn shed_retry_after(response: &str) -> Option<u64> {
+    if !response.contains("\"kind\":\"overloaded\"") {
+        return None;
+    }
+    let rest = response.split("\"retry_after_ms\":").nth(1)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// One retryable connection to a daemon socket. Requests are sent with
+/// [`Client::request`]; the connection is (re)established as needed.
+#[derive(Debug)]
+pub struct Client {
+    path: PathBuf,
+    policy: BackoffPolicy,
+    conn: Option<Conn>,
+    reconnects: u64,
+    sheds_honored: u64,
+}
+
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// A client for the daemon at `path` with the default policy. Does
+    /// not connect yet — the first request does.
+    #[must_use]
+    pub fn new(path: &Path) -> Self {
+        Client::with_policy(path, BackoffPolicy::default())
+    }
+
+    /// A client with an explicit backoff policy.
+    #[must_use]
+    pub fn with_policy(path: &Path, policy: BackoffPolicy) -> Self {
+        Client {
+            path: path.to_path_buf(),
+            policy,
+            conn: None,
+            reconnects: 0,
+            sheds_honored: 0,
+        }
+    }
+
+    /// Times the daemon restarted (or first came up) underneath this
+    /// client — i.e. successful connects after the first attempt of a
+    /// request, plus resends after an EOF.
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// `overloaded` responses whose `retry_after_ms` hint was slept on.
+    #[must_use]
+    pub fn sheds_honored(&self) -> u64 {
+        self.sheds_honored
+    }
+
+    fn connect(&mut self) -> io::Result<()> {
+        let stream = UnixStream::connect(&self.path)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        self.conn = Some(Conn {
+            reader,
+            writer: stream,
+        });
+        Ok(())
+    }
+
+    /// One write-then-read exchange on the current connection. `Ok(None)`
+    /// means the connection died in a resend-safe way (EOF, broken pipe,
+    /// reset) — the caller reconnects and resends.
+    fn exchange(&mut self, line: &str) -> io::Result<Option<String>> {
+        let Some(conn) = self.conn.as_mut() else {
+            return Ok(None);
+        };
+        let send = |conn: &mut Conn| -> io::Result<String> {
+            conn.writer.write_all(line.as_bytes())?;
+            conn.writer.write_all(b"\n")?;
+            conn.writer.flush()?;
+            let mut response = String::new();
+            conn.reader.read_line(&mut response)?;
+            Ok(response)
+        };
+        match send(conn) {
+            Ok(response) if response.is_empty() => Ok(None), // EOF mid-request
+            Ok(mut response) => {
+                while response.ends_with('\n') || response.ends_with('\r') {
+                    response.pop();
+                }
+                Ok(Some(response))
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::BrokenPipe
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::UnexpectedEof
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Sends one request line (no trailing newline needed) and returns
+    /// the daemon's response line, reconnecting/resending through
+    /// daemon restarts and honoring shed back-off hints.
+    ///
+    /// # Errors
+    ///
+    /// Gives up with the last connect error once `max_retries` is
+    /// exhausted; propagates non-retryable I/O errors immediately.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        let mut attempt = 0u32;
+        loop {
+            if self.conn.is_none() {
+                match self.connect() {
+                    Ok(()) => {
+                        if attempt > 0 {
+                            self.reconnects += 1;
+                        }
+                    }
+                    Err(e) => {
+                        if attempt >= self.policy.max_retries {
+                            return Err(io::Error::new(
+                                e.kind(),
+                                format!(
+                                    "giving up on {} after {attempt} retries: {e}",
+                                    self.path.display()
+                                ),
+                            ));
+                        }
+                        thread::sleep(Duration::from_millis(self.policy.delay_ms(attempt)));
+                        attempt += 1;
+                        continue;
+                    }
+                }
+            }
+            match self.exchange(line)? {
+                Some(response) => {
+                    if let Some(hint) = shed_retry_after(&response) {
+                        if attempt >= self.policy.max_retries {
+                            return Ok(response); // out of patience: surface the shed
+                        }
+                        self.sheds_honored += 1;
+                        thread::sleep(Duration::from_millis(hint.min(self.policy.cap_ms)));
+                        attempt += 1;
+                        continue;
+                    }
+                    return Ok(response);
+                }
+                None => {
+                    // The daemon went away mid-exchange. Requests are
+                    // idempotent, so dropping the connection and resending
+                    // is safe; the backoff spaces the attempts.
+                    self.conn = None;
+                    self.reconnects += 1;
+                    if attempt >= self.policy.max_retries {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            format!(
+                                "daemon at {} kept dropping the connection \
+                                 ({attempt} retries)",
+                                self.path.display()
+                            ),
+                        ));
+                    }
+                    thread::sleep(Duration::from_millis(self.policy.delay_ms(attempt)));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Compiles one loop: builds the request line and sends it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn compile(
+        &mut self,
+        id: u64,
+        loop_src: &str,
+        machine: &str,
+        mode: &str,
+        seeds: u32,
+    ) -> io::Result<String> {
+        let line = crate::testutil::request_line(id, loop_src, machine, mode, seeds);
+        self.request(&line)
+    }
+
+    /// Fetches the daemon-wide counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn stats(&mut self, id: u64) -> io::Result<String> {
+        self.request(&format!("{{\"id\": {id}, \"op\": \"stats\"}}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_exponential_capped_and_jittered_within_a_quarter() {
+        let policy = BackoffPolicy::default();
+        for attempt in 0..12 {
+            let nominal = policy
+                .base_ms
+                .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+                .min(policy.cap_ms);
+            let d = policy.delay_ms(attempt);
+            assert_eq!(d, policy.delay_ms(attempt), "jitter must be deterministic");
+            assert!(
+                d >= nominal - nominal / 4 && d <= nominal + nominal / 4,
+                "attempt {attempt}: {d} outside ±25% of {nominal}"
+            );
+            assert!(d <= policy.cap_ms + policy.cap_ms / 4);
+        }
+        // The cap actually binds: late attempts stop growing.
+        assert!(policy.delay_ms(30) <= policy.cap_ms + policy.cap_ms / 4);
+    }
+
+    #[test]
+    fn different_seeds_decorrelate_the_schedule() {
+        let a = BackoffPolicy {
+            jitter_seed: 1,
+            ..BackoffPolicy::default()
+        };
+        let b = BackoffPolicy {
+            jitter_seed: 2,
+            ..BackoffPolicy::default()
+        };
+        let differs = (0..8).any(|i| a.delay_ms(i) != b.delay_ms(i));
+        assert!(differs, "two seeds produced identical schedules");
+    }
+
+    #[test]
+    fn shed_hint_parses_only_from_overloaded_responses() {
+        assert_eq!(
+            shed_retry_after(
+                "{\"id\":2,\"error\":{\"kind\":\"overloaded\",\"retry_after_ms\":15}}"
+            ),
+            Some(15)
+        );
+        assert_eq!(shed_retry_after("{\"id\":1,\"ok\":{\"mii\":3}}"), None);
+        assert_eq!(
+            shed_retry_after("{\"id\":1,\"error\":{\"kind\":\"bad_request\"}}"),
+            None
+        );
+    }
+}

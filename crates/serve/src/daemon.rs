@@ -106,6 +106,24 @@ pub fn run_socket(
     sock: &SocketConfig,
     shutdown: &ShutdownFlag,
 ) -> io::Result<ServeStats> {
+    run_socket_with(cfg, sock, shutdown, SharedState::new(&cfg))
+}
+
+/// [`run_socket`] over caller-built shared state — the entry point when
+/// the state carries something a bare [`ServerConfig`] cannot describe,
+/// such as a persistence-backed cache recovered via
+/// [`SharedState::with_persistence`] (the CLI snapshots it after this
+/// returns).
+///
+/// # Errors
+///
+/// As [`run_socket`].
+pub fn run_socket_with(
+    cfg: ServerConfig,
+    sock: &SocketConfig,
+    shutdown: &ShutdownFlag,
+    shared: Arc<SharedState>,
+) -> io::Result<ServeStats> {
     match probe_socket(&sock.path)? {
         SocketProbe::Live => {
             return Err(io::Error::new(
@@ -126,7 +144,6 @@ pub fn run_socket(
     };
     listener.set_nonblocking(true)?;
 
-    let shared = SharedState::new(&cfg);
     let max_sessions = sock.sessions.max(1);
     let accept_result = thread::scope(|scope| -> io::Result<()> {
         let mut handles: Vec<thread::ScopedJoinHandle<'_, ()>> = Vec::new();
@@ -255,16 +272,13 @@ mod tests {
             "rival's guard must not remove the live socket"
         );
 
-        // Two concurrent clients; the second's request hits the first's
+        // Two concurrent clients (each a fresh resilient Client, so both
+        // connect independently); the second's request hits the first's
         // cached result.
         let ask = |id: u64| {
-            let mut c = UnixStream::connect(&path).unwrap();
-            c.write_all(request_line(id, TINY_LOOP, "4c1b2l64r", "replicate", 1).as_bytes())
-                .unwrap();
-            c.write_all(b"\n").unwrap();
-            let mut line = String::new();
-            BufReader::new(c).read_line(&mut line).unwrap();
-            line
+            crate::client::Client::new(&path)
+                .compile(id, TINY_LOOP, "4c1b2l64r", "replicate", 1)
+                .unwrap()
         };
         let a = ask(1);
         let b = ask(2);

@@ -11,7 +11,12 @@
 //! * **truncated client writes** and **mid-stream disconnects** are
 //!   consumed by the *test harness*, which mutilates the byte stream it
 //!   feeds the daemon — the plan just makes one seed describe the whole
-//!   scenario.
+//!   scenario;
+//! * **disk faults** target the persistence layer: process death at an
+//!   arbitrary byte offset during journal appends or snapshot writes
+//!   (consumed via [`crate::shared::SharedState::set_disk_faults`]) and
+//!   post-mortem file mutilation — truncation or a bit flip at a seeded
+//!   offset — applied by the harness between "runs" of the daemon.
 //!
 //! Everything derives from one `u64` seed via a splitmix-style
 //! generator, so a failing proptest case is reproducible from its seed
@@ -36,6 +41,18 @@ pub struct FaultPlan {
     /// Disconnect the client after sending this many complete request
     /// lines (harness-side).
     pub disconnect_after: Option<usize>,
+    /// The persister dies (as a killed process would — mid-write, no
+    /// cleanup) after this many journal frame bytes.
+    pub journal_kill_after: Option<u64>,
+    /// The persister dies after this many snapshot bytes, leaving the
+    /// half-written `*.tmp` behind.
+    pub snapshot_kill_after: Option<u64>,
+    /// Harness-side: truncate the persisted file to this many bytes
+    /// between runs.
+    pub truncate_file: Option<u64>,
+    /// Harness-side: flip bit `.1` of byte `.0` of the persisted file
+    /// between runs.
+    pub flip_bit: Option<(u64, u8)>,
 }
 
 fn splitmix(state: &mut u64) -> u64 {
@@ -81,6 +98,39 @@ impl FaultPlan {
             plan.disconnect_after = Some((splitmix(&mut s) % horizon) as usize + 1);
         }
         plan
+    }
+
+    /// Derives a disk-fault plan from one seed: exactly one of the four
+    /// disk faults, steered by the seed's low bits, with byte offsets in
+    /// `0..max_bytes`. The write-time kills convert to
+    /// [`crate::persist::DiskFaults`] via [`FaultPlan::disk_faults`];
+    /// `truncate_file` / `flip_bit` are applied by the harness to the
+    /// files themselves between runs.
+    #[must_use]
+    pub fn seeded_disk(seed: u64, max_bytes: u64) -> FaultPlan {
+        let mut s = seed;
+        let mut plan = FaultPlan::default();
+        let span = max_bytes.max(1);
+        match splitmix(&mut s) % 4 {
+            0 => plan.journal_kill_after = Some(splitmix(&mut s) % span),
+            1 => plan.snapshot_kill_after = Some(splitmix(&mut s) % span),
+            2 => plan.truncate_file = Some(splitmix(&mut s) % span),
+            _ => {
+                let byte = splitmix(&mut s) % span;
+                let bit = (splitmix(&mut s) % 8) as u8;
+                plan.flip_bit = Some((byte, bit));
+            }
+        }
+        plan
+    }
+
+    /// The write-time portion of the plan, in the persister's terms.
+    #[must_use]
+    pub fn disk_faults(&self) -> crate::persist::DiskFaults {
+        crate::persist::DiskFaults {
+            journal_kill_after: self.journal_kill_after,
+            snapshot_kill_after: self.snapshot_kill_after,
+        }
     }
 
     /// Whether the compile at `stamp` should panic.

@@ -29,7 +29,8 @@
 //! The module split mirrors the request's journey: [`json`] scans the
 //! line, [`protocol`] types it, [`cache`] answers repeats, [`shared`]
 //! holds what sessions share, [`server`] runs the pool, [`daemon`]
-//! owns the Unix socket.
+//! owns the Unix socket, [`persist`] makes the cache survive restarts,
+//! and [`client`] is the reconnecting caller's side of the socket.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,10 +41,13 @@
 
 pub mod cache;
 #[cfg(unix)]
+pub mod client;
+#[cfg(unix)]
 pub mod daemon;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod json;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod shared;
@@ -51,12 +55,20 @@ pub mod testutil;
 
 pub use cache::{CacheKey, ResultCache};
 #[cfg(unix)]
-pub use daemon::{probe_socket, run_socket, SocketConfig, SocketProbe};
+pub use client::{BackoffPolicy, Client};
+#[cfg(unix)]
+pub use daemon::{probe_socket, run_socket, run_socket_with, SocketConfig, SocketProbe};
 #[cfg(feature = "fault-inject")]
 pub use fault::FaultPlan;
+#[cfg(feature = "fault-inject")]
+pub use persist::DiskFaults;
+pub use persist::{verify_dir, LoadReport, PersistRecord, Persister, VerifyReport};
 pub use protocol::{
     parse_request, render_compile_error_body, render_error_body, render_ok_body, render_response,
     ErrorKind, Request, MAX_LINE_BYTES,
 };
-pub use server::{ServeStats, Server, ServerConfig, ShutdownFlag, MAX_BATCH, RETRY_AFTER_MS};
-pub use shared::SharedState;
+pub use server::{
+    retry_after_hint, ServeStats, Server, ServerConfig, ShutdownFlag, MAX_BATCH,
+    RETRY_AFTER_BASE_MS, RETRY_AFTER_MAX_MS, RETRY_AFTER_PER_INFLIGHT_MS,
+};
+pub use shared::{PersistConfig, SharedState};

@@ -1,0 +1,1059 @@
+//! Crash-safe persistence for the result cache: an append-only journal
+//! plus periodic compacted snapshots, in one versioned, checksummed
+//! on-disk format.
+//!
+//! A cache entry is durable twice over:
+//!
+//! * the **journal** (`journal.bin`) gets one framed record per cache
+//!   insert, appended without fsync — a torn final record after a crash
+//!   is expected and recoverable, so the hot path never pays a sync;
+//! * a **snapshot** (`snapshot.bin`) is a full compacted dump, written
+//!   every `snapshot_every` journal records and at graceful shutdown:
+//!   write to `snapshot.bin.tmp`, fsync, atomically rename over the old
+//!   snapshot, then truncate the journal — an interrupted snapshot
+//!   leaves the previous snapshot + full journal intact.
+//!
+//! A single rewritten file could not give both properties at once: it
+//! would either fsync per insert (journal without compaction) or risk
+//! the entire cache on every rewrite (snapshot without a journal).
+//!
+//! Every record frame is length-prefixed and FNV-1a-checksummed, and
+//! every file starts with a header carrying a magic, a format version
+//! and a hash of the cache-key schema. Loading tolerates every
+//! corruption mode without panicking and without ever surfacing a
+//! record whose checksum does not verify:
+//!
+//! | damage                                | recovery                      |
+//! |---------------------------------------|-------------------------------|
+//! | frame extends past EOF (torn tail)    | truncate, keep what precedes  |
+//! | checksum/shape mismatch mid-file      | quarantine to `*.corrupt`,    |
+//! |                                       | skip, keep loading            |
+//! | implausible record length             | quarantine rest of file, stop |
+//! | bad magic / version / schema hash     | set file aside (`*.refused`), |
+//! |                                       | start cold, structured warning|
+//! | stale `*.tmp` from a killed snapshot  | delete                        |
+//!
+//! [`verify_dir`] runs the same scanner read-only (no truncation, no
+//! quarantine) and reports every issue with its exact byte offset —
+//! that is `cvliw cache verify`.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use cvliw_replicate::fnv1a_64;
+
+/// Current on-disk format version (bumped on any frame/header change).
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Snapshot file name inside the cache directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// Journal file name inside the cache directory.
+pub const JOURNAL_FILE: &str = "journal.bin";
+
+/// Default journal records between compacted snapshots.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 1024;
+
+/// Upper bound on one record body. A length field beyond this is
+/// corruption, not a record — skipping by it would be resyncing on
+/// garbage, so the scanner quarantines the rest of the file instead.
+pub const MAX_RECORD_BYTES: usize = 16 << 20;
+
+const MAGIC: [u8; 8] = *b"CVLWCACH";
+
+/// File-header size: magic (8) + version (2) + kind (1) + reserved (1) +
+/// schema hash (8). Public so tests can aim corruption past the header.
+pub const HEADER_LEN: usize = 8 + 2 + 1 + 1 + 8;
+const FRAME_HEADER_LEN: usize = 4 + 8;
+
+/// The cache-key/record schema this build writes and reads. Hashed into
+/// every file header; a build whose schema differs refuses the file
+/// rather than misinterpreting its bytes.
+const SCHEMA: &str = "fp:u64le,mode:u8,seeds:u32le,stamp:u64le,spec:len32+utf8,payload:len32+utf8";
+
+/// The schema hash stamped into (and required of) every file header.
+#[must_use]
+pub fn schema_hash() -> u64 {
+    fnv1a_64(SCHEMA.as_bytes())
+}
+
+/// Which of the two persisted files a header claims to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// A compacted full dump.
+    Snapshot,
+    /// The append-only insert log.
+    Journal,
+}
+
+impl FileKind {
+    fn tag(self) -> u8 {
+        match self {
+            FileKind::Snapshot => 1,
+            FileKind::Journal => 2,
+        }
+    }
+
+    fn file_name(self) -> &'static str {
+        match self {
+            FileKind::Snapshot => SNAPSHOT_FILE,
+            FileKind::Journal => JOURNAL_FILE,
+        }
+    }
+}
+
+/// One persisted cache entry, exactly as framed on disk. The machine
+/// spec travels as its escaped *text*: interned ids are session-local
+/// and would alias different specs across restarts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PersistRecord {
+    /// Structural loop fingerprint ([`crate::cache::CacheKey::fp`]).
+    pub fp: u64,
+    /// Mode discriminant.
+    pub mode: u8,
+    /// Refinement-seed count.
+    pub seeds: u32,
+    /// LRU stamp (global request seq) — persisted so the restored
+    /// cache evicts exactly as the never-restarted one would.
+    pub stamp: u64,
+    /// Escaped machine-spec text (re-interned on load).
+    pub spec: Box<str>,
+    /// Rendered response body.
+    pub payload: Box<str>,
+}
+
+impl PersistRecord {
+    /// A borrowing view for encoding without copying the payload.
+    #[must_use]
+    pub fn as_ref(&self) -> RecordRef<'_> {
+        RecordRef {
+            fp: self.fp,
+            mode: self.mode,
+            seeds: self.seeds,
+            stamp: self.stamp,
+            spec: &self.spec,
+            payload: &self.payload,
+        }
+    }
+}
+
+/// A borrowed record, used to journal an insert without first copying
+/// the payload into an owned [`PersistRecord`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecordRef<'a> {
+    /// Structural loop fingerprint.
+    pub fp: u64,
+    /// Mode discriminant.
+    pub mode: u8,
+    /// Refinement-seed count.
+    pub seeds: u32,
+    /// LRU stamp.
+    pub stamp: u64,
+    /// Escaped machine-spec text.
+    pub spec: &'a str,
+    /// Rendered response body.
+    pub payload: &'a str,
+}
+
+fn header_bytes(kind: FileKind) -> [u8; HEADER_LEN] {
+    let mut out = [0u8; HEADER_LEN];
+    out[..8].copy_from_slice(&MAGIC);
+    out[8..10].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out[10] = kind.tag();
+    out[11] = 0; // reserved
+    out[12..].copy_from_slice(&schema_hash().to_le_bytes());
+    out
+}
+
+/// Appends one framed record (`len u32 | fnv1a_64 u64 | body`) to `out`.
+pub fn encode_frame(rec: &RecordRef<'_>, out: &mut Vec<u8>) {
+    let body_len = 8 + 1 + 4 + 8 + 4 + rec.spec.len() + 4 + rec.payload.len();
+    out.reserve(FRAME_HEADER_LEN + body_len);
+    let frame_start = out.len();
+    out.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+    let body_start = out.len();
+    out.extend_from_slice(&rec.fp.to_le_bytes());
+    out.push(rec.mode);
+    out.extend_from_slice(&rec.seeds.to_le_bytes());
+    out.extend_from_slice(&rec.stamp.to_le_bytes());
+    out.extend_from_slice(&(rec.spec.len() as u32).to_le_bytes());
+    out.extend_from_slice(rec.spec.as_bytes());
+    out.extend_from_slice(&(rec.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(rec.payload.as_bytes());
+    let check = fnv1a_64(&out[body_start..]);
+    out[frame_start..frame_start + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    out[frame_start + 4..frame_start + 12].copy_from_slice(&check.to_le_bytes());
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let slice = bytes.get(*pos..*pos + n)?;
+    *pos += n;
+    Some(slice)
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    take(bytes, pos, 4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    take(bytes, pos, 8).and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+}
+
+/// Decodes a checksum-verified body. A failure here despite a good
+/// checksum means a writer bug or schema drift — treated as corruption.
+fn decode_body(body: &[u8]) -> Result<PersistRecord, &'static str> {
+    let mut p = 0usize;
+    let fp = take_u64(body, &mut p).ok_or("body too short for fp")?;
+    let mode = *take(body, &mut p, 1)
+        .and_then(<[u8]>::first)
+        .ok_or("body too short for mode")?;
+    let seeds = take_u32(body, &mut p).ok_or("body too short for seeds")?;
+    let stamp = take_u64(body, &mut p).ok_or("body too short for stamp")?;
+    let spec_len = take_u32(body, &mut p).ok_or("body too short for spec length")? as usize;
+    let spec = take(body, &mut p, spec_len).ok_or("spec length exceeds body")?;
+    let spec = std::str::from_utf8(spec).map_err(|_| "spec is not UTF-8")?;
+    let payload_len = take_u32(body, &mut p).ok_or("body too short for payload length")? as usize;
+    let payload = take(body, &mut p, payload_len).ok_or("payload length exceeds body")?;
+    let payload = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8")?;
+    if p != body.len() {
+        return Err("trailing bytes after payload");
+    }
+    Ok(PersistRecord {
+        fp,
+        mode,
+        seeds,
+        stamp,
+        spec: Box::from(spec),
+        payload: Box::from(payload),
+    })
+}
+
+/// What a file header turned out to be.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum HeaderStatus {
+    /// Header verified; records follow.
+    Ok,
+    /// The file does not exist or is empty — a cold start, not damage.
+    #[default]
+    Missing,
+    /// Magic, version or schema hash mismatched: the whole file is
+    /// refused (the reason is human-readable).
+    Refused(String),
+}
+
+/// One precisely located problem found while scanning a file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanIssue {
+    /// Zero-based index of the damaged record.
+    pub record: usize,
+    /// Byte offset of the damaged frame's start within the file.
+    pub offset: u64,
+    /// What was wrong.
+    pub detail: String,
+}
+
+/// A frame the scanner rejected, with enough context to quarantine it.
+#[derive(Clone, Debug)]
+pub struct CorruptFrame {
+    /// Byte offset of the frame start.
+    pub offset: u64,
+    /// The raw frame bytes (as far as the length field claimed).
+    pub bytes: Vec<u8>,
+    /// Why it was rejected.
+    pub detail: String,
+}
+
+/// Everything a read-only scan of one persisted file found.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Header verdict.
+    pub header: HeaderStatus,
+    /// Records whose checksum and shape verified, in file order.
+    pub records: Vec<PersistRecord>,
+    /// Frames rejected mid-file (checksum or shape).
+    pub corrupt: Vec<CorruptFrame>,
+    /// Offset where a torn final record starts, if the file ends
+    /// mid-frame.
+    pub torn_at: Option<u64>,
+    /// Human-readable issues (corrupt frames and the torn tail),
+    /// offsets included.
+    pub issues: Vec<ScanIssue>,
+}
+
+fn check_header(data: &[u8], kind: FileKind) -> HeaderStatus {
+    if data.is_empty() {
+        return HeaderStatus::Missing;
+    }
+    if data.len() < HEADER_LEN {
+        return HeaderStatus::Refused(format!(
+            "truncated header ({} of {HEADER_LEN} bytes)",
+            data.len()
+        ));
+    }
+    if data[..8] != MAGIC {
+        return HeaderStatus::Refused("bad magic (not a cvliw cache file)".to_string());
+    }
+    let version = u16::from_le_bytes([data[8], data[9]]);
+    if version != FORMAT_VERSION {
+        return HeaderStatus::Refused(format!(
+            "format version {version} (this build reads {FORMAT_VERSION})"
+        ));
+    }
+    if data[10] != kind.tag() {
+        return HeaderStatus::Refused(format!(
+            "wrong file kind tag {} (expected {})",
+            data[10],
+            kind.tag()
+        ));
+    }
+    let mut hash = [0u8; 8];
+    hash.copy_from_slice(&data[12..20]);
+    let hash = u64::from_le_bytes(hash);
+    if hash != schema_hash() {
+        return HeaderStatus::Refused(format!(
+            "cache-key schema hash {hash:#018x} (this build writes {:#018x})",
+            schema_hash()
+        ));
+    }
+    HeaderStatus::Ok
+}
+
+/// Scans one file's bytes: header, then frame after frame, classifying
+/// every kind of damage without side effects. Never panics.
+#[must_use]
+pub fn scan_bytes(data: &[u8], kind: FileKind) -> FileScan {
+    let mut scan = FileScan {
+        header: check_header(data, kind),
+        ..FileScan::default()
+    };
+    if scan.header != HeaderStatus::Ok {
+        return scan;
+    }
+    let mut pos = HEADER_LEN;
+    let mut record = 0usize;
+    while pos < data.len() {
+        let frame_start = pos as u64;
+        let remaining = data.len() - pos;
+        if remaining < FRAME_HEADER_LEN {
+            scan.torn_at = Some(frame_start);
+            scan.issues.push(ScanIssue {
+                record,
+                offset: frame_start,
+                detail: format!("torn tail: {remaining} bytes, not even a frame header"),
+            });
+            break;
+        }
+        let mut p = pos;
+        // The two header reads cannot fail (remaining >= FRAME_HEADER_LEN),
+        // but recovery code stays structurally panic-free anyway.
+        let Some(body_len) = take_u32(data, &mut p) else {
+            break;
+        };
+        let Some(check) = take_u64(data, &mut p) else {
+            break;
+        };
+        let body_len = body_len as usize;
+        if body_len > MAX_RECORD_BYTES {
+            // The length field itself is garbage: there is no trustworthy
+            // way to find the next frame boundary. Everything from here
+            // is quarantined as one corrupt region.
+            let detail = format!(
+                "implausible record length {body_len} (cap {MAX_RECORD_BYTES}); \
+                 rest of file unrecoverable"
+            );
+            scan.corrupt.push(CorruptFrame {
+                offset: frame_start,
+                bytes: data[pos..].to_vec(),
+                detail: detail.clone(),
+            });
+            scan.issues.push(ScanIssue {
+                record,
+                offset: frame_start,
+                detail,
+            });
+            break;
+        }
+        if p + body_len > data.len() {
+            scan.torn_at = Some(frame_start);
+            scan.issues.push(ScanIssue {
+                record,
+                offset: frame_start,
+                detail: format!(
+                    "torn tail: frame claims {body_len} body bytes, file has {}",
+                    data.len() - p
+                ),
+            });
+            break;
+        }
+        let body = &data[p..p + body_len];
+        let frame_end = p + body_len;
+        if fnv1a_64(body) != check {
+            let detail = "checksum mismatch (bit flip or partial overwrite)".to_string();
+            scan.corrupt.push(CorruptFrame {
+                offset: frame_start,
+                bytes: data[pos..frame_end].to_vec(),
+                detail: detail.clone(),
+            });
+            scan.issues.push(ScanIssue {
+                record,
+                offset: frame_start,
+                detail,
+            });
+        } else {
+            match decode_body(body) {
+                Ok(rec) => scan.records.push(rec),
+                Err(why) => {
+                    let detail = format!("malformed body despite good checksum: {why}");
+                    scan.corrupt.push(CorruptFrame {
+                        offset: frame_start,
+                        bytes: data[pos..frame_end].to_vec(),
+                        detail: detail.clone(),
+                    });
+                    scan.issues.push(ScanIssue {
+                        record,
+                        offset: frame_start,
+                        detail,
+                    });
+                }
+            }
+        }
+        pos = frame_end;
+        record += 1;
+    }
+    scan
+}
+
+/// Reads and scans one persisted file. A missing file is a clean
+/// [`HeaderStatus::Missing`] scan, not an error.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than "not found".
+pub fn scan_file(path: &Path, kind: FileKind) -> io::Result<FileScan> {
+    match fs::read(path) {
+        Ok(data) => Ok(scan_bytes(&data, kind)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(FileScan::default()),
+        Err(e) => Err(e),
+    }
+}
+
+/// What startup recovery loaded and what it had to work around.
+/// Rendered into the daemon's startup log line.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Entries restored into the cache.
+    pub loaded: usize,
+    /// Good records read from the snapshot.
+    pub snapshot_records: usize,
+    /// Good records read from the journal.
+    pub journal_records: usize,
+    /// Frames quarantined to `*.corrupt`.
+    pub corrupt_records: usize,
+    /// Whether a torn final record was dropped (either file).
+    pub torn_tail: bool,
+    /// Whole-file refusals (wrong version / schema / magic).
+    pub refused: Vec<String>,
+    /// Everything else worth a warning line (stale tmp files removed,
+    /// unloadable records skipped, …).
+    pub warnings: Vec<String>,
+}
+
+impl LoadReport {
+    /// One-line human summary for the daemon's startup log.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} entries restored ({} snapshot + {} journal records), \
+             {} quarantined, torn tail: {}, {} refused file(s)",
+            self.loaded,
+            self.snapshot_records,
+            self.journal_records,
+            self.corrupt_records,
+            if self.torn_tail { "yes" } else { "no" },
+            self.refused.len(),
+        )
+    }
+}
+
+/// Removes a not-yet-renamed tmp file on drop unless disarmed — the
+/// snapshot-file sibling of the daemon's socket guard, so cooperative
+/// shutdown mid-snapshot never leaves `*.tmp` litter.
+#[derive(Debug)]
+pub struct TmpGuard {
+    path: PathBuf,
+    armed: bool,
+}
+
+impl TmpGuard {
+    /// Guards `path` until [`TmpGuard::disarm`].
+    #[must_use]
+    pub fn new(path: PathBuf) -> Self {
+        TmpGuard { path, armed: true }
+    }
+
+    /// The file reached its final name (or must be left for forensics):
+    /// stop guarding it.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for TmpGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// Injected disk failures (test builds only): the writer dies — as a
+/// killed process would, mid-write, no cleanup — once it has written
+/// this many bytes to the named file.
+#[cfg(feature = "fault-inject")]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiskFaults {
+    /// Journal bytes (frames only, header excluded) before death.
+    pub journal_kill_after: Option<u64>,
+    /// Snapshot bytes before death. The tmp file is deliberately left
+    /// behind, exactly as `kill -9` would leave it.
+    pub snapshot_kill_after: Option<u64>,
+}
+
+/// Owns the journal file and writes snapshots. One per daemon, behind
+/// the shared state's lock; dies quietly (stops persisting, keeps the
+/// reason) on I/O errors instead of taking the daemon with it.
+#[derive(Debug)]
+pub struct Persister {
+    dir: PathBuf,
+    journal: Option<File>,
+    snapshot_every: u64,
+    journal_records: u64,
+    dead: Option<String>,
+    frame_buf: Vec<u8>,
+    #[cfg(feature = "fault-inject")]
+    faults: DiskFaults,
+}
+
+fn tmp_path(dir: &Path, kind: FileKind) -> PathBuf {
+    dir.join(format!("{}.tmp", kind.file_name()))
+}
+
+fn quarantine(dir: &Path, kind: FileKind, frames: &[CorruptFrame]) -> io::Result<PathBuf> {
+    let path = dir.join(format!("{}.corrupt", kind.file_name()));
+    let mut f = File::create(&path)?;
+    for frame in frames {
+        f.write_all(&frame.bytes)?;
+    }
+    Ok(path)
+}
+
+/// Sets a refused file aside as `<name>.refused` so the next start is
+/// clean and the bytes stay available for inspection.
+fn set_aside_refused(dir: &Path, kind: FileKind, report: &mut LoadReport, why: &str) {
+    let from = dir.join(kind.file_name());
+    let to = dir.join(format!("{}.refused", kind.file_name()));
+    let moved = fs::rename(&from, &to).is_ok();
+    report.refused.push(format!(
+        "{}: {why}{}",
+        kind.file_name(),
+        if moved {
+            " (set aside as *.refused, starting cold)"
+        } else {
+            " (could not set aside; starting cold)"
+        }
+    ));
+}
+
+impl Persister {
+    /// Opens (creating if needed) a cache directory: recovers both
+    /// files, applies every repair the corruption table describes, and
+    /// returns the persister ready to append, the recovered records
+    /// (snapshot first, then journal; not yet stamp-sorted) and the
+    /// load report. Recovery itself never fails — only directory
+    /// creation and journal (re)opening can.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and journal-open failures.
+    pub fn open(
+        dir: &Path,
+        snapshot_every: u64,
+    ) -> io::Result<(Persister, Vec<PersistRecord>, LoadReport)> {
+        fs::create_dir_all(dir)?;
+        let mut report = LoadReport::default();
+
+        // A `*.tmp` is a snapshot (or journal rewrite) that never reached
+        // its rename: worthless by construction, deleted on sight.
+        for kind in [FileKind::Snapshot, FileKind::Journal] {
+            let tmp = tmp_path(dir, kind);
+            if tmp.exists() {
+                let _ = fs::remove_file(&tmp);
+                report.warnings.push(format!(
+                    "removed stale {}.tmp from an interrupted write",
+                    kind.file_name()
+                ));
+            }
+        }
+
+        let mut records = Vec::new();
+
+        // Snapshot: read-only recovery. Corrupt frames are quarantined,
+        // but the file itself is left as-is — the next snapshot rewrites
+        // it wholesale anyway.
+        let snap = scan_file(&dir.join(SNAPSHOT_FILE), FileKind::Snapshot)?;
+        match &snap.header {
+            HeaderStatus::Ok => {
+                report.snapshot_records = snap.records.len();
+                report.torn_tail |= snap.torn_at.is_some();
+                if !snap.corrupt.is_empty() {
+                    report.corrupt_records += snap.corrupt.len();
+                    if let Ok(q) = quarantine(dir, FileKind::Snapshot, &snap.corrupt) {
+                        report.warnings.push(format!(
+                            "{} corrupt snapshot frame(s) quarantined to {}",
+                            snap.corrupt.len(),
+                            q.display()
+                        ));
+                    }
+                }
+                records.extend(snap.records);
+            }
+            HeaderStatus::Missing => {}
+            HeaderStatus::Refused(why) => {
+                set_aside_refused(dir, FileKind::Snapshot, &mut report, why);
+            }
+        }
+
+        // Journal: recovery with repair. A torn tail is truncated away; a
+        // journal with mid-file corruption is rewritten (good records
+        // only) so it never degrades further across restarts.
+        let journal_path = dir.join(JOURNAL_FILE);
+        let jour = scan_file(&journal_path, FileKind::Journal)?;
+        let mut journal_good = 0u64;
+        match &jour.header {
+            HeaderStatus::Ok => {
+                report.journal_records = jour.records.len();
+                report.torn_tail |= jour.torn_at.is_some();
+                if !jour.corrupt.is_empty() {
+                    report.corrupt_records += jour.corrupt.len();
+                    if let Ok(q) = quarantine(dir, FileKind::Journal, &jour.corrupt) {
+                        report.warnings.push(format!(
+                            "{} corrupt journal frame(s) quarantined to {}",
+                            jour.corrupt.len(),
+                            q.display()
+                        ));
+                    }
+                    rewrite_journal(dir, &jour.records)?;
+                } else if let Some(at) = jour.torn_at {
+                    let f = OpenOptions::new().write(true).open(&journal_path)?;
+                    f.set_len(at)?;
+                    report.warnings.push(format!(
+                        "journal truncated to {at} bytes (torn final record)"
+                    ));
+                }
+                journal_good = jour.records.len() as u64;
+                records.extend(jour.records);
+            }
+            HeaderStatus::Missing => {}
+            HeaderStatus::Refused(why) => {
+                set_aside_refused(dir, FileKind::Journal, &mut report, why);
+            }
+        }
+
+        // Open (or create) the journal for appending; a fresh or
+        // just-refused file gets its header now.
+        let mut journal = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&journal_path)?;
+        if journal.metadata()?.len() == 0 {
+            journal.write_all(&header_bytes(FileKind::Journal))?;
+        }
+
+        Ok((
+            Persister {
+                dir: dir.to_path_buf(),
+                journal: Some(journal),
+                snapshot_every: snapshot_every.max(1),
+                journal_records: journal_good,
+                dead: None,
+                frame_buf: Vec::new(),
+                #[cfg(feature = "fault-inject")]
+                faults: DiskFaults::default(),
+            },
+            records,
+            report,
+        ))
+    }
+
+    /// The cache directory this persister writes into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Arms injected disk deaths (test builds only).
+    #[cfg(feature = "fault-inject")]
+    pub fn set_disk_faults(&mut self, faults: DiskFaults) {
+        self.faults = faults;
+    }
+
+    /// Why persistence stopped, if it did. A dead persister keeps the
+    /// daemon serving — it just stops writing.
+    #[must_use]
+    pub fn dead_reason(&self) -> Option<&str> {
+        self.dead.as_deref()
+    }
+
+    /// Journal records appended since the last snapshot (or open).
+    #[must_use]
+    pub fn journal_backlog(&self) -> u64 {
+        self.journal_records
+    }
+
+    /// Appends one insert to the journal (no fsync — a torn tail is
+    /// recoverable by design). Returns whether the snapshot cadence is
+    /// due; I/O failure kills the persister quietly instead of the
+    /// daemon.
+    pub fn append(&mut self, rec: &RecordRef<'_>) -> bool {
+        if self.dead.is_some() {
+            return false;
+        }
+        let mut frame = std::mem::take(&mut self.frame_buf);
+        frame.clear();
+        encode_frame(rec, &mut frame);
+        let outcome = self.write_journal_bytes(&frame);
+        self.frame_buf = frame;
+        match outcome {
+            Ok(()) => {
+                if self.dead.is_some() {
+                    // An injected death wrote a prefix: the journal now has
+                    // a torn tail, exactly like a real kill.
+                    return false;
+                }
+                self.journal_records += 1;
+                self.journal_records >= self.snapshot_every
+            }
+            Err(e) => {
+                self.dead = Some(format!("journal append failed: {e}"));
+                false
+            }
+        }
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    fn write_journal_bytes(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.journal.as_mut() {
+            Some(f) => f.write_all(buf),
+            None => Err(io::Error::other("journal handle missing")),
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn write_journal_bytes(&mut self, buf: &[u8]) -> io::Result<()> {
+        let Some(f) = self.journal.as_mut() else {
+            return Err(io::Error::other("journal handle missing"));
+        };
+        match &mut self.faults.journal_kill_after {
+            None => f.write_all(buf),
+            Some(budget) => {
+                let n = (*budget).min(buf.len() as u64) as usize;
+                f.write_all(&buf[..n])?;
+                *budget -= n as u64;
+                if n < buf.len() {
+                    self.dead = Some("injected disk death during journal append".to_string());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Writes a compacted snapshot: tmp file (guarded), fsync, atomic
+    /// rename, then journal truncation — in that order, so a crash at
+    /// any point leaves a loadable state. Returns the record count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (the persister is dead
+    /// afterwards; the daemon keeps serving from memory).
+    pub fn write_snapshot(&mut self, records: &[PersistRecord]) -> io::Result<usize> {
+        if let Some(reason) = &self.dead {
+            return Err(io::Error::other(reason.clone()));
+        }
+        let tmp = tmp_path(&self.dir, FileKind::Snapshot);
+        let mut guard = TmpGuard::new(tmp.clone());
+        let written = self.write_snapshot_tmp(&tmp, records);
+        match written {
+            Ok(true) => {}
+            Ok(false) => {
+                // Injected death mid-snapshot: leave the tmp behind (a
+                // real kill would), do NOT rename, do NOT touch the
+                // journal — startup recovery must cope with all of it.
+                guard.disarm();
+                let reason = "injected disk death during snapshot".to_string();
+                self.dead = Some(reason.clone());
+                return Err(io::Error::other(reason));
+            }
+            Err(e) => {
+                // The guard removes the tmp on this path.
+                self.dead = Some(format!("snapshot write failed: {e}"));
+                return Err(e);
+            }
+        }
+        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE)).map_err(|e| {
+            self.dead = Some(format!("snapshot rename failed: {e}"));
+            e
+        })?;
+        guard.disarm();
+        // Best-effort directory sync makes the rename durable; a failure
+        // here costs durability of this one compaction, not correctness.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.reset_journal().map_err(|e| {
+            self.dead = Some(format!("journal truncation failed: {e}"));
+            e
+        })?;
+        Ok(records.len())
+    }
+
+    /// Writes header + records to the tmp file and fsyncs. `Ok(false)`
+    /// means an injected death consumed the write budget.
+    fn write_snapshot_tmp(&mut self, tmp: &Path, records: &[PersistRecord]) -> io::Result<bool> {
+        let mut f = File::create(tmp)?;
+        #[cfg(feature = "fault-inject")]
+        let mut budget = self.faults.snapshot_kill_after;
+        #[cfg(feature = "fault-inject")]
+        let mut write = |f: &mut File, buf: &[u8]| -> io::Result<bool> {
+            match &mut budget {
+                None => f.write_all(buf).map(|()| true),
+                Some(b) => {
+                    let n = (*b).min(buf.len() as u64) as usize;
+                    f.write_all(&buf[..n])?;
+                    *b -= n as u64;
+                    Ok(n == buf.len())
+                }
+            }
+        };
+        #[cfg(not(feature = "fault-inject"))]
+        let write =
+            |f: &mut File, buf: &[u8]| -> io::Result<bool> { f.write_all(buf).map(|()| true) };
+        if !write(&mut f, &header_bytes(FileKind::Snapshot))? {
+            return Ok(false);
+        }
+        let mut frame = std::mem::take(&mut self.frame_buf);
+        for rec in records {
+            frame.clear();
+            encode_frame(&rec.as_ref(), &mut frame);
+            if !write(&mut f, &frame)? {
+                self.frame_buf = frame;
+                return Ok(false);
+            }
+        }
+        self.frame_buf = frame;
+        f.sync_all()?;
+        Ok(true)
+    }
+
+    /// Truncates the journal back to a bare header (the snapshot now
+    /// covers everything it held).
+    fn reset_journal(&mut self) -> io::Result<()> {
+        self.journal = None;
+        let path = self.dir.join(JOURNAL_FILE);
+        let mut f = File::create(&path)?;
+        f.write_all(&header_bytes(FileKind::Journal))?;
+        f.sync_all()?;
+        self.journal = Some(f);
+        self.journal_records = 0;
+        Ok(())
+    }
+}
+
+/// Atomically replaces the journal with `records` (used when mid-file
+/// corruption was quarantined: the survivors are rewritten so the
+/// damage never compounds).
+fn rewrite_journal(dir: &Path, records: &[PersistRecord]) -> io::Result<()> {
+    let tmp = tmp_path(dir, FileKind::Journal);
+    let mut guard = TmpGuard::new(tmp.clone());
+    let mut f = File::create(&tmp)?;
+    f.write_all(&header_bytes(FileKind::Journal))?;
+    let mut frame = Vec::new();
+    for rec in records {
+        frame.clear();
+        encode_frame(&rec.as_ref(), &mut frame);
+        f.write_all(&frame)?;
+    }
+    f.sync_all()?;
+    fs::rename(&tmp, dir.join(JOURNAL_FILE))?;
+    guard.disarm();
+    Ok(())
+}
+
+/// One file's read-only verification verdict.
+#[derive(Clone, Debug)]
+pub struct FileVerify {
+    /// File name within the directory.
+    pub name: &'static str,
+    /// Whether the file exists (an absent file is clean: cold start).
+    pub present: bool,
+    /// Whole-file refusal reason, if the header mismatched.
+    pub refused: Option<String>,
+    /// Records whose checksum and shape verified.
+    pub records: usize,
+    /// Damaged frames, each with its byte offset.
+    pub issues: Vec<ScanIssue>,
+}
+
+/// The result of `cvliw cache verify <dir>`: a pure read of both files.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Per-file verdicts (snapshot, then journal).
+    pub files: Vec<FileVerify>,
+}
+
+impl VerifyReport {
+    /// Whether every present file verified end to end.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.files
+            .iter()
+            .all(|f| f.refused.is_none() && f.issues.is_empty())
+    }
+
+    /// Total verified records across both files.
+    #[must_use]
+    pub fn records(&self) -> usize {
+        self.files.iter().map(|f| f.records).sum()
+    }
+
+    /// Total issues (refusals count as one each).
+    #[must_use]
+    pub fn issue_count(&self) -> usize {
+        self.files
+            .iter()
+            .map(|f| f.issues.len() + usize::from(f.refused.is_some()))
+            .sum()
+    }
+}
+
+/// Verifies a cache directory without modifying anything: no
+/// truncation, no quarantine, no tmp cleanup — just a precise report.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than missing files.
+pub fn verify_dir(dir: &Path) -> io::Result<VerifyReport> {
+    let mut report = VerifyReport::default();
+    for kind in [FileKind::Snapshot, FileKind::Journal] {
+        let path = dir.join(kind.file_name());
+        let scan = scan_file(&path, kind)?;
+        let (present, refused) = match &scan.header {
+            HeaderStatus::Ok => (true, None),
+            HeaderStatus::Missing => (path.exists(), None),
+            HeaderStatus::Refused(why) => (true, Some(why.clone())),
+        };
+        report.files.push(FileVerify {
+            name: kind.file_name(),
+            present,
+            refused,
+            records: scan.records.len(),
+            issues: scan.issues,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(stamp: u64, payload: &str) -> PersistRecord {
+        PersistRecord {
+            fp: 0x1234_5678_9abc_def0 ^ stamp,
+            mode: 2,
+            seeds: 1,
+            stamp,
+            spec: Box::from("4c1b2l64r"),
+            payload: Box::from(payload),
+        }
+    }
+
+    fn file_bytes(kind: FileKind, records: &[PersistRecord]) -> Vec<u8> {
+        let mut out = header_bytes(kind).to_vec();
+        for r in records {
+            encode_frame(&r.as_ref(), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let records = vec![
+            rec(0, "\"ok\":{}"),
+            rec(1, ""),
+            rec(7, "payload with \u{1F980}"),
+        ];
+        let bytes = file_bytes(FileKind::Snapshot, &records);
+        let scan = scan_bytes(&bytes, FileKind::Snapshot);
+        assert_eq!(scan.header, HeaderStatus::Ok);
+        assert_eq!(scan.records, records);
+        assert!(scan.corrupt.is_empty() && scan.torn_at.is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_detected_at_the_right_offset() {
+        let records = vec![rec(0, "aaaa"), rec(1, "bbbb")];
+        let bytes = file_bytes(FileKind::Journal, &records);
+        let one = file_bytes(FileKind::Journal, &records[..1]);
+        for cut in (one.len() + 1)..bytes.len() {
+            let scan = scan_bytes(&bytes[..cut], FileKind::Journal);
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.torn_at, Some(one.len() as u64), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_quarantined_and_the_rest_still_loads() {
+        let records = vec![rec(0, "aaaa"), rec(1, "bbbb"), rec(2, "cccc")];
+        let mut bytes = file_bytes(FileKind::Journal, &records);
+        let one = file_bytes(FileKind::Journal, &records[..1]).len();
+        // Flip one bit inside the second record's body.
+        bytes[one + FRAME_HEADER_LEN + 3] ^= 0x10;
+        let scan = scan_bytes(&bytes, FileKind::Journal);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[0].stamp, 0);
+        assert_eq!(scan.records[1].stamp, 2);
+        assert_eq!(scan.corrupt.len(), 1);
+        assert_eq!(scan.corrupt[0].offset, one as u64);
+    }
+
+    #[test]
+    fn wrong_version_and_schema_are_refused() {
+        let records = vec![rec(0, "x")];
+        let mut bytes = file_bytes(FileKind::Snapshot, &records);
+        bytes[8] = 99; // version
+        assert!(matches!(
+            scan_bytes(&bytes, FileKind::Snapshot).header,
+            HeaderStatus::Refused(ref why) if why.contains("version 99")
+        ));
+        let mut bytes = file_bytes(FileKind::Snapshot, &records);
+        bytes[15] ^= 0xff; // schema hash
+        assert!(matches!(
+            scan_bytes(&bytes, FileKind::Snapshot).header,
+            HeaderStatus::Refused(ref why) if why.contains("schema hash")
+        ));
+        let scan = scan_bytes(b"not a cache file at all", FileKind::Snapshot);
+        assert!(matches!(scan.header, HeaderStatus::Refused(_)));
+    }
+
+    #[test]
+    fn implausible_length_quarantines_the_rest() {
+        let mut bytes = file_bytes(FileKind::Journal, &[rec(0, "aa"), rec(1, "bb")]);
+        let one = file_bytes(FileKind::Journal, &[rec(0, "aa")]).len();
+        bytes[one..one + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let scan = scan_bytes(&bytes, FileKind::Journal);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.corrupt.len(), 1);
+        assert!(scan.issues[0].detail.contains("implausible"));
+    }
+}

@@ -73,10 +73,26 @@ use crate::shared::SharedState;
 /// Upper bound on lines drained into one batch by [`Server::run_jsonl`].
 pub const MAX_BATCH: usize = 64;
 
-/// The back-off hint attached to `overloaded` responses, in
-/// milliseconds. A constant (not a measurement) so shed responses stay a
-/// pure function of the request stream.
-pub const RETRY_AFTER_MS: u64 = 50;
+/// Floor of the shed back-off hint, in milliseconds.
+pub const RETRY_AFTER_BASE_MS: u64 = 10;
+
+/// Added to the hint per observed in-flight compile, in milliseconds —
+/// a deeper queue earns callers a longer pause.
+pub const RETRY_AFTER_PER_INFLIGHT_MS: u64 = 5;
+
+/// Ceiling of the shed back-off hint, in milliseconds.
+pub const RETRY_AFTER_MAX_MS: u64 = 2000;
+
+/// The back-off hint attached to `overloaded` responses: scales with
+/// the in-flight compile depth observed at shed time, clamped to
+/// [`RETRY_AFTER_MAX_MS`]. A pure function of the observed depth (no
+/// wall clock), so the client backoff tests can pin the contract.
+#[must_use]
+pub fn retry_after_hint(inflight: u64) -> u64 {
+    RETRY_AFTER_BASE_MS
+        .saturating_add(RETRY_AFTER_PER_INFLIGHT_MS.saturating_mul(inflight))
+        .min(RETRY_AFTER_MAX_MS)
+}
 
 /// Sizing knobs for a [`Server`].
 #[derive(Clone, Copy, Debug)]
@@ -470,7 +486,7 @@ impl Server {
             return Slot::Reject {
                 id: Some(id),
                 kind: ErrorKind::Overloaded {
-                    retry_after_ms: RETRY_AFTER_MS,
+                    retry_after_ms: retry_after_hint(self.shared.inflight_depth()),
                 },
             };
         }
@@ -1135,8 +1151,13 @@ mod tests {
             lines[1].starts_with("{\"id\":2,\"error\":{\"kind\":\"overloaded\""),
             "{out}"
         );
+        // One compile was in flight when request 2 was shed, so the hint
+        // is exactly base + 1×per-inflight: the depth-scaling contract.
         assert!(
-            lines[1].contains(&format!("\"retry_after_ms\":{RETRY_AFTER_MS}")),
+            lines[1].contains(&format!(
+                "\"retry_after_ms\":{}",
+                RETRY_AFTER_BASE_MS + RETRY_AFTER_PER_INFLIGHT_MS
+            )),
             "{out}"
         );
         assert_eq!(s.stats().shed, 1);

@@ -28,14 +28,17 @@
 //! not die on a theory.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use cvliw_machine::MachineConfig;
-use cvliw_replicate::fnv1a_64;
+use cvliw_replicate::{fnv1a_64, Mode};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::json;
+use crate::persist::{LoadReport, PersistRecord, Persister, RecordRef, DEFAULT_SNAPSHOT_EVERY};
 use crate::protocol::ErrorKind;
 use crate::server::{ServeStats, ServerConfig};
 
@@ -103,11 +106,15 @@ impl SharedStats {
 }
 
 /// The daemon-wide machine-spec interner: escaped spec text → small id,
-/// plus the parsed config per id.
+/// plus the parsed config and the original text per id. The text is kept
+/// because interned ids are session-local: persistence must write the
+/// spec *text* so a restarted daemon re-interns instead of trusting a
+/// stale id.
 #[derive(Debug, Default)]
 struct SpecTable {
     ids: HashMap<Box<str>, u32>,
     machines: Vec<MachineConfig>,
+    texts: Vec<Arc<str>>,
 }
 
 /// Bounds daemon-wide in-flight compile jobs. Admission acquires one
@@ -142,31 +149,64 @@ impl ShedGate {
     fn release(&self, n: u64) {
         self.inflight.fetch_sub(n, Ordering::AcqRel);
     }
+
+    fn depth(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+}
+
+/// Where and how often to persist the result cache.
+#[derive(Clone, Debug)]
+pub struct PersistConfig {
+    /// Directory holding `snapshot.bin` / `journal.bin` (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// Journal records between compacted snapshots.
+    pub snapshot_every: u64,
+}
+
+impl PersistConfig {
+    /// Persistence into `dir` at the default snapshot cadence.
+    #[must_use]
+    pub fn new(dir: PathBuf) -> Self {
+        PersistConfig {
+            dir,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        }
+    }
 }
 
 /// Everything one daemon's sessions share. Construct once, hand an
 /// `Arc` clone to each [`crate::server::Server`] session.
+///
+/// Lock ordering: the persister's lock is acquired only while **no**
+/// stripe lock is held (inserts journal after releasing their stripe;
+/// snapshots take stripe locks one at a time under the persist lock).
+/// The spec-table lock nests inside either but never wraps them.
 #[derive(Debug)]
 pub struct SharedState {
+    /// Empty when the cache is explicitly disabled (`--cache-entries 0`
+    /// or `--cache-mb 0`): every lookup misses, every insert is dropped.
     stripes: Vec<Mutex<ResultCache>>,
     specs: Mutex<SpecTable>,
     seq: AtomicU64,
     stats: SharedStats,
     gate: ShedGate,
+    persist: Option<Mutex<Persister>>,
 }
 
 impl SharedState {
-    /// Builds the shared state a [`ServerConfig`] describes.
-    #[must_use]
-    pub fn new(cfg: &ServerConfig) -> Arc<Self> {
-        let stripes = if cfg.cache_entries >= STRIPE_THRESHOLD {
+    fn build(cfg: &ServerConfig) -> SharedState {
+        let stripes = if cfg.cache_entries == 0 || cfg.cache_bytes == 0 {
+            0
+        } else if cfg.cache_entries >= STRIPE_THRESHOLD {
             CACHE_STRIPES
         } else {
             1
         };
-        let per_entries = (cfg.cache_entries / stripes).max(1);
-        let per_bytes = (cfg.cache_bytes / stripes).max(1);
-        Arc::new(SharedState {
+        let per_entries = (cfg.cache_entries / stripes.max(1)).max(1);
+        let per_bytes = (cfg.cache_bytes / stripes.max(1)).max(1);
+        SharedState {
             stripes: (0..stripes)
                 .map(|_| Mutex::new(ResultCache::new(per_entries, per_bytes)))
                 .collect(),
@@ -177,7 +217,87 @@ impl SharedState {
                 inflight: AtomicU64::new(0),
                 max: cfg.max_inflight.max(1) as u64,
             },
-        })
+            persist: None,
+        }
+    }
+
+    /// Builds the shared state a [`ServerConfig`] describes (no
+    /// persistence).
+    #[must_use]
+    pub fn new(cfg: &ServerConfig) -> Arc<Self> {
+        Arc::new(SharedState::build(cfg))
+    }
+
+    /// Builds shared state backed by an on-disk cache directory:
+    /// recovers whatever the directory holds (tolerating every
+    /// corruption mode — see [`crate::persist`]), replays it into the
+    /// cache in stamp order, and arms journaling + snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cache is disabled (`cache_entries`/`cache_bytes`
+    /// zero — persisting nothing is a configuration contradiction) or
+    /// if the directory/journal cannot be created or opened. Recovery
+    /// of damaged files is *not* an error.
+    pub fn with_persistence(
+        cfg: &ServerConfig,
+        pcfg: &PersistConfig,
+    ) -> io::Result<(Arc<Self>, LoadReport)> {
+        if cfg.cache_entries == 0 || cfg.cache_bytes == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cache persistence requires an enabled cache \
+                 (cache_entries and cache_bytes both nonzero)",
+            ));
+        }
+        let (persister, mut records, mut report) = Persister::open(&pcfg.dir, pcfg.snapshot_every)?;
+        let state = SharedState::build(cfg);
+
+        // Replay in stamp order so the restored LRU evicts exactly as
+        // the never-restarted cache would have. Duplicate stamps (a
+        // crash between snapshot rename and journal truncation replays
+        // the overlap) resolve idempotently: later file order wins via
+        // plain re-insert, and the stable sort preserves file order.
+        records.sort_by_key(|r| r.stamp);
+        let mut max_stamp = None::<u64>;
+        for rec in records {
+            if rec.mode as usize >= Mode::ALL.len() {
+                report.warnings.push(format!(
+                    "skipped persisted record with unknown mode {}",
+                    rec.mode
+                ));
+                continue;
+            }
+            let (spec_id, _) = match state.intern_spec(&rec.spec) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    report.warnings.push(format!(
+                        "skipped persisted record whose spec no longer parses: {e:?}"
+                    ));
+                    continue;
+                }
+            };
+            let key = CacheKey {
+                fp: rec.fp,
+                spec: spec_id,
+                mode: rec.mode,
+                seeds: rec.seeds,
+            };
+            // Direct stripe insert: replay must not re-journal.
+            if let Some(mut stripe) = state.stripe(&key) {
+                stripe.insert(key, Arc::from(&*rec.payload), rec.stamp);
+            }
+            max_stamp = Some(max_stamp.map_or(rec.stamp, |m| m.max(rec.stamp)));
+        }
+        if let Some(m) = max_stamp {
+            state.seq.store(m + 1, Ordering::Relaxed);
+        }
+        let state = SharedState {
+            persist: Some(Mutex::new(persister)),
+            ..state
+        };
+        report.loaded = state.cache_len();
+        Ok((Arc::new(state), report))
     }
 
     /// The daemon-wide counters.
@@ -203,19 +323,107 @@ impl SharedState {
         }
     }
 
-    fn stripe(&self, key: &CacheKey) -> MutexGuard<'_, ResultCache> {
+    /// Current in-flight compile depth (the shed `retry_after` hint
+    /// scales with it).
+    #[must_use]
+    pub fn inflight_depth(&self) -> u64 {
+        self.gate.depth()
+    }
+
+    /// Whether the cache is enabled at all.
+    #[must_use]
+    pub fn cache_enabled(&self) -> bool {
+        !self.stripes.is_empty()
+    }
+
+    fn stripe(&self, key: &CacheKey) -> Option<MutexGuard<'_, ResultCache>> {
+        if self.stripes.is_empty() {
+            return None;
+        }
         let i = (fnv1a_64(&key.bytes()) as usize) % self.stripes.len();
-        relock(&self.stripes[i])
+        Some(relock(&self.stripes[i]))
     }
 
     /// Looks `key` up in its stripe, refreshing the LRU stamp on a hit.
     pub(crate) fn cache_lookup(&self, key: &CacheKey, stamp: u64) -> Option<Arc<str>> {
-        self.stripe(key).lookup(key, stamp)
+        self.stripe(key)?.lookup(key, stamp)
     }
 
     /// Inserts into `key`'s stripe; returns how many entries it evicted.
+    /// With persistence armed the insert is also journaled — after the
+    /// stripe lock is released, so the disk write never extends stripe
+    /// hold time — and a due snapshot cadence triggers compaction.
     pub(crate) fn cache_insert(&self, key: CacheKey, payload: Arc<str>, stamp: u64) -> u64 {
-        self.stripe(&key).insert(key, payload, stamp)
+        let Some(mut stripe) = self.stripe(&key) else {
+            return 0;
+        };
+        let evicted = stripe.insert(key, Arc::clone(&payload), stamp);
+        drop(stripe);
+        if let Some(persist) = &self.persist {
+            let Some(spec) = self.spec_text(key.spec) else {
+                return evicted; // unreachable: inserts intern first
+            };
+            let due = relock(persist).append(&RecordRef {
+                fp: key.fp,
+                mode: key.mode,
+                seeds: key.seeds,
+                stamp,
+                spec: &spec,
+                payload: &payload,
+            });
+            if due {
+                // Compaction keeps the persist lock for its duration so
+                // concurrent inserts serialize behind it rather than
+                // re-triggering; stripe locks are taken one at a time
+                // underneath it (never the reverse order).
+                let _ = self.snapshot_now();
+            }
+        }
+        evicted
+    }
+
+    /// Writes a compacted snapshot now (graceful shutdown, cadence, or
+    /// an explicit flush). `None` when persistence is off; `Ok(n)` is
+    /// the record count written.
+    pub fn snapshot_now(&self) -> Option<io::Result<usize>> {
+        let persist = self.persist.as_ref()?;
+        let mut persister = relock(persist);
+        let mut entries = Vec::new();
+        for stripe in &self.stripes {
+            entries.extend(relock(stripe).export());
+        }
+        entries.sort_by_key(|&(_, stamp, _)| stamp);
+        let mut records = Vec::with_capacity(entries.len());
+        for (key, stamp, payload) in entries {
+            let Some(spec) = self.spec_text(key.spec) else {
+                continue; // unreachable: cached keys were interned
+            };
+            records.push(PersistRecord {
+                fp: key.fp,
+                mode: key.mode,
+                seeds: key.seeds,
+                stamp,
+                spec: Box::from(&*spec),
+                payload: Box::from(&*payload),
+            });
+        }
+        Some(persister.write_snapshot(&records))
+    }
+
+    /// Why persistence stopped writing, if it has (the daemon keeps
+    /// serving from memory when the disk fails).
+    #[must_use]
+    pub fn persist_dead_reason(&self) -> Option<String> {
+        let persist = self.persist.as_ref()?;
+        relock(persist).dead_reason().map(str::to_string)
+    }
+
+    /// Arms injected disk deaths on the persister (test builds only).
+    #[cfg(feature = "fault-inject")]
+    pub fn set_disk_faults(&self, faults: crate::persist::DiskFaults) {
+        if let Some(persist) = &self.persist {
+            relock(persist).set_disk_faults(faults);
+        }
     }
 
     /// Entries resident across all stripes.
@@ -248,7 +456,13 @@ impl SharedState {
             detail: "machine-spec intern table overflow",
         })?;
         table.machines.push(machine.clone());
+        table.texts.push(Arc::from(escaped));
         table.ids.insert(Box::from(escaped), id);
         Ok((id, machine))
+    }
+
+    /// The escaped spec text behind an interned id (a refcount bump).
+    pub(crate) fn spec_text(&self, id: u32) -> Option<Arc<str>> {
+        relock(&self.specs).texts.get(id as usize).cloned()
     }
 }

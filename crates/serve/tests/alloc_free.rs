@@ -130,3 +130,48 @@ fn warm_batch_with_deadline_and_inflight_bound_still_allocates_nothing() {
         after - before
     );
 }
+
+/// Persistence must stay off the hit path: journal appends happen on
+/// *insert* (a miss), so a warm batch against a persistence-backed cache
+/// is still exactly zero allocations — no frame encoding, no persister
+/// lock traffic, no `PathBuf` churn.
+#[test]
+fn warm_batch_with_persistence_enabled_still_allocates_nothing() {
+    use cvliw_serve::{PersistConfig, SharedState};
+
+    let dir = std::env::temp_dir().join(format!("cvliw-alloc-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = cvliw_serve::ServerConfig {
+        jobs: 2,
+        ..cvliw_serve::ServerConfig::default()
+    };
+    let (shared, load) =
+        SharedState::with_persistence(&cfg, &PersistConfig::new(dir.clone())).expect("cold open");
+    assert_eq!(load.loaded, 0);
+    let mut server = Server::with_shared(cfg, shared);
+
+    let lines: Vec<String> = vec![
+        request_line(1, TINY_LOOP, "4c1b2l64r", "replicate", 1),
+        request_line(2, OTHER_LOOP, "4c1b2l64r", "baseline", 1),
+        request_line(3, TINY_LOOP, "4c1b2l64r", "replicate", 1),
+    ];
+
+    let mut out = String::new();
+    server.process_batch(&lines, &mut out);
+    let cold = out.clone();
+    assert_eq!(server.stats().errors, 0, "{cold}");
+
+    out.clear();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    server.process_batch(&lines, &mut out);
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(out, cold, "warm responses must be byte-identical");
+    assert_eq!(
+        after - before,
+        0,
+        "persistence leaked {} allocations onto the cache-hit path",
+        after - before
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -56,7 +56,9 @@ impl fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
-const KNOWN_OPTIONS: [&str; 19] = [
+const KNOWN_OPTIONS: [&str; 21] = [
+    "cache-path",
+    "snapshot-every",
     "machine",
     "mode",
     "loop",
@@ -79,7 +81,7 @@ const KNOWN_OPTIONS: [&str; 19] = [
 ];
 
 /// Options that take no value (stored as `"true"` when present).
-const KNOWN_FLAGS: [&str; 1] = ["serve"];
+const KNOWN_FLAGS: [&str; 3] = ["serve", "restart", "stats"];
 
 impl Args {
     /// Parses raw process arguments (without the executable name).

@@ -5,8 +5,8 @@ use std::fs;
 
 use cvliw::ddg::to_dot;
 use cvliw::exp::{
-    bench_suite, default_jobs, emit, emit_bench_json, run_suite, serve_replay, Format, SuiteError,
-    SuiteGrid,
+    bench_suite, default_jobs, emit, emit_bench_json, run_suite, serve_replay,
+    serve_restart_replay, Format, SuiteError, SuiteGrid,
 };
 use cvliw::ir::{parse_module, print_loop, NamedLoop, ParseError};
 use cvliw::machine::{MachineConfig, SpecError};
@@ -63,6 +63,13 @@ pub enum CliError {
     },
     /// `cvliw serve` failed on its transport (stdin/stdout or the socket).
     Serve(std::io::Error),
+    /// `cvliw cache verify` found damage in a persisted cache directory.
+    CacheCorrupt {
+        /// The directory that was verified.
+        dir: String,
+        /// How many issues (corrupt frames, torn tails, refused files).
+        issues: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -93,6 +100,12 @@ impl fmt::Display for CliError {
                 "bench exceeded its wall-clock budget: {wall_ms:.0} ms > {budget_ms:.0} ms"
             ),
             CliError::Serve(e) => write!(f, "serve i/o failed: {e}"),
+            CliError::CacheCorrupt { dir, issues } => write!(
+                f,
+                "cache directory `{dir}` failed verification with {issues} issue{} \
+                 (details above)",
+                if *issues == 1 { "" } else { "s" }
+            ),
         }
     }
 }
@@ -141,6 +154,8 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "suite" => cmd_suite(args),
         "bench" => cmd_bench(args),
         "serve" => cmd_serve(args),
+        "client" => cmd_client(args),
+        "cache" => cmd_cache(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -178,7 +193,15 @@ COMMANDS:
     serve                  run as a compile daemon: JSONL requests on
                            stdin (or --socket <path>), one response per
                            line, with a content-addressed result cache
-                           and per-worker persistent compile contexts
+                           and per-worker persistent compile contexts;
+                           --cache-path <dir> makes the cache survive
+                           restarts (journal + snapshots, crash-safe)
+    client                 talk to a socket daemon with reconnect +
+                           backoff: compile a .loop file (--machine,
+                           --mode), pump stdin JSONL, or --stats
+    cache verify <dir>     check a persisted cache directory without
+                           modifying it; nonzero exit + per-record byte
+                           offsets on any corruption
     help                   show this message
 
 OPTIONS:
@@ -213,21 +236,35 @@ OPTIONS:
     --serve                bench: also replay the grid through an in-process
                            compile daemon and record cold/warm throughput
                            in the serve section of BENCH_compile.json
+    --restart              bench --serve: additionally cold-compile into a
+                           scratch --cache-path, drop the daemon, recover
+                           the directory and record warm-restart hit rate
+                           and throughput (serve_restart section)
     --socket <path>        serve: listen on a Unix socket instead of stdin
                            (refuses a path a live daemon serves; recovers
                            a stale one; removes the file on exit)
     --sessions <n>         serve: concurrent socket sessions sharing one
                            cache (default 4; requires --socket)
-    --cache-entries <n>    serve: result-cache entry bound (default 1024)
+    --cache-entries <n>    serve: result-cache entry bound (default 1024;
+                           0 disables the cache entirely)
     --cache-mb <n>         serve: result-cache payload bound in MiB
-                           (default 64)
+                           (default 64; 0 disables the cache entirely)
+    --cache-path <dir>     serve: persist the cache in <dir> (crash-safe
+                           journal + compacted snapshots) and recover it
+                           on startup, tolerating torn/corrupt/alien
+                           files; incompatible with a disabled cache
+    --snapshot-every <n>   serve: journal records between compacted
+                           snapshots (default 1024; requires --cache-path)
     --deadline-ms <n>      serve: per-request compile budget; a compile
                            that exceeds it is cancelled at its next II
                            attempt and answers `deadline_exceeded`
                            (default: no deadline)
     --max-inflight <n>     serve: daemon-wide in-flight compile bound;
                            misses beyond it answer `overloaded` with a
-                           retry_after_ms hint (default 256)
+                           retry_after_ms hint that scales with the
+                           observed in-flight depth (default 256)
+    --stats                client: ask the daemon for its counters
+                           instead of compiling
 
 SERVE PROTOCOL (one JSON object per line):
     {\"id\": 1, \"loop\": \"loop t {\\n i: iadd i@1\\n x: load i\\n}\",
@@ -252,7 +289,11 @@ EXAMPLES:
     cvliw bench                             # full-grid BENCH_compile.json
     cvliw bench --serve --max-loops 4       # daemon throughput snapshot
     cvliw serve --jobs 4                    # compile daemon on stdin/stdout
-    cvliw serve --socket /tmp/cvliw.sock
+    cvliw serve --socket /tmp/cvliw.sock --cache-path /var/cache/cvliw
+    cvliw client --socket /tmp/cvliw.sock examples/loops/fir.loop \\
+                 --machine 4c1b2l64r       # resilient client: reconnects
+    cvliw client --socket /tmp/cvliw.sock --stats
+    cvliw cache verify /var/cache/cvliw     # offline corruption check
 "
     .to_string()
 }
@@ -544,10 +585,12 @@ fn cmd_machines(args: &Args) -> Result<(), CliError> {
 /// Options only `cvliw serve` understands; `suite` and `bench` reject
 /// them so a typo'd invocation fails loudly instead of silently ignoring
 /// a daemon knob.
-const SERVE_ONLY_OPTIONS: [&str; 6] = [
+const SERVE_ONLY_OPTIONS: [&str; 8] = [
     "socket",
     "cache-entries",
     "cache-mb",
+    "cache-path",
+    "snapshot-every",
     "deadline-ms",
     "sessions",
     "max-inflight",
@@ -584,7 +627,7 @@ fn grid_from_args(args: &Args, base: SuiteGrid) -> Result<SuiteGrid, CliError> {
 fn cmd_suite(args: &Args) -> Result<(), CliError> {
     // The timing knobs belong to `bench`; accepting them here would
     // silently skip the wall-clock gate a CI author thought they set.
-    for bench_only in ["runs", "warmup", "budget-ms", "serve"] {
+    for bench_only in ["runs", "warmup", "budget-ms", "serve", "restart"] {
         if args.get(bench_only).is_some() {
             return Err(CliError::Usage(UsageError::UnknownOption(format!(
                 "{bench_only} (only `cvliw bench` accepts it)"
@@ -597,6 +640,11 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
                 "{serve_only} (only `cvliw serve` accepts it)"
             ))));
         }
+    }
+    if args.flag("stats") {
+        return Err(CliError::Usage(UsageError::UnknownOption(
+            "stats (only `cvliw client` accepts it)".to_string(),
+        )));
     }
     let grid = grid_from_args(args, SuiteGrid::paper_with_topology())?;
     let jobs = args
@@ -659,6 +707,18 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
             ))));
         }
     }
+    if args.flag("stats") {
+        return Err(CliError::Usage(UsageError::UnknownOption(
+            "stats (only `cvliw client` accepts it)".to_string(),
+        )));
+    }
+    if args.flag("restart") && !args.flag("serve") {
+        return Err(CliError::Usage(UsageError::UnknownOption(
+            "restart (only meaningful with --serve; it benches the serve cache \
+             across a restart)"
+                .to_string(),
+        )));
+    }
     let grid = grid_from_args(args, SuiteGrid::paper())?;
     let jobs = args
         .get_positive_num::<usize>("jobs")?
@@ -711,6 +771,21 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
             sr.errors
         );
         report.serve = Some(sr);
+        if args.flag("restart") {
+            let rr = serve_restart_replay(&grid, jobs).map_err(CliError::Suite)?;
+            eprintln!(
+                "serve_restart: {} requests on {} worker{}: {} entries recovered, \
+                 warm-restart {:.0} ms ({:.0} req/s, hit rate {:.2})",
+                rr.requests,
+                rr.jobs,
+                if rr.jobs == 1 { "" } else { "s" },
+                rr.loaded_entries,
+                rr.restart_wall_ms,
+                rr.restart_rps,
+                rr.restart_hit_rate
+            );
+            report.serve_restart = Some(rr);
+        }
     }
     let rendered = emit_bench_json(&report);
     let destination = match args.get("out") {
@@ -745,7 +820,7 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
 /// loop, machine, mode and seed config, so none of the grid-shaping
 /// options apply here.
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
-    use cvliw::serve::{Server, ServerConfig};
+    use cvliw::serve::{PersistConfig, Server, ServerConfig, SharedState};
 
     for not_serve in [
         "machine",
@@ -761,6 +836,8 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         "budget-ms",
         "refine-seeds",
         "serve",
+        "restart",
+        "stats",
     ] {
         if args.get(not_serve).is_some() {
             return Err(CliError::Usage(UsageError::UnknownOption(format!(
@@ -772,10 +849,11 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let jobs = args
         .get_positive_num::<usize>("jobs")?
         .unwrap_or_else(default_jobs);
-    let cache_entries = args
-        .get_positive_num::<usize>("cache-entries")?
-        .unwrap_or(1024);
-    let cache_mb = args.get_positive_num::<usize>("cache-mb")?.unwrap_or(64);
+    // Zero is meaningful here: an explicit "run without a result cache"
+    // (every request recompiles — a measurement and debugging mode).
+    let cache_entries = args.get_num::<usize>("cache-entries")?.unwrap_or(1024);
+    let cache_mb = args.get_num::<usize>("cache-mb")?.unwrap_or(64);
+    let cache_disabled = cache_entries == 0 || cache_mb == 0;
     let deadline_ms = args.get_positive_num::<u64>("deadline-ms")?;
     let max_inflight = args
         .get_positive_num::<usize>("max-inflight")?
@@ -786,6 +864,32 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             "sessions (only meaningful with --socket; the stdin daemon is one session)".to_string(),
         )));
     }
+    let snapshot_every = args.get_positive_num::<u64>("snapshot-every")?;
+    if snapshot_every.is_some() && args.get("cache-path").is_none() {
+        return Err(CliError::Usage(UsageError::UnknownOption(
+            "snapshot-every (only meaningful with --cache-path)".to_string(),
+        )));
+    }
+    let persist = match args.get("cache-path") {
+        None => None,
+        Some(dir) => {
+            if cache_disabled {
+                // Persisting a cache that was explicitly disabled is a
+                // contradiction, not a degenerate configuration: fail
+                // loudly (exit 2) instead of writing an empty journal.
+                return Err(CliError::Usage(UsageError::UnknownOption(
+                    "cache-path (contradicts --cache-entries 0 / --cache-mb 0: there is \
+                     no cache to persist)"
+                        .to_string(),
+                )));
+            }
+            let mut pcfg = PersistConfig::new(dir.into());
+            if let Some(every) = snapshot_every {
+                pcfg.snapshot_every = every;
+            }
+            Some(pcfg)
+        }
+    };
     let cfg = ServerConfig {
         jobs,
         cache_entries,
@@ -794,13 +898,36 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         max_inflight,
         ..ServerConfig::default()
     };
+    if cache_disabled {
+        eprintln!("serve: result cache disabled (every request compiles)");
+    }
+
+    let shared = match &persist {
+        None => SharedState::new(&cfg),
+        Some(pcfg) => {
+            let (shared, report) =
+                SharedState::with_persistence(&cfg, pcfg).map_err(CliError::Serve)?;
+            eprintln!(
+                "serve: cache-path {}: {}",
+                pcfg.dir.display(),
+                report.summary()
+            );
+            for refused in &report.refused {
+                eprintln!("serve: warning: refused {refused}");
+            }
+            for warning in &report.warnings {
+                eprintln!("serve: warning: {warning}");
+            }
+            shared
+        }
+    };
 
     match args.get("socket") {
         None => {
             // `StdinLock` is not `Send` (the reader runs on its own
             // thread), so buffer the handle instead of locking it. The
             // graceful shutdown path here is EOF on stdin.
-            let mut server = Server::new(cfg);
+            let mut server = Server::with_shared(cfg, std::sync::Arc::clone(&shared));
             let stdin = std::io::BufReader::new(std::io::stdin());
             let stdout = std::io::stdout().lock();
             server
@@ -809,11 +936,28 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             eprintln!("{}", server.summary());
         }
         Some(path) => {
-            let stats = serve_socket(cfg, path, sessions.unwrap_or(4))?;
+            let stats = serve_socket(cfg, path, sessions.unwrap_or(4), &shared)?;
             eprintln!("{stats}");
         }
     }
+    finish_persistence(&shared);
     Ok(())
+}
+
+/// Compacts the persisted cache one last time on the way out (both the
+/// EOF and the drained-SIGTERM exit paths go through here). A failure is
+/// a warning, not an exit code: the journal already holds everything the
+/// snapshot would, so the next start recovers regardless.
+fn finish_persistence(shared: &cvliw::serve::SharedState) {
+    if let Some(reason) = shared.persist_dead_reason() {
+        eprintln!("serve: warning: persistence stopped mid-run: {reason}");
+        return;
+    }
+    match shared.snapshot_now() {
+        None => {}
+        Some(Ok(n)) => eprintln!("serve: final snapshot: {n} entries"),
+        Some(Err(e)) => eprintln!("serve: warning: final snapshot failed: {e}"),
+    }
 }
 
 /// The Unix-socket daemon: concurrent sessions over one shared cache,
@@ -823,8 +967,9 @@ fn serve_socket(
     cfg: cvliw::serve::ServerConfig,
     path: &str,
     sessions: usize,
+    shared: &std::sync::Arc<cvliw::serve::SharedState>,
 ) -> Result<cvliw::serve::ServeStats, CliError> {
-    use cvliw::serve::{run_socket, ShutdownFlag, SocketConfig};
+    use cvliw::serve::{run_socket_with, ShutdownFlag, SocketConfig};
 
     let shutdown = ShutdownFlag::new();
     crate::signals::install_shutdown_handler(&shutdown);
@@ -837,7 +982,7 @@ fn serve_socket(
         path: path.into(),
         sessions,
     };
-    run_socket(cfg, &sock, &shutdown).map_err(CliError::Serve)
+    run_socket_with(cfg, &sock, &shutdown, std::sync::Arc::clone(shared)).map_err(CliError::Serve)
 }
 
 #[cfg(not(unix))]
@@ -845,8 +990,166 @@ fn serve_socket(
     _cfg: cvliw::serve::ServerConfig,
     _path: &str,
     _sessions: usize,
+    _shared: &std::sync::Arc<cvliw::serve::SharedState>,
 ) -> Result<cvliw::serve::ServeStats, CliError> {
     Err(CliError::Usage(UsageError::UnknownOption(
         "socket (Unix sockets are unavailable on this platform; use stdin)".to_string(),
     )))
+}
+
+/// `cvliw client`: the resilient side of the socket protocol. Compiles a
+/// `.loop` file, pumps stdin JSONL, or fetches `--stats` — reconnecting
+/// with exponential backoff and honoring `retry_after_ms` shed hints.
+#[cfg(unix)]
+fn cmd_client(args: &Args) -> Result<(), CliError> {
+    use cvliw::serve::Client;
+
+    for not_client in [
+        "max-loops",
+        "iterations",
+        "seed",
+        "format",
+        "out",
+        "runs",
+        "warmup",
+        "budget-ms",
+        "jobs",
+        "cache-entries",
+        "cache-mb",
+        "cache-path",
+        "snapshot-every",
+        "deadline-ms",
+        "sessions",
+        "max-inflight",
+    ] {
+        if args.get(not_client).is_some() {
+            return Err(CliError::Usage(UsageError::UnknownOption(format!(
+                "{not_client} (not a `cvliw client` option)"
+            ))));
+        }
+    }
+    for not_client in ["serve", "restart"] {
+        if args.flag(not_client) {
+            return Err(CliError::Usage(UsageError::UnknownOption(format!(
+                "{not_client} (only `cvliw bench` accepts it)"
+            ))));
+        }
+    }
+    let socket = args.require("socket")?;
+    let mut client = Client::new(std::path::Path::new(socket));
+
+    if args.flag("stats") {
+        if !args.positional.is_empty() {
+            return Err(CliError::Usage(UsageError::Positional(
+                "no input file with --stats",
+            )));
+        }
+        let response = client.stats(0).map_err(CliError::Serve)?;
+        println!("{response}");
+        return Ok(());
+    }
+
+    if args.positional.is_empty() {
+        // Raw mode: each stdin line is already a protocol request; the
+        // client adds only the reconnect/backoff resilience.
+        use std::io::BufRead;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(CliError::Serve)?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = client.request(&line).map_err(CliError::Serve)?;
+            println!("{response}");
+        }
+    } else {
+        let machine = args.require("machine")?;
+        // Validate locally before shipping requests: a typo should be a
+        // usage error here, not a per-request `spec` error from the daemon.
+        parse_machine(machine)?;
+        let mode = parse_mode(args);
+        let mode_name = mode?.name();
+        let seeds = args.get_positive_num::<u32>("refine-seeds")?.unwrap_or(1);
+        for (id, l) in read_loops(args)?.iter().enumerate() {
+            let source = print_loop(&l.name, &l.ddg);
+            let response = client
+                .compile(id as u64 + 1, &source, machine, mode_name, seeds)
+                .map_err(CliError::Serve)?;
+            println!("{response}");
+        }
+    }
+    if client.reconnects() > 0 || client.sheds_honored() > 0 {
+        eprintln!(
+            "client: {} reconnect{}, {} shed hint{} honored",
+            client.reconnects(),
+            if client.reconnects() == 1 { "" } else { "s" },
+            client.sheds_honored(),
+            if client.sheds_honored() == 1 { "" } else { "s" },
+        );
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_client(_args: &Args) -> Result<(), CliError> {
+    Err(CliError::Usage(UsageError::UnknownOption(
+        "socket (Unix sockets are unavailable on this platform)".to_string(),
+    )))
+}
+
+/// `cvliw cache verify <dir>`: a pure read-only audit of a persisted
+/// cache directory. Prints one line per file plus one line per damaged
+/// record (with its byte offset), and exits nonzero on any damage.
+fn cmd_cache(args: &Args) -> Result<(), CliError> {
+    use cvliw::serve::verify_dir;
+
+    let dir = match args.positional.as_slice() {
+        [verb, dir] if verb == "verify" => dir,
+        _ => {
+            return Err(CliError::Usage(UsageError::Positional(
+                "`verify <dir>` (the only `cvliw cache` action)",
+            )))
+        }
+    };
+    let report = verify_dir(std::path::Path::new(dir)).map_err(CliError::Serve)?;
+    for file in &report.files {
+        if !file.present {
+            println!("{}: absent (clean cold start)", file.name);
+            continue;
+        }
+        if let Some(why) = &file.refused {
+            println!("{}: REFUSED: {why}", file.name);
+            continue;
+        }
+        let verdict = if file.issues.is_empty() {
+            "ok"
+        } else {
+            "DAMAGED"
+        };
+        println!(
+            "{}: {verdict}: {} verified record{}",
+            file.name,
+            file.records,
+            if file.records == 1 { "" } else { "s" }
+        );
+        for issue in &file.issues {
+            println!(
+                "{}: record #{} at byte {}: {}",
+                file.name, issue.record, issue.offset, issue.detail
+            );
+        }
+    }
+    if report.clean() {
+        println!(
+            "clean: {} record{} verified",
+            report.records(),
+            if report.records() == 1 { "" } else { "s" }
+        );
+        Ok(())
+    } else {
+        Err(CliError::CacheCorrupt {
+            dir: dir.to_string(),
+            issues: report.issue_count(),
+        })
+    }
 }

@@ -10,6 +10,13 @@
 //! path is EOF: glibc's `signal()` gives `SA_RESTART` semantics, so a
 //! handler would not interrupt a blocking stdin read anyway, and ctrl-d
 //! already drains cleanly.
+//!
+//! When the daemon persists its cache (`--cache-path`), both graceful
+//! exits funnel through the same post-drain epilogue in `cmd_serve`: a
+//! final compacted snapshot is written (tmp + fsync + atomic rename)
+//! after the accept loop returns, so a SIGTERM'd daemon restarts warm
+//! without replaying a long journal. A SIGKILL skips the epilogue by
+//! definition — that is what the journal is for.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;

@@ -341,8 +341,6 @@ fn zero_and_overflow_counts_are_usage_errors() {
         &["suite", "--max-loops", "0"],
         &["suite", "--refine-seeds", "0"],
         &["serve", "--jobs", "0"],
-        &["serve", "--cache-entries", "0"],
-        &["serve", "--cache-mb", "0"],
         &["bench", "--runs", "0"],
     ] {
         let out = cvliw(args);
@@ -518,4 +516,201 @@ fn parse_errors_carry_positions() {
     let err = stderr(&out);
     assert!(err.contains("2:5"), "position missing: {err}");
     assert!(err.contains("frobnicate"), "{err}");
+}
+
+/// Spawns the stdin daemon with `args`, pipes `input`, returns output.
+fn serve_piped(args: &[&str], input: &str) -> Output {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cvliw"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    child.wait_with_output().unwrap()
+}
+
+const COMPILE_REQ: &str = concat!(
+    r#"{"id": 1, "loop": "loop t {\n  i: iadd i@1\n  x: load i\n  y: fmul x\n  s: store y\n}", "machine": "4c1b2l64r", "mode": "replicate"}"#,
+    "\n",
+);
+
+#[test]
+fn serve_cache_zero_is_disabled_mode_not_an_error() {
+    // `--cache-entries 0` / `--cache-mb 0` now mean "run without a
+    // result cache" — an explicit measurement/debugging mode. The
+    // exchange is interactive (one request per batch) so the repeat
+    // cannot be coalesced away: it must be a genuine second miss.
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::process::Stdio;
+
+    for knob in ["--cache-entries", "--cache-mb"] {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cvliw"))
+            .args(["serve", "--jobs", "1", knob, "0"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("daemon starts");
+        let mut stdin = child.stdin.take().unwrap();
+        let mut reader = BufReader::new(child.stdout.take().unwrap());
+        let mut exchange = |req: &str| -> String {
+            stdin.write_all(req.as_bytes()).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        };
+        assert!(exchange(COMPILE_REQ).contains("\"ok\""), "{knob}");
+        assert!(exchange(COMPILE_REQ).contains("\"ok\""), "{knob}");
+        let stats = exchange("{\"id\": 3, \"op\": \"stats\"}\n");
+        drop(stdin);
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "{knob}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("result cache disabled"),
+            "{knob}: {}",
+            stderr(&out)
+        );
+        // The repeat is *not* a hit, and nothing was stored: there is
+        // no cache to hit.
+        assert!(stats.contains("\"hits\":0"), "{knob}: {stats}");
+        assert!(stats.contains("\"misses\":2"), "{knob}: {stats}");
+        assert!(stats.contains("\"cache_entries\":0"), "{knob}: {stats}");
+    }
+}
+
+#[test]
+fn cache_path_with_a_disabled_cache_is_a_usage_error() {
+    let dir = std::env::temp_dir().join(format!("cvliw-cli-conflict-{}", std::process::id()));
+    let out = cvliw(&[
+        "serve",
+        "--cache-entries",
+        "0",
+        "--cache-path",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("contradicts"), "{}", stderr(&out));
+    assert!(!dir.exists(), "a refused configuration must create nothing");
+
+    // --snapshot-every is meaningless without --cache-path.
+    let out = cvliw(&["serve", "--snapshot-every", "16"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("only meaningful with --cache-path"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn serve_persists_across_restarts_and_cache_verify_audits_the_directory() {
+    let dir = std::env::temp_dir().join(format!("cvliw-cli-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+
+    // Life 1: one compile, then EOF (which books a final snapshot).
+    let out = serve_piped(
+        &["serve", "--jobs", "1", "--cache-path", dir_s],
+        COMPILE_REQ,
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("final snapshot: 1 entries"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Life 2: the same request is a cache hit served from disk.
+    let req = format!("{COMPILE_REQ}{{\"id\": 2, \"op\": \"stats\"}}\n");
+    let out = serve_piped(&["serve", "--jobs", "1", "--cache-path", dir_s], &req);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("1 entries restored"),
+        "{}",
+        stderr(&out)
+    );
+    let lines: Vec<String> = stdout(&out).lines().map(String::from).collect();
+    assert!(
+        lines[0].starts_with("{\"id\":1,\"ok\":{\"mii\":"),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[1].contains("\"hits\":1"), "{}", lines[1]);
+
+    // A clean directory verifies with exit 0.
+    let out = cvliw(&["cache", "verify", dir_s]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("clean"), "{}", stdout(&out));
+
+    // Flip one payload byte: verify must fail with a located diagnostic.
+    let snap = dir.join("snapshot.bin");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let at = bytes.len() - 4;
+    bytes[at] ^= 0x01;
+    std::fs::write(&snap, &bytes).unwrap();
+    let out = cvliw(&["cache", "verify", dir_s]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stdout(&out).contains("at byte"), "{}", stdout(&out));
+    assert!(
+        stderr(&out).contains("failed verification"),
+        "{}",
+        stderr(&out)
+    );
+
+    // The daemon recovers anyway: corrupt snapshot frames are
+    // quarantined and the journal (or a recompile) fills the gap.
+    let out = serve_piped(
+        &["serve", "--jobs", "1", "--cache-path", dir_s],
+        COMPILE_REQ,
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("quarantined"), "{}", stderr(&out));
+    assert!(
+        stdout(&out).starts_with("{\"id\":1,\"ok\":{\"mii\":"),
+        "{}",
+        stdout(&out)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_and_client_usage_errors() {
+    // `cache` knows exactly one action.
+    let out = cvliw(&["cache", "audit", "/nonexistent"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("verify <dir>"), "{}", stderr(&out));
+
+    // `client` needs a socket to talk to.
+    let out = cvliw(&["client"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("missing required option --socket"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Bench/suite knobs stay rejected on `client`.
+    let out = cvliw(&["client", "--socket", "/tmp/x.sock", "--runs", "3"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("not a `cvliw client` option"),
+        "{}",
+        stderr(&out)
+    );
+
+    // An absent directory is a clean cold start, not an error.
+    let out = cvliw(&["cache", "verify", "/nonexistent-cvliw-cache"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("absent"), "{}", stdout(&out));
 }
