@@ -60,33 +60,32 @@ fn run_custom(
 ) -> cvliw_replicate::ReplicationOutcome {
     use cvliw_replicate::ReplicationOutcome;
     while engine.extra_coms() > 0 {
-        let plans = engine.plans();
-        let weights = engine.weights();
-        let mut candidates: Vec<_> = plans.values().collect();
+        let weights = engine.weights().to_vec();
+        let mut candidates: Vec<_> = engine
+            .plans()
+            .iter()
+            .zip(weights)
+            .map(|(p, w)| (w, p.to_plan()))
+            .collect();
         match policy {
-            Policy::Fewest => candidates.sort_by_key(|p| (p.added_instances(), p.com)),
-            Policy::First => candidates.sort_by_key(|p| p.com),
-            Policy::Heaviest => candidates.sort_by(|a, b| {
-                weights[&b.com]
-                    .partial_cmp(&weights[&a.com])
-                    .expect("finite weights")
-            }),
+            Policy::Fewest => candidates.sort_by_key(|(_, p)| (p.added_instances(), p.com)),
+            Policy::First => candidates.sort_by_key(|(_, p)| p.com),
+            Policy::Heaviest => {
+                candidates.sort_by(|(wa, _), (wb, _)| wb.partial_cmp(wa).expect("finite weights"));
+            }
             Policy::Weight => unreachable!("handled by engine.run()"),
         }
         // Take the first candidate that fits the machine; mirror the
         // engine's feasibility rule by attempting the commit only when the
         // subgraph fits (the engine would refuse otherwise).
-        let chosen = candidates
-            .into_iter()
-            .find(|p| {
-                p.fits(
-                    engine.ddg(),
-                    engine.machine(),
-                    engine.ii(),
-                    engine.assignment(),
-                )
-            })
-            .cloned();
+        let chosen = candidates.into_iter().map(|(_, p)| p).find(|p| {
+            p.fits(
+                engine.ddg(),
+                engine.machine(),
+                engine.ii(),
+                engine.assignment(),
+            )
+        });
         match chosen {
             Some(plan) => engine.commit(&plan),
             None => {

@@ -431,6 +431,22 @@ pub struct CompileScratch {
     stage_nanos: [u64; 4],
 }
 
+impl CompileScratch {
+    /// Readies a recycled scratch for a *different* loop: invalidates the
+    /// graph-bound [`RefineCache`] (two graphs can share a node count, so
+    /// its shape check alone cannot catch the swap), zeroes the stage
+    /// clocks, and replaces the [`CancelToken`] so a deadline armed
+    /// against the previous loop's context cannot leak into this one.
+    /// Everything else is either graph-agnostic ([`RefineScratch`], the
+    /// scheduler buffers) or fingerprint-guarded (the engine's anchors)
+    /// and keeps its allocations — which is the whole point.
+    fn reset_for_new_loop(&mut self) {
+        self.refine_cache.invalidate();
+        self.stage_nanos = [0; 4];
+        self.cancel = CancelToken::new();
+    }
+}
+
 /// One memoized step of the refinement chain: the partition refined at
 /// `ii = mii + k`, its communication count, and whether refinement changed
 /// it relative to the previous step (the driver's II-skip disarm signal).
@@ -488,9 +504,25 @@ impl CompileContext {
     /// computed on first use.
     #[must_use]
     pub fn new(ddg: &Ddg, machine: &MachineConfig) -> Self {
+        Self::new_with_scratch(ddg, machine, CompileScratch::default())
+    }
+
+    /// [`CompileContext::new`] on a recycled [`CompileScratch`] — the
+    /// warmed-up buffers of a previous loop's context (recovered with
+    /// [`CompileContext::into_scratch`]) carry over; everything bound to
+    /// the previous graph is invalidated first. A suite worker compiling
+    /// hundreds of loops in sequence allocates its big workspaces once
+    /// instead of once per loop; results are identical either way, which
+    /// `scratch_reuse_equals_fresh_state_compilation` pins.
+    #[must_use]
+    pub fn new_with_scratch(
+        ddg: &Ddg,
+        machine: &MachineConfig,
+        mut scratch: CompileScratch,
+    ) -> Self {
         let started = Instant::now();
+        scratch.reset_for_new_loop();
         let analysis = LoopAnalysis::new(ddg, machine);
-        let mut scratch = CompileScratch::default();
         scratch.stage_nanos[Stage::Analysis as usize] = elapsed_nanos(started);
         scratch.engine.prepare(ddg, &analysis);
         CompileContext {
@@ -501,6 +533,15 @@ impl CompileContext {
             refine_seeds: 1,
             scratch: RefCell::new(scratch),
         }
+    }
+
+    /// Consumes the context and returns its scratch for recycling into the
+    /// next loop's [`CompileContext::new_with_scratch`]. Read
+    /// [`CompileContext::stage_nanos`] first — the clocks travel with the
+    /// scratch and are zeroed at the next hand-over.
+    #[must_use]
+    pub fn into_scratch(self) -> CompileScratch {
+        self.scratch.into_inner()
     }
 
     /// Enables best-of-N seed racing for the MII seed partition: `seeds`

@@ -1,21 +1,20 @@
 //! The replication selection loop (§3.3–§3.4): greedily replicate the
 //! lightest subgraph until the bus is no longer oversubscribed.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use cvliw_ddg::{Ddg, NodeId};
 use cvliw_machine::MachineConfig;
 use cvliw_sched::{Assignment, ClusterSet, LoopAnalysis};
 
-use crate::liveness::{dead_instances_into, on_cycle_into, ViewRef};
+use crate::liveness::{always_anchor_into, dead_instances_dense, on_cycle_into, DenseViewRef};
 use crate::plan::{
-    plan_fits_with_usage, plan_weight, plan_weight_with_usage, replication_plan,
-    replication_plan_scratch, share_counts, share_counts_of, PlanScratch, ReplicationPlan,
+    plan_fits_dense, plan_weight_dense, share_counts_dense, PlanArena, PlanRef, ReplicationPlan,
 };
 
-/// The replication engine's persistent workspace: the recurrence-membership
-/// slice the liveness queries anchor on, the per-iteration plan list, the
-/// usage/extra/freed censuses and the plan-construction buffers. One
+/// The replication engine's persistent workspace: the recurrence and
+/// always-anchor slices the liveness queries run on, the dense
+/// [`PlanArena`], the usage/extra/freed censuses and the share table. One
 /// scratch serves every engine run of a compilation (every II of every
 /// replicating mode); [`ReplicationEngine::run_scratch`] resets what each
 /// run needs and produces bit-identical outcomes to
@@ -23,16 +22,18 @@ use crate::plan::{
 #[derive(Clone, Debug, Default)]
 pub struct EngineScratch {
     on_cycle: Vec<bool>,
-    /// Fingerprint of the loop `on_cycle` was computed for (see
-    /// [`fingerprint`]), so a scratch accidentally reused across loops
-    /// recomputes instead of anchoring liveness on a stale recurrence set.
+    always_anchor: Vec<bool>,
+    /// Fingerprint of the loop `on_cycle`/`always_anchor` were computed
+    /// for (see [`fingerprint`]), so a scratch accidentally reused across
+    /// loops recomputes instead of anchoring liveness on a stale
+    /// recurrence set.
     on_cycle_for: Option<u64>,
-    plans: Vec<ReplicationPlan>,
+    arena: PlanArena,
+    share: Vec<u32>,
     usage: Vec<[u32; 3]>,
     extra: Vec<[u32; 3]>,
     freed: Vec<[u32; 3]>,
-    plan: PlanScratch,
-    com_source: Vec<u8>,
+    com_src: Vec<u8>,
     live: Vec<ClusterSet>,
     worklist: Vec<(NodeId, u8)>,
     dead: Vec<(NodeId, u8)>,
@@ -40,12 +41,12 @@ pub struct EngineScratch {
 }
 
 impl EngineScratch {
-    /// Seeds the recurrence-membership slice for `ddg` from its cached
-    /// [`LoopAnalysis`] instead of recomputing the SCC decomposition on
-    /// first use. `analysis` must have been built for `ddg`; the engine
-    /// re-checks the loop fingerprint on every run, so a scratch handed a
-    /// *different* loop falls back to recomputing instead of anchoring
-    /// liveness on stale recurrences.
+    /// Seeds the recurrence-membership and always-anchor slices for `ddg`
+    /// from its cached [`LoopAnalysis`] instead of recomputing the SCC
+    /// decomposition on first use. `analysis` must have been built for
+    /// `ddg`; the engine re-checks the loop fingerprint on every run, so a
+    /// scratch handed a *different* loop falls back to recomputing instead
+    /// of anchoring liveness on stale recurrences.
     pub fn prepare(&mut self, ddg: &Ddg, analysis: &LoopAnalysis) {
         debug_assert_eq!(ddg.node_count(), analysis.scc_of().len());
         self.on_cycle.clear();
@@ -55,12 +56,14 @@ impl EngineScratch {
                 .iter()
                 .map(|&c| analysis.scc_recurrent()[c]),
         );
+        always_anchor_into(ddg, &self.on_cycle, &mut self.always_anchor);
         self.on_cycle_for = Some(fingerprint(ddg));
     }
 
     fn ensure_on_cycle(&mut self, ddg: &Ddg) {
         if self.on_cycle_for != Some(fingerprint(ddg)) {
             on_cycle_into(ddg, &mut self.on_cycle);
+            always_anchor_into(ddg, &self.on_cycle, &mut self.always_anchor);
             self.on_cycle_for = Some(fingerprint(ddg));
         }
     }
@@ -161,6 +164,18 @@ pub struct ReplicationEngine<'a> {
     assignment: Assignment,
     coms: BTreeSet<NodeId>,
     stats: ReplicationStats,
+    /// Lazily (re)built [`PlanArena`] behind [`ReplicationEngine::plans`],
+    /// invalidated by every commit.
+    cache: PlanArena,
+    cache_valid: bool,
+    /// Weights aligned with `cache`'s plan order.
+    cached_weights: Vec<f64>,
+    weights_valid: bool,
+    /// Whether the assignment is known to hold no dead instance — true
+    /// after a commit whose removals left the communication set unchanged
+    /// (the liveness anchors are then exactly the ones the commit's dead
+    /// pass already settled). Gates the arena's region-only fast path.
+    settled: bool,
 }
 
 impl<'a> ReplicationEngine<'a> {
@@ -180,6 +195,11 @@ impl<'a> ReplicationEngine<'a> {
             assignment,
             coms,
             stats,
+            cache: PlanArena::default(),
+            cache_valid: false,
+            cached_weights: Vec::new(),
+            weights_valid: false,
+            settled: false,
         }
     }
 
@@ -190,41 +210,81 @@ impl<'a> ReplicationEngine<'a> {
         (self.coms.len() as u32).saturating_sub(self.machine.coms_capacity_per_ii(self.ii))
     }
 
-    /// The current plans of every remaining communication, keyed by value.
-    #[must_use]
-    pub fn plans(&self) -> BTreeMap<NodeId, ReplicationPlan> {
-        self.coms
-            .iter()
-            .map(|&v| {
-                (
-                    v,
-                    replication_plan(self.ddg, &self.assignment, &self.coms, v),
-                )
-            })
-            .collect()
+    fn refresh_plans(&mut self) {
+        if self.cache_valid {
+            return;
+        }
+        let mut on_cycle = Vec::new();
+        on_cycle_into(self.ddg, &mut on_cycle);
+        let mut anchor = Vec::new();
+        always_anchor_into(self.ddg, &on_cycle, &mut anchor);
+        let coms: Vec<NodeId> = self.coms.iter().copied().collect();
+        let clean = self
+            .cache
+            .build(self.ddg, &self.assignment, &coms, &anchor, self.settled);
+        self.settled = clean;
+        self.cache_valid = true;
+        self.weights_valid = false;
     }
 
-    /// The §3.3 weight of each current plan.
-    #[must_use]
-    pub fn weights(&self) -> BTreeMap<NodeId, f64> {
-        let plans = self.plans();
-        let shares = share_counts(&plans);
-        plans
-            .iter()
-            .map(|(&v, p)| {
-                (
-                    v,
-                    plan_weight(
-                        self.ddg,
-                        self.machine,
-                        self.ii,
-                        &self.assignment,
-                        &shares,
-                        p,
-                    ),
-                )
-            })
-            .collect()
+    fn refresh_weights(&mut self) {
+        self.refresh_plans();
+        if self.weights_valid {
+            return;
+        }
+        let mut share = Vec::new();
+        share_counts_dense(
+            &self.cache,
+            self.ddg.node_count(),
+            self.machine.clusters(),
+            &mut share,
+        );
+        let mut usage = Vec::new();
+        self.assignment
+            .class_usage_into(self.ddg, self.machine.clusters(), &mut usage);
+        let mut extra = Vec::new();
+        self.cached_weights.clear();
+        for i in 0..self.cache.len() {
+            self.cached_weights.push(plan_weight_dense(
+                self.ddg,
+                self.machine,
+                self.ii,
+                &usage,
+                &mut extra,
+                &share,
+                self.cache.get(i),
+            ));
+        }
+        self.weights_valid = true;
+    }
+
+    /// The current plans of every remaining communication, in ascending
+    /// value order — a borrowed view into the engine's [`PlanArena`],
+    /// rebuilt lazily after commits instead of allocating maps per call.
+    pub fn plans(&mut self) -> &PlanArena {
+        self.refresh_plans();
+        &self.cache
+    }
+
+    /// The current plan removing the communication of `com`, if any.
+    pub fn plan_of(&mut self, com: NodeId) -> Option<PlanRef<'_>> {
+        self.refresh_plans();
+        self.cache.by_com(com)
+    }
+
+    /// The §3.3 weights of the current plans, aligned with the plan order
+    /// of [`ReplicationEngine::plans`].
+    pub fn weights(&mut self) -> &[f64] {
+        self.refresh_weights();
+        &self.cached_weights
+    }
+
+    /// The §3.3 weight of `com`'s current plan, if `com` is communicated.
+    pub fn weight_of(&mut self, com: NodeId) -> Option<f64> {
+        self.refresh_weights();
+        self.cache
+            .by_com(com)
+            .map(|p| self.cached_weights[p.index()])
     }
 
     /// Runs the greedy loop: while communications exceed bus bandwidth,
@@ -236,53 +296,50 @@ impl<'a> ReplicationEngine<'a> {
     }
 
     /// [`ReplicationEngine::run`] on a persistent [`EngineScratch`]: the
-    /// plan list, the SCC anchors and every census and worklist are reused
-    /// across engine runs. Bit-identical outcomes, assignments and
-    /// statistics — plans are built in the same ascending-value order the
-    /// unscratched path iterates, and every weight is the same arithmetic.
+    /// plan arena, the liveness anchors and every census and worklist are
+    /// reused across engine runs. Bit-identical outcomes, assignments and
+    /// statistics — the arena builds plans in the same ascending-value
+    /// order the map oracle iterates, and every weight is the same
+    /// arithmetic in the same order.
     pub fn run_scratch(&mut self, scratch: &mut EngineScratch) -> ReplicationOutcome {
         scratch.ensure_on_cycle(self.ddg);
         while self.extra_coms() > 0 {
-            scratch.plans.clear();
-            for &v in &self.coms {
-                let targets = self.assignment.missing_consumer_clusters(self.ddg, v);
-                scratch.plans.push(replication_plan_scratch(
-                    self.ddg,
-                    &self.assignment,
-                    &self.coms,
-                    v,
-                    targets,
-                    &scratch.on_cycle,
-                    &mut scratch.plan,
-                ));
-            }
-            let shares = share_counts_of(&scratch.plans);
+            let EngineScratch {
+                always_anchor,
+                arena,
+                share,
+                usage,
+                extra,
+                freed,
+                com_src,
+                live,
+                worklist,
+                dead,
+                coms_buf,
+                ..
+            } = scratch;
+            coms_buf.clear();
+            coms_buf.extend(self.coms.iter().copied());
+            let clean = arena.build(
+                self.ddg,
+                &self.assignment,
+                coms_buf,
+                always_anchor,
+                self.settled,
+            );
+            self.settled = clean;
+            share_counts_dense(arena, self.ddg.node_count(), self.machine.clusters(), share);
             self.assignment
-                .class_usage_into(self.ddg, self.machine.clusters(), &mut scratch.usage);
+                .class_usage_into(self.ddg, self.machine.clusters(), usage);
             let mut best: Option<(f64, u32, NodeId)> = None;
             let mut best_idx = usize::MAX;
-            for (i, plan) in scratch.plans.iter().enumerate() {
-                if !plan_fits_with_usage(
-                    self.ddg,
-                    self.machine,
-                    self.ii,
-                    &scratch.usage,
-                    &mut scratch.extra,
-                    &mut scratch.freed,
-                    plan,
-                ) {
+            for (i, plan) in arena.iter().enumerate() {
+                if !plan_fits_dense(self.ddg, self.machine, self.ii, usage, extra, freed, plan) {
                     continue;
                 }
-                let w = plan_weight_with_usage(
-                    self.ddg,
-                    self.machine,
-                    self.ii,
-                    &scratch.usage,
-                    &mut scratch.extra,
-                    &shares,
-                    plan,
-                );
-                let key = (w, plan.added_instances(), plan.com);
+                let w =
+                    plan_weight_dense(self.ddg, self.machine, self.ii, usage, extra, share, plan);
+                let key = (w, plan.added_instances(), plan.com());
                 // Ties break on fewer added instances, then node id.
                 if best.as_ref().is_none_or(|b| key < *b) {
                     best = Some(key);
@@ -294,18 +351,17 @@ impl<'a> ReplicationEngine<'a> {
                     remaining_extra: self.extra_coms(),
                 };
             }
-            let EngineScratch {
-                plans,
-                on_cycle,
-                com_source,
+            let plan = arena.get(best_idx);
+            self.commit_dense(
+                plan.com(),
+                plan.adds(),
+                always_anchor,
+                com_src,
                 live,
                 worklist,
                 dead,
                 coms_buf,
-                ..
-            } = scratch;
-            let plan = &plans[best_idx];
-            self.commit_scratch(plan, on_cycle, com_source, live, worklist, dead, coms_buf);
+            );
         }
         ReplicationOutcome::Fits
     }
@@ -315,9 +371,13 @@ impl<'a> ReplicationEngine<'a> {
     pub fn commit(&mut self, plan: &ReplicationPlan) {
         let mut on_cycle = Vec::new();
         on_cycle_into(self.ddg, &mut on_cycle);
-        self.commit_scratch(
-            plan,
-            &on_cycle,
+        let mut always_anchor = Vec::new();
+        always_anchor_into(self.ddg, &on_cycle, &mut always_anchor);
+        let adds: Vec<(NodeId, ClusterSet)> = plan.adds.iter().map(|(&n, &set)| (n, set)).collect();
+        self.commit_dense(
+            plan.com,
+            &adds,
+            &always_anchor,
             &mut Vec::new(),
             &mut Vec::new(),
             &mut Vec::new(),
@@ -326,19 +386,21 @@ impl<'a> ReplicationEngine<'a> {
         );
     }
 
-    /// [`ReplicationEngine::commit`] over caller-owned buffers.
+    /// [`ReplicationEngine::commit`] over caller-owned buffers and a
+    /// dense adds slice (ascending by node, matching map iteration).
     #[allow(clippy::too_many_arguments)]
-    fn commit_scratch(
+    fn commit_dense(
         &mut self,
-        plan: &ReplicationPlan,
-        on_cycle: &[bool],
-        com_source: &mut Vec<u8>,
+        com: NodeId,
+        adds: &[(NodeId, ClusterSet)],
+        always_anchor: &[bool],
+        com_src: &mut Vec<u8>,
         live: &mut Vec<ClusterSet>,
         worklist: &mut Vec<(NodeId, u8)>,
         dead: &mut Vec<(NodeId, u8)>,
         coms_buf: &mut Vec<NodeId>,
     ) {
-        for (&n, &set) in &plan.adds {
+        for &(n, set) in adds {
             for c in set.iter() {
                 debug_assert!(!self.assignment.instances(n).contains(c));
                 self.assignment.add_instance(n, c);
@@ -352,19 +414,19 @@ impl<'a> ReplicationEngine<'a> {
         self.assignment.communicated_into(self.ddg, coms_buf);
         self.coms.clear();
         self.coms.extend(coms_buf.iter().copied());
-        debug_assert!(!self.coms.contains(&plan.com));
+        debug_assert!(!self.coms.contains(&com));
 
         // Remove dead instances (§3.2).
-        com_source.clear();
-        com_source.extend(self.ddg.node_ids().map(|n| self.assignment.copy_source(n)));
-        dead_instances_into(
+        com_src.clear();
+        com_src.extend(coms_buf.iter().map(|&v| self.assignment.copy_source(v)));
+        dead_instances_dense(
             self.ddg,
-            ViewRef {
+            DenseViewRef {
                 instances: self.assignment.instance_sets(),
                 coms: coms_buf,
-                com_source,
+                com_src,
             },
-            on_cycle,
+            always_anchor,
             live,
             worklist,
             dead,
@@ -374,11 +436,19 @@ impl<'a> ReplicationEngine<'a> {
             self.stats.removed_instances += 1;
             self.stats.removed_by_class[self.ddg.kind(n).class().index()] += 1;
         }
-        // Removals can remove further communications; settle.
+        // Removals can alter the communication set further; settle. If it
+        // is unchanged, the liveness anchors still match the dead pass
+        // above, so the surviving instances are all provably live (dead
+        // removals never sat on a live instance's anchor chain) — the next
+        // plan build may take the region-only fast path.
         self.assignment.communicated_into(self.ddg, coms_buf);
+        self.settled = self.coms.len() == coms_buf.len()
+            && self.coms.iter().zip(coms_buf.iter()).all(|(a, b)| a == b);
         self.coms.clear();
         self.coms.extend(coms_buf.iter().copied());
         self.stats.final_coms = self.coms.len() as u32;
+        self.cache_valid = false;
+        self.weights_valid = false;
     }
 
     /// The values still communicated.
@@ -515,9 +585,10 @@ mod tests {
         let ddg = b.build().unwrap();
         let asg = Assignment::from_partition(&[0, 1, 0, 0, 0, 2]);
         let m = machine("4c1b2l64r");
-        let engine = ReplicationEngine::new(&ddg, &m, 4, asg);
-        let weights = engine.weights();
-        assert!(weights[&a] < weights[&z], "single-node subgraph is lighter");
+        let mut engine = ReplicationEngine::new(&ddg, &m, 4, asg);
+        let wa = engine.weight_of(a).unwrap();
+        let wz = engine.weight_of(z).unwrap();
+        assert!(wa < wz, "single-node subgraph is lighter");
     }
 
     #[test]
@@ -535,13 +606,13 @@ mod tests {
         let asg = Assignment::from_partition(&[0, 0, 1, 2]);
         let m = machine("4c1b2l64r");
         let mut engine = ReplicationEngine::new(&ddg, &m, 8, asg);
-        let before = engine.plans();
         // S_j excludes e while e is communicated.
-        assert_eq!(before[&j].subgraph(), vec![j]);
-        let plan_e = before[&e].clone();
+        let before_j: Vec<NodeId> = engine.plan_of(j).unwrap().subgraph().collect();
+        assert_eq!(before_j, vec![j]);
+        let plan_e = engine.plan_of(e).unwrap().to_plan();
         engine.commit(&plan_e);
-        let after = engine.plans();
         // e is no longer a communication: S_j must now pull it.
-        assert_eq!(after[&j].subgraph(), vec![e, j]);
+        let after_j: Vec<NodeId> = engine.plan_of(j).unwrap().subgraph().collect();
+        assert_eq!(after_j, vec![e, j]);
     }
 }

@@ -85,7 +85,8 @@ pub use fingerprint::{fnv1a_64, loop_fingerprint};
 pub use liveness::{dead_instances, live_instances, InstanceView};
 pub use macro_rep::macro_replicate;
 pub use plan::{
-    plan_weight, replication_plan, replication_plan_into, share_counts, ReplicationPlan,
+    plan_weight, replication_plan, replication_plan_into, share_counts, PlanArena, PlanRef,
+    ReplicationPlan,
 };
 pub use sched_len::{extend_for_length, extend_for_length_with};
 pub use value_clone::{is_cloneable_value, uncloneable_coms, value_clone};

@@ -205,15 +205,17 @@ mod tests {
     fn weights_match_figure_3() {
         let (ddg, asg, nd) = fig3_example();
         let machine = fig3_machine();
-        let engine = ReplicationEngine::new(&ddg, &machine, FIG3_II, asg);
-        let w = engine.weights();
-        assert_eq!(w[&nd.d], 49.0 / 16.0, "weight(S_D)");
-        assert_eq!(w[&nd.j], 40.0 / 16.0, "weight(S_J)");
+        let mut engine = ReplicationEngine::new(&ddg, &machine, FIG3_II, asg);
+        let w_d = engine.weight_of(nd.d).unwrap();
+        let w_j = engine.weight_of(nd.j).unwrap();
+        let w_e = engine.weight_of(nd.e).unwrap();
+        assert_eq!(w_d, 49.0 / 16.0, "weight(S_D)");
+        assert_eq!(w_j, 40.0 / 16.0, "weight(S_J)");
         // Paper prints 31/16 for S_E; its own Figure-6 removal credit rule
         // (1/(avail·II) per removed node) gives 35/16 − 2/16 = 33/16. Either
         // way S_E is the minimum.
-        assert_eq!(w[&nd.e], 33.0 / 16.0, "weight(S_E)");
-        assert!(w[&nd.e] < w[&nd.j] && w[&nd.j] < w[&nd.d]);
+        assert_eq!(w_e, 33.0 / 16.0, "weight(S_E)");
+        assert!(w_e < w_j && w_j < w_d);
     }
 
     #[test]
@@ -245,13 +247,12 @@ mod tests {
         let (ddg, asg, nd) = fig3_example();
         let machine = fig3_machine();
         let mut engine = ReplicationEngine::new(&ddg, &machine, FIG3_II, asg);
-        let plans = engine.plans();
-        engine.commit(&plans[&nd.e]);
+        let plan_e = engine.plan_of(nd.e).unwrap().to_plan();
+        engine.commit(&plan_e);
 
-        let after = engine.plans();
         // S_D loses A (already replicated) and must now go to clusters 2
         // and 4 (E's replicas are new children of D).
-        let s_d = &after[&nd.d];
+        let s_d = engine.plan_of(nd.d).unwrap().to_plan();
         assert_eq!(s_d.subgraph(), vec![nd.b, nd.c, nd.d]);
         assert_eq!(s_d.targets, set(&[1, 3]));
         let mut removable = s_d.removable.clone();
@@ -263,7 +264,7 @@ mod tests {
         );
 
         // S_J grows to {J,I,E,A} for cluster 1 but only {J,I} for cluster 4.
-        let s_j = &after[&nd.j];
+        let s_j = engine.plan_of(nd.j).unwrap().to_plan();
         assert_eq!(s_j.subgraph(), vec![nd.a, nd.e, nd.i, nd.j]);
         assert_eq!(s_j.adds[&nd.j], set(&[0, 3]));
         assert_eq!(s_j.adds[&nd.i], set(&[0, 3]));
@@ -272,9 +273,10 @@ mod tests {
         assert!(s_j.removable.is_empty());
 
         // Weights of Figure 6: 44/8 and 42/8.
-        let w = engine.weights();
-        assert_eq!(w[&nd.d], 44.0 / 8.0, "weight(S_D) after update");
-        assert_eq!(w[&nd.j], 42.0 / 8.0, "weight(S_J) after update");
+        let w_d = engine.weight_of(nd.d).unwrap();
+        let w_j = engine.weight_of(nd.j).unwrap();
+        assert_eq!(w_d, 44.0 / 8.0, "weight(S_D) after update");
+        assert_eq!(w_j, 42.0 / 8.0, "weight(S_J) after update");
     }
 
     #[test]

@@ -6,118 +6,508 @@ use cvliw_ddg::{Ddg, NodeId, OpClass};
 use cvliw_machine::MachineConfig;
 use cvliw_sched::{Assignment, ClusterSet};
 
-use crate::liveness::{dead_instances, dead_instances_into, InstanceView, ViewRef};
+use crate::liveness::{
+    dead_after_decommunicating, dead_instances, dead_instances_dense, DenseViewRef, InstanceView,
+    RegionScratch,
+};
 
-/// Reusable buffers for [`replication_plan_scratch`]: the upward-walk
-/// visit stamps and stack, the hypothetical assignment, its communicated
-/// list and copy sources, and the liveness worklists. One scratch serves
-/// every plan of every engine run of a compilation.
+/// One round's replication plans in dense, clear-and-reuse storage.
+///
+/// Each plan's `adds` (node → clusters to copy it into, ascending by node)
+/// and `removable` instances live as ranges of two shared `Vec`s instead
+/// of per-plan `BTreeMap`s; the subgraph walk, the hypothetical state and
+/// the liveness query all run on compact-id buffers the arena keeps warm
+/// across rounds, engine runs and (via `CompileScratch`) whole loops.
+///
+/// [`PlanArena::build`] produces exactly the plans [`replication_plan`]
+/// would, in ascending communicated-value order — the map-based functions
+/// stay as the differential oracle.
 #[derive(Clone, Debug)]
-pub(crate) struct PlanScratch {
+pub struct PlanArena {
+    metas: Vec<PlanMeta>,
+    adds: Vec<(NodeId, ClusterSet)>,
+    removable: Vec<(NodeId, u8)>,
+    // working buffers, reused round over round
     visited: Vec<u32>,
     epoch: u32,
     stack: Vec<NodeId>,
+    add_of: Vec<ClusterSet>,
+    touched: Vec<NodeId>,
+    is_com: Vec<bool>,
     hyp: Assignment,
     hyp_coms: Vec<NodeId>,
-    com_source: Vec<u8>,
+    hyp_src: Vec<u8>,
     live: Vec<ClusterSet>,
     worklist: Vec<(NodeId, u8)>,
     dead: Vec<(NodeId, u8)>,
+    region: RegionScratch,
 }
 
-impl Default for PlanScratch {
+#[derive(Clone, Copy, Debug)]
+struct PlanMeta {
+    com: NodeId,
+    targets: ClusterSet,
+    adds_start: u32,
+    adds_end: u32,
+    rem_start: u32,
+    rem_end: u32,
+}
+
+impl Default for PlanArena {
     fn default() -> Self {
-        PlanScratch {
+        PlanArena {
+            metas: Vec::new(),
+            adds: Vec::new(),
+            removable: Vec::new(),
             visited: Vec::new(),
             epoch: 0,
             stack: Vec::new(),
+            add_of: Vec::new(),
+            touched: Vec::new(),
+            is_com: Vec::new(),
             hyp: Assignment::from_partition(&[]),
             hyp_coms: Vec::new(),
-            com_source: Vec::new(),
+            hyp_src: Vec::new(),
             live: Vec::new(),
             worklist: Vec::new(),
             dead: Vec::new(),
+            region: RegionScratch::default(),
         }
     }
 }
 
-/// [`replication_plan_into`] on caller-owned buffers and a precomputed
-/// recurrence-membership slice (see `liveness::on_cycle_into`).
-/// Bit-identical plans; the SCC decomposition, the hypothetical assignment
-/// and every worklist are reused instead of being rebuilt per plan.
-pub(crate) fn replication_plan_scratch(
-    ddg: &Ddg,
-    assignment: &Assignment,
-    coms: &BTreeSet<NodeId>,
-    com: NodeId,
-    targets: ClusterSet,
-    on_cycle: &[bool],
-    s: &mut PlanScratch,
-) -> ReplicationPlan {
-    let mut adds: BTreeMap<NodeId, ClusterSet> = BTreeMap::new();
+impl PlanArena {
+    /// Number of plans (one per communicated value of the round).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
 
-    s.visited.resize(ddg.node_count(), 0);
-    for target in targets.iter() {
-        s.epoch += 1;
-        s.stack.clear();
-        s.stack.push(com);
-        while let Some(u) = s.stack.pop() {
-            if s.visited[u.index()] == s.epoch {
-                continue;
-            }
-            s.visited[u.index()] = s.epoch;
-            if assignment.instances(u).contains(target) {
-                continue; // already available locally
-            }
-            adds.entry(u).or_default().insert(target);
-            for &p in ddg.data_preds(u) {
-                if coms.contains(&p) && p != com {
-                    continue; // broadcast value: available in every cluster
+    /// Whether the round had no communications left to plan for.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// The `i`-th plan, in ascending communicated-value order.
+    #[must_use]
+    pub fn get(&self, i: usize) -> PlanRef<'_> {
+        PlanRef {
+            arena: self,
+            idx: i,
+        }
+    }
+
+    /// The plan removing the communication of `com`, if `com` was
+    /// communicated when the arena was built.
+    #[must_use]
+    pub fn by_com(&self, com: NodeId) -> Option<PlanRef<'_>> {
+        self.metas
+            .binary_search_by_key(&com, |m| m.com)
+            .ok()
+            .map(|idx| PlanRef { arena: self, idx })
+    }
+
+    /// Iterates the plans in ascending communicated-value order.
+    pub fn iter(&self) -> impl Iterator<Item = PlanRef<'_>> {
+        (0..self.metas.len()).map(move |idx| PlanRef { arena: self, idx })
+    }
+
+    /// Rebuilds every plan of one selection round: for each value in
+    /// `coms` (ascending), the Figure-4 upward walk per missing consumer
+    /// cluster plus the anticipated removals (Figure-5 liveness over the
+    /// hypothetical state).
+    ///
+    /// The hypothetical state is kept incrementally: the incumbent
+    /// assignment is copied once per round, each plan's adds are applied
+    /// before its liveness query and undone after. The undo is exact
+    /// because the walk only ever records *absent* clusters (it skips any
+    /// node already instantiated in the target), so removing exactly the
+    /// recorded `(node, cluster)` pairs restores the incumbent.
+    ///
+    /// The hypothetical communication set is the current `coms` filtered
+    /// by `needs_comm` — replication never creates a communication: every
+    /// data predecessor of an added instance is either broadcast (still
+    /// communicated), already present in the target cluster, or pulled
+    /// into it by the same walk. A debug assertion cross-checks against
+    /// the full recomputation.
+    ///
+    /// When every incumbent instance is live — `assume_settled` from the
+    /// engine's commit bookkeeping, or verified here by one dense query —
+    /// the per-plan liveness runs on the affected region only
+    /// ([`dead_after_decommunicating`]) and the hypothetical state is not
+    /// materialized at all; otherwise each plan falls back to the full
+    /// apply-query-undo cycle. Returns whether the incumbent was settled
+    /// (debug builds assert the two paths agree plan by plan).
+    pub(crate) fn build(
+        &mut self,
+        ddg: &Ddg,
+        assignment: &Assignment,
+        coms: &[NodeId],
+        always_anchor: &[bool],
+        assume_settled: bool,
+    ) -> bool {
+        let n = ddg.node_count();
+        self.metas.clear();
+        self.adds.clear();
+        self.removable.clear();
+        self.visited.resize(n, 0);
+        self.add_of.clear();
+        self.add_of.resize(n, ClusterSet::empty());
+        self.is_com.clear();
+        self.is_com.resize(n, false);
+        for &v in coms {
+            self.is_com[v.index()] = true;
+        }
+        let settled = assume_settled || {
+            self.hyp_src.clear();
+            self.hyp_src
+                .extend(coms.iter().map(|&v| assignment.copy_source(v)));
+            dead_instances_dense(
+                ddg,
+                DenseViewRef {
+                    instances: assignment.instance_sets(),
+                    coms,
+                    com_src: &self.hyp_src,
+                },
+                always_anchor,
+                &mut self.live,
+                &mut self.worklist,
+                &mut self.dead,
+            );
+            self.dead.is_empty()
+        };
+        if !settled || cfg!(debug_assertions) {
+            self.hyp.copy_from(assignment);
+        }
+
+        for &com in coms {
+            let targets = assignment.missing_consumer_clusters(ddg, com);
+            self.touched.clear();
+            for target in targets.iter() {
+                self.epoch += 1;
+                self.stack.clear();
+                self.stack.push(com);
+                while let Some(u) = self.stack.pop() {
+                    if self.visited[u.index()] == self.epoch {
+                        continue;
+                    }
+                    self.visited[u.index()] = self.epoch;
+                    if assignment.instances(u).contains(target) {
+                        continue; // already available locally
+                    }
+                    if self.add_of[u.index()].is_empty() {
+                        self.touched.push(u);
+                    }
+                    self.add_of[u.index()].insert(target);
+                    for &p in ddg.data_preds(u) {
+                        if self.is_com[p.index()] && p != com {
+                            continue; // broadcast value: available in every cluster
+                        }
+                        self.stack.push(p);
+                    }
                 }
-                s.stack.push(p);
+            }
+            // Ascending node order keeps every downstream fold (weights,
+            // censuses, commits) in the exact order the map oracle uses.
+            self.touched.sort_unstable();
+            let adds_start = self.adds.len() as u32;
+            for &u in &self.touched {
+                self.adds.push((u, self.add_of[u.index()]));
+            }
+            let adds_end = self.adds.len() as u32;
+            let rem_start = self.removable.len() as u32;
+
+            if settled {
+                // Fast path: every incumbent instance is live, so the only
+                // possible deaths sit in the backward closure of
+                // `(com, copy_source(com))` — query that region alone; the
+                // hypothetical state never needs materializing.
+                let c0 = assignment.copy_source(com);
+                dead_after_decommunicating(
+                    ddg,
+                    assignment.instance_sets(),
+                    com,
+                    c0,
+                    &self.is_com,
+                    |v| assignment.copy_source(v),
+                    always_anchor,
+                    &mut self.region,
+                    &mut self.dead,
+                );
+                #[cfg(debug_assertions)]
+                {
+                    // Differential guard: the region query must agree with
+                    // the full hypothetical-state computation.
+                    for i in adds_start as usize..adds_end as usize {
+                        let (u, set) = self.adds[i];
+                        for c in set.iter() {
+                            self.hyp.add_instance(u, c);
+                        }
+                    }
+                    let mut full = Vec::new();
+                    self.hyp.communicated_into(ddg, &mut full);
+                    let full_src: Vec<u8> = full.iter().map(|&v| self.hyp.copy_source(v)).collect();
+                    let (mut live, mut wl, mut dd) = (Vec::new(), Vec::new(), Vec::new());
+                    dead_instances_dense(
+                        ddg,
+                        DenseViewRef {
+                            instances: self.hyp.instance_sets(),
+                            coms: &full,
+                            com_src: &full_src,
+                        },
+                        always_anchor,
+                        &mut live,
+                        &mut wl,
+                        &mut dd,
+                    );
+                    dd.retain(|&(u, c)| assignment.instances(u).contains(c));
+                    debug_assert_eq!(
+                        dd, self.dead,
+                        "region liveness diverged from the full Figure-5 query"
+                    );
+                    for i in adds_start as usize..adds_end as usize {
+                        let (u, set) = self.adds[i];
+                        for c in set.iter() {
+                            self.hyp.remove_instance(u, c);
+                        }
+                    }
+                }
+                for i in adds_start as usize..adds_end as usize {
+                    self.add_of[self.adds[i].0.index()] = ClusterSet::empty();
+                }
+            } else {
+                // Hypothetical state: apply the adds, filter the coms, run
+                // the dense Figure-5 query; only instances that exist today
+                // count as removals.
+                for i in adds_start as usize..adds_end as usize {
+                    let (u, set) = self.adds[i];
+                    for c in set.iter() {
+                        self.hyp.add_instance(u, c);
+                    }
+                }
+                self.hyp_coms.clear();
+                self.hyp_src.clear();
+                for &v in coms {
+                    if self.hyp.needs_comm(ddg, v) {
+                        self.hyp_coms.push(v);
+                        self.hyp_src.push(self.hyp.copy_source(v));
+                    }
+                }
+                #[cfg(debug_assertions)]
+                {
+                    let mut full = Vec::new();
+                    self.hyp.communicated_into(ddg, &mut full);
+                    debug_assert_eq!(
+                        full, self.hyp_coms,
+                        "replication created or missed a communication"
+                    );
+                }
+                dead_instances_dense(
+                    ddg,
+                    DenseViewRef {
+                        instances: self.hyp.instance_sets(),
+                        coms: &self.hyp_coms,
+                        com_src: &self.hyp_src,
+                    },
+                    always_anchor,
+                    &mut self.live,
+                    &mut self.worklist,
+                    &mut self.dead,
+                );
+                self.dead
+                    .retain(|&(u, c)| assignment.instances(u).contains(c));
+
+                // Undo the adds (exact: only absent clusters were recorded)
+                // and clear the per-plan accumulation.
+                for i in adds_start as usize..adds_end as usize {
+                    let (u, set) = self.adds[i];
+                    for c in set.iter() {
+                        self.hyp.remove_instance(u, c);
+                    }
+                    self.add_of[u.index()] = ClusterSet::empty();
+                }
+            }
+            for &(u, c) in &self.dead {
+                debug_assert!(assignment.instances(u).contains(c));
+                self.removable.push((u, c));
+            }
+            let rem_end = self.removable.len() as u32;
+
+            self.metas.push(PlanMeta {
+                com,
+                targets,
+                adds_start,
+                adds_end,
+                rem_start,
+                rem_end,
+            });
+        }
+
+        for &v in coms {
+            self.is_com[v.index()] = false;
+        }
+        settled
+    }
+}
+
+/// A borrowed view of one plan in a [`PlanArena`] — the dense counterpart
+/// of [`ReplicationPlan`].
+#[derive(Clone, Copy)]
+pub struct PlanRef<'a> {
+    arena: &'a PlanArena,
+    idx: usize,
+}
+
+impl<'a> PlanRef<'a> {
+    /// Position of this plan in its arena's ascending-value order.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// The communicated value this plan removes.
+    #[must_use]
+    pub fn com(&self) -> NodeId {
+        self.arena.metas[self.idx].com
+    }
+
+    /// Clusters that currently need the value without holding it.
+    #[must_use]
+    pub fn targets(&self) -> ClusterSet {
+        self.arena.metas[self.idx].targets
+    }
+
+    /// Instances to create, ascending by node.
+    #[must_use]
+    pub fn adds(&self) -> &'a [(NodeId, ClusterSet)] {
+        let m = &self.arena.metas[self.idx];
+        &self.arena.adds[m.adds_start as usize..m.adds_end as usize]
+    }
+
+    /// Existing instances that become dead once this plan is applied.
+    #[must_use]
+    pub fn removable(&self) -> &'a [(NodeId, u8)] {
+        let m = &self.arena.metas[self.idx];
+        &self.arena.removable[m.rem_start as usize..m.rem_end as usize]
+    }
+
+    /// Nodes in the replication subgraph (the paper's `S_com`), ascending.
+    pub fn subgraph(&self) -> impl Iterator<Item = NodeId> + 'a {
+        self.adds().iter().map(|&(n, _)| n)
+    }
+
+    /// Total number of instances this plan creates.
+    #[must_use]
+    pub fn added_instances(&self) -> u32 {
+        self.adds().iter().map(|&(_, set)| set.len()).sum()
+    }
+
+    /// An owned [`ReplicationPlan`] with identical contents.
+    #[must_use]
+    pub fn to_plan(&self) -> ReplicationPlan {
+        ReplicationPlan {
+            com: self.com(),
+            targets: self.targets(),
+            adds: self.adds().iter().copied().collect(),
+            removable: self.removable().to_vec(),
+        }
+    }
+}
+
+/// [`share_counts`] over an arena, into a dense `node × cluster` table
+/// (clear-and-reuse; `counts[n · clusters + c]`). Every add entry holds a
+/// count ≥ 1, matching the map oracle's `unwrap_or(1)` convention.
+pub(crate) fn share_counts_dense(
+    arena: &PlanArena,
+    nodes: usize,
+    clusters: u8,
+    counts: &mut Vec<u32>,
+) {
+    counts.clear();
+    counts.resize(nodes * clusters as usize, 0);
+    for &(n, set) in &arena.adds {
+        for c in set.iter() {
+            counts[n.index() * clusters as usize + c as usize] += 1;
+        }
+    }
+}
+
+/// [`plan_weight`] over a [`PlanRef`] with the (plan-invariant) usage
+/// census hoisted out, the per-plan `extra` census in a reusable buffer
+/// and the sharing divisors in the dense table of [`share_counts_dense`].
+/// Identical arithmetic in identical order — bit-identical weights.
+pub(crate) fn plan_weight_dense(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    usage: &[[u32; 3]],
+    extra: &mut Vec<[u32; 3]>,
+    shares: &[u32],
+    plan: PlanRef<'_>,
+) -> f64 {
+    let clusters = machine.clusters() as usize;
+    extra.clear();
+    extra.resize(clusters, [0u32; 3]);
+    for &(n, set) in plan.adds() {
+        for c in set.iter() {
+            extra[c as usize][ddg.kind(n).class().index()] += 1;
+        }
+    }
+    let mut weight = 0.0;
+    for &(n, set) in plan.adds() {
+        let class = ddg.kind(n).class();
+        for c in set.iter() {
+            let denom = f64::from(u32::from(machine.fu_count_in(c, class)) * ii);
+            let load =
+                f64::from(usage[c as usize][class.index()] + extra[c as usize][class.index()]);
+            let share = f64::from(shares[n.index() * clusters + c as usize]);
+            weight += load / denom / share;
+        }
+    }
+    for &(n, c) in plan.removable() {
+        let class = ddg.kind(n).class();
+        let denom = f64::from(u32::from(machine.fu_count_in(c, class)) * ii);
+        weight -= 1.0 / denom;
+    }
+    weight
+}
+
+/// [`ReplicationPlan::fits`] over a [`PlanRef`] with the usage census
+/// hoisted out and the `extra`/`freed` censuses in reusable buffers.
+/// Bit-identical verdicts.
+pub(crate) fn plan_fits_dense(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    usage: &[[u32; 3]],
+    extra: &mut Vec<[u32; 3]>,
+    freed: &mut Vec<[u32; 3]>,
+    plan: PlanRef<'_>,
+) -> bool {
+    let clusters = machine.clusters() as usize;
+    extra.clear();
+    extra.resize(clusters, [0u32; 3]);
+    for &(n, set) in plan.adds() {
+        for c in set.iter() {
+            extra[c as usize][ddg.kind(n).class().index()] += 1;
+        }
+    }
+    freed.clear();
+    freed.resize(clusters, [0u32; 3]);
+    for &(n, c) in plan.removable() {
+        freed[c as usize][ddg.kind(n).class().index()] += 1;
+    }
+    for c in 0..clusters {
+        for class in OpClass::ALL {
+            let i = class.index();
+            let cap = u32::from(machine.fu_count_in(c as u8, class)) * ii;
+            if usage[c][i] + extra[c][i] > cap + freed[c][i] {
+                return false;
             }
         }
     }
-
-    // Anticipate removable instances: liveness over the hypothetical state,
-    // with the communication set recomputed for the hypothetical instances
-    // (a partial replication may leave `com` communicated).
-    s.hyp.copy_from(assignment);
-    for (&n, &set) in &adds {
-        for c in set.iter() {
-            s.hyp.add_instance(n, c);
-        }
-    }
-    s.hyp.communicated_into(ddg, &mut s.hyp_coms);
-    s.com_source.clear();
-    s.com_source
-        .extend(ddg.node_ids().map(|n| s.hyp.copy_source(n)));
-    dead_instances_into(
-        ddg,
-        ViewRef {
-            instances: s.hyp.instance_sets(),
-            coms: &s.hyp_coms,
-            com_source: &s.com_source,
-        },
-        on_cycle,
-        &mut s.live,
-        &mut s.worklist,
-        &mut s.dead,
-    );
-    let removable: Vec<(NodeId, u8)> = s
-        .dead
-        .iter()
-        .copied()
-        // only instances that exist today count as removals
-        .filter(|&(n, c)| assignment.instances(n).contains(c))
-        .collect();
-
-    ReplicationPlan {
-        com,
-        targets,
-        adds,
-        removable,
-    }
+    true
 }
 
 /// The replication plan of one communicated value `com`: the minimum set of
@@ -247,16 +637,6 @@ pub fn share_counts(plans: &BTreeMap<NodeId, ReplicationPlan>) -> BTreeMap<(Node
     counts
 }
 
-/// [`share_counts`] over a plan slice (the engine scratch keeps plans in
-/// ascending-value order, matching the map's iteration order).
-pub(crate) fn share_counts_of(plans: &[ReplicationPlan]) -> BTreeMap<(NodeId, u8), u32> {
-    let mut counts: BTreeMap<(NodeId, u8), u32> = BTreeMap::new();
-    for plan in plans {
-        share_counts_one(plan, &mut counts);
-    }
-    counts
-}
-
 fn share_counts_one(plan: &ReplicationPlan, counts: &mut BTreeMap<(NodeId, u8), u32>) {
     for (&n, &set) in &plan.adds {
         for c in set.iter() {
@@ -303,67 +683,6 @@ pub fn plan_weight(
         weight -= 1.0 / denom;
     }
     weight
-}
-
-/// [`plan_weight`] with the (plan-invariant) usage census hoisted out and
-/// the per-plan `extra` census written into a reusable buffer. Identical
-/// arithmetic in identical order — bit-identical weights.
-pub(crate) fn plan_weight_with_usage(
-    ddg: &Ddg,
-    machine: &MachineConfig,
-    ii: u32,
-    usage: &[[u32; 3]],
-    extra: &mut Vec<[u32; 3]>,
-    shares: &BTreeMap<(NodeId, u8), u32>,
-    plan: &ReplicationPlan,
-) -> f64 {
-    plan.added_by_class_per_cluster_into(ddg, machine.clusters(), extra);
-    let mut weight = 0.0;
-    for (&n, &set) in &plan.adds {
-        let class = ddg.kind(n).class();
-        for c in set.iter() {
-            let denom = f64::from(u32::from(machine.fu_count_in(c, class)) * ii);
-            let load =
-                f64::from(usage[c as usize][class.index()] + extra[c as usize][class.index()]);
-            let share = f64::from(*shares.get(&(n, c)).unwrap_or(&1));
-            weight += load / denom / share;
-        }
-    }
-    for &(n, c) in &plan.removable {
-        let class = ddg.kind(n).class();
-        let denom = f64::from(u32::from(machine.fu_count_in(c, class)) * ii);
-        weight -= 1.0 / denom;
-    }
-    weight
-}
-
-/// [`ReplicationPlan::fits`] with the usage census hoisted out and the
-/// `extra`/`freed` censuses in reusable buffers. Bit-identical verdicts.
-pub(crate) fn plan_fits_with_usage(
-    ddg: &Ddg,
-    machine: &MachineConfig,
-    ii: u32,
-    usage: &[[u32; 3]],
-    extra: &mut Vec<[u32; 3]>,
-    freed: &mut Vec<[u32; 3]>,
-    plan: &ReplicationPlan,
-) -> bool {
-    plan.added_by_class_per_cluster_into(ddg, machine.clusters(), extra);
-    freed.clear();
-    freed.resize(machine.clusters() as usize, [0u32; 3]);
-    for &(n, c) in &plan.removable {
-        freed[c as usize][ddg.kind(n).class().index()] += 1;
-    }
-    for c in 0..machine.clusters() as usize {
-        for class in OpClass::ALL {
-            let i = class.index();
-            let cap = u32::from(machine.fu_count_in(c as u8, class)) * ii;
-            if usage[c][i] + extra[c][i] > cap + freed[c][i] {
-                return false;
-            }
-        }
-    }
-    true
 }
 
 impl ReplicationPlan {

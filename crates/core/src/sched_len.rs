@@ -7,13 +7,11 @@
 //! cluster (Figure 11) — without necessarily removing the communication —
 //! whenever that shortens the estimated schedule and fits the resources.
 
-use std::collections::BTreeSet;
-
-use cvliw_ddg::{time_bounds, Ddg, NodeId};
+use cvliw_ddg::{time_bounds, Ddg, NodeId, OpClass};
 use cvliw_machine::MachineConfig;
 use cvliw_sched::{Assignment, ClusterSet, LoopAnalysis};
 
-use crate::plan::replication_plan_into;
+use crate::liveness::{always_anchor_into, dead_instances_dense, on_cycle_into, DenseViewRef};
 
 /// Upper bound on extension rounds; each round commits one replication.
 const MAX_ROUNDS: usize = 8;
@@ -47,6 +45,9 @@ fn comm_lat<'a>(
 
 /// Estimated critical-path length of one iteration (issue span) with bus
 /// latency charged on cross-cluster data edges; `None` below RecMII.
+/// `extend_core` inlines this (one `time_bounds` per round shares slacks
+/// with the zero-slack filter); the tests keep it as the oracle.
+#[cfg_attr(not(test), allow(dead_code))]
 fn estimated_length(
     ddg: &Ddg,
     machine: &MachineConfig,
@@ -93,25 +94,53 @@ fn extend_core(
     mut assignment: Assignment,
     base_lat: &impl Fn(NodeId) -> u32,
 ) -> Assignment {
+    let n = ddg.node_count();
+    // Buffers reused across rounds and candidates: the Figure-4 walk, the
+    // Figure-5 liveness query, the censuses and the span estimate.
+    let mut cand_lat: Vec<u32> = Vec::new();
+    let mut asap: Vec<i64> = Vec::new();
+    let mut coms: Vec<NodeId> = Vec::new();
+    let mut is_com = vec![false; n];
+    let mut visited = vec![0u32; n];
+    let mut added_mark = vec![0u32; n];
+    let mut epoch = 0u32;
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut adds: Vec<NodeId> = Vec::new();
+    let mut usage: Vec<[u32; 3]> = Vec::new();
+    let mut coms_buf: Vec<NodeId> = Vec::new();
+    let mut com_src: Vec<u8> = Vec::new();
+    let mut live: Vec<ClusterSet> = Vec::new();
+    let mut worklist: Vec<(NodeId, u8)> = Vec::new();
+    let mut dead: Vec<(NodeId, u8)> = Vec::new();
+    let mut removable: Vec<(NodeId, u8)> = Vec::new();
+    let mut on_cycle = Vec::new();
+    on_cycle_into(ddg, &mut on_cycle);
+    let mut always_anchor = Vec::new();
+    always_anchor_into(ddg, &on_cycle, &mut always_anchor);
+
     for _ in 0..MAX_ROUNDS {
-        let Some(current_len) = estimated_length(ddg, machine, ii, &assignment, base_lat) else {
+        // One full ASAP/ALAP pass per round gives both the current length
+        // and the slacks (`estimated_length` is `time_bounds(..).length`).
+        let Some(tb) = time_bounds(ddg, ii, comm_lat(machine, &assignment, base_lat)) else {
             return assignment;
         };
-        let coms: BTreeSet<NodeId> = assignment.communicated(ddg).into_iter().collect();
+        let current_len = tb.length;
+        assignment.communicated_into(ddg, &mut coms);
+        for &v in &coms {
+            is_com[v.index()] = true;
+        }
+        assignment.class_usage_into(ddg, machine.clusters(), &mut usage);
 
         // Zero-slack cross edges: slacks are materialized up front so the
-        // assignment can be replaced while iterating.
+        // assignment can be mutated while iterating.
         let edge_lat: Vec<u32> = {
             let lat = comm_lat(machine, &assignment, base_lat);
             ddg.edges().map(&lat).collect()
         };
-        let Some(tb) = time_bounds(ddg, ii, comm_lat(machine, &assignment, base_lat)) else {
-            return assignment;
-        };
 
         let edges: Vec<cvliw_ddg::Edge> = ddg.edges().copied().collect();
         let mut committed = false;
-        for (idx, e) in edges.iter().enumerate() {
+        'edges: for (idx, e) in edges.iter().enumerate() {
             if !e.is_data() {
                 continue;
             }
@@ -128,42 +157,139 @@ fn extend_core(
             }
             // Replicate the producer into each consumer cluster that needs
             // it, one cluster at a time (Figure 11 replicates A into
-            // cluster 1 only).
+            // cluster 1 only). Candidates are evaluated by applying the
+            // single-target Figure-4 subgraph in place and undoing it on
+            // rejection — exact, because the walk only records instances
+            // absent from the target cluster.
+            let com = e.src;
             for target in missing.iter() {
-                let plan = replication_plan_into(
-                    ddg,
-                    &assignment,
-                    &coms,
-                    e.src,
-                    ClusterSet::single(target),
-                );
-                if !plan.fits(ddg, machine, ii, &assignment) {
-                    continue;
-                }
-                let mut candidate = assignment.clone();
-                for (&n, &set) in &plan.adds {
-                    for c in set.iter() {
-                        candidate.add_instance(n, c);
+                epoch += 1;
+                adds.clear();
+                stack.clear();
+                stack.push(com);
+                while let Some(u) = stack.pop() {
+                    if visited[u.index()] == epoch {
+                        continue;
                     }
+                    visited[u.index()] = epoch;
+                    if assignment.instances(u).contains(target) {
+                        continue; // already available locally
+                    }
+                    added_mark[u.index()] = epoch;
+                    adds.push(u);
+                    for &p in ddg.data_preds(u) {
+                        if is_com[p.index()] && p != com {
+                            continue; // broadcast value: available everywhere
+                        }
+                        stack.push(p);
+                    }
+                }
+                adds.sort_unstable();
+
+                for &u in &adds {
+                    assignment.add_instance(u, target);
+                }
+                // Anticipated removals: Figure-5 liveness over the applied
+                // state (== the hypothetical state), existing instances
+                // only — an added pair is not a removal.
+                assignment.communicated_into(ddg, &mut coms_buf);
+                com_src.clear();
+                com_src.extend(coms_buf.iter().map(|&v| assignment.copy_source(v)));
+                dead_instances_dense(
+                    ddg,
+                    DenseViewRef {
+                        instances: assignment.instance_sets(),
+                        coms: &coms_buf,
+                        com_src: &com_src,
+                    },
+                    &always_anchor,
+                    &mut live,
+                    &mut worklist,
+                    &mut dead,
+                );
+                removable.clear();
+                removable.extend(
+                    dead.iter()
+                        .filter(|&&(u, c)| !(c == target && added_mark[u.index()] == epoch)),
+                );
+
+                // The §3.3 feasibility rule on the round's usage census:
+                // the target cluster must absorb the new instances, freed
+                // slots credited.
+                let fits = {
+                    let mut ok = true;
+                    'cap: for c in 0..machine.clusters() {
+                        for class in OpClass::ALL {
+                            let extra: u32 = if c == target {
+                                adds.iter()
+                                    .filter(|&&u| ddg.kind(u).class() == class)
+                                    .count() as u32
+                            } else {
+                                0
+                            };
+                            let freed = removable
+                                .iter()
+                                .filter(|&&(u, rc)| rc == c && ddg.kind(u).class() == class)
+                                .count() as u32;
+                            let cap = u32::from(machine.fu_count_in(c, class)) * ii;
+                            if usage[c as usize][class.index()] + extra > cap + freed {
+                                ok = false;
+                                break 'cap;
+                            }
+                        }
+                    }
+                    ok
+                };
+                #[cfg(debug_assertions)]
+                {
+                    // Differential guard against the map-based oracle.
+                    for &u in &adds {
+                        assignment.remove_instance(u, target);
+                    }
+                    let oracle_coms = assignment.communicated(ddg).into_iter().collect();
+                    let oracle = crate::plan::replication_plan_into(
+                        ddg,
+                        &assignment,
+                        &oracle_coms,
+                        com,
+                        ClusterSet::single(target),
+                    );
+                    debug_assert_eq!(oracle.subgraph(), adds);
+                    debug_assert_eq!(oracle.removable, removable);
+                    debug_assert_eq!(oracle.fits(ddg, machine, ii, &assignment), fits);
+                    for &u in &adds {
+                        assignment.add_instance(u, target);
+                    }
+                }
+                if !fits {
+                    for &u in &adds {
+                        assignment.remove_instance(u, target);
+                    }
+                    continue;
                 }
                 // Bus bandwidth must keep fitting (replication can only
-                // reduce the communication count, but be defensive).
-                let ncoms = candidate.comm_count(ddg);
-                if ncoms > machine.coms_capacity_per_ii(ii) {
-                    continue;
+                // reduce the communication count, but be defensive); then
+                // the candidate length needs the ASAP sweep only.
+                let shorter = coms_buf.len() as u32 <= machine.coms_capacity_per_ii(ii) && {
+                    let lat = comm_lat(machine, &assignment, base_lat);
+                    cand_lat.clear();
+                    cand_lat.extend(ddg.edges().map(&lat));
+                    matches!(
+                        cvliw_ddg::asap_times_into(ddg, ii, &cand_lat, &mut asap),
+                        Some(new_len) if new_len < current_len
+                    )
+                };
+                if shorter {
+                    committed = true;
+                    break 'edges;
                 }
-                match estimated_length(ddg, machine, ii, &candidate, base_lat) {
-                    Some(new_len) if new_len < current_len => {
-                        assignment = candidate;
-                        committed = true;
-                        break;
-                    }
-                    _ => {}
+                for &u in &adds {
+                    assignment.remove_instance(u, target);
                 }
             }
-            if committed {
-                break;
-            }
+        }
+        for &v in &coms {
+            is_com[v.index()] = false;
         }
         if !committed {
             break;

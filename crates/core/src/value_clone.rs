@@ -12,14 +12,15 @@
 //! (`ablation_value_cloning`) measures exactly how much of the paper's §3
 //! benefit that restriction gives up.
 
-use std::collections::BTreeSet;
-
 use cvliw_ddg::{Ddg, NodeId};
 use cvliw_machine::MachineConfig;
 use cvliw_sched::Assignment;
 
 use crate::engine::ReplicationStats;
-use crate::liveness::{dead_instances, InstanceView};
+use crate::liveness::{
+    always_anchor_into, dead_after_decommunicating, dead_instances_dense, on_cycle_into,
+    DenseViewRef, RegionScratch,
+};
 
 /// Whether `n` is cloneable under Kuras et al.'s rules: it produces a
 /// value and its register inputs are at most itself (loop-carried).
@@ -79,7 +80,8 @@ pub fn value_clone(
     ii: u32,
     mut assignment: Assignment,
 ) -> (Assignment, ReplicationStats) {
-    let mut coms: BTreeSet<NodeId> = assignment.communicated(ddg).into_iter().collect();
+    let mut coms: Vec<NodeId> = Vec::new();
+    assignment.communicated_into(ddg, &mut coms);
     let mut stats = ReplicationStats {
         initial_coms: coms.len() as u32,
         final_coms: coms.len() as u32,
@@ -87,12 +89,55 @@ pub fn value_clone(
     };
     let capacity = machine.coms_capacity_per_ii(ii);
 
+    // The liveness anchors are a function of the loop alone, and only the
+    // rare call that actually clones needs them — most calls exit on the
+    // capacity check above without ever running a liveness query. The
+    // censuses and worklists below are reused across clone rounds.
+    let mut on_cycle = Vec::new();
+    let mut always_anchor = Vec::new();
+    let mut anchors_ready = false;
+    let mut usage = Vec::new();
+    let mut com_src: Vec<u8> = Vec::new();
+    let mut live = Vec::new();
+    let mut worklist = Vec::new();
+    let mut dead = Vec::new();
+    let mut is_com = vec![false; ddg.node_count()];
+    let mut region = RegionScratch::default();
+    // Settledness gates the constant-size liveness query below. It is
+    // established lazily (the common early-exit pays nothing) and preserved
+    // by every settled round: the removals equal the complete dead cascade
+    // and — the clone consuming nothing — change no communication.
+    let mut settled: Option<bool> = None;
+
     loop {
         if coms.len() as u32 <= capacity {
             break;
         }
+        if !anchors_ready {
+            anchors_ready = true;
+            on_cycle_into(ddg, &mut on_cycle);
+            always_anchor_into(ddg, &on_cycle, &mut always_anchor);
+        }
+        let settled = *settled.get_or_insert_with(|| {
+            com_src.clear();
+            com_src.extend(coms.iter().map(|&v| assignment.copy_source(v)));
+            dead_instances_dense(
+                ddg,
+                DenseViewRef {
+                    instances: assignment.instance_sets(),
+                    coms: &coms,
+                    com_src: &com_src,
+                },
+                &always_anchor,
+                &mut live,
+                &mut worklist,
+                &mut dead,
+            );
+            dead.is_empty()
+        });
         // Candidate = cloneable communicated value; cost = number of target
         // clusters (each costs one cloned instruction).
+        assignment.class_usage_into(ddg, machine.clusters(), &mut usage);
         let mut best: Option<(u32, NodeId)> = None;
         for &n in &coms {
             if !is_cloneable_value(ddg, n) {
@@ -102,7 +147,12 @@ pub fn value_clone(
             if targets.is_empty() {
                 continue;
             }
-            if !fits(ddg, machine, ii, &assignment, n, targets.iter()) {
+            // Capacity check: one cloned instance per target cluster must
+            // not overflow any functional-unit class.
+            let class = ddg.kind(n).class();
+            if !targets.iter().all(|c| {
+                usage[c as usize][class.index()] < u32::from(machine.fu_count_in(c, class)) * ii
+            }) {
                 continue;
             }
             let cost = targets.len();
@@ -113,43 +163,90 @@ pub fn value_clone(
         let Some((_, n)) = best else { break };
 
         let targets = assignment.missing_consumer_clusters(ddg, n);
+        if settled {
+            // Cloning `n` into every consumer cluster decommunicates it
+            // entirely; with no other dead instance in the incumbent, the
+            // dead set of the post-clone state is confined to the backward
+            // same-cluster region of `n` in its copy-source cluster — and a
+            // cloneable value has no register inputs, so that region is the
+            // single original instance.
+            let c0 = assignment.copy_source(n);
+            for &v in &coms {
+                is_com[v.index()] = true;
+            }
+            dead_after_decommunicating(
+                ddg,
+                assignment.instance_sets(),
+                n,
+                c0,
+                &is_com,
+                |v| assignment.copy_source(v),
+                &always_anchor,
+                &mut region,
+                &mut dead,
+            );
+            for &v in &coms {
+                is_com[v.index()] = false;
+            }
+        }
         for c in targets.iter() {
             assignment.add_instance(n, c);
             stats.added_by_class[ddg.kind(n).class().index()] += 1;
         }
         stats.subgraphs_replicated += 1;
-        coms = assignment.communicated(ddg).into_iter().collect();
+        assignment.communicated_into(ddg, &mut coms);
 
         // The original instance may now be dead (e.g. an address base whose
         // only consumers were remote).
-        let view = InstanceView::from_assignment(ddg, &assignment, &coms);
-        for (dead, c) in dead_instances(ddg, &view) {
-            assignment.remove_instance(dead, c);
-            stats.removed_instances += 1;
-            stats.removed_by_class[ddg.kind(dead).class().index()] += 1;
+        if settled {
+            #[cfg(debug_assertions)]
+            {
+                let mut full = Vec::new();
+                com_src.clear();
+                com_src.extend(coms.iter().map(|&v| assignment.copy_source(v)));
+                dead_instances_dense(
+                    ddg,
+                    DenseViewRef {
+                        instances: assignment.instance_sets(),
+                        coms: &coms,
+                        com_src: &com_src,
+                    },
+                    &always_anchor,
+                    &mut live,
+                    &mut worklist,
+                    &mut full,
+                );
+                debug_assert_eq!(
+                    full, dead,
+                    "region liveness diverged from the full Figure-5 query"
+                );
+            }
+        } else {
+            com_src.clear();
+            com_src.extend(coms.iter().map(|&v| assignment.copy_source(v)));
+            dead_instances_dense(
+                ddg,
+                DenseViewRef {
+                    instances: assignment.instance_sets(),
+                    coms: &coms,
+                    com_src: &com_src,
+                },
+                &always_anchor,
+                &mut live,
+                &mut worklist,
+                &mut dead,
+            );
         }
-        coms = assignment.communicated(ddg).into_iter().collect();
+        for &(d, c) in &dead {
+            assignment.remove_instance(d, c);
+            stats.removed_instances += 1;
+            stats.removed_by_class[ddg.kind(d).class().index()] += 1;
+        }
+        assignment.communicated_into(ddg, &mut coms);
     }
 
     stats.final_coms = coms.len() as u32;
     (assignment, stats)
-}
-
-/// Capacity check: adding one instance of `n` to every cluster in
-/// `targets` must not overflow any functional-unit class.
-fn fits(
-    ddg: &Ddg,
-    machine: &MachineConfig,
-    ii: u32,
-    assignment: &Assignment,
-    n: NodeId,
-    targets: impl Iterator<Item = u8>,
-) -> bool {
-    let usage = assignment.class_usage(ddg, machine.clusters());
-    let class = ddg.kind(n).class();
-    targets
-        .into_iter()
-        .all(|c| usage[c as usize][class.index()] < u32::from(machine.fu_count_in(c, class)) * ii)
 }
 
 #[cfg(test)]

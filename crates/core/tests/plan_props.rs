@@ -1,0 +1,128 @@
+//! Differential property tests for the dense replication-plan engine: on
+//! arbitrary loop graphs and partitions, the [`ReplicationEngine`]'s
+//! arena-backed plans and weights must equal the map-based oracle
+//! ([`replication_plan`] / [`share_counts`] / [`plan_weight`]) — including
+//! across commits, which is exactly where the incremental settledness /
+//! region-liveness fast path takes over from the full Figure-5 query.
+
+use std::collections::BTreeMap;
+
+use cvliw_ddg::{Ddg, DepKind, NodeId, OpKind};
+use cvliw_machine::MachineConfig;
+use cvliw_replicate::{
+    plan_weight, replication_plan, share_counts, ReplicationEngine, ReplicationPlan,
+};
+use cvliw_sched::Assignment;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop::sample::select(OpKind::ALL.to_vec())
+}
+
+fn arb_ddg() -> impl Strategy<Value = Ddg> {
+    let nodes = prop::collection::vec(arb_kind(), 1..16);
+    nodes
+        .prop_flat_map(|kinds| {
+            let n = kinds.len();
+            let edges = prop::collection::vec((0..n, 0..n, 0u32..2, prop::bool::ANY), 0..(2 * n));
+            (Just(kinds), edges)
+        })
+        .prop_map(|(kinds, edges)| {
+            let mut b = Ddg::builder();
+            let ids: Vec<_> = kinds.iter().map(|&k| b.add_node(k)).collect();
+            for (src, dst, dist, mem) in edges {
+                let kind = if mem || !kinds[src].produces_value() {
+                    DepKind::Mem
+                } else {
+                    DepKind::Data
+                };
+                if dist > 0 {
+                    b.edge(ids[src], ids[dst], kind, dist);
+                } else if src < dst {
+                    b.edge(ids[src], ids[dst], kind, 0);
+                }
+            }
+            b.build().expect("valid by construction")
+        })
+}
+
+fn arb_machine() -> impl Strategy<Value = MachineConfig> {
+    prop::sample::select(vec!["2c1b2l64r", "4c1b2l64r", "4c2b4l64r"])
+        .prop_map(|s| MachineConfig::from_spec(s).expect("valid"))
+}
+
+/// The oracle's view of one engine round: every communicated value with a
+/// missing consumer cluster gets a map-based [`ReplicationPlan`].
+fn oracle_plans(ddg: &Ddg, engine: &ReplicationEngine) -> BTreeMap<NodeId, ReplicationPlan> {
+    let coms = engine.communicated();
+    coms.iter()
+        .filter_map(|&com| {
+            let targets = engine.assignment().missing_consumer_clusters(ddg, com);
+            (!targets.is_empty())
+                .then(|| (com, replication_plan(ddg, engine.assignment(), coms, com)))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The dense arena path — subgraph walk, anticipated removals, and
+    /// weights — is plan-for-plan identical to the oracle, before any
+    /// commit and after each of several commits.
+    #[test]
+    fn plan_dense_equals_oracle(
+        ddg in arb_ddg(),
+        machine in arb_machine(),
+        ii in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        // Deterministic pseudo-random partition over the machine's clusters.
+        let mut state = seed | 1;
+        let part: Vec<u8> = (0..ddg.node_count())
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % u64::from(machine.clusters())) as u8
+            })
+            .collect();
+        let assignment = Assignment::from_partition(&part);
+        let mut engine = ReplicationEngine::new(&ddg, &machine, ii, assignment);
+
+        for _round in 0..4 {
+            let oracle = oracle_plans(&ddg, &engine);
+            let shares = share_counts(&oracle);
+            let expected_weights: Vec<f64> = oracle
+                .values()
+                .map(|p| plan_weight(&ddg, &machine, engine.ii(), engine.assignment(), &shares, p))
+                .collect();
+
+            {
+                let arena = engine.plans();
+                prop_assert_eq!(arena.len(), oracle.len());
+                for p in arena.iter() {
+                    let o = oracle.get(&p.com()).expect("oracle has every arena com");
+                    prop_assert_eq!(&p.to_plan(), o, "plan for {:?} diverged", p.com());
+                }
+            }
+            // Weights align because both sides walk the communicated set
+            // in ascending node order; equality is exact (bit-identical
+            // f64), not approximate.
+            prop_assert_eq!(engine.weights().to_vec(), expected_weights);
+
+            // Advance like the §3.3 loop: commit the first feasible plan
+            // (ascending com order) and re-compare — this drives the
+            // settledness bookkeeping and the region-liveness fast path.
+            let ii = engine.ii();
+            let next = oracle
+                .values()
+                .find(|p| p.fits(&ddg, &machine, ii, engine.assignment()))
+                .cloned();
+            match next {
+                Some(plan) => engine.commit(&plan),
+                None => break,
+            }
+        }
+    }
+}

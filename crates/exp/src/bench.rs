@@ -19,7 +19,7 @@ use std::time::Instant;
 use cvliw_replicate::Stage;
 
 use crate::grid::SuiteGrid;
-use crate::runner::{prepare, run_pool, SuiteError};
+use crate::runner::{prepare, run_pool, Granularity, SuiteError};
 
 /// Median wall clock of one (machine × program) work unit: all modes of
 /// the pair, every loop, one shared `LoopAnalysis` per loop.
@@ -31,6 +31,22 @@ pub struct PairTiming {
     pub program: String,
     /// Median wall-clock milliseconds across the measured runs.
     pub wall_ms: f64,
+}
+
+/// One of the slowest work units, with its wall clock split by stage —
+/// the `pairs_top` section of `BENCH_compile.json`, which answers "where
+/// would a perf PR aim" without re-deriving it from the 60 pair rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairStageTiming {
+    /// Machine specification string.
+    pub spec: String,
+    /// Benchmark program name.
+    pub program: String,
+    /// Median wall-clock milliseconds across the measured runs.
+    pub wall_ms: f64,
+    /// Median per-stage milliseconds of this pair, in
+    /// `cvliw_replicate::Stage` order.
+    pub stage_ms: [f64; 4],
 }
 
 /// The result of one [`bench_suite`] call.
@@ -59,6 +75,10 @@ pub struct BenchReport {
     pub stage_ms: [f64; 4],
     /// Median per-pair timings, spec-major then program (grid order).
     pub pairs: Vec<PairTiming>,
+    /// The slowest pairs (at most ten), heaviest first, each with its
+    /// per-stage split. Ties break toward grid order, so the section is a
+    /// pure function of the medians.
+    pub pairs_top: Vec<PairStageTiming>,
     /// Loopback serve replay of the same grid (`cvliw bench --serve`);
     /// `None` when the serving layer was not benched.
     pub serve: Option<crate::serve_bench::ServeReport>,
@@ -96,15 +116,18 @@ pub fn bench_suite(
     let runs = runs.max(1);
 
     for _ in 0..warmup {
-        let _ = run_pool(&prep, jobs);
+        let _ = run_pool(&prep, jobs, Granularity::default());
     }
 
     let mut run_wall_ms = Vec::with_capacity(runs);
     let mut pair_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); prep.pair_count()];
     let mut stage_samples: [Vec<f64>; 4] = std::array::from_fn(|_| Vec::with_capacity(runs));
+    let mut pair_stage_samples: Vec<[Vec<f64>; 4]> = (0..prep.pair_count())
+        .map(|_| std::array::from_fn(|_| Vec::with_capacity(runs)))
+        .collect();
     for _ in 0..runs {
         let started = Instant::now();
-        let (_, pair_nanos, pair_stages) = run_pool(&prep, jobs);
+        let (_, pair_nanos, pair_stages) = run_pool(&prep, jobs, Granularity::default());
         run_wall_ms.push(started.elapsed().as_secs_f64() * 1e3);
         for (samples, nanos) in pair_samples.iter_mut().zip(&pair_nanos) {
             samples.push(*nanos as f64 / 1e6);
@@ -113,11 +136,16 @@ pub fn bench_suite(
             let total: u64 = pair_stages.iter().map(|s| s[stage]).sum();
             samples.push(total as f64 / 1e6);
         }
+        for (per_pair, stages) in pair_stage_samples.iter_mut().zip(&pair_stages) {
+            for (samples, &nanos) in per_pair.iter_mut().zip(stages.iter()) {
+                samples.push(nanos as f64 / 1e6);
+            }
+        }
     }
 
     let total_wall_ms = median(&mut run_wall_ms.clone());
     let stage_ms = std::array::from_fn(|i| median(&mut stage_samples[i]));
-    let pairs = pair_samples
+    let pairs: Vec<PairTiming> = pair_samples
         .iter_mut()
         .enumerate()
         .map(|(k, samples)| {
@@ -127,6 +155,27 @@ pub fn bench_suite(
                 program: grid.programs[j].clone(),
                 wall_ms: median(samples),
             }
+        })
+        .collect();
+
+    // The ten heaviest pairs with their stage split, heaviest first; ties
+    // break toward grid order so the section is deterministic given the
+    // medians.
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    order.sort_by(|&a, &b| {
+        pairs[b]
+            .wall_ms
+            .total_cmp(&pairs[a].wall_ms)
+            .then(a.cmp(&b))
+    });
+    let pairs_top = order
+        .into_iter()
+        .take(10)
+        .map(|k| PairStageTiming {
+            spec: pairs[k].spec.clone(),
+            program: pairs[k].program.clone(),
+            wall_ms: pairs[k].wall_ms,
+            stage_ms: std::array::from_fn(|i| median(&mut pair_stage_samples[k][i])),
         })
         .collect();
 
@@ -143,6 +192,7 @@ pub fn bench_suite(
         cells_per_sec: cells as f64 / (total_wall_ms / 1e3),
         stage_ms,
         pairs,
+        pairs_top,
         serve: None,
         serve_restart: None,
     })
@@ -181,13 +231,56 @@ pub fn emit_bench_json(report: &BenchReport) -> String {
             "\n"
         });
     }
+    // Per-stage share of the median total wall clock. On one worker the
+    // shares nearly sum to 1; with more workers (or seed racing) the
+    // buckets are CPU time against an elapsed total, so the sum exceeds it.
+    o.push_str("  },\n  \"stage_share\": {\n");
+    for (i, stage) in Stage::ALL.iter().enumerate() {
+        let share = if report.total_wall_ms > 0.0 {
+            report.stage_ms[*stage as usize] / report.total_wall_ms
+        } else {
+            0.0
+        };
+        let _ = write!(o, "    \"{}\": {share:.3}", stage.name());
+        o.push_str(if i + 1 < Stage::ALL.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    // Key naming is deliberate: no key (or key-bearing line) in this
+    // section may contain the literal `"spec"` or `"wall_ms"` byte
+    // sequences — the committed book's pair rows are recovered by exactly
+    // that line filter (see `runner::committed_pair_ms` and CI's awk
+    // extraction). `unit` carries "<spec> <program>" and `ms` the wall
+    // clock, keeping both quoted sequences out.
+    o.push_str("  },\n  \"pairs_top\": [\n");
+    for (i, p) in report.pairs_top.iter().enumerate() {
+        let _ = write!(
+            o,
+            "    {{\"unit\": \"{} {}\", \"ms\": {:.2}",
+            p.spec, p.program, p.wall_ms
+        );
+        for stage in Stage::ALL {
+            let _ = write!(
+                o,
+                ", \"{}_ms\": {:.2}",
+                stage.name(),
+                p.stage_ms[stage as usize]
+            );
+        }
+        o.push('}');
+        o.push_str(if i + 1 < report.pairs_top.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    o.push_str("  ],\n");
     if let Some(serve) = &report.serve {
-        // Key naming is deliberate: no key in this section may contain the
-        // literal `"spec"` or `"wall_ms"` byte sequences — the committed
-        // book's pair rows are recovered by exactly that line filter (see
-        // `runner::committed_pair_ms` and CI's awk extraction), and
-        // `cold_wall_ms`/`warm_wall_ms` keep the quote away from `wall_ms`.
-        o.push_str("  },\n  \"serve\": {\n");
+        // Same filter discipline: `cold_wall_ms`/`warm_wall_ms` keep the
+        // quote character away from `wall_ms`.
+        o.push_str("  \"serve\": {\n");
         let _ = writeln!(o, "    \"requests\": {},", serve.requests);
         let _ = writeln!(o, "    \"jobs\": {},", serve.jobs);
         let _ = writeln!(o, "    \"cold_wall_ms\": {:.1},", serve.cold_wall_ms);
@@ -196,12 +289,13 @@ pub fn emit_bench_json(report: &BenchReport) -> String {
         let _ = writeln!(o, "    \"warm_requests_per_sec\": {:.0},", serve.warm_rps);
         let _ = writeln!(o, "    \"warm_hit_rate\": {:.3},", serve.warm_hit_rate);
         let _ = writeln!(o, "    \"errors\": {}", serve.errors);
+        o.push_str("  },\n");
     }
     if let Some(restart) = &report.serve_restart {
         // Same filter discipline as the serve section: `restart_wall_ms`
         // and friends keep the quote character away from `wall_ms` and
         // `spec`, so the pair-row recovery never matches these lines.
-        o.push_str("  },\n  \"serve_restart\": {\n");
+        o.push_str("  \"serve_restart\": {\n");
         let _ = writeln!(o, "    \"restart_requests\": {},", restart.requests);
         let _ = writeln!(o, "    \"restart_jobs\": {},", restart.jobs);
         let _ = writeln!(o, "    \"loaded_entries\": {},", restart.loaded_entries);
@@ -220,8 +314,9 @@ pub fn emit_bench_json(report: &BenchReport) -> String {
             "    \"restart_hit_rate\": {:.3}",
             restart.restart_hit_rate
         );
+        o.push_str("  },\n");
     }
-    o.push_str("  },\n  \"pairs\": [\n");
+    o.push_str("  \"pairs\": [\n");
     for (i, p) in report.pairs.iter().enumerate() {
         let _ = write!(
             o,
@@ -372,6 +467,72 @@ mod tests {
             "stage_ms sums to {sum:.2} ms but the run took {:.2} ms",
             report.total_wall_ms
         );
+    }
+
+    #[test]
+    fn pairs_top_ranks_heaviest_first_with_stage_split() {
+        let grid = SuiteGrid::paper()
+            .with_programs(vec!["tomcatv".into(), "mgrid".into()])
+            .with_specs(vec!["2c1b2l64r".into()])
+            .with_modes(vec![Mode::Baseline, Mode::Replicate])
+            .with_max_loops(2);
+        let report = bench_suite(&grid, 1, 1, 0).unwrap();
+        assert_eq!(report.pairs_top.len(), 2, "capped at ten, two pairs here");
+        assert!(report.pairs_top[0].wall_ms >= report.pairs_top[1].wall_ms);
+        // Each top entry's wall clock must be one of the pair medians and
+        // its stage split must roughly account for it (pool bookkeeping is
+        // the only slack).
+        for top in &report.pairs_top {
+            assert!(report.pairs.iter().any(|p| p.spec == top.spec
+                && p.program == top.program
+                && (p.wall_ms - top.wall_ms).abs() < 1e-9));
+            let split: f64 = top.stage_ms.iter().sum();
+            assert!(
+                split <= top.wall_ms * 1.05,
+                "stage split {split:.2} exceeds the unit wall {:.2}",
+                top.wall_ms
+            );
+        }
+
+        let json = emit_bench_json(&report);
+        assert!(json.contains("\"pairs_top\": ["));
+        assert!(json.contains("\"unit\": \"2c1b2l64r tomcatv\""));
+        assert!(json.contains("\"stage_share\": {"));
+        for stage in Stage::ALL {
+            assert!(json.contains(&format!("\"{}_ms\"", stage.name())));
+        }
+        // The committed-book pair filter (both `"spec"` and `"wall_ms"` on
+        // one line) must see exactly the pair rows — never a top entry or
+        // a share line.
+        let pair_rows = json
+            .lines()
+            .filter(|l| l.contains("\"spec\"") && l.contains("\"wall_ms\""))
+            .count();
+        assert_eq!(pair_rows, report.pairs.len());
+        let first_wall = json
+            .lines()
+            .find(|l| l.contains("\"wall_ms\""))
+            .expect("total wall_ms line");
+        assert!(
+            first_wall.trim_start().starts_with("\"wall_ms\""),
+            "pairs_top must not precede the total in the wall_ms filter: {first_wall}"
+        );
+    }
+
+    #[test]
+    fn stage_share_is_total_relative() {
+        let report = bench_suite(&tiny_grid(), 1, 1, 0).unwrap();
+        let json = emit_bench_json(&report);
+        let share_block: Vec<&str> = json
+            .lines()
+            .skip_while(|l| !l.contains("\"stage_share\""))
+            .skip(1)
+            .take(Stage::ALL.len())
+            .collect();
+        assert_eq!(share_block.len(), Stage::ALL.len());
+        for (line, stage) in share_block.iter().zip(Stage::ALL) {
+            assert!(line.contains(&format!("\"{}\"", stage.name())), "{line}");
+        }
     }
 
     #[test]

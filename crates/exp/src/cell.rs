@@ -10,7 +10,8 @@
 
 use cvliw_machine::MachineConfig;
 use cvliw_replicate::{
-    compile_loop, compile_stats, compile_stats_ctx, CompileContext, CompileOptions, LoopStats, Mode,
+    compile_loop, compile_stats, compile_stats_ctx, CompileContext, CompileOptions, CompileScratch,
+    LoopStats, Mode,
 };
 use cvliw_sim::IpcAccumulator;
 use cvliw_workloads::{BenchmarkProgram, WorkloadLoop};
@@ -186,26 +187,62 @@ pub fn run_pair_timed(
 ) -> (Vec<CellResult>, [u64; 4]) {
     let mut outs: Vec<CellResult> = cells.iter().map(CellResult::empty).collect();
     let mut stage_nanos = [0u64; 4];
+    let mut scratch = CompileScratch::default();
     for l in &program.loops {
-        let ctx = CompileContext::new(&l.ddg, machine).with_refine_seeds(refine_seeds);
-        for (cell, out) in cells.iter().zip(outs.iter_mut()) {
-            let opts = CompileOptions {
-                mode: cell.mode,
-                max_ii: None,
-            };
-            match compile_stats_ctx(&l.ddg, machine, &opts, &ctx) {
-                Ok(stats) => out.add_loop(l, &stats),
-                Err(_) => {
-                    out.loops += 1;
-                    out.failures += 1;
-                }
-            }
-        }
-        for (total, stage) in stage_nanos.iter_mut().zip(ctx.stage_nanos()) {
+        let (per_mode, stages, recycled) =
+            compile_loop_all_modes(l, machine, cells, refine_seeds, scratch);
+        scratch = recycled;
+        fold_loop(&mut outs, l, &per_mode);
+        for (total, stage) in stage_nanos.iter_mut().zip(stages) {
             *total += stage;
         }
     }
     (outs, stage_nanos)
+}
+
+/// The suite's atomic unit of work: one loop of one (machine, program)
+/// pair under every mode of `cells`, on one [`CompileContext`] built over
+/// a recycled [`CompileScratch`]. Returns the per-mode outcome (`None` =
+/// compile failure), the context's per-stage wall clock, and the scratch
+/// for the caller's next unit. Both the sequential pair walk above and the
+/// loop-granular worker pool funnel through this function, which is what
+/// makes their reports byte-identical by construction.
+pub(crate) fn compile_loop_all_modes(
+    l: &WorkloadLoop,
+    machine: &MachineConfig,
+    cells: &[CellSpec],
+    refine_seeds: u32,
+    scratch: CompileScratch,
+) -> (Vec<Option<LoopStats>>, [u64; 4], CompileScratch) {
+    let ctx =
+        CompileContext::new_with_scratch(&l.ddg, machine, scratch).with_refine_seeds(refine_seeds);
+    let per_mode = cells
+        .iter()
+        .map(|cell| {
+            let opts = CompileOptions {
+                mode: cell.mode,
+                max_ii: None,
+            };
+            compile_stats_ctx(&l.ddg, machine, &opts, &ctx).ok()
+        })
+        .collect();
+    let stages = ctx.stage_nanos();
+    (per_mode, stages, ctx.into_scratch())
+}
+
+/// Folds one loop's per-mode outcomes into the pair's cell accumulators —
+/// in mode order, exactly as the sequential walk does. Failures count,
+/// they never silently drop.
+pub(crate) fn fold_loop(outs: &mut [CellResult], l: &WorkloadLoop, per_mode: &[Option<LoopStats>]) {
+    for (out, stats) in outs.iter_mut().zip(per_mode) {
+        match stats {
+            Some(stats) => out.add_loop(l, stats),
+            None => {
+                out.loops += 1;
+                out.failures += 1;
+            }
+        }
+    }
 }
 
 /// Result of compiling one whole program under one configuration, keeping

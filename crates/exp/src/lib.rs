@@ -54,7 +54,7 @@ mod report;
 mod runner;
 mod serve_bench;
 
-pub use bench::{bench_suite, emit_bench_json, BenchReport, PairTiming};
+pub use bench::{bench_suite, emit_bench_json, BenchReport, PairStageTiming, PairTiming};
 pub use cell::{
     run_cell_on, run_loop, run_pair_on, run_pair_timed, run_program, CellResult, ProgramResult,
 };
@@ -62,5 +62,5 @@ pub use emit::{emit, emit_csv, emit_json, emit_text, Format};
 pub use emit_md::emit_markdown;
 pub use grid::{CellSpec, SuiteGrid};
 pub use report::SuiteReport;
-pub use runner::{default_jobs, run_suite, SuiteError};
+pub use runner::{default_jobs, run_suite, run_suite_with, Granularity, SuiteError};
 pub use serve_bench::{serve_replay, serve_restart_replay, ServeReport, ServeRestartReport};

@@ -18,7 +18,9 @@ use std::time::Instant;
 use cvliw_machine::{MachineConfig, SpecError};
 use cvliw_workloads::{program, program_subset, BenchmarkProgram};
 
-use crate::cell::{run_pair_timed, CellResult};
+use cvliw_replicate::CompileScratch;
+
+use crate::cell::{compile_loop_all_modes, run_pair_timed, CellResult};
 use crate::grid::{CellSpec, SuiteGrid};
 use crate::report::SuiteReport;
 
@@ -207,16 +209,48 @@ pub(crate) fn prepare(grid: &SuiteGrid) -> Result<PreparedSuite, SuiteError> {
     })
 }
 
-/// Runs the worker pool over every (machine, program) pair, returning the
-/// per-cell results in grid order plus each pair's wall-clock nanoseconds
-/// and per-stage nanoseconds (indexed `spec-major × program`; the bench
-/// harness reads them, plain suite runs drop them). Pairs are *dispatched*
-/// longest-first (see [`PreparedSuite::dispatch`]) but every result lands
-/// in its grid-order slot.
+/// How the worker pool slices the grid into work units.
+///
+/// The unit size changes wall-clock time and the meaning of a pair's
+/// reported wall clock — and **nothing else**: results are folded in grid
+/// order from per-unit slots, so every report is byte-identical across
+/// granularities and worker counts (`intra_pair_jobs_are_byte_identical`
+/// pins this).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Granularity {
+    /// One (machine, program) pair per unit — the pre-lane behavior. A
+    /// pair's wall clock is real elapsed time on its one worker.
+    Pair,
+    /// One **loop** of one pair per unit (the default): the heavy
+    /// su2cor/fpppp pairs stop serializing a whole worker each, so
+    /// `--jobs N` cuts the critical path *inside* a pair, not just across
+    /// pairs. A pair's wall clock is the sum of its loops' unit clocks —
+    /// CPU time, the same convention seed racing already uses — so the
+    /// per-stage breakdown still sums to it.
+    #[default]
+    Loop,
+}
+
+/// Runs the worker pool over the grid at the requested [`Granularity`],
+/// returning the per-cell results in grid order plus each pair's
+/// wall-clock nanoseconds and per-stage nanoseconds (indexed `spec-major ×
+/// program`; the bench harness reads them, plain suite runs drop them).
+/// Units are *dispatched* longest-pair-first (see
+/// [`PreparedSuite::dispatch`]) but every result lands in its grid-order
+/// slot. Each worker recycles one [`CompileScratch`] across all the units
+/// it runs.
 pub(crate) fn run_pool(
     prep: &PreparedSuite,
     jobs: usize,
+    granularity: Granularity,
 ) -> (Vec<CellResult>, Vec<u64>, Vec<[u64; 4]>) {
+    match granularity {
+        Granularity::Pair => run_pool_pairs(prep, jobs),
+        Granularity::Loop => run_pool_loops(prep, jobs),
+    }
+}
+
+fn run_pool_pairs(prep: &PreparedSuite, jobs: usize) -> (Vec<CellResult>, Vec<u64>, Vec<[u64; 4]>) {
     let n_pairs = prep.pair_count();
     let jobs = prep.effective_jobs(jobs);
 
@@ -271,6 +305,95 @@ pub(crate) fn run_pool(
     (results, nanos, stages)
 }
 
+/// One compiled unit of the loop-granular pool: the per-mode outcomes of
+/// one loop, the context's per-stage clocks, and the unit's wall time.
+type LoopUnitResult = (Vec<Option<cvliw_replicate::LoopStats>>, [u64; 4], u64);
+
+fn run_pool_loops(prep: &PreparedSuite, jobs: usize) -> (Vec<CellResult>, Vec<u64>, Vec<[u64; 4]>) {
+    let n_pairs = prep.pair_count();
+
+    // Flat (pair, loop) units in dispatch order: the heaviest pair's loops
+    // go out first and spread over every idle worker. Loops within a pair
+    // keep their program order for the deterministic fold below.
+    let units: Vec<(usize, usize)> = prep
+        .dispatch
+        .iter()
+        .flat_map(|&k| {
+            let j = k % prep.n_programs;
+            (0..prep.programs[j].loops.len()).map(move |li| (k, li))
+        })
+        .collect();
+    let pair_cells: Vec<Vec<CellSpec>> = (0..n_pairs)
+        .map(|k| {
+            let (s, j) = (k / prep.n_programs, k % prep.n_programs);
+            (0..prep.n_modes)
+                .map(|m| prep.cells[prep.cell_index(s, m, j)].clone())
+                .collect()
+        })
+        .collect();
+    let jobs = jobs.max(1).min(units.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<LoopUnitResult>> = (0..units.len()).map(|_| OnceLock::new()).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut scratch = CompileScratch::default();
+                loop {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    if u >= units.len() {
+                        break;
+                    }
+                    let (k, li) = units[u];
+                    let (s, j) = (k / prep.n_programs, k % prep.n_programs);
+                    let started = Instant::now();
+                    let (per_mode, stages, recycled) = compile_loop_all_modes(
+                        &prep.programs[j].loops[li],
+                        &prep.machines[s],
+                        &pair_cells[k],
+                        prep.refine_seeds,
+                        std::mem::take(&mut scratch),
+                    );
+                    scratch = recycled;
+                    let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    slots[u]
+                        .set((per_mode, stages, nanos))
+                        .expect("each unit index is claimed exactly once");
+                }
+            });
+        }
+    });
+
+    // Deterministic fold: units are grouped per pair with loops ascending,
+    // so each cell accumulates its loops in exactly the order the
+    // sequential pair walk uses — scheduling cannot reach a single byte.
+    let mut results: Vec<CellResult> = prep.cells.iter().map(CellResult::empty).collect();
+    let mut nanos = vec![0u64; n_pairs];
+    let mut stages = vec![[0u64; 4]; n_pairs];
+    for (slot, &(k, li)) in slots.into_iter().zip(units.iter()) {
+        let (per_mode, unit_stages, unit_nanos) =
+            slot.into_inner().expect("pool completed every unit");
+        let (s, j) = (k / prep.n_programs, k % prep.n_programs);
+        let l = &prep.programs[j].loops[li];
+        for (m, stats) in per_mode.iter().enumerate() {
+            let out = &mut results[prep.cell_index(s, m, j)];
+            match stats {
+                Some(stats) => out.add_loop(l, stats),
+                None => {
+                    out.loops += 1;
+                    out.failures += 1;
+                }
+            }
+        }
+        nanos[k] = nanos[k].saturating_add(unit_nanos);
+        for (total, stage) in stages[k].iter_mut().zip(unit_stages) {
+            *total += stage;
+        }
+    }
+    (results, nanos, stages)
+}
+
 /// Runs every cell of `grid` on a pool of `jobs` worker threads and
 /// aggregates the results into a [`SuiteReport`].
 ///
@@ -282,8 +405,23 @@ pub(crate) fn run_pool(
 /// Returns [`SuiteError`] if a spec does not parse, a program is unknown,
 /// or the grid is empty — all validated before any worker starts.
 pub fn run_suite(grid: &SuiteGrid, jobs: usize) -> Result<SuiteReport, SuiteError> {
+    run_suite_with(grid, jobs, Granularity::default())
+}
+
+/// [`run_suite`] at an explicit work-unit [`Granularity`]. The report is
+/// byte-identical across granularities and worker counts; only wall-clock
+/// time changes.
+///
+/// # Errors
+///
+/// Returns [`SuiteError`] under the same conditions as [`run_suite`].
+pub fn run_suite_with(
+    grid: &SuiteGrid,
+    jobs: usize,
+    granularity: Granularity,
+) -> Result<SuiteReport, SuiteError> {
     let prep = prepare(grid)?;
-    let (results, _timings, _stages) = run_pool(&prep, jobs);
+    let (results, _timings, _stages) = run_pool(&prep, jobs, granularity);
     Ok(SuiteReport::new(grid, results, &prep.programs))
 }
 
@@ -339,6 +477,42 @@ mod tests {
             one, disabled,
             "a raced report diverged from the canonical pipeline"
         );
+    }
+
+    #[test]
+    fn intra_pair_jobs_are_byte_identical() {
+        // The loop-granular pool must not be able to change a single byte
+        // of any emitted report — at any worker count, and relative to the
+        // pair-granular (lane-disabled) pool. Compare the rendered bytes,
+        // not just the structs: the emitters are the determinism contract.
+        let grid = tiny_grid();
+        let lanes1 = run_suite_with(&grid, 1, Granularity::Loop).unwrap();
+        let lanes4 = run_suite_with(&grid, 4, Granularity::Loop).unwrap();
+        let pairs1 = run_suite_with(&grid, 1, Granularity::Pair).unwrap();
+        let pairs4 = run_suite_with(&grid, 4, Granularity::Pair).unwrap();
+        for format in [
+            crate::Format::Text,
+            crate::Format::Csv,
+            crate::Format::Json,
+            crate::Format::Markdown,
+        ] {
+            let reference = crate::emit(&lanes1, format);
+            assert_eq!(
+                reference,
+                crate::emit(&lanes4, format),
+                "lane count leaked into {format:?} bytes"
+            );
+            assert_eq!(
+                reference,
+                crate::emit(&pairs1, format),
+                "granularity leaked into {format:?} bytes"
+            );
+            assert_eq!(
+                reference,
+                crate::emit(&pairs4, format),
+                "granularity × jobs leaked into {format:?} bytes"
+            );
+        }
     }
 
     #[test]

@@ -317,6 +317,15 @@ struct MoveEntry {
 }
 
 impl RefineCache {
+    /// Drops every entry while keeping the allocations, making the cache
+    /// safe to hand to a *different* `(graph, machine)` pair. Callers that
+    /// recycle a cache-bearing scratch across loops must call this at the
+    /// hand-over — two graphs can share a node count, and then nothing in
+    /// [`RefineCache::prepare`] would notice the swap.
+    pub fn invalidate(&mut self) {
+        self.primed = false;
+    }
+
     /// Re-anchors the cache to `part` before a refinement call: resizes
     /// (invalidating everything) on shape change, otherwise folds the
     /// partition diff since the last call into the version counters.

@@ -30,54 +30,53 @@ fn main() {
     );
 
     println!("replication subgraphs and weights (paper: S_D=49/16, S_J=40/16):");
-    let plans = engine.plans();
-    let weights = engine.weights();
-    for (com, plan) in &plans {
-        println!(
-            "  S_{}: nodes {:?} into clusters {}, removable {:?}, weight {:.4} ({}/16)",
-            ddg.display_label(*com),
-            plan.subgraph()
-                .iter()
-                .map(|&n| ddg.display_label(n))
-                .collect::<Vec<_>>(),
-            plan.targets,
-            plan.removable
-                .iter()
-                .map(|&(n, c)| format!("{}@{}", ddg.display_label(n), c + 1))
-                .collect::<Vec<_>>(),
-            weights[com],
-            (weights[com] * 16.0).round() as i64,
-        );
-    }
+    let weights = engine.weights().to_vec();
+    let plan = {
+        let plans = engine.plans();
+        for (plan, &w) in plans.iter().zip(&weights) {
+            println!(
+                "  S_{}: nodes {:?} into clusters {}, removable {:?}, weight {w:.4} ({}/16)",
+                ddg.display_label(plan.com()),
+                plan.subgraph()
+                    .map(|n| ddg.display_label(n))
+                    .collect::<Vec<_>>(),
+                plan.targets(),
+                plan.removable()
+                    .iter()
+                    .map(|&(n, c)| format!("{}@{}", ddg.display_label(n), c + 1))
+                    .collect::<Vec<_>>(),
+                (w * 16.0).round() as i64,
+            );
+        }
 
-    // Commit the lightest subgraph (S_E), exactly what the engine would do.
-    let lightest = weights
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
-        .map(|(&v, _)| v)
-        .expect("three plans exist");
-    println!("\nreplicating S_{} …\n", ddg.display_label(lightest));
-    let plan = plans[&lightest].clone();
+        // Commit the lightest subgraph (S_E), exactly what the engine does.
+        let lightest = weights
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+            .map(|(i, _)| i)
+            .expect("three plans exist");
+        plans.get(lightest).to_plan()
+    };
+    println!("\nreplicating S_{} …\n", ddg.display_label(plan.com));
     engine.commit(&plan);
 
     println!("updated subgraphs (Figure 6: S_D=44/8 into clusters 2 and 4, S_J=42/8):");
+    let weights = engine.weights().to_vec();
     let plans = engine.plans();
-    let weights = engine.weights();
-    for (com, plan) in &plans {
+    for (plan, &w) in plans.iter().zip(&weights) {
         println!(
-            "  S_{}: nodes {:?} into clusters {}, removable {:?}, weight {:.4} ({}/8)",
-            ddg.display_label(*com),
+            "  S_{}: nodes {:?} into clusters {}, removable {:?}, weight {w:.4} ({}/8)",
+            ddg.display_label(plan.com()),
             plan.subgraph()
-                .iter()
-                .map(|&n| ddg.display_label(n))
+                .map(|n| ddg.display_label(n))
                 .collect::<Vec<_>>(),
-            plan.targets,
-            plan.removable
+            plan.targets(),
+            plan.removable()
                 .iter()
                 .map(|&(n, c)| format!("{}@{}", ddg.display_label(n), c + 1))
                 .collect::<Vec<_>>(),
-            weights[com],
-            (weights[com] * 8.0).round() as i64,
+            (w * 8.0).round() as i64,
         );
     }
 

@@ -129,6 +129,17 @@ proptest! {
     /// a *different* mode's attempt loop (including the failure-driven
     /// II-skip state), and the driver's debug assertions re-verify every
     /// skipped attempt along the way.
+    ///
+    /// The scratch itself arrives *recycled from a different loop*, the
+    /// way the suite's loop-granular worker pool hands it around: a donor
+    /// loop is compiled first and its `CompileScratch` — dense `PlanArena`,
+    /// engine buffers, refinement caches, all sized and filled for the
+    /// donor's graph — is recovered with `into_scratch` and threaded into
+    /// this loop's context via `new_with_scratch`. Equality with the
+    /// fresh-state path proves `reset_for_new_loop` invalidates everything
+    /// graph-specific (notably the move-result `RefineCache`, which two
+    /// same-sized graphs could otherwise alias) while the fingerprint
+    /// guards re-prime the rest.
     #[test]
     fn scratch_reuse_equals_fresh_state_compilation(
         seed in 0u64..10_000,
@@ -137,7 +148,17 @@ proptest! {
         cap_bump in 0u32..3,
     ) {
         let ddg = generate_loop(seed, &params).expect("generator is total").ddg;
-        let ctx = CompileContext::new(&ddg, &machine);
+
+        // Dirty the scratch on a *different* loop first — different node
+        // count, different partitions, a populated plan arena — before it
+        // ever sees this test's graph.
+        let donor = generate_loop(seed ^ 0x9e37_79b9, &params)
+            .expect("generator is total")
+            .ddg;
+        let donor_ctx = CompileContext::new(&donor, &machine);
+        let donor_opts = CompileOptions { mode: Mode::Replicate, max_ii: None };
+        let _ = compile_loop_ctx(&donor, &machine, &donor_opts, &donor_ctx);
+        let ctx = CompileContext::new_with_scratch(&ddg, &machine, donor_ctx.into_scratch());
 
         // Dirty every incremental structure with a prior compile that may
         // abort partway: the refinement chain, the move cache and the
